@@ -1,0 +1,30 @@
+# Convenience targets; everything is plain `go` underneath.
+
+.PHONY: build test bench vet cover experiments quick-experiments fuzz
+
+build:
+	go build ./...
+
+vet:
+	go vet ./...
+
+test:
+	go test ./...
+
+cover:
+	go test -cover ./...
+
+bench:
+	go test -bench=. -benchmem ./...
+
+# Full-scale reproduction of the paper's figures + ablations (slow: the ILP
+# blow-up past 1000 queries IS Fig 10's finding).
+experiments:
+	go run ./cmd/socbench all
+
+quick-experiments:
+	go run ./cmd/socbench -quick all
+
+# Exploratory fuzzing of the exact-solver agreement property.
+fuzz:
+	go test -fuzz FuzzExactSolversAgree -fuzztime 60s ./internal/core

@@ -1,0 +1,105 @@
+// Command socbench regenerates the figures of the paper's evaluation
+// (§VII, Figs 6–11) and the repository's ablation experiments.
+//
+// Usage:
+//
+//	socbench [flags] fig6|fig7|fig8|fig9|fig10|fig11|ablations|all
+//
+// Flags:
+//
+//	-quick          reduced averaging for a fast run
+//	-csv            emit CSV instead of aligned text
+//	-seed N         generator seed (default 1)
+//	-tuples N       tuples to average over (default 100, the paper's setting)
+//	-cars N         cars-table size (default 15211, the paper's dataset size)
+//	-ilp-timeout D  per-solve ILP timeout (default 30s); expired runs print "-"
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"standout/internal/bench"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintf(os.Stderr, "socbench: %v\n", err)
+		os.Exit(2)
+	}
+}
+
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("socbench", flag.ContinueOnError)
+	quick := fs.Bool("quick", false, "reduced averaging for a fast run")
+	csv := fs.Bool("csv", false, "emit CSV instead of aligned text")
+	seed := fs.Int64("seed", 1, "generator seed")
+	tuples := fs.Int("tuples", 0, "tuples to average over (0 = paper's 100)")
+	cars := fs.Int("cars", 0, "cars table size (0 = paper's 15211)")
+	ilpTimeout := fs.Duration("ilp-timeout", 0, "per-solve ILP timeout (0 = 30s)")
+	fs.Usage = func() {
+		fmt.Fprintf(stderr,
+			"usage: socbench [flags] fig6|fig7|fig8|fig9|fig10|fig11|ablations|all\n")
+		fs.SetOutput(stderr)
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	cfg := bench.Config{
+		Seed:       *seed,
+		CarsN:      *cars,
+		Tuples:     *tuples,
+		ILPTimeout: *ilpTimeout,
+		Quick:      *quick,
+	}
+
+	figures := []func(bench.Config) bench.Result{
+		bench.Fig6, bench.Fig7, bench.Fig8, bench.Fig9, bench.Fig10, bench.Fig11,
+	}
+	ablations := []func(bench.Config) bench.Result{
+		bench.AblationWalks, bench.AblationWalkLevels, bench.AblationThreshold,
+		bench.AblationGreedyGap, bench.AblationGeneralization, bench.AblationText,
+		bench.AblationIPvsILP,
+	}
+	runners := map[string][]func(bench.Config) bench.Result{
+		"fig6":      {bench.Fig6},
+		"fig7":      {bench.Fig7},
+		"fig8":      {bench.Fig8},
+		"fig9":      {bench.Fig9},
+		"fig10":     {bench.Fig10},
+		"fig11":     {bench.Fig11},
+		"ablations": ablations,
+		"all":       append(append([]func(bench.Config) bench.Result{}, figures...), ablations...),
+	}
+
+	if fs.NArg() != 1 {
+		fs.Usage()
+		return fmt.Errorf("expected exactly one experiment name")
+	}
+	runner, ok := runners[fs.Arg(0)]
+	if !ok {
+		fs.Usage()
+		return fmt.Errorf("unknown experiment %q", fs.Arg(0))
+	}
+
+	start := time.Now()
+	// Results stream as each experiment completes (some take minutes).
+	for _, f := range runner {
+		res := f(cfg)
+		if *csv {
+			fmt.Fprintf(stdout, "# %s — %s\n%s\n", res.Name, res.Title, res.CSV())
+		} else {
+			fmt.Fprintln(stdout, res.Format())
+		}
+		if fl, ok := stdout.(interface{ Flush() error }); ok {
+			_ = fl.Flush()
+		}
+	}
+	fmt.Fprintf(stderr, "socbench: done in %s\n", time.Since(start).Round(time.Millisecond))
+	return nil
+}

@@ -1,0 +1,47 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func tinyArgs(extra ...string) []string {
+	base := []string{"-cars", "200", "-tuples", "2", "-ilp-timeout", "30s"}
+	return append(base, extra...)
+}
+
+func TestRunFig7Text(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if err := run(tinyArgs("fig7"), &out, &errOut); err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	for _, want := range []string{"Fig 7", "Optimal", "ConsumeAttr", "ConsumeQueries"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("output missing %q:\n%s", want, text)
+		}
+	}
+	if !strings.Contains(errOut.String(), "done in") {
+		t.Errorf("stderr missing timing: %q", errOut.String())
+	}
+}
+
+func TestRunCSVMode(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if err := run(tinyArgs("-csv", "fig7"), &out, &errOut); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "m,Optimal,ConsumeAttr") {
+		t.Errorf("CSV header missing:\n%s", out.String())
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	for _, args := range [][]string{{}, {"nope"}, {"fig7", "fig8"}} {
+		var out, errOut bytes.Buffer
+		if err := run(args, &out, &errOut); err == nil {
+			t.Errorf("run(%v) succeeded, want error", args)
+		}
+	}
+}

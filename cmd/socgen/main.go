@@ -1,0 +1,74 @@
+// Command socgen generates the datasets and query workloads used by the
+// experiments: the used-cars table surrogate and the real/synthetic query
+// logs, as CSV on stdout (see package dataset for the layout).
+//
+// Usage:
+//
+//	socgen [flags] cars|workload-real|workload-synthetic
+//
+// Examples:
+//
+//	socgen -n 15211 cars               > cars.csv
+//	socgen -n 185 workload-real        > real.csv
+//	socgen -n 2000 workload-synthetic  > synthetic.csv
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"standout/internal/dataset"
+	"standout/internal/gen"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintf(os.Stderr, "socgen: %v\n", err)
+		os.Exit(2)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("socgen", flag.ContinueOnError)
+	n := fs.Int("n", 0, "rows/queries to generate (0 = paper defaults)")
+	seed := fs.Int64("seed", 1, "generator seed")
+	carsN := fs.Int("cars", 2000, "cars-table size used to derive real-workload popularity")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("usage: socgen [flags] cars|workload-real|workload-synthetic")
+	}
+
+	out := bufio.NewWriter(stdout)
+	defer out.Flush()
+
+	switch fs.Arg(0) {
+	case "cars":
+		size := *n
+		if size == 0 {
+			size = gen.CarsSize
+		}
+		return dataset.WriteTableCSV(out, gen.Cars(*seed, size))
+	case "workload-real":
+		size := *n
+		if size == 0 {
+			size = gen.RealWorkloadSize
+		}
+		tab := gen.Cars(*seed, *carsN)
+		return dataset.WriteQueryLogCSV(out, gen.RealWorkload(tab, *seed+1, size))
+	case "workload-synthetic":
+		size := *n
+		if size == 0 {
+			size = 2000
+		}
+		schema := dataset.MustSchema(gen.CarAttrs)
+		return dataset.WriteQueryLogCSV(out,
+			gen.SyntheticWorkload(schema, *seed+1, size, gen.WorkloadOptions{}))
+	default:
+		return fmt.Errorf("unknown target %q", fs.Arg(0))
+	}
+}

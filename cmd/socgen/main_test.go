@@ -1,0 +1,71 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"standout/internal/dataset"
+)
+
+func TestGenCars(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-n", "25", "cars"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	tab, err := dataset.ReadTableCSV(&out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.Size() != 25 || tab.Width() != 32 {
+		t.Fatalf("got %dx%d", tab.Size(), tab.Width())
+	}
+}
+
+func TestGenWorkloads(t *testing.T) {
+	for _, target := range []string{"workload-real", "workload-synthetic"} {
+		var out bytes.Buffer
+		if err := run([]string{"-n", "40", "-cars", "100", target}, &out); err != nil {
+			t.Fatalf("%s: %v", target, err)
+		}
+		log, err := dataset.ReadQueryLogCSV(&out)
+		if err != nil {
+			t.Fatalf("%s: %v", target, err)
+		}
+		if log.Size() != 40 {
+			t.Fatalf("%s: size=%d", target, log.Size())
+		}
+	}
+}
+
+func TestGenDeterministicAcrossRuns(t *testing.T) {
+	var a, b bytes.Buffer
+	if err := run([]string{"-n", "10", "-seed", "7", "cars"}, &a); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-n", "10", "-seed", "7", "cars"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Error("same seed produced different CSV")
+	}
+}
+
+func TestGenErrors(t *testing.T) {
+	for _, args := range [][]string{{}, {"nope"}, {"cars", "extra"}} {
+		var out bytes.Buffer
+		if err := run(args, &out); err == nil {
+			t.Errorf("run(%v) succeeded, want error", args)
+		}
+	}
+}
+
+func TestGenHeaderHasIDColumnForCars(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-n", "1", "cars"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(out.String(), "id,AC,") {
+		t.Errorf("header = %q", strings.SplitN(out.String(), "\n", 2)[0])
+	}
+}

@@ -1,0 +1,143 @@
+// Command socsolve solves one SOC-CB-QL instance from files: given a query
+// log (CSV), a new tuple, and a budget m, it prints the best attributes to
+// retain under each requested algorithm.
+//
+// Usage:
+//
+//	socsolve -log queries.csv -tuple "AC,PowerLocks,Turbo" -m 2 [-algo ilp]
+//	socsolve -db cars.csv -tuple 110100... -m 5              # SOC-CB-D
+//
+// The tuple is either a 0/1 bit string of the schema's width or a
+// comma-separated attribute-name list. With -db instead of -log, the rows of
+// the database act as the workload (SOC-CB-D: maximize dominated tuples).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"standout/internal/core"
+	"standout/internal/dataset"
+)
+
+var solvers = map[string]func() core.Solver{
+	"brute":            func() core.Solver { return core.BruteForce{} },
+	"ip":               func() core.Solver { return core.IP{} },
+	"ilp":              func() core.Solver { return core.ILP{Timeout: 5 * time.Minute} },
+	"mfi":              func() core.Solver { return core.MaxFreqItemSets{} },
+	"mfi-exact":        func() core.Solver { return core.MaxFreqItemSets{Backend: core.BackendExactDFS} },
+	"consumeattr":      func() core.Solver { return core.ConsumeAttr{} },
+	"consumeattrcumul": func() core.Solver { return core.ConsumeAttrCumul{} },
+	"consumequeries":   func() core.Solver { return core.ConsumeQueries{} },
+}
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintf(os.Stderr, "socsolve: %v\n", err)
+		os.Exit(2)
+	}
+}
+
+// run parses arguments, loads the instance and prints solutions to out.
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("socsolve", flag.ContinueOnError)
+	logPath := fs.String("log", "", "query log CSV (SOC-CB-QL)")
+	dbPath := fs.String("db", "", "database CSV (SOC-CB-D: rows act as queries)")
+	tupleSpec := fs.String("tuple", "", "new tuple: bit string or comma-separated attribute names")
+	m := fs.Int("m", 0, "number of attributes to retain")
+	algo := fs.String("algo", "all", "algorithm: "+algoNames()+", or all")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if (*logPath == "") == (*dbPath == "") {
+		return fmt.Errorf("exactly one of -log or -db is required")
+	}
+	if *tupleSpec == "" {
+		return fmt.Errorf("-tuple is required")
+	}
+
+	log, err := loadWorkload(*logPath, *dbPath)
+	if err != nil {
+		return err
+	}
+	tuple, err := dataset.ParseTuple(log.Schema, *tupleSpec)
+	if err != nil {
+		return fmt.Errorf("parsing tuple: %w", err)
+	}
+
+	var names []string
+	if *algo == "all" {
+		for name := range solvers {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+	} else {
+		if _, ok := solvers[*algo]; !ok {
+			return fmt.Errorf("unknown algorithm %q (have %s)", *algo, algoNames())
+		}
+		names = []string{*algo}
+	}
+
+	in := core.Instance{Log: log, Tuple: tuple, M: *m}
+	fmt.Fprintf(out, "workload: %d queries over %d attributes; tuple has %d attributes; m = %d\n\n",
+		log.Size(), log.Width(), tuple.Count(), *m)
+	for _, name := range names {
+		s := solvers[name]()
+		start := time.Now()
+		sol, err := s.Solve(in)
+		elapsed := time.Since(start)
+		if err != nil {
+			fmt.Fprintf(out, "%-18s error: %v\n", name, err)
+			continue
+		}
+		mark := ""
+		if sol.Optimal {
+			mark = " (optimal)"
+		}
+		fmt.Fprintf(out, "%-18s satisfied %d%s in %s\n  keep: %s\n",
+			name, sol.Satisfied, mark, elapsed.Round(time.Microsecond),
+			strings.Join(sol.AttrNames(log.Schema), ", "))
+	}
+	return nil
+}
+
+// loadWorkload reads the query log, or the database reinterpreted as one.
+func loadWorkload(logPath, dbPath string) (*dataset.QueryLog, error) {
+	if logPath != "" {
+		f, err := os.Open(logPath)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		log, err := dataset.ReadQueryLogCSV(f)
+		if err != nil {
+			return nil, fmt.Errorf("reading %s: %w", logPath, err)
+		}
+		return log, nil
+	}
+	f, err := os.Open(dbPath)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	tab, err := dataset.ReadTableCSV(f)
+	if err != nil {
+		return nil, fmt.Errorf("reading %s: %w", dbPath, err)
+	}
+	return dataset.LogFromTable(tab), nil
+}
+
+func algoNames() string {
+	var names []string
+	for n := range solvers {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return strings.Join(names, "|")
+}

@@ -1,0 +1,95 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeFile(t *testing.T, name, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+const queriesCSV = `AC,FourDoor,Turbo,PowerDoors,AutoTrans,PowerBrakes
+1,1,0,0,0,0
+1,0,0,1,0,0
+0,1,0,1,0,0
+0,0,0,1,0,1
+0,0,1,0,1,0
+`
+
+func TestRunQueryLog(t *testing.T) {
+	path := writeFile(t, "q.csv", queriesCSV)
+	var out bytes.Buffer
+	err := run([]string{"-log", path, "-tuple", "110111", "-m", "3"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	if !strings.Contains(text, "workload: 5 queries over 6 attributes") {
+		t.Errorf("header missing:\n%s", text)
+	}
+	// Every solver block reports; the exact ones find the Fig 1 optimum.
+	if !strings.Contains(text, "satisfied 3 (optimal)") {
+		t.Errorf("optimal result missing:\n%s", text)
+	}
+	if !strings.Contains(text, "AC, FourDoor, PowerDoors") {
+		t.Errorf("kept attributes missing:\n%s", text)
+	}
+}
+
+func TestRunSingleAlgo(t *testing.T) {
+	path := writeFile(t, "q.csv", queriesCSV)
+	var out bytes.Buffer
+	if err := run([]string{"-log", path, "-tuple", "AC,FourDoor,PowerDoors,AutoTrans,PowerBrakes", "-m", "3", "-algo", "ilp"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Count(out.String(), "satisfied"); got != 1 {
+		t.Errorf("expected one solver block, got %d:\n%s", got, out.String())
+	}
+}
+
+func TestRunDatabaseMode(t *testing.T) {
+	db := `id,AC,FourDoor,Turbo,PowerDoors,AutoTrans,PowerBrakes
+t1,0,1,0,1,0,0
+t2,0,1,1,0,0,0
+t3,1,0,0,1,1,1
+t4,1,1,0,1,0,1
+t5,1,1,0,0,0,0
+t6,0,1,0,1,0,0
+t7,0,0,1,1,0,0
+`
+	path := writeFile(t, "db.csv", db)
+	var out bytes.Buffer
+	if err := run([]string{"-db", path, "-tuple", "110111", "-m", "4", "-algo", "brute"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "satisfied 4 (optimal)") {
+		t.Errorf("SOC-CB-D optimum missing:\n%s", out.String())
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	path := writeFile(t, "q.csv", queriesCSV)
+	cases := [][]string{
+		{}, // neither -log nor -db
+		{"-log", path, "-db", path, "-tuple", "1", "-m", "1"}, // both
+		{"-log", path, "-m", "1"},                             // no tuple
+		{"-log", path, "-tuple", "10", "-m", "1"},             // wrong width
+		{"-log", path, "-tuple", "110111", "-m", "1", "-algo", "nope"},
+		{"-log", filepath.Join(t.TempDir(), "missing.csv"), "-tuple", "110111", "-m", "1"},
+	}
+	for i, args := range cases {
+		var out bytes.Buffer
+		if err := run(args, &out); err == nil {
+			t.Errorf("case %d: run(%v) succeeded, want error", i, args)
+		}
+	}
+}

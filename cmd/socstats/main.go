@@ -1,0 +1,136 @@
+// Command socstats profiles a query log or database: dimensions, density,
+// query-size histogram, duplicate ratio, attribute frequencies, and — given
+// a tuple — how much of the workload that tuple could ever satisfy. These
+// are the workload properties that decide which solver to use (§VII: ILP
+// for short wide logs, MaxFreqItemSets for long narrow ones, greedy beyond).
+//
+// Usage:
+//
+//	socstats -log queries.csv [-tuple SPEC] [-top N]
+//	socstats -db cars.csv     [-tuple SPEC] [-top N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+
+	"standout/internal/dataset"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintf(os.Stderr, "socstats: %v\n", err)
+		os.Exit(2)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("socstats", flag.ContinueOnError)
+	logPath := fs.String("log", "", "query log CSV")
+	dbPath := fs.String("db", "", "database CSV (rows treated as queries)")
+	tupleSpec := fs.String("tuple", "", "optional tuple: bit string or attribute-name list")
+	top := fs.Int("top", 10, "number of top attributes to print")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if (*logPath == "") == (*dbPath == "") {
+		return fmt.Errorf("exactly one of -log or -db is required")
+	}
+
+	var log *dataset.QueryLog
+	path := *logPath
+	if path != "" {
+		f, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		log, err = dataset.ReadQueryLogCSV(f)
+		if err != nil {
+			return fmt.Errorf("reading %s: %w", path, err)
+		}
+	} else {
+		path = *dbPath
+		f, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		tab, err := dataset.ReadTableCSV(f)
+		if err != nil {
+			return fmt.Errorf("reading %s: %w", path, err)
+		}
+		log = dataset.LogFromTable(tab)
+	}
+
+	fmt.Fprintf(out, "workload: %s\n", path)
+	fmt.Fprintf(out, "queries:  %d over %d attributes\n", log.Size(), log.Width())
+	fmt.Fprintf(out, "density:  %.4f\n", log.AsTable().Density())
+
+	dedup, weights := log.Dedup()
+	maxWeight := 0
+	for _, w := range weights {
+		if w > maxWeight {
+			maxWeight = w
+		}
+	}
+	fmt.Fprintf(out, "distinct: %d (%.1f%% duplicates; most repeated query appears %d times)\n",
+		dedup.Size(), 100*float64(log.Size()-dedup.Size())/maxf(1, float64(log.Size())), maxWeight)
+
+	fmt.Fprintf(out, "\nquery sizes:\n")
+	hist := log.SizeHistogram()
+	var sizes []int
+	for k := range hist {
+		sizes = append(sizes, k)
+	}
+	sort.Ints(sizes)
+	for _, k := range sizes {
+		fmt.Fprintf(out, "  %2d attrs: %5d (%5.1f%%)\n",
+			k, hist[k], 100*float64(hist[k])/float64(log.Size()))
+	}
+
+	fmt.Fprintf(out, "\ntop %d attributes:\n", *top)
+	freq := log.AttrFrequencies()
+	for _, j := range log.TopAttrs(*top) {
+		fmt.Fprintf(out, "  %-24s %5d (%5.1f%%)\n",
+			log.Schema.Name(j), freq[j], 100*float64(freq[j])/maxf(1, float64(log.Size())))
+	}
+
+	// Solver guidance from the paper's Fig 10/11 conclusion.
+	fmt.Fprintf(out, "\nsolver hint: ")
+	switch {
+	case log.Size() <= 1000 && log.Width() > 32:
+		fmt.Fprintln(out, "short+wide log — ILP is the better exact algorithm (§VII Fig 11)")
+	case log.Size() > 1000 && log.Width() <= 32:
+		fmt.Fprintln(out, "long+narrow log — MaxFreqItemSets is the better exact algorithm (§VII Fig 10)")
+	case log.Size() > 1000 && log.Width() > 32:
+		fmt.Fprintln(out, "long+wide log — exact algorithms are intractable; use ConsumeAttr/ConsumeAttrCumul (§VII)")
+	default:
+		fmt.Fprintln(out, "small instance — any exact algorithm works; MaxFreqItemSets is usually fastest")
+	}
+
+	if *tupleSpec != "" {
+		tuple, err := dataset.ParseTuple(log.Schema, *tupleSpec)
+		if err != nil {
+			return fmt.Errorf("parsing tuple: %w", err)
+		}
+		satisfiable := log.Restrict(tuple)
+		fmt.Fprintf(out, "\ntuple: %d attributes present\n", tuple.Count())
+		fmt.Fprintf(out, "satisfiable queries (⊆ tuple): %d of %d (%.1f%%)\n",
+			satisfiable.Size(), log.Size(),
+			100*float64(satisfiable.Size())/maxf(1, float64(log.Size())))
+		fmt.Fprintf(out, "visibility with no compression: %d queries\n",
+			log.Satisfied(tuple))
+	}
+	return nil
+}
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}

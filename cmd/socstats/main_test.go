@@ -1,0 +1,85 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const statsCSV = `AC,FourDoor,Turbo
+1,1,0
+1,0,0
+1,1,0
+1,1,1
+`
+
+func writeFile(t *testing.T, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "w.csv")
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestStatsBasic(t *testing.T) {
+	path := writeFile(t, statsCSV)
+	var out bytes.Buffer
+	if err := run([]string{"-log", path}, &out); err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	for _, want := range []string{
+		"queries:  4 over 3 attributes",
+		"distinct: 3",
+		"AC", "top 10 attributes",
+		"small instance",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("missing %q in:\n%s", want, text)
+		}
+	}
+}
+
+func TestStatsWithTuple(t *testing.T) {
+	path := writeFile(t, statsCSV)
+	var out bytes.Buffer
+	if err := run([]string{"-log", path, "-tuple", "110"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	if !strings.Contains(text, "satisfiable queries (⊆ tuple): 3 of 4") {
+		t.Errorf("satisfiability wrong:\n%s", text)
+	}
+	if !strings.Contains(text, "visibility with no compression: 3 queries") {
+		t.Errorf("visibility wrong:\n%s", text)
+	}
+}
+
+func TestStatsDatabaseMode(t *testing.T) {
+	path := writeFile(t, "id,a,b\nr1,1,0\nr2,0,1\n")
+	var out bytes.Buffer
+	if err := run([]string{"-db", path}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "queries:  2 over 2 attributes") {
+		t.Errorf("db mode wrong:\n%s", out.String())
+	}
+}
+
+func TestStatsErrors(t *testing.T) {
+	path := writeFile(t, statsCSV)
+	for _, args := range [][]string{
+		{},
+		{"-log", path, "-db", path},
+		{"-log", path, "-tuple", "bad,attr"},
+		{"-log", filepath.Join(t.TempDir(), "nope.csv")},
+	} {
+		var out bytes.Buffer
+		if err := run(args, &out); err == nil {
+			t.Errorf("run(%v) succeeded, want error", args)
+		}
+	}
+}

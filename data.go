@@ -1,0 +1,87 @@
+package standout
+
+import (
+	"io"
+
+	"standout/internal/dataset"
+	"standout/internal/gen"
+)
+
+// Data generation and IO re-exports: the surrogates of the paper's
+// evaluation datasets (§VII) and the CSV layout shared by the cmd tools.
+
+// CarAttrs are the 32 Boolean option attributes of the cars surrogate.
+var CarAttrs = gen.CarAttrs
+
+// CarsDatasetSize is the paper's cars-table row count (15,211).
+const CarsDatasetSize = gen.CarsSize
+
+// GenerateCars synthesizes the used-cars dataset surrogate: n rows over the
+// CarAttrs schema with realistic option-package correlations.
+func GenerateCars(seed int64, n int) *Table { return gen.Cars(seed, n) }
+
+// WorkloadOptions tunes synthetic query-log generation.
+type WorkloadOptions = gen.WorkloadOptions
+
+// GenerateSyntheticWorkload draws queries whose sizes follow the paper's
+// mixture (1 attr 20%, 2–3 attrs 30% each, 4–5 attrs 10% each) unless
+// overridden in opts.
+func GenerateSyntheticWorkload(schema *Schema, seed int64, size int, opts WorkloadOptions) *QueryLog {
+	return gen.SyntheticWorkload(schema, seed, size, opts)
+}
+
+// GenerateRealWorkload draws the surrogate of the paper's 185-query real
+// workload: popularity-biased queries of at least four attributes.
+func GenerateRealWorkload(tab *Table, seed int64, size int) *QueryLog {
+	return gen.RealWorkload(tab, seed, size)
+}
+
+// PickTuples selects n random rows as to-be-advertised products.
+func PickTuples(tab *Table, seed int64, n int) []Vector {
+	return gen.PickTuples(tab, seed, n)
+}
+
+// ReadTableCSV parses a Boolean table (optionally with a leading id column).
+func ReadTableCSV(r io.Reader) (*Table, error) { return dataset.ReadTableCSV(r) }
+
+// WriteTableCSV writes a Boolean table in the layout ReadTableCSV reads.
+func WriteTableCSV(w io.Writer, t *Table) error { return dataset.WriteTableCSV(w, t) }
+
+// ReadQueryLogCSV parses a query log from CSV.
+func ReadQueryLogCSV(r io.Reader) (*QueryLog, error) { return dataset.ReadQueryLogCSV(r) }
+
+// WriteQueryLogCSV writes a query log as CSV.
+func WriteQueryLogCSV(w io.Writer, q *QueryLog) error { return dataset.WriteQueryLogCSV(w, q) }
+
+// Numeric and categorical surrogate data (§II.B / §V variants).
+
+// NumericCarAttrs are the numeric attributes of the cars surrogate.
+var NumericCarAttrs = gen.NumericCarAttrs
+
+// GenerateNumericCars synthesizes correlated numeric car data (price,
+// mileage, year, MPG) aligned with NumericCarAttrs.
+func GenerateNumericCars(seed int64, n int) [][]float64 { return gen.NumericCars(seed, n) }
+
+// NumericCarSchema returns the schema over NumericCarAttrs.
+func NumericCarSchema() *Schema { return gen.NumericSchema() }
+
+// GenerateRangeWorkload draws range queries anchored at rows of the numeric
+// data (budget caps, mileage caps, minimum year/MPG).
+func GenerateRangeWorkload(seed int64, size int, data [][]float64) *NumLog {
+	return gen.RangeWorkload(seed, size, data)
+}
+
+// CategoricalCarSchema returns the Make/Color/Transmission/BodyStyle schema.
+func CategoricalCarSchema() *CatSchema { return gen.CatCarSchema() }
+
+// GenerateCategoricalCars synthesizes categorical car tuples with skewed
+// value popularity.
+func GenerateCategoricalCars(seed int64, n int) []CatTuple {
+	return gen.CategoricalCars(seed, n)
+}
+
+// GenerateCategoricalWorkload draws categorical queries constraining one or
+// two attributes with buyer-like popularity skew.
+func GenerateCategoricalWorkload(seed int64, size int) *CatLog {
+	return gen.CategoricalWorkload(seed, size)
+}

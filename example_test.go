@@ -1,0 +1,61 @@
+package standout_test
+
+import (
+	"fmt"
+
+	"standout"
+)
+
+// ExampleSolve reproduces the paper's running example (§II.A, Fig 1): the
+// new car keeps AC, FourDoor and PowerDoors, satisfying queries q1–q3.
+func ExampleSolve() {
+	schema := standout.MustSchema([]string{
+		"AC", "FourDoor", "Turbo", "PowerDoors", "AutoTrans", "PowerBrakes",
+	})
+	log := standout.NewQueryLog(schema)
+	for _, attrs := range [][]string{
+		{"AC", "FourDoor"}, {"AC", "PowerDoors"}, {"FourDoor", "PowerDoors"},
+		{"PowerDoors", "PowerBrakes"}, {"Turbo", "AutoTrans"},
+	} {
+		q, _ := schema.VectorOf(attrs...)
+		_ = log.Append(q)
+	}
+	tuple, _ := schema.VectorOf("AC", "FourDoor", "PowerDoors", "AutoTrans", "PowerBrakes")
+
+	sol, _ := standout.Solve(log, tuple, 3)
+	fmt.Println(sol.AttrNames(schema), sol.Satisfied)
+	// Output: [AC FourDoor PowerDoors] 3
+}
+
+// ExampleSolveDatabase shows SOC-CB-D (§II.B): with m = 4 the compression
+// dominates four of the seven competing cars.
+func ExampleSolveDatabase() {
+	schema := standout.MustSchema([]string{
+		"AC", "FourDoor", "Turbo", "PowerDoors", "AutoTrans", "PowerBrakes",
+	})
+	db := standout.NewTable(schema)
+	for _, row := range []string{
+		"010100", "011000", "100111", "110101", "110000", "010100", "001100",
+	} {
+		v, _ := standout.ParseTuple(schema, row)
+		_ = db.Append(v, "")
+	}
+	tuple, _ := standout.ParseTuple(schema, "110111")
+
+	sol, _ := standout.SolveDatabase(standout.BruteForce{}, db, tuple, 4)
+	fmt.Println(sol.AttrNames(schema), sol.Satisfied)
+	// Output: [AC FourDoor PowerDoors PowerBrakes] 4
+}
+
+// ExampleSelectKeywords picks title keywords for a classified ad.
+func ExampleSelectKeywords() {
+	queries := [][]string{
+		{"apartment", "downtown"},
+		{"apartment", "parking"},
+		{"downtown"},
+	}
+	ad := standout.Tokenize("spacious apartment downtown parking included")
+	kept, satisfied, _ := standout.SelectKeywords(standout.BruteForce{}, queries, ad, 3)
+	fmt.Println(kept, satisfied)
+	// Output: [apartment downtown parking] 3
+}

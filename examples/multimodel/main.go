@@ -1,0 +1,75 @@
+// Multimodel: a realistic car listing mixes Boolean options, numeric fields
+// and categorical fields (§II.B). The listing template caps how many of each
+// can be shown; this example picks the best of each kind with the
+// corresponding variant solver:
+//
+//   - Boolean options        → SOC-CB-QL (core problem)
+//   - numeric fields         → range-query reduction (§V)
+//   - categorical fields     → categorical reduction (§II.B)
+//
+// go run ./examples/multimodel
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"standout"
+)
+
+func main() {
+	// ---- Boolean options ------------------------------------------------
+	inventory := standout.GenerateCars(1, 3000)
+	buyers := standout.GenerateRealWorkload(inventory, 2, 185)
+	car := standout.PickTuples(inventory, 3, 1)[0]
+
+	boolSol, err := standout.Solve(buyers, car, 5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Boolean options (5 of %d): %s\n  → visible to %d of %d option searches\n\n",
+		car.Count(), strings.Join(boolSol.AttrNames(inventory.Schema), ", "),
+		boolSol.Satisfied, buyers.Size())
+
+	// ---- Numeric fields -------------------------------------------------
+	numericData := standout.GenerateNumericCars(4, 3000)
+	rangeQueries := standout.GenerateRangeWorkload(5, 400, numericData)
+	ourNumbers := numericData[42] // price, mileage, year, mpg
+
+	numSol, err := standout.SolveNumeric(
+		standout.BruteForce{}, rangeQueries, ourNumbers, 2, standout.NumericStrict)
+	if err != nil {
+		log.Fatal(err)
+	}
+	numSchema := standout.NumericCarSchema()
+	fmt.Printf("Numeric fields (2 of %d): %s\n", len(standout.NumericCarAttrs),
+		strings.Join(numSol.AttrNames(numSchema), ", "))
+	fmt.Printf("  car: price $%.0f, %.0f miles, year %.0f, %.1f mpg\n",
+		ourNumbers[0], ourNumbers[1], ourNumbers[2], ourNumbers[3])
+	fmt.Printf("  → passes %d of %d range searches\n\n", numSol.Satisfied, rangeQueries.Size())
+
+	// ---- Categorical fields ---------------------------------------------
+	catSchema := standout.CategoricalCarSchema()
+	catQueries := standout.GenerateCategoricalWorkload(6, 400)
+	ourCat := standout.GenerateCategoricalCars(7, 1)[0]
+
+	catSol, err := standout.SolveCategorical(standout.BruteForce{}, catQueries, ourCat, 2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var catDesc []string
+	for a, v := range ourCat {
+		catDesc = append(catDesc, fmt.Sprintf("%s=%s", catSchema.Attrs[a], catSchema.Domains[a][v]))
+	}
+	fmt.Printf("Categorical fields (2 of %d): %s\n", catSchema.Width(),
+		strings.Join(catSol.AttrNames(mustBoolSchema(catSchema)), ", "))
+	fmt.Printf("  car: %s\n", strings.Join(catDesc, ", "))
+	fmt.Printf("  → matches %d of %d value searches\n", catSol.Satisfied, catQueries.Size())
+}
+
+// mustBoolSchema renders the categorical schema's attribute names as the
+// width-M Boolean schema the reduction solves over.
+func mustBoolSchema(cs *standout.CatSchema) *standout.Schema {
+	return standout.MustSchema(cs.Attrs)
+}

@@ -1,0 +1,122 @@
+// Productdesign: the manufacturer scenario from the paper's introduction —
+// "in the design of a new product, a manufacturer may be interested in
+// selecting the ten best features from a large wish-list" — exercising the
+// SOC-Topk variant (§II.B) and disjunctive retrieval.
+//
+// A homebuilder decides which m upgrades to include in a new spec home.
+// Buyers browse with conjunctive filters and only look at the top-k results
+// ordered by feature count (the paper's example of a global scoring
+// function), so the home must not just match a search — it must out-feature
+// the competition to make the first page.
+//
+//	go run ./examples/productdesign
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"standout"
+)
+
+func main() {
+	features := []string{
+		"SwimmingPool", "ThreeCarGarage", "FinishedBasement", "SolarPanels",
+		"SmartHome", "GraniteCounters", "HardwoodFloors", "Fireplace",
+		"FencedYard", "CornerLot", "WalkInClosets", "HomeOffice",
+	}
+	schema := standout.MustSchema(features)
+
+	// Competing listings already on the market.
+	listings := [][]string{
+		{"SwimmingPool", "GraniteCounters", "HardwoodFloors", "Fireplace"},
+		{"ThreeCarGarage", "FinishedBasement", "FencedYard"},
+		{"SmartHome", "SolarPanels", "HomeOffice", "GraniteCounters", "HardwoodFloors"},
+		{"SwimmingPool", "FencedYard", "WalkInClosets"},
+		{"GraniteCounters", "HardwoodFloors", "Fireplace", "WalkInClosets", "HomeOffice"},
+		{"FinishedBasement", "SmartHome", "GraniteCounters"},
+	}
+	db := standout.NewTable(schema)
+	scores := make([]float64, 0, len(listings))
+	for i, fs := range listings {
+		row, err := schema.VectorOf(fs...)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := db.Append(row, fmt.Sprintf("listing%d", i)); err != nil {
+			log.Fatal(err)
+		}
+		scores = append(scores, standout.AttrCountScore(row))
+	}
+
+	// What buyers filtered on recently.
+	buyerFilters := [][]string{
+		{"SwimmingPool"},
+		{"GraniteCounters", "HardwoodFloors"},
+		{"SmartHome"},
+		{"SwimmingPool", "FencedYard"},
+		{"FinishedBasement"},
+		{"GraniteCounters"},
+		{"HomeOffice", "SmartHome"},
+		{"Fireplace", "HardwoodFloors"},
+	}
+	logQ := standout.NewQueryLog(schema)
+	for _, fs := range buyerFilters {
+		q, err := schema.VectorOf(fs...)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := logQ.Append(q); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// The wish-list: the builder could include any feature; budget allows m.
+	wishList := schema.Attrs()
+	tuple, err := schema.VectorOf(wishList...)
+	if err != nil {
+		log.Fatal(err)
+	}
+	const m, k = 5, 2
+
+	// Plain SOC-CB-QL ignores the competition...
+	plain, err := standout.Solve(logQ, tuple, m)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("ignoring competition: %s → matches %d of %d filters\n",
+		strings.Join(plain.AttrNames(schema), ", "), plain.Satisfied, logQ.Size())
+
+	// ...SOC-Topk also requires beating the competition into the top-k.
+	v := standout.TopKVariant{
+		DB: db, K: k,
+		NewTupleScore: standout.AttrCountScore,
+		RowScores:     scores,
+	}
+	topk, err := v.Solve(standout.BruteForce{}, logQ, tuple, m)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("top-%d aware:          %s → first page of %d of %d filters\n",
+		k, strings.Join(topk.AttrNames(schema), ", "), topk.Satisfied, logQ.Size())
+
+	// Disjunctive marketing copy: a flyer catches a buyer if it mentions ANY
+	// feature they care about.
+	disj, err := standout.SolveDisjunctive(logQ, tuple, 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("flyer (disjunctive):  %s → catches %d of %d buyers\n",
+		strings.Join(disj.AttrNames(schema), ", "),
+		standout.DisjunctiveSatisfied(logQ, disj.Kept), logQ.Size())
+
+	// And the most cost-effective upgrade count (per-attribute, against the
+	// competition this time — SOC-CB-D reduction).
+	per, err := standout.PerAttribute(standout.BruteForce{}, standout.LogFromTable(db), tuple)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("cost-effective spec:  %d upgrades dominating %d listings (%.2f per upgrade)\n",
+		per.Kept.Count(), per.Satisfied, per.Ratio)
+}

@@ -1,0 +1,65 @@
+// Quickstart: the paper's running example (§II.A, Fig 1).
+//
+// An auto dealer wants to advertise a new car but the ad can only list three
+// of its five options. Which three make it visible to the most past buyer
+// queries?
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"standout"
+)
+
+func main() {
+	// The six Boolean option attributes of Fig 1.
+	schema := standout.MustSchema([]string{
+		"AC", "FourDoor", "Turbo", "PowerDoors", "AutoTrans", "PowerBrakes",
+	})
+
+	// The query log Q: what buyers searched for recently.
+	queries := standout.NewQueryLog(schema)
+	for _, attrs := range [][]string{
+		{"AC", "FourDoor"},
+		{"AC", "PowerDoors"},
+		{"FourDoor", "PowerDoors"},
+		{"PowerDoors", "PowerBrakes"},
+		{"Turbo", "AutoTrans"},
+	} {
+		q, err := schema.VectorOf(attrs...)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := queries.Append(q); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// The new car t: it has five of the six options.
+	tuple, err := schema.VectorOf("AC", "FourDoor", "PowerDoors", "AutoTrans", "PowerBrakes")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Keep the best m = 3 attributes.
+	sol, err := standout.Solve(queries, tuple, 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("advertise: %v\n", sol.AttrNames(schema))
+	fmt.Printf("visible to %d of %d logged queries\n", sol.Satisfied, queries.Size())
+
+	// Compare all algorithms on the same instance.
+	fmt.Println("\nalgorithm comparison:")
+	for _, s := range standout.Solvers() {
+		res, err := s.Solve(standout.Instance{Log: queries, Tuple: tuple, M: 3})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-28s keeps %v → %d queries\n",
+			s.Name(), res.AttrNames(schema), res.Satisfied)
+	}
+}

@@ -1,0 +1,3 @@
+module standout
+
+go 1.22

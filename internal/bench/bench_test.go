@@ -1,0 +1,221 @@
+package bench
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"time"
+)
+
+// tiny returns a configuration small enough for unit tests.
+func tiny() Config {
+	return Config{Seed: 1, CarsN: 400, Tuples: 2, ILPTimeout: 20 * time.Second}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	c := Config{}.withDefaults()
+	if c.Seed != 1 || c.CarsN != 15211 || c.Tuples != 100 || c.ILPTimeout != 30*time.Second {
+		t.Errorf("defaults wrong: %+v", c)
+	}
+	q := Config{Quick: true}.withDefaults()
+	if q.Tuples != 10 {
+		t.Errorf("quick tuples=%d", q.Tuples)
+	}
+	tiny := Config{Quick: true, Tuples: 5}.withDefaults()
+	if tiny.Tuples != 3 {
+		t.Errorf("quick floor=%d", tiny.Tuples)
+	}
+}
+
+func TestResultFormatAndCSV(t *testing.T) {
+	r := Result{
+		Name: "Fig X", Title: "demo", XLabel: "m", YLabel: "s",
+		Columns: []string{"A", "B,with comma"},
+		Rows: []Row{
+			{X: "1", Values: []float64{0.5, Missing}},
+			{X: "2", Values: []float64{3, 0.0000004}},
+		},
+		Notes: []string{"a note"},
+	}
+	text := r.Format()
+	for _, want := range []string{"Fig X — demo", "m", "A", "-", "3.0", "4.00e-07", "note: a note"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("Format missing %q in:\n%s", want, text)
+		}
+	}
+	csv := r.CSV()
+	if !strings.Contains(csv, `"B,with comma"`) {
+		t.Errorf("CSV did not escape comma: %s", csv)
+	}
+	if !strings.Contains(csv, "1,0.5,\n") {
+		t.Errorf("CSV missing-value cell wrong: %q", csv)
+	}
+}
+
+func checkResult(t *testing.T, r Result, wantRows int) {
+	t.Helper()
+	if len(r.Rows) != wantRows {
+		t.Fatalf("%s: %d rows, want %d", r.Name, len(r.Rows), wantRows)
+	}
+	for _, row := range r.Rows {
+		if len(row.Values) != len(r.Columns) {
+			t.Fatalf("%s: row %s has %d values for %d columns",
+				r.Name, row.X, len(row.Values), len(r.Columns))
+		}
+	}
+}
+
+func TestFig6Small(t *testing.T) {
+	r := Fig6(tiny())
+	checkResult(t, r, len(mRange))
+	if len(r.Columns) != 5 {
+		t.Fatalf("columns=%v", r.Columns)
+	}
+	// Every timing must be present and non-negative at this tiny scale.
+	for _, row := range r.Rows {
+		for j, v := range row.Values {
+			if math.IsNaN(v) || v < 0 {
+				t.Errorf("m=%s %s: bad timing %v", row.X, r.Columns[j], v)
+			}
+		}
+	}
+	if len(r.Notes) == 0 {
+		t.Error("Fig6 should note the preprocessed MFI cost")
+	}
+}
+
+func TestFig7Small(t *testing.T) {
+	r := Fig7(tiny())
+	checkResult(t, r, len(mRange))
+	if r.Columns[0] != "Optimal" {
+		t.Fatalf("columns=%v", r.Columns)
+	}
+	// Quality is monotone in m for the optimal column and greedy ≤ optimal.
+	prev := -1.0
+	for _, row := range r.Rows {
+		opt := row.Values[0]
+		if opt < prev-1e-9 {
+			t.Errorf("optimal quality decreased at m=%s", row.X)
+		}
+		prev = opt
+		for j := 1; j < len(row.Values); j++ {
+			if row.Values[j] > opt+1e-9 {
+				t.Errorf("greedy %s beats optimal at m=%s", r.Columns[j], row.X)
+			}
+		}
+	}
+}
+
+func TestFig8And9Small(t *testing.T) {
+	cfg := tiny()
+	r8 := fig8At(cfg, 120)
+	checkResult(t, r8, len(mRange))
+	for _, c := range r8.Columns {
+		if c == "ILP" {
+			t.Error("Fig 8 must not include ILP")
+		}
+	}
+	r9 := fig9At(cfg, 120)
+	checkResult(t, r9, len(mRange))
+}
+
+func TestFig10Small(t *testing.T) {
+	r := fig10At(tiny(), []int{60, 120})
+	checkResult(t, r, 2)
+}
+
+func TestFig10ILPCapProducesMissing(t *testing.T) {
+	r := fig10At(tiny(), []int{fig10ILPCap + 1})
+	if !math.IsNaN(r.Rows[0].Values[0]) {
+		t.Errorf("ILP above cap should be missing, got %v", r.Rows[0].Values[0])
+	}
+	for j := 1; j < len(r.Rows[0].Values); j++ {
+		if math.IsNaN(r.Rows[0].Values[j]) {
+			t.Errorf("non-ILP column %s missing", r.Columns[j])
+		}
+	}
+}
+
+func TestFig11Small(t *testing.T) {
+	r := fig11At(tiny(), []int{8, 12}, 40)
+	checkResult(t, r, 2)
+	if len(r.Columns) != 2 {
+		t.Fatalf("columns=%v", r.Columns)
+	}
+}
+
+func TestAblationsSmall(t *testing.T) {
+	cfg := tiny()
+	a1 := ablationWalksAt(cfg, []int{60, 120})
+	checkResult(t, a1, 2)
+	a3 := AblationThreshold(cfg)
+	checkResult(t, a3, 5)
+	a4 := AblationGreedyGap(cfg)
+	checkResult(t, a4, len(mRange))
+	for _, row := range a4.Rows {
+		for j, v := range row.Values {
+			if !math.IsNaN(v) && (v < 0 || v > 1+1e-9) {
+				t.Errorf("ratio out of range at m=%s %s: %v", row.X, a4.Columns[j], v)
+			}
+		}
+	}
+}
+
+func TestAblationWalkLevelsSmall(t *testing.T) {
+	cfg := tiny()
+	a2 := ablationWalkLevelsAt(cfg, []int{60, 120})
+	checkResult(t, a2, 2)
+	for _, row := range a2.Rows {
+		if row.Values[2] < 1 || row.Values[3] < 1 {
+			t.Errorf("no maximal sets found at size %s: %v", row.X, row.Values)
+		}
+	}
+}
+
+func TestAblationGeneralizationSmall(t *testing.T) {
+	a5 := ablationGeneralizationAt(tiny(), []int{30, 300})
+	checkResult(t, a5, 2)
+	for _, row := range a5.Rows {
+		for j, v := range row.Values {
+			if v < 0 || v > 1 {
+				t.Errorf("rate out of range at %s %s: %v", row.X, a5.Columns[j], v)
+			}
+		}
+	}
+	// With 10× more training data the predicted/realized gap must not grow.
+	gapSmall := a5.Rows[0].Values[0] - a5.Rows[0].Values[1]
+	gapLarge := a5.Rows[1].Values[0] - a5.Rows[1].Values[1]
+	if absf(gapLarge) > absf(gapSmall)+0.05 {
+		t.Errorf("generalization gap grew: %.4f → %.4f", gapSmall, gapLarge)
+	}
+}
+
+func absf(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+func TestAblationTextSmall(t *testing.T) {
+	a6 := ablationTextAt(tiny(), []int{8, 12})
+	checkResult(t, a6, 2)
+	for _, row := range a6.Rows {
+		greedySat, exactSat := row.Values[2], row.Values[3]
+		if !math.IsNaN(exactSat) && greedySat > exactSat+1e-9 {
+			t.Errorf("greedy beats exact at %s keywords", row.X)
+		}
+	}
+}
+
+func TestAblationIPvsILPSmall(t *testing.T) {
+	a7 := ablationIPvsILPAt(tiny(), []int{40, 80})
+	checkResult(t, a7, 2)
+	for _, row := range a7.Rows {
+		for j, v := range row.Values {
+			if math.IsNaN(v) || v < 0 {
+				t.Errorf("bad timing at %s %s: %v", row.X, a7.Columns[j], v)
+			}
+		}
+	}
+}

@@ -1,0 +1,286 @@
+// Package bitvec implements fixed-width packed bit vectors used throughout the
+// library to represent Boolean tuples and conjunctive queries.
+//
+// A tuple over an attribute set {a_0 .. a_{M-1}} is a Vector of width M where
+// bit i set means attribute a_i is present. A conjunctive Boolean query is the
+// same representation: the query {a_1, a_3} is a Vector with bits 1 and 3 set,
+// and a tuple t satisfies the query q exactly when q.SubsetOf(t) — equivalently
+// when t dominates q in the paper's terminology.
+package bitvec
+
+import (
+	"fmt"
+	"math/bits"
+	"strings"
+)
+
+const wordBits = 64
+
+// Vector is a fixed-width bit vector. The zero value is an empty vector of
+// width 0; use New or FromIndices to construct vectors of a given width.
+// Vectors of different widths are never equal and must not be combined with
+// the binary operations.
+type Vector struct {
+	width int
+	words []uint64
+}
+
+// New returns an all-zero vector of the given width (number of bits).
+// It panics if width is negative.
+func New(width int) Vector {
+	if width < 0 {
+		panic(fmt.Sprintf("bitvec: negative width %d", width))
+	}
+	return Vector{width: width, words: make([]uint64, wordsFor(width))}
+}
+
+// FromIndices returns a vector of the given width with exactly the bits at the
+// given indices set. It panics if any index is out of [0, width).
+func FromIndices(width int, indices ...int) Vector {
+	v := New(width)
+	for _, i := range indices {
+		v.Set(i)
+	}
+	return v
+}
+
+// FromBools returns a vector whose width is len(b) with bit i set iff b[i].
+func FromBools(b []bool) Vector {
+	v := New(len(b))
+	for i, set := range b {
+		if set {
+			v.Set(i)
+		}
+	}
+	return v
+}
+
+// FromString parses a vector from a string of '0' and '1' runes, most
+// significant attribute first in index order (i.e. s[i] is bit i).
+// Whitespace is ignored. It returns an error on any other rune.
+func FromString(s string) (Vector, error) {
+	var cleaned []rune
+	for _, r := range s {
+		switch r {
+		case '0', '1':
+			cleaned = append(cleaned, r)
+		case ' ', '\t', '\n', '\r':
+		default:
+			return Vector{}, fmt.Errorf("bitvec: invalid rune %q in %q", r, s)
+		}
+	}
+	v := New(len(cleaned))
+	for i, r := range cleaned {
+		if r == '1' {
+			v.Set(i)
+		}
+	}
+	return v, nil
+}
+
+func wordsFor(width int) int { return (width + wordBits - 1) / wordBits }
+
+// Width returns the number of bits in the vector.
+func (v Vector) Width() int { return v.width }
+
+// Set sets bit i. It panics if i is out of range.
+func (v Vector) Set(i int) {
+	v.check(i)
+	v.words[i/wordBits] |= 1 << (uint(i) % wordBits)
+}
+
+// Clear clears bit i. It panics if i is out of range.
+func (v Vector) Clear(i int) {
+	v.check(i)
+	v.words[i/wordBits] &^= 1 << (uint(i) % wordBits)
+}
+
+// Get reports whether bit i is set. It panics if i is out of range.
+func (v Vector) Get(i int) bool {
+	v.check(i)
+	return v.words[i/wordBits]&(1<<(uint(i)%wordBits)) != 0
+}
+
+func (v Vector) check(i int) {
+	if i < 0 || i >= v.width {
+		panic(fmt.Sprintf("bitvec: index %d out of range [0,%d)", i, v.width))
+	}
+}
+
+// Count returns the number of set bits (the cardinality of the attribute set).
+func (v Vector) Count() int {
+	n := 0
+	for _, w := range v.words {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// Ones returns the indices of all set bits in increasing order.
+func (v Vector) Ones() []int {
+	out := make([]int, 0, v.Count())
+	for wi, w := range v.words {
+		for w != 0 {
+			b := bits.TrailingZeros64(w)
+			out = append(out, wi*wordBits+b)
+			w &= w - 1
+		}
+	}
+	return out
+}
+
+// Zeros returns the indices of all clear bits in increasing order.
+func (v Vector) Zeros() []int {
+	out := make([]int, 0, v.width-v.Count())
+	for i := 0; i < v.width; i++ {
+		if !v.Get(i) {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// Clone returns an independent copy of v.
+func (v Vector) Clone() Vector {
+	w := Vector{width: v.width, words: make([]uint64, len(v.words))}
+	copy(w.words, v.words)
+	return w
+}
+
+// Equal reports whether v and u have the same width and the same bits.
+func (v Vector) Equal(u Vector) bool {
+	if v.width != u.width {
+		return false
+	}
+	for i := range v.words {
+		if v.words[i] != u.words[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// SubsetOf reports whether every bit set in v is also set in u.
+// In the paper's terms: if v is a query and u a tuple, u retrieves v;
+// if both are tuples, u dominates v. Panics if widths differ.
+func (v Vector) SubsetOf(u Vector) bool {
+	v.sameWidth(u)
+	for i := range v.words {
+		if v.words[i]&^u.words[i] != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// SupersetOf reports whether every bit set in u is also set in v.
+func (v Vector) SupersetOf(u Vector) bool { return u.SubsetOf(v) }
+
+// Dominates is the paper's tuple-domination relation: v dominates u when for
+// every attribute set in u, v is also set. It is an alias for SupersetOf.
+func (v Vector) Dominates(u Vector) bool { return u.SubsetOf(v) }
+
+// Intersects reports whether v and u share at least one set bit.
+func (v Vector) Intersects(u Vector) bool {
+	v.sameWidth(u)
+	for i := range v.words {
+		if v.words[i]&u.words[i] != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+func (v Vector) sameWidth(u Vector) {
+	if v.width != u.width {
+		panic(fmt.Sprintf("bitvec: width mismatch %d vs %d", v.width, u.width))
+	}
+}
+
+// And returns the bitwise intersection of v and u as a new vector.
+func (v Vector) And(u Vector) Vector {
+	v.sameWidth(u)
+	out := New(v.width)
+	for i := range v.words {
+		out.words[i] = v.words[i] & u.words[i]
+	}
+	return out
+}
+
+// Or returns the bitwise union of v and u as a new vector.
+func (v Vector) Or(u Vector) Vector {
+	v.sameWidth(u)
+	out := New(v.width)
+	for i := range v.words {
+		out.words[i] = v.words[i] | u.words[i]
+	}
+	return out
+}
+
+// AndNot returns the set difference v \ u as a new vector.
+func (v Vector) AndNot(u Vector) Vector {
+	v.sameWidth(u)
+	out := New(v.width)
+	for i := range v.words {
+		out.words[i] = v.words[i] &^ u.words[i]
+	}
+	return out
+}
+
+// Not returns the complement of v within its width: bits set in v become
+// clear and vice versa. This is the paper's ~t / ~q operation used by the
+// maximal-frequent-itemset reduction.
+func (v Vector) Not() Vector {
+	out := New(v.width)
+	for i := range v.words {
+		out.words[i] = ^v.words[i]
+	}
+	out.trim()
+	return out
+}
+
+// trim clears any bits beyond width in the final word.
+func (v *Vector) trim() {
+	if v.width%wordBits != 0 && len(v.words) > 0 {
+		v.words[len(v.words)-1] &= (1 << (uint(v.width) % wordBits)) - 1
+	}
+}
+
+// CountAnd returns v.And(u).Count() without allocating.
+func (v Vector) CountAnd(u Vector) int {
+	v.sameWidth(u)
+	n := 0
+	for i := range v.words {
+		n += bits.OnesCount64(v.words[i] & u.words[i])
+	}
+	return n
+}
+
+// String renders the vector as a string of '0'/'1' runes in index order,
+// matching the tabular presentation in the paper (e.g. "110100").
+func (v Vector) String() string {
+	var sb strings.Builder
+	sb.Grow(v.width)
+	for i := 0; i < v.width; i++ {
+		if v.Get(i) {
+			sb.WriteByte('1')
+		} else {
+			sb.WriteByte('0')
+		}
+	}
+	return sb.String()
+}
+
+// Key returns a compact string usable as a map key. Two vectors have the same
+// key iff they are Equal.
+func (v Vector) Key() string {
+	buf := make([]byte, 0, 8*len(v.words)+4)
+	buf = append(buf,
+		byte(v.width), byte(v.width>>8), byte(v.width>>16), byte(v.width>>24))
+	for _, w := range v.words {
+		for s := 0; s < 64; s += 8 {
+			buf = append(buf, byte(w>>uint(s)))
+		}
+	}
+	return string(buf)
+}

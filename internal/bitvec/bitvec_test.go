@@ -1,0 +1,336 @@
+package bitvec
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewIsEmpty(t *testing.T) {
+	for _, width := range []int{0, 1, 63, 64, 65, 128, 200} {
+		v := New(width)
+		if v.Width() != width {
+			t.Errorf("width %d: got Width()=%d", width, v.Width())
+		}
+		if v.Count() != 0 {
+			t.Errorf("width %d: new vector has %d set bits", width, v.Count())
+		}
+		if got := v.Ones(); len(got) != 0 {
+			t.Errorf("width %d: Ones()=%v, want empty", width, got)
+		}
+	}
+}
+
+func TestNewPanicsOnNegativeWidth(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New(-1) did not panic")
+		}
+	}()
+	New(-1)
+}
+
+func TestSetGetClear(t *testing.T) {
+	v := New(130)
+	for _, i := range []int{0, 1, 63, 64, 65, 127, 128, 129} {
+		if v.Get(i) {
+			t.Fatalf("bit %d set before Set", i)
+		}
+		v.Set(i)
+		if !v.Get(i) {
+			t.Fatalf("bit %d not set after Set", i)
+		}
+		v.Clear(i)
+		if v.Get(i) {
+			t.Fatalf("bit %d still set after Clear", i)
+		}
+	}
+}
+
+func TestOutOfRangePanics(t *testing.T) {
+	cases := []struct {
+		name string
+		f    func()
+	}{
+		{"Get negative", func() { New(10).Get(-1) }},
+		{"Get beyond", func() { New(10).Get(10) }},
+		{"Set beyond", func() { New(10).Set(10) }},
+		{"Clear beyond", func() { New(10).Clear(11) }},
+		{"And width mismatch", func() { New(10).And(New(11)) }},
+		{"SubsetOf width mismatch", func() { New(10).SubsetOf(New(11)) }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s did not panic", tc.name)
+				}
+			}()
+			tc.f()
+		})
+	}
+}
+
+func TestFromIndices(t *testing.T) {
+	v := FromIndices(6, 0, 1, 3)
+	if got, want := v.String(), "110100"; got != want {
+		t.Errorf("String()=%q, want %q", got, want)
+	}
+	if got := v.Ones(); !reflect.DeepEqual(got, []int{0, 1, 3}) {
+		t.Errorf("Ones()=%v", got)
+	}
+	if got := v.Zeros(); !reflect.DeepEqual(got, []int{2, 4, 5}) {
+		t.Errorf("Zeros()=%v", got)
+	}
+}
+
+func TestFromString(t *testing.T) {
+	v, err := FromString("1 1 0 1 0 0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.Equal(FromIndices(6, 0, 1, 3)) {
+		t.Errorf("FromString mismatch: %v", v)
+	}
+	if _, err := FromString("10x"); err == nil {
+		t.Error("FromString accepted invalid rune")
+	}
+	empty, err := FromString("")
+	if err != nil || empty.Width() != 0 {
+		t.Errorf("FromString(\"\") = %v, %v", empty, err)
+	}
+}
+
+func TestFromBools(t *testing.T) {
+	v := FromBools([]bool{true, false, true})
+	if v.Width() != 3 || !v.Get(0) || v.Get(1) || !v.Get(2) {
+		t.Errorf("FromBools wrong: %v", v)
+	}
+}
+
+// TestPaperExample1 checks the subset/domination semantics against the worked
+// example in Fig 1 of the paper.
+func TestPaperExample1(t *testing.T) {
+	// Attributes: AC, FourDoor, Turbo, PowerDoors, AutoTrans, PowerBrakes.
+	tNew := FromIndices(6, 0, 1, 3, 4, 5) // new car t = [1,1,0,1,1,1]
+	q1 := FromIndices(6, 0, 1)
+	q2 := FromIndices(6, 0, 3)
+	q3 := FromIndices(6, 1, 3)
+	q4 := FromIndices(6, 3, 5)
+	q5 := FromIndices(6, 2, 4)
+
+	// Compression keeping AC, FourDoor, PowerDoors satisfies q1,q2,q3 only.
+	tPrime := FromIndices(6, 0, 1, 3)
+	wantSat := []bool{true, true, true, false, false}
+	for i, q := range []Vector{q1, q2, q3, q4, q5} {
+		if got := q.SubsetOf(tPrime); got != wantSat[i] {
+			t.Errorf("q%d satisfied=%v, want %v", i+1, got, wantSat[i])
+		}
+	}
+	if !tPrime.SubsetOf(tNew) {
+		t.Error("compression must be a subset of the original tuple")
+	}
+
+	// SOC-CB-D part: t' = AC, FourDoor, PowerDoors, PowerBrakes dominates
+	// t1, t4, t5, t6 of the database.
+	db := []Vector{
+		FromIndices(6, 1, 3),       // t1
+		FromIndices(6, 1, 2),       // t2
+		FromIndices(6, 0, 3, 4, 5), // t3
+		FromIndices(6, 0, 1, 3, 5), // t4
+		FromIndices(6, 0, 1),       // t5
+		FromIndices(6, 1, 3),       // t6
+		FromIndices(6, 2, 3),       // t7
+	}
+	tPrimeD := FromIndices(6, 0, 1, 3, 5)
+	wantDom := []bool{true, false, false, true, true, true, false}
+	for i, row := range db {
+		if got := tPrimeD.Dominates(row); got != wantDom[i] {
+			t.Errorf("t%d dominated=%v, want %v", i+1, got, wantDom[i])
+		}
+	}
+}
+
+func randVector(r *rand.Rand, width int) Vector {
+	v := New(width)
+	for i := 0; i < width; i++ {
+		if r.Intn(2) == 1 {
+			v.Set(i)
+		}
+	}
+	return v
+}
+
+// pair generates two random vectors of the same random width for quick checks.
+type pair struct{ A, B Vector }
+
+func (pair) Generate(r *rand.Rand, size int) reflect.Value {
+	width := r.Intn(200)
+	return reflect.ValueOf(pair{randVector(r, width), randVector(r, width)})
+}
+
+func TestQuickComplementInvolution(t *testing.T) {
+	f := func(p pair) bool { return p.A.Not().Not().Equal(p.A) }
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickComplementCount(t *testing.T) {
+	f := func(p pair) bool {
+		return p.A.Count()+p.A.Not().Count() == p.A.Width()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickDeMorgan(t *testing.T) {
+	f := func(p pair) bool {
+		left := p.A.And(p.B).Not()
+		right := p.A.Not().Or(p.B.Not())
+		return left.Equal(right)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickSubsetAntisymmetry(t *testing.T) {
+	f := func(p pair) bool {
+		if p.A.SubsetOf(p.B) && p.B.SubsetOf(p.A) {
+			return p.A.Equal(p.B)
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickSubsetComplementDuality(t *testing.T) {
+	// A ⊆ B  ⇔  ~B ⊆ ~A — the identity the MFI reduction in §IV.C rests on.
+	f := func(p pair) bool {
+		return p.A.SubsetOf(p.B) == p.B.Not().SubsetOf(p.A.Not())
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickAndIsIntersection(t *testing.T) {
+	f := func(p pair) bool {
+		got := p.A.And(p.B)
+		for i := 0; i < p.A.Width(); i++ {
+			if got.Get(i) != (p.A.Get(i) && p.B.Get(i)) {
+				return false
+			}
+		}
+		return got.Count() == p.A.CountAnd(p.B)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickOnesRoundTrip(t *testing.T) {
+	f := func(p pair) bool {
+		return FromIndices(p.A.Width(), p.A.Ones()...).Equal(p.A)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickStringRoundTrip(t *testing.T) {
+	f := func(p pair) bool {
+		v, err := FromString(p.A.String())
+		return err == nil && v.Equal(p.A)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickKeyAgreesWithEqual(t *testing.T) {
+	f := func(p pair) bool {
+		return (p.A.Key() == p.B.Key()) == p.A.Equal(p.B)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickAndNotDisjoint(t *testing.T) {
+	f := func(p pair) bool {
+		diff := p.A.AndNot(p.B)
+		return !diff.Intersects(p.B) || diff.Count() == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	v := FromIndices(10, 1, 2, 3)
+	w := v.Clone()
+	w.Set(9)
+	if v.Get(9) {
+		t.Error("Clone shares storage with original")
+	}
+	if !w.Get(1) {
+		t.Error("Clone lost a bit")
+	}
+}
+
+func TestEqualWidthMismatch(t *testing.T) {
+	if New(10).Equal(New(11)) {
+		t.Error("vectors of different widths compared equal")
+	}
+}
+
+func TestIntersects(t *testing.T) {
+	a := FromIndices(100, 3, 70)
+	b := FromIndices(100, 70)
+	c := FromIndices(100, 4)
+	if !a.Intersects(b) {
+		t.Error("a should intersect b")
+	}
+	if a.Intersects(c) {
+		t.Error("a should not intersect c")
+	}
+}
+
+func TestNotTrimsTailBits(t *testing.T) {
+	// Complement of an empty 65-bit vector must have exactly 65 ones,
+	// not 128 (i.e. padding bits in the last word must stay clear).
+	v := New(65).Not()
+	if v.Count() != 65 {
+		t.Errorf("Not() of empty 65-bit vector has %d ones", v.Count())
+	}
+	ones := v.Ones()
+	if ones[len(ones)-1] != 64 {
+		t.Errorf("highest one = %d, want 64", ones[len(ones)-1])
+	}
+}
+
+func BenchmarkSubsetOf(b *testing.B) {
+	r := rand.New(rand.NewSource(1))
+	a := randVector(r, 512)
+	c := a.Or(randVector(r, 512))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		a.SubsetOf(c)
+	}
+}
+
+func BenchmarkCountAnd(b *testing.B) {
+	r := rand.New(rand.NewSource(1))
+	a := randVector(r, 512)
+	c := randVector(r, 512)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		a.CountAnd(c)
+	}
+}

@@ -1,0 +1,82 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"standout/internal/bitvec"
+	"standout/internal/dataset"
+)
+
+// SolveBatch solves the same (log, m) problem for many tuples concurrently —
+// the marketplace regime the paper's preprocessing discussion targets, where
+// one workload is shared by a stream of new listings. Results align with
+// tuples by index. workers ≤ 0 selects GOMAXPROCS. The first error cancels
+// the batch.
+//
+// Every Solver in this package is safe for concurrent use by value; to share
+// MaxFreqItemSets preprocessing across the batch, pass a PreparedSolver.
+func SolveBatch(s Solver, log *dataset.QueryLog, tuples []bitvec.Vector, m, workers int) ([]Solution, error) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(tuples) {
+		workers = len(tuples)
+	}
+	out := make([]Solution, len(tuples))
+	if len(tuples) == 0 {
+		return out, nil
+	}
+
+	var (
+		wg       sync.WaitGroup
+		errOnce  sync.Once
+		firstErr error
+		next     = make(chan int)
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				sol, err := s.Solve(Instance{Log: log, Tuple: tuples[i], M: m})
+				if err != nil {
+					errOnce.Do(func() { firstErr = fmt.Errorf("core: batch tuple %d: %w", i, err) })
+					continue
+				}
+				out[i] = sol
+			}
+		}()
+	}
+	for i := range tuples {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return out, nil
+}
+
+// PreparedSolver adapts MaxFreqItemSets preprocessing state to the Solver
+// interface so it can be used with SolveBatch and the experiment harness.
+// Instances must reference the exact query log the Prep was built from.
+type PreparedSolver struct {
+	Prep *Prep
+}
+
+// Name implements Solver.
+func (p PreparedSolver) Name() string { return "MaxFreqItemSets-SOC-CB-QL (prepared)" }
+
+// Solve implements Solver.
+func (p PreparedSolver) Solve(in Instance) (Solution, error) {
+	if p.Prep == nil {
+		return Solution{}, fmt.Errorf("core: PreparedSolver with nil Prep")
+	}
+	if in.Log != p.Prep.log {
+		return Solution{}, fmt.Errorf("core: PreparedSolver used with a different query log")
+	}
+	return p.Prep.SolvePrepared(in.Tuple, in.M)
+}

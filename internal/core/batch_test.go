@@ -1,0 +1,142 @@
+package core
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"standout/internal/bitvec"
+	"standout/internal/gen"
+)
+
+func TestSolveBatchMatchesSequential(t *testing.T) {
+	tab := gen.Cars(1, 400)
+	log := gen.RealWorkload(tab, 2, 80)
+	tuples := gen.PickTuples(tab, 3, 20)
+	for _, workers := range []int{0, 1, 4, 64} {
+		got, err := SolveBatch(MaxFreqItemSets{}, log, tuples, 5, workers)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if len(got) != len(tuples) {
+			t.Fatalf("workers=%d: %d results", workers, len(got))
+		}
+		for i, tuple := range tuples {
+			want, err := (MaxFreqItemSets{}).Solve(Instance{Log: log, Tuple: tuple, M: 5})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got[i].Satisfied != want.Satisfied {
+				t.Fatalf("workers=%d tuple %d: batch %d, sequential %d",
+					workers, i, got[i].Satisfied, want.Satisfied)
+			}
+		}
+	}
+}
+
+func TestSolveBatchEmpty(t *testing.T) {
+	tab := gen.Cars(1, 50)
+	log := gen.RealWorkload(tab, 2, 10)
+	got, err := SolveBatch(ConsumeAttr{}, log, nil, 3, 4)
+	if err != nil || len(got) != 0 {
+		t.Fatalf("got %v, %v", got, err)
+	}
+}
+
+func TestSolveBatchPropagatesErrors(t *testing.T) {
+	tab := gen.Cars(1, 50)
+	log := gen.RealWorkload(tab, 2, 10)
+	// A tuple of the wrong width makes that instance invalid.
+	tuples := []bitvec.Vector{tab.Rows[0], bitvec.New(3)}
+	if _, err := SolveBatch(ConsumeAttr{}, log, tuples, 3, 2); err == nil {
+		t.Fatal("batch swallowed an error")
+	}
+}
+
+func TestPreparedSolverConcurrent(t *testing.T) {
+	tab := gen.Cars(1, 400)
+	log := gen.RealWorkload(tab, 2, 80)
+	tuples := gen.PickTuples(tab, 3, 30)
+	mfi := MaxFreqItemSets{Backend: BackendExactDFS}
+	prep, err := mfi.Preprocess(log)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := SolveBatch(PreparedSolver{Prep: prep}, log, tuples, 5, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, tuple := range tuples {
+		want, err := BruteForce{}.Solve(Instance{Log: log, Tuple: tuple, M: 5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got[i].Satisfied != want.Satisfied {
+			t.Fatalf("tuple %d: prepared batch %d, brute %d", i, got[i].Satisfied, want.Satisfied)
+		}
+	}
+}
+
+func TestPreparedSolverGuards(t *testing.T) {
+	tab := gen.Cars(1, 50)
+	log := gen.RealWorkload(tab, 2, 10)
+	other := gen.RealWorkload(tab, 9, 10)
+	prep, err := (MaxFreqItemSets{}).Preprocess(log)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ps := PreparedSolver{Prep: prep}
+	if _, err := ps.Solve(Instance{Log: other, Tuple: tab.Rows[0], M: 2}); err == nil {
+		t.Error("mismatched log accepted")
+	}
+	if _, err := (PreparedSolver{}).Solve(Instance{Log: log, Tuple: tab.Rows[0], M: 2}); err == nil {
+		t.Error("nil prep accepted")
+	}
+	if (PreparedSolver{}).Name() == "" {
+		t.Error("empty name")
+	}
+}
+
+func TestSolveBatchRandomizedAgainstBrute(t *testing.T) {
+	r := rand.New(rand.NewSource(1234))
+	in := randomInstance(r)
+	tuples := make([]bitvec.Vector, 10)
+	for i := range tuples {
+		v := bitvec.New(in.Log.Width())
+		for j := 0; j < v.Width(); j++ {
+			if r.Float64() < 0.5 {
+				v.Set(j)
+			}
+		}
+		tuples[i] = v
+	}
+	batch, err := SolveBatch(ILP{}, in.Log, tuples, in.M, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, tuple := range tuples {
+		want, err := BruteForce{}.Solve(Instance{Log: in.Log, Tuple: tuple, M: in.M})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if batch[i].Satisfied != want.Satisfied {
+			t.Fatalf("tuple %d: %d vs %d", i, batch[i].Satisfied, want.Satisfied)
+		}
+	}
+}
+
+var errSentinel = errors.New("sentinel")
+
+type failingSolver struct{}
+
+func (failingSolver) Name() string                     { return "failing" }
+func (failingSolver) Solve(Instance) (Solution, error) { return Solution{}, errSentinel }
+
+func TestSolveBatchFirstErrorWrapped(t *testing.T) {
+	tab := gen.Cars(1, 20)
+	log := gen.RealWorkload(tab, 2, 5)
+	_, err := SolveBatch(failingSolver{}, log, tab.Rows[:3], 2, 2)
+	if !errors.Is(err, errSentinel) {
+		t.Fatalf("err=%v, want wrapped sentinel", err)
+	}
+}

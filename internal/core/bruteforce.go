@@ -1,0 +1,60 @@
+package core
+
+// BruteForce is the optimal baseline of §IV.A: it enumerates every
+// combination of m attributes of the new tuple and keeps the best. Its cost
+// is C(|t|, m) query-log scans, which is only viable for small tuples; it is
+// the ground truth against which every other solver is tested.
+type BruteForce struct{}
+
+// Name implements Solver.
+func (BruteForce) Name() string { return "BruteForce-SOC-CB-QL" }
+
+// Solve implements Solver.
+func (BruteForce) Solve(in Instance) (Solution, error) {
+	n, err := normalize(in)
+	if err != nil {
+		return Solution{}, err
+	}
+	if n.exact {
+		return n.full(), nil
+	}
+
+	best := Solution{Optimal: true}
+	first := true
+	comb := make([]int, n.m)
+	attrs := make([]int, n.m)
+	candidates := 0
+
+	// Enumerate m-combinations of n.ones in lexicographic order.
+	var rec func(start, depth int)
+	rec = func(start, depth int) {
+		if depth == n.m {
+			for i, idx := range comb {
+				attrs[i] = n.ones[idx]
+			}
+			kept := n.keep(attrs)
+			sat := n.score(kept)
+			candidates++
+			if first || sat > best.Satisfied {
+				best.Kept = kept
+				best.Satisfied = sat
+				first = false
+			}
+			return
+		}
+		for i := start; i <= len(n.ones)-(n.m-depth); i++ {
+			comb[depth] = i
+			rec(i+1, depth+1)
+		}
+	}
+	rec(0, 0)
+
+	if first { // m == 0: the empty compression is the only candidate
+		kept := n.keep(nil)
+		best.Kept = kept
+		best.Satisfied = n.score(kept)
+		candidates++
+	}
+	best.Stats.Candidates = candidates
+	return best, nil
+}

@@ -1,0 +1,602 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"standout/internal/bitvec"
+	"standout/internal/dataset"
+	"standout/internal/gen"
+)
+
+// example1 is the running example of §II.A (Fig 1).
+func example1(t *testing.T) Instance {
+	t.Helper()
+	schema := dataset.MustSchema([]string{"AC", "FourDoor", "Turbo", "PowerDoors", "AutoTrans", "PowerBrakes"})
+	log := dataset.NewQueryLog(schema)
+	for _, row := range []string{"110000", "100100", "010100", "000101", "001010"} {
+		v, err := bitvec.FromString(row)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := log.Append(v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	tuple, err := bitvec.FromString("110111")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Instance{Log: log, Tuple: tuple, M: 3}
+}
+
+func exactSolvers() map[string]Solver {
+	return map[string]Solver{
+		"BruteForce": BruteForce{},
+		"ILP":        ILP{},
+		"MFI-walk":   MaxFreqItemSets{Backend: BackendTwoPhaseWalk},
+		"MFI-bottom": MaxFreqItemSets{Backend: BackendBottomUpWalk},
+		"MFI-dfs":    MaxFreqItemSets{Backend: BackendExactDFS},
+	}
+}
+
+func greedySolvers() map[string]Solver {
+	return map[string]Solver{
+		"ConsumeAttr":      ConsumeAttr{},
+		"ConsumeAttrCumul": ConsumeAttrCumul{},
+		"ConsumeQueries":   ConsumeQueries{},
+	}
+}
+
+func allSolvers() map[string]Solver {
+	out := exactSolvers()
+	for k, v := range greedySolvers() {
+		out[k] = v
+	}
+	return out
+}
+
+func TestExample1AllExactSolversFindOptimum(t *testing.T) {
+	in := example1(t)
+	for name, s := range exactSolvers() {
+		t.Run(name, func(t *testing.T) {
+			sol, err := s.Solve(in)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if sol.Satisfied != 3 {
+				t.Fatalf("satisfied=%d, want 3", sol.Satisfied)
+			}
+			// The unique optimum keeps AC, FourDoor, PowerDoors.
+			if sol.Kept.String() != "110100" {
+				t.Fatalf("kept=%v, want 110100", sol.Kept)
+			}
+			if sol.Kept.Count() != 3 {
+				t.Fatalf("kept %d attrs", sol.Kept.Count())
+			}
+		})
+	}
+}
+
+func TestExample1SolutionValidity(t *testing.T) {
+	in := example1(t)
+	for name, s := range allSolvers() {
+		t.Run(name, func(t *testing.T) {
+			sol, err := s.Solve(in)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !sol.Kept.SubsetOf(in.Tuple) {
+				t.Errorf("kept %v not a subset of tuple %v", sol.Kept, in.Tuple)
+			}
+			if sol.Kept.Count() > in.M {
+				t.Errorf("kept %d attrs, budget %d", sol.Kept.Count(), in.M)
+			}
+			if got := in.Log.Satisfied(sol.Kept); got != sol.Satisfied {
+				t.Errorf("reported %d satisfied, recount %d", sol.Satisfied, got)
+			}
+		})
+	}
+}
+
+// randomInstance builds a random SOC-CB-QL instance.
+func randomInstance(r *rand.Rand) Instance {
+	width := 4 + r.Intn(8)
+	schema := dataset.GenericSchema(width)
+	log := dataset.NewQueryLog(schema)
+	nq := 1 + r.Intn(25)
+	for i := 0; i < nq; i++ {
+		k := 1 + r.Intn(4)
+		if k > width {
+			k = width
+		}
+		q := bitvec.New(width)
+		for q.Count() < k {
+			q.Set(r.Intn(width))
+		}
+		log.Queries = append(log.Queries, q)
+	}
+	tuple := bitvec.New(width)
+	for j := 0; j < width; j++ {
+		if r.Float64() < 0.6 {
+			tuple.Set(j)
+		}
+	}
+	m := r.Intn(width + 2)
+	return Instance{Log: log, Tuple: tuple, M: m}
+}
+
+func TestExactSolversAgreeOnRandomInstances(t *testing.T) {
+	r := rand.New(rand.NewSource(101))
+	brute := BruteForce{}
+	for trial := 0; trial < 120; trial++ {
+		in := randomInstance(r)
+		want, err := brute.Solve(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for name, s := range exactSolvers() {
+			if name == "BruteForce" {
+				continue
+			}
+			sol, err := s.Solve(in)
+			if err != nil {
+				t.Fatalf("trial %d %s: %v", trial, name, err)
+			}
+			if sol.Satisfied != want.Satisfied {
+				t.Fatalf("trial %d %s: satisfied=%d, brute force=%d (m=%d tuple=%v)",
+					trial, name, sol.Satisfied, want.Satisfied, in.M, in.Tuple)
+			}
+			if !sol.Kept.SubsetOf(in.Tuple) || sol.Kept.Count() > in.M {
+				t.Fatalf("trial %d %s: invalid solution %v", trial, name, sol.Kept)
+			}
+		}
+	}
+}
+
+func TestGreedyNeverBeatsOptimalAndIsValid(t *testing.T) {
+	r := rand.New(rand.NewSource(202))
+	brute := BruteForce{}
+	for trial := 0; trial < 120; trial++ {
+		in := randomInstance(r)
+		want, err := brute.Solve(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for name, s := range greedySolvers() {
+			sol, err := s.Solve(in)
+			if err != nil {
+				t.Fatalf("trial %d %s: %v", trial, name, err)
+			}
+			if sol.Satisfied > want.Satisfied {
+				t.Fatalf("trial %d %s: greedy %d beats optimum %d",
+					trial, name, sol.Satisfied, want.Satisfied)
+			}
+			if !sol.Kept.SubsetOf(in.Tuple) || sol.Kept.Count() > in.M {
+				t.Fatalf("trial %d %s: invalid solution", trial, name)
+			}
+			if got := in.Log.Satisfied(sol.Kept); got != sol.Satisfied {
+				t.Fatalf("trial %d %s: satisfied miscounted", trial, name)
+			}
+		}
+	}
+}
+
+func TestGreedyUsesFullBudget(t *testing.T) {
+	// Greedy solvers should not leave budget unused when attributes remain.
+	r := rand.New(rand.NewSource(303))
+	for trial := 0; trial < 50; trial++ {
+		in := randomInstance(r)
+		wantKeep := in.M
+		if c := in.Tuple.Count(); c < wantKeep {
+			wantKeep = c
+		}
+		for name, s := range greedySolvers() {
+			sol, err := s.Solve(in)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if sol.Kept.Count() != wantKeep {
+				t.Fatalf("trial %d %s: kept %d, budget allows %d",
+					trial, name, sol.Kept.Count(), wantKeep)
+			}
+		}
+	}
+}
+
+func TestCliqueReduction(t *testing.T) {
+	// Theorem 1: a compression with m=r attributes satisfies r(r−1)/2 queries
+	// iff the graph has an r-clique. Plant one and verify all exact solvers
+	// find it.
+	g, _ := gen.PlantedCliqueGraph(7, 12, 4, 0.15)
+	log, tuple := gen.CliqueInstance(g)
+	in := Instance{Log: log, Tuple: tuple, M: 4}
+	for name, s := range exactSolvers() {
+		sol, err := s.Solve(in)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if sol.Satisfied < 4*3/2 {
+			t.Errorf("%s: satisfied=%d, want ≥ 6 (planted 4-clique)", name, sol.Satisfied)
+		}
+	}
+}
+
+func TestEdgeCases(t *testing.T) {
+	schema := dataset.GenericSchema(5)
+	emptyLog := dataset.NewQueryLog(schema)
+	logWithEmptyQuery := dataset.NewQueryLog(schema)
+	if err := logWithEmptyQuery.Append(bitvec.New(5)); err != nil {
+		t.Fatal(err)
+	}
+	if err := logWithEmptyQuery.Append(bitvec.FromIndices(5, 0, 1)); err != nil {
+		t.Fatal(err)
+	}
+	tuple := bitvec.FromIndices(5, 0, 1, 3)
+
+	cases := []struct {
+		name string
+		in   Instance
+		want int
+	}{
+		{"empty log", Instance{Log: emptyLog, Tuple: tuple, M: 2}, 0},
+		{"m=0 counts empty queries", Instance{Log: logWithEmptyQuery, Tuple: tuple, M: 0}, 1},
+		{"m covers everything", Instance{Log: logWithEmptyQuery, Tuple: tuple, M: 5}, 2},
+		{"zero tuple", Instance{Log: logWithEmptyQuery, Tuple: bitvec.New(5), M: 3}, 1},
+	}
+	for _, tc := range cases {
+		for name, s := range allSolvers() {
+			sol, err := s.Solve(tc.in)
+			if err != nil {
+				t.Fatalf("%s/%s: %v", tc.name, name, err)
+			}
+			isExact := false
+			for en := range exactSolvers() {
+				if en == name {
+					isExact = true
+				}
+			}
+			if isExact && sol.Satisfied != tc.want {
+				t.Errorf("%s/%s: satisfied=%d, want %d", tc.name, name, sol.Satisfied, tc.want)
+			}
+			if !isExact && sol.Satisfied > tc.want {
+				t.Errorf("%s/%s: greedy %d beats optimum %d", tc.name, name, sol.Satisfied, tc.want)
+			}
+		}
+	}
+}
+
+func TestValidationErrors(t *testing.T) {
+	schema := dataset.GenericSchema(4)
+	log := dataset.NewQueryLog(schema)
+	bad := []Instance{
+		{Log: nil, Tuple: bitvec.New(4), M: 1},
+		{Log: log, Tuple: bitvec.New(3), M: 1},
+		{Log: log, Tuple: bitvec.New(4), M: -1},
+	}
+	for i, in := range bad {
+		for name, s := range allSolvers() {
+			if _, err := s.Solve(in); err == nil {
+				t.Errorf("case %d: %s accepted invalid instance", i, name)
+			}
+		}
+	}
+}
+
+func TestMFIPreprocessingMatchesDirectSolve(t *testing.T) {
+	r := rand.New(rand.NewSource(404))
+	for trial := 0; trial < 20; trial++ {
+		in := randomInstance(r)
+		s := MaxFreqItemSets{Backend: BackendExactDFS}
+		direct, err := s.Solve(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		prep, err := s.Preprocess(in.Log)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Solve several tuples against the same prep, including the original.
+		for probe := 0; probe < 3; probe++ {
+			tuple := in.Tuple
+			if probe > 0 {
+				tuple = bitvec.New(in.Log.Width())
+				for j := 0; j < tuple.Width(); j++ {
+					if r.Float64() < 0.5 {
+						tuple.Set(j)
+					}
+				}
+			}
+			want, err := BruteForce{}.Solve(Instance{Log: in.Log, Tuple: tuple, M: in.M})
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := prep.SolvePrepared(tuple, in.M)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got.Satisfied != want.Satisfied {
+				t.Fatalf("trial %d probe %d: prepared %d, brute %d",
+					trial, probe, got.Satisfied, want.Satisfied)
+			}
+		}
+		if direct.Satisfied != in.Log.Satisfied(direct.Kept) {
+			t.Fatal("direct solve inconsistent")
+		}
+	}
+}
+
+func TestMFIFixedThreshold(t *testing.T) {
+	in := example1(t)
+	// Optimum satisfies 3 of 5 queries. A fixed threshold of 3 still finds it.
+	s := MaxFreqItemSets{Backend: BackendExactDFS, Threshold: 3}
+	sol, err := s.Solve(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Satisfied != 3 {
+		t.Fatalf("threshold 3: satisfied=%d", sol.Satisfied)
+	}
+	// A fixed threshold of 4 exceeds the optimum: the paper says the mining
+	// returns empty; our solver falls back to the frequency-greedy choice.
+	s.Threshold = 4
+	sol, err = s.Solve(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Satisfied > 3 {
+		t.Fatalf("fallback beats optimum: %d", sol.Satisfied)
+	}
+	if sol.Kept.Count() != 3 {
+		t.Fatalf("fallback kept %d attrs", sol.Kept.Count())
+	}
+}
+
+func TestMFIAdaptiveInitialThreshold(t *testing.T) {
+	in := example1(t)
+	s := MaxFreqItemSets{Backend: BackendExactDFS, InitialThreshold: 2}
+	sol, err := s.Solve(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Satisfied != 3 || sol.Stats.Threshold != 2 {
+		t.Fatalf("satisfied=%d threshold=%d", sol.Satisfied, sol.Stats.Threshold)
+	}
+}
+
+func TestMFIDeterministicWithSeed(t *testing.T) {
+	in := example1(t)
+	a, err := MaxFreqItemSets{Seed: 5}.Solve(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := MaxFreqItemSets{Seed: 5}.Solve(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Kept.Equal(b.Kept) || a.Satisfied != b.Satisfied {
+		t.Error("same seed, different solutions")
+	}
+}
+
+func TestILPStatsAndOptimalFlag(t *testing.T) {
+	in := example1(t)
+	sol, err := ILP{}.Solve(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sol.Optimal {
+		t.Error("ILP solution not flagged optimal")
+	}
+	if sol.Stats.Nodes < 1 {
+		t.Errorf("nodes=%d", sol.Stats.Nodes)
+	}
+}
+
+func TestBruteForceCandidateCount(t *testing.T) {
+	in := example1(t)
+	sol, err := BruteForce{}.Solve(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// C(5,3) = 10 candidates (tuple has 5 attributes).
+	if sol.Stats.Candidates != 10 {
+		t.Errorf("candidates=%d, want 10", sol.Stats.Candidates)
+	}
+}
+
+func TestSolverNames(t *testing.T) {
+	want := map[string]string{
+		"BruteForce-SOC-CB-QL":       BruteForce{}.Name(),
+		"ILP-SOC-CB-QL":              ILP{}.Name(),
+		"MaxFreqItemSets-SOC-CB-QL":  MaxFreqItemSets{}.Name(),
+		"ConsumeAttr-SOC-CB-QL":      ConsumeAttr{}.Name(),
+		"ConsumeAttrCumul-SOC-CB-QL": ConsumeAttrCumul{}.Name(),
+		"ConsumeQueries-SOC-CB-QL":   ConsumeQueries{}.Name(),
+	}
+	for expected, got := range want {
+		if got != expected {
+			t.Errorf("Name()=%q, want %q", got, expected)
+		}
+	}
+}
+
+func TestBackendString(t *testing.T) {
+	for b, want := range map[MiningBackend]string{
+		BackendTwoPhaseWalk: "two-phase-walk",
+		BackendBottomUpWalk: "bottom-up-walk",
+		BackendExactDFS:     "exact-dfs",
+		MiningBackend(9):    "unknown",
+	} {
+		if b.String() != want {
+			t.Errorf("String()=%q, want %q", b.String(), want)
+		}
+	}
+}
+
+func TestAttrNames(t *testing.T) {
+	in := example1(t)
+	sol, err := BruteForce{}.Solve(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := sol.AttrNames(in.Log.Schema)
+	if len(names) != 3 || names[0] != "AC" || names[1] != "FourDoor" || names[2] != "PowerDoors" {
+		t.Errorf("names=%v", names)
+	}
+}
+
+// TestRealisticCarsInstance is an integration test on the generated cars
+// data at small scale: all exact solvers must agree.
+func TestRealisticCarsInstance(t *testing.T) {
+	tab := gen.Cars(1, 500)
+	log := gen.RealWorkload(tab, 2, 60)
+	tuples := gen.PickTuples(tab, 3, 5)
+	for _, m := range []int{4, 6} {
+		for _, tuple := range tuples {
+			in := Instance{Log: log, Tuple: tuple, M: m}
+			want, err := BruteForce{}.Solve(in)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for name, s := range exactSolvers() {
+				sol, err := s.Solve(in)
+				if err != nil {
+					t.Fatalf("%s: %v", name, err)
+				}
+				if sol.Satisfied != want.Satisfied {
+					t.Fatalf("%s: %d != brute %d (m=%d)", name, sol.Satisfied, want.Satisfied, m)
+				}
+			}
+		}
+	}
+}
+
+// TestTheorem1Equivalence checks the full NP-completeness correspondence on
+// random graphs: the optimal SOC value at budget r equals the maximum number
+// of edges among r-vertex induced subgraphs, and it reaches r(r−1)/2 exactly
+// when an r-clique exists.
+func TestTheorem1Equivalence(t *testing.T) {
+	r := rand.New(rand.NewSource(555))
+	for trial := 0; trial < 25; trial++ {
+		n := 5 + r.Intn(5)
+		g := gen.Graph{N: n}
+		adj := make([][]bool, n)
+		for i := range adj {
+			adj[i] = make([]bool, n)
+		}
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				if r.Float64() < 0.5 {
+					adj[i][j] = true
+					g.Edges = append(g.Edges, [2]int{i, j})
+				}
+			}
+		}
+		if len(g.Edges) == 0 {
+			continue
+		}
+		log, tuple := gen.CliqueInstance(g)
+		budget := 2 + r.Intn(n-1)
+
+		sol, err := BruteForce{}.Solve(Instance{Log: log, Tuple: tuple, M: budget})
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		// Direct maximum over induced subgraphs of size ≤ budget.
+		best := 0
+		hasClique := false
+		for mask := 0; mask < 1<<n; mask++ {
+			verts := []int{}
+			for v := 0; v < n; v++ {
+				if mask&(1<<v) != 0 {
+					verts = append(verts, v)
+				}
+			}
+			if len(verts) > budget {
+				continue
+			}
+			edges := 0
+			for a := 0; a < len(verts); a++ {
+				for b := a + 1; b < len(verts); b++ {
+					if adj[verts[a]][verts[b]] {
+						edges++
+					}
+				}
+			}
+			if edges > best {
+				best = edges
+			}
+			if len(verts) == budget && edges == budget*(budget-1)/2 {
+				hasClique = true
+			}
+		}
+		if sol.Satisfied != best {
+			t.Fatalf("trial %d: SOC=%d, max induced edges=%d", trial, sol.Satisfied, best)
+		}
+		if wantFull := budget * (budget - 1) / 2; (sol.Satisfied == wantFull) != hasClique && wantFull > 0 {
+			t.Fatalf("trial %d: clique correspondence broken: satisfied=%d full=%d clique=%v",
+				trial, sol.Satisfied, wantFull, hasClique)
+		}
+	}
+}
+
+func TestIPSolverAgreesWithBruteForce(t *testing.T) {
+	r := rand.New(rand.NewSource(777))
+	for trial := 0; trial < 120; trial++ {
+		in := randomInstance(r)
+		want, err := BruteForce{}.Solve(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := IP{}.Solve(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Satisfied != want.Satisfied {
+			t.Fatalf("trial %d: IP %d != brute %d", trial, got.Satisfied, want.Satisfied)
+		}
+		if !got.Kept.SubsetOf(in.Tuple) || got.Kept.Count() > in.M {
+			t.Fatalf("trial %d: invalid solution", trial)
+		}
+		if !got.Optimal {
+			t.Fatalf("trial %d: not flagged optimal: %+v", trial, got)
+		}
+		if in.M < in.Tuple.Count() && got.Stats.Nodes < 1 {
+			t.Fatalf("trial %d: no nodes recorded: %+v", trial, got)
+		}
+	}
+}
+
+func TestIPSolverExample1(t *testing.T) {
+	in := example1(t)
+	sol, err := IP{}.Solve(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Satisfied != 3 || sol.Kept.String() != "110100" {
+		t.Fatalf("sol=%+v", sol)
+	}
+	if (IP{}).Name() != "IP-SOC-CB-QL" {
+		t.Fatal("name")
+	}
+}
+
+func TestIPSolverEdgeCases(t *testing.T) {
+	schema := dataset.GenericSchema(4)
+	log := dataset.NewQueryLog(schema)
+	if err := log.Append(bitvec.New(4)); err != nil {
+		t.Fatal(err)
+	}
+	sol, err := IP{}.Solve(Instance{Log: log, Tuple: bitvec.New(4), M: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Satisfied != 1 { // the empty query
+		t.Fatalf("satisfied=%d", sol.Satisfied)
+	}
+	if _, err := (IP{}).Solve(Instance{Log: nil, Tuple: bitvec.New(4), M: 1}); err == nil {
+		t.Fatal("nil log accepted")
+	}
+}

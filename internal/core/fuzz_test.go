@@ -1,0 +1,66 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"standout/internal/bitvec"
+	"standout/internal/dataset"
+)
+
+// FuzzExactSolversAgree derives a small instance from the fuzz inputs and
+// cross-checks every exact solver against brute force. Run with
+// `go test -fuzz FuzzExactSolversAgree ./internal/core` to explore; the seed
+// corpus runs in ordinary `go test`.
+func FuzzExactSolversAgree(f *testing.F) {
+	f.Add(int64(1), uint8(5), uint8(6), uint8(2))
+	f.Add(int64(2), uint8(8), uint8(15), uint8(4))
+	f.Add(int64(99), uint8(4), uint8(1), uint8(0))
+	f.Add(int64(7), uint8(10), uint8(20), uint8(10))
+	f.Fuzz(func(t *testing.T, seed int64, width, nq, m uint8) {
+		w := int(width%10) + 2 // 2..11 attributes
+		q := int(nq%20) + 1    // 1..20 queries
+		budget := int(m % 12)  // 0..11
+		r := rand.New(rand.NewSource(seed))
+		log := dataset.NewQueryLog(dataset.GenericSchema(w))
+		for i := 0; i < q; i++ {
+			query := bitvec.New(w)
+			k := 1 + r.Intn(3)
+			if k > w {
+				k = w // a query can demand at most every attribute
+			}
+			for query.Count() < k {
+				query.Set(r.Intn(w))
+			}
+			log.Queries = append(log.Queries, query)
+		}
+		tuple := bitvec.New(w)
+		for j := 0; j < w; j++ {
+			if r.Intn(2) == 0 {
+				tuple.Set(j)
+			}
+		}
+		in := Instance{Log: log, Tuple: tuple, M: budget}
+		want, err := BruteForce{}.Solve(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, s := range []Solver{
+			ILP{},
+			MaxFreqItemSets{Backend: BackendExactDFS},
+			MaxFreqItemSets{Backend: BackendTwoPhaseWalk},
+		} {
+			sol, err := s.Solve(in)
+			if err != nil {
+				t.Fatalf("%s: %v", s.Name(), err)
+			}
+			if sol.Satisfied != want.Satisfied {
+				t.Fatalf("%s: %d != brute %d (w=%d q=%d m=%d seed=%d)",
+					s.Name(), sol.Satisfied, want.Satisfied, w, q, budget, seed)
+			}
+			if !sol.Kept.SubsetOf(tuple) || sol.Kept.Count() > budget {
+				t.Fatalf("%s: invalid solution", s.Name())
+			}
+		}
+	})
+}

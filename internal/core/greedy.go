@@ -1,0 +1,187 @@
+package core
+
+import (
+	"sort"
+
+	"standout/internal/bitvec"
+)
+
+// The three greedy heuristics of §IV.D. None is guaranteed optimal; the
+// paper's evaluation (and ours, Figs 7/9) shows ConsumeAttr and
+// ConsumeAttrCumul are near-optimal in practice while ConsumeQueries is both
+// slower and worse.
+
+// ConsumeAttr selects the m attributes of the tuple with the highest
+// individual frequencies in the query log.
+type ConsumeAttr struct{}
+
+// Name implements Solver.
+func (ConsumeAttr) Name() string { return "ConsumeAttr-SOC-CB-QL" }
+
+// Solve implements Solver.
+func (ConsumeAttr) Solve(in Instance) (Solution, error) {
+	n, err := normalize(in)
+	if err != nil {
+		return Solution{}, err
+	}
+	if n.exact {
+		sol := n.full()
+		sol.Optimal = true
+		return sol, nil
+	}
+	// Per §IV.D the frequencies come from the full query log, not just the
+	// queries the tuple can satisfy.
+	freq := in.Log.AttrFrequencies()
+	picked := topByFreq(n.ones, freq, n.m)
+	kept := n.keep(picked)
+	return Solution{Kept: kept, Satisfied: n.score(kept)}, nil
+}
+
+// topByFreq returns the k attributes among candidates with the highest
+// freq values, ties broken by lower attribute index.
+func topByFreq(candidates []int, freq []int, k int) []int {
+	sorted := append([]int(nil), candidates...)
+	sort.SliceStable(sorted, func(a, b int) bool { return freq[sorted[a]] > freq[sorted[b]] })
+	return sorted[:k]
+}
+
+// ConsumeAttrCumul is the cumulative variant: it starts from the attribute
+// with the highest individual frequency and repeatedly adds the attribute
+// co-occurring most frequently with everything selected so far (the number
+// of log queries containing all selected attributes plus the candidate).
+// When no remaining attribute co-occurs with the current selection, the
+// remaining slots fall back to individual frequency order.
+type ConsumeAttrCumul struct{}
+
+// Name implements Solver.
+func (ConsumeAttrCumul) Name() string { return "ConsumeAttrCumul-SOC-CB-QL" }
+
+// Solve implements Solver.
+func (ConsumeAttrCumul) Solve(in Instance) (Solution, error) {
+	n, err := normalize(in)
+	if err != nil {
+		return Solution{}, err
+	}
+	if n.exact {
+		return n.full(), nil
+	}
+	freq := in.Log.AttrFrequencies()
+
+	selected := bitvec.New(in.Tuple.Width())
+	remaining := append([]int(nil), n.ones...)
+	var picked []int
+
+	pickBest := func(score func(j int) int) int {
+		bestIdx, bestScore, bestFreq := -1, -1, -1
+		for i, j := range remaining {
+			s := score(j)
+			if s > bestScore || (s == bestScore && freq[j] > bestFreq) {
+				bestIdx, bestScore, bestFreq = i, s, freq[j]
+			}
+		}
+		return bestIdx
+	}
+
+	for len(picked) < n.m {
+		var idx int
+		if len(picked) == 0 {
+			idx = pickBest(func(j int) int { return freq[j] })
+		} else {
+			idx = pickBest(func(j int) int {
+				withJ := selected.Clone()
+				withJ.Set(j)
+				// Co-occurrence of the selected set with j across the log.
+				count := 0
+				for _, q := range in.Log.Queries {
+					if withJ.SubsetOf(q) {
+						count++
+					}
+				}
+				return count
+			})
+		}
+		j := remaining[idx]
+		picked = append(picked, j)
+		selected.Set(j)
+		remaining = append(remaining[:idx], remaining[idx+1:]...)
+	}
+
+	kept := n.keep(picked)
+	return Solution{Kept: kept, Satisfied: n.score(kept)}, nil
+}
+
+// ConsumeQueries greedily swallows whole queries: it repeatedly picks the
+// satisfiable query introducing the fewest new attributes and retains those
+// attributes, until m attributes are selected (the last query may be taken
+// partially). §IV.D; the paper's evaluation shows it is generally a bad
+// choice, which Figs 7–10 of our harness reproduce.
+type ConsumeQueries struct{}
+
+// Name implements Solver.
+func (ConsumeQueries) Name() string { return "ConsumeQueries-SOC-CB-QL" }
+
+// Solve implements Solver.
+func (ConsumeQueries) Solve(in Instance) (Solution, error) {
+	n, err := normalize(in)
+	if err != nil {
+		return Solution{}, err
+	}
+	if n.exact {
+		return n.full(), nil
+	}
+
+	selected := bitvec.New(in.Tuple.Width())
+	count := 0
+	used := make([]bool, n.log.Size())
+
+	for count < n.m {
+		// Pass over the whole workload to find the query adding fewest new
+		// attributes — this full rescan per iteration is what makes
+		// ConsumeQueries the slowest greedy in Fig 10.
+		bestQ, bestNew := -1, -1
+		for qi, q := range n.log.Queries {
+			if used[qi] {
+				continue
+			}
+			nw := q.AndNot(selected).Count()
+			if bestQ < 0 || nw < bestNew {
+				bestQ, bestNew = qi, nw
+			}
+		}
+		if bestQ < 0 {
+			break // every satisfiable query already consumed
+		}
+		used[bestQ] = true
+		for _, j := range n.log.Queries[bestQ].AndNot(selected).Ones() {
+			if count >= n.m {
+				break
+			}
+			selected.Set(j)
+			count++
+		}
+	}
+
+	// Left-over budget (fewer satisfiable queries than budget): fill with the
+	// most frequent unselected tuple attributes, never hurting the solution.
+	if count < n.m {
+		freq := in.Log.AttrFrequencies()
+		var rest []int
+		for _, j := range n.ones {
+			if !selected.Get(j) {
+				rest = append(rest, j)
+			}
+		}
+		for _, j := range topByFreq(rest, freq, min(n.m-count, len(rest))) {
+			selected.Set(j)
+		}
+	}
+
+	return Solution{Kept: selected, Satisfied: n.score(selected)}, nil
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,25 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestILPWithPresolveAgrees(t *testing.T) {
+	r := rand.New(rand.NewSource(101))
+	for trial := 0; trial < 40; trial++ {
+		in := randomInstance(r)
+		want, err := BruteForce{}.Solve(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sol, err := ILP{Presolve: true}.Solve(in)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if sol.Satisfied != want.Satisfied {
+			t.Fatalf("trial %d: presolved ILP %d != brute %d (nodes=%d)",
+				trial, sol.Satisfied, want.Satisfied, sol.Stats.Nodes)
+		}
+	}
+}

@@ -1,0 +1,139 @@
+// Package core implements the paper's primary contribution: algorithms for
+// Problem SOC-CB-QL ("Stand Out in a Crowd — Conjunctive Boolean — Query
+// Log", §II.A). Given a query log Q of conjunctive Boolean queries, a new
+// tuple t, and a budget m, compute a compression t' of t retaining at most m
+// attributes that maximizes the number of queries retrieving t'.
+//
+// Five solvers are provided, mirroring §IV:
+//
+//   - BruteForce        — exact, enumerates all C(|t|, m) compressions (§IV.A)
+//   - ILP               — exact, the paper's integer linear program solved by
+//     branch-and-bound over an LP relaxation (§IV.B)
+//   - MaxFreqItemSets   — exact via maximal-frequent-itemset mining on the
+//     complemented query log (§IV.C), with a random-walk
+//     or exact-DFS mining backend and preprocessing
+//   - ConsumeAttr       — greedy on attribute frequencies (§IV.D)
+//   - ConsumeAttrCumul  — greedy on cumulative co-occurrence (§IV.D)
+//   - ConsumeQueries    — greedy on cheapest-next-query (§IV.D)
+//
+// All satisfy the Solver interface; the exact ones return provably optimal
+// solutions, the greedy ones return heuristic solutions quickly.
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"standout/internal/bitvec"
+	"standout/internal/dataset"
+)
+
+// Instance is one SOC-CB-QL problem: choose at most M attributes of Tuple to
+// retain so that the number of queries in Log retrieving the compressed
+// tuple is maximized.
+type Instance struct {
+	Log   *dataset.QueryLog
+	Tuple bitvec.Vector
+	M     int
+}
+
+// Validate checks structural consistency.
+func (in Instance) Validate() error {
+	if in.Log == nil {
+		return errors.New("core: instance has nil query log")
+	}
+	if err := in.Log.Validate(); err != nil {
+		return err
+	}
+	if in.Tuple.Width() != in.Log.Width() {
+		return fmt.Errorf("core: tuple width %d, query log width %d",
+			in.Tuple.Width(), in.Log.Width())
+	}
+	if in.M < 0 {
+		return fmt.Errorf("core: negative budget m=%d", in.M)
+	}
+	return nil
+}
+
+// Solution is a compressed tuple and its visibility.
+type Solution struct {
+	// Kept is the compressed tuple t' (a subset of the instance tuple with at
+	// most m attributes).
+	Kept bitvec.Vector
+	// Satisfied is the number of log queries that retrieve Kept.
+	Satisfied int
+	// Optimal records whether the producing solver guarantees optimality.
+	Optimal bool
+	// Stats carries solver-specific diagnostics.
+	Stats Stats
+}
+
+// Stats reports solver work; fields are zero when not applicable.
+type Stats struct {
+	Candidates int // compressions evaluated (brute force, MFI enumeration)
+	Nodes      int // branch-and-bound nodes (ILP)
+	MFIs       int // maximal frequent itemsets considered (MFI)
+	Threshold  int // final support threshold used (MFI)
+}
+
+// Solver is the common interface of all SOC-CB-QL algorithms.
+type Solver interface {
+	// Name returns the paper's name for the algorithm, e.g. "ILP-SOC-CB-QL".
+	Name() string
+	// Solve computes a compression for the instance. Exact solvers return an
+	// optimal Solution; greedy solvers a heuristic one.
+	Solve(in Instance) (Solution, error)
+}
+
+// AttrNames renders the kept attributes of a solution against a schema,
+// convenience for presenting results.
+func (s Solution) AttrNames(schema *dataset.Schema) []string {
+	return schema.Names(s.Kept)
+}
+
+// normalized holds the reduced form of an instance shared by all solvers:
+// queries not contained in the tuple are dropped (no compression can ever
+// satisfy them — the tuple itself cannot), and the effective budget is
+// clamped to the tuple size.
+type normalized struct {
+	in    Instance
+	log   *dataset.QueryLog // queries ⊆ tuple
+	ones  []int             // indices of the tuple's attributes
+	m     int               // min(M, |tuple|)
+	exact bool              // true when the whole tuple fits the budget
+}
+
+func normalize(in Instance) (normalized, error) {
+	if err := in.Validate(); err != nil {
+		return normalized{}, err
+	}
+	n := normalized{
+		in:   in,
+		log:  in.Log.Restrict(in.Tuple),
+		ones: in.Tuple.Ones(),
+		m:    in.M,
+	}
+	if n.m >= len(n.ones) {
+		n.m = len(n.ones)
+		n.exact = true
+	}
+	return n, nil
+}
+
+// full returns the trivial solution that keeps the entire tuple.
+func (n normalized) full() Solution {
+	kept := n.in.Tuple.Clone()
+	return Solution{Kept: kept, Satisfied: n.log.Size(), Optimal: true}
+}
+
+// score counts the queries satisfied by a candidate compression. The count
+// over the restricted log equals the count over the original log because
+// dropped queries are unsatisfiable by any subset of the tuple.
+func (n normalized) score(kept bitvec.Vector) int {
+	return n.log.Satisfied(kept)
+}
+
+// keep materializes a compression from a subset of tuple-attribute indices.
+func (n normalized) keep(attrs []int) bitvec.Vector {
+	return bitvec.FromIndices(n.in.Tuple.Width(), attrs...)
+}

@@ -1,0 +1,182 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"standout/internal/bitvec"
+	"standout/internal/dataset"
+)
+
+// Invariant tests: structural properties every correct solver must satisfy,
+// checked on random instances.
+
+// TestOptimalMonotoneInBudget: the optimal satisfied count never decreases
+// as the budget m grows (any m-compression is also an (m+1)-compression).
+func TestOptimalMonotoneInBudget(t *testing.T) {
+	r := rand.New(rand.NewSource(808))
+	for trial := 0; trial < 40; trial++ {
+		in := randomInstance(r)
+		prev := -1
+		for m := 0; m <= in.Tuple.Count()+1; m++ {
+			sol, err := BruteForce{}.Solve(Instance{Log: in.Log, Tuple: in.Tuple, M: m})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if sol.Satisfied < prev {
+				t.Fatalf("trial %d: optimal dropped from %d to %d at m=%d",
+					trial, prev, sol.Satisfied, m)
+			}
+			prev = sol.Satisfied
+		}
+	}
+}
+
+// TestUnsatisfiableQueriesIrrelevant: adding queries the tuple cannot
+// satisfy never changes the exact solvers' satisfied count — even "mixed"
+// queries that mention attributes the tuple has. Greedy solvers are checked
+// only against purely-outside pollution: per §IV.D they rank attributes by
+// FULL-log frequency, so a mixed unsatisfiable query may legitimately sway
+// their (heuristic) choice.
+func TestUnsatisfiableQueriesIrrelevant(t *testing.T) {
+	r := rand.New(rand.NewSource(809))
+	for trial := 0; trial < 30; trial++ {
+		in := randomInstance(r)
+		if in.Tuple.Count() == in.Log.Width() {
+			continue // no attribute outside the tuple to poison with
+		}
+		missing := in.Tuple.Not().Ones()[0]
+
+		pure := dataset.NewQueryLog(in.Log.Schema)
+		pure.Queries = append(pure.Queries, in.Log.Queries...)
+		mixed := dataset.NewQueryLog(in.Log.Schema)
+		mixed.Queries = append(mixed.Queries, in.Log.Queries...)
+		for i := 0; i < 5; i++ {
+			q := bitvec.FromIndices(in.Log.Width(), missing)
+			pure.Queries = append(pure.Queries, q)
+			mq := q.Clone()
+			if i%2 == 0 && in.Tuple.Count() > 0 {
+				mq.Set(in.Tuple.Ones()[0])
+			}
+			mixed.Queries = append(mixed.Queries, mq)
+		}
+
+		for name, s := range allSolvers() {
+			a, err := s.Solve(in)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := s.Solve(Instance{Log: pure, Tuple: in.Tuple, M: in.M})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if a.Satisfied != b.Satisfied {
+				t.Fatalf("trial %d %s: outside-only pollution changed count %d → %d",
+					trial, name, a.Satisfied, b.Satisfied)
+			}
+		}
+		for name, s := range exactSolvers() {
+			a, err := s.Solve(in)
+			if err != nil {
+				t.Fatal(err)
+			}
+			c, err := s.Solve(Instance{Log: mixed, Tuple: in.Tuple, M: in.M})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if a.Satisfied != c.Satisfied {
+				t.Fatalf("trial %d %s: mixed pollution changed exact count %d → %d",
+					trial, name, a.Satisfied, c.Satisfied)
+			}
+		}
+	}
+}
+
+// TestDuplicatedLogDoublesOptimum: duplicating every query exactly doubles
+// the optimal satisfied count.
+func TestDuplicatedLogDoublesOptimum(t *testing.T) {
+	r := rand.New(rand.NewSource(810))
+	for trial := 0; trial < 30; trial++ {
+		in := randomInstance(r)
+		doubled := dataset.NewQueryLog(in.Log.Schema)
+		doubled.Queries = append(doubled.Queries, in.Log.Queries...)
+		doubled.Queries = append(doubled.Queries, in.Log.Queries...)
+		for name, s := range exactSolvers() {
+			a, err := s.Solve(in)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := s.Solve(Instance{Log: doubled, Tuple: in.Tuple, M: in.M})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if b.Satisfied != 2*a.Satisfied {
+				t.Fatalf("trial %d %s: doubled log gives %d, want %d",
+					trial, name, b.Satisfied, 2*a.Satisfied)
+			}
+		}
+	}
+}
+
+// TestAttributePermutationInvariance: relabeling attributes permutes the
+// solution but never changes the optimal count.
+func TestAttributePermutationInvariance(t *testing.T) {
+	r := rand.New(rand.NewSource(811))
+	for trial := 0; trial < 30; trial++ {
+		in := randomInstance(r)
+		w := in.Log.Width()
+		perm := r.Perm(w)
+		permuteVec := func(v bitvec.Vector) bitvec.Vector {
+			out := bitvec.New(w)
+			for _, j := range v.Ones() {
+				out.Set(perm[j])
+			}
+			return out
+		}
+		plog := dataset.NewQueryLog(dataset.GenericSchema(w))
+		for _, q := range in.Log.Queries {
+			plog.Queries = append(plog.Queries, permuteVec(q))
+		}
+		pin := Instance{Log: plog, Tuple: permuteVec(in.Tuple), M: in.M}
+		for name, s := range exactSolvers() {
+			a, err := s.Solve(in)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := s.Solve(pin)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if a.Satisfied != b.Satisfied {
+				t.Fatalf("trial %d %s: permutation changed optimum %d → %d",
+					trial, name, a.Satisfied, b.Satisfied)
+			}
+		}
+	}
+}
+
+// TestSupersetTupleNeverWorse: giving the seller a product with strictly
+// more attributes can never reduce optimal visibility.
+func TestSupersetTupleNeverWorse(t *testing.T) {
+	r := rand.New(rand.NewSource(812))
+	for trial := 0; trial < 30; trial++ {
+		in := randomInstance(r)
+		if in.Tuple.Count() == in.Log.Width() {
+			continue
+		}
+		richer := in.Tuple.Clone()
+		richer.Set(richer.Not().Ones()[0])
+		a, err := BruteForce{}.Solve(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := BruteForce{}.Solve(Instance{Log: in.Log, Tuple: richer, M: in.M})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if b.Satisfied < a.Satisfied {
+			t.Fatalf("trial %d: richer tuple reduced optimum %d → %d",
+				trial, a.Satisfied, b.Satisfied)
+		}
+	}
+}

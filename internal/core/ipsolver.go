@@ -1,0 +1,115 @@
+package core
+
+import (
+	"sort"
+
+	"standout/internal/bitvec"
+)
+
+// IP is the exact algorithm for the paper's first, nonlinear integer-program
+// formulation (§IV.B):
+//
+//	maximize  Σᵢ Πⱼ∈qᵢ xⱼ   subject to  Σⱼ xⱼ ≤ m,  xⱼ ∈ {0,1}
+//
+// The product objective cannot be handed to an LP-relaxation solver, so IP
+// performs branch-and-bound directly on the attribute decisions:
+//
+//   - nodes keep or drop one attribute at a time (hottest attributes first);
+//   - the bound counts the queries whose attributes are all kept-or-undecided
+//     and whose undecided attributes fit in the remaining budget — the
+//     tightest bound available without linearizing;
+//   - partial assignments are themselves feasible, supplying incumbents at
+//     every node.
+//
+// IP and ILP always return equally good compressions; the ILP's linearized
+// relaxation usually prunes better on large logs (the reason the paper
+// emphasizes the ILP form: "the integer linear formulation is particularly
+// attractive"), which ablation A7 quantifies.
+type IP struct{}
+
+// Name implements Solver.
+func (IP) Name() string { return "IP-SOC-CB-QL" }
+
+// Solve implements Solver.
+func (IP) Solve(in Instance) (Solution, error) {
+	n, err := normalize(in)
+	if err != nil {
+		return Solution{}, err
+	}
+	if n.exact {
+		return n.full(), nil
+	}
+
+	// Deduplicate queries; weights preserve the objective.
+	log, weights := n.log.Dedup()
+
+	// Branch order: attributes by descending weighted frequency.
+	freq := make(map[int]int)
+	for qi, q := range log.Queries {
+		for _, j := range q.Ones() {
+			freq[j] += weights[qi]
+		}
+	}
+	order := append([]int(nil), n.ones...)
+	sort.SliceStable(order, func(a, b int) bool { return freq[order[a]] > freq[order[b]] })
+
+	kept := bitvec.New(in.Tuple.Width())
+	dropped := bitvec.New(in.Tuple.Width())
+	best := Solution{Optimal: true, Satisfied: -1}
+	nodes := 0
+
+	evaluate := func() int {
+		sat := 0
+		for qi, q := range log.Queries {
+			if q.SubsetOf(kept) {
+				sat += weights[qi]
+			}
+		}
+		return sat
+	}
+	bound := func(used int) int {
+		remaining := n.m - used
+		total := 0
+		for qi, q := range log.Queries {
+			if q.Intersects(dropped) {
+				continue
+			}
+			if q.AndNot(kept).Count() <= remaining {
+				total += weights[qi]
+			}
+		}
+		return total
+	}
+
+	var rec func(pos, used int)
+	rec = func(pos, used int) {
+		nodes++
+		if sat := evaluate(); sat > best.Satisfied {
+			best.Kept = kept.Clone()
+			best.Satisfied = sat
+		}
+		if pos == len(order) || used == n.m {
+			return
+		}
+		if bound(used) <= best.Satisfied {
+			return
+		}
+		j := order[pos]
+		if used < n.m {
+			kept.Set(j)
+			rec(pos+1, used+1)
+			kept.Clear(j)
+		}
+		dropped.Set(j)
+		rec(pos+1, used)
+		dropped.Clear(j)
+	}
+	rec(0, 0)
+
+	if best.Satisfied < 0 { // empty attribute set
+		best.Kept = kept.Clone()
+		best.Satisfied = evaluate()
+	}
+	best.Stats = Stats{Nodes: nodes}
+	return best, nil
+}

@@ -1,0 +1,204 @@
+package dataset
+
+import (
+	"fmt"
+
+	"standout/internal/bitvec"
+)
+
+// Categorical data model (§II.B): each attribute a_i takes one value from a
+// multi-valued domain Dom_i. A categorical query specifies desired values for
+// a subset of attributes, with conjunctive retrieval semantics. The paper
+// treats this as "a straightforward generalization of Boolean data" (§V);
+// the generalization is made concrete here by two reductions:
+//
+//   - Booleanize: expand every (attribute, value) pair into one Boolean
+//     attribute "attr=value". A categorical tuple sets exactly one bit per
+//     attribute; a query sets one bit per specified attribute. A compression
+//     budget of m categorical attributes equals m Boolean bits because each
+//     categorical attribute contributes at most one set bit to the tuple.
+//
+//   - ReduceForTuple: relative to a fixed new tuple t, a query condition
+//     attr=v either matches t (retaining attr can satisfy it) or cannot ever
+//     be satisfied; matching conditions become required bits on the original
+//     M attributes, non-matching queries are dropped. This yields a smaller
+//     SOC-CB-QL instance of width M.
+
+// CatSchema describes categorical attributes and their domains.
+type CatSchema struct {
+	Attrs   []string
+	Domains [][]string // Domains[i] lists the values of attribute i
+
+	valueIndex []map[string]int
+}
+
+// NewCatSchema validates names/domains and builds value indexes.
+func NewCatSchema(attrs []string, domains [][]string) (*CatSchema, error) {
+	if len(attrs) != len(domains) {
+		return nil, fmt.Errorf("dataset: %d attributes but %d domains", len(attrs), len(domains))
+	}
+	if _, err := NewSchema(attrs); err != nil {
+		return nil, err
+	}
+	cs := &CatSchema{Attrs: attrs, Domains: domains, valueIndex: make([]map[string]int, len(attrs))}
+	for i, dom := range domains {
+		if len(dom) == 0 {
+			return nil, fmt.Errorf("dataset: attribute %q has empty domain", attrs[i])
+		}
+		cs.valueIndex[i] = make(map[string]int, len(dom))
+		for j, v := range dom {
+			if _, dup := cs.valueIndex[i][v]; dup {
+				return nil, fmt.Errorf("dataset: attribute %q has duplicate value %q", attrs[i], v)
+			}
+			cs.valueIndex[i][v] = j
+		}
+	}
+	return cs, nil
+}
+
+// Width returns the number of categorical attributes.
+func (cs *CatSchema) Width() int { return len(cs.Attrs) }
+
+// ValueIndex returns the index of value v in attribute i's domain, or -1.
+func (cs *CatSchema) ValueIndex(i int, v string) int {
+	if j, ok := cs.valueIndex[i][v]; ok {
+		return j
+	}
+	return -1
+}
+
+// CatTuple is a full assignment of one value per categorical attribute,
+// stored as domain indexes.
+type CatTuple []int
+
+// CatQuery specifies desired values for a subset of attributes; -1 means the
+// attribute is unconstrained.
+type CatQuery []int
+
+// Validate checks a tuple's values against the schema's domains.
+func (cs *CatSchema) Validate(t CatTuple) error {
+	if len(t) != cs.Width() {
+		return fmt.Errorf("dataset: tuple has %d values, schema %d attributes", len(t), cs.Width())
+	}
+	for i, v := range t {
+		if v < 0 || v >= len(cs.Domains[i]) {
+			return fmt.Errorf("dataset: attribute %q value index %d out of domain size %d",
+				cs.Attrs[i], v, len(cs.Domains[i]))
+		}
+	}
+	return nil
+}
+
+// ValidateQuery checks a query's values against the schema's domains.
+func (cs *CatSchema) ValidateQuery(q CatQuery) error {
+	if len(q) != cs.Width() {
+		return fmt.Errorf("dataset: query has %d values, schema %d attributes", len(q), cs.Width())
+	}
+	for i, v := range q {
+		if v < -1 || v >= len(cs.Domains[i]) {
+			return fmt.Errorf("dataset: attribute %q query value index %d out of domain size %d",
+				cs.Attrs[i], v, len(cs.Domains[i]))
+		}
+	}
+	return nil
+}
+
+// Retrieves reports whether the query retrieves the full tuple: every
+// constrained attribute matches.
+func (q CatQuery) Retrieves(t CatTuple) bool {
+	for i, v := range q {
+		if v >= 0 && t[i] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// BooleanSchema returns the expanded Boolean schema with one attribute per
+// (attribute, value) pair, named "attr=value", together with the offset of
+// each categorical attribute's first bit.
+func (cs *CatSchema) BooleanSchema() (*Schema, []int) {
+	offsets := make([]int, cs.Width())
+	var names []string
+	for i, dom := range cs.Domains {
+		offsets[i] = len(names)
+		for _, v := range dom {
+			names = append(names, cs.Attrs[i]+"="+v)
+		}
+	}
+	return MustSchema(names), offsets
+}
+
+// BooleanizeTuple expands a categorical tuple into the Boolean schema:
+// exactly one bit set per attribute.
+func (cs *CatSchema) BooleanizeTuple(t CatTuple, offsets []int, width int) bitvec.Vector {
+	v := bitvec.New(width)
+	for i, val := range t {
+		v.Set(offsets[i] + val)
+	}
+	return v
+}
+
+// BooleanizeQuery expands a categorical query into the Boolean schema: one
+// bit per constrained attribute.
+func (cs *CatSchema) BooleanizeQuery(q CatQuery, offsets []int, width int) bitvec.Vector {
+	v := bitvec.New(width)
+	for i, val := range q {
+		if val >= 0 {
+			v.Set(offsets[i] + val)
+		}
+	}
+	return v
+}
+
+// CatLog is a workload of categorical queries.
+type CatLog struct {
+	Schema  *CatSchema
+	Queries []CatQuery
+}
+
+// Size returns the number of categorical queries.
+func (cl *CatLog) Size() int { return len(cl.Queries) }
+
+// Booleanize converts the categorical log and a new tuple into an equivalent
+// Boolean SOC-CB-QL instance over the expanded (attr=value) schema.
+func (cl *CatLog) Booleanize(t CatTuple) (*QueryLog, bitvec.Vector, *Schema) {
+	schema, offsets := cl.Schema.BooleanSchema()
+	log := NewQueryLog(schema)
+	for _, q := range cl.Queries {
+		log.Queries = append(log.Queries,
+			cl.Schema.BooleanizeQuery(q, offsets, schema.Width()))
+	}
+	bt := cl.Schema.BooleanizeTuple(t, offsets, schema.Width())
+	return log, bt, schema
+}
+
+// ReduceForTuple converts the categorical instance into a width-M Boolean
+// SOC-CB-QL instance relative to the new tuple t: each query becomes the set
+// of attributes it constrains, and queries constraining any attribute to a
+// value different from t's are dropped (no compression of t can ever satisfy
+// them). The returned slice maps reduced-query index to original index.
+func (cl *CatLog) ReduceForTuple(t CatTuple) (*QueryLog, []int) {
+	schema := MustSchema(cl.Schema.Attrs)
+	log := NewQueryLog(schema)
+	var origin []int
+	for qi, q := range cl.Queries {
+		v := bitvec.New(schema.Width())
+		ok := true
+		for i, val := range q {
+			if val < 0 {
+				continue
+			}
+			if t[i] != val {
+				ok = false
+				break
+			}
+			v.Set(i)
+		}
+		if ok {
+			log.Queries = append(log.Queries, v)
+			origin = append(origin, qi)
+		}
+	}
+	return log, origin
+}

@@ -1,0 +1,358 @@
+// Package dataset defines the data model of the library: Boolean product
+// tables and conjunctive query logs over a named attribute schema, together
+// with the categorical and numeric data models of §II.B of the paper and
+// their reductions to the Boolean model (§V).
+//
+// A Table holds the existing products D ("the competition"); a QueryLog holds
+// the workload Q of past buyer queries. Both are collections of bit vectors
+// over the same Schema, and the paper's SOC-CB-D variant exploits exactly this
+// symmetry: a database is solved by treating its rows as queries.
+package dataset
+
+import (
+	"fmt"
+	"sort"
+
+	"standout/internal/bitvec"
+)
+
+// Schema names the Boolean attributes a_0..a_{M-1} of a table or query log.
+type Schema struct {
+	attrs []string
+	index map[string]int
+}
+
+// NewSchema builds a schema from attribute names. Names must be non-empty and
+// unique.
+func NewSchema(attrs []string) (*Schema, error) {
+	s := &Schema{attrs: append([]string(nil), attrs...), index: make(map[string]int, len(attrs))}
+	for i, a := range attrs {
+		if a == "" {
+			return nil, fmt.Errorf("dataset: empty attribute name at position %d", i)
+		}
+		if _, dup := s.index[a]; dup {
+			return nil, fmt.Errorf("dataset: duplicate attribute name %q", a)
+		}
+		s.index[a] = i
+	}
+	return s, nil
+}
+
+// MustSchema is NewSchema that panics on error, for tests and generators.
+func MustSchema(attrs []string) *Schema {
+	s, err := NewSchema(attrs)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// GenericSchema returns a schema with M attributes named a0..a{M-1}.
+func GenericSchema(m int) *Schema {
+	attrs := make([]string, m)
+	for i := range attrs {
+		attrs[i] = fmt.Sprintf("a%d", i)
+	}
+	return MustSchema(attrs)
+}
+
+// Width returns the number of attributes M.
+func (s *Schema) Width() int { return len(s.attrs) }
+
+// Attrs returns the attribute names in index order. The caller must not
+// modify the returned slice.
+func (s *Schema) Attrs() []string { return s.attrs }
+
+// Name returns the name of attribute i.
+func (s *Schema) Name(i int) string { return s.attrs[i] }
+
+// Index returns the index of the named attribute, or -1 if absent.
+func (s *Schema) Index(name string) int {
+	if i, ok := s.index[name]; ok {
+		return i
+	}
+	return -1
+}
+
+// VectorOf builds a bit vector with the named attributes set.
+// It returns an error if any name is not in the schema.
+func (s *Schema) VectorOf(names ...string) (bitvec.Vector, error) {
+	v := bitvec.New(s.Width())
+	for _, n := range names {
+		i := s.Index(n)
+		if i < 0 {
+			return bitvec.Vector{}, fmt.Errorf("dataset: unknown attribute %q", n)
+		}
+		v.Set(i)
+	}
+	return v, nil
+}
+
+// Names returns the attribute names selected by the set bits of v.
+func (s *Schema) Names(v bitvec.Vector) []string {
+	ones := v.Ones()
+	out := make([]string, len(ones))
+	for i, b := range ones {
+		out[i] = s.attrs[b]
+	}
+	return out
+}
+
+// Table is a collection of Boolean tuples over a shared schema.
+type Table struct {
+	Schema *Schema
+	Rows   []bitvec.Vector
+	IDs    []string // optional row identifiers; nil or len(Rows)
+}
+
+// NewTable returns an empty table over the schema.
+func NewTable(s *Schema) *Table { return &Table{Schema: s} }
+
+// Append adds a row, validating its width. id may be empty.
+func (t *Table) Append(row bitvec.Vector, id string) error {
+	if row.Width() != t.Schema.Width() {
+		return fmt.Errorf("dataset: row width %d does not match schema width %d",
+			row.Width(), t.Schema.Width())
+	}
+	if id != "" && t.IDs == nil && len(t.Rows) > 0 {
+		return fmt.Errorf("dataset: cannot add identified row to unidentified table")
+	}
+	t.Rows = append(t.Rows, row)
+	if id != "" || t.IDs != nil {
+		t.IDs = append(t.IDs, id)
+	}
+	return nil
+}
+
+// Size returns the number of rows N.
+func (t *Table) Size() int { return len(t.Rows) }
+
+// Width returns the number of attributes M.
+func (t *Table) Width() int { return t.Schema.Width() }
+
+// Validate checks internal consistency (row widths, ID count).
+func (t *Table) Validate() error {
+	if t.Schema == nil {
+		return fmt.Errorf("dataset: table has nil schema")
+	}
+	for i, r := range t.Rows {
+		if r.Width() != t.Schema.Width() {
+			return fmt.Errorf("dataset: row %d has width %d, schema width %d",
+				i, r.Width(), t.Schema.Width())
+		}
+	}
+	if t.IDs != nil && len(t.IDs) != len(t.Rows) {
+		return fmt.Errorf("dataset: %d IDs for %d rows", len(t.IDs), len(t.Rows))
+	}
+	return nil
+}
+
+// AttrFrequencies returns, for each attribute, the number of rows in which it
+// is set. This is the statistic driving the ConsumeAttr greedy heuristic.
+func (t *Table) AttrFrequencies() []int {
+	freq := make([]int, t.Width())
+	for _, r := range t.Rows {
+		for _, i := range r.Ones() {
+			freq[i]++
+		}
+	}
+	return freq
+}
+
+// Density returns the fraction of 1-bits in the table, in [0,1].
+func (t *Table) Density() float64 {
+	if t.Size() == 0 || t.Width() == 0 {
+		return 0
+	}
+	ones := 0
+	for _, r := range t.Rows {
+		ones += r.Count()
+	}
+	return float64(ones) / float64(t.Size()*t.Width())
+}
+
+// Complement returns a new table whose rows are the bitwise complements of
+// t's rows — the ~Q construction of §IV.C.
+func (t *Table) Complement() *Table {
+	out := &Table{Schema: t.Schema, Rows: make([]bitvec.Vector, len(t.Rows))}
+	if t.IDs != nil {
+		out.IDs = append([]string(nil), t.IDs...)
+	}
+	for i, r := range t.Rows {
+		out.Rows[i] = r.Not()
+	}
+	return out
+}
+
+// Clone returns a deep copy of the table (schema shared — schemas are
+// immutable after construction).
+func (t *Table) Clone() *Table {
+	out := &Table{Schema: t.Schema, Rows: make([]bitvec.Vector, len(t.Rows))}
+	for i, r := range t.Rows {
+		out.Rows[i] = r.Clone()
+	}
+	if t.IDs != nil {
+		out.IDs = append([]string(nil), t.IDs...)
+	}
+	return out
+}
+
+// DominatedBy returns the indices of rows dominated by v: rows r with r ⊆ v.
+// For SOC-CB-D this is the visibility of a compressed tuple v against D.
+func (t *Table) DominatedBy(v bitvec.Vector) []int {
+	var out []int
+	for i, r := range t.Rows {
+		if r.SubsetOf(v) {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// QueryLog is a workload of conjunctive Boolean queries over a schema.
+// Each query is the set of attributes it requires (retrieval semantics:
+// tuple t is returned for q iff q ⊆ t).
+type QueryLog struct {
+	Schema  *Schema
+	Queries []bitvec.Vector
+}
+
+// NewQueryLog returns an empty query log over the schema.
+func NewQueryLog(s *Schema) *QueryLog { return &QueryLog{Schema: s} }
+
+// Append adds a query, validating its width.
+func (q *QueryLog) Append(query bitvec.Vector) error {
+	if query.Width() != q.Schema.Width() {
+		return fmt.Errorf("dataset: query width %d does not match schema width %d",
+			query.Width(), q.Schema.Width())
+	}
+	q.Queries = append(q.Queries, query)
+	return nil
+}
+
+// Size returns the number of queries S.
+func (q *QueryLog) Size() int { return len(q.Queries) }
+
+// Width returns the number of attributes M.
+func (q *QueryLog) Width() int { return q.Schema.Width() }
+
+// Validate checks internal consistency.
+func (q *QueryLog) Validate() error {
+	if q.Schema == nil {
+		return fmt.Errorf("dataset: query log has nil schema")
+	}
+	for i, r := range q.Queries {
+		if r.Width() != q.Schema.Width() {
+			return fmt.Errorf("dataset: query %d has width %d, schema width %d",
+				i, r.Width(), q.Schema.Width())
+		}
+	}
+	return nil
+}
+
+// Satisfied returns how many queries retrieve the (possibly compressed)
+// tuple v, i.e. |{q ∈ Q : q ⊆ v}| — the objective of SOC-CB-QL.
+func (q *QueryLog) Satisfied(v bitvec.Vector) int {
+	n := 0
+	for _, query := range q.Queries {
+		if query.SubsetOf(v) {
+			n++
+		}
+	}
+	return n
+}
+
+// SatisfiedBy returns the indices of the queries that retrieve v.
+func (q *QueryLog) SatisfiedBy(v bitvec.Vector) []int {
+	var out []int
+	for i, query := range q.Queries {
+		if query.SubsetOf(v) {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// AttrFrequencies returns per-attribute occurrence counts across queries.
+func (q *QueryLog) AttrFrequencies() []int {
+	freq := make([]int, q.Width())
+	for _, r := range q.Queries {
+		for _, i := range r.Ones() {
+			freq[i]++
+		}
+	}
+	return freq
+}
+
+// AsTable reinterprets the query log as a table (used by SOC-CB-D and by the
+// itemset miners, which operate on generic Boolean tables).
+func (q *QueryLog) AsTable() *Table {
+	return &Table{Schema: q.Schema, Rows: q.Queries}
+}
+
+// LogFromTable reinterprets a database as a query log — the reduction that
+// solves SOC-CB-D with any SOC-CB-QL algorithm (§V).
+func LogFromTable(t *Table) *QueryLog {
+	return &QueryLog{Schema: t.Schema, Queries: t.Rows}
+}
+
+// SizeHistogram returns a map from query size (number of attributes
+// specified) to the count of such queries. Useful for workload diagnostics.
+func (q *QueryLog) SizeHistogram() map[int]int {
+	h := make(map[int]int)
+	for _, r := range q.Queries {
+		h[r.Count()]++
+	}
+	return h
+}
+
+// Restrict returns a new query log containing only the queries all of whose
+// attributes appear in the tuple t. Queries that t itself cannot satisfy can
+// never be satisfied by a compression of t, so solvers prune them up front.
+func (q *QueryLog) Restrict(t bitvec.Vector) *QueryLog {
+	out := NewQueryLog(q.Schema)
+	for _, query := range q.Queries {
+		if query.SubsetOf(t) {
+			out.Queries = append(out.Queries, query)
+		}
+	}
+	return out
+}
+
+// Dedup returns a new query log with duplicate queries collapsed and a
+// parallel slice of multiplicities. Solvers that score candidate compressions
+// repeatedly can use the weighted form to cut work on skewed workloads.
+func (q *QueryLog) Dedup() (*QueryLog, []int) {
+	seen := make(map[string]int)
+	out := NewQueryLog(q.Schema)
+	var weights []int
+	for _, query := range q.Queries {
+		k := query.Key()
+		if idx, ok := seen[k]; ok {
+			weights[idx]++
+			continue
+		}
+		seen[k] = len(out.Queries)
+		out.Queries = append(out.Queries, query)
+		weights = append(weights, 1)
+	}
+	return out, weights
+}
+
+// TopAttrs returns the indices of the k most frequent attributes in the log,
+// ties broken by lower index. If k exceeds the width it is clamped.
+func (q *QueryLog) TopAttrs(k int) []int {
+	freq := q.AttrFrequencies()
+	idx := make([]int, len(freq))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool { return freq[idx[a]] > freq[idx[b]] })
+	if k > len(idx) {
+		k = len(idx)
+	}
+	if k < 0 {
+		k = 0
+	}
+	return idx[:k]
+}

@@ -1,0 +1,62 @@
+package dataset
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadTableCSV checks the CSV parser never panics and that every table
+// it accepts survives a write/read round trip unchanged.
+func FuzzReadTableCSV(f *testing.F) {
+	f.Add("a,b\n1,0\n")
+	f.Add("id,a\nrow,1\n")
+	f.Add("")
+	f.Add("a,a\n1,1\n")
+	f.Add("a\n2\n")
+	f.Add("id,x,y\nr1,1,1\nr2,0,0\nr3,1,0\n")
+	f.Add("a,b\n1\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		tab, err := ReadTableCSV(strings.NewReader(input))
+		if err != nil {
+			return // rejected inputs just must not panic
+		}
+		var buf bytes.Buffer
+		if err := WriteTableCSV(&buf, tab); err != nil {
+			t.Fatalf("accepted table failed to serialize: %v", err)
+		}
+		back, err := ReadTableCSV(&buf)
+		if err != nil {
+			t.Fatalf("serialized table failed to parse: %v\n%s", err, buf.String())
+		}
+		if back.Size() != tab.Size() || back.Width() != tab.Width() {
+			t.Fatalf("round trip changed shape: %dx%d vs %dx%d",
+				back.Size(), back.Width(), tab.Size(), tab.Width())
+		}
+		for i := range tab.Rows {
+			if !back.Rows[i].Equal(tab.Rows[i]) {
+				t.Fatalf("row %d changed in round trip", i)
+			}
+		}
+	})
+}
+
+// FuzzParseTuple checks tuple parsing never panics and that accepted specs
+// produce subsets of the schema.
+func FuzzParseTuple(f *testing.F) {
+	f.Add("101")
+	f.Add("a0,a2")
+	f.Add("")
+	f.Add("  a1 ,  ")
+	f.Add("111111111")
+	f.Fuzz(func(t *testing.T, spec string) {
+		s := GenericSchema(3)
+		v, err := ParseTuple(s, spec)
+		if err != nil {
+			return
+		}
+		if v.Width() != 3 {
+			t.Fatalf("accepted tuple has width %d", v.Width())
+		}
+	})
+}

@@ -1,0 +1,162 @@
+package dataset
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strings"
+
+	"standout/internal/bitvec"
+)
+
+// CSV layout: the first record is a header of attribute names. If the first
+// header cell is "id", the first column of every row is a row identifier and
+// the remaining columns are attribute values; otherwise every column is an
+// attribute. Attribute cells must be "0" or "1".
+
+// ReadTableCSV parses a Boolean table from CSV.
+func ReadTableCSV(r io.Reader) (*Table, error) {
+	rows, ids, schema, err := readBoolCSV(r)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{Schema: schema, Rows: rows, IDs: ids}
+	return t, t.Validate()
+}
+
+// WriteTableCSV writes a Boolean table as CSV in the layout ReadTableCSV reads.
+func WriteTableCSV(w io.Writer, t *Table) error {
+	cw := csv.NewWriter(w)
+	hasIDs := t.IDs != nil
+	header := t.Schema.Attrs()
+	if hasIDs {
+		header = append([]string{"id"}, header...)
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for i, row := range t.Rows {
+		rec := make([]string, 0, len(header))
+		if hasIDs {
+			rec = append(rec, t.IDs[i])
+		}
+		for j := 0; j < t.Width(); j++ {
+			if row.Get(j) {
+				rec = append(rec, "1")
+			} else {
+				rec = append(rec, "0")
+			}
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadQueryLogCSV parses a query log from CSV (same layout as a table; any
+// "id" column is ignored).
+func ReadQueryLogCSV(r io.Reader) (*QueryLog, error) {
+	rows, _, schema, err := readBoolCSV(r)
+	if err != nil {
+		return nil, err
+	}
+	q := &QueryLog{Schema: schema, Queries: rows}
+	return q, q.Validate()
+}
+
+// WriteQueryLogCSV writes a query log as CSV.
+func WriteQueryLogCSV(w io.Writer, q *QueryLog) error {
+	return WriteTableCSV(w, q.AsTable())
+}
+
+func readBoolCSV(r io.Reader) (rows []bitvec.Vector, ids []string, schema *Schema, err error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = -1 // validated manually for better messages
+	header, err := cr.Read()
+	if err == io.EOF {
+		return nil, nil, nil, fmt.Errorf("dataset: empty CSV input")
+	}
+	if err != nil {
+		return nil, nil, nil, fmt.Errorf("dataset: reading CSV header: %w", err)
+	}
+	hasIDs := len(header) > 0 && strings.EqualFold(header[0], "id")
+	attrStart := 0
+	if hasIDs {
+		attrStart = 1
+		ids = []string{}
+	}
+	schema, err = NewSchema(header[attrStart:])
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	for line := 2; ; line++ {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, nil, nil, fmt.Errorf("dataset: reading CSV line %d: %w", line, err)
+		}
+		if len(rec) != len(header) {
+			return nil, nil, nil, fmt.Errorf("dataset: line %d has %d fields, header has %d",
+				line, len(rec), len(header))
+		}
+		v := bitvec.New(schema.Width())
+		for j, cell := range rec[attrStart:] {
+			switch strings.TrimSpace(cell) {
+			case "1":
+				v.Set(j)
+			case "0":
+			default:
+				return nil, nil, nil, fmt.Errorf(
+					"dataset: line %d attribute %q: value %q is not 0 or 1",
+					line, schema.Name(j), cell)
+			}
+		}
+		rows = append(rows, v)
+		if hasIDs {
+			ids = append(ids, rec[0])
+		}
+	}
+	return rows, ids, schema, nil
+}
+
+// ParseTuple parses a tuple for a schema from either a 0/1 bit string of the
+// schema's width (e.g. "110100") or a comma-separated list of attribute names
+// (e.g. "AC,FourDoor,PowerDoors").
+func ParseTuple(s *Schema, spec string) (bitvec.Vector, error) {
+	trimmed := strings.TrimSpace(spec)
+	if isBitString(trimmed) {
+		v, err := bitvec.FromString(trimmed)
+		if err != nil {
+			return bitvec.Vector{}, err
+		}
+		if v.Width() != s.Width() {
+			return bitvec.Vector{}, fmt.Errorf(
+				"dataset: bit string has %d bits, schema has %d attributes",
+				v.Width(), s.Width())
+		}
+		return v, nil
+	}
+	var names []string
+	for _, part := range strings.Split(trimmed, ",") {
+		if p := strings.TrimSpace(part); p != "" {
+			names = append(names, p)
+		}
+	}
+	return s.VectorOf(names...)
+}
+
+func isBitString(s string) bool {
+	if s == "" {
+		return false
+	}
+	for _, r := range s {
+		if r != '0' && r != '1' {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,141 @@
+package dataset
+
+import (
+	"fmt"
+	"math"
+
+	"standout/internal/bitvec"
+)
+
+// Numeric data model (§II.B, §V last paragraph): tuples carry numeric
+// attribute values and queries specify ranges over a subset of attributes
+// (e.g. price in [5000, 9000]). The paper reduces this to SOC-CB-QL relative
+// to the new tuple t: for each query q and each attribute i, derive a Boolean
+// value b_i that is 1 iff q ranges over attribute i and q's i-th range
+// contains t's i-th value; the tuple becomes all-ones.
+//
+// Two reduction modes are provided:
+//
+//   - ReduceLiteral is the paper's construction verbatim: failing range
+//     conditions become 0-bits, so a query with a failing condition remains
+//     in the log as the (weaker) conjunction of its passing conditions.
+//
+//   - ReduceStrict additionally drops any query with a failing condition,
+//     reflecting retrieval semantics where a tuple must pass every range of a
+//     query to be returned: such a query can never retrieve any compression
+//     of t, so keeping it would overcount visibility.
+//
+// Both produce instances any SOC-CB-QL solver accepts; tests pin down the
+// relationship (strict count ≤ literal count).
+
+// Interval is a closed numeric range [Lo, Hi].
+type Interval struct {
+	Lo, Hi float64
+}
+
+// Contains reports whether x lies in the closed interval.
+func (iv Interval) Contains(x float64) bool { return iv.Lo <= x && x <= iv.Hi }
+
+// Unbounded returns the interval covering all reals.
+func Unbounded() Interval {
+	return Interval{Lo: math.Inf(-1), Hi: math.Inf(1)}
+}
+
+// RangeQuery constrains a subset of numeric attributes. Active marks which
+// attributes carry a range; Ranges is indexed by attribute.
+type RangeQuery struct {
+	Active bitvec.Vector
+	Ranges []Interval
+}
+
+// NewRangeQuery returns a query of the given width with no active ranges.
+func NewRangeQuery(width int) RangeQuery {
+	return RangeQuery{Active: bitvec.New(width), Ranges: make([]Interval, width)}
+}
+
+// SetRange activates attribute i with range [lo, hi].
+func (rq *RangeQuery) SetRange(i int, lo, hi float64) {
+	rq.Active.Set(i)
+	rq.Ranges[i] = Interval{Lo: lo, Hi: hi}
+}
+
+// Passes reports whether the numeric tuple values pass every active range.
+func (rq RangeQuery) Passes(values []float64) bool {
+	for _, i := range rq.Active.Ones() {
+		if !rq.Ranges[i].Contains(values[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// NumLog is a workload of range queries over named numeric attributes.
+type NumLog struct {
+	Schema  *Schema // attribute names; values are numeric, not Boolean
+	Queries []RangeQuery
+}
+
+// Size returns the number of range queries.
+func (nl *NumLog) Size() int { return len(nl.Queries) }
+
+// Validate checks query widths against the schema.
+func (nl *NumLog) Validate() error {
+	for i, q := range nl.Queries {
+		if q.Active.Width() != nl.Schema.Width() || len(q.Ranges) != nl.Schema.Width() {
+			return fmt.Errorf("dataset: range query %d has width %d/%d, schema width %d",
+				i, q.Active.Width(), len(q.Ranges), nl.Schema.Width())
+		}
+	}
+	return nil
+}
+
+// ReduceLiteral is the paper's reduction: query q maps to the Boolean query
+// with bit i set iff q is active on attribute i and q's range contains t[i].
+// The new tuple maps to all-ones. The returned slice maps reduced index to
+// original index (here the identity, kept for symmetry with ReduceStrict).
+func (nl *NumLog) ReduceLiteral(t []float64) (*QueryLog, bitvec.Vector, []int, error) {
+	if len(t) != nl.Schema.Width() {
+		return nil, bitvec.Vector{}, nil, fmt.Errorf(
+			"dataset: tuple has %d values, schema %d attributes", len(t), nl.Schema.Width())
+	}
+	log := NewQueryLog(nl.Schema)
+	origin := make([]int, 0, len(nl.Queries))
+	for qi, q := range nl.Queries {
+		v := bitvec.New(nl.Schema.Width())
+		for _, i := range q.Active.Ones() {
+			if q.Ranges[i].Contains(t[i]) {
+				v.Set(i)
+			}
+		}
+		log.Queries = append(log.Queries, v)
+		origin = append(origin, qi)
+	}
+	return log, bitvec.New(nl.Schema.Width()).Not(), origin, nil
+}
+
+// ReduceStrict maps passing conditions to required bits and drops queries
+// with any failing condition.
+func (nl *NumLog) ReduceStrict(t []float64) (*QueryLog, bitvec.Vector, []int, error) {
+	if len(t) != nl.Schema.Width() {
+		return nil, bitvec.Vector{}, nil, fmt.Errorf(
+			"dataset: tuple has %d values, schema %d attributes", len(t), nl.Schema.Width())
+	}
+	log := NewQueryLog(nl.Schema)
+	var origin []int
+	for qi, q := range nl.Queries {
+		v := bitvec.New(nl.Schema.Width())
+		ok := true
+		for _, i := range q.Active.Ones() {
+			if !q.Ranges[i].Contains(t[i]) {
+				ok = false
+				break
+			}
+			v.Set(i)
+		}
+		if ok {
+			log.Queries = append(log.Queries, v)
+			origin = append(origin, qi)
+		}
+	}
+	return log, bitvec.New(nl.Schema.Width()).Not(), origin, nil
+}

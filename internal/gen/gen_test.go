@@ -1,0 +1,213 @@
+package gen
+
+import (
+	"math"
+	"testing"
+
+	"standout/internal/dataset"
+)
+
+func TestCarsShape(t *testing.T) {
+	tab := Cars(1, 500)
+	if tab.Size() != 500 || tab.Width() != 32 {
+		t.Fatalf("got %dx%d", tab.Size(), tab.Width())
+	}
+	if err := tab.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if tab.IDs[0] != "car00000" {
+		t.Errorf("IDs[0]=%q", tab.IDs[0])
+	}
+}
+
+func TestCarsDeterministic(t *testing.T) {
+	a := Cars(7, 100)
+	b := Cars(7, 100)
+	for i := range a.Rows {
+		if !a.Rows[i].Equal(b.Rows[i]) {
+			t.Fatalf("row %d differs across same-seed generations", i)
+		}
+	}
+	c := Cars(8, 100)
+	same := true
+	for i := range a.Rows {
+		if !a.Rows[i].Equal(c.Rows[i]) {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical tables")
+	}
+}
+
+func TestCarsMarginalsAndCorrelation(t *testing.T) {
+	tab := Cars(42, 8000)
+	freq := tab.AttrFrequencies()
+	n := float64(tab.Size())
+	ac := tab.Schema.Index("AC")
+	turbo := tab.Schema.Index("Turbo")
+	if f := float64(freq[ac]) / n; f < 0.75 {
+		t.Errorf("AC frequency %.2f, want common (>0.75)", f)
+	}
+	if f := float64(freq[turbo]) / n; f > 0.40 || f < 0.05 {
+		t.Errorf("Turbo frequency %.2f, want uncommon", f)
+	}
+
+	// Options in the same package must be positively correlated:
+	// P(Nav ∧ RearCam) > P(Nav)·P(RearCam).
+	nav := tab.Schema.Index("Navigation")
+	cam := tab.Schema.Index("RearCamera")
+	both := 0
+	for _, row := range tab.Rows {
+		if row.Get(nav) && row.Get(cam) {
+			both++
+		}
+	}
+	pBoth := float64(both) / n
+	pProd := float64(freq[nav]) / n * float64(freq[cam]) / n
+	if pBoth <= pProd*1.5 {
+		t.Errorf("package correlation too weak: P(both)=%.3f vs independent %.3f", pBoth, pProd)
+	}
+}
+
+func TestSyntheticWorkloadMixture(t *testing.T) {
+	schema := dataset.MustSchema(CarAttrs)
+	log := SyntheticWorkload(schema, 3, 20000, WorkloadOptions{})
+	if log.Size() != 20000 {
+		t.Fatalf("size=%d", log.Size())
+	}
+	hist := log.SizeHistogram()
+	want := PaperSizeMixture
+	for k := 1; k <= 5; k++ {
+		got := float64(hist[k]) / 20000
+		if math.Abs(got-want[k-1]) > 0.02 {
+			t.Errorf("P(size=%d)=%.3f, want %.2f±0.02", k, got, want[k-1])
+		}
+	}
+	for k := range hist {
+		if k < 1 || k > 5 {
+			t.Errorf("unexpected query size %d", k)
+		}
+	}
+}
+
+func TestSyntheticWorkloadNarrowSchema(t *testing.T) {
+	// Width 3 < max mixture size 5: sizes must clamp, never exceed width.
+	schema := dataset.GenericSchema(3)
+	log := SyntheticWorkload(schema, 1, 500, WorkloadOptions{})
+	for i, q := range log.Queries {
+		if q.Count() < 1 || q.Count() > 3 {
+			t.Fatalf("query %d has %d attrs", i, q.Count())
+		}
+	}
+}
+
+func TestSyntheticWorkloadAttrBias(t *testing.T) {
+	schema := dataset.GenericSchema(10)
+	w := make([]float64, 10)
+	w[0] = 100
+	for i := 1; i < 10; i++ {
+		w[i] = 1
+	}
+	log := SyntheticWorkload(schema, 5, 3000, WorkloadOptions{AttrWeights: w})
+	freq := log.AttrFrequencies()
+	for i := 1; i < 10; i++ {
+		if freq[0] <= freq[i]*3 {
+			t.Fatalf("attr 0 (weight 100) freq %d not dominant over attr %d freq %d",
+				freq[0], i, freq[i])
+		}
+	}
+}
+
+func TestSyntheticWorkloadBadWeightsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for wrong AttrWeights length")
+		}
+	}()
+	SyntheticWorkload(dataset.GenericSchema(4), 1, 1, WorkloadOptions{AttrWeights: []float64{1}})
+}
+
+func TestRealWorkloadShape(t *testing.T) {
+	tab := Cars(1, 2000)
+	log := RealWorkload(tab, 9, RealWorkloadSize)
+	if log.Size() != 185 {
+		t.Fatalf("size=%d", log.Size())
+	}
+	for i, q := range log.Queries {
+		if q.Count() < 4 {
+			t.Fatalf("query %d has %d attrs; real workload has ≥4 (Fig 7, m=3 ⇒ 0 satisfied)", i, q.Count())
+		}
+	}
+	// Popularity bias: queries should mention frequent options far more often.
+	tabFreq := tab.AttrFrequencies()
+	logFreq := log.AttrFrequencies()
+	popular, rare := 0, 0
+	for j := range tabFreq {
+		if float64(tabFreq[j]) > 0.6*float64(tab.Size()) {
+			popular += logFreq[j]
+		} else if float64(tabFreq[j]) < 0.2*float64(tab.Size()) {
+			rare += logFreq[j]
+		}
+	}
+	if popular <= rare {
+		t.Errorf("popular attrs mentioned %d times, rare %d: bias missing", popular, rare)
+	}
+}
+
+func TestCliqueInstance(t *testing.T) {
+	// Triangle plus a pendant vertex.
+	g := Graph{N: 4, Edges: [][2]int{{0, 1}, {0, 2}, {1, 2}, {2, 3}}}
+	log, tuple := CliqueInstance(g)
+	if log.Size() != 4 || tuple.Count() != 4 {
+		t.Fatalf("log size=%d tuple=%v", log.Size(), tuple)
+	}
+	// The 3-clique {0,1,2}: its compression satisfies 3 = 3·2/2 queries.
+	tri := log.Queries[0].Or(log.Queries[1]).Or(log.Queries[2])
+	if got := log.Satisfied(tri); got != 3 {
+		t.Errorf("clique compression satisfies %d, want 3", got)
+	}
+}
+
+func TestPlantedCliqueGraph(t *testing.T) {
+	g, planted := PlantedCliqueGraph(11, 20, 5, 0.1)
+	if len(planted) != 5 {
+		t.Fatalf("planted %d vertices", len(planted))
+	}
+	has := map[[2]int]bool{}
+	for _, e := range g.Edges {
+		has[e] = true
+	}
+	for a := 0; a < 5; a++ {
+		for b := a + 1; b < 5; b++ {
+			i, j := planted[a], planted[b]
+			if i > j {
+				i, j = j, i
+			}
+			if !has[[2]int{i, j}] {
+				t.Fatalf("planted edge (%d,%d) missing", i, j)
+			}
+		}
+	}
+}
+
+func TestRandomTupleAndPickTuples(t *testing.T) {
+	schema := dataset.GenericSchema(50)
+	v := RandomTuple(schema, 3, 0.5)
+	if v.Count() < 10 || v.Count() > 40 {
+		t.Errorf("p=0.5 tuple has %d of 50 bits", v.Count())
+	}
+	if !RandomTuple(schema, 3, 0.5).Equal(v) {
+		t.Error("RandomTuple not deterministic for a seed")
+	}
+
+	tab := Cars(1, 300)
+	picks := PickTuples(tab, 5, 100)
+	if len(picks) != 100 {
+		t.Fatalf("picked %d", len(picks))
+	}
+	if got := PickTuples(tab, 5, 1000); len(got) != 300 {
+		t.Errorf("over-request returned %d, want all 300", len(got))
+	}
+}

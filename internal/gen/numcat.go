@@ -1,0 +1,131 @@
+package gen
+
+import (
+	"math/rand"
+
+	"standout/internal/dataset"
+)
+
+// Numeric and categorical extensions of the cars surrogate, supporting the
+// paper's §II.B/§V variants end to end: numeric attributes with range-query
+// workloads, and categorical attributes with value-constraining workloads.
+
+// NumericCarAttrs are the numeric attributes of a car listing.
+var NumericCarAttrs = []string{"Price", "Mileage", "Year", "MPG"}
+
+// NumericCars generates n rows of correlated numeric car data aligned with
+// NumericCarAttrs: newer cars cost more, carry fewer miles, and are slightly
+// more efficient. Values are plausible for a used-car market.
+func NumericCars(seed int64, n int) [][]float64 {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([][]float64, n)
+	for i := range out {
+		year := 1998 + rng.Intn(27) // 1998–2024
+		age := float64(2025 - year)
+		mileage := age*9000 + rng.Float64()*40000 // miles accumulate with age
+		price := 32000 - age*1700 - mileage*0.06 + rng.Float64()*6000
+		if price < 800 {
+			price = 800 + rng.Float64()*700
+		}
+		mpg := 21 + (float64(year)-1998)*0.35 + rng.Float64()*9
+		out[i] = []float64{price, mileage, float64(year), mpg}
+	}
+	return out
+}
+
+// NumericSchema returns the schema over NumericCarAttrs.
+func NumericSchema() *dataset.Schema { return dataset.MustSchema(NumericCarAttrs) }
+
+// RangeWorkload generates size range queries over the numeric car data:
+// each query constrains one to three attributes with ranges spanning a
+// plausible buyer window around values present in the data (budget caps,
+// mileage caps, minimum year, minimum MPG).
+func RangeWorkload(seed int64, size int, data [][]float64) *dataset.NumLog {
+	rng := rand.New(rand.NewSource(seed))
+	schema := NumericSchema()
+	log := &dataset.NumLog{Schema: schema}
+	if len(data) == 0 {
+		return log
+	}
+	for i := 0; i < size; i++ {
+		q := dataset.NewRangeQuery(schema.Width())
+		anchor := data[rng.Intn(len(data))]
+		nConds := 1 + rng.Intn(3)
+		attrs := rng.Perm(schema.Width())[:nConds]
+		for _, a := range attrs {
+			switch a {
+			case 0: // Price: budget cap around the anchor's price
+				q.SetRange(0, 0, anchor[0]*(1.0+0.4*rng.Float64()))
+			case 1: // Mileage: cap
+				q.SetRange(1, 0, anchor[1]*(1.0+0.5*rng.Float64()))
+			case 2: // Year: minimum
+				q.SetRange(2, anchor[2]-float64(rng.Intn(4)), 2100)
+			case 3: // MPG: minimum
+				q.SetRange(3, anchor[3]*(0.7+0.2*rng.Float64()), 1000)
+			}
+		}
+		log.Queries = append(log.Queries, q)
+	}
+	return log
+}
+
+// CatCarSchema returns a categorical schema for car listings: Make, Color,
+// Transmission and BodyStyle.
+func CatCarSchema() *dataset.CatSchema {
+	cs, err := dataset.NewCatSchema(
+		[]string{"Make", "Color", "Transmission", "BodyStyle"},
+		[][]string{
+			{"Toyota", "Honda", "Ford", "Chevrolet", "Nissan", "BMW", "Mercedes", "Hyundai"},
+			{"White", "Black", "Silver", "Gray", "Blue", "Red", "Green", "Brown"},
+			{"Automatic", "Manual"},
+			{"Sedan", "SUV", "Truck", "Coupe", "Hatchback"},
+		})
+	if err != nil {
+		panic(err) // static schema; cannot fail
+	}
+	return cs
+}
+
+// catValueWeights skews value popularity per attribute (Toyota and white
+// cars are common; Mercedes coupes are not).
+var catValueWeights = [][]float64{
+	{0.22, 0.18, 0.16, 0.14, 0.10, 0.08, 0.06, 0.06},
+	{0.24, 0.20, 0.16, 0.14, 0.10, 0.09, 0.04, 0.03},
+	{0.88, 0.12},
+	{0.40, 0.30, 0.14, 0.08, 0.08},
+}
+
+// CategoricalCars generates n categorical car tuples with skewed value
+// popularity.
+func CategoricalCars(seed int64, n int) []dataset.CatTuple {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]dataset.CatTuple, n)
+	for i := range out {
+		t := make(dataset.CatTuple, len(catValueWeights))
+		for a, w := range catValueWeights {
+			t[a] = sampleWeighted(rng, w)
+		}
+		out[i] = t
+	}
+	return out
+}
+
+// CategoricalWorkload generates size categorical queries: each constrains
+// one or two attributes, drawn with the same popularity skew buyers show.
+func CategoricalWorkload(seed int64, size int) *dataset.CatLog {
+	rng := rand.New(rand.NewSource(seed))
+	cs := CatCarSchema()
+	log := &dataset.CatLog{Schema: cs}
+	for i := 0; i < size; i++ {
+		q := make(dataset.CatQuery, cs.Width())
+		for a := range q {
+			q[a] = -1
+		}
+		nConds := 1 + rng.Intn(2)
+		for _, a := range rng.Perm(cs.Width())[:nConds] {
+			q[a] = sampleWeighted(rng, catValueWeights[a])
+		}
+		log.Queries = append(log.Queries, q)
+	}
+	return log
+}

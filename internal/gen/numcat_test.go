@@ -1,0 +1,173 @@
+package gen
+
+import (
+	"testing"
+
+	"standout/internal/core"
+	"standout/internal/variants"
+)
+
+func TestNumericCarsPlausibility(t *testing.T) {
+	data := NumericCars(1, 2000)
+	if len(data) != 2000 {
+		t.Fatalf("rows=%d", len(data))
+	}
+	for i, row := range data {
+		if len(row) != len(NumericCarAttrs) {
+			t.Fatalf("row %d has %d values", i, len(row))
+		}
+		price, mileage, year, mpg := row[0], row[1], row[2], row[3]
+		if price < 500 || price > 60000 {
+			t.Fatalf("row %d price %v implausible", i, price)
+		}
+		if mileage < 0 || mileage > 400000 {
+			t.Fatalf("row %d mileage %v implausible", i, mileage)
+		}
+		if year < 1998 || year > 2024 {
+			t.Fatalf("row %d year %v out of range", i, year)
+		}
+		if mpg < 15 || mpg > 50 {
+			t.Fatalf("row %d mpg %v implausible", i, mpg)
+		}
+	}
+
+	// Correlation: newer cars should on average cost more and carry fewer miles.
+	var oldPrice, newPrice, oldMiles, newMiles float64
+	var oldN, newN int
+	for _, row := range data {
+		if row[2] < 2005 {
+			oldPrice += row[0]
+			oldMiles += row[1]
+			oldN++
+		} else if row[2] > 2018 {
+			newPrice += row[0]
+			newMiles += row[1]
+			newN++
+		}
+	}
+	if oldN == 0 || newN == 0 {
+		t.Fatal("year distribution degenerate")
+	}
+	if newPrice/float64(newN) <= oldPrice/float64(oldN) {
+		t.Error("newer cars should cost more on average")
+	}
+	if newMiles/float64(newN) >= oldMiles/float64(oldN) {
+		t.Error("newer cars should have fewer miles on average")
+	}
+}
+
+func TestRangeWorkloadSatisfiable(t *testing.T) {
+	data := NumericCars(1, 500)
+	log := RangeWorkload(2, 300, data)
+	if err := log.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if log.Size() != 300 {
+		t.Fatalf("size=%d", log.Size())
+	}
+	// Each query is anchored at a real row, so a reasonable fraction of the
+	// inventory passes each query; check the workload is not degenerate.
+	totalPass := 0
+	for _, q := range log.Queries {
+		if q.Active.Count() < 1 || q.Active.Count() > 3 {
+			t.Fatalf("query constrains %d attrs", q.Active.Count())
+		}
+		for _, row := range data {
+			if q.Passes(row) {
+				totalPass++
+			}
+		}
+	}
+	if frac := float64(totalPass) / float64(300*len(data)); frac < 0.1 || frac > 0.95 {
+		t.Errorf("mean pass fraction %.2f looks degenerate", frac)
+	}
+}
+
+func TestRangeWorkloadEmptyData(t *testing.T) {
+	log := RangeWorkload(1, 10, nil)
+	if log.Size() != 0 {
+		t.Errorf("size=%d, want 0 for empty data", log.Size())
+	}
+}
+
+func TestNumericEndToEnd(t *testing.T) {
+	data := NumericCars(1, 200)
+	log := RangeWorkload(2, 120, data)
+	tuple := data[7]
+	sol, err := variants.Numeric(core.BruteForce{}, log, tuple, 2, variants.NumericStrict)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Kept.Count() > 2 {
+		t.Fatalf("kept %d attrs", sol.Kept.Count())
+	}
+	if sol.Satisfied <= 0 {
+		t.Error("anchored workload should make some queries satisfiable")
+	}
+}
+
+func TestCategoricalCarsDistribution(t *testing.T) {
+	cs := CatCarSchema()
+	tuples := CategoricalCars(1, 4000)
+	counts := make([][]int, cs.Width())
+	for a := range counts {
+		counts[a] = make([]int, len(cs.Domains[a]))
+	}
+	for _, tuple := range tuples {
+		if err := cs.Validate(tuple); err != nil {
+			t.Fatal(err)
+		}
+		for a, v := range tuple {
+			counts[a][v]++
+		}
+	}
+	// Skew: the first value of each attribute is the most common.
+	for a := range counts {
+		for v := 1; v < len(counts[a]); v++ {
+			if counts[a][0] < counts[a][v] {
+				t.Errorf("attr %d: value 0 (%d) less common than value %d (%d)",
+					a, counts[a][0], v, counts[a][v])
+			}
+		}
+	}
+}
+
+func TestCategoricalWorkloadAndEndToEnd(t *testing.T) {
+	log := CategoricalWorkload(3, 200)
+	if len(log.Queries) != 200 {
+		t.Fatalf("size=%d", len(log.Queries))
+	}
+	for i, q := range log.Queries {
+		if err := log.Schema.ValidateQuery(q); err != nil {
+			t.Fatalf("query %d: %v", i, err)
+		}
+		conds := 0
+		for _, v := range q {
+			if v >= 0 {
+				conds++
+			}
+		}
+		if conds < 1 || conds > 2 {
+			t.Fatalf("query %d constrains %d attrs", i, conds)
+		}
+	}
+
+	// A popular car should satisfy plenty of queries with m=2.
+	tuple := CategoricalCars(5, 1)[0]
+	sol, err := variants.Categorical(core.BruteForce{}, log, tuple, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Satisfied < 0 {
+		t.Error("negative satisfied")
+	}
+	direct := 0
+	for _, q := range log.Queries {
+		if q.Retrieves(tuple) {
+			direct++
+		}
+	}
+	if sol.Satisfied > direct {
+		t.Errorf("compression satisfies %d > full tuple's %d", sol.Satisfied, direct)
+	}
+}

@@ -1,0 +1,67 @@
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Text-data surrogates for the §V text variant: classified ads as bags of
+// keywords drawn from a Zipf vocabulary, and keyword-query workloads biased
+// the way searchers actually type (popular words dominate).
+
+// TextVocabulary returns a synthetic vocabulary of the given size; word i is
+// "w<i>" and popularity follows a Zipf law with exponent ~1.1, the shape of
+// real keyword logs.
+func TextVocabulary(size int) []string {
+	out := make([]string, size)
+	for i := range out {
+		out[i] = fmt.Sprintf("w%04d", i)
+	}
+	return out
+}
+
+func zipfWeights(size int, exponent float64) []float64 {
+	w := make([]float64, size)
+	for i := range w {
+		w[i] = 1 / powf(float64(i+1), exponent)
+	}
+	return w
+}
+
+// TextAds generates nAds classified ads, each a bag of adLen distinct
+// keywords drawn Zipf-biased from a vocabulary of vocabSize words.
+func TextAds(seed int64, nAds, vocabSize, adLen int) [][]string {
+	rng := rand.New(rand.NewSource(seed))
+	vocab := TextVocabulary(vocabSize)
+	weights := zipfWeights(vocabSize, 1.1)
+	out := make([][]string, nAds)
+	for i := range out {
+		q := sampleQuery(rng, weights, adLen, vocabSize)
+		words := make([]string, 0, adLen)
+		for _, j := range q.Ones() {
+			words = append(words, vocab[j])
+		}
+		out[i] = words
+	}
+	return out
+}
+
+// KeywordWorkload generates size keyword queries of 1–3 words over the same
+// Zipf vocabulary. Queries are independent of any specific ad, as a search
+// log is.
+func KeywordWorkload(seed int64, size, vocabSize int) [][]string {
+	rng := rand.New(rand.NewSource(seed))
+	vocab := TextVocabulary(vocabSize)
+	weights := zipfWeights(vocabSize, 1.1)
+	out := make([][]string, size)
+	for i := range out {
+		k := 1 + rng.Intn(3)
+		q := sampleQuery(rng, weights, k, vocabSize)
+		words := make([]string, 0, k)
+		for _, j := range q.Ones() {
+			words = append(words, vocab[j])
+		}
+		out[i] = words
+	}
+	return out
+}

@@ -1,0 +1,71 @@
+package gen
+
+import (
+	"testing"
+)
+
+func TestTextVocabulary(t *testing.T) {
+	v := TextVocabulary(3)
+	if len(v) != 3 || v[0] != "w0000" || v[2] != "w0002" {
+		t.Fatalf("vocab=%v", v)
+	}
+}
+
+func TestTextAdsShape(t *testing.T) {
+	ads := TextAds(1, 50, 500, 12)
+	if len(ads) != 50 {
+		t.Fatalf("ads=%d", len(ads))
+	}
+	for i, ad := range ads {
+		if len(ad) != 12 {
+			t.Fatalf("ad %d has %d words", i, len(ad))
+		}
+		seen := map[string]bool{}
+		for _, w := range ad {
+			if seen[w] {
+				t.Fatalf("ad %d repeats %q", i, w)
+			}
+			seen[w] = true
+		}
+	}
+}
+
+func TestKeywordWorkloadZipfSkew(t *testing.T) {
+	queries := KeywordWorkload(2, 5000, 500)
+	if len(queries) != 5000 {
+		t.Fatalf("size=%d", len(queries))
+	}
+	counts := map[string]int{}
+	total := 0
+	for _, q := range queries {
+		if len(q) < 1 || len(q) > 3 {
+			t.Fatalf("query size %d", len(q))
+		}
+		for _, w := range q {
+			counts[w]++
+			total++
+		}
+	}
+	// Zipf: the most popular word should carry far more mass than average.
+	max := 0
+	for _, c := range counts {
+		if c > max {
+			max = c
+		}
+	}
+	if float64(max) < 10*float64(total)/500 {
+		t.Errorf("no Zipf skew: max=%d total=%d distinct=%d", max, total, len(counts))
+	}
+}
+
+func TestTextAdsDeterministic(t *testing.T) {
+	a := TextAds(9, 5, 100, 8)
+	b := TextAds(9, 5, 100, 8)
+	for i := range a {
+		for j := range a[i] {
+			if a[i][j] != b[i][j] {
+				t.Fatal("not deterministic")
+			}
+		}
+	}
+}

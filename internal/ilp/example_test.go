@@ -1,0 +1,27 @@
+package ilp_test
+
+import (
+	"fmt"
+
+	"standout/internal/ilp"
+	"standout/internal/lp"
+)
+
+// ExampleSolve solves a 0/1 knapsack.
+func ExampleSolve() {
+	p := lp.NewProblem(lp.Maximize)
+	a := p.AddBinaryVar(30, "a") // weight 3
+	b := p.AddBinaryVar(50, "b") // weight 4
+	c := p.AddBinaryVar(60, "c") // weight 5
+	p.AddConstraint([]lp.Term{
+		{Var: a, Coeff: 3}, {Var: b, Coeff: 4}, {Var: c, Coeff: 5},
+	}, lp.LE, 8)
+
+	res, err := ilp.Solve(p, []int{a, b, c}, ilp.Options{ObjIntegral: true})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("%v obj=%g take a=%v c=%v\n",
+		res.Status, res.Objective, res.X[a] == 1, res.X[c] == 1)
+	// Output: optimal obj=90 take a=true c=true
+}

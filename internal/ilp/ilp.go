@@ -1,0 +1,307 @@
+// Package ilp solves mixed 0/1 integer linear programs by LP-relaxation
+// branch-and-bound over the simplex solver in package lp. It is the engine of
+// the paper's ILP-SOC-CB-QL algorithm (§IV.B); the paper used the
+// off-the-shelf lpsolve library, which is replaced here by a from-scratch
+// pure-Go implementation of the same algorithmic family (branch and bound).
+//
+// The solver performs best-first search on LP bounds, prunes with an
+// incumbent maintained by optional problem-specific rounding heuristics, and
+// branches on the most fractional integer variable.
+package ilp
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"math"
+	"time"
+
+	"standout/internal/lp"
+)
+
+// Status reports the outcome of a branch-and-bound run.
+type Status int
+
+const (
+	// StatusOptimal means the incumbent is provably optimal.
+	StatusOptimal Status = iota
+	// StatusInfeasible means no integer-feasible point exists.
+	StatusInfeasible
+	// StatusUnbounded means the root relaxation is unbounded.
+	StatusUnbounded
+	// StatusLimit means a node/time limit stopped the search; Result carries
+	// the best incumbent found and the remaining optimality gap.
+	StatusLimit
+)
+
+func (s Status) String() string {
+	switch s {
+	case StatusOptimal:
+		return "optimal"
+	case StatusInfeasible:
+		return "infeasible"
+	case StatusUnbounded:
+		return "unbounded"
+	case StatusLimit:
+		return "limit"
+	}
+	return fmt.Sprintf("Status(%d)", int(s))
+}
+
+// Result is the outcome of Solve.
+type Result struct {
+	Status    Status
+	Objective float64   // incumbent objective in the problem's sense
+	X         []float64 // incumbent solution; valid when Status is Optimal or
+	// when Status is Limit and HasIncumbent is true
+	HasIncumbent bool
+	Nodes        int     // branch-and-bound nodes processed
+	Gap          float64 // |best bound − incumbent| at termination (0 if optimal)
+}
+
+// Heuristic derives an integer-feasible solution from a fractional LP
+// solution. It returns the candidate solution, its objective value in the
+// problem's sense, and whether a candidate was produced. The solver only uses
+// it to improve the incumbent (pruning), so a heuristic can only speed the
+// search up, never change the optimum.
+type Heuristic func(x []float64) (sol []float64, obj float64, ok bool)
+
+// Options tunes the branch-and-bound search. The zero value uses defaults.
+type Options struct {
+	// MaxNodes bounds the number of nodes processed; 0 means 1<<20.
+	MaxNodes int
+	// Timeout stops the search after the given wall-clock duration; 0 means
+	// no limit. The incumbent found so far is returned with StatusLimit.
+	Timeout time.Duration
+	// IntTol is the integrality tolerance; 0 means 1e-6.
+	IntTol float64
+	// ObjIntegral asserts that every integer-feasible point has an integral
+	// objective value, enabling the stronger bound floor(LP) during pruning.
+	ObjIntegral bool
+	// Heuristic, if non-nil, is invoked on every fractional node solution.
+	Heuristic Heuristic
+	// LP tunes the underlying simplex solves.
+	LP lp.Options
+}
+
+// ErrBadIntVar is returned when an integer variable index is out of range.
+var ErrBadIntVar = errors.New("ilp: integer variable index out of range")
+
+type node struct {
+	parent *node
+	branch int     // variable fixed by this node (-1 at root)
+	lo, up float64 // bound override for branch
+	bound  float64 // parent LP score (internal maximization form)
+	depth  int
+}
+
+// bestFirst is a max-heap of open nodes keyed on bound.
+type bestFirst []*node
+
+func (h bestFirst) Len() int            { return len(h) }
+func (h bestFirst) Less(i, j int) bool  { return h[i].bound > h[j].bound }
+func (h bestFirst) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *bestFirst) Push(x interface{}) { *h = append(*h, x.(*node)) }
+func (h *bestFirst) Pop() interface{} {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return it
+}
+
+// Solve finds an optimal integer assignment to the variables listed in
+// intVars (all other variables remain continuous). The problem is cloned
+// internally; base is not modified.
+func Solve(base *lp.Problem, intVars []int, opts Options) (Result, error) {
+	for _, v := range intVars {
+		if v < 0 || v >= base.NumVars() {
+			return Result{}, fmt.Errorf("%w: %d of %d", ErrBadIntVar, v, base.NumVars())
+		}
+	}
+	s := &search{
+		prob:    base.Clone(),
+		intVars: append([]int(nil), intVars...),
+		opts:    opts,
+	}
+	if s.opts.MaxNodes == 0 {
+		s.opts.MaxNodes = 1 << 20
+	}
+	if s.opts.IntTol == 0 {
+		s.opts.IntTol = 1e-6
+	}
+	if s.opts.Timeout > 0 {
+		s.deadline = time.Now().Add(s.opts.Timeout)
+	}
+	s.maximize = base.Sense() == lp.Maximize
+	// Remember the base bounds so each node can be applied from scratch.
+	n := s.prob.NumVars()
+	s.baseLo = make([]float64, n)
+	s.baseUp = make([]float64, n)
+	for j := 0; j < n; j++ {
+		s.baseLo[j], s.baseUp[j] = s.prob.Bounds(j)
+	}
+	return s.run()
+}
+
+type search struct {
+	prob     *lp.Problem
+	intVars  []int
+	opts     Options
+	deadline time.Time
+	maximize bool
+
+	baseLo, baseUp []float64
+
+	incumbent    []float64
+	incScore     float64 // internal maximization form
+	hasIncumbent bool
+	nodes        int
+}
+
+// score converts an objective in the problem's sense to internal
+// always-maximize form.
+func (s *search) score(obj float64) float64 {
+	if s.maximize {
+		return obj
+	}
+	return -obj
+}
+
+// unscore converts back.
+func (s *search) unscore(score float64) float64 {
+	if s.maximize {
+		return score
+	}
+	return -score
+}
+
+func (s *search) run() (Result, error) {
+	open := &bestFirst{{branch: -1, bound: math.Inf(1)}}
+	s.incScore = math.Inf(-1)
+
+	finish := func(st Status, bestBound float64) Result {
+		res := Result{Status: st, Nodes: s.nodes, HasIncumbent: s.hasIncumbent}
+		if s.hasIncumbent {
+			res.Objective = s.unscore(s.incScore)
+			res.X = s.incumbent
+			if st == StatusLimit {
+				res.Gap = math.Max(0, bestBound-s.incScore)
+			}
+		} else if st == StatusLimit {
+			res.Gap = math.Inf(1)
+		}
+		return res
+	}
+
+	for open.Len() > 0 {
+		// Best-first: the top node carries the global best bound.
+		top := (*open)[0]
+		if s.hasIncumbent && !s.improves(top.bound) {
+			return finish(StatusOptimal, top.bound), nil
+		}
+		if s.nodes >= s.opts.MaxNodes ||
+			(!s.deadline.IsZero() && time.Now().After(s.deadline)) {
+			return finish(StatusLimit, top.bound), nil
+		}
+		heap.Pop(open)
+		s.nodes++
+
+		s.applyBounds(top)
+		res, err := s.prob.Solve(s.opts.LP)
+		if err != nil {
+			return Result{}, err
+		}
+		switch res.Status {
+		case lp.StatusInfeasible:
+			continue
+		case lp.StatusUnbounded:
+			if top.branch == -1 {
+				return Result{Status: StatusUnbounded, Nodes: s.nodes}, nil
+			}
+			continue
+		case lp.StatusIterLimit:
+			return Result{}, fmt.Errorf("ilp: LP iteration limit hit at node %d", s.nodes)
+		}
+		nodeScore := s.score(res.Objective)
+		if s.hasIncumbent && !s.improves(nodeScore) {
+			continue
+		}
+
+		frac := s.mostFractional(res.X)
+		if frac < 0 {
+			// Integer feasible: snap and record.
+			sol := append([]float64(nil), res.X...)
+			for _, v := range s.intVars {
+				sol[v] = math.Round(sol[v])
+			}
+			s.offerIncumbent(sol, nodeScore)
+			continue
+		}
+		if s.opts.Heuristic != nil {
+			if sol, obj, ok := s.opts.Heuristic(res.X); ok {
+				s.offerIncumbent(append([]float64(nil), sol...), s.score(obj))
+			}
+		}
+
+		x := res.X[frac]
+		down := &node{parent: top, branch: frac, lo: s.baseBoundsLo(frac), up: math.Floor(x),
+			bound: nodeScore, depth: top.depth + 1}
+		upn := &node{parent: top, branch: frac, lo: math.Ceil(x), up: s.baseBoundsUp(frac),
+			bound: nodeScore, depth: top.depth + 1}
+		heap.Push(open, down)
+		heap.Push(open, upn)
+	}
+
+	if s.hasIncumbent {
+		return finish(StatusOptimal, s.incScore), nil
+	}
+	return Result{Status: StatusInfeasible, Nodes: s.nodes}, nil
+}
+
+// improves reports whether a bound/score can still beat the incumbent,
+// using integral rounding of the bound when the objective is integral.
+func (s *search) improves(bound float64) bool {
+	if s.opts.ObjIntegral {
+		bound = math.Floor(bound + 1e-6)
+	}
+	return bound > s.incScore+1e-9
+}
+
+func (s *search) offerIncumbent(sol []float64, score float64) {
+	if !s.hasIncumbent || score > s.incScore+1e-9 {
+		s.incumbent = sol
+		s.incScore = score
+		s.hasIncumbent = true
+	}
+}
+
+// applyBounds resets the problem bounds to base and applies the node chain.
+func (s *search) applyBounds(n *node) {
+	for j := range s.baseLo {
+		s.prob.SetBounds(j, s.baseLo[j], s.baseUp[j])
+	}
+	for cur := n; cur != nil && cur.branch >= 0; cur = cur.parent {
+		lo, up := s.prob.Bounds(cur.branch)
+		// Intersect: deeper overrides tighten, ancestors must not loosen.
+		s.prob.SetBounds(cur.branch, math.Max(lo, cur.lo), math.Min(up, cur.up))
+	}
+}
+
+func (s *search) baseBoundsLo(v int) float64 { return s.baseLo[v] }
+func (s *search) baseBoundsUp(v int) float64 { return s.baseUp[v] }
+
+// mostFractional returns the integer variable farthest from integrality, or
+// -1 when the point is integer feasible.
+func (s *search) mostFractional(x []float64) int {
+	best, bestDist := -1, s.opts.IntTol
+	for _, v := range s.intVars {
+		f := x[v] - math.Floor(x[v])
+		dist := math.Min(f, 1-f)
+		if dist > bestDist {
+			best, bestDist = v, dist
+		}
+	}
+	return best
+}

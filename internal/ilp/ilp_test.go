@@ -1,0 +1,355 @@
+package ilp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+
+	"standout/internal/lp"
+)
+
+func wantStatus(t *testing.T, res Result, st Status) {
+	t.Helper()
+	if res.Status != st {
+		t.Fatalf("status = %v, want %v", res.Status, st)
+	}
+}
+
+func TestKnapsackSmall(t *testing.T) {
+	// max 10a+6b+4c s.t. a+b+c≤2 (0/1) → a+b = 16.
+	p := lp.NewProblem(lp.Maximize)
+	a := p.AddBinaryVar(10, "a")
+	b := p.AddBinaryVar(6, "b")
+	c := p.AddBinaryVar(4, "c")
+	p.AddConstraint([]lp.Term{{Var: a, Coeff: 1}, {Var: b, Coeff: 1}, {Var: c, Coeff: 1}}, lp.LE, 2)
+	res, err := Solve(p, []int{a, b, c}, Options{ObjIntegral: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantStatus(t, res, StatusOptimal)
+	if math.Abs(res.Objective-16) > 1e-6 {
+		t.Fatalf("objective=%v", res.Objective)
+	}
+	if res.X[a] != 1 || res.X[b] != 1 || res.X[c] != 0 {
+		t.Fatalf("x=%v", res.X)
+	}
+}
+
+func TestKnapsackFractionalRelaxation(t *testing.T) {
+	// Classic: weights 3,4,5; values 30,50,60; capacity 8.
+	// LP relaxation is fractional; integer optimum picks items 1+2 (weight 7,
+	// value 80) vs 2+3 infeasible (9), 1+3 (8, value 90). → 90.
+	p := lp.NewProblem(lp.Maximize)
+	x1 := p.AddBinaryVar(30, "x1")
+	x2 := p.AddBinaryVar(50, "x2")
+	x3 := p.AddBinaryVar(60, "x3")
+	p.AddConstraint([]lp.Term{{Var: x1, Coeff: 3}, {Var: x2, Coeff: 4}, {Var: x3, Coeff: 5}}, lp.LE, 8)
+	res, err := Solve(p, []int{x1, x2, x3}, Options{ObjIntegral: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantStatus(t, res, StatusOptimal)
+	if math.Abs(res.Objective-90) > 1e-6 {
+		t.Fatalf("objective=%v x=%v", res.Objective, res.X)
+	}
+}
+
+func TestInfeasibleIP(t *testing.T) {
+	// 0/1 x,y with x+y ≥ 3: LP infeasible already.
+	p := lp.NewProblem(lp.Maximize)
+	x := p.AddBinaryVar(1, "x")
+	y := p.AddBinaryVar(1, "y")
+	p.AddConstraint([]lp.Term{{Var: x, Coeff: 1}, {Var: y, Coeff: 1}}, lp.GE, 3)
+	res, err := Solve(p, []int{x, y}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantStatus(t, res, StatusInfeasible)
+}
+
+func TestIntegerInfeasibleButLPFeasible(t *testing.T) {
+	// 2x = 1 with x ∈ {0,1}: LP feasible at x=0.5, no integer point.
+	p := lp.NewProblem(lp.Maximize)
+	x := p.AddBinaryVar(1, "x")
+	p.AddConstraint([]lp.Term{{Var: x, Coeff: 2}}, lp.EQ, 1)
+	res, err := Solve(p, []int{x}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantStatus(t, res, StatusInfeasible)
+}
+
+func TestUnboundedRoot(t *testing.T) {
+	p := lp.NewProblem(lp.Maximize)
+	x := p.AddVar(0, math.Inf(1), 1, "x") // continuous, unbounded
+	y := p.AddBinaryVar(1, "y")
+	_ = x
+	res, err := Solve(p, []int{y}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantStatus(t, res, StatusUnbounded)
+}
+
+func TestMinimizeSense(t *testing.T) {
+	// min 3x+2y s.t. x+y ≥ 1, x,y ∈ {0,1} → y=1, obj 2.
+	p := lp.NewProblem(lp.Minimize)
+	x := p.AddBinaryVar(3, "x")
+	y := p.AddBinaryVar(2, "y")
+	p.AddConstraint([]lp.Term{{Var: x, Coeff: 1}, {Var: y, Coeff: 1}}, lp.GE, 1)
+	res, err := Solve(p, []int{x, y}, Options{ObjIntegral: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantStatus(t, res, StatusOptimal)
+	if math.Abs(res.Objective-2) > 1e-6 || res.X[y] != 1 || res.X[x] != 0 {
+		t.Fatalf("objective=%v x=%v", res.Objective, res.X)
+	}
+}
+
+func TestGeneralIntegerVariables(t *testing.T) {
+	// max x+y s.t. 2x+3y ≤ 12, x ≤ 4, integer → e.g. x=4,y=1 → 5.
+	p := lp.NewProblem(lp.Maximize)
+	x := p.AddVar(0, 4, 1, "x")
+	y := p.AddVar(0, math.Inf(1), 1, "y")
+	p.AddConstraint([]lp.Term{{Var: x, Coeff: 2}, {Var: y, Coeff: 3}}, lp.LE, 12)
+	res, err := Solve(p, []int{x, y}, Options{ObjIntegral: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantStatus(t, res, StatusOptimal)
+	if math.Abs(res.Objective-5) > 1e-6 {
+		t.Fatalf("objective=%v x=%v", res.Objective, res.X)
+	}
+}
+
+func TestMixedIntegerContinuous(t *testing.T) {
+	// max 2x + y, x ∈ {0,1}, 0 ≤ y ≤ 10 continuous, x + y ≤ 1.5
+	// → x=1, y=0.5, obj 2.5.
+	p := lp.NewProblem(lp.Maximize)
+	x := p.AddBinaryVar(2, "x")
+	y := p.AddVar(0, 10, 1, "y")
+	p.AddConstraint([]lp.Term{{Var: x, Coeff: 1}, {Var: y, Coeff: 1}}, lp.LE, 1.5)
+	res, err := Solve(p, []int{x}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantStatus(t, res, StatusOptimal)
+	if math.Abs(res.Objective-2.5) > 1e-6 {
+		t.Fatalf("objective=%v x=%v", res.Objective, res.X)
+	}
+}
+
+func TestNodeLimit(t *testing.T) {
+	p, ints := randomKnapsack(rand.New(rand.NewSource(3)), 25)
+	res, err := Solve(p, ints, Options{MaxNodes: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != StatusLimit && res.Status != StatusOptimal {
+		t.Fatalf("status=%v", res.Status)
+	}
+	if res.Status == StatusLimit && res.Nodes > 1 {
+		t.Fatalf("processed %d nodes with MaxNodes=1", res.Nodes)
+	}
+}
+
+func TestTimeout(t *testing.T) {
+	p, ints := randomKnapsack(rand.New(rand.NewSource(5)), 40)
+	res, err := Solve(p, ints, Options{Timeout: time.Nanosecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != StatusLimit {
+		t.Fatalf("status=%v, want limit", res.Status)
+	}
+}
+
+func TestBadIntVar(t *testing.T) {
+	p := lp.NewProblem(lp.Maximize)
+	p.AddBinaryVar(1, "x")
+	if _, err := Solve(p, []int{5}, Options{}); err == nil {
+		t.Fatal("accepted out-of-range integer variable")
+	}
+}
+
+func TestHeuristicOnlySpeedsUp(t *testing.T) {
+	// A heuristic proposing a valid greedy solution must not change the
+	// optimum; verify the result matches the run without it.
+	r := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 10; trial++ {
+		p, ints := randomKnapsack(r, 12)
+		plain, err := Solve(p, ints, Options{ObjIntegral: false})
+		if err != nil {
+			t.Fatal(err)
+		}
+		withH, err := Solve(p, ints, Options{
+			Heuristic: func(x []float64) ([]float64, float64, bool) {
+				sol := make([]float64, len(x))
+				obj := 0.0
+				for j := range x {
+					if x[j] > 0.99 {
+						sol[j] = 1
+						obj += p.ObjCoeff(j)
+					}
+				}
+				// Rounding down keeps the knapsack constraint satisfied.
+				return sol, obj, true
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(plain.Objective-withH.Objective) > 1e-6 {
+			t.Fatalf("trial %d: heuristic changed optimum %v → %v",
+				trial, plain.Objective, withH.Objective)
+		}
+	}
+}
+
+// randomKnapsack builds a 0/1 knapsack with n items.
+func randomKnapsack(r *rand.Rand, n int) (*lp.Problem, []int) {
+	p := lp.NewProblem(lp.Maximize)
+	terms := make([]lp.Term, n)
+	ints := make([]int, n)
+	total := 0.0
+	for j := 0; j < n; j++ {
+		v := p.AddBinaryVar(1+float64(r.Intn(20)), "")
+		w := 1 + float64(r.Intn(10))
+		terms[j] = lp.Term{Var: v, Coeff: w}
+		ints[j] = v
+		total += w
+	}
+	p.AddConstraint(terms, lp.LE, total/3)
+	return p, ints
+}
+
+// knapsackBrute solves a knapsack by exhaustive enumeration for comparison.
+func knapsackBrute(p *lp.Problem, weights []float64, cap float64) float64 {
+	n := p.NumVars()
+	best := 0.0
+	for mask := 0; mask < 1<<n; mask++ {
+		w, v := 0.0, 0.0
+		for j := 0; j < n; j++ {
+			if mask&(1<<j) != 0 {
+				w += weights[j]
+				v += p.ObjCoeff(j)
+			}
+		}
+		if w <= cap && v > best {
+			best = v
+		}
+	}
+	return best
+}
+
+func TestRandomKnapsackVsBruteForce(t *testing.T) {
+	r := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 60; trial++ {
+		n := 3 + r.Intn(10)
+		p := lp.NewProblem(lp.Maximize)
+		weights := make([]float64, n)
+		terms := make([]lp.Term, n)
+		ints := make([]int, n)
+		total := 0.0
+		for j := 0; j < n; j++ {
+			v := p.AddBinaryVar(float64(1+r.Intn(30)), "")
+			weights[j] = float64(1 + r.Intn(12))
+			terms[j] = lp.Term{Var: v, Coeff: weights[j]}
+			ints[j] = v
+			total += weights[j]
+		}
+		cap := total * (0.2 + 0.6*r.Float64())
+		p.AddConstraint(terms, lp.LE, cap)
+		res, err := Solve(p, ints, Options{ObjIntegral: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantStatus(t, res, StatusOptimal)
+		want := knapsackBrute(p, weights, cap)
+		if math.Abs(res.Objective-want) > 1e-6 {
+			t.Fatalf("trial %d: got %v, brute force %v", trial, res.Objective, want)
+		}
+	}
+}
+
+// TestRandomCoverVsBruteForce uses ≥ rows (set cover), exercising Phase 1
+// inside branch-and-bound nodes.
+func TestRandomCoverVsBruteForce(t *testing.T) {
+	r := rand.New(rand.NewSource(4242))
+	for trial := 0; trial < 40; trial++ {
+		nSets := 3 + r.Intn(7)
+		nElems := 2 + r.Intn(5)
+		membership := make([][]bool, nSets)
+		p := lp.NewProblem(lp.Minimize)
+		ints := make([]int, nSets)
+		for sIdx := 0; sIdx < nSets; sIdx++ {
+			membership[sIdx] = make([]bool, nElems)
+			for e := 0; e < nElems; e++ {
+				membership[sIdx][e] = r.Intn(2) == 0
+			}
+			ints[sIdx] = p.AddBinaryVar(float64(1+r.Intn(5)), "")
+		}
+		feasible := true
+		for e := 0; e < nElems; e++ {
+			var terms []lp.Term
+			for sIdx := 0; sIdx < nSets; sIdx++ {
+				if membership[sIdx][e] {
+					terms = append(terms, lp.Term{Var: sIdx, Coeff: 1})
+				}
+			}
+			if len(terms) == 0 {
+				feasible = false
+				break
+			}
+			p.AddConstraint(terms, lp.GE, 1)
+		}
+		if !feasible {
+			continue
+		}
+		res, err := Solve(p, ints, Options{ObjIntegral: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantStatus(t, res, StatusOptimal)
+
+		// Brute force.
+		best := math.Inf(1)
+		for mask := 0; mask < 1<<nSets; mask++ {
+			cost := 0.0
+			covered := make([]bool, nElems)
+			for sIdx := 0; sIdx < nSets; sIdx++ {
+				if mask&(1<<sIdx) != 0 {
+					cost += p.ObjCoeff(sIdx)
+					for e, in := range membership[sIdx] {
+						if in {
+							covered[e] = true
+						}
+					}
+				}
+			}
+			ok := true
+			for _, c := range covered {
+				ok = ok && c
+			}
+			if ok && cost < best {
+				best = cost
+			}
+		}
+		if math.Abs(res.Objective-best) > 1e-6 {
+			t.Fatalf("trial %d: got %v, brute force %v", trial, res.Objective, best)
+		}
+	}
+}
+
+func TestStatusString(t *testing.T) {
+	for s, want := range map[Status]string{
+		StatusOptimal: "optimal", StatusInfeasible: "infeasible",
+		StatusUnbounded: "unbounded", StatusLimit: "limit", Status(9): "Status(9)",
+	} {
+		if s.String() != want {
+			t.Errorf("Status(%d).String()=%q", int(s), s.String())
+		}
+	}
+}

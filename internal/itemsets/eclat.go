@@ -1,0 +1,60 @@
+package itemsets
+
+import (
+	"standout/internal/bitvec"
+)
+
+// Eclat enumerates all frequent itemsets with support ≥ minSup by
+// depth-first search over the vertical representation: each branch extends
+// the current itemset with a later item and intersects the supporting
+// rowsets (Zaki's Eclat). It explores exactly the frequent portion of the
+// lattice, making it the cheapest of the three all-frequent-itemsets miners
+// on inputs with long patterns, and a third independent oracle for the
+// Apriori ≡ FP-Growth ≡ Eclat equivalence tests.
+func (m *Miner) Eclat(minSup int) []ItemsetCount {
+	if minSup < 1 {
+		minSup = 1
+	}
+	var out []ItemsetCount
+
+	type ext struct {
+		item int
+		rows []uint64
+		sup  int
+	}
+
+	var rec func(prefix []int, exts []ext)
+	rec = func(prefix []int, exts []ext) {
+		for i, e := range exts {
+			items := append(append([]int(nil), prefix...), e.item)
+			out = append(out, ItemsetCount{
+				Items:   bitvec.FromIndices(m.width, items...),
+				Support: e.sup,
+			})
+			var next []ext
+			for _, f := range exts[i+1:] {
+				rows := make([]uint64, m.words)
+				sup := 0
+				for w := range rows {
+					rows[w] = e.rows[w] & f.rows[w]
+				}
+				sup = popcount(rows)
+				if sup >= minSup {
+					next = append(next, ext{item: f.item, rows: rows, sup: sup})
+				}
+			}
+			if len(next) > 0 {
+				rec(items, next)
+			}
+		}
+	}
+
+	var roots []ext
+	for j := 0; j < m.width; j++ {
+		if sup := popcount(m.cols[j]); sup >= minSup {
+			roots = append(roots, ext{item: j, rows: m.cols[j], sup: sup})
+		}
+	}
+	rec(nil, roots)
+	return out
+}

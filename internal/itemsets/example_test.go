@@ -1,0 +1,48 @@
+package itemsets_test
+
+import (
+	"fmt"
+
+	"standout/internal/bitvec"
+	"standout/internal/dataset"
+	"standout/internal/itemsets"
+)
+
+// ExampleMiner_MaximalRandomWalk mines the maximal frequent itemsets of a
+// small dense table with the paper's two-phase random walk.
+func ExampleMiner_MaximalRandomWalk() {
+	tab := dataset.NewTable(dataset.GenericSchema(4))
+	for _, row := range []string{"1110", "1110", "1011", "1111"} {
+		v, err := bitvec.FromString(row)
+		if err != nil {
+			panic(err)
+		}
+		if err := tab.Append(v, ""); err != nil {
+			panic(err)
+		}
+	}
+	m := itemsets.NewMiner(tab)
+	for _, mfi := range m.MaximalRandomWalk(2, itemsets.WalkOptions{}) {
+		fmt.Printf("%s support=%d\n", mfi.Items, mfi.Support)
+	}
+	// Output:
+	// 1110 support=3
+	// 1011 support=2
+}
+
+// ExampleMiner_Support counts the rows containing an itemset.
+func ExampleMiner_Support() {
+	tab := dataset.NewTable(dataset.GenericSchema(3))
+	for _, row := range []string{"110", "101", "111"} {
+		v, err := bitvec.FromString(row)
+		if err != nil {
+			panic(err)
+		}
+		if err := tab.Append(v, ""); err != nil {
+			panic(err)
+		}
+	}
+	m := itemsets.NewMiner(tab)
+	fmt.Println(m.Support(bitvec.FromIndices(3, 0, 2)))
+	// Output: 2
+}

@@ -1,0 +1,210 @@
+package itemsets
+
+import (
+	"sort"
+
+	"standout/internal/bitvec"
+)
+
+// FP-Growth (Han, Pei & Yin [14]): compress the transactions into a prefix
+// tree ordered by descending item frequency, then mine frequent itemsets by
+// recursively building conditional trees, with the single-path shortcut.
+// Like Apriori it enumerates ALL frequent itemsets, which §IV.C notes is
+// hopeless on dense complemented query logs; it serves as the second
+// verification oracle and as the sparse-input miner.
+
+type fpNode struct {
+	item     int
+	count    int
+	parent   *fpNode
+	children map[int]*fpNode
+	nextLink *fpNode // header-table chain for this item
+}
+
+type fpTree struct {
+	root    *fpNode
+	heads   map[int]*fpNode // first node per item
+	tails   map[int]*fpNode // last node per item (for O(1) link append)
+	support map[int]int     // item support in this (conditional) database
+}
+
+func newFPTree() *fpTree {
+	return &fpTree{
+		root:    &fpNode{item: -1, children: map[int]*fpNode{}},
+		heads:   map[int]*fpNode{},
+		tails:   map[int]*fpNode{},
+		support: map[int]int{},
+	}
+}
+
+// insert adds a transaction (items already filtered and order-ranked) with a
+// multiplicity count.
+func (t *fpTree) insert(items []int, count int) {
+	cur := t.root
+	for _, it := range items {
+		child, ok := cur.children[it]
+		if !ok {
+			child = &fpNode{item: it, parent: cur, children: map[int]*fpNode{}}
+			cur.children[it] = child
+			if t.heads[it] == nil {
+				t.heads[it] = child
+			} else {
+				t.tails[it].nextLink = child
+			}
+			t.tails[it] = child
+		}
+		child.count += count
+		cur = child
+	}
+}
+
+// singlePath returns the unique root-to-leaf item/count chain if the tree is
+// a single path, else nil.
+func (t *fpTree) singlePath() []fpNode {
+	var path []fpNode
+	cur := t.root
+	for len(cur.children) == 1 {
+		for _, child := range cur.children {
+			cur = child
+		}
+		path = append(path, fpNode{item: cur.item, count: cur.count})
+	}
+	if len(cur.children) > 0 {
+		return nil
+	}
+	return path
+}
+
+// FPGrowth computes all frequent itemsets with support ≥ minSup.
+func (m *Miner) FPGrowth(minSup int) []ItemsetCount {
+	if minSup < 1 {
+		minSup = 1
+	}
+	supports := m.singletonSupports()
+
+	// Global frequency order: rank items by descending support.
+	rank := make([]int, m.width)
+	order := make([]int, m.width)
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool { return supports[order[a]] > supports[order[b]] })
+	for r, item := range order {
+		rank[item] = r
+	}
+
+	tree := newFPTree()
+	for item, sup := range supports {
+		if sup >= minSup {
+			tree.support[item] = sup
+		}
+	}
+	// Re-walk the columns to reconstruct transactions row by row.
+	for r := 0; r < m.nrows; r++ {
+		var items []int
+		for j := 0; j < m.width; j++ {
+			if m.cols[j][r/64]&(1<<(uint(r)%64)) != 0 && supports[j] >= minSup {
+				items = append(items, j)
+			}
+		}
+		sort.Slice(items, func(a, b int) bool { return rank[items[a]] < rank[items[b]] })
+		tree.insert(items, 1)
+	}
+
+	var out []ItemsetCount
+	m.fpMine(tree, nil, minSup, &out)
+	return out
+}
+
+// fpMine recursively mines tree; suffix is the itemset conditioned on.
+func (m *Miner) fpMine(tree *fpTree, suffix []int, minSup int, out *[]ItemsetCount) {
+	if path := tree.singlePath(); path != nil {
+		// All combinations of path items, each joined with suffix; support is
+		// the minimum count along the chosen prefix of the path.
+		m.emitPathCombos(path, suffix, out)
+		return
+	}
+
+	// Process header items in increasing support order (deepest-first).
+	items := make([]int, 0, len(tree.support))
+	for it := range tree.support {
+		items = append(items, it)
+	}
+	sort.Slice(items, func(a, b int) bool {
+		sa, sb := tree.support[items[a]], tree.support[items[b]]
+		if sa != sb {
+			return sa < sb
+		}
+		return items[a] < items[b]
+	})
+
+	for _, it := range items {
+		newSuffix := append(append([]int(nil), suffix...), it)
+		*out = append(*out, ItemsetCount{
+			Items:   bitvec.FromIndices(m.width, newSuffix...),
+			Support: tree.support[it],
+		})
+
+		// Build the conditional pattern base for it.
+		cond := newFPTree()
+		prefixSupport := map[int]int{}
+		type prefix struct {
+			items []int
+			count int
+		}
+		var prefixes []prefix
+		for node := tree.heads[it]; node != nil; node = node.nextLink {
+			var path []int
+			for p := node.parent; p != nil && p.item >= 0; p = p.parent {
+				path = append(path, p.item)
+			}
+			// path is leaf→root; reverse to root→leaf.
+			for l, r := 0, len(path)-1; l < r; l, r = l+1, r-1 {
+				path[l], path[r] = path[r], path[l]
+			}
+			prefixes = append(prefixes, prefix{items: path, count: node.count})
+			for _, pi := range path {
+				prefixSupport[pi] += node.count
+			}
+		}
+		for item, sup := range prefixSupport {
+			if sup >= minSup {
+				cond.support[item] = sup
+			}
+		}
+		if len(cond.support) == 0 {
+			continue
+		}
+		for _, pf := range prefixes {
+			var kept []int
+			for _, pi := range pf.items {
+				if _, ok := cond.support[pi]; ok {
+					kept = append(kept, pi)
+				}
+			}
+			// Order within the conditional tree follows the global rank,
+			// which pf.items already respects (root→leaf order).
+			cond.insert(kept, pf.count)
+		}
+		m.fpMine(cond, newSuffix, minSup, out)
+	}
+}
+
+// emitPathCombos emits every non-empty subset of the single path joined with
+// suffix; if suffix is non-empty it has already been emitted by the caller.
+func (m *Miner) emitPathCombos(path []fpNode, suffix []int, out *[]ItemsetCount) {
+	n := len(path)
+	for mask := 1; mask < 1<<n; mask++ {
+		items := append([]int(nil), suffix...)
+		sup := -1
+		for i := 0; i < n; i++ {
+			if mask&(1<<i) != 0 {
+				items = append(items, path[i].item)
+				if sup < 0 || path[i].count < sup {
+					sup = path[i].count
+				}
+			}
+		}
+		*out = append(*out, ItemsetCount{Items: bitvec.FromIndices(m.width, items...), Support: sup})
+	}
+}

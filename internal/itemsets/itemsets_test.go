@@ -1,0 +1,437 @@
+package itemsets
+
+import (
+	"math/rand"
+	"testing"
+
+	"standout/internal/bitvec"
+	"standout/internal/dataset"
+)
+
+// table builds a dataset.Table from bit strings.
+func table(t *testing.T, rows ...string) *dataset.Table {
+	t.Helper()
+	if len(rows) == 0 {
+		t.Fatal("table needs rows")
+	}
+	tab := dataset.NewTable(dataset.GenericSchema(len(rows[0])))
+	for _, r := range rows {
+		v, err := bitvec.FromString(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := tab.Append(v, ""); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return tab
+}
+
+// randomTable generates a random Boolean table with the given density.
+func randomTable(r *rand.Rand, rows, cols int, density float64) *dataset.Table {
+	tab := dataset.NewTable(dataset.GenericSchema(cols))
+	for i := 0; i < rows; i++ {
+		v := bitvec.New(cols)
+		for j := 0; j < cols; j++ {
+			if r.Float64() < density {
+				v.Set(j)
+			}
+		}
+		if err := tab.Append(v, ""); err != nil {
+			panic(err)
+		}
+	}
+	return tab
+}
+
+// bruteFrequent enumerates all frequent itemsets by scanning every subset.
+func bruteFrequent(tab *dataset.Table, minSup int) map[string]int {
+	m := NewMiner(tab)
+	out := map[string]int{}
+	width := tab.Width()
+	for mask := 1; mask < 1<<width; mask++ {
+		var items []int
+		for j := 0; j < width; j++ {
+			if mask&(1<<j) != 0 {
+				items = append(items, j)
+			}
+		}
+		v := bitvec.FromIndices(width, items...)
+		if sup := m.Support(v); sup >= minSup {
+			out[v.Key()] = sup
+		}
+	}
+	return out
+}
+
+// bruteMaximal filters bruteFrequent down to maximal sets.
+func bruteMaximal(tab *dataset.Table, minSup int) map[string]int {
+	freq := bruteFrequent(tab, minSup)
+	width := tab.Width()
+	out := map[string]int{}
+	for k, sup := range freq {
+		v := keyToVector(k, width)
+		maximal := true
+		for j := 0; j < width && maximal; j++ {
+			if !v.Get(j) {
+				sup2 := v.Clone()
+				sup2.Set(j)
+				if _, ok := freq[sup2.Key()]; ok {
+					maximal = false
+				}
+			}
+		}
+		if maximal {
+			out[k] = sup
+		}
+	}
+	// The empty itemset is maximal iff nothing else is frequent.
+	if len(out) == 0 && len(freq) == 0 && tab.Size() >= minSup {
+		out[bitvec.New(width).Key()] = tab.Size()
+	}
+	return out
+}
+
+// keyToVector reverses bitvec.Key for test use by scanning all masks — only
+// usable for tiny widths, which is all the brute oracles handle anyway.
+func keyToVector(key string, width int) bitvec.Vector {
+	for mask := 0; mask < 1<<width; mask++ {
+		v := bitvec.New(width)
+		for j := 0; j < width; j++ {
+			if mask&(1<<j) != 0 {
+				v.Set(j)
+			}
+		}
+		if v.Key() == key {
+			return v
+		}
+	}
+	panic("keyToVector: no match")
+}
+
+func toMap(sets []ItemsetCount) map[string]int {
+	out := map[string]int{}
+	for _, s := range sets {
+		out[s.Items.Key()] = s.Support
+	}
+	return out
+}
+
+func sameSets(t *testing.T, label string, got []ItemsetCount, want map[string]int) {
+	t.Helper()
+	gm := toMap(got)
+	if len(gm) != len(got) {
+		t.Fatalf("%s: duplicate itemsets in output", label)
+	}
+	if len(gm) != len(want) {
+		t.Fatalf("%s: %d itemsets, want %d", label, len(gm), len(want))
+	}
+	for k, sup := range want {
+		if gm[k] != sup {
+			t.Fatalf("%s: itemset support %d, want %d", label, gm[k], sup)
+		}
+	}
+}
+
+func TestSupportBasics(t *testing.T) {
+	tab := table(t, "110", "101", "111", "000")
+	m := NewMiner(tab)
+	if got := m.Support(bitvec.New(3)); got != 4 {
+		t.Errorf("empty itemset support=%d, want 4", got)
+	}
+	if got := m.Support(bitvec.FromIndices(3, 0)); got != 3 {
+		t.Errorf("support(a0)=%d", got)
+	}
+	if got := m.Support(bitvec.FromIndices(3, 0, 1)); got != 2 {
+		t.Errorf("support(a0,a1)=%d", got)
+	}
+	if got := m.Support(bitvec.FromIndices(3, 0, 1, 2)); got != 1 {
+		t.Errorf("support(all)=%d", got)
+	}
+}
+
+func TestSupportPanicsOnWidthMismatch(t *testing.T) {
+	m := NewMiner(table(t, "10"))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	m.Support(bitvec.New(3))
+}
+
+func TestAprioriKnown(t *testing.T) {
+	// Classic example: 4 transactions.
+	tab := table(t,
+		"11010",
+		"01101",
+		"11011",
+		"01010",
+	)
+	got := toMap(NewMiner(tab).Apriori(2))
+	want := bruteFrequent(tab, 2)
+	if len(got) != len(want) {
+		t.Fatalf("got %d frequent sets, want %d", len(got), len(want))
+	}
+	for k, sup := range want {
+		if got[k] != sup {
+			t.Fatalf("support mismatch: got %d want %d", got[k], sup)
+		}
+	}
+}
+
+func TestAprioriEqualsFPGrowthEqualsBrute(t *testing.T) {
+	r := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 30; trial++ {
+		rows := 4 + r.Intn(12)
+		cols := 2 + r.Intn(7)
+		density := 0.2 + 0.5*r.Float64()
+		tab := randomTable(r, rows, cols, density)
+		minSup := 1 + r.Intn(3)
+		want := bruteFrequent(tab, minSup)
+		m := NewMiner(tab)
+		sameSets(t, "Apriori", m.Apriori(minSup), want)
+		sameSets(t, "FPGrowth", m.FPGrowth(minSup), want)
+	}
+}
+
+func TestAprioriCapped(t *testing.T) {
+	tab := table(t, "111", "111", "110")
+	m := NewMiner(tab)
+	capped := m.AprioriCapped(2, 1)
+	for _, s := range capped {
+		if s.Items.Count() > 1 {
+			t.Errorf("capped at level 1 but emitted %v", s.Items)
+		}
+	}
+	if len(capped) != 3 {
+		t.Errorf("got %d singletons, want 3", len(capped))
+	}
+}
+
+func TestMaximalDFSEqualsBrute(t *testing.T) {
+	r := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 40; trial++ {
+		rows := 3 + r.Intn(12)
+		cols := 2 + r.Intn(7)
+		density := 0.2 + 0.6*r.Float64()
+		tab := randomTable(r, rows, cols, density)
+		minSup := 1 + r.Intn(3)
+		want := bruteMaximal(tab, minSup)
+		got := NewMiner(tab).MaximalDFS(minSup)
+		sameSets(t, "MaximalDFS", got, want)
+	}
+}
+
+func TestMaximalDFSDenseComplement(t *testing.T) {
+	// Dense tables are the actual regime of §IV.C: complement a sparse table.
+	r := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 20; trial++ {
+		tab := randomTable(r, 3+r.Intn(10), 2+r.Intn(6), 0.15).Complement()
+		minSup := 1 + r.Intn(2)
+		want := bruteMaximal(tab, minSup)
+		got := NewMiner(tab).MaximalDFS(minSup)
+		sameSets(t, "MaximalDFS dense", got, want)
+	}
+}
+
+func TestMaximalDFSMinSupTooHigh(t *testing.T) {
+	tab := table(t, "11", "11")
+	if got := NewMiner(tab).MaximalDFS(3); got != nil {
+		t.Errorf("expected nil for unreachable minSup, got %v", got)
+	}
+}
+
+func TestMaximalDFSEmptyOnlyMaximal(t *testing.T) {
+	// Two disjoint singleton rows, minSup 2: no non-empty itemset is
+	// frequent; the empty itemset is the unique maximal one.
+	tab := table(t, "10", "01")
+	got := NewMiner(tab).MaximalDFS(2)
+	if len(got) != 1 || got[0].Items.Count() != 0 || got[0].Support != 2 {
+		t.Errorf("got %v, want just the empty itemset with support 2", got)
+	}
+}
+
+func TestRandomWalkMatchesDFS(t *testing.T) {
+	r := rand.New(rand.NewSource(47))
+	for trial := 0; trial < 25; trial++ {
+		rows := 4 + r.Intn(10)
+		cols := 3 + r.Intn(6)
+		// Dense tables, as produced by complementing sparse query logs.
+		tab := randomTable(r, rows, cols, 0.25).Complement()
+		minSup := 1 + r.Intn(2)
+		m := NewMiner(tab)
+		want := toMap(m.MaximalDFS(minSup))
+		opts := WalkOptions{MaxIters: 4000, Rng: rand.New(rand.NewSource(int64(trial)))}
+		got := m.MaximalRandomWalk(minSup, opts)
+		// Every walk result must be a genuinely maximal frequent itemset...
+		gm := toMap(got)
+		for k, sup := range gm {
+			if want[k] != sup {
+				t.Fatalf("trial %d: walk produced non-maximal or wrong-support set", trial)
+			}
+		}
+		// ...and with this iteration budget on tiny instances it finds all.
+		if len(gm) != len(want) {
+			t.Fatalf("trial %d: walk found %d of %d maximal sets", trial, len(gm), len(want))
+		}
+	}
+}
+
+func TestBottomUpWalkMatchesDFS(t *testing.T) {
+	r := rand.New(rand.NewSource(53))
+	for trial := 0; trial < 15; trial++ {
+		tab := randomTable(r, 4+r.Intn(10), 3+r.Intn(5), 0.5)
+		minSup := 1 + r.Intn(2)
+		m := NewMiner(tab)
+		want := toMap(m.MaximalDFS(minSup))
+		got := m.MaximalRandomWalkBottomUp(minSup,
+			WalkOptions{MaxIters: 4000, Rng: rand.New(rand.NewSource(int64(trial)))})
+		gm := toMap(got)
+		for k, sup := range gm {
+			if want[k] != sup {
+				t.Fatalf("trial %d: bottom-up walk produced wrong set", trial)
+			}
+		}
+		if len(gm) != len(want) {
+			t.Fatalf("trial %d: bottom-up found %d of %d", trial, len(gm), len(want))
+		}
+	}
+}
+
+func TestWalkDeterministicWithSeed(t *testing.T) {
+	tab := randomTable(rand.New(rand.NewSource(5)), 20, 8, 0.4)
+	m := NewMiner(tab)
+	a := m.MaximalRandomWalk(3, WalkOptions{Rng: rand.New(rand.NewSource(9))})
+	b := m.MaximalRandomWalk(3, WalkOptions{Rng: rand.New(rand.NewSource(9))})
+	if len(a) != len(b) {
+		t.Fatalf("non-deterministic walk: %d vs %d sets", len(a), len(b))
+	}
+	for i := range a {
+		if !a[i].Items.Equal(b[i].Items) || a[i].Support != b[i].Support {
+			t.Fatalf("non-deterministic walk at %d", i)
+		}
+	}
+}
+
+func TestWalkFullTableFrequent(t *testing.T) {
+	// All rows identical: the full row is the unique maximal frequent set.
+	tab := table(t, "1101", "1101", "1101")
+	got := NewMiner(tab).MaximalRandomWalk(2, WalkOptions{})
+	if len(got) != 1 || got[0].Items.String() != "1101" || got[0].Support != 3 {
+		t.Errorf("got %v", got)
+	}
+}
+
+func TestWalkMinSupAboveRows(t *testing.T) {
+	tab := table(t, "11")
+	if got := NewMiner(tab).MaximalRandomWalk(5, WalkOptions{}); got != nil {
+		t.Errorf("expected nil, got %v", got)
+	}
+}
+
+func TestGoodTuringUnseen(t *testing.T) {
+	if got := GoodTuringUnseen(nil); got != 1 {
+		t.Errorf("empty: %v", got)
+	}
+	if got := GoodTuringUnseen(map[string]int{"a": 1, "b": 1}); got != 1 {
+		t.Errorf("all singletons: %v", got)
+	}
+	if got := GoodTuringUnseen(map[string]int{"a": 3, "b": 1}); got != 0.25 {
+		t.Errorf("one of four walks novel: %v", got)
+	}
+	if got := GoodTuringUnseen(map[string]int{"a": 5}); got != 0 {
+		t.Errorf("fully confirmed: %v", got)
+	}
+}
+
+func TestSortBySizeOrdering(t *testing.T) {
+	sets := []ItemsetCount{
+		{Items: bitvec.FromIndices(4, 0), Support: 9},
+		{Items: bitvec.FromIndices(4, 1, 2, 3), Support: 2},
+		{Items: bitvec.FromIndices(4, 0, 1), Support: 5},
+		{Items: bitvec.FromIndices(4, 2, 3), Support: 7},
+	}
+	SortBySize(sets)
+	if sets[0].Items.Count() != 3 || sets[1].Support != 7 || sets[2].Support != 5 || sets[3].Items.Count() != 1 {
+		t.Errorf("order wrong: %v", sets)
+	}
+}
+
+func BenchmarkSupport32Attrs(b *testing.B) {
+	tab := randomTable(rand.New(rand.NewSource(1)), 2000, 32, 0.3)
+	m := NewMiner(tab)
+	items := bitvec.FromIndices(32, 1, 5, 9)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		m.Support(items)
+	}
+}
+
+func BenchmarkTwoPhaseWalkDense(b *testing.B) {
+	// The regime of §IV.C: dense complement of a sparse 2000-query log.
+	tab := randomTable(rand.New(rand.NewSource(1)), 2000, 32, 0.08).Complement()
+	m := NewMiner(tab)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		m.MaximalRandomWalk(20, WalkOptions{Rng: rand.New(rand.NewSource(int64(i)))})
+	}
+}
+
+func BenchmarkBottomUpWalkDense(b *testing.B) {
+	tab := randomTable(rand.New(rand.NewSource(1)), 2000, 32, 0.08).Complement()
+	m := NewMiner(tab)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		m.MaximalRandomWalkBottomUp(20, WalkOptions{Rng: rand.New(rand.NewSource(int64(i)))})
+	}
+}
+
+func TestEclatEqualsBrute(t *testing.T) {
+	r := rand.New(rand.NewSource(61))
+	for trial := 0; trial < 30; trial++ {
+		rows := 4 + r.Intn(12)
+		cols := 2 + r.Intn(7)
+		tab := randomTable(r, rows, cols, 0.2+0.5*r.Float64())
+		minSup := 1 + r.Intn(3)
+		want := bruteFrequent(tab, minSup)
+		sameSets(t, "Eclat", NewMiner(tab).Eclat(minSup), want)
+	}
+}
+
+func TestThreeMinersAgreeOnDenseComplement(t *testing.T) {
+	r := rand.New(rand.NewSource(67))
+	for trial := 0; trial < 10; trial++ {
+		tab := randomTable(r, 5+r.Intn(8), 2+r.Intn(5), 0.2).Complement()
+		minSup := 1 + r.Intn(2)
+		m := NewMiner(tab)
+		a := toMap(m.Apriori(minSup))
+		f := toMap(m.FPGrowth(minSup))
+		e := toMap(m.Eclat(minSup))
+		if len(a) != len(f) || len(a) != len(e) {
+			t.Fatalf("trial %d: sizes differ: apriori=%d fpgrowth=%d eclat=%d",
+				trial, len(a), len(f), len(e))
+		}
+		for k, sup := range a {
+			if f[k] != sup || e[k] != sup {
+				t.Fatalf("trial %d: support mismatch", trial)
+			}
+		}
+	}
+}
+
+func TestEclatMinSupClamp(t *testing.T) {
+	tab := table(t, "11", "10")
+	got := NewMiner(tab).Eclat(0) // clamps to 1
+	want := bruteFrequent(tab, 1)
+	sameSets(t, "Eclat clamp", got, want)
+}
+
+func BenchmarkEclatSparse(b *testing.B) {
+	tab := randomTable(rand.New(rand.NewSource(1)), 2000, 32, 0.08)
+	m := NewMiner(tab)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		m.Eclat(20)
+	}
+}

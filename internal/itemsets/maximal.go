@@ -1,0 +1,358 @@
+package itemsets
+
+import (
+	"math/rand"
+	"sort"
+
+	"standout/internal/bitvec"
+)
+
+// Maximal frequent itemset miners. A frequent itemset is maximal when no
+// strict superset is frequent. On the dense complemented query logs of
+// §IV.C, all maximal frequent itemsets sit near the top of the Boolean
+// lattice, which is what makes the paper's top-down two-phase walk fast.
+
+// MaximalDFS computes the exact set of maximal frequent itemsets with
+// support ≥ minSup by depth-first search with tidset propagation, the
+// all-candidates lookahead (as in MAFIA/GenMax) and subsumption pruning
+// against already-found maximal sets. It is exponential in the worst case
+// and serves as the verification oracle and as the exact backend of
+// MaxFreqItemSets-SOC-CB-QL for moderate widths.
+func (m *Miner) MaximalDFS(minSup int) []ItemsetCount {
+	if minSup < 1 {
+		minSup = 1
+	}
+	supports := m.singletonSupports()
+	// Fail-first item order: least frequent items first.
+	order := itemOrder(supports)
+
+	var found []ItemsetCount
+	isSubsumed := func(items bitvec.Vector) bool {
+		for _, f := range found {
+			if items.SubsetOf(f.Items) {
+				return true
+			}
+		}
+		return false
+	}
+
+	var rec func(current bitvec.Vector, curRows []uint64, curSup int, cand []int)
+	rec = func(current bitvec.Vector, curRows []uint64, curSup int, cand []int) {
+		// Filter candidates to those frequent in the current context, and
+		// absorb parent-equivalent items on the way (PEP, as in MAFIA):
+		// an item supported by every row of the current context belongs to
+		// every maximal superset in this subtree, so it is added outright
+		// instead of branched on. On dense tables (the §IV.C regime) this
+		// collapses otherwise-exponential subtrees.
+		type ext struct {
+			item int
+			sup  int
+		}
+		var exts []ext
+		for _, j := range cand {
+			s := countAnd(curRows, m.cols[j])
+			if s < minSup {
+				continue
+			}
+			if s == curSup {
+				if !current.Get(j) {
+					current = current.Clone()
+					current.Set(j)
+				}
+				continue
+			}
+			exts = append(exts, ext{j, s})
+		}
+		if len(exts) == 0 {
+			if !isSubsumed(current) {
+				found = append(found, ItemsetCount{Items: current.Clone(), Support: curSup})
+			}
+			return
+		}
+		// Fail-first: least-supported extensions explored first.
+		sort.Slice(exts, func(a, b int) bool {
+			if exts[a].sup != exts[b].sup {
+				return exts[a].sup < exts[b].sup
+			}
+			return exts[a].item < exts[b].item
+		})
+
+		// Lookahead: if current ∪ all viable extensions is frequent, it is the
+		// unique maximal set below this node.
+		all := current.Clone()
+		allRows := append([]uint64(nil), curRows...)
+		for _, e := range exts {
+			all.Set(e.item)
+			intersect(allRows, m.cols[e.item])
+		}
+		if s := popcount(allRows); s >= minSup {
+			if !isSubsumed(all) {
+				found = append(found, ItemsetCount{Items: all, Support: s})
+			}
+			return
+		}
+
+		for i, e := range exts {
+			next := current.Clone()
+			next.Set(e.item)
+			// Subsumption pruning: if next plus every remaining candidate is
+			// already inside a found maximal set, this subtree adds nothing.
+			withRest := next.Clone()
+			for _, e2 := range exts[i+1:] {
+				withRest.Set(e2.item)
+			}
+			if isSubsumed(withRest) {
+				continue
+			}
+			nextRows := append([]uint64(nil), curRows...)
+			intersect(nextRows, m.cols[e.item])
+			rest := make([]int, 0, len(exts)-i-1)
+			for _, e2 := range exts[i+1:] {
+				rest = append(rest, e2.item)
+			}
+			rec(next, nextRows, e.sup, rest)
+		}
+	}
+
+	empty := bitvec.New(m.width)
+	full := m.fullRowset()
+	if m.nrows < minSup {
+		return nil // not even the empty itemset is frequent
+	}
+	rec(empty, full, m.nrows, order)
+
+	// The DFS can emit the empty itemset when nothing else is frequent; that
+	// is the correct answer (the empty set is maximal) and callers handle it.
+	return found
+}
+
+// WalkOptions tunes the random-walk maximal miners.
+type WalkOptions struct {
+	// MaxIters caps the number of walks; 0 means 10_000.
+	MaxIters int
+	// MinIters is a floor on the number of walks before the stopping rule may
+	// fire. The paper's rule alone can stop after two walks that happen to
+	// land on the same maximal set; a floor proportional to the lattice width
+	// makes missing a maximal set much less likely. 0 means max(32, 4·width);
+	// set to 1 to reproduce the paper's rule verbatim.
+	MinIters int
+	// MinConfirm is the Good–Turing-style stopping rule of §IV.C: stop once
+	// every discovered maximal itemset has been discovered at least this many
+	// times. 0 means 2, matching the paper ("discovered at least twice").
+	MinConfirm int
+	// Rng drives the walks; nil means a fixed-seed source (deterministic).
+	Rng *rand.Rand
+}
+
+func (o WalkOptions) withDefaults(width int) WalkOptions {
+	if o.MaxIters == 0 {
+		o.MaxIters = 10_000
+	}
+	if o.MinIters == 0 {
+		o.MinIters = 4 * width
+		if o.MinIters < 32 {
+			o.MinIters = 32
+		}
+	}
+	if o.MinConfirm == 0 {
+		o.MinConfirm = 2
+	}
+	if o.Rng == nil {
+		o.Rng = rand.New(rand.NewSource(1))
+	}
+	return o
+}
+
+// MaximalRandomWalk runs the paper's two-phase random walk (§IV.C, Fig 3):
+// the Down Phase removes random items from the full itemset until it becomes
+// frequent, the Up Phase adds random items while staying frequent, yielding
+// one maximal frequent itemset per walk. Walks repeat until the stopping
+// rule fires. With high probability all maximal sets are found when their
+// number is small, but the result is not guaranteed complete — use
+// MaximalDFS when exactness is required.
+func (m *Miner) MaximalRandomWalk(minSup int, opts WalkOptions) []ItemsetCount {
+	return m.walk(minSup, opts, true)
+}
+
+// MaximalRandomWalkBottomUp is the bottom-up baseline of Gunopulos et al.
+// [11]: start from a random frequent singleton and only walk up. On dense
+// tables it traverses many more lattice levels per walk than the two-phase
+// variant; the ablation bench quantifies exactly that.
+func (m *Miner) MaximalRandomWalkBottomUp(minSup int, opts WalkOptions) []ItemsetCount {
+	return m.walk(minSup, opts, false)
+}
+
+func (m *Miner) walk(minSup int, opts WalkOptions, topDown bool) []ItemsetCount {
+	if minSup < 1 {
+		minSup = 1
+	}
+	if m.nrows < minSup {
+		return nil
+	}
+	opts = opts.withDefaults(m.width)
+
+	type discovery struct {
+		set   ItemsetCount
+		times int
+	}
+	seen := map[string]*discovery{}
+	needConfirm := 0 // number of discoveries with times < MinConfirm
+
+	scratch := newWalkScratch(m)
+	for iter := 0; iter < opts.MaxIters; iter++ {
+		var items bitvec.Vector
+		var rows []uint64
+		if topDown {
+			items, rows = m.downPhase(minSup, opts.Rng, scratch)
+		} else {
+			items, rows = m.randomFrequentSingleton(minSup, opts.Rng)
+		}
+		sup := m.upPhase(items, rows, minSup, opts.Rng, scratch)
+
+		k := items.Key()
+		if d, ok := seen[k]; ok {
+			d.times++
+			if d.times == opts.MinConfirm {
+				needConfirm--
+			}
+		} else {
+			seen[k] = &discovery{set: ItemsetCount{Items: items, Support: sup}, times: 1}
+			if opts.MinConfirm > 1 {
+				needConfirm++
+			}
+		}
+		if needConfirm == 0 && iter+1 >= opts.MinIters {
+			break
+		}
+	}
+
+	out := make([]ItemsetCount, 0, len(seen))
+	for _, d := range seen {
+		out = append(out, d.set)
+	}
+	SortBySize(out)
+	return out
+}
+
+// walkScratch holds per-walk-sequence reusable buffers so the hot walk loop
+// allocates only the final itemsets it returns.
+type walkScratch struct {
+	rows   []uint64 // current supporting rowset
+	ones   []int    // current item list (down phase)
+	viable []int    // frequent extensions (up phase)
+}
+
+func newWalkScratch(m *Miner) *walkScratch {
+	return &walkScratch{
+		rows:   make([]uint64, m.words),
+		ones:   make([]int, 0, m.width),
+		viable: make([]int, 0, m.width),
+	}
+}
+
+// resetFull fills rows with the all-rows bitmap.
+func (m *Miner) resetFull(rows []uint64) {
+	for w := range rows {
+		rows[w] = ^uint64(0)
+	}
+	if m.nrows%64 != 0 && m.words > 0 {
+		rows[m.words-1] = (1 << (uint(m.nrows) % 64)) - 1
+	}
+}
+
+// supportInto recomputes rows = ∩ cols[items] and returns its popcount.
+func (m *Miner) supportInto(rows []uint64, items []int) int {
+	m.resetFull(rows)
+	for _, j := range items {
+		intersect(rows, m.cols[j])
+	}
+	return popcount(rows)
+}
+
+// downPhase walks from the full itemset down the lattice, removing uniformly
+// random items until the itemset becomes frequent. Returns the itemset and
+// its supporting rowset (owned by scratch; consumed before the next walk).
+func (m *Miner) downPhase(minSup int, rng *rand.Rand, sc *walkScratch) (bitvec.Vector, []uint64) {
+	items := bitvec.New(m.width).Not() // full itemset
+	sc.ones = sc.ones[:0]
+	for j := 0; j < m.width; j++ {
+		sc.ones = append(sc.ones, j)
+	}
+	for {
+		if m.supportInto(sc.rows, sc.ones) >= minSup {
+			return items, sc.rows
+		}
+		if len(sc.ones) == 0 {
+			// Empty itemset has support = nrows ≥ minSup (checked by caller).
+			return items, sc.rows
+		}
+		i := rng.Intn(len(sc.ones))
+		items.Clear(sc.ones[i])
+		sc.ones[i] = sc.ones[len(sc.ones)-1]
+		sc.ones = sc.ones[:len(sc.ones)-1]
+	}
+}
+
+// randomFrequentSingleton picks a uniformly random frequent single item; it
+// returns nil rows when no item is frequent (the walk then reports only the
+// empty itemset via upPhase, matching [11] on degenerate inputs).
+func (m *Miner) randomFrequentSingleton(minSup int, rng *rand.Rand) (bitvec.Vector, []uint64) {
+	var frequent []int
+	for j := 0; j < m.width; j++ {
+		if popcount(m.cols[j]) >= minSup {
+			frequent = append(frequent, j)
+		}
+	}
+	items := bitvec.New(m.width)
+	if len(frequent) == 0 {
+		return items, m.fullRowset() // empty itemset; up phase will confirm
+	}
+	j := frequent[rng.Intn(len(frequent))]
+	items.Set(j)
+	return items, m.rowsetOf(items)
+}
+
+// upPhase adds uniformly random items that keep the itemset frequent until
+// none remains, mutating items in place; returns the final support. sc may
+// be nil (a scratch is then allocated locally).
+func (m *Miner) upPhase(items bitvec.Vector, rows []uint64, minSup int, rng *rand.Rand, sc *walkScratch) int {
+	if sc == nil {
+		sc = newWalkScratch(m)
+	}
+	for {
+		sc.viable = sc.viable[:0]
+		for j := 0; j < m.width; j++ {
+			if items.Get(j) {
+				continue
+			}
+			if countAnd(rows, m.cols[j]) >= minSup {
+				sc.viable = append(sc.viable, j)
+			}
+		}
+		if len(sc.viable) == 0 {
+			return popcount(rows)
+		}
+		j := sc.viable[rng.Intn(len(sc.viable))]
+		items.Set(j)
+		intersect(rows, m.cols[j])
+	}
+}
+
+// GoodTuringUnseen returns the Good–Turing estimate of the probability that
+// the next random walk discovers a new maximal itemset: the fraction of
+// walks whose result was seen exactly once [8]. timesSeen maps each
+// discovered set to its discovery count. This is the estimator motivating
+// the MinConfirm stopping rule; it is exposed for diagnostics and ablations.
+func GoodTuringUnseen(timesSeen map[string]int) float64 {
+	singletons, total := 0, 0
+	for _, c := range timesSeen {
+		if c == 1 {
+			singletons++
+		}
+		total += c
+	}
+	if total == 0 {
+		return 1
+	}
+	return float64(singletons) / float64(total)
+}

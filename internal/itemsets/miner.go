@@ -1,0 +1,163 @@
+// Package itemsets implements the frequent-itemset mining substrate of the
+// paper's MaxFreqItemSets-SOC-CB-QL algorithm (§IV.C): level-wise Apriori,
+// FP-Growth, an exact maximal-frequent-itemset DFS miner used as a
+// verification oracle, the bottom-up random walk of Gunopulos et al. [11],
+// and the paper's two-phase (down/up) random walk tuned for the dense
+// complemented query logs the reduction produces, with the Good–Turing-style
+// stopping rule of §IV.C.
+//
+// Transactions are rows of a dataset.Table; an itemset is a bitvec.Vector
+// over the table's attributes; support(I) is the number of rows that are
+// supersets of I.
+package itemsets
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+
+	"standout/internal/bitvec"
+	"standout/internal/dataset"
+)
+
+// ItemsetCount pairs an itemset with its support in the mined table.
+type ItemsetCount struct {
+	Items   bitvec.Vector
+	Support int
+}
+
+// Miner holds a vertical (column bitmap) representation of a Boolean table
+// for fast support counting.
+type Miner struct {
+	width int
+	nrows int
+	words int
+	cols  [][]uint64 // cols[item][w]: bitmap of rows containing item
+}
+
+// NewMiner builds the vertical representation of the table.
+func NewMiner(tab *dataset.Table) *Miner {
+	width := tab.Width()
+	nrows := tab.Size()
+	words := (nrows + 63) / 64
+	m := &Miner{width: width, nrows: nrows, words: words, cols: make([][]uint64, width)}
+	for j := 0; j < width; j++ {
+		m.cols[j] = make([]uint64, words)
+	}
+	for r, row := range tab.Rows {
+		for _, j := range row.Ones() {
+			m.cols[j][r/64] |= 1 << (uint(r) % 64)
+		}
+	}
+	return m
+}
+
+// Width returns the number of items (attributes).
+func (m *Miner) Width() int { return m.width }
+
+// NumRows returns the number of transactions.
+func (m *Miner) NumRows() int { return m.nrows }
+
+// Support returns the number of rows that contain every item of items.
+func (m *Miner) Support(items bitvec.Vector) int {
+	if items.Width() != m.width {
+		panic(fmt.Sprintf("itemsets: itemset width %d, miner width %d", items.Width(), m.width))
+	}
+	ones := items.Ones()
+	if len(ones) == 0 {
+		return m.nrows
+	}
+	n := 0
+	first := m.cols[ones[0]]
+	for w := 0; w < m.words; w++ {
+		acc := first[w]
+		for _, j := range ones[1:] {
+			acc &= m.cols[j][w]
+			if acc == 0 {
+				break
+			}
+		}
+		n += bits.OnesCount64(acc)
+	}
+	return n
+}
+
+// rowset operations: a rowset is a bitmap over transactions.
+
+func (m *Miner) fullRowset() []uint64 {
+	rs := make([]uint64, m.words)
+	for w := range rs {
+		rs[w] = ^uint64(0)
+	}
+	if m.nrows%64 != 0 && m.words > 0 {
+		rs[m.words-1] = (1 << (uint(m.nrows) % 64)) - 1
+	}
+	return rs
+}
+
+// rowsetOf materializes the set of rows supporting items.
+func (m *Miner) rowsetOf(items bitvec.Vector) []uint64 {
+	rs := m.fullRowset()
+	for _, j := range items.Ones() {
+		intersect(rs, m.cols[j])
+	}
+	return rs
+}
+
+func intersect(dst, src []uint64) {
+	for w := range dst {
+		dst[w] &= src[w]
+	}
+}
+
+func popcount(rs []uint64) int {
+	n := 0
+	for _, w := range rs {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// countAnd returns |rs ∩ col| without allocating.
+func countAnd(rs, col []uint64) int {
+	n := 0
+	for w := range rs {
+		n += bits.OnesCount64(rs[w] & col[w])
+	}
+	return n
+}
+
+// itemOrder returns item indices sorted by the given supports ascending
+// (fail-first order for DFS miners), ties by index.
+func itemOrder(supports []int) []int {
+	idx := make([]int, len(supports))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool { return supports[idx[a]] < supports[idx[b]] })
+	return idx
+}
+
+// singletonSupports returns the support of each single item.
+func (m *Miner) singletonSupports() []int {
+	out := make([]int, m.width)
+	for j := 0; j < m.width; j++ {
+		out[j] = popcount(m.cols[j])
+	}
+	return out
+}
+
+// SortBySize orders itemsets by descending size then descending support,
+// ties by string form; useful for deterministic test assertions and output.
+func SortBySize(sets []ItemsetCount) {
+	sort.Slice(sets, func(a, b int) bool {
+		ca, cb := sets[a].Items.Count(), sets[b].Items.Count()
+		if ca != cb {
+			return ca > cb
+		}
+		if sets[a].Support != sets[b].Support {
+			return sets[a].Support > sets[b].Support
+		}
+		return sets[a].Items.String() < sets[b].Items.String()
+	})
+}

@@ -1,0 +1,141 @@
+package lp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestDualsKnownLP(t *testing.T) {
+	// max 3x+2y s.t. x+y≤4, x+3y≤6 → (4,0) with only the first row tight.
+	// Dual: y1=3, y2=0; rc_x=0, rc_y=2−3=−1.
+	p := NewProblem(Maximize)
+	x := p.AddVar(0, math.Inf(1), 3, "x")
+	y := p.AddVar(0, math.Inf(1), 2, "y")
+	p.AddConstraint([]Term{{x, 1}, {y, 1}}, LE, 4)
+	p.AddConstraint([]Term{{x, 1}, {y, 3}}, LE, 6)
+	res := solveOK(t, p)
+	wantOptimal(t, res, 12)
+	if math.Abs(res.Duals[0]-3) > eps || math.Abs(res.Duals[1]) > eps {
+		t.Errorf("duals=%v, want [3 0]", res.Duals)
+	}
+	if math.Abs(res.ReducedCosts[x]) > eps || math.Abs(res.ReducedCosts[y]+1) > eps {
+		t.Errorf("reduced costs=%v, want [0 -1]", res.ReducedCosts)
+	}
+}
+
+func TestDualsMinimizeWithGE(t *testing.T) {
+	// min 2x+3y s.t. x+y ≥ 10, x ≤ 4 (bound) → x=4, y=6, obj 26.
+	// The ≥ row is tight with dual 3 (cost of the marginal unit via y);
+	// strong duality: 26 = 3·10 + rc_x·4 (rc_x = 2−3 = −1 → 30 − 4 = 26).
+	p := NewProblem(Minimize)
+	x := p.AddVar(0, 4, 2, "x")
+	y := p.AddVar(0, math.Inf(1), 3, "y")
+	p.AddConstraint([]Term{{x, 1}, {y, 1}}, GE, 10)
+	res := solveOK(t, p)
+	wantOptimal(t, res, 26)
+	if math.Abs(res.Duals[0]-3) > eps {
+		t.Errorf("dual=%v, want 3", res.Duals[0])
+	}
+	sum := res.Duals[0]*10 + res.ReducedCosts[x]*res.X[x] + res.ReducedCosts[y]*res.X[y]
+	if math.Abs(sum-res.Objective) > eps {
+		t.Errorf("strong duality: %v vs objective %v", sum, res.Objective)
+	}
+}
+
+func TestDualSignsMaximizeLE(t *testing.T) {
+	// For a maximization with ≤ rows, duals must be non-negative.
+	r := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + r.Intn(5)
+		m := 1 + r.Intn(5)
+		p := NewProblem(Maximize)
+		for j := 0; j < n; j++ {
+			p.AddVar(0, 5, r.Float64()*4, "")
+		}
+		for i := 0; i < m; i++ {
+			var terms []Term
+			for j := 0; j < n; j++ {
+				terms = append(terms, Term{j, r.Float64() * 2})
+			}
+			p.AddConstraint(terms, LE, 1+r.Float64()*6)
+		}
+		res := solveOK(t, p)
+		if res.Status != StatusOptimal {
+			t.Fatalf("trial %d: %v", trial, res.Status)
+		}
+		for i, d := range res.Duals {
+			if d < -1e-7 {
+				t.Fatalf("trial %d: dual[%d]=%v negative for ≤ row in max problem", trial, i, d)
+			}
+		}
+	}
+}
+
+// TestStrongDualityRandom verifies Objective = Σ y·b + Σ rc·x on random
+// feasible problems mixing senses, operators and variable bounds.
+func TestStrongDualityRandom(t *testing.T) {
+	r := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 300; trial++ {
+		n := 1 + r.Intn(6)
+		m := 1 + r.Intn(5)
+		sense := Maximize
+		if r.Intn(2) == 0 {
+			sense = Minimize
+		}
+		p := NewProblem(sense)
+		feas := make([]float64, n)
+		for j := 0; j < n; j++ {
+			feas[j] = r.Float64() * 3
+			p.AddVar(0, 3+r.Float64()*3, r.Float64()*6-3, "")
+		}
+		rhs := make([]float64, m)
+		for i := 0; i < m; i++ {
+			var terms []Term
+			lhs := 0.0
+			for j := 0; j < n; j++ {
+				c := r.Float64()*4 - 2
+				terms = append(terms, Term{j, c})
+				lhs += c * feas[j]
+			}
+			switch r.Intn(3) {
+			case 0:
+				rhs[i] = lhs
+				p.AddConstraint(terms, EQ, lhs)
+			case 1:
+				rhs[i] = lhs + r.Float64()
+				p.AddConstraint(terms, LE, rhs[i])
+			default:
+				rhs[i] = lhs - r.Float64()
+				p.AddConstraint(terms, GE, rhs[i])
+			}
+		}
+		res, err := p.Solve(Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Status != StatusOptimal {
+			t.Fatalf("trial %d: status %v on feasible bounded instance", trial, res.Status)
+		}
+		sum := 0.0
+		for i := range rhs {
+			sum += res.Duals[i] * rhs[i]
+		}
+		for j := 0; j < n; j++ {
+			sum += res.ReducedCosts[j] * res.X[j]
+		}
+		if math.Abs(sum-res.Objective) > 1e-5 {
+			t.Fatalf("trial %d: duality gap %v (obj %v, dual side %v)",
+				trial, sum-res.Objective, res.Objective, sum)
+		}
+		// Basic variables must carry zero reduced cost.
+		for j := 0; j < n; j++ {
+			lo, up := p.Bounds(j)
+			interior := res.X[j] > lo+1e-6 && res.X[j] < up-1e-6
+			if interior && math.Abs(res.ReducedCosts[j]) > 1e-5 {
+				t.Fatalf("trial %d: interior variable %d has reduced cost %v",
+					trial, j, res.ReducedCosts[j])
+			}
+		}
+	}
+}

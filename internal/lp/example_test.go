@@ -1,0 +1,38 @@
+package lp_test
+
+import (
+	"fmt"
+	"math"
+
+	"standout/internal/lp"
+)
+
+// ExampleProblem_Solve solves a small production-planning LP.
+func ExampleProblem_Solve() {
+	p := lp.NewProblem(lp.Maximize)
+	x := p.AddVar(0, math.Inf(1), 5, "x")
+	y := p.AddVar(0, math.Inf(1), 4, "y")
+	p.AddConstraint([]lp.Term{{Var: x, Coeff: 6}, {Var: y, Coeff: 4}}, lp.LE, 24)
+	p.AddConstraint([]lp.Term{{Var: x, Coeff: 1}, {Var: y, Coeff: 2}}, lp.LE, 6)
+
+	res, err := p.Solve(lp.Options{})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("%v obj=%g x=%.1f y=%.1f\n", res.Status, res.Objective, res.X[x], res.X[y])
+	// Output: optimal obj=21 x=3.0 y=1.5
+}
+
+// ExampleProblem_Solve_duals shows dual values for sensitivity analysis.
+func ExampleProblem_Solve_duals() {
+	p := lp.NewProblem(lp.Maximize)
+	x := p.AddVar(0, math.Inf(1), 3, "x")
+	y := p.AddVar(0, math.Inf(1), 2, "y")
+	tight := p.AddConstraint([]lp.Term{{Var: x, Coeff: 1}, {Var: y, Coeff: 1}}, lp.LE, 4)
+	slackRow := p.AddConstraint([]lp.Term{{Var: x, Coeff: 1}, {Var: y, Coeff: 3}}, lp.LE, 6)
+
+	res, _ := p.Solve(lp.Options{})
+	fmt.Printf("dual(tight)=%.0f dual(slack)=%.0f\n",
+		res.Duals[tight], math.Abs(res.Duals[slackRow]))
+	// Output: dual(tight)=3 dual(slack)=0
+}

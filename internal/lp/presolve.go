@@ -1,0 +1,218 @@
+package lp
+
+import (
+	"fmt"
+	"math"
+)
+
+// Presolve reductions applied before the simplex when Options.Presolve is
+// set. Two safe transformations run to a fixed point:
+//
+//  1. fixed-variable substitution — a variable with lo == up is folded into
+//     every row's right-hand side and removed from the program;
+//  2. singleton-row elimination — a row with a single (unfixed) variable is
+//     a bound, so it tightens that variable's bounds and disappears.
+//
+// Tightening can fix further variables (lo == up after tightening), which
+// can create further singleton rows, hence the loop. The reductions detect
+// some infeasibilities outright (crossed bounds, empty rows with impossible
+// RHS). They are exactly the structure branch-and-bound creates in the
+// paper's ILP: fixing x_j collapses all of query q's y ≤ x rows.
+//
+// Dual values are not recovered through presolve: a presolved Result carries
+// Duals == nil (the ILP driver never needs them).
+
+// presolved captures the reduced problem and how to undo the reduction.
+type presolved struct {
+	reduced    *Problem
+	fixedVal   []float64 // value for each original variable, NaN if not fixed
+	varMap     []int     // original var index → reduced var index (-1 if fixed)
+	infeasible bool
+}
+
+const presolveTol = 1e-9
+
+// presolve runs the reductions. It never modifies p.
+func presolve(p *Problem) presolved {
+	n := p.NumVars()
+	lo := append([]float64(nil), p.lo...)
+	up := append([]float64(nil), p.up...)
+	alive := make([]bool, len(p.cons))
+	for i := range alive {
+		alive[i] = true
+	}
+
+	fixed := func(j int) bool { return lo[j] == up[j] }
+
+	// Iterate substitutions and singleton rows until no change.
+	for changed := true; changed; {
+		changed = false
+		for ci, c := range p.cons {
+			if !alive[ci] {
+				continue
+			}
+			// Compute the row restricted to unfixed variables.
+			rhs := c.RHS
+			liveVar, liveCoeff, liveCount := -1, 0.0, 0
+			for _, t := range c.Terms {
+				if t.Coeff == 0 {
+					continue
+				}
+				if fixed(t.Var) {
+					rhs -= t.Coeff * lo[t.Var]
+					continue
+				}
+				liveCount++
+				liveVar, liveCoeff = t.Var, t.Coeff
+				if liveCount > 1 {
+					break
+				}
+			}
+			switch liveCount {
+			case 0:
+				// Empty row: constant op rhs.
+				ok := true
+				switch c.Op {
+				case LE:
+					ok = 0 <= rhs+presolveTol
+				case GE:
+					ok = 0 >= rhs-presolveTol
+				case EQ:
+					ok = math.Abs(rhs) <= presolveTol
+				}
+				if !ok {
+					return presolved{infeasible: true}
+				}
+				alive[ci] = false
+				changed = true
+			case 1:
+				// Singleton row: bound on liveVar.
+				// Recompute rhs fully (the early break above cannot trigger
+				// with liveCount == 1, so rhs is already complete).
+				bound := rhs / liveCoeff
+				op := c.Op
+				if liveCoeff < 0 { // dividing by a negative flips the sense
+					switch op {
+					case LE:
+						op = GE
+					case GE:
+						op = LE
+					}
+				}
+				switch op {
+				case LE:
+					if bound < up[liveVar] {
+						up[liveVar] = bound
+					}
+				case GE:
+					if bound > lo[liveVar] {
+						lo[liveVar] = bound
+					}
+				case EQ:
+					if bound > lo[liveVar] {
+						lo[liveVar] = bound
+					}
+					if bound < up[liveVar] {
+						up[liveVar] = bound
+					}
+				}
+				if lo[liveVar] > up[liveVar]+presolveTol {
+					return presolved{infeasible: true}
+				}
+				// Snap near-equal bounds to an exact fixing.
+				if up[liveVar]-lo[liveVar] <= presolveTol {
+					mid := lo[liveVar]
+					lo[liveVar], up[liveVar] = mid, mid
+				}
+				alive[ci] = false
+				changed = true
+			}
+		}
+	}
+
+	// Build the reduced problem over unfixed variables and alive rows.
+	out := presolved{
+		fixedVal: make([]float64, n),
+		varMap:   make([]int, n),
+	}
+	red := NewProblem(p.sense)
+	for j := 0; j < n; j++ {
+		if fixed(j) {
+			out.fixedVal[j] = lo[j]
+			out.varMap[j] = -1
+			continue
+		}
+		out.fixedVal[j] = math.NaN()
+		out.varMap[j] = red.AddVar(lo[j], up[j], p.obj[j], p.names[j])
+	}
+	for ci, c := range p.cons {
+		if !alive[ci] {
+			continue
+		}
+		rhs := c.RHS
+		var terms []Term
+		for _, t := range c.Terms {
+			if t.Coeff == 0 {
+				continue
+			}
+			if out.varMap[t.Var] < 0 {
+				rhs -= t.Coeff * out.fixedVal[t.Var]
+				continue
+			}
+			terms = append(terms, Term{Var: out.varMap[t.Var], Coeff: t.Coeff})
+		}
+		red.AddConstraint(terms, c.Op, rhs)
+	}
+	out.reduced = red
+	return out
+}
+
+// expand maps a reduced solution back to the original variable space and
+// adds the fixed variables' objective contribution.
+func (ps presolved) expand(p *Problem, res Result) Result {
+	x := make([]float64, p.NumVars())
+	fixedObj := 0.0
+	for j := range x {
+		if ps.varMap[j] < 0 {
+			x[j] = ps.fixedVal[j]
+			fixedObj += p.obj[j] * x[j]
+		} else {
+			x[j] = res.X[ps.varMap[j]]
+		}
+	}
+	res.X = x
+	res.Objective += fixedObj
+	res.Duals = nil // not recovered through presolve
+	res.ReducedCosts = nil
+	return res
+}
+
+// solveWithPresolve is the Options.Presolve path of Problem.Solve.
+func (p *Problem) solveWithPresolve(opts Options) (Result, error) {
+	ps := presolve(p)
+	if ps.infeasible {
+		return Result{Status: StatusInfeasible}, nil
+	}
+	if ps.reduced.NumVars() == 0 {
+		// Everything fixed: verify remaining rows were consumed (they were —
+		// presolve only terminates with alive rows if they have ≥ 2 live
+		// vars, impossible with zero live vars), and report the constant.
+		obj := 0.0
+		x := make([]float64, p.NumVars())
+		for j := range x {
+			x[j] = ps.fixedVal[j]
+			obj += p.obj[j] * x[j]
+		}
+		return Result{Status: StatusOptimal, Objective: obj, X: x}, nil
+	}
+	inner := opts
+	inner.Presolve = false
+	res, err := ps.reduced.Solve(inner)
+	if err != nil {
+		return Result{}, fmt.Errorf("lp: presolved solve: %w", err)
+	}
+	if res.Status != StatusOptimal {
+		return Result{Status: res.Status, Iters: res.Iters}, nil
+	}
+	return ps.expand(p, res), nil
+}

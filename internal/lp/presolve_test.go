@@ -1,0 +1,160 @@
+package lp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestPresolveEquivalentOnRandomInstances(t *testing.T) {
+	r := rand.New(rand.NewSource(15))
+	for trial := 0; trial < 300; trial++ {
+		n := 1 + r.Intn(6)
+		m := 1 + r.Intn(6)
+		sense := Maximize
+		if r.Intn(2) == 0 {
+			sense = Minimize
+		}
+		p := NewProblem(sense)
+		feas := make([]float64, n)
+		for j := 0; j < n; j++ {
+			feas[j] = r.Float64() * 2
+			if r.Intn(4) == 0 {
+				// Fixed variable: the reduction presolve exists for.
+				p.AddVar(feas[j], feas[j], r.Float64()*4-2, "")
+			} else {
+				p.AddVar(0, 2+r.Float64()*2, r.Float64()*4-2, "")
+			}
+		}
+		for i := 0; i < m; i++ {
+			var terms []Term
+			lhs := 0.0
+			nTerms := 1 + r.Intn(n)
+			for _, j := range r.Perm(n)[:nTerms] {
+				c := r.Float64()*4 - 2
+				terms = append(terms, Term{j, c})
+				lhs += c * feas[j]
+			}
+			switch r.Intn(3) {
+			case 0:
+				p.AddConstraint(terms, EQ, lhs)
+			case 1:
+				p.AddConstraint(terms, LE, lhs+r.Float64())
+			default:
+				p.AddConstraint(terms, GE, lhs-r.Float64())
+			}
+		}
+		plain, err := p.Solve(Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		pre, err := p.Solve(Options{Presolve: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if plain.Status != pre.Status {
+			t.Fatalf("trial %d: status %v vs %v", trial, plain.Status, pre.Status)
+		}
+		if plain.Status == StatusOptimal && math.Abs(plain.Objective-pre.Objective) > 1e-5 {
+			t.Fatalf("trial %d: objective %v vs %v", trial, plain.Objective, pre.Objective)
+		}
+	}
+}
+
+func TestPresolveAllFixed(t *testing.T) {
+	p := NewProblem(Maximize)
+	x := p.AddVar(2, 2, 3, "x")
+	y := p.AddVar(1, 1, 1, "y")
+	p.AddConstraint([]Term{{x, 1}, {y, 1}}, LE, 5)
+	res, err := p.Solve(Options{Presolve: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantOptimal(t, res, 7)
+	if res.X[x] != 2 || res.X[y] != 1 {
+		t.Fatalf("x=%v", res.X)
+	}
+}
+
+func TestPresolveDetectsInfeasibleConstantRow(t *testing.T) {
+	p := NewProblem(Maximize)
+	x := p.AddVar(2, 2, 1, "x")
+	p.AddConstraint([]Term{{x, 1}}, LE, 1) // 2 ≤ 1: impossible
+	res, err := p.Solve(Options{Presolve: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != StatusInfeasible {
+		t.Fatalf("status=%v", res.Status)
+	}
+}
+
+func TestPresolveSingletonChain(t *testing.T) {
+	// x = 3 via a singleton EQ row fixes x; then y's row becomes singleton
+	// and bounds y; objective picks y at its tightened bound.
+	p := NewProblem(Maximize)
+	x := p.AddVar(0, 10, 0, "x")
+	y := p.AddVar(0, 10, 1, "y")
+	p.AddConstraint([]Term{{x, 1}}, EQ, 3)
+	p.AddConstraint([]Term{{x, 1}, {y, 1}}, LE, 8) // → y ≤ 5
+	res, err := p.Solve(Options{Presolve: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantOptimal(t, res, 5)
+	if math.Abs(res.X[x]-3) > eps || math.Abs(res.X[y]-5) > eps {
+		t.Fatalf("x=%v", res.X)
+	}
+}
+
+func TestPresolveNegativeCoefficientSingleton(t *testing.T) {
+	// −2x ≤ −6 ⟺ x ≥ 3.
+	p := NewProblem(Minimize)
+	x := p.AddVar(0, 10, 1, "x")
+	p.AddConstraint([]Term{{x, -2}}, LE, -6)
+	res, err := p.Solve(Options{Presolve: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantOptimal(t, res, 3)
+}
+
+func TestPresolveCrossedBoundsInfeasible(t *testing.T) {
+	p := NewProblem(Maximize)
+	x := p.AddVar(0, 10, 1, "x")
+	p.AddConstraint([]Term{{x, 1}}, GE, 7)
+	p.AddConstraint([]Term{{x, 1}}, LE, 3)
+	res, err := p.Solve(Options{Presolve: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != StatusInfeasible {
+		t.Fatalf("status=%v", res.Status)
+	}
+}
+
+func TestPresolveUnboundedPassthrough(t *testing.T) {
+	p := NewProblem(Maximize)
+	p.AddVar(0, math.Inf(1), 1, "x")
+	res, err := p.Solve(Options{Presolve: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != StatusUnbounded {
+		t.Fatalf("status=%v", res.Status)
+	}
+}
+
+func TestPresolveDualsNil(t *testing.T) {
+	p := NewProblem(Maximize)
+	x := p.AddVar(0, 1, 1, "x")
+	y := p.AddVar(1, 1, 1, "y") // fixed, so presolve actually reduces
+	p.AddConstraint([]Term{{x, 1}, {y, 1}}, LE, 2)
+	res, err := p.Solve(Options{Presolve: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != StatusOptimal || res.Duals != nil || res.ReducedCosts != nil {
+		t.Fatalf("res=%+v", res)
+	}
+}

@@ -1,0 +1,263 @@
+// Package lp implements a dense, bounded-variable, two-phase primal simplex
+// solver for linear programs. It is the substrate under the paper's
+// ILP-SOC-CB-QL algorithm (§IV.B): the branch-and-bound integer solver in
+// package ilp repeatedly solves LP relaxations produced here.
+//
+// The solver handles problems of the form
+//
+//	maximize (or minimize)  cᵀx
+//	subject to              aᵢᵀx  {≤,=,≥}  bᵢ   for each constraint i
+//	                        loⱼ ≤ xⱼ ≤ upⱼ      for each variable j
+//
+// with any mix of finite and infinite bounds. Variables may be free
+// (lo=-Inf, up=+Inf). Internally all constraints are normalized to
+// equalities with slack variables; an initial basis of slacks is repaired
+// with artificial variables in a Phase-1 run when necessary.
+package lp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Sense selects the optimization direction.
+type Sense int
+
+const (
+	// Maximize the objective.
+	Maximize Sense = iota
+	// Minimize the objective.
+	Minimize
+)
+
+// Op is a constraint comparison operator.
+type Op int
+
+const (
+	// LE is aᵀx ≤ b.
+	LE Op = iota
+	// GE is aᵀx ≥ b.
+	GE
+	// EQ is aᵀx = b.
+	EQ
+)
+
+func (o Op) String() string {
+	switch o {
+	case LE:
+		return "<="
+	case GE:
+		return ">="
+	case EQ:
+		return "="
+	}
+	return fmt.Sprintf("Op(%d)", int(o))
+}
+
+// Term is one coefficient of a constraint row.
+type Term struct {
+	Var   int
+	Coeff float64
+}
+
+// Constraint is a sparse row aᵀx op b.
+type Constraint struct {
+	Terms []Term
+	Op    Op
+	RHS   float64
+}
+
+// Problem is a mutable LP under construction. The zero value is not usable;
+// call NewProblem.
+type Problem struct {
+	sense Sense
+	obj   []float64
+	lo    []float64
+	up    []float64
+	names []string
+	cons  []Constraint
+}
+
+// NewProblem returns an empty problem with the given optimization sense.
+func NewProblem(sense Sense) *Problem {
+	return &Problem{sense: sense}
+}
+
+// AddVar appends a variable with bounds [lo, up] and objective coefficient
+// obj, returning its index. Use math.Inf for unbounded sides. name is used in
+// error messages and may be empty.
+func (p *Problem) AddVar(lo, up, obj float64, name string) int {
+	p.lo = append(p.lo, lo)
+	p.up = append(p.up, up)
+	p.obj = append(p.obj, obj)
+	p.names = append(p.names, name)
+	return len(p.obj) - 1
+}
+
+// AddBinaryVar appends a [0,1] variable, returning its index.
+func (p *Problem) AddBinaryVar(obj float64, name string) int {
+	return p.AddVar(0, 1, obj, name)
+}
+
+// NumVars returns the number of variables added so far.
+func (p *Problem) NumVars() int { return len(p.obj) }
+
+// Sense returns the optimization direction.
+func (p *Problem) Sense() Sense { return p.sense }
+
+// ObjCoeff returns the objective coefficient of variable v.
+func (p *Problem) ObjCoeff(v int) float64 { return p.obj[v] }
+
+// NumConstraints returns the number of constraint rows.
+func (p *Problem) NumConstraints() int { return len(p.cons) }
+
+// SetBounds replaces the bounds of variable v. The branch-and-bound solver
+// uses this to fix integer variables along branches.
+func (p *Problem) SetBounds(v int, lo, up float64) {
+	p.lo[v] = lo
+	p.up[v] = up
+}
+
+// Bounds returns the bounds of variable v.
+func (p *Problem) Bounds(v int) (lo, up float64) { return p.lo[v], p.up[v] }
+
+// VarName returns the name of variable v (may be empty).
+func (p *Problem) VarName(v int) string { return p.names[v] }
+
+// AddConstraint appends the row aᵀx op b and returns its index.
+func (p *Problem) AddConstraint(terms []Term, op Op, rhs float64) int {
+	p.cons = append(p.cons, Constraint{Terms: append([]Term(nil), terms...), Op: op, RHS: rhs})
+	return len(p.cons) - 1
+}
+
+// Validate checks the problem for structural errors: out-of-range variable
+// indices, NaN coefficients, and inverted bounds.
+func (p *Problem) Validate() error {
+	n := p.NumVars()
+	for j := 0; j < n; j++ {
+		if p.lo[j] > p.up[j] {
+			return fmt.Errorf("lp: variable %s has lo %g > up %g", p.varLabel(j), p.lo[j], p.up[j])
+		}
+		if math.IsNaN(p.lo[j]) || math.IsNaN(p.up[j]) || math.IsNaN(p.obj[j]) {
+			return fmt.Errorf("lp: variable %s has NaN bound or objective", p.varLabel(j))
+		}
+		if math.IsInf(p.obj[j], 0) {
+			return fmt.Errorf("lp: variable %s has infinite objective coefficient", p.varLabel(j))
+		}
+	}
+	for i, c := range p.cons {
+		if math.IsNaN(c.RHS) || math.IsInf(c.RHS, 0) {
+			return fmt.Errorf("lp: constraint %d has invalid RHS %g", i, c.RHS)
+		}
+		for _, t := range c.Terms {
+			if t.Var < 0 || t.Var >= n {
+				return fmt.Errorf("lp: constraint %d references variable %d of %d", i, t.Var, n)
+			}
+			if math.IsNaN(t.Coeff) || math.IsInf(t.Coeff, 0) {
+				return fmt.Errorf("lp: constraint %d has invalid coefficient %g", i, t.Coeff)
+			}
+		}
+	}
+	return nil
+}
+
+func (p *Problem) varLabel(j int) string {
+	if p.names[j] != "" {
+		return p.names[j]
+	}
+	return fmt.Sprintf("x%d", j)
+}
+
+// Clone returns a deep copy of the problem. Bound mutations on the copy do
+// not affect the original; the branch-and-bound solver clones once per
+// worker, then mutates bounds per node.
+func (p *Problem) Clone() *Problem {
+	q := &Problem{
+		sense: p.sense,
+		obj:   append([]float64(nil), p.obj...),
+		lo:    append([]float64(nil), p.lo...),
+		up:    append([]float64(nil), p.up...),
+		names: append([]string(nil), p.names...),
+		cons:  make([]Constraint, len(p.cons)),
+	}
+	for i, c := range p.cons {
+		q.cons[i] = Constraint{Terms: append([]Term(nil), c.Terms...), Op: c.Op, RHS: c.RHS}
+	}
+	return q
+}
+
+// Status reports the outcome of a solve.
+type Status int
+
+const (
+	// StatusOptimal means an optimal basic feasible solution was found.
+	StatusOptimal Status = iota
+	// StatusInfeasible means the constraints admit no solution.
+	StatusInfeasible
+	// StatusUnbounded means the objective is unbounded over the feasible set.
+	StatusUnbounded
+	// StatusIterLimit means the iteration limit was hit before convergence.
+	StatusIterLimit
+)
+
+func (s Status) String() string {
+	switch s {
+	case StatusOptimal:
+		return "optimal"
+	case StatusInfeasible:
+		return "infeasible"
+	case StatusUnbounded:
+		return "unbounded"
+	case StatusIterLimit:
+		return "iteration limit"
+	}
+	return fmt.Sprintf("Status(%d)", int(s))
+}
+
+// Result is the outcome of solving a Problem.
+type Result struct {
+	Status    Status
+	Objective float64   // objective value in the problem's sense
+	X         []float64 // variable values; valid only when Status is Optimal
+	Iters     int       // simplex iterations across both phases
+
+	// Duals holds one dual value per constraint (in the order added, in the
+	// problem's own sense), valid when Status is Optimal. For Maximize, a ≤
+	// constraint has a non-negative dual; signs flip for ≥ and for Minimize.
+	Duals []float64
+	// ReducedCosts holds the final reduced cost of every structural
+	// variable in the problem's own sense, valid when Status is Optimal.
+	// The strong-duality identity holds:
+	//   Objective = Σᵢ Duals[i]·bᵢ + Σⱼ ReducedCosts[j]·X[j].
+	ReducedCosts []float64
+}
+
+// Options tunes the solver. The zero value selects defaults.
+type Options struct {
+	// MaxIters bounds total simplex iterations; 0 means 50*(m+n)+2000.
+	MaxIters int
+	// Tol is the feasibility/optimality tolerance; 0 means 1e-9.
+	Tol float64
+	// Presolve applies fixed-variable substitution and singleton-row
+	// elimination before the simplex. Faster for programs with many fixed
+	// variables (branch-and-bound nodes); Duals/ReducedCosts are not
+	// reported on presolved solves.
+	Presolve bool
+}
+
+// ErrInvalid wraps validation failures returned by Solve.
+var ErrInvalid = errors.New("lp: invalid problem")
+
+// Solve validates and solves the problem. The Problem is not modified; it may
+// be solved again (e.g. with different bounds) afterwards.
+func (p *Problem) Solve(opts Options) (Result, error) {
+	if err := p.Validate(); err != nil {
+		return Result{}, fmt.Errorf("%w: %v", ErrInvalid, err)
+	}
+	if opts.Presolve {
+		return p.solveWithPresolve(opts)
+	}
+	s := newSimplex(p, opts)
+	return s.solve(), nil
+}

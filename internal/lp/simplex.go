@@ -1,0 +1,481 @@
+package lp
+
+import (
+	"math"
+)
+
+// varState tracks where a variable currently sits.
+type varState int8
+
+const (
+	atLower  varState = iota // nonbasic at its lower bound
+	atUpper                  // nonbasic at its upper bound
+	freeZero                 // nonbasic free variable, parked at 0
+	basic
+)
+
+// simplex is a dense bounded-variable two-phase tableau simplex.
+//
+// Internal variable layout: [0,n) structural, [n, n+m) slacks (one per row,
+// +1 coefficient, bounds [0,∞) for ≤ rows and [0,0] for = rows; ≥ rows are
+// negated into ≤ rows during load), [n+m, ...) artificials added for rows
+// whose initial slack value violates its bounds.
+type simplex struct {
+	m, n   int // rows, structural vars
+	nTotal int // all columns currently in the tableau
+
+	tab   [][]float64 // m × nTotal: B⁻¹A for every column
+	rc    []float64   // reduced costs per column (current phase)
+	cost  []float64   // phase-2 costs per column (maximization form)
+	lo    []float64
+	up    []float64
+	val   []float64 // current value of every variable
+	state []varState
+	basis []int // column occupying each row
+
+	sense   Sense
+	rowSign []float64 // +1, or −1 for rows loaded negated (≥ constraints)
+	tol     float64
+	maxIter int
+	iters   int
+	bland   bool
+	nArt    int
+}
+
+func newSimplex(p *Problem, opts Options) *simplex {
+	m := len(p.cons)
+	n := p.NumVars()
+	s := &simplex{m: m, n: n, sense: p.sense}
+	s.tol = opts.Tol
+	if s.tol == 0 {
+		s.tol = 1e-9
+	}
+	s.maxIter = opts.MaxIters
+	if s.maxIter == 0 {
+		s.maxIter = 50*(m+n) + 2000
+	}
+	s.load(p)
+	return s
+}
+
+// load builds the initial tableau, basis and variable assignment.
+func (s *simplex) load(p *Problem) {
+	m, n := s.m, s.n
+	nTotal := n + m // artificials appended later as needed
+	s.nTotal = nTotal
+
+	s.lo = make([]float64, nTotal, nTotal+m)
+	s.up = make([]float64, nTotal, nTotal+m)
+	s.cost = make([]float64, nTotal, nTotal+m)
+	s.val = make([]float64, nTotal, nTotal+m)
+	s.state = make([]varState, nTotal, nTotal+m)
+	s.basis = make([]int, m)
+
+	// Structural variables: objective in maximization form, park at a bound.
+	objSign := 1.0
+	if p.sense == Minimize {
+		objSign = -1
+	}
+	for j := 0; j < n; j++ {
+		s.lo[j], s.up[j] = p.lo[j], p.up[j]
+		s.cost[j] = objSign * p.obj[j]
+		switch {
+		case !math.IsInf(s.lo[j], -1):
+			s.state[j] = atLower
+			s.val[j] = s.lo[j]
+		case !math.IsInf(s.up[j], 1):
+			s.state[j] = atUpper
+			s.val[j] = s.up[j]
+		default:
+			s.state[j] = freeZero
+			s.val[j] = 0
+		}
+	}
+
+	// Rows: normalize ≥ to ≤ by negation; slacks get [0,∞), equalities [0,0].
+	s.tab = make([][]float64, m)
+	s.rowSign = make([]float64, m)
+	rhs := make([]float64, m)
+	for i, c := range p.cons {
+		row := make([]float64, nTotal, nTotal+m)
+		sign := 1.0
+		if c.Op == GE {
+			sign = -1
+		}
+		s.rowSign[i] = sign
+		for _, t := range c.Terms {
+			row[t.Var] += sign * t.Coeff
+		}
+		rhs[i] = sign * c.RHS
+		slack := n + i
+		row[slack] = 1
+		s.lo[slack] = 0
+		if c.Op == EQ {
+			s.up[slack] = 0
+		} else {
+			s.up[slack] = math.Inf(1)
+		}
+		s.tab[i] = row
+		s.basis[i] = slack
+		s.state[slack] = basic
+	}
+
+	// Initial basic values: slack_i = rhs_i − Σ A_ij · val_j.
+	for i := 0; i < m; i++ {
+		v := rhs[i]
+		for j := 0; j < n; j++ {
+			if s.tab[i][j] != 0 && s.val[j] != 0 {
+				v -= s.tab[i][j] * s.val[j]
+			}
+		}
+		s.val[s.basis[i]] = v
+	}
+
+	// Repair infeasible rows with artificials.
+	for i := 0; i < m; i++ {
+		slack := s.basis[i]
+		v := s.val[slack]
+		var beta float64
+		switch {
+		case v < s.lo[slack]-s.tol:
+			beta = s.lo[slack]
+		case v > s.up[slack]+s.tol:
+			beta = s.up[slack]
+		default:
+			continue
+		}
+		residual := v - beta // amount the artificial must absorb
+		sigma := 1.0
+		if residual < 0 {
+			sigma = -1
+		}
+		// Row currently reads: Σ A z + slack = rhs. Re-park the slack at beta
+		// and give the row to a fresh artificial column σ·e_i.
+		s.state[slack] = atLower
+		if beta == s.up[slack] && s.up[slack] != s.lo[slack] {
+			s.state[slack] = atUpper
+		}
+		s.val[slack] = beta
+
+		art := s.addColumn()
+		s.tab[i][art] = sigma
+		s.lo[art], s.up[art] = 0, math.Inf(1)
+		s.val[art] = math.Abs(residual)
+		s.state[art] = basic
+		s.basis[i] = art
+		s.nArt++
+		if sigma < 0 {
+			// Keep tab = B⁻¹A with the identity on basic columns.
+			for j := range s.tab[i] {
+				s.tab[i][j] = -s.tab[i][j]
+			}
+		}
+	}
+}
+
+// addColumn appends a zero column to every row and the parallel arrays,
+// returning its index.
+func (s *simplex) addColumn() int {
+	j := s.nTotal
+	s.nTotal++
+	for i := range s.tab {
+		s.tab[i] = append(s.tab[i], 0)
+	}
+	s.lo = append(s.lo, 0)
+	s.up = append(s.up, 0)
+	s.cost = append(s.cost, 0)
+	s.val = append(s.val, 0)
+	s.state = append(s.state, atLower)
+	return j
+}
+
+// recomputeRC rebuilds the reduced-cost row for the given cost vector:
+// rc_j = c_j − c_Bᵀ · tab[:,j].
+func (s *simplex) recomputeRC(cost []float64) {
+	s.rc = make([]float64, s.nTotal)
+	copy(s.rc, cost)
+	for i := 0; i < s.m; i++ {
+		cb := cost[s.basis[i]]
+		if cb == 0 {
+			continue
+		}
+		row := s.tab[i]
+		for j := 0; j < s.nTotal; j++ {
+			if row[j] != 0 {
+				s.rc[j] -= cb * row[j]
+			}
+		}
+	}
+}
+
+func (s *simplex) solve() Result {
+	// Phase 1: drive artificials to zero.
+	if s.nArt > 0 {
+		phase1 := make([]float64, s.nTotal)
+		for j := s.n + s.m; j < s.nTotal; j++ {
+			phase1[j] = -1
+		}
+		s.recomputeRC(phase1)
+		st := s.iterate()
+		if st == StatusIterLimit {
+			return Result{Status: StatusIterLimit, Iters: s.iters}
+		}
+		infeas := 0.0
+		for j := s.n + s.m; j < s.nTotal; j++ {
+			infeas += s.val[j]
+		}
+		if infeas > 1e-7 {
+			return Result{Status: StatusInfeasible, Iters: s.iters}
+		}
+		// Fix artificials at zero for Phase 2 (basic ones stay at value 0 and
+		// degenerate pivots move them out if they ever block progress).
+		for j := s.n + s.m; j < s.nTotal; j++ {
+			s.up[j] = 0
+			s.val[j] = 0
+		}
+	}
+
+	// Phase 2: optimize the real objective.
+	s.bland = false
+	s.recomputeRC(s.cost)
+	st := s.iterate()
+	if st != StatusOptimal {
+		return Result{Status: st, Iters: s.iters}
+	}
+
+	obj := 0.0
+	x := make([]float64, s.n)
+	for j := 0; j < s.n; j++ {
+		x[j] = s.val[j]
+		obj += s.cost[j] * s.val[j]
+	}
+	objSign := 1.0
+	if s.sense == Minimize {
+		obj = -obj
+		objSign = -1
+	}
+
+	// Duals and reduced costs in the problem's own sense. In the internal
+	// maximization form, the dual of loaded row i is −rc[slack_i]; rows
+	// loaded negated (≥) flip back, and Minimize flips the whole identity.
+	duals := make([]float64, s.m)
+	for i := 0; i < s.m; i++ {
+		duals[i] = objSign * s.rowSign[i] * -s.rc[s.n+i]
+	}
+	rcs := make([]float64, s.n)
+	for j := 0; j < s.n; j++ {
+		rcs[j] = objSign * s.rc[j]
+	}
+	return Result{
+		Status: StatusOptimal, Objective: obj, X: x, Iters: s.iters,
+		Duals: duals, ReducedCosts: rcs,
+	}
+}
+
+// iterate runs primal simplex iterations until optimality, unboundedness or
+// the iteration limit. It returns StatusOptimal when no entering column
+// improves the current phase objective.
+func (s *simplex) iterate() Status {
+	blandAfter := 10*(s.m+s.n) + 500
+	startIters := s.iters
+	for {
+		if s.iters-startIters > blandAfter {
+			s.bland = true
+		}
+		if s.iters >= s.maxIter {
+			return StatusIterLimit
+		}
+		enter, dir := s.chooseEntering()
+		if enter < 0 {
+			return StatusOptimal
+		}
+		s.iters++
+		if st := s.step(enter, dir); st != StatusOptimal {
+			return st
+		}
+	}
+}
+
+// chooseEntering picks a nonbasic column whose movement improves the
+// objective, together with the movement direction (+1 increase from the
+// current value, −1 decrease). Returns -1 when none exists.
+func (s *simplex) chooseEntering() (int, float64) {
+	bestJ, bestDir, bestScore := -1, 0.0, s.tol
+	for j := 0; j < s.nTotal; j++ {
+		var dir float64
+		switch s.state[j] {
+		case basic:
+			continue
+		case atLower:
+			if s.lo[j] == s.up[j] {
+				continue // fixed variable
+			}
+			if s.rc[j] > s.tol {
+				dir = 1
+			}
+		case atUpper:
+			if s.lo[j] == s.up[j] {
+				continue
+			}
+			if s.rc[j] < -s.tol {
+				dir = -1
+			}
+		case freeZero:
+			if s.rc[j] > s.tol {
+				dir = 1
+			} else if s.rc[j] < -s.tol {
+				dir = -1
+			}
+		}
+		if dir == 0 {
+			continue
+		}
+		if s.bland {
+			return j, dir // first eligible index (Bland's rule)
+		}
+		if score := math.Abs(s.rc[j]); score > bestScore {
+			bestJ, bestDir, bestScore = j, dir, score
+		}
+	}
+	return bestJ, bestDir
+}
+
+// step performs the ratio test for the entering column and applies either a
+// bound flip or a pivot.
+func (s *simplex) step(enter int, dir float64) Status {
+	// Maximum movement allowed by the entering variable's own bounds.
+	limit := math.Inf(1)
+	if !math.IsInf(s.lo[enter], -1) && !math.IsInf(s.up[enter], 1) {
+		limit = s.up[enter] - s.lo[enter]
+	}
+
+	leaveRow := -1
+	leaveAt := atLower
+	pivotMag := 0.0
+	for i := 0; i < s.m; i++ {
+		a := s.tab[i][enter]
+		if a == 0 {
+			continue
+		}
+		b := s.basis[i]
+		rate := -dir * a // d(val[b]) per unit increase of movement
+		var room float64
+		var target varState
+		switch {
+		case rate < -s.tol:
+			if math.IsInf(s.lo[b], -1) {
+				continue
+			}
+			room = (s.val[b] - s.lo[b]) / -rate
+			target = atLower
+		case rate > s.tol:
+			if math.IsInf(s.up[b], 1) {
+				continue
+			}
+			room = (s.up[b] - s.val[b]) / rate
+			target = atUpper
+		default:
+			continue
+		}
+		if room < 0 {
+			room = 0 // numerical slip below a bound: degenerate step
+		}
+		take := false
+		switch {
+		case room < limit-s.tol:
+			take = true // strictly tighter than anything seen
+		case room <= limit+s.tol && leaveRow >= 0:
+			// Tie among rows: Bland's rule takes the smallest basis index
+			// (anti-cycling), otherwise prefer the larger pivot magnitude.
+			if s.bland {
+				take = b < s.basis[leaveRow]
+			} else {
+				take = math.Abs(a) > pivotMag
+			}
+		case room <= limit+s.tol && leaveRow < 0:
+			// Ties with the entering variable's own bound range: pivoting is
+			// as valid as flipping; take the row so Bland's rule stays sound.
+			take = true
+		}
+		if take {
+			limit = math.Min(room, limit)
+			leaveRow, leaveAt, pivotMag = i, target, math.Abs(a)
+		}
+	}
+
+	if math.IsInf(limit, 1) {
+		return StatusUnbounded
+	}
+
+	// Move every basic variable by its rate times the step.
+	if limit != 0 {
+		for i := 0; i < s.m; i++ {
+			if a := s.tab[i][enter]; a != 0 {
+				s.val[s.basis[i]] -= dir * a * limit
+			}
+		}
+	}
+
+	if leaveRow < 0 {
+		// Bound flip: the entering variable traverses to its opposite bound.
+		if dir > 0 {
+			s.val[enter] = s.up[enter]
+			s.state[enter] = atUpper
+		} else {
+			s.val[enter] = s.lo[enter]
+			s.state[enter] = atLower
+		}
+		return StatusOptimal
+	}
+
+	// Pivot: entering becomes basic, the blocking variable leaves at a bound.
+	leaving := s.basis[leaveRow]
+	if leaveAt == atLower {
+		s.val[leaving] = s.lo[leaving]
+	} else {
+		s.val[leaving] = s.up[leaving]
+	}
+	s.state[leaving] = leaveAt
+	if s.lo[leaving] == s.up[leaving] {
+		s.state[leaving] = atLower
+	}
+	s.val[enter] += dir * limit
+	s.state[enter] = basic
+	s.basis[leaveRow] = enter
+
+	s.pivot(leaveRow, enter)
+	return StatusOptimal
+}
+
+// pivot performs Gauss-Jordan elimination on the tableau and reduced costs so
+// that column enter becomes the identity on row r.
+func (s *simplex) pivot(r, enter int) {
+	row := s.tab[r]
+	piv := row[enter]
+	inv := 1 / piv
+	for j := range row {
+		row[j] *= inv
+	}
+	row[enter] = 1 // exact
+	for i := 0; i < s.m; i++ {
+		if i == r {
+			continue
+		}
+		f := s.tab[i][enter]
+		if f == 0 {
+			continue
+		}
+		ti := s.tab[i]
+		for j := range ti {
+			ti[j] -= f * row[j]
+		}
+		ti[enter] = 0 // exact
+	}
+	f := s.rc[enter]
+	if f != 0 {
+		for j := range s.rc {
+			s.rc[j] -= f * row[j]
+		}
+		s.rc[enter] = 0
+	}
+}

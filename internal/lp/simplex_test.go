@@ -1,0 +1,450 @@
+package lp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+const eps = 1e-6
+
+func solveOK(t *testing.T, p *Problem) Result {
+	t.Helper()
+	res, err := p.Solve(Options{})
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	return res
+}
+
+func wantOptimal(t *testing.T, res Result, obj float64) {
+	t.Helper()
+	if res.Status != StatusOptimal {
+		t.Fatalf("status = %v, want optimal", res.Status)
+	}
+	if math.Abs(res.Objective-obj) > eps {
+		t.Fatalf("objective = %v, want %v (x=%v)", res.Objective, obj, res.X)
+	}
+}
+
+func TestSimpleMax(t *testing.T) {
+	// max 3x+2y s.t. x+y≤4, x+3y≤6, x,y ≥ 0 → (4,0), obj 12.
+	p := NewProblem(Maximize)
+	x := p.AddVar(0, math.Inf(1), 3, "x")
+	y := p.AddVar(0, math.Inf(1), 2, "y")
+	p.AddConstraint([]Term{{x, 1}, {y, 1}}, LE, 4)
+	p.AddConstraint([]Term{{x, 1}, {y, 3}}, LE, 6)
+	res := solveOK(t, p)
+	wantOptimal(t, res, 12)
+	if math.Abs(res.X[x]-4) > eps || math.Abs(res.X[y]) > eps {
+		t.Errorf("x=%v", res.X)
+	}
+}
+
+func TestTwoConstraintMax(t *testing.T) {
+	// max 5x+4y s.t. 6x+4y≤24, x+2y≤6 → (3, 1.5), obj 21.
+	p := NewProblem(Maximize)
+	x := p.AddVar(0, math.Inf(1), 5, "x")
+	y := p.AddVar(0, math.Inf(1), 4, "y")
+	p.AddConstraint([]Term{{x, 6}, {y, 4}}, LE, 24)
+	p.AddConstraint([]Term{{x, 1}, {y, 2}}, LE, 6)
+	res := solveOK(t, p)
+	wantOptimal(t, res, 21)
+	if math.Abs(res.X[x]-3) > eps || math.Abs(res.X[y]-1.5) > eps {
+		t.Errorf("x=%v", res.X)
+	}
+}
+
+func TestInfeasible(t *testing.T) {
+	p := NewProblem(Maximize)
+	x := p.AddVar(0, math.Inf(1), 1, "x")
+	p.AddConstraint([]Term{{x, 1}}, GE, 2)
+	p.AddConstraint([]Term{{x, 1}}, LE, 1)
+	res := solveOK(t, p)
+	if res.Status != StatusInfeasible {
+		t.Fatalf("status = %v, want infeasible", res.Status)
+	}
+}
+
+func TestInfeasibleBoundsVsConstraint(t *testing.T) {
+	p := NewProblem(Minimize)
+	x := p.AddVar(0, 1, 1, "x")
+	y := p.AddVar(0, 1, 1, "y")
+	p.AddConstraint([]Term{{x, 1}, {y, 1}}, GE, 3) // impossible with x,y ≤ 1
+	res := solveOK(t, p)
+	if res.Status != StatusInfeasible {
+		t.Fatalf("status = %v, want infeasible", res.Status)
+	}
+}
+
+func TestUnbounded(t *testing.T) {
+	p := NewProblem(Maximize)
+	p.AddVar(0, math.Inf(1), 1, "x")
+	res := solveOK(t, p)
+	if res.Status != StatusUnbounded {
+		t.Fatalf("status = %v, want unbounded", res.Status)
+	}
+}
+
+func TestUnboundedWithConstraint(t *testing.T) {
+	// max x - y s.t. x - y ≤ ... nothing binds x−... use x ≥ y only.
+	p := NewProblem(Maximize)
+	x := p.AddVar(0, math.Inf(1), 1, "x")
+	y := p.AddVar(0, math.Inf(1), 0, "y")
+	p.AddConstraint([]Term{{x, 1}, {y, -1}}, GE, 0)
+	res := solveOK(t, p)
+	if res.Status != StatusUnbounded {
+		t.Fatalf("status = %v, want unbounded", res.Status)
+	}
+}
+
+func TestEquality(t *testing.T) {
+	// max x+2y s.t. x+y=3, x ≤ 2, x,y≥0 → (0,3)? obj x+2y maximized with y big:
+	// y=3,x=0 → 6.
+	p := NewProblem(Maximize)
+	x := p.AddVar(0, 2, 1, "x")
+	y := p.AddVar(0, math.Inf(1), 2, "y")
+	p.AddConstraint([]Term{{x, 1}, {y, 1}}, EQ, 3)
+	res := solveOK(t, p)
+	wantOptimal(t, res, 6)
+	if math.Abs(res.X[x]) > eps || math.Abs(res.X[y]-3) > eps {
+		t.Errorf("x=%v", res.X)
+	}
+}
+
+func TestMinimizeWithGE(t *testing.T) {
+	// min 2x+3y s.t. x+y ≥ 10, x ≤ 4 → x=4, y=6, obj 26.
+	p := NewProblem(Minimize)
+	x := p.AddVar(0, 4, 2, "x")
+	y := p.AddVar(0, math.Inf(1), 3, "y")
+	p.AddConstraint([]Term{{x, 1}, {y, 1}}, GE, 10)
+	res := solveOK(t, p)
+	wantOptimal(t, res, 26)
+	if math.Abs(res.X[x]-4) > eps || math.Abs(res.X[y]-6) > eps {
+		t.Errorf("x=%v", res.X)
+	}
+}
+
+func TestPureBoundFlip(t *testing.T) {
+	// max x with 0 ≤ x ≤ 5 and no constraints: solved by a single bound flip.
+	p := NewProblem(Maximize)
+	x := p.AddVar(0, 5, 1, "x")
+	res := solveOK(t, p)
+	wantOptimal(t, res, 5)
+	if res.X[x] != 5 {
+		t.Errorf("x=%v", res.X)
+	}
+}
+
+func TestFreeVariable(t *testing.T) {
+	// min y s.t. y ≥ x, y ≥ −x, x free → 0 at x=0.
+	p := NewProblem(Minimize)
+	x := p.AddVar(math.Inf(-1), math.Inf(1), 0, "x")
+	y := p.AddVar(math.Inf(-1), math.Inf(1), 1, "y")
+	p.AddConstraint([]Term{{y, 1}, {x, -1}}, GE, 0)
+	p.AddConstraint([]Term{{y, 1}, {x, 1}}, GE, 0)
+	res := solveOK(t, p)
+	wantOptimal(t, res, 0)
+}
+
+func TestFreeVariableNegativeOptimum(t *testing.T) {
+	// min x s.t. x ≥ −7, x free → −7.
+	p := NewProblem(Minimize)
+	x := p.AddVar(math.Inf(-1), math.Inf(1), 1, "x")
+	p.AddConstraint([]Term{{x, 1}}, GE, -7)
+	res := solveOK(t, p)
+	wantOptimal(t, res, -7)
+	if math.Abs(res.X[x]+7) > eps {
+		t.Errorf("x=%v", res.X)
+	}
+}
+
+func TestNegativeLowerBounds(t *testing.T) {
+	// max x+y, −2 ≤ x ≤ −1, y ≤ 3, x+y ≤ 1 → x=−1, y=2 → 1.
+	p := NewProblem(Maximize)
+	x := p.AddVar(-2, -1, 1, "x")
+	y := p.AddVar(0, 3, 1, "y")
+	p.AddConstraint([]Term{{x, 1}, {y, 1}}, LE, 1)
+	res := solveOK(t, p)
+	wantOptimal(t, res, 1)
+}
+
+func TestBealeDegenerate(t *testing.T) {
+	// Beale's classic cycling example; optimum 0.05.
+	p := NewProblem(Maximize)
+	x1 := p.AddVar(0, math.Inf(1), 0.75, "x1")
+	x2 := p.AddVar(0, math.Inf(1), -150, "x2")
+	x3 := p.AddVar(0, math.Inf(1), 0.02, "x3")
+	x4 := p.AddVar(0, math.Inf(1), -6, "x4")
+	p.AddConstraint([]Term{{x1, 0.25}, {x2, -60}, {x3, -0.04}, {x4, 9}}, LE, 0)
+	p.AddConstraint([]Term{{x1, 0.5}, {x2, -90}, {x3, -0.02}, {x4, 3}}, LE, 0)
+	p.AddConstraint([]Term{{x3, 1}}, LE, 1)
+	res := solveOK(t, p)
+	wantOptimal(t, res, 0.05)
+}
+
+func TestEqualitySystemExactlyDetermined(t *testing.T) {
+	// x+y=2, x−y=0 → x=y=1 regardless of objective.
+	p := NewProblem(Maximize)
+	x := p.AddVar(math.Inf(-1), math.Inf(1), 1, "x")
+	y := p.AddVar(math.Inf(-1), math.Inf(1), 0, "y")
+	p.AddConstraint([]Term{{x, 1}, {y, 1}}, EQ, 2)
+	p.AddConstraint([]Term{{x, 1}, {y, -1}}, EQ, 0)
+	res := solveOK(t, p)
+	wantOptimal(t, res, 1)
+	if math.Abs(res.X[x]-1) > eps || math.Abs(res.X[y]-1) > eps {
+		t.Errorf("x=%v", res.X)
+	}
+}
+
+func TestRedundantConstraints(t *testing.T) {
+	p := NewProblem(Maximize)
+	x := p.AddVar(0, math.Inf(1), 1, "x")
+	for i := 0; i < 5; i++ {
+		p.AddConstraint([]Term{{x, 1}}, LE, 7)
+	}
+	p.AddConstraint([]Term{{x, 2}}, LE, 14)
+	res := solveOK(t, p)
+	wantOptimal(t, res, 7)
+}
+
+func TestZeroObjectiveFeasibility(t *testing.T) {
+	// Pure feasibility question with equality needing Phase 1.
+	p := NewProblem(Maximize)
+	x := p.AddVar(0, 10, 0, "x")
+	y := p.AddVar(0, 10, 0, "y")
+	p.AddConstraint([]Term{{x, 1}, {y, 2}}, EQ, 7)
+	res := solveOK(t, p)
+	if res.Status != StatusOptimal {
+		t.Fatalf("status=%v", res.Status)
+	}
+	if math.Abs(res.X[x]+2*res.X[y]-7) > eps {
+		t.Errorf("constraint violated: %v", res.X)
+	}
+}
+
+func TestValidateErrors(t *testing.T) {
+	cases := []struct {
+		name  string
+		build func() *Problem
+	}{
+		{"inverted bounds", func() *Problem {
+			p := NewProblem(Maximize)
+			p.AddVar(2, 1, 0, "x")
+			return p
+		}},
+		{"nan objective", func() *Problem {
+			p := NewProblem(Maximize)
+			p.AddVar(0, 1, math.NaN(), "x")
+			return p
+		}},
+		{"bad var index", func() *Problem {
+			p := NewProblem(Maximize)
+			p.AddVar(0, 1, 1, "x")
+			p.AddConstraint([]Term{{5, 1}}, LE, 1)
+			return p
+		}},
+		{"inf rhs", func() *Problem {
+			p := NewProblem(Maximize)
+			x := p.AddVar(0, 1, 1, "x")
+			p.AddConstraint([]Term{{x, 1}}, LE, math.Inf(1))
+			return p
+		}},
+		{"inf coeff", func() *Problem {
+			p := NewProblem(Maximize)
+			x := p.AddVar(0, 1, 1, "x")
+			p.AddConstraint([]Term{{x, math.Inf(1)}}, LE, 1)
+			return p
+		}},
+		{"inf objective coeff", func() *Problem {
+			p := NewProblem(Maximize)
+			p.AddVar(0, 1, math.Inf(1), "x")
+			return p
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := tc.build().Solve(Options{}); err == nil {
+				t.Error("Solve accepted invalid problem")
+			}
+		})
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	p := NewProblem(Maximize)
+	x := p.AddVar(0, 1, 1, "x")
+	p.AddConstraint([]Term{{x, 1}}, LE, 1)
+	q := p.Clone()
+	q.SetBounds(x, 0, 0)
+	res := solveOK(t, p)
+	wantOptimal(t, res, 1)
+	resQ := solveOK(t, q)
+	wantOptimal(t, resQ, 0)
+}
+
+func TestIterLimit(t *testing.T) {
+	p := NewProblem(Maximize)
+	n := 20
+	vars := make([]int, n)
+	for i := range vars {
+		vars[i] = p.AddVar(0, math.Inf(1), float64(i+1), "")
+	}
+	for i := 0; i < n; i++ {
+		terms := make([]Term, 0, n)
+		for j := 0; j <= i; j++ {
+			terms = append(terms, Term{vars[j], 1})
+		}
+		p.AddConstraint(terms, LE, float64(i+1))
+	}
+	res, err := p.Solve(Options{MaxIters: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != StatusIterLimit && res.Status != StatusOptimal {
+		t.Fatalf("status=%v", res.Status)
+	}
+}
+
+// TestRandomFeasibleBounded generates random LPs that are feasible by
+// construction and checks the solution is feasible, within bounds, achieves
+// the reported objective, and is at least as good as sampled feasible points.
+func TestRandomFeasibleBounded(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + r.Intn(6)
+		m := 1 + r.Intn(6)
+		p := NewProblem(Maximize)
+		for j := 0; j < n; j++ {
+			p.AddVar(0, 1+r.Float64()*4, r.Float64()*10-5, "")
+		}
+		type row struct {
+			terms []Term
+			rhs   float64
+		}
+		rows := make([]row, m)
+		for i := 0; i < m; i++ {
+			var terms []Term
+			for j := 0; j < n; j++ {
+				if r.Intn(2) == 0 {
+					terms = append(terms, Term{j, r.Float64() * 3})
+				}
+			}
+			rhs := r.Float64() * 5
+			p.AddConstraint(terms, LE, rhs)
+			rows[i] = row{terms, rhs}
+		}
+		res, err := p.Solve(Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// x=0 is feasible (all coefficients ≥ 0, rhs ≥ 0, lo=0).
+		if res.Status != StatusOptimal {
+			t.Fatalf("trial %d: status=%v", trial, res.Status)
+		}
+		obj := 0.0
+		for j := 0; j < n; j++ {
+			lo, up := p.Bounds(j)
+			if res.X[j] < lo-eps || res.X[j] > up+eps {
+				t.Fatalf("trial %d: x[%d]=%v outside [%v,%v]", trial, j, res.X[j], lo, up)
+			}
+			obj += p.obj[j] * res.X[j]
+		}
+		if math.Abs(obj-res.Objective) > 1e-5 {
+			t.Fatalf("trial %d: objective mismatch %v vs %v", trial, obj, res.Objective)
+		}
+		for i, rw := range rows {
+			lhs := 0.0
+			for _, tm := range rw.terms {
+				lhs += tm.Coeff * res.X[tm.Var]
+			}
+			if lhs > rw.rhs+1e-5 {
+				t.Fatalf("trial %d: constraint %d violated: %v > %v", trial, i, lhs, rw.rhs)
+			}
+		}
+		// Optimality spot-check against random feasible points.
+		for probe := 0; probe < 30; probe++ {
+			x := make([]float64, n)
+			for j := range x {
+				_, up := p.Bounds(j)
+				x[j] = r.Float64() * up
+			}
+			// Scale into feasibility.
+			scale := 1.0
+			for _, rw := range rows {
+				lhs := 0.0
+				for _, tm := range rw.terms {
+					lhs += tm.Coeff * x[tm.Var]
+				}
+				if lhs > rw.rhs && lhs > 0 {
+					scale = math.Min(scale, rw.rhs/lhs)
+				}
+			}
+			probeObj := 0.0
+			for j := range x {
+				probeObj += p.obj[j] * x[j] * scale
+			}
+			if probeObj > res.Objective+1e-5 {
+				t.Fatalf("trial %d: sampled point beats optimum: %v > %v",
+					trial, probeObj, res.Objective)
+			}
+		}
+	}
+}
+
+// TestRandomWithEqualities exercises Phase 1 on random instances where a
+// known feasible point is planted, so infeasible results are always bugs.
+func TestRandomWithEqualities(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 200; trial++ {
+		n := 2 + r.Intn(5)
+		m := 1 + r.Intn(4)
+		feas := make([]float64, n)
+		p := NewProblem(Maximize)
+		for j := 0; j < n; j++ {
+			feas[j] = r.Float64() * 3
+			p.AddVar(0, 5, r.Float64()*4-2, "")
+		}
+		for i := 0; i < m; i++ {
+			var terms []Term
+			lhs := 0.0
+			for j := 0; j < n; j++ {
+				c := r.Float64()*4 - 2
+				terms = append(terms, Term{j, c})
+				lhs += c * feas[j]
+			}
+			switch r.Intn(3) {
+			case 0:
+				p.AddConstraint(terms, EQ, lhs)
+			case 1:
+				p.AddConstraint(terms, LE, lhs+r.Float64())
+			default:
+				p.AddConstraint(terms, GE, lhs-r.Float64())
+			}
+		}
+		res, err := p.Solve(Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Status != StatusOptimal {
+			t.Fatalf("trial %d: status=%v for a feasible instance", trial, res.Status)
+		}
+	}
+}
+
+func TestStatusAndOpStrings(t *testing.T) {
+	for s, want := range map[Status]string{
+		StatusOptimal: "optimal", StatusInfeasible: "infeasible",
+		StatusUnbounded: "unbounded", StatusIterLimit: "iteration limit",
+		Status(9): "Status(9)",
+	} {
+		if s.String() != want {
+			t.Errorf("Status(%d).String()=%q", int(s), s.String())
+		}
+	}
+	for o, want := range map[Op]string{LE: "<=", GE: ">=", EQ: "=", Op(9): "Op(9)"} {
+		if o.String() != want {
+			t.Errorf("Op(%d).String()=%q", int(o), o.String())
+		}
+	}
+}

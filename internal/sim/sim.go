@@ -1,0 +1,179 @@
+// Package sim simulates a marketplace end to end to quantify the paper's
+// closing caveat (§VIII): "a query log is only an approximate surrogate of
+// real user preferences". A fixed buyer-preference model generates both the
+// training query log the optimizer sees and a fresh test workload of future
+// buyers; the gap between predicted visibility (on the log) and realized
+// visibility (on the test workload) measures how well log-optimized
+// attribute selection generalizes — and how fast the gap closes as the log
+// grows.
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+
+	"standout/internal/bitvec"
+	"standout/internal/core"
+	"standout/internal/dataset"
+	"standout/internal/gen"
+)
+
+// BuyerModel is a stationary distribution over conjunctive buyer queries:
+// query sizes follow SizeWeights and attributes are drawn with probability
+// proportional to AttrWeights, without replacement.
+type BuyerModel struct {
+	Schema      *dataset.Schema
+	AttrWeights []float64
+	SizeWeights []float64
+}
+
+// NewCarBuyerModel derives a buyer model from a car inventory: attribute
+// popularity follows the square of the option's market share (buyers ask for
+// common options), sizes follow the paper's synthetic mixture.
+func NewCarBuyerModel(tab *dataset.Table) *BuyerModel {
+	freq := tab.AttrFrequencies()
+	w := make([]float64, len(freq))
+	for i, f := range freq {
+		share := float64(f) / float64(tab.Size())
+		w[i] = share*share + 0.01
+	}
+	return &BuyerModel{
+		Schema:      tab.Schema,
+		AttrWeights: w,
+		SizeWeights: gen.PaperSizeMixture,
+	}
+}
+
+// Sample draws n queries from the model.
+func (m *BuyerModel) Sample(seed int64, n int) *dataset.QueryLog {
+	return gen.SyntheticWorkload(m.Schema, seed, n, gen.WorkloadOptions{
+		SizeWeights: m.SizeWeights,
+		AttrWeights: m.AttrWeights,
+	})
+}
+
+// ExpectedVisibility estimates, by Monte-Carlo with the given sample size,
+// the probability that a random buyer query retrieves the compression.
+func (m *BuyerModel) ExpectedVisibility(seed int64, kept bitvec.Vector, samples int) float64 {
+	test := m.Sample(seed, samples)
+	return float64(test.Satisfied(kept)) / float64(samples)
+}
+
+// Config controls one simulation run.
+type Config struct {
+	// TrainQueries is the size of the query log the optimizer sees.
+	TrainQueries int
+	// TestQueries is the size of the held-out future workload.
+	TestQueries int
+	// M is the compression budget.
+	M int
+	// Solver picks the attributes; nil means MaxFreqItemSets with the
+	// paper's two-phase walk — whp-optimal and fast at any training size
+	// (exact DFS mining is exponential on tuples with many options).
+	Solver core.Solver
+	// Seed drives all sampling.
+	Seed int64
+}
+
+// Outcome reports predicted versus realized visibility for one run.
+type Outcome struct {
+	// Kept is the compression chosen on the training log.
+	Kept bitvec.Vector
+	// PredictedRate is satisfied/|train| on the training log.
+	PredictedRate float64
+	// RealizedRate is satisfied/|test| on the held-out workload.
+	RealizedRate float64
+	// NaiveRate is the realized rate of the naive first-m-attributes
+	// baseline, for reference.
+	NaiveRate float64
+}
+
+// Gap returns PredictedRate − RealizedRate: positive values mean the
+// training log overstated future visibility (overfitting to the log).
+func (o Outcome) Gap() float64 { return o.PredictedRate - o.RealizedRate }
+
+// Run samples a training log, optimizes the tuple against it, and evaluates
+// the choice on a fresh test workload from the same buyer model.
+func Run(cfg Config, model *BuyerModel, tuple bitvec.Vector) (Outcome, error) {
+	if cfg.TrainQueries <= 0 || cfg.TestQueries <= 0 {
+		return Outcome{}, fmt.Errorf("sim: train and test sizes must be positive")
+	}
+	solver := cfg.Solver
+	if solver == nil {
+		solver = core.MaxFreqItemSets{Backend: core.BackendTwoPhaseWalk, Seed: cfg.Seed}
+	}
+	train := model.Sample(cfg.Seed, cfg.TrainQueries)
+	test := model.Sample(cfg.Seed+1, cfg.TestQueries)
+
+	sol, err := solver.Solve(core.Instance{Log: train, Tuple: tuple, M: cfg.M})
+	if err != nil {
+		return Outcome{}, fmt.Errorf("sim: %w", err)
+	}
+
+	naive := naiveCompression(tuple, cfg.M)
+	return Outcome{
+		Kept:          sol.Kept,
+		PredictedRate: float64(sol.Satisfied) / float64(train.Size()),
+		RealizedRate:  float64(test.Satisfied(sol.Kept)) / float64(test.Size()),
+		NaiveRate:     float64(test.Satisfied(naive)) / float64(test.Size()),
+	}, nil
+}
+
+// Sweep runs the simulation across training-log sizes, averaging each point
+// over the given tuples; it reports the mean predicted/realized rates per
+// size. This is the generalization experiment behind ablation A5.
+func Sweep(cfg Config, model *BuyerModel, tuples []bitvec.Vector, sizes []int) ([]SweepPoint, error) {
+	out := make([]SweepPoint, 0, len(sizes))
+	for _, size := range sizes {
+		var pred, real, naive float64
+		for i, tuple := range tuples {
+			c := cfg
+			c.TrainQueries = size
+			c.Seed = cfg.Seed + int64(i*len(sizes))
+			o, err := Run(c, model, tuple)
+			if err != nil {
+				return nil, err
+			}
+			pred += o.PredictedRate
+			real += o.RealizedRate
+			naive += o.NaiveRate
+		}
+		n := float64(len(tuples))
+		out = append(out, SweepPoint{
+			TrainQueries: size,
+			Predicted:    pred / n,
+			Realized:     real / n,
+			Naive:        naive / n,
+		})
+	}
+	return out, nil
+}
+
+// SweepPoint is one training-size point of a generalization sweep.
+type SweepPoint struct {
+	TrainQueries int
+	Predicted    float64
+	Realized     float64
+	Naive        float64
+}
+
+// naiveCompression keeps the first m attributes the tuple happens to have.
+func naiveCompression(tuple bitvec.Vector, m int) bitvec.Vector {
+	ones := tuple.Ones()
+	if m > len(ones) {
+		m = len(ones)
+	}
+	return bitvec.FromIndices(tuple.Width(), ones[:m]...)
+}
+
+// RandomModel builds an arbitrary buyer model for tests and experiments:
+// Zipf-like attribute weights over a random permutation.
+func RandomModel(schema *dataset.Schema, seed int64) *BuyerModel {
+	rng := rand.New(rand.NewSource(seed))
+	w := make([]float64, schema.Width())
+	perm := rng.Perm(schema.Width())
+	for rank, attr := range perm {
+		w[attr] = 1.0 / float64(rank+1)
+	}
+	return &BuyerModel{Schema: schema, AttrWeights: w, SizeWeights: gen.PaperSizeMixture}
+}

@@ -1,0 +1,139 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"standout/internal/core"
+	"standout/internal/dataset"
+	"standout/internal/gen"
+)
+
+func carModel(t *testing.T) (*BuyerModel, *dataset.Table) {
+	t.Helper()
+	tab := gen.Cars(1, 1500)
+	return NewCarBuyerModel(tab), tab
+}
+
+func TestRunBasics(t *testing.T) {
+	model, tab := carModel(t)
+	tuple := gen.PickTuples(tab, 2, 1)[0]
+	out, err := Run(Config{TrainQueries: 400, TestQueries: 2000, M: 5, Seed: 3}, model, tuple)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Kept.Count() > 5 || !out.Kept.SubsetOf(tuple) {
+		t.Fatalf("invalid compression %v", out.Kept)
+	}
+	for _, rate := range []float64{out.PredictedRate, out.RealizedRate, out.NaiveRate} {
+		if rate < 0 || rate > 1 {
+			t.Fatalf("rate %v out of [0,1]", rate)
+		}
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	model, tab := carModel(t)
+	tuple := tab.Rows[0]
+	if _, err := Run(Config{TrainQueries: 0, TestQueries: 10, M: 3}, model, tuple); err == nil {
+		t.Error("zero train size accepted")
+	}
+	if _, err := Run(Config{TrainQueries: 10, TestQueries: 0, M: 3}, model, tuple); err == nil {
+		t.Error("zero test size accepted")
+	}
+}
+
+func TestGeneralizationGapShrinksWithLogSize(t *testing.T) {
+	// The paper's §VIII caveat, quantified: with a tiny log the optimizer
+	// overfits (predicted ≫ realized); with a large log the gap closes.
+	model, tab := carModel(t)
+	tuples := gen.PickTuples(tab, 5, 8)
+	points, err := Sweep(Config{TestQueries: 4000, M: 5, Seed: 11}, model, tuples,
+		[]int{20, 200, 2000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	small := math.Abs(points[0].Predicted - points[0].Realized)
+	large := math.Abs(points[2].Predicted - points[2].Realized)
+	if large >= small {
+		t.Errorf("gap did not shrink: |gap(20)|=%.4f |gap(2000)|=%.4f", small, large)
+	}
+}
+
+func TestOptimizerBeatsNaiveOutOfSample(t *testing.T) {
+	model, tab := carModel(t)
+	tuples := gen.PickTuples(tab, 7, 8)
+	points, err := Sweep(Config{TestQueries: 3000, M: 5, Seed: 23}, model, tuples, []int{1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if points[0].Realized <= points[0].Naive {
+		t.Errorf("optimizer realized %.4f did not beat naive %.4f",
+			points[0].Realized, points[0].Naive)
+	}
+}
+
+func TestExpectedVisibilityConsistency(t *testing.T) {
+	model, tab := carModel(t)
+	tuple := gen.PickTuples(tab, 4, 1)[0]
+	out, err := Run(Config{TrainQueries: 1500, TestQueries: 1500, M: 6, Seed: 31}, model, tuple)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mc := model.ExpectedVisibility(97, out.Kept, 8000)
+	if math.Abs(mc-out.RealizedRate) > 0.05 {
+		t.Errorf("Monte-Carlo %.4f vs realized %.4f differ beyond sampling noise",
+			mc, out.RealizedRate)
+	}
+}
+
+func TestRandomModelShape(t *testing.T) {
+	schema := dataset.GenericSchema(12)
+	m := RandomModel(schema, 5)
+	if len(m.AttrWeights) != 12 {
+		t.Fatalf("weights=%d", len(m.AttrWeights))
+	}
+	log := m.Sample(1, 500)
+	if log.Size() != 500 {
+		t.Fatalf("size=%d", log.Size())
+	}
+	// Zipf weights: some attribute should clearly dominate.
+	freq := log.AttrFrequencies()
+	max, min := freq[0], freq[0]
+	for _, f := range freq {
+		if f > max {
+			max = f
+		}
+		if f < min {
+			min = f
+		}
+	}
+	if max < 3*min+3 {
+		t.Errorf("weights not skewed: max=%d min=%d", max, min)
+	}
+}
+
+func TestRunWithExplicitSolver(t *testing.T) {
+	model, tab := carModel(t)
+	tuple := gen.PickTuples(tab, 8, 1)[0]
+	cfg := Config{TrainQueries: 300, TestQueries: 300, M: 4, Seed: 7,
+		Solver: core.ConsumeAttr{}}
+	out, err := Run(cfg, model, tuple)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact, err := Run(Config{TrainQueries: 300, TestQueries: 300, M: 4, Seed: 7}, model, tuple)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.PredictedRate > exact.PredictedRate+1e-12 {
+		t.Error("greedy predicted rate beats exact on the same log")
+	}
+}
+
+func TestOutcomeGap(t *testing.T) {
+	o := Outcome{PredictedRate: 0.3, RealizedRate: 0.2}
+	if math.Abs(o.Gap()-0.1) > 1e-12 {
+		t.Errorf("Gap=%v", o.Gap())
+	}
+}

@@ -1,0 +1,161 @@
+// Package text implements the text-data variant of the paper (§II.B, §V):
+// documents are bags of words, queries are keyword sets, and the
+// keyword-selection problem — pick the m best keywords/title terms for a new
+// ad so that it is visible to the most keyword queries — maps to SOC-CB-QL
+// with one Boolean attribute per distinct keyword.
+//
+// Because the keyword dimension is enormous, §V notes the greedy approaches
+// are the only feasible ones at scale; SelectKeywords therefore defaults to
+// greedy but accepts any core.Solver for small vocabularies. The package
+// also provides a BM25 top-k retrieval engine [19] used by the classifieds
+// example to demonstrate the text SOC-Topk setting end to end.
+package text
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"unicode"
+
+	"standout/internal/bitvec"
+	"standout/internal/core"
+	"standout/internal/dataset"
+)
+
+// Tokenize lowercases the input and splits it into maximal runs of letters
+// and digits.
+func Tokenize(s string) []string {
+	return strings.FieldsFunc(strings.ToLower(s), func(r rune) bool {
+		return !unicode.IsLetter(r) && !unicode.IsDigit(r)
+	})
+}
+
+// SelectKeywords solves the keyword-selection problem: given a workload of
+// keyword queries and the full keyword set of a new ad, retain m keywords
+// maximizing the number of queries whose keywords are all retained.
+//
+// Only the ad's own keywords can be retained, so the Boolean schema is built
+// over those (queries mentioning any other keyword are unsatisfiable and
+// dropped), keeping the instance small regardless of corpus vocabulary.
+// solver is any core.Solver; greedy solvers are the §V recommendation for
+// large vocabularies.
+func SelectKeywords(solver core.Solver, queries [][]string, ad []string, m int) ([]string, int, error) {
+	if len(ad) == 0 {
+		return nil, 0, fmt.Errorf("text: ad has no keywords")
+	}
+	// Vocabulary = distinct ad keywords, in first-seen order.
+	var vocab []string
+	index := map[string]int{}
+	for _, w := range ad {
+		if _, ok := index[w]; !ok {
+			index[w] = len(vocab)
+			vocab = append(vocab, w)
+		}
+	}
+	schema := dataset.MustSchema(vocab)
+	log := dataset.NewQueryLog(schema)
+	for _, q := range queries {
+		v := bitvec.New(len(vocab))
+		ok := len(q) > 0
+		for _, w := range q {
+			j, found := index[w]
+			if !found {
+				ok = false // needs a keyword the ad does not have
+				break
+			}
+			v.Set(j)
+		}
+		if ok {
+			log.Queries = append(log.Queries, v)
+		}
+	}
+	tuple := bitvec.New(len(vocab)).Not() // the ad has all of its own keywords
+	sol, err := solver.Solve(core.Instance{Log: log, Tuple: tuple, M: m})
+	if err != nil {
+		return nil, 0, fmt.Errorf("text: %w", err)
+	}
+	return schema.Names(sol.Kept), sol.Satisfied, nil
+}
+
+// Corpus is a bag-of-words document collection with BM25 retrieval.
+type Corpus struct {
+	docs   []map[string]int // term frequencies per document
+	lens   []int
+	avgLen float64
+	df     map[string]int
+}
+
+// NewCorpus builds a corpus from tokenized documents.
+func NewCorpus(docs [][]string) *Corpus {
+	c := &Corpus{df: map[string]int{}}
+	total := 0
+	for _, words := range docs {
+		tf := map[string]int{}
+		for _, w := range words {
+			tf[w]++
+		}
+		c.docs = append(c.docs, tf)
+		c.lens = append(c.lens, len(words))
+		total += len(words)
+		for w := range tf {
+			c.df[w]++
+		}
+	}
+	if len(docs) > 0 {
+		c.avgLen = float64(total) / float64(len(docs))
+	}
+	return c
+}
+
+// Size returns the number of documents.
+func (c *Corpus) Size() int { return len(c.docs) }
+
+// BM25 parameters; the common defaults.
+const (
+	bm25K1 = 1.2
+	bm25B  = 0.75
+)
+
+// BM25 scores document i against the query terms using the Robertson–Walker
+// formulation [19] with non-negative IDF.
+func (c *Corpus) BM25(i int, query []string) float64 {
+	score := 0.0
+	n := float64(len(c.docs))
+	dl := float64(c.lens[i])
+	for _, w := range query {
+		tf := float64(c.docs[i][w])
+		if tf == 0 {
+			continue
+		}
+		df := float64(c.df[w])
+		idf := math.Log(1 + (n-df+0.5)/(df+0.5))
+		denom := tf + bm25K1*(1-bm25B+bm25B*dl/c.avgLen)
+		score += idf * tf * (bm25K1 + 1) / denom
+	}
+	return score
+}
+
+// TopK returns the indices of the k highest-BM25 documents for the query,
+// descending; documents with zero score are excluded.
+func (c *Corpus) TopK(query []string, k int) []int {
+	type scored struct {
+		i int
+		s float64
+	}
+	var all []scored
+	for i := range c.docs {
+		if s := c.BM25(i, query); s > 0 {
+			all = append(all, scored{i, s})
+		}
+	}
+	sort.SliceStable(all, func(a, b int) bool { return all[a].s > all[b].s })
+	if k > len(all) {
+		k = len(all)
+	}
+	out := make([]int, k)
+	for i := 0; i < k; i++ {
+		out[i] = all[i].i
+	}
+	return out
+}

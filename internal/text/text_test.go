@@ -1,0 +1,143 @@
+package text
+
+import (
+	"reflect"
+	"sort"
+	"testing"
+
+	"standout/internal/core"
+)
+
+func TestTokenize(t *testing.T) {
+	got := Tokenize("Two-bedroom apt., near TRAIN station! $950/mo")
+	want := []string{"two", "bedroom", "apt", "near", "train", "station", "950", "mo"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("Tokenize=%v", got)
+	}
+	if Tokenize("") != nil && len(Tokenize("")) != 0 {
+		t.Error("empty input")
+	}
+}
+
+func TestSelectKeywordsGreedy(t *testing.T) {
+	queries := [][]string{
+		{"apartment", "downtown"},
+		{"apartment", "parking"},
+		{"apartment", "downtown", "parking"},
+		{"house", "pool"}, // ad has no "house": unsatisfiable
+		{"downtown"},
+	}
+	ad := []string{"apartment", "downtown", "parking", "balcony", "laundry"}
+	kept, sat, err := SelectKeywords(core.ConsumeAttr{}, queries, ad, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sort.Strings(kept)
+	want := []string{"apartment", "downtown", "parking"}
+	if !reflect.DeepEqual(kept, want) {
+		t.Errorf("kept=%v, want %v", kept, want)
+	}
+	if sat != 4 {
+		t.Errorf("satisfied=%d, want 4", sat)
+	}
+}
+
+func TestSelectKeywordsExactMatchesGreedyHere(t *testing.T) {
+	queries := [][]string{
+		{"cheap", "reliable"},
+		{"cheap"},
+		{"fast", "reliable"},
+		{"fast"},
+		{"fast"},
+	}
+	ad := []string{"cheap", "reliable", "fast", "red"}
+	keptOpt, satOpt, err := SelectKeywords(core.BruteForce{}, queries, ad, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if satOpt != 3 { // fast+reliable: queries 3,4,5... {fast,reliable},{fast},{fast} = 3
+		t.Fatalf("optimal satisfied=%d kept=%v", satOpt, keptOpt)
+	}
+	_, satGreedy, err := SelectKeywords(core.ConsumeAttr{}, queries, ad, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if satGreedy > satOpt {
+		t.Fatalf("greedy %d beats optimal %d", satGreedy, satOpt)
+	}
+}
+
+func TestSelectKeywordsDuplicateAdWords(t *testing.T) {
+	// Duplicate keywords in the ad must not break the schema.
+	kept, sat, err := SelectKeywords(core.BruteForce{},
+		[][]string{{"a"}}, []string{"a", "b", "a", "b"}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sat != 1 || len(kept) != 1 || kept[0] != "a" {
+		t.Errorf("kept=%v sat=%d", kept, sat)
+	}
+}
+
+func TestSelectKeywordsEmptyAd(t *testing.T) {
+	if _, _, err := SelectKeywords(core.BruteForce{}, nil, nil, 1); err == nil {
+		t.Error("empty ad accepted")
+	}
+}
+
+func TestBM25RanksRelevanceSensibly(t *testing.T) {
+	docs := [][]string{
+		Tokenize("spacious two bedroom apartment near downtown train station"),
+		Tokenize("one bedroom apartment quiet neighborhood"),
+		Tokenize("luxury downtown penthouse apartment great view downtown living"),
+		Tokenize("car for sale low miles"),
+	}
+	c := NewCorpus(docs)
+	if c.Size() != 4 {
+		t.Fatalf("size=%d", c.Size())
+	}
+	q := []string{"downtown", "apartment"}
+	top := c.TopK(q, 4)
+	if len(top) != 3 { // doc 3 scores zero
+		t.Fatalf("TopK=%v", top)
+	}
+	if top[0] != 2 && top[0] != 0 {
+		t.Errorf("top doc=%d, want an apartment doc", top[0])
+	}
+	if c.BM25(3, q) != 0 {
+		t.Error("irrelevant doc scored nonzero")
+	}
+	if c.BM25(0, q) <= c.BM25(1, q) {
+		t.Error("two-term match should outscore zero/one-term match")
+	}
+}
+
+func TestBM25TermFrequencySaturation(t *testing.T) {
+	docs := [][]string{
+		{"x"},
+		{"x", "x", "x", "x", "x", "x", "x", "x"},
+		{"y"},
+	}
+	c := NewCorpus(docs)
+	s1 := c.BM25(0, []string{"x"})
+	s8 := c.BM25(1, []string{"x"})
+	if s8 <= s1 {
+		t.Error("more occurrences should score higher")
+	}
+	if s8 > s1*(bm25K1+1) {
+		t.Error("BM25 saturation bound violated")
+	}
+}
+
+func TestTopKZeroAndOverflow(t *testing.T) {
+	c := NewCorpus([][]string{{"a"}, {"a", "b"}})
+	if got := c.TopK([]string{"a"}, 0); len(got) != 0 {
+		t.Errorf("k=0: %v", got)
+	}
+	if got := c.TopK([]string{"a"}, 10); len(got) != 2 {
+		t.Errorf("k=10: %v", got)
+	}
+	if got := c.TopK([]string{"zzz"}, 3); len(got) != 0 {
+		t.Errorf("no match: %v", got)
+	}
+}

@@ -1,0 +1,115 @@
+// Package topk implements top-k retrieval over Boolean tables with pluggable
+// scoring functions — the retrieval substrate of the paper's SOC-Topk
+// problem variant (§II.B): R(q) is the k highest-scoring tuples among those
+// matching the conjunctive query q.
+//
+// The SOC-Topk reduction in package variants relies on global scoring
+// functions — score(t) depends on the tuple only, not the query — which is
+// exactly the case the paper singles out as tractable for its ILP and
+// itemset machinery (§V).
+package topk
+
+import (
+	"fmt"
+	"sort"
+
+	"standout/internal/bitvec"
+	"standout/internal/dataset"
+)
+
+// Score is a global scoring function over tuples.
+type Score func(row bitvec.Vector) float64
+
+// AttrCount scores a tuple by its number of present attributes — the paper's
+// example "top-10 cars ordered by decreasing number of available features".
+func AttrCount(row bitvec.Vector) float64 { return float64(row.Count()) }
+
+// ByColumn builds a score that ranks row i of a table by values[i] —
+// e.g. ordering by a numeric attribute such as (negated) Price. It can only
+// be used through Engine (which scores by row identity), not on arbitrary
+// vectors; see Engine.New.
+func ByColumn(values []float64) func(rowIdx int) float64 {
+	return func(rowIdx int) float64 { return values[rowIdx] }
+}
+
+// Engine answers top-k conjunctive queries over a fixed table.
+type Engine struct {
+	tab    *dataset.Table
+	scores []float64
+	// byScore holds row indices sorted by descending score; queries scan it
+	// and stop after k matches, which is fast when k is small.
+	byScore []int
+}
+
+// New builds an engine using a global scoring function applied to each row.
+func New(tab *dataset.Table, score Score) *Engine {
+	scores := make([]float64, tab.Size())
+	for i, row := range tab.Rows {
+		scores[i] = score(row)
+	}
+	return newWithScores(tab, scores)
+}
+
+// NewWithRowScores builds an engine from precomputed per-row scores
+// (e.g. ByColumn over a numeric attribute).
+func NewWithRowScores(tab *dataset.Table, scores []float64) (*Engine, error) {
+	if len(scores) != tab.Size() {
+		return nil, fmt.Errorf("topk: %d scores for %d rows", len(scores), tab.Size())
+	}
+	return newWithScores(tab, append([]float64(nil), scores...)), nil
+}
+
+func newWithScores(tab *dataset.Table, scores []float64) *Engine {
+	byScore := make([]int, tab.Size())
+	for i := range byScore {
+		byScore[i] = i
+	}
+	sort.SliceStable(byScore, func(a, b int) bool {
+		return scores[byScore[a]] > scores[byScore[b]]
+	})
+	return &Engine{tab: tab, scores: scores, byScore: byScore}
+}
+
+// Score returns the stored score of row i.
+func (e *Engine) Score(i int) float64 { return e.scores[i] }
+
+// Query returns the indices of the top-k rows matching q (q ⊆ row), in
+// descending score order; ties resolve by insertion order (stable).
+func (e *Engine) Query(q bitvec.Vector, k int) []int {
+	if k <= 0 {
+		return nil
+	}
+	out := make([]int, 0, k)
+	for _, i := range e.byScore {
+		if q.SubsetOf(e.tab.Rows[i]) {
+			out = append(out, i)
+			if len(out) == k {
+				break
+			}
+		}
+	}
+	return out
+}
+
+// CountBetter returns the number of rows matching q with score strictly
+// greater than s — the quantity deciding whether a new tuple with score s
+// would enter q's top-k result (ties resolve in the new tuple's favor).
+func (e *Engine) CountBetter(q bitvec.Vector, s float64) int {
+	n := 0
+	for _, i := range e.byScore {
+		if e.scores[i] <= s {
+			break // byScore is sorted descending
+		}
+		if q.SubsetOf(e.tab.Rows[i]) {
+			n++
+		}
+	}
+	return n
+}
+
+// WouldRetrieve reports whether a new tuple with attribute set kept and
+// score s would appear in q's top-k after insertion: it must match q and
+// fewer than k existing matches must outrank it.
+func (e *Engine) WouldRetrieve(q bitvec.Vector, kept bitvec.Vector, s float64, k int) bool {
+	return q.SubsetOf(kept) && e.CountBetter(q, s) < k
+}

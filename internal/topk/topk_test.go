@@ -1,0 +1,114 @@
+package topk
+
+import (
+	"reflect"
+	"testing"
+
+	"standout/internal/bitvec"
+	"standout/internal/dataset"
+)
+
+func fixture(t *testing.T) *dataset.Table {
+	t.Helper()
+	tab := dataset.NewTable(dataset.GenericSchema(4))
+	for _, row := range []string{
+		"1100", // 0: 2 attrs
+		"1110", // 1: 3 attrs
+		"1111", // 2: 4 attrs
+		"0110", // 3: 2 attrs
+		"1010", // 4: 2 attrs
+	} {
+		v, err := bitvec.FromString(row)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := tab.Append(v, ""); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return tab
+}
+
+func TestQueryAttrCount(t *testing.T) {
+	tab := fixture(t)
+	e := New(tab, AttrCount)
+	q := bitvec.FromIndices(4, 0, 1) // a0 ∧ a1 → rows 0,1,2 match
+	got := e.Query(q, 2)
+	if !reflect.DeepEqual(got, []int{2, 1}) { // 4 attrs, then 3
+		t.Errorf("Query=%v", got)
+	}
+	if got := e.Query(q, 10); !reflect.DeepEqual(got, []int{2, 1, 0}) {
+		t.Errorf("Query k>matches=%v", got)
+	}
+	if e.Query(q, 0) != nil {
+		t.Error("k=0 should return nil")
+	}
+}
+
+func TestCountBetter(t *testing.T) {
+	tab := fixture(t)
+	e := New(tab, AttrCount)
+	q := bitvec.FromIndices(4, 0, 1)
+	// Matches have scores 2,3,4. Better than 2.5 → two (3 and 4).
+	if got := e.CountBetter(q, 2.5); got != 2 {
+		t.Errorf("CountBetter=%d", got)
+	}
+	// Ties are not "better": score 4 exactly → 0 better.
+	if got := e.CountBetter(q, 4); got != 0 {
+		t.Errorf("CountBetter at max=%d", got)
+	}
+}
+
+func TestWouldRetrieve(t *testing.T) {
+	tab := fixture(t)
+	e := New(tab, AttrCount)
+	q := bitvec.FromIndices(4, 0, 1)
+	kept := bitvec.FromIndices(4, 0, 1, 3) // matches q, score 3
+	if !e.WouldRetrieve(q, kept, 3, 2) {
+		t.Error("score-3 tuple should enter top-2 (only row 2 outranks)")
+	}
+	if e.WouldRetrieve(q, kept, 3, 1) {
+		t.Error("score-3 tuple should not enter top-1 (row 2 outranks)")
+	}
+	nonMatching := bitvec.FromIndices(4, 0, 3)
+	if e.WouldRetrieve(q, nonMatching, 10, 5) {
+		t.Error("non-matching tuple retrieved")
+	}
+}
+
+func TestNewWithRowScores(t *testing.T) {
+	tab := fixture(t)
+	// Rank by a "price" column, ascending price = descending score.
+	prices := []float64{-5000, -9000, -20000, -3000, -7000}
+	e, err := NewWithRowScores(tab, prices)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := bitvec.New(4) // matches everything
+	got := e.Query(q, 3)
+	if !reflect.DeepEqual(got, []int{3, 0, 4}) { // cheapest three
+		t.Errorf("Query=%v", got)
+	}
+	if _, err := NewWithRowScores(tab, []float64{1}); err == nil {
+		t.Error("accepted mismatched score count")
+	}
+	if e.Score(3) != -3000 {
+		t.Errorf("Score(3)=%v", e.Score(3))
+	}
+}
+
+func TestByColumn(t *testing.T) {
+	f := ByColumn([]float64{10, 20})
+	if f(0) != 10 || f(1) != 20 {
+		t.Error("ByColumn wrong")
+	}
+}
+
+func TestStableTies(t *testing.T) {
+	tab := fixture(t)
+	e := New(tab, func(bitvec.Vector) float64 { return 1 }) // all tied
+	q := bitvec.New(4)
+	if got := e.Query(q, 5); !reflect.DeepEqual(got, []int{0, 1, 2, 3, 4}) {
+		t.Errorf("tied order=%v, want insertion order", got)
+	}
+}

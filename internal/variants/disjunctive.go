@@ -1,0 +1,180 @@
+package variants
+
+import (
+	"fmt"
+
+	"standout/internal/bitvec"
+	"standout/internal/core"
+	"standout/internal/dataset"
+	"standout/internal/ilp"
+	"standout/internal/lp"
+)
+
+// Disjunctive Boolean retrieval (§II.B): a query retrieves a tuple when they
+// share at least one attribute, so choosing t' is maximum coverage — pick m
+// attributes covering as many queries as possible. Three solvers mirror the
+// conjunctive trio: brute force, ILP, and the classic greedy (which carries
+// the (1−1/e) coverage guarantee).
+
+// DisjunctiveBrute enumerates all budget-m compressions. Exact; cost
+// C(|t|, m) log scans.
+func DisjunctiveBrute(log *dataset.QueryLog, tuple bitvec.Vector, m int) (core.Solution, error) {
+	if err := (core.Instance{Log: log, Tuple: tuple, M: m}).Validate(); err != nil {
+		return core.Solution{}, err
+	}
+	ones := tuple.Ones()
+	if m > len(ones) {
+		m = len(ones)
+	}
+	best := core.Solution{Optimal: true}
+	first := true
+	comb := make([]int, m)
+	var rec func(start, depth int)
+	rec = func(start, depth int) {
+		if depth == m {
+			attrs := make([]int, m)
+			for i, idx := range comb {
+				attrs[i] = ones[idx]
+			}
+			kept := bitvec.FromIndices(tuple.Width(), attrs...)
+			sat := disjunctiveSatisfied(log, kept)
+			best.Stats.Candidates++
+			if first || sat > best.Satisfied {
+				best.Kept = kept
+				best.Satisfied = sat
+				first = false
+			}
+			return
+		}
+		for i := start; i <= len(ones)-(m-depth); i++ {
+			comb[depth] = i
+			rec(i+1, depth+1)
+		}
+	}
+	rec(0, 0)
+	if first {
+		kept := bitvec.New(tuple.Width())
+		best.Kept = kept
+		best.Satisfied = disjunctiveSatisfied(log, kept)
+	}
+	return best, nil
+}
+
+// DisjunctiveGreedy runs the standard max-coverage greedy: repeatedly keep
+// the attribute covering the most still-uncovered queries.
+func DisjunctiveGreedy(log *dataset.QueryLog, tuple bitvec.Vector, m int) (core.Solution, error) {
+	if err := (core.Instance{Log: log, Tuple: tuple, M: m}).Validate(); err != nil {
+		return core.Solution{}, err
+	}
+	ones := tuple.Ones()
+	if m > len(ones) {
+		m = len(ones)
+	}
+	covered := make([]bool, log.Size())
+	kept := bitvec.New(tuple.Width())
+	remaining := append([]int(nil), ones...)
+	for picked := 0; picked < m && len(remaining) > 0; picked++ {
+		bestIdx, bestGain := 0, -1
+		for i, j := range remaining {
+			gain := 0
+			for qi, q := range log.Queries {
+				if !covered[qi] && q.Get(j) {
+					gain++
+				}
+			}
+			if gain > bestGain {
+				bestIdx, bestGain = i, gain
+			}
+		}
+		j := remaining[bestIdx]
+		kept.Set(j)
+		remaining = append(remaining[:bestIdx], remaining[bestIdx+1:]...)
+		for qi, q := range log.Queries {
+			if q.Get(j) {
+				covered[qi] = true
+			}
+		}
+	}
+	return core.Solution{Kept: kept, Satisfied: disjunctiveSatisfied(log, kept)}, nil
+}
+
+// DisjunctiveILP solves max coverage exactly:
+//
+//	maximize Σ yᵢ  s.t.  yᵢ ≤ Σ_{j∈qᵢ} xⱼ,  Σ xⱼ ≤ m,  x ∈ {0,1}, y ∈ [0,1].
+func DisjunctiveILP(log *dataset.QueryLog, tuple bitvec.Vector, m int) (core.Solution, error) {
+	if err := (core.Instance{Log: log, Tuple: tuple, M: m}).Validate(); err != nil {
+		return core.Solution{}, err
+	}
+	ones := tuple.Ones()
+	prob := lp.NewProblem(lp.Maximize)
+	xVar := map[int]int{}
+	var intVars []int
+	budget := make([]lp.Term, 0, len(ones))
+	for _, j := range ones {
+		v := prob.AddBinaryVar(0, fmt.Sprintf("x%d", j))
+		xVar[j] = v
+		intVars = append(intVars, v)
+		budget = append(budget, lp.Term{Var: v, Coeff: 1})
+	}
+	prob.AddConstraint(budget, lp.LE, float64(m))
+	for qi, q := range log.Queries {
+		y := prob.AddVar(0, 1, 1, fmt.Sprintf("y%d", qi))
+		terms := []lp.Term{{Var: y, Coeff: 1}}
+		touches := false
+		for _, j := range q.Ones() {
+			if v, ok := xVar[j]; ok {
+				terms = append(terms, lp.Term{Var: v, Coeff: -1})
+				touches = true
+			}
+		}
+		if !touches && q.Count() > 0 {
+			// The tuple shares no attribute with q: y is forced to 0.
+			prob.SetBounds(y, 0, 0)
+			continue
+		}
+		if q.Count() == 0 {
+			// Empty query: disjunctive semantics can never match it (no
+			// shared attribute exists); force y to 0.
+			prob.SetBounds(y, 0, 0)
+			continue
+		}
+		prob.AddConstraint(terms, lp.LE, 0) // y − Σ_{j∈q} x_j ≤ 0
+	}
+	res, err := ilp.Solve(prob, intVars, ilp.Options{ObjIntegral: true})
+	if err != nil {
+		return core.Solution{}, fmt.Errorf("variants: disjunctive ILP: %w", err)
+	}
+	if res.Status != ilp.StatusOptimal {
+		return core.Solution{}, fmt.Errorf("variants: disjunctive ILP status %v", res.Status)
+	}
+	var attrs []int
+	for _, j := range ones {
+		if res.X[xVar[j]] > 0.5 {
+			attrs = append(attrs, j)
+		}
+	}
+	kept := bitvec.FromIndices(tuple.Width(), attrs...)
+	return core.Solution{
+		Kept:      kept,
+		Satisfied: disjunctiveSatisfied(log, kept),
+		Optimal:   true,
+		Stats:     core.Stats{Nodes: res.Nodes},
+	}, nil
+}
+
+// disjunctiveSatisfied counts queries sharing at least one attribute with
+// the compression.
+func disjunctiveSatisfied(log *dataset.QueryLog, kept bitvec.Vector) int {
+	n := 0
+	for _, q := range log.Queries {
+		if q.Intersects(kept) {
+			n++
+		}
+	}
+	return n
+}
+
+// DisjunctiveSatisfied is the exported objective, used by examples/tests.
+func DisjunctiveSatisfied(log *dataset.QueryLog, kept bitvec.Vector) int {
+	return disjunctiveSatisfied(log, kept)
+}

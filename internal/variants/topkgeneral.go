@@ -1,0 +1,164 @@
+package variants
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"standout/internal/bitvec"
+	"standout/internal/core"
+	"standout/internal/dataset"
+)
+
+// TopKGeneral solves SOC-Topk for arbitrary — possibly query-dependent and
+// non-monotone — scoring functions, the case §V of the paper notes "can be
+// formulated as a non-linear integer program" and leaves open. Since no
+// linearization exists in general, this solver searches the attribute-subset
+// space directly with branch-and-bound:
+//
+//   - nodes fix a prefix of the tuple's attributes to kept/dropped;
+//   - the bound counts queries that could still possibly match the final
+//     compression (all their attributes undecided-or-kept and within the
+//     remaining budget), which is admissible for every scoring function
+//     because ranking can only remove queries from the matched set;
+//   - leaves evaluate the true top-k objective.
+//
+// Worst-case exponential in |t| (the problem is NP-hard); intended for
+// moderate tuple widths. For global scoring functions prefer TopK, whose
+// reduction solves large instances through any SOC-CB-QL algorithm.
+type TopKGeneral struct {
+	// DB is the competition.
+	DB *dataset.Table
+	// K is the result-list size of every query.
+	K int
+	// Score returns the score of an (existing or compressed) tuple for a
+	// query. Ties between the new tuple and competitors resolve in the new
+	// tuple's favor.
+	Score func(q, tuple bitvec.Vector) float64
+}
+
+// Solve computes the optimal compression under general SOC-Topk semantics.
+func (v TopKGeneral) Solve(log *dataset.QueryLog, tuple bitvec.Vector, m int) (core.Solution, error) {
+	if v.DB == nil || v.K <= 0 || v.Score == nil {
+		return core.Solution{}, errors.New("variants: TopKGeneral requires DB, K>0 and Score")
+	}
+	in := core.Instance{Log: log, Tuple: tuple, M: m}
+	if err := in.Validate(); err != nil {
+		return core.Solution{}, err
+	}
+	if v.DB.Width() != log.Width() {
+		return core.Solution{}, fmt.Errorf("variants: database width %d, log width %d",
+			v.DB.Width(), log.Width())
+	}
+
+	// Only queries the full tuple can match are ever winnable.
+	var queries []bitvec.Vector
+	for _, q := range log.Queries {
+		if q.SubsetOf(tuple) {
+			queries = append(queries, q)
+		}
+	}
+
+	ones := tuple.Ones()
+	if m > len(ones) {
+		m = len(ones)
+	}
+
+	// Branch on attributes in descending query frequency: decisions about
+	// hot attributes move the bound the most.
+	freq := make(map[int]int)
+	for _, q := range queries {
+		for _, j := range q.Ones() {
+			freq[j]++
+		}
+	}
+	order := append([]int(nil), ones...)
+	sort.SliceStable(order, func(a, b int) bool { return freq[order[a]] > freq[order[b]] })
+
+	evaluate := func(kept bitvec.Vector) int {
+		sat := 0
+		for _, q := range queries {
+			if !q.SubsetOf(kept) {
+				continue
+			}
+			s := v.Score(q, kept)
+			better := 0
+			for _, row := range v.DB.Rows {
+				if q.SubsetOf(row) && v.Score(q, row) > s {
+					better++
+					if better >= v.K {
+						break
+					}
+				}
+			}
+			if better < v.K {
+				sat++
+			}
+		}
+		return sat
+	}
+
+	best := core.Solution{Optimal: true, Satisfied: -1}
+	kept := bitvec.New(tuple.Width())
+	decided := bitvec.New(tuple.Width())
+	nodes := 0
+
+	// bound counts queries whose attributes are all kept-or-undecided and
+	// whose undecided attributes fit in the remaining budget — an admissible
+	// upper bound on any completion of this node.
+	bound := func(used int) int {
+		remaining := m - used
+		n := 0
+		for _, q := range queries {
+			need := 0
+			ok := true
+			for _, j := range q.Ones() {
+				if kept.Get(j) {
+					continue
+				}
+				if decided.Get(j) {
+					ok = false // branched to dropped
+					break
+				}
+				need++
+			}
+			if ok && need <= remaining {
+				n++
+			}
+		}
+		return n
+	}
+
+	var rec func(pos, used int)
+	rec = func(pos, used int) {
+		nodes++
+		if sat := evaluate(kept); sat > best.Satisfied {
+			best.Kept = kept.Clone()
+			best.Satisfied = sat
+		}
+		if pos == len(order) || used == m {
+			return
+		}
+		if bound(used) <= best.Satisfied {
+			return
+		}
+		j := order[pos]
+		decided.Set(j)
+		// Include branch first: greedier incumbents prune more.
+		if used < m {
+			kept.Set(j)
+			rec(pos+1, used+1)
+			kept.Clear(j)
+		}
+		rec(pos+1, used)
+		decided.Clear(j)
+	}
+	rec(0, 0)
+
+	best.Stats = core.Stats{Nodes: nodes}
+	if best.Satisfied < 0 {
+		best.Satisfied = 0
+		best.Kept = bitvec.New(tuple.Width())
+	}
+	return best, nil
+}

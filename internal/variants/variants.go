@@ -1,0 +1,228 @@
+// Package variants implements the problem variants of §II.B and their
+// reductions to SOC-CB-QL (§V): the per-attribute objective, SOC-CB-D over a
+// database instead of a query log, disjunctive retrieval semantics,
+// SOC-Topk under global scoring functions, and the categorical and numeric
+// wrappers around the reductions in package dataset.
+//
+// Every variant delegates the combinatorial core to a core.Solver, so each
+// of the paper's five algorithms is usable for each variant.
+package variants
+
+import (
+	"errors"
+	"fmt"
+
+	"standout/internal/bitvec"
+	"standout/internal/core"
+	"standout/internal/dataset"
+	"standout/internal/topk"
+)
+
+// PerAttributeSolution augments a Solution with the per-attribute objective
+// value satisfied/|t'| and the budget that achieved it.
+type PerAttributeSolution struct {
+	core.Solution
+	M     int     // the budget that maximized the ratio
+	Ratio float64 // Satisfied / |Kept|
+}
+
+// PerAttribute solves the per-attribute variant of SOC-CB-QL (§II.B): with
+// no fixed budget, maximize the number of satisfied queries divided by the
+// number of retained attributes — buyers per unit advertising cost. Per §V
+// it makes M calls to the underlying solver, one per candidate budget.
+func PerAttribute(s core.Solver, log *dataset.QueryLog, tuple bitvec.Vector) (PerAttributeSolution, error) {
+	maxM := tuple.Count()
+	if maxM == 0 {
+		return PerAttributeSolution{}, errors.New("variants: tuple has no attributes")
+	}
+	best := PerAttributeSolution{Ratio: -1}
+	for m := 1; m <= maxM; m++ {
+		sol, err := s.Solve(core.Instance{Log: log, Tuple: tuple, M: m})
+		if err != nil {
+			return PerAttributeSolution{}, fmt.Errorf("variants: per-attribute at m=%d: %w", m, err)
+		}
+		kept := sol.Kept.Count()
+		if kept == 0 {
+			continue
+		}
+		ratio := float64(sol.Satisfied) / float64(kept)
+		if ratio > best.Ratio {
+			best = PerAttributeSolution{Solution: sol, M: m, Ratio: ratio}
+		}
+	}
+	return best, nil
+}
+
+// Database solves SOC-CB-D (§II.B): retain m attributes of the tuple so that
+// the number of database tuples dominated by the compression is maximized.
+// Per §V this is SOC-CB-QL with the database rows standing in for queries.
+func Database(s core.Solver, db *dataset.Table, tuple bitvec.Vector, m int) (core.Solution, error) {
+	sol, err := s.Solve(core.Instance{Log: dataset.LogFromTable(db), Tuple: tuple, M: m})
+	if err != nil {
+		return core.Solution{}, fmt.Errorf("variants: SOC-CB-D: %w", err)
+	}
+	return sol, nil
+}
+
+// PerAttributeDatabase is the per-attribute version of SOC-CB-D (§II.B).
+func PerAttributeDatabase(s core.Solver, db *dataset.Table, tuple bitvec.Vector) (PerAttributeSolution, error) {
+	return PerAttribute(s, dataset.LogFromTable(db), tuple)
+}
+
+// Categorical solves the categorical-data variant (§II.B): queries constrain
+// attributes to values; the reduction of dataset.CatLog.ReduceForTuple turns
+// the instance into a width-M Boolean one that any solver accepts.
+func Categorical(s core.Solver, log *dataset.CatLog, tuple dataset.CatTuple, m int) (core.Solution, error) {
+	if err := log.Schema.Validate(tuple); err != nil {
+		return core.Solution{}, err
+	}
+	for i, q := range log.Queries {
+		if err := log.Schema.ValidateQuery(q); err != nil {
+			return core.Solution{}, fmt.Errorf("variants: categorical query %d: %w", i, err)
+		}
+	}
+	reduced, _ := log.ReduceForTuple(tuple)
+	full := bitvec.New(reduced.Width()).Not()
+	sol, err := s.Solve(core.Instance{Log: reduced, Tuple: full, M: m})
+	if err != nil {
+		return core.Solution{}, fmt.Errorf("variants: categorical: %w", err)
+	}
+	return sol, nil
+}
+
+// NumericMode selects the numeric reduction (§V, last paragraph).
+type NumericMode int
+
+const (
+	// NumericStrict drops queries with any failing range condition: they can
+	// never retrieve the tuple (recommended).
+	NumericStrict NumericMode = iota
+	// NumericLiteral is the paper's construction verbatim: failing conditions
+	// become unconstrained bits.
+	NumericLiteral
+)
+
+// Numeric solves the numeric-data variant: the workload consists of range
+// queries; the tuple carries numeric values. The reduction produces a
+// Boolean instance relative to the tuple; retained bits name the numeric
+// attributes to advertise.
+func Numeric(s core.Solver, log *dataset.NumLog, values []float64, m int, mode NumericMode) (core.Solution, error) {
+	if err := log.Validate(); err != nil {
+		return core.Solution{}, err
+	}
+	var (
+		reduced *dataset.QueryLog
+		tuple   bitvec.Vector
+		err     error
+	)
+	if mode == NumericLiteral {
+		reduced, tuple, _, err = log.ReduceLiteral(values)
+	} else {
+		reduced, tuple, _, err = log.ReduceStrict(values)
+	}
+	if err != nil {
+		return core.Solution{}, err
+	}
+	sol, err := s.Solve(core.Instance{Log: reduced, Tuple: tuple, M: m})
+	if err != nil {
+		return core.Solution{}, fmt.Errorf("variants: numeric: %w", err)
+	}
+	return sol, nil
+}
+
+// TopK solves SOC-Topk (§II.B) for global scoring functions: each query
+// retrieves the k highest-scoring matching tuples, and the compression t'
+// must both match a query and beat enough of the existing competition to
+// enter its top-k. With a global score the new tuple's score is a constant
+// s₀ for a fixed budget, so each query is either winnable (fewer than k
+// better-scoring matches in D) or hopeless — the winnable subset is an
+// ordinary SOC-CB-QL instance (§V). Ties resolve in the new tuple's favor.
+type TopK struct {
+	// DB is the competition.
+	DB *dataset.Table
+	// K is the result-list size of every query.
+	K int
+	// NewTupleScore returns the global score of the compressed tuple given
+	// its kept attribute set. For AttrCount semantics use
+	// func(kept bitvec.Vector) float64 { return topk.AttrCount(kept) }.
+	NewTupleScore func(kept bitvec.Vector) float64
+	// RowScores are the scores of the existing tuples, one per DB row.
+	RowScores []float64
+}
+
+// Solve reduces the SOC-Topk instance to SOC-CB-QL and delegates to s.
+//
+// When NewTupleScore depends only on the budget (true for AttrCount, where
+// score = m, and for constant scores such as the new product's price), the
+// reduction is exact. Score functions that vary with WHICH attributes are
+// kept make the retrieval condition non-separable; for those the reduction
+// uses the score of the full budget-m best case and is an upper-bound
+// relaxation — the returned Solution.Satisfied is re-verified against the
+// true semantics, so the reported count is always achievable.
+func (v TopK) Solve(s core.Solver, log *dataset.QueryLog, tuple bitvec.Vector, m int) (core.Solution, error) {
+	if v.DB == nil || v.K <= 0 || v.NewTupleScore == nil {
+		return core.Solution{}, errors.New("variants: TopK requires DB, K>0 and NewTupleScore")
+	}
+	if len(v.RowScores) != v.DB.Size() {
+		return core.Solution{}, fmt.Errorf("variants: %d row scores for %d rows", len(v.RowScores), v.DB.Size())
+	}
+	engine, err := topk.NewWithRowScores(v.DB, v.RowScores)
+	if err != nil {
+		return core.Solution{}, err
+	}
+
+	// Score of the compressed tuple under the best case (full budget m kept
+	// from the tuple): for budget-determined scores this is exact.
+	refKept := bestCaseKept(tuple, m)
+	s0 := v.NewTupleScore(refKept)
+
+	winnable := dataset.NewQueryLog(log.Schema)
+	for _, q := range log.Queries {
+		if engine.CountBetter(q, s0) < v.K {
+			winnable.Queries = append(winnable.Queries, q)
+		}
+	}
+	sol, err := s.Solve(core.Instance{Log: winnable, Tuple: tuple, M: m})
+	if err != nil {
+		return core.Solution{}, fmt.Errorf("variants: SOC-Topk: %w", err)
+	}
+
+	// Re-verify against the true top-k semantics with the actual kept set.
+	trueScore := v.NewTupleScore(sol.Kept)
+	sat := 0
+	for _, q := range log.Queries {
+		if engine.WouldRetrieve(q, sol.Kept, trueScore, v.K) {
+			sat++
+		}
+	}
+	sol.Satisfied = sat
+	sol.Optimal = sol.Optimal && scoreIsBudgetDetermined(v.NewTupleScore, tuple, m)
+	return sol, nil
+}
+
+// bestCaseKept returns an arbitrary budget-m subset of the tuple, used only
+// to evaluate budget-determined score functions.
+func bestCaseKept(tuple bitvec.Vector, m int) bitvec.Vector {
+	ones := tuple.Ones()
+	if m > len(ones) {
+		m = len(ones)
+	}
+	return bitvec.FromIndices(tuple.Width(), ones[:m]...)
+}
+
+// scoreIsBudgetDetermined spot-checks whether the score function yields the
+// same value on a few different budget-m subsets; only then is the reduction
+// provably exact. (AttrCount and constant scores pass; content-dependent
+// scores fail and the solution is flagged non-optimal.)
+func scoreIsBudgetDetermined(score func(bitvec.Vector) float64, tuple bitvec.Vector, m int) bool {
+	ones := tuple.Ones()
+	if m > len(ones) {
+		m = len(ones)
+	}
+	if m == 0 || len(ones) == m {
+		return true
+	}
+	a := bitvec.FromIndices(tuple.Width(), ones[:m]...)
+	b := bitvec.FromIndices(tuple.Width(), ones[len(ones)-m:]...)
+	return score(a) == score(b)
+}

@@ -1,0 +1,489 @@
+package variants
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"standout/internal/bitvec"
+	"standout/internal/core"
+	"standout/internal/dataset"
+	"standout/internal/topk"
+)
+
+func example1Log(t *testing.T) (*dataset.QueryLog, bitvec.Vector) {
+	t.Helper()
+	schema := dataset.MustSchema([]string{"AC", "FourDoor", "Turbo", "PowerDoors", "AutoTrans", "PowerBrakes"})
+	log := dataset.NewQueryLog(schema)
+	for _, row := range []string{"110000", "100100", "010100", "000101", "001010"} {
+		v, err := bitvec.FromString(row)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := log.Append(v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	tuple, _ := bitvec.FromString("110111")
+	return log, tuple
+}
+
+func example1DB(t *testing.T) *dataset.Table {
+	t.Helper()
+	schema := dataset.MustSchema([]string{"AC", "FourDoor", "Turbo", "PowerDoors", "AutoTrans", "PowerBrakes"})
+	db := dataset.NewTable(schema)
+	for _, row := range []string{"010100", "011000", "100111", "110101", "110000", "010100", "001100"} {
+		v, err := bitvec.FromString(row)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := db.Append(v, ""); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return db
+}
+
+func TestDatabaseVariantExample1(t *testing.T) {
+	// §II.B: with m=4, keeping AC, FourDoor, PowerDoors, PowerBrakes
+	// dominates 4 tuples (t1, t4, t5, t6); no choice does better.
+	db := example1DB(t)
+	tuple, _ := bitvec.FromString("110111")
+	sol, err := Database(core.BruteForce{}, db, tuple, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Satisfied != 4 {
+		t.Fatalf("dominated=%d, want 4", sol.Satisfied)
+	}
+	if sol.Kept.String() != "110101" {
+		t.Fatalf("kept=%v, want 110101", sol.Kept)
+	}
+}
+
+func TestDatabaseEqualsDominationCount(t *testing.T) {
+	db := example1DB(t)
+	tuple, _ := bitvec.FromString("110111")
+	sol, err := Database(core.ILP{}, db, tuple, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(db.DominatedBy(sol.Kept)); got != sol.Satisfied {
+		t.Fatalf("solution says %d, table says %d", sol.Satisfied, got)
+	}
+}
+
+func TestPerAttribute(t *testing.T) {
+	log, tuple := example1Log(t)
+	sol, err := PerAttribute(core.BruteForce{}, log, tuple)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Ratio <= 0 {
+		t.Fatalf("ratio=%v", sol.Ratio)
+	}
+	// Verify the ratio is the max over all budgets (recompute directly).
+	best := -1.0
+	for m := 1; m <= tuple.Count(); m++ {
+		s, err := core.BruteForce{}.Solve(core.Instance{Log: log, Tuple: tuple, M: m})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s.Kept.Count() > 0 {
+			r := float64(s.Satisfied) / float64(s.Kept.Count())
+			if r > best {
+				best = r
+			}
+		}
+	}
+	if math.Abs(sol.Ratio-best) > 1e-12 {
+		t.Fatalf("ratio=%v, want %v", sol.Ratio, best)
+	}
+	if sol.Ratio != float64(sol.Satisfied)/float64(sol.Kept.Count()) {
+		t.Fatal("ratio inconsistent with solution")
+	}
+}
+
+func TestPerAttributeEmptyTuple(t *testing.T) {
+	log, _ := example1Log(t)
+	if _, err := PerAttribute(core.BruteForce{}, log, bitvec.New(6)); err == nil {
+		t.Fatal("empty tuple accepted")
+	}
+}
+
+func TestPerAttributeDatabase(t *testing.T) {
+	db := example1DB(t)
+	tuple, _ := bitvec.FromString("110111")
+	sol, err := PerAttributeDatabase(core.BruteForce{}, db, tuple)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Ratio <= 0 || sol.Kept.Count() == 0 {
+		t.Fatalf("sol=%+v", sol)
+	}
+}
+
+func TestCategoricalVariant(t *testing.T) {
+	cs, err := dataset.NewCatSchema(
+		[]string{"Make", "Color", "Trans"},
+		[][]string{{"Honda", "Toyota"}, {"Red", "Blue"}, {"Auto", "Manual"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	log := &dataset.CatLog{Schema: cs, Queries: []dataset.CatQuery{
+		{0, -1, -1},  // Make=Honda
+		{0, 1, -1},   // Make=Honda, Color=Blue
+		{-1, 1, 0},   // Color=Blue, Trans=Auto
+		{1, -1, -1},  // Make=Toyota (hopeless for our tuple)
+		{-1, -1, 0},  // Trans=Auto
+		{-1, -1, -1}, // unconstrained
+	}}
+	tuple := dataset.CatTuple{0, 1, 0} // Honda, Blue, Auto
+
+	sol, err := Categorical(core.BruteForce{}, log, tuple, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Keeping Make+Color satisfies queries 0,1,5 → 3. Keeping Color+Trans
+	// satisfies 2,4,5 → 3. Keeping Make+Trans satisfies 0,4,5 → 3.
+	if sol.Satisfied != 3 {
+		t.Fatalf("satisfied=%d, want 3", sol.Satisfied)
+	}
+
+	// Brute-force the categorical objective directly to confirm.
+	best := 0
+	for mask := 0; mask < 8; mask++ {
+		if popcount3(mask) != 2 {
+			continue
+		}
+		sat := 0
+		for _, q := range log.Queries {
+			ok := true
+			for i, v := range q {
+				if v < 0 {
+					continue
+				}
+				if mask&(1<<i) == 0 || tuple[i] != v {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				sat++
+			}
+		}
+		if sat > best {
+			best = sat
+		}
+	}
+	if sol.Satisfied != best {
+		t.Fatalf("reduction optimum %d != direct optimum %d", sol.Satisfied, best)
+	}
+}
+
+func popcount3(mask int) int {
+	n := 0
+	for mask > 0 {
+		n += mask & 1
+		mask >>= 1
+	}
+	return n
+}
+
+func TestCategoricalValidation(t *testing.T) {
+	cs, _ := dataset.NewCatSchema([]string{"A"}, [][]string{{"x", "y"}})
+	log := &dataset.CatLog{Schema: cs, Queries: []dataset.CatQuery{{0}}}
+	if _, err := Categorical(core.BruteForce{}, log, dataset.CatTuple{5}, 1); err == nil {
+		t.Error("bad tuple accepted")
+	}
+	log.Queries = append(log.Queries, dataset.CatQuery{7})
+	if _, err := Categorical(core.BruteForce{}, log, dataset.CatTuple{0}, 1); err == nil {
+		t.Error("bad query accepted")
+	}
+}
+
+func TestNumericVariant(t *testing.T) {
+	s := dataset.MustSchema([]string{"Price", "Miles", "Year"})
+	nl := &dataset.NumLog{Schema: s}
+	add := func(build func(*dataset.RangeQuery)) {
+		q := dataset.NewRangeQuery(3)
+		build(&q)
+		nl.Queries = append(nl.Queries, q)
+	}
+	add(func(q *dataset.RangeQuery) { q.SetRange(0, 5000, 10000) })                            // passes
+	add(func(q *dataset.RangeQuery) { q.SetRange(0, 5000, 10000); q.SetRange(2, 2000, 2010) }) // passes both
+	add(func(q *dataset.RangeQuery) { q.SetRange(1, 0, 10000) })                               // fails (50k miles)
+	add(func(q *dataset.RangeQuery) { q.SetRange(2, 2004, 2006) })                             // passes
+
+	values := []float64{8000, 50000, 2005}
+
+	strict, err := Numeric(core.BruteForce{}, nl, values, 2, NumericStrict)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Keep Price+Year: queries 0,1,3 satisfied.
+	if strict.Satisfied != 3 {
+		t.Fatalf("strict satisfied=%d, want 3", strict.Satisfied)
+	}
+
+	literal, err := Numeric(core.BruteForce{}, nl, values, 2, NumericLiteral)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Literal mode also counts query 2 (its failing condition vanishes).
+	if literal.Satisfied != 4 {
+		t.Fatalf("literal satisfied=%d, want 4", literal.Satisfied)
+	}
+	if literal.Satisfied < strict.Satisfied {
+		t.Fatal("literal must never count fewer queries than strict")
+	}
+}
+
+func TestNumericValidation(t *testing.T) {
+	nl := &dataset.NumLog{Schema: dataset.GenericSchema(2),
+		Queries: []dataset.RangeQuery{dataset.NewRangeQuery(3)}}
+	if _, err := Numeric(core.BruteForce{}, nl, []float64{1, 2}, 1, NumericStrict); err == nil {
+		t.Error("invalid log accepted")
+	}
+	nl2 := &dataset.NumLog{Schema: dataset.GenericSchema(2)}
+	if _, err := Numeric(core.BruteForce{}, nl2, []float64{1}, 1, NumericStrict); err == nil {
+		t.Error("short tuple accepted")
+	}
+}
+
+func topKFixture(t *testing.T) (*dataset.Table, *dataset.QueryLog, bitvec.Vector) {
+	t.Helper()
+	schema := dataset.GenericSchema(5)
+	db := dataset.NewTable(schema)
+	for _, row := range []string{"11100", "11110", "11000", "10000", "11111"} {
+		v, err := bitvec.FromString(row)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := db.Append(v, ""); err != nil {
+			t.Fatal(err)
+		}
+	}
+	log := dataset.NewQueryLog(schema)
+	for _, row := range []string{"11000", "10100", "00011", "10000"} {
+		v, err := bitvec.FromString(row)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := log.Append(v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	tuple, _ := bitvec.FromString("11011")
+	return db, log, tuple
+}
+
+func TestTopKAttrCount(t *testing.T) {
+	db, log, tuple := topKFixture(t)
+	scores := make([]float64, db.Size())
+	for i, row := range db.Rows {
+		scores[i] = topk.AttrCount(row)
+	}
+	v := TopK{
+		DB:            db,
+		K:             2,
+		NewTupleScore: func(kept bitvec.Vector) float64 { return topk.AttrCount(kept) },
+		RowScores:     scores,
+	}
+	sol, err := v.Solve(core.BruteForce{}, log, tuple, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Brute-force the true SOC-Topk objective over all C(4,3) compressions.
+	engine, err := topk.NewWithRowScores(db, scores)
+	if err != nil {
+		t.Fatal(err)
+	}
+	best := -1
+	ones := tuple.Ones()
+	for a := 0; a < len(ones); a++ {
+		for b := a + 1; b < len(ones); b++ {
+			for c := b + 1; c < len(ones); c++ {
+				kept := bitvec.FromIndices(5, ones[a], ones[b], ones[c])
+				sat := 0
+				for _, q := range log.Queries {
+					if engine.WouldRetrieve(q, kept, topk.AttrCount(kept), 2) {
+						sat++
+					}
+				}
+				if sat > best {
+					best = sat
+				}
+			}
+		}
+	}
+	if sol.Satisfied != best {
+		t.Fatalf("TopK solve=%d, direct optimum=%d", sol.Satisfied, best)
+	}
+	if !sol.Optimal {
+		t.Error("AttrCount is budget-determined: solution should be optimal")
+	}
+}
+
+func TestTopKConstantScore(t *testing.T) {
+	// Constant score (e.g. fixed price): reduction exact; compare against
+	// direct enumeration on random instances.
+	r := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 20; trial++ {
+		width := 4 + r.Intn(4)
+		schema := dataset.GenericSchema(width)
+		db := dataset.NewTable(schema)
+		nrows := 3 + r.Intn(8)
+		scores := make([]float64, nrows)
+		for i := 0; i < nrows; i++ {
+			v := bitvec.New(width)
+			for j := 0; j < width; j++ {
+				if r.Float64() < 0.5 {
+					v.Set(j)
+				}
+			}
+			if err := db.Append(v, ""); err != nil {
+				t.Fatal(err)
+			}
+			scores[i] = float64(r.Intn(10))
+		}
+		log := dataset.NewQueryLog(schema)
+		for i := 0; i < 2+r.Intn(10); i++ {
+			q := bitvec.New(width)
+			for q.Count() < 1+r.Intn(3) {
+				q.Set(r.Intn(width))
+			}
+			log.Queries = append(log.Queries, q)
+		}
+		tuple := bitvec.New(width)
+		for j := 0; j < width; j++ {
+			if r.Float64() < 0.7 {
+				tuple.Set(j)
+			}
+		}
+		if tuple.Count() == 0 {
+			continue
+		}
+		m := 1 + r.Intn(width)
+		k := 1 + r.Intn(3)
+		myScore := float64(r.Intn(10))
+
+		v := TopK{DB: db, K: k,
+			NewTupleScore: func(bitvec.Vector) float64 { return myScore },
+			RowScores:     scores}
+		sol, err := v.Solve(core.BruteForce{}, log, tuple, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		engine, err := topk.NewWithRowScores(db, scores)
+		if err != nil {
+			t.Fatal(err)
+		}
+		best := 0
+		var rec func(start int, chosen []int)
+		ones := tuple.Ones()
+		rec = func(start int, chosen []int) {
+			if len(chosen) == m || start == len(ones) {
+				kept := bitvec.FromIndices(width, chosen...)
+				sat := 0
+				for _, q := range log.Queries {
+					if engine.WouldRetrieve(q, kept, myScore, k) {
+						sat++
+					}
+				}
+				if sat > best {
+					best = sat
+				}
+				return
+			}
+			rec(start+1, append(chosen, ones[start]))
+			rec(start+1, chosen)
+		}
+		rec(0, nil)
+		if sol.Satisfied != best {
+			t.Fatalf("trial %d: TopK=%d, direct=%d", trial, sol.Satisfied, best)
+		}
+	}
+}
+
+func TestTopKValidation(t *testing.T) {
+	db, log, tuple := topKFixture(t)
+	if _, err := (TopK{}).Solve(core.BruteForce{}, log, tuple, 2); err == nil {
+		t.Error("zero-value TopK accepted")
+	}
+	v := TopK{DB: db, K: 1, NewTupleScore: topk.AttrCount, RowScores: []float64{1}}
+	if _, err := v.Solve(core.BruteForce{}, log, tuple, 2); err == nil {
+		t.Error("mismatched RowScores accepted")
+	}
+}
+
+func TestDisjunctiveSolversAgree(t *testing.T) {
+	r := rand.New(rand.NewSource(88))
+	for trial := 0; trial < 40; trial++ {
+		width := 3 + r.Intn(7)
+		schema := dataset.GenericSchema(width)
+		log := dataset.NewQueryLog(schema)
+		for i := 0; i < 1+r.Intn(15); i++ {
+			q := bitvec.New(width)
+			for q.Count() < 1+r.Intn(3) {
+				q.Set(r.Intn(width))
+			}
+			log.Queries = append(log.Queries, q)
+		}
+		tuple := bitvec.New(width)
+		for j := 0; j < width; j++ {
+			if r.Float64() < 0.6 {
+				tuple.Set(j)
+			}
+		}
+		m := r.Intn(width + 1)
+
+		brute, err := DisjunctiveBrute(log, tuple, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		viaILP, err := DisjunctiveILP(log, tuple, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if viaILP.Satisfied != brute.Satisfied {
+			t.Fatalf("trial %d: ILP %d != brute %d", trial, viaILP.Satisfied, brute.Satisfied)
+		}
+		greedy, err := DisjunctiveGreedy(log, tuple, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if greedy.Satisfied > brute.Satisfied {
+			t.Fatalf("trial %d: greedy beats optimum", trial)
+		}
+		// Max-coverage greedy guarantee: ≥ (1−1/e)·OPT.
+		if float64(greedy.Satisfied) < (1-1/math.E)*float64(brute.Satisfied)-1e-9 {
+			t.Fatalf("trial %d: greedy %d below (1-1/e) of %d",
+				trial, greedy.Satisfied, brute.Satisfied)
+		}
+	}
+}
+
+func TestDisjunctiveEmptyQueryNeverMatches(t *testing.T) {
+	schema := dataset.GenericSchema(3)
+	log := dataset.NewQueryLog(schema)
+	if err := log.Append(bitvec.New(3)); err != nil { // empty query
+		t.Fatal(err)
+	}
+	if err := log.Append(bitvec.FromIndices(3, 0)); err != nil {
+		t.Fatal(err)
+	}
+	tuple := bitvec.FromIndices(3, 0, 1)
+	for name, f := range map[string]func(*dataset.QueryLog, bitvec.Vector, int) (core.Solution, error){
+		"brute": DisjunctiveBrute, "greedy": DisjunctiveGreedy, "ilp": DisjunctiveILP,
+	} {
+		sol, err := f(log, tuple, 2)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if sol.Satisfied != 1 {
+			t.Errorf("%s: satisfied=%d, want 1 (empty query matches nothing)", name, sol.Satisfied)
+		}
+	}
+}

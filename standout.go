@@ -1,0 +1,143 @@
+// Package standout selects the best attributes of a new database tuple for
+// maximum visibility, implementing Miah, Das, Hristidis & Mannila,
+// "Standing Out in a Crowd: Selecting Attributes for Maximum Visibility"
+// (ICDE 2008).
+//
+// Given a query log Q of conjunctive Boolean queries (what buyers searched
+// for), a new tuple t (the product a seller wants to advertise) and a budget
+// m (how many attributes the ad can carry), the library computes the
+// compression t' of t with at most m attributes that maximizes the number of
+// queries retrieving t' — the paper's problem SOC-CB-QL. The problem is
+// NP-complete; the library ships two exact algorithm families and three
+// greedy heuristics, plus every variant the paper defines (database-driven
+// SOC-CB-D, per-attribute, disjunctive, top-k, categorical, numeric, text).
+//
+// Quick start:
+//
+//	schema := standout.MustSchema([]string{"AC", "FourDoor", "Turbo"})
+//	log := standout.NewQueryLog(schema)
+//	q, _ := schema.VectorOf("AC", "FourDoor")
+//	_ = log.Append(q)
+//	tuple, _ := schema.VectorOf("AC", "FourDoor", "Turbo")
+//	sol, err := standout.Solve(log, tuple, 2) // default solver
+//	if err != nil { ... }
+//	fmt.Println(sol.AttrNames(schema), sol.Satisfied)
+//
+// Solver selection guide (§VII of the paper, reproduced in EXPERIMENTS.md):
+// ILP wins on short, wide logs (few queries, many attributes);
+// MaxFreqItemSets wins on long, narrow logs; for logs both long and wide
+// only the greedy heuristics are feasible, of which ConsumeAttr and
+// ConsumeAttrCumul are near-optimal in practice and ConsumeQueries is
+// generally a bad choice.
+package standout
+
+import (
+	"standout/internal/bitvec"
+	"standout/internal/core"
+	"standout/internal/dataset"
+)
+
+// Re-exported data-model types. See the internal packages for full method
+// documentation; everything needed for ordinary use is reachable from here.
+type (
+	// Vector is a fixed-width bit vector representing a tuple or a query.
+	Vector = bitvec.Vector
+	// Schema names the Boolean attributes of a table or query log.
+	Schema = dataset.Schema
+	// Table is a collection of Boolean tuples (the competition D).
+	Table = dataset.Table
+	// QueryLog is a workload of conjunctive Boolean queries (Q).
+	QueryLog = dataset.QueryLog
+
+	// Instance is one SOC-CB-QL problem (log, tuple, budget).
+	Instance = core.Instance
+	// Solution is a compressed tuple with its visibility and diagnostics.
+	Solution = core.Solution
+	// Solver is the common interface of all algorithms.
+	Solver = core.Solver
+
+	// BruteForce is the exact enumeration baseline (§IV.A).
+	BruteForce = core.BruteForce
+	// IP is the exact branch-and-bound solver for the paper's first,
+	// nonlinear integer-program formulation (§IV.B).
+	IP = core.IP
+	// ILP is the exact linearized integer-programming algorithm (§IV.B).
+	ILP = core.ILP
+	// MaxFreqItemSets is the exact itemset-mining algorithm (§IV.C).
+	MaxFreqItemSets = core.MaxFreqItemSets
+	// Prep is reusable MaxFreqItemSets preprocessing state for one log.
+	Prep = core.Prep
+	// ConsumeAttr is the attribute-frequency greedy heuristic (§IV.D).
+	ConsumeAttr = core.ConsumeAttr
+	// ConsumeAttrCumul is the cumulative co-occurrence greedy (§IV.D).
+	ConsumeAttrCumul = core.ConsumeAttrCumul
+	// ConsumeQueries is the query-consuming greedy (§IV.D).
+	ConsumeQueries = core.ConsumeQueries
+	// MiningBackend selects the MaxFreqItemSets mining strategy.
+	MiningBackend = core.MiningBackend
+)
+
+// Mining backends for MaxFreqItemSets.
+const (
+	// BackendTwoPhaseWalk is the paper's top-down two-phase random walk.
+	BackendTwoPhaseWalk = core.BackendTwoPhaseWalk
+	// BackendBottomUpWalk is the bottom-up baseline of [11].
+	BackendBottomUpWalk = core.BackendBottomUpWalk
+	// BackendExactDFS guarantees optimality via exhaustive maximal mining.
+	BackendExactDFS = core.BackendExactDFS
+)
+
+// NewSchema builds a schema from unique attribute names.
+func NewSchema(attrs []string) (*Schema, error) { return dataset.NewSchema(attrs) }
+
+// MustSchema is NewSchema that panics on error.
+func MustSchema(attrs []string) *Schema { return dataset.MustSchema(attrs) }
+
+// NewTable returns an empty table over the schema.
+func NewTable(s *Schema) *Table { return dataset.NewTable(s) }
+
+// NewQueryLog returns an empty query log over the schema.
+func NewQueryLog(s *Schema) *QueryLog { return dataset.NewQueryLog(s) }
+
+// LogFromTable reinterprets a database as a query log — the SOC-CB-D
+// reduction: solving against the result maximizes the number of database
+// tuples the compression dominates.
+func LogFromTable(t *Table) *QueryLog { return dataset.LogFromTable(t) }
+
+// ParseTuple parses a tuple from a 0/1 bit string or a comma-separated
+// attribute-name list.
+func ParseTuple(s *Schema, spec string) (Vector, error) { return dataset.ParseTuple(s, spec) }
+
+// Solve runs the library's default solver on (log, tuple, m): exact
+// MaxFreqItemSets with the guaranteed-complete DFS mining backend, which is
+// the best all-round exact choice at moderate widths. For large instances
+// pick a solver explicitly (see the package documentation).
+func Solve(log *QueryLog, tuple Vector, m int) (Solution, error) {
+	return MaxFreqItemSets{Backend: BackendExactDFS}.Solve(Instance{Log: log, Tuple: tuple, M: m})
+}
+
+// Solvers returns one instance of every algorithm in the paper's order;
+// handy for comparisons and experiments.
+func Solvers() []Solver {
+	return []Solver{
+		BruteForce{},
+		IP{},
+		ILP{},
+		MaxFreqItemSets{},
+		ConsumeAttr{},
+		ConsumeAttrCumul{},
+		ConsumeQueries{},
+	}
+}
+
+// PreparedSolver adapts MaxFreqItemSets preprocessing state (from
+// MaxFreqItemSets.Preprocess) to the Solver interface; it is safe for
+// concurrent use and shares mined itemsets across solves of the same log.
+type PreparedSolver = core.PreparedSolver
+
+// SolveBatch solves the same (log, m) problem for many tuples concurrently,
+// fanning out across workers (≤ 0 selects GOMAXPROCS). Results align with
+// tuples by index.
+func SolveBatch(s Solver, log *QueryLog, tuples []Vector, m, workers int) ([]Solution, error) {
+	return core.SolveBatch(s, log, tuples, m, workers)
+}

@@ -1,0 +1,297 @@
+package standout_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"standout"
+)
+
+// fig1 builds the paper's running example via the public API.
+func fig1(t *testing.T) (*standout.Schema, *standout.QueryLog, standout.Vector) {
+	t.Helper()
+	schema := standout.MustSchema([]string{
+		"AC", "FourDoor", "Turbo", "PowerDoors", "AutoTrans", "PowerBrakes",
+	})
+	log := standout.NewQueryLog(schema)
+	for _, attrs := range [][]string{
+		{"AC", "FourDoor"}, {"AC", "PowerDoors"}, {"FourDoor", "PowerDoors"},
+		{"PowerDoors", "PowerBrakes"}, {"Turbo", "AutoTrans"},
+	} {
+		q, err := schema.VectorOf(attrs...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := log.Append(q); err != nil {
+			t.Fatal(err)
+		}
+	}
+	tuple, err := schema.VectorOf("AC", "FourDoor", "PowerDoors", "AutoTrans", "PowerBrakes")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return schema, log, tuple
+}
+
+func TestPublicSolveDefault(t *testing.T) {
+	schema, log, tuple := fig1(t)
+	sol, err := standout.Solve(log, tuple, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Satisfied != 3 || !sol.Optimal {
+		t.Fatalf("satisfied=%d optimal=%v", sol.Satisfied, sol.Optimal)
+	}
+	names := sol.AttrNames(schema)
+	if strings.Join(names, ",") != "AC,FourDoor,PowerDoors" {
+		t.Fatalf("names=%v", names)
+	}
+}
+
+func TestPublicSolversAllAgree(t *testing.T) {
+	_, log, tuple := fig1(t)
+	solvers := standout.Solvers()
+	if len(solvers) != 7 {
+		t.Fatalf("Solvers() returned %d", len(solvers))
+	}
+	for _, s := range solvers {
+		sol, err := s.Solve(standout.Instance{Log: log, Tuple: tuple, M: 3})
+		if err != nil {
+			t.Fatalf("%s: %v", s.Name(), err)
+		}
+		if sol.Satisfied != 3 {
+			t.Errorf("%s: satisfied=%d (all algorithms find the optimum on Fig 1)",
+				s.Name(), sol.Satisfied)
+		}
+	}
+}
+
+func TestPublicParseTuple(t *testing.T) {
+	schema, _, _ := fig1(t)
+	v, err := standout.ParseTuple(schema, "AC, Turbo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Count() != 2 || !v.Get(0) || !v.Get(2) {
+		t.Fatalf("v=%v", v)
+	}
+}
+
+func TestPublicDatabaseVariant(t *testing.T) {
+	schema, _, tuple := fig1(t)
+	db := standout.NewTable(schema)
+	for _, rows := range []string{"010100", "011000", "100111", "110101", "110000", "010100", "001100"} {
+		v, err := standout.ParseTuple(schema, rows)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := db.Append(v, ""); err != nil {
+			t.Fatal(err)
+		}
+	}
+	full, err := standout.ParseTuple(schema, "110111")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = tuple
+	sol, err := standout.SolveDatabase(standout.BruteForce{}, db, full, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Satisfied != 4 {
+		t.Fatalf("dominated=%d, want 4 (§II.B example)", sol.Satisfied)
+	}
+}
+
+func TestPublicPerAttribute(t *testing.T) {
+	_, log, tuple := fig1(t)
+	sol, err := standout.PerAttribute(standout.BruteForce{}, log, tuple)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Ratio <= 0 || sol.M < 1 {
+		t.Fatalf("sol=%+v", sol)
+	}
+}
+
+func TestPublicDisjunctive(t *testing.T) {
+	_, log, tuple := fig1(t)
+	exact, err := standout.SolveDisjunctive(log, tuple, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	greedy, err := standout.SolveDisjunctiveGreedy(log, tuple, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if greedy.Satisfied > exact.Satisfied {
+		t.Fatal("greedy beats exact")
+	}
+	if got := standout.DisjunctiveSatisfied(log, exact.Kept); got != exact.Satisfied {
+		t.Fatalf("objective recount mismatch: %d vs %d", got, exact.Satisfied)
+	}
+	// Two attributes can intersect at least 4 of the 5 queries (e.g. AC +
+	// PowerDoors hit q1, q2, q3, q4).
+	if exact.Satisfied < 4 {
+		t.Fatalf("exact=%d", exact.Satisfied)
+	}
+}
+
+func TestPublicTextFacade(t *testing.T) {
+	words := standout.Tokenize("Cozy Loft, great VIEW!")
+	if len(words) != 4 || words[0] != "cozy" {
+		t.Fatalf("Tokenize=%v", words)
+	}
+	kept, sat, err := standout.SelectKeywords(standout.ConsumeAttr{},
+		[][]string{{"loft"}, {"view"}, {"garage"}},
+		standout.Tokenize("cozy loft view"), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sat != 2 || len(kept) != 2 {
+		t.Fatalf("kept=%v sat=%d", kept, sat)
+	}
+	corpus := standout.NewTextCorpus([][]string{{"loft", "view"}, {"garage"}})
+	if corpus.Size() != 2 {
+		t.Fatal("corpus size")
+	}
+	if top := corpus.TopK([]string{"view"}, 1); len(top) != 1 || top[0] != 0 {
+		t.Fatalf("TopK=%v", top)
+	}
+}
+
+func TestPublicCategoricalFacade(t *testing.T) {
+	cs, err := standout.NewCatSchema([]string{"Make"}, [][]string{{"Honda", "Toyota"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	log := &standout.CatLog{Schema: cs, Queries: []standout.CatQuery{{0}, {1}, {-1}}}
+	sol, err := standout.SolveCategorical(standout.BruteForce{}, log, standout.CatTuple{0}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Satisfied != 2 { // Make=Honda and the unconstrained query
+		t.Fatalf("satisfied=%d", sol.Satisfied)
+	}
+}
+
+func TestPublicNumericFacade(t *testing.T) {
+	schema := standout.MustSchema([]string{"Price", "Year"})
+	q := standout.NewRangeQuery(2)
+	q.SetRange(0, 1000, 2000)
+	log := &standout.NumLog{Schema: schema, Queries: []standout.RangeQuery{q}}
+	sol, err := standout.SolveNumeric(standout.BruteForce{}, log, []float64{1500, 2020}, 1, standout.NumericStrict)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Satisfied != 1 {
+		t.Fatalf("satisfied=%d", sol.Satisfied)
+	}
+}
+
+func TestPublicGenerateAndCSVRoundTrip(t *testing.T) {
+	tab := standout.GenerateCars(1, 50)
+	if tab.Size() != 50 || tab.Width() != len(standout.CarAttrs) {
+		t.Fatalf("%dx%d", tab.Size(), tab.Width())
+	}
+	var buf bytes.Buffer
+	if err := standout.WriteTableCSV(&buf, tab); err != nil {
+		t.Fatal(err)
+	}
+	back, err := standout.ReadTableCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Size() != 50 {
+		t.Fatal("round trip lost rows")
+	}
+
+	log := standout.GenerateRealWorkload(tab, 2, 30)
+	buf.Reset()
+	if err := standout.WriteQueryLogCSV(&buf, log); err != nil {
+		t.Fatal(err)
+	}
+	backLog, err := standout.ReadQueryLogCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if backLog.Size() != 30 {
+		t.Fatal("query log round trip lost rows")
+	}
+
+	syn := standout.GenerateSyntheticWorkload(tab.Schema, 3, 40, standout.WorkloadOptions{})
+	if syn.Size() != 40 {
+		t.Fatal("synthetic size")
+	}
+	if got := standout.PickTuples(tab, 4, 7); len(got) != 7 {
+		t.Fatal("PickTuples")
+	}
+}
+
+func TestPublicMFIPreprocessing(t *testing.T) {
+	tab := standout.GenerateCars(1, 300)
+	log := standout.GenerateRealWorkload(tab, 2, 60)
+	mfi := standout.MaxFreqItemSets{Backend: standout.BackendExactDFS}
+	prep, err := mfi.Preprocess(log)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tuple := range standout.PickTuples(tab, 3, 5) {
+		want, err := standout.BruteForce{}.Solve(standout.Instance{Log: log, Tuple: tuple, M: 5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := prep.SolvePrepared(tuple, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Satisfied != want.Satisfied {
+			t.Fatalf("prepared=%d brute=%d", got.Satisfied, want.Satisfied)
+		}
+	}
+}
+
+func TestPublicTopKVariantFacade(t *testing.T) {
+	schema, log, tuple := fig1(t)
+	db := standout.NewTable(schema)
+	for _, rows := range []string{"110100", "110111"} {
+		v, err := standout.ParseTuple(schema, rows)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := db.Append(v, ""); err != nil {
+			t.Fatal(err)
+		}
+	}
+	scores := []float64{3, 5}
+	v := standout.TopKVariant{
+		DB: db, K: 1,
+		NewTupleScore: standout.AttrCountScore,
+		RowScores:     scores,
+	}
+	sol, err := v.Solve(standout.BruteForce{}, log, tuple, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With k=1 and a 5-option competitor matching many queries, a 3-option
+	// compression can only win queries the competitor does not dominate.
+	recount := 0
+	for _, q := range log.Queries {
+		if !q.SubsetOf(sol.Kept) {
+			continue
+		}
+		better := 0
+		for i, row := range db.Rows {
+			if q.SubsetOf(row) && scores[i] > 3 {
+				better++
+			}
+		}
+		if better < 1 {
+			recount++
+		}
+	}
+	if recount != sol.Satisfied {
+		t.Fatalf("reported %d, recount %d", sol.Satisfied, recount)
+	}
+}

@@ -1,0 +1,130 @@
+package standout
+
+import (
+	"standout/internal/core"
+	"standout/internal/dataset"
+	"standout/internal/text"
+	"standout/internal/topk"
+	"standout/internal/variants"
+)
+
+// Problem variants of §II.B / §V, re-exported from internal/variants.
+
+// PerAttributeSolution augments a Solution with the per-attribute objective.
+type PerAttributeSolution = variants.PerAttributeSolution
+
+// PerAttribute solves the per-attribute variant of SOC-CB-QL: maximize
+// satisfied queries per retained attribute (buyers per unit advertising
+// cost), trying every budget m = 1..|tuple| with the given solver.
+func PerAttribute(s Solver, log *QueryLog, tuple Vector) (PerAttributeSolution, error) {
+	return variants.PerAttribute(s, log, tuple)
+}
+
+// SolveDatabase solves SOC-CB-D: retain m attributes so the compression
+// dominates as many database tuples as possible.
+func SolveDatabase(s Solver, db *Table, tuple Vector, m int) (Solution, error) {
+	return variants.Database(s, db, tuple, m)
+}
+
+// Categorical data model re-exports.
+type (
+	// CatSchema describes categorical attributes and their value domains.
+	CatSchema = dataset.CatSchema
+	// CatTuple assigns one value (by domain index) per attribute.
+	CatTuple = dataset.CatTuple
+	// CatQuery constrains a subset of attributes to values (-1 = any).
+	CatQuery = dataset.CatQuery
+	// CatLog is a workload of categorical queries.
+	CatLog = dataset.CatLog
+)
+
+// NewCatSchema builds a categorical schema from names and domains.
+func NewCatSchema(attrs []string, domains [][]string) (*CatSchema, error) {
+	return dataset.NewCatSchema(attrs, domains)
+}
+
+// SolveCategorical solves the categorical variant via reduction to Boolean.
+func SolveCategorical(s Solver, log *CatLog, tuple CatTuple, m int) (Solution, error) {
+	return variants.Categorical(s, log, tuple, m)
+}
+
+// Numeric data model re-exports.
+type (
+	// RangeQuery constrains numeric attributes to closed ranges.
+	RangeQuery = dataset.RangeQuery
+	// NumLog is a workload of range queries.
+	NumLog = dataset.NumLog
+	// NumericMode selects the strict or paper-literal reduction.
+	NumericMode = variants.NumericMode
+)
+
+// Numeric reduction modes.
+const (
+	// NumericStrict drops queries whose ranges the tuple fails (recommended).
+	NumericStrict = variants.NumericStrict
+	// NumericLiteral is the paper's §V construction verbatim.
+	NumericLiteral = variants.NumericLiteral
+)
+
+// NewRangeQuery returns an unconstrained range query of the given width.
+func NewRangeQuery(width int) RangeQuery { return dataset.NewRangeQuery(width) }
+
+// SolveNumeric solves the numeric variant: pick m numeric attributes of the
+// tuple to advertise so the most range queries retrieve it.
+func SolveNumeric(s Solver, log *NumLog, values []float64, m int, mode NumericMode) (Solution, error) {
+	return variants.Numeric(s, log, values, m, mode)
+}
+
+// TopKVariant solves SOC-Topk for global scoring functions: queries return
+// only their k best-scoring matches, so the compression must also beat the
+// competition. See internal/variants.TopK for the reduction's guarantees.
+type TopKVariant = variants.TopK
+
+// AttrCountScore is the global score "number of present attributes" — the
+// paper's example of a global scoring function.
+func AttrCountScore(v Vector) float64 { return topk.AttrCount(v) }
+
+// Disjunctive retrieval (a query matches when it shares ≥1 attribute).
+
+// SolveDisjunctive solves the disjunctive variant exactly (max coverage via
+// branch-and-bound ILP).
+func SolveDisjunctive(log *QueryLog, tuple Vector, m int) (Solution, error) {
+	return variants.DisjunctiveILP(log, tuple, m)
+}
+
+// SolveDisjunctiveGreedy is the (1−1/e)-approximate max-coverage greedy.
+func SolveDisjunctiveGreedy(log *QueryLog, tuple Vector, m int) (Solution, error) {
+	return variants.DisjunctiveGreedy(log, tuple, m)
+}
+
+// DisjunctiveSatisfied counts queries sharing at least one attribute with
+// the compression (the disjunctive objective).
+func DisjunctiveSatisfied(log *QueryLog, kept Vector) int {
+	return variants.DisjunctiveSatisfied(log, kept)
+}
+
+// Text variant (§V): keyword selection for ads.
+
+// SelectKeywords retains the m ad keywords maximizing the number of keyword
+// queries fully covered. Use greedy solvers for large vocabularies.
+func SelectKeywords(s Solver, queries [][]string, ad []string, m int) (kept []string, satisfied int, err error) {
+	return text.SelectKeywords(s, queries, ad, m)
+}
+
+// Tokenize lowercases and splits text into word tokens.
+func Tokenize(s string) []string { return text.Tokenize(s) }
+
+// TextCorpus is a bag-of-words collection with BM25 top-k retrieval.
+type TextCorpus = text.Corpus
+
+// NewTextCorpus builds a corpus from tokenized documents.
+func NewTextCorpus(docs [][]string) *TextCorpus { return text.NewCorpus(docs) }
+
+// ensure the facade never drifts from the core interface.
+var _ Solver = core.BruteForce{}
+
+// TopKGeneralVariant solves SOC-Topk for arbitrary (query-dependent,
+// non-monotone) scoring functions by direct branch-and-bound — the case §V
+// calls a non-linear integer program. Exponential in the tuple width; use
+// TopKVariant for global scoring functions.
+type TopKGeneralVariant = variants.TopKGeneral
