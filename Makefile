@@ -1,6 +1,9 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: build test bench vet cover experiments quick-experiments fuzz
+.PHONY: check build test test-race bench vet cover experiments quick-experiments fuzz
+
+# Default: everything CI would gate on.
+check: build vet test test-race
 
 build:
 	go build ./...
@@ -10,6 +13,12 @@ vet:
 
 test:
 	go test ./...
+
+# The solver core is the concurrency-heavy part (SolveBatchContext, shared
+# Prep caches); race-test it on every check. `go test -race ./...` also works
+# but takes much longer on the bench package.
+test-race:
+	go test -race ./internal/core/... ./internal/ilp/... ./internal/itemsets/...
 
 cover:
 	go test -cover ./...

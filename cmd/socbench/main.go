@@ -10,29 +10,38 @@
 //	-quick          reduced averaging for a fast run
 //	-csv            emit CSV instead of aligned text
 //	-seed N         generator seed (default 1)
-//	-tuples N       tuples to average over (default 100, the paper's setting)
+//	-tuples N       tuples to average over (0, meaning the paper's 100)
 //	-cars N         cars-table size (default 15211, the paper's dataset size)
 //	-ilp-timeout D  per-solve ILP timeout (default 30s); expired runs print "-"
+//	-timeout D      wall-clock budget for the whole run; unmeasured cells print "-"
+//
+// Interrupting with ^C (SIGINT) or SIGTERM cancels the in-flight solve and
+// prints whatever was already measured.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"standout/internal/bench"
 )
 
 func main() {
-	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout, os.Stderr); err != nil {
 		fmt.Fprintf(os.Stderr, "socbench: %v\n", err)
 		os.Exit(2)
 	}
 }
 
-func run(args []string, stdout, stderr io.Writer) error {
+func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("socbench", flag.ContinueOnError)
 	quick := fs.Bool("quick", false, "reduced averaging for a fast run")
 	csv := fs.Bool("csv", false, "emit CSV instead of aligned text")
@@ -40,6 +49,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	tuples := fs.Int("tuples", 0, "tuples to average over (0 = paper's 100)")
 	cars := fs.Int("cars", 0, "cars table size (0 = paper's 15211)")
 	ilpTimeout := fs.Duration("ilp-timeout", 0, "per-solve ILP timeout (0 = 30s)")
+	timeout := fs.Duration("timeout", 0, "wall-clock budget for the whole run (0 = none)")
 	fs.Usage = func() {
 		fmt.Fprintf(stderr,
 			"usage: socbench [flags] fig6|fig7|fig8|fig9|fig10|fig11|ablations|all\n")
@@ -48,6 +58,11 @@ func run(args []string, stdout, stderr io.Writer) error {
 	}
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
 	}
 
 	cfg := bench.Config{
@@ -58,23 +73,26 @@ func run(args []string, stdout, stderr io.Writer) error {
 		Quick:      *quick,
 	}
 
-	figures := []func(bench.Config) bench.Result{
-		bench.Fig6, bench.Fig7, bench.Fig8, bench.Fig9, bench.Fig10, bench.Fig11,
+	type runFn = func(context.Context, bench.Config) bench.Result
+	figures := []runFn{
+		bench.Fig6Context, bench.Fig7Context, bench.Fig8Context,
+		bench.Fig9Context, bench.Fig10Context, bench.Fig11Context,
 	}
-	ablations := []func(bench.Config) bench.Result{
-		bench.AblationWalks, bench.AblationWalkLevels, bench.AblationThreshold,
-		bench.AblationGreedyGap, bench.AblationGeneralization, bench.AblationText,
-		bench.AblationIPvsILP,
+	ablations := []runFn{
+		bench.AblationWalksContext, bench.AblationWalkLevelsContext,
+		bench.AblationThresholdContext, bench.AblationGreedyGapContext,
+		bench.AblationGeneralizationContext, bench.AblationTextContext,
+		bench.AblationIPvsILPContext,
 	}
-	runners := map[string][]func(bench.Config) bench.Result{
-		"fig6":      {bench.Fig6},
-		"fig7":      {bench.Fig7},
-		"fig8":      {bench.Fig8},
-		"fig9":      {bench.Fig9},
-		"fig10":     {bench.Fig10},
-		"fig11":     {bench.Fig11},
+	runners := map[string][]runFn{
+		"fig6":      {bench.Fig6Context},
+		"fig7":      {bench.Fig7Context},
+		"fig8":      {bench.Fig8Context},
+		"fig9":      {bench.Fig9Context},
+		"fig10":     {bench.Fig10Context},
+		"fig11":     {bench.Fig11Context},
 		"ablations": ablations,
-		"all":       append(append([]func(bench.Config) bench.Result{}, figures...), ablations...),
+		"all":       append(append([]runFn{}, figures...), ablations...),
 	}
 
 	if fs.NArg() != 1 {
@@ -88,9 +106,11 @@ func run(args []string, stdout, stderr io.Writer) error {
 	}
 
 	start := time.Now()
-	// Results stream as each experiment completes (some take minutes).
+	// Results stream as each experiment completes (some take minutes). A
+	// cancelled context makes the remaining experiments fail fast and report
+	// missing cells, so every requested table still prints.
 	for _, f := range runner {
-		res := f(cfg)
+		res := f(ctx, cfg)
 		if *csv {
 			fmt.Fprintf(stdout, "# %s — %s\n%s\n", res.Name, res.Title, res.CSV())
 		} else {
@@ -101,5 +121,5 @@ func run(args []string, stdout, stderr io.Writer) error {
 		}
 	}
 	fmt.Fprintf(stderr, "socbench: done in %s\n", time.Since(start).Round(time.Millisecond))
-	return nil
+	return ctx.Err()
 }

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"strings"
 	"testing"
 )
@@ -13,7 +14,7 @@ func tinyArgs(extra ...string) []string {
 
 func TestRunFig7Text(t *testing.T) {
 	var out, errOut bytes.Buffer
-	if err := run(tinyArgs("fig7"), &out, &errOut); err != nil {
+	if err := run(context.Background(), tinyArgs("fig7"), &out, &errOut); err != nil {
 		t.Fatal(err)
 	}
 	text := out.String()
@@ -29,7 +30,7 @@ func TestRunFig7Text(t *testing.T) {
 
 func TestRunCSVMode(t *testing.T) {
 	var out, errOut bytes.Buffer
-	if err := run(tinyArgs("-csv", "fig7"), &out, &errOut); err != nil {
+	if err := run(context.Background(), tinyArgs("-csv", "fig7"), &out, &errOut); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(out.String(), "m,Optimal,ConsumeAttr") {
@@ -40,8 +41,8 @@ func TestRunCSVMode(t *testing.T) {
 func TestRunErrors(t *testing.T) {
 	for _, args := range [][]string{{}, {"nope"}, {"fig7", "fig8"}} {
 		var out, errOut bytes.Buffer
-		if err := run(args, &out, &errOut); err == nil {
-			t.Errorf("run(%v) succeeded, want error", args)
+		if err := run(context.Background(), args, &out, &errOut); err == nil {
+			t.Errorf("run(context.Background(), %v) succeeded, want error", args)
 		}
 	}
 }

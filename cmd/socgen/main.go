@@ -15,32 +15,48 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"standout/internal/dataset"
 	"standout/internal/gen"
 )
 
 func main() {
-	if err := run(os.Args[1:], os.Stdout); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintf(os.Stderr, "socgen: %v\n", err)
 		os.Exit(2)
 	}
 }
 
-func run(args []string, stdout io.Writer) error {
+func run(ctx context.Context, args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("socgen", flag.ContinueOnError)
 	n := fs.Int("n", 0, "rows/queries to generate (0 = paper defaults)")
 	seed := fs.Int64("seed", 1, "generator seed")
 	carsN := fs.Int("cars", 2000, "cars-table size used to derive real-workload popularity")
+	timeout := fs.Duration("timeout", 0, "wall-clock limit (0 = none); ^C also cancels")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
 	if fs.NArg() != 1 {
 		return fmt.Errorf("usage: socgen [flags] cars|workload-real|workload-synthetic")
+	}
+	// Generation is seed-driven and linear; refuse to start a doomed run but
+	// let an in-progress write finish (partial CSV output would be worse).
+	if err := ctx.Err(); err != nil {
+		return err
 	}
 
 	out := bufio.NewWriter(stdout)

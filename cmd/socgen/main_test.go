@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"strings"
 	"testing"
 
@@ -10,7 +11,7 @@ import (
 
 func TestGenCars(t *testing.T) {
 	var out bytes.Buffer
-	if err := run([]string{"-n", "25", "cars"}, &out); err != nil {
+	if err := run(context.Background(), []string{"-n", "25", "cars"}, &out); err != nil {
 		t.Fatal(err)
 	}
 	tab, err := dataset.ReadTableCSV(&out)
@@ -25,7 +26,7 @@ func TestGenCars(t *testing.T) {
 func TestGenWorkloads(t *testing.T) {
 	for _, target := range []string{"workload-real", "workload-synthetic"} {
 		var out bytes.Buffer
-		if err := run([]string{"-n", "40", "-cars", "100", target}, &out); err != nil {
+		if err := run(context.Background(), []string{"-n", "40", "-cars", "100", target}, &out); err != nil {
 			t.Fatalf("%s: %v", target, err)
 		}
 		log, err := dataset.ReadQueryLogCSV(&out)
@@ -40,10 +41,10 @@ func TestGenWorkloads(t *testing.T) {
 
 func TestGenDeterministicAcrossRuns(t *testing.T) {
 	var a, b bytes.Buffer
-	if err := run([]string{"-n", "10", "-seed", "7", "cars"}, &a); err != nil {
+	if err := run(context.Background(), []string{"-n", "10", "-seed", "7", "cars"}, &a); err != nil {
 		t.Fatal(err)
 	}
-	if err := run([]string{"-n", "10", "-seed", "7", "cars"}, &b); err != nil {
+	if err := run(context.Background(), []string{"-n", "10", "-seed", "7", "cars"}, &b); err != nil {
 		t.Fatal(err)
 	}
 	if a.String() != b.String() {
@@ -54,15 +55,15 @@ func TestGenDeterministicAcrossRuns(t *testing.T) {
 func TestGenErrors(t *testing.T) {
 	for _, args := range [][]string{{}, {"nope"}, {"cars", "extra"}} {
 		var out bytes.Buffer
-		if err := run(args, &out); err == nil {
-			t.Errorf("run(%v) succeeded, want error", args)
+		if err := run(context.Background(), args, &out); err == nil {
+			t.Errorf("run(context.Background(), %v) succeeded, want error", args)
 		}
 	}
 }
 
 func TestGenHeaderHasIDColumnForCars(t *testing.T) {
 	var out bytes.Buffer
-	if err := run([]string{"-n", "1", "cars"}, &out); err != nil {
+	if err := run(context.Background(), []string{"-n", "1", "cars"}, &out); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.HasPrefix(out.String(), "id,AC,") {

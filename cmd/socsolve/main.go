@@ -13,12 +13,15 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"sort"
 	"strings"
+	"syscall"
 	"time"
 
 	"standout/internal/core"
@@ -37,20 +40,23 @@ var solvers = map[string]func() core.Solver{
 }
 
 func main() {
-	if err := run(os.Args[1:], os.Stdout); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintf(os.Stderr, "socsolve: %v\n", err)
 		os.Exit(2)
 	}
 }
 
 // run parses arguments, loads the instance and prints solutions to out.
-func run(args []string, out io.Writer) error {
+func run(ctx context.Context, args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("socsolve", flag.ContinueOnError)
 	logPath := fs.String("log", "", "query log CSV (SOC-CB-QL)")
 	dbPath := fs.String("db", "", "database CSV (SOC-CB-D: rows act as queries)")
 	tupleSpec := fs.String("tuple", "", "new tuple: bit string or comma-separated attribute names")
 	m := fs.Int("m", 0, "number of attributes to retain")
 	algo := fs.String("algo", "all", "algorithm: "+algoNames()+", or all")
+	timeout := fs.Duration("timeout", 0, "per-solve wall-clock limit (0 = none); ^C also cancels")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -89,11 +95,19 @@ func run(args []string, out io.Writer) error {
 		log.Size(), log.Width(), tuple.Count(), *m)
 	for _, name := range names {
 		s := solvers[name]()
+		sctx, cancel := ctx, context.CancelFunc(func() {})
+		if *timeout > 0 {
+			sctx, cancel = context.WithTimeout(ctx, *timeout)
+		}
 		start := time.Now()
-		sol, err := s.Solve(in)
+		sol, err := s.SolveContext(sctx, in)
 		elapsed := time.Since(start)
+		cancel()
 		if err != nil {
 			fmt.Fprintf(out, "%-18s error: %v\n", name, err)
+			if ctx.Err() != nil {
+				return ctx.Err() // interrupted: stop trying further solvers
+			}
 			continue
 		}
 		mark := ""

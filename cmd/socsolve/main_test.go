@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"os"
 	"path/filepath"
 	"strings"
@@ -28,7 +29,7 @@ const queriesCSV = `AC,FourDoor,Turbo,PowerDoors,AutoTrans,PowerBrakes
 func TestRunQueryLog(t *testing.T) {
 	path := writeFile(t, "q.csv", queriesCSV)
 	var out bytes.Buffer
-	err := run([]string{"-log", path, "-tuple", "110111", "-m", "3"}, &out)
+	err := run(context.Background(), []string{"-log", path, "-tuple", "110111", "-m", "3"}, &out)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -48,7 +49,7 @@ func TestRunQueryLog(t *testing.T) {
 func TestRunSingleAlgo(t *testing.T) {
 	path := writeFile(t, "q.csv", queriesCSV)
 	var out bytes.Buffer
-	if err := run([]string{"-log", path, "-tuple", "AC,FourDoor,PowerDoors,AutoTrans,PowerBrakes", "-m", "3", "-algo", "ilp"}, &out); err != nil {
+	if err := run(context.Background(), []string{"-log", path, "-tuple", "AC,FourDoor,PowerDoors,AutoTrans,PowerBrakes", "-m", "3", "-algo", "ilp"}, &out); err != nil {
 		t.Fatal(err)
 	}
 	if got := strings.Count(out.String(), "satisfied"); got != 1 {
@@ -68,7 +69,7 @@ t7,0,0,1,1,0,0
 `
 	path := writeFile(t, "db.csv", db)
 	var out bytes.Buffer
-	if err := run([]string{"-db", path, "-tuple", "110111", "-m", "4", "-algo", "brute"}, &out); err != nil {
+	if err := run(context.Background(), []string{"-db", path, "-tuple", "110111", "-m", "4", "-algo", "brute"}, &out); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(out.String(), "satisfied 4 (optimal)") {
@@ -88,8 +89,8 @@ func TestRunErrors(t *testing.T) {
 	}
 	for i, args := range cases {
 		var out bytes.Buffer
-		if err := run(args, &out); err == nil {
-			t.Errorf("case %d: run(%v) succeeded, want error", i, args)
+		if err := run(context.Background(), args, &out); err == nil {
+			t.Errorf("case %d: run(context.Background(), %v) succeeded, want error", i, args)
 		}
 	}
 }

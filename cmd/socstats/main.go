@@ -11,30 +11,41 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"sort"
+	"syscall"
 
 	"standout/internal/dataset"
 )
 
 func main() {
-	if err := run(os.Args[1:], os.Stdout); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintf(os.Stderr, "socstats: %v\n", err)
 		os.Exit(2)
 	}
 }
 
-func run(args []string, out io.Writer) error {
+func run(ctx context.Context, args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("socstats", flag.ContinueOnError)
 	logPath := fs.String("log", "", "query log CSV")
 	dbPath := fs.String("db", "", "database CSV (rows treated as queries)")
 	tupleSpec := fs.String("tuple", "", "optional tuple: bit string or attribute-name list")
 	top := fs.Int("top", 10, "number of top attributes to print")
+	timeout := fs.Duration("timeout", 0, "wall-clock limit (0 = none); ^C also cancels")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
 	}
 	if (*logPath == "") == (*dbPath == "") {
 		return fmt.Errorf("exactly one of -log or -db is required")
@@ -66,6 +77,11 @@ func run(args []string, out io.Writer) error {
 		log = dataset.LogFromTable(tab)
 	}
 
+	// The statistics passes below are linear scans; one check after loading
+	// keeps an interrupted invocation from printing a partial report.
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	fmt.Fprintf(out, "workload: %s\n", path)
 	fmt.Fprintf(out, "queries:  %d over %d attributes\n", log.Size(), log.Width())
 	fmt.Fprintf(out, "density:  %.4f\n", log.AsTable().Density())

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"os"
 	"path/filepath"
 	"strings"
@@ -27,7 +28,7 @@ func writeFile(t *testing.T, content string) string {
 func TestStatsBasic(t *testing.T) {
 	path := writeFile(t, statsCSV)
 	var out bytes.Buffer
-	if err := run([]string{"-log", path}, &out); err != nil {
+	if err := run(context.Background(), []string{"-log", path}, &out); err != nil {
 		t.Fatal(err)
 	}
 	text := out.String()
@@ -46,7 +47,7 @@ func TestStatsBasic(t *testing.T) {
 func TestStatsWithTuple(t *testing.T) {
 	path := writeFile(t, statsCSV)
 	var out bytes.Buffer
-	if err := run([]string{"-log", path, "-tuple", "110"}, &out); err != nil {
+	if err := run(context.Background(), []string{"-log", path, "-tuple", "110"}, &out); err != nil {
 		t.Fatal(err)
 	}
 	text := out.String()
@@ -61,7 +62,7 @@ func TestStatsWithTuple(t *testing.T) {
 func TestStatsDatabaseMode(t *testing.T) {
 	path := writeFile(t, "id,a,b\nr1,1,0\nr2,0,1\n")
 	var out bytes.Buffer
-	if err := run([]string{"-db", path}, &out); err != nil {
+	if err := run(context.Background(), []string{"-db", path}, &out); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(out.String(), "queries:  2 over 2 attributes") {
@@ -78,7 +79,7 @@ func TestStatsErrors(t *testing.T) {
 		{"-log", filepath.Join(t.TempDir(), "nope.csv")},
 	} {
 		var out bytes.Buffer
-		if err := run(args, &out); err == nil {
+		if err := run(context.Background(), args, &out); err == nil {
 			t.Errorf("run(%v) succeeded, want error", args)
 		}
 	}

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"time"
@@ -22,10 +23,15 @@ import (
 // near the top of the dense lattice while the bottom-up walk traverses many
 // more levels — shows up as the growing gap between the walk columns.
 func AblationWalks(cfg Config) Result {
-	return ablationWalksAt(cfg, []int{250, 500, 1000, 2000})
+	return AblationWalksContext(context.Background(), cfg)
 }
 
-func ablationWalksAt(cfg Config, sizes []int) Result {
+// AblationWalksContext is AblationWalks under a context.
+func AblationWalksContext(ctx context.Context, cfg Config) Result {
+	return ablationWalksAt(ctx, cfg, []int{250, 500, 1000, 2000})
+}
+
+func ablationWalksAt(ctx context.Context, cfg Config, sizes []int) Result {
 	cfg = cfg.withDefaults()
 	// Exact DFS mining is excluded here: on tuples with many options the
 	// projected lattice makes complete mining exponential (the whole reason
@@ -48,7 +54,7 @@ func ablationWalksAt(cfg Config, sizes []int) Result {
 		row := Row{X: fmt.Sprintf("%d", size)}
 		for _, b := range backends {
 			s := core.MaxFreqItemSets{Backend: b, Seed: cfg.Seed}
-			secs, _, ok := timeSolver(s, setup, m)
+			secs, _, ok := timeSolver(ctx, s, setup, m)
 			if !ok {
 				secs = Missing
 			}
@@ -56,6 +62,7 @@ func ablationWalksAt(cfg Config, sizes []int) Result {
 		}
 		res.Rows = append(res.Rows, row)
 	}
+	noteInterrupted(ctx, &res)
 	return res
 }
 
@@ -63,10 +70,15 @@ func ablationWalksAt(cfg Config, sizes []int) Result {
 // levels traversed per walk on the dense complement of a synthetic log,
 // quantifying Fig 3's down/up argument directly.
 func AblationWalkLevels(cfg Config) Result {
-	return ablationWalkLevelsAt(cfg, []int{250, 500, 1000, 2000})
+	return AblationWalkLevelsContext(context.Background(), cfg)
 }
 
-func ablationWalkLevelsAt(cfg Config, sizes []int) Result {
+// AblationWalkLevelsContext is AblationWalkLevels under a context.
+func AblationWalkLevelsContext(ctx context.Context, cfg Config) Result {
+	return ablationWalkLevelsAt(ctx, cfg, []int{250, 500, 1000, 2000})
+}
+
+func ablationWalkLevelsAt(ctx context.Context, cfg Config, sizes []int) Result {
 	cfg = cfg.withDefaults()
 	tab := gen.Cars(cfg.Seed, cfg.CarsN)
 	// Fixed walk budget: full-width dense complements can hold enormous
@@ -102,17 +114,22 @@ func ablationWalkLevelsAt(cfg Config, sizes []int) Result {
 		row := Row{X: fmt.Sprintf("%d", size)}
 
 		start := time.Now()
-		two := miner.MaximalRandomWalk(thr, walkOpts())
+		two, twoErr := miner.MaximalRandomWalkContext(ctx, thr, walkOpts())
 		twoTime := time.Since(start).Seconds()
 
 		start = time.Now()
-		bottom := miner.MaximalRandomWalkBottomUp(thr, walkOpts())
+		bottom, bottomErr := miner.MaximalRandomWalkBottomUpContext(ctx, thr, walkOpts())
 		bottomTime := time.Since(start).Seconds()
 
-		row.Values = append(row.Values, twoTime, bottomTime,
-			float64(len(two)), float64(len(bottom)))
+		if twoErr != nil || bottomErr != nil {
+			row.Values = []float64{Missing, Missing, Missing, Missing}
+		} else {
+			row.Values = append(row.Values, twoTime, bottomTime,
+				float64(len(two)), float64(len(bottom)))
+		}
 		res.Rows = append(res.Rows, row)
 	}
+	noteInterrupted(ctx, &res)
 	return res
 }
 
@@ -120,6 +137,11 @@ func ablationWalkLevelsAt(cfg Config, sizes []int) Result {
 // starting too high wastes halving rounds, starting at 1 explodes the
 // frequent-itemset space. Cars schema, real-workload surrogate, m = 5.
 func AblationThreshold(cfg Config) Result {
+	return AblationThresholdContext(context.Background(), cfg)
+}
+
+// AblationThresholdContext is AblationThreshold under a context.
+func AblationThresholdContext(ctx context.Context, cfg Config) Result {
 	cfg = cfg.withDefaults()
 	setup := carsSetup(cfg, false, gen.RealWorkloadSize)
 	res := Result{
@@ -142,7 +164,7 @@ func AblationThreshold(cfg Config) Result {
 		totalSat, lastThr := 0, 0
 		okAll := true
 		for _, tuple := range setup.tuples {
-			sol, err := s.Solve(core.Instance{Log: setup.log, Tuple: tuple, M: m})
+			sol, err := s.SolveContext(ctx, core.Instance{Log: setup.log, Tuple: tuple, M: m})
 			if err != nil {
 				okAll = false
 				break
@@ -162,6 +184,7 @@ func AblationThreshold(cfg Config) Result {
 		}
 		res.Rows = append(res.Rows, row)
 	}
+	noteInterrupted(ctx, &res)
 	return res
 }
 
@@ -169,6 +192,11 @@ func AblationThreshold(cfg Config) Result {
 // optimum across budgets on the real workload — the quality counterpart of
 // the paper's Fig 7 expressed as a ratio.
 func AblationGreedyGap(cfg Config) Result {
+	return AblationGreedyGapContext(context.Background(), cfg)
+}
+
+// AblationGreedyGapContext is AblationGreedyGap under a context.
+func AblationGreedyGapContext(ctx context.Context, cfg Config) Result {
 	cfg = cfg.withDefaults()
 	setup := carsSetup(cfg, false, gen.RealWorkloadSize)
 	optimal := core.MaxFreqItemSets{Backend: core.BackendTwoPhaseWalk, Seed: cfg.Seed}
@@ -182,10 +210,10 @@ func AblationGreedyGap(cfg Config) Result {
 		res.Columns = append(res.Columns, shortName(s))
 	}
 	for _, m := range mRange {
-		_, opt, ok := timeSolver(optimal, setup, m)
+		_, opt, ok := timeSolver(ctx, optimal, setup, m)
 		row := Row{X: fmt.Sprintf("%d", m)}
 		for _, s := range greedy {
-			_, q, ok2 := timeSolver(s, setup, m)
+			_, q, ok2 := timeSolver(ctx, s, setup, m)
 			if !ok || !ok2 || opt == 0 {
 				row.Values = append(row.Values, Missing)
 				continue
@@ -194,15 +222,21 @@ func AblationGreedyGap(cfg Config) Result {
 		}
 		res.Rows = append(res.Rows, row)
 	}
+	noteInterrupted(ctx, &res)
 	return res
 }
 
 // Ablations runs every ablation in order.
-func Ablations(cfg Config) []Result {
+func Ablations(cfg Config) []Result { return AblationsContext(context.Background(), cfg) }
+
+// AblationsContext runs every ablation in order under a context, with the
+// same fail-fast-to-missing cancellation semantics as AllContext.
+func AblationsContext(ctx context.Context, cfg Config) []Result {
 	return []Result{
-		AblationWalks(cfg), AblationWalkLevels(cfg),
-		AblationThreshold(cfg), AblationGreedyGap(cfg),
-		AblationGeneralization(cfg), AblationText(cfg), AblationIPvsILP(cfg),
+		AblationWalksContext(ctx, cfg), AblationWalkLevelsContext(ctx, cfg),
+		AblationThresholdContext(ctx, cfg), AblationGreedyGapContext(ctx, cfg),
+		AblationGeneralizationContext(ctx, cfg), AblationTextContext(ctx, cfg),
+		AblationIPvsILPContext(ctx, cfg),
 	}
 }
 
@@ -211,10 +245,17 @@ func Ablations(cfg Config) []Result {
 // drawn from the same preference model? Quantifies the paper's §VIII caveat
 // that a query log is only an approximate surrogate of user preferences.
 func AblationGeneralization(cfg Config) Result {
-	return ablationGeneralizationAt(cfg, []int{20, 50, 100, 200, 500, 1000, 2000})
+	return AblationGeneralizationContext(context.Background(), cfg)
 }
 
-func ablationGeneralizationAt(cfg Config, sizes []int) Result {
+// AblationGeneralizationContext is AblationGeneralization under a context.
+// The simulation sweep itself is not context-aware; cancellation is observed
+// between solver calls through the solver passed to sim.Sweep.
+func AblationGeneralizationContext(ctx context.Context, cfg Config) Result {
+	return ablationGeneralizationAt(ctx, cfg, []int{20, 50, 100, 200, 500, 1000, 2000})
+}
+
+func ablationGeneralizationAt(ctx context.Context, cfg Config, sizes []int) Result {
 	cfg = cfg.withDefaults()
 	tab := gen.Cars(cfg.Seed, cfg.CarsN)
 	model := sim.NewCarBuyerModel(tab)
@@ -225,6 +266,10 @@ func ablationGeneralizationAt(cfg Config, sizes []int) Result {
 		XLabel:  "training queries",
 		YLabel:  "visibility rate",
 		Columns: []string{"predicted (log)", "realized (future)", "naive first-5"},
+	}
+	if err := ctx.Err(); err != nil {
+		res.Notes = append(res.Notes, "interrupted before the sweep: "+err.Error())
+		return res
 	}
 	points, err := sim.Sweep(sim.Config{
 		TestQueries: 5000, M: 5, Seed: cfg.Seed + 7,
@@ -250,10 +295,15 @@ func ablationGeneralizationAt(cfg Config, sizes []int) Result {
 // quality (vs exact where exact is still tractable) as the ad's keyword
 // count grows.
 func AblationText(cfg Config) Result {
-	return ablationTextAt(cfg, []int{10, 15, 20, 40, 80, 160})
+	return AblationTextContext(context.Background(), cfg)
 }
 
-func ablationTextAt(cfg Config, adLens []int) Result {
+// AblationTextContext is AblationText under a context.
+func AblationTextContext(ctx context.Context, cfg Config) Result {
+	return ablationTextAt(ctx, cfg, []int{10, 15, 20, 40, 80, 160})
+}
+
+func ablationTextAt(ctx context.Context, cfg Config, adLens []int) Result {
 	cfg = cfg.withDefaults()
 	const vocab = 2000
 	const m = 5
@@ -274,7 +324,7 @@ func ablationTextAt(cfg Config, adLens []int) Result {
 		row := Row{X: fmt.Sprintf("%d", len(ad))}
 
 		start := time.Now()
-		_, gSat, err := text.SelectKeywords(core.ConsumeAttr{}, queries, ad, m)
+		_, gSat, err := text.SelectKeywordsContext(ctx, core.ConsumeAttr{}, queries, ad, m)
 		gTime := time.Since(start).Seconds()
 		if err != nil {
 			row.Values = []float64{Missing, Missing, Missing, Missing}
@@ -285,8 +335,8 @@ func ablationTextAt(cfg Config, adLens []int) Result {
 		eTime, eSat := Missing, Missing
 		if len(ad) <= 20 {
 			start = time.Now()
-			_, sat, err := text.SelectKeywords(
-				core.MaxFreqItemSets{Backend: core.BackendExactDFS}, queries, ad, m)
+			_, sat, err := text.SelectKeywordsContext(
+				ctx, core.MaxFreqItemSets{Backend: core.BackendExactDFS}, queries, ad, m)
 			if err == nil {
 				eTime = time.Since(start).Seconds()
 				eSat = float64(sat)
@@ -295,6 +345,7 @@ func ablationTextAt(cfg Config, adLens []int) Result {
 		row.Values = []float64{gTime, eTime, float64(gSat), eSat}
 		res.Rows = append(res.Rows, row)
 	}
+	noteInterrupted(ctx, &res)
 	return res
 }
 
@@ -305,10 +356,15 @@ func ablationTextAt(cfg Config, adLens []int) Result {
 // ablation measures by how much, and where the combinatorial IP bound
 // actually wins.
 func AblationIPvsILP(cfg Config) Result {
-	return ablationIPvsILPAt(cfg, []int{100, 250, 500, 1000})
+	return AblationIPvsILPContext(context.Background(), cfg)
 }
 
-func ablationIPvsILPAt(cfg Config, sizes []int) Result {
+// AblationIPvsILPContext is AblationIPvsILP under a context.
+func AblationIPvsILPContext(ctx context.Context, cfg Config) Result {
+	return ablationIPvsILPAt(ctx, cfg, []int{100, 250, 500, 1000})
+}
+
+func ablationIPvsILPAt(ctx context.Context, cfg Config, sizes []int) Result {
 	cfg = cfg.withDefaults()
 	ip := core.IP{}
 	ilp := core.ILP{Timeout: cfg.ILPTimeout}
@@ -324,7 +380,7 @@ func ablationIPvsILPAt(cfg Config, sizes []int) Result {
 		setup := carsSetup(cfg, true, size)
 		row := Row{X: fmt.Sprintf("%d", size)}
 		for _, s := range []core.Solver{ip, ilp} {
-			secs, _, ok := timeSolver(s, setup, m)
+			secs, _, ok := timeSolver(ctx, s, setup, m)
 			if !ok {
 				secs = Missing
 			}
@@ -332,5 +388,6 @@ func ablationIPvsILPAt(cfg Config, sizes []int) Result {
 		}
 		res.Rows = append(res.Rows, row)
 	}
+	noteInterrupted(ctx, &res)
 	return res
 }

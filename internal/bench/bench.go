@@ -10,6 +10,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"strings"
@@ -191,13 +192,15 @@ func carsSetup(cfg Config, synthetic bool, logSize int) workloadSetup {
 }
 
 // timeSolver measures the mean wall-clock seconds per tuple and the mean
-// satisfied-query count for a solver across the setup's tuples. A nil return
-// from run marks the measurement missing (timeout).
-func timeSolver(s core.Solver, setup workloadSetup, m int) (secs, quality float64, ok bool) {
+// satisfied-query count for a solver across the setup's tuples. Any error —
+// including ctx cancellation, which every solver surfaces promptly — marks
+// the measurement missing (timeout), so an interrupted figure finishes fast
+// with "-" cells instead of hanging.
+func timeSolver(ctx context.Context, s core.Solver, setup workloadSetup, m int) (secs, quality float64, ok bool) {
 	start := time.Now()
 	total := 0
 	for _, tuple := range setup.tuples {
-		sol, err := s.Solve(core.Instance{Log: setup.log, Tuple: tuple, M: m})
+		sol, err := s.SolveContext(ctx, core.Instance{Log: setup.log, Tuple: tuple, M: m})
 		if err != nil {
 			return 0, 0, false
 		}
@@ -205,6 +208,15 @@ func timeSolver(s core.Solver, setup workloadSetup, m int) (secs, quality float6
 	}
 	elapsed := time.Since(start).Seconds() / float64(len(setup.tuples))
 	return elapsed, float64(total) / float64(len(setup.tuples)), true
+}
+
+// noteInterrupted appends a note when the harness context expired mid-figure:
+// the remaining cells were reported missing without being measured.
+func noteInterrupted(ctx context.Context, res *Result) {
+	if err := ctx.Err(); err != nil {
+		res.Notes = append(res.Notes,
+			fmt.Sprintf("interrupted (%v): unmeasured cells reported as missing", err))
+	}
 }
 
 // paperSolvers returns the five §IV algorithms with the configured limits.
@@ -229,7 +241,10 @@ var mRange = []int{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
 // Fig6 reproduces "Execution times for SOC-CB-QL for varying m, for real
 // workload": all five algorithms, the 185-query real-workload surrogate,
 // averaged over the configured number of cars.
-func Fig6(cfg Config) Result {
+func Fig6(cfg Config) Result { return Fig6Context(context.Background(), cfg) }
+
+// Fig6Context is Fig6 under a context; see All for cancellation semantics.
+func Fig6Context(ctx context.Context, cfg Config) Result {
 	cfg = cfg.withDefaults()
 	setup := carsSetup(cfg, false, gen.RealWorkloadSize)
 	solvers := paperSolvers(cfg)
@@ -244,7 +259,7 @@ func Fig6(cfg Config) Result {
 	for _, m := range mRange {
 		row := Row{X: fmt.Sprintf("%d", m)}
 		for _, s := range solvers {
-			secs, _, ok := timeSolver(s, setup, m)
+			secs, _, ok := timeSolver(ctx, s, setup, m)
 			if !ok {
 				secs = Missing
 			}
@@ -262,7 +277,7 @@ func Fig6(cfg Config) Result {
 		n := 0
 		for _, m := range mRange {
 			for _, tuple := range setup.tuples {
-				if _, err := prep.SolvePrepared(tuple, m); err == nil {
+				if _, err := prep.SolvePreparedContext(ctx, tuple, m); err == nil {
 					n++
 				}
 			}
@@ -273,24 +288,31 @@ func Fig6(cfg Config) Result {
 				time.Since(start).Seconds()/float64(n)))
 		}
 	}
+	noteInterrupted(ctx, &res)
 	return res
 }
 
 // Fig7 reproduces "Satisfied queries for SOC-CB-QL for varying m, real
 // workload": the three greedy algorithms against the optimal count.
-func Fig7(cfg Config) Result {
+func Fig7(cfg Config) Result { return Fig7Context(context.Background(), cfg) }
+
+// Fig7Context is Fig7 under a context.
+func Fig7Context(ctx context.Context, cfg Config) Result {
 	cfg = cfg.withDefaults()
 	setup := carsSetup(cfg, false, gen.RealWorkloadSize)
-	return qualityFigure(cfg, setup, "Fig 7",
+	return qualityFigure(ctx, cfg, setup, "Fig 7",
 		"Satisfied queries for SOC-CB-QL for varying m, real workload")
 }
 
 // Fig8 reproduces "Execution times for varying m, synthetic workload of 2000
 // queries". The paper drops ILP here because it is too slow beyond 1000
 // queries; so does this run.
-func Fig8(cfg Config) Result { return fig8At(cfg, 2000) }
+func Fig8(cfg Config) Result { return Fig8Context(context.Background(), cfg) }
 
-func fig8At(cfg Config, logSize int) Result {
+// Fig8Context is Fig8 under a context.
+func Fig8Context(ctx context.Context, cfg Config) Result { return fig8At(ctx, cfg, 2000) }
+
+func fig8At(ctx context.Context, cfg Config, logSize int) Result {
 	cfg = cfg.withDefaults()
 	setup := carsSetup(cfg, true, logSize)
 	solvers := paperSolvers(cfg)[1:] // no ILP
@@ -306,7 +328,7 @@ func fig8At(cfg Config, logSize int) Result {
 	for _, m := range mRange {
 		row := Row{X: fmt.Sprintf("%d", m)}
 		for _, s := range solvers {
-			secs, _, ok := timeSolver(s, setup, m)
+			secs, _, ok := timeSolver(ctx, s, setup, m)
 			if !ok {
 				secs = Missing
 			}
@@ -314,22 +336,26 @@ func fig8At(cfg Config, logSize int) Result {
 		}
 		res.Rows = append(res.Rows, row)
 	}
+	noteInterrupted(ctx, &res)
 	return res
 }
 
 // Fig9 reproduces "Satisfied queries for varying m, synthetic workload of
 // 2000 queries".
-func Fig9(cfg Config) Result { return fig9At(cfg, 2000) }
+func Fig9(cfg Config) Result { return Fig9Context(context.Background(), cfg) }
 
-func fig9At(cfg Config, logSize int) Result {
+// Fig9Context is Fig9 under a context.
+func Fig9Context(ctx context.Context, cfg Config) Result { return fig9At(ctx, cfg, 2000) }
+
+func fig9At(ctx context.Context, cfg Config, logSize int) Result {
 	cfg = cfg.withDefaults()
 	setup := carsSetup(cfg, true, logSize)
-	return qualityFigure(cfg, setup, "Fig 9",
+	return qualityFigure(ctx, cfg, setup, "Fig 9",
 		fmt.Sprintf("Satisfied queries for SOC-CB-QL for varying m, synthetic workload (%d queries)", logSize))
 }
 
 // qualityFigure measures optimal and greedy satisfied-query counts per m.
-func qualityFigure(cfg Config, setup workloadSetup, name, title string) Result {
+func qualityFigure(ctx context.Context, cfg Config, setup workloadSetup, name, title string) Result {
 	optimal := core.MaxFreqItemSets{Backend: core.BackendTwoPhaseWalk, Seed: cfg.Seed}
 	greedy := []core.Solver{core.ConsumeAttr{}, core.ConsumeAttrCumul{}, core.ConsumeQueries{}}
 	res := Result{
@@ -342,13 +368,13 @@ func qualityFigure(cfg Config, setup workloadSetup, name, title string) Result {
 	}
 	for _, m := range mRange {
 		row := Row{X: fmt.Sprintf("%d", m)}
-		_, q, ok := timeSolver(optimal, setup, m)
+		_, q, ok := timeSolver(ctx, optimal, setup, m)
 		if !ok {
 			q = Missing
 		}
 		row.Values = append(row.Values, q)
 		for _, s := range greedy {
-			_, q, ok := timeSolver(s, setup, m)
+			_, q, ok := timeSolver(ctx, s, setup, m)
 			if !ok {
 				q = Missing
 			}
@@ -356,6 +382,7 @@ func qualityFigure(cfg Config, setup workloadSetup, name, title string) Result {
 		}
 		res.Rows = append(res.Rows, row)
 	}
+	noteInterrupted(ctx, &res)
 	return res
 }
 
@@ -367,9 +394,12 @@ var fig10Sizes = []int{250, 500, 1000, 2000, 4000}
 const fig10ILPCap = 1000
 
 // Fig10 reproduces "Execution times for varying query log size, m = 5".
-func Fig10(cfg Config) Result { return fig10At(cfg, fig10Sizes) }
+func Fig10(cfg Config) Result { return Fig10Context(context.Background(), cfg) }
 
-func fig10At(cfg Config, sizes []int) Result {
+// Fig10Context is Fig10 under a context.
+func Fig10Context(ctx context.Context, cfg Config) Result { return fig10At(ctx, cfg, fig10Sizes) }
+
+func fig10At(ctx context.Context, cfg Config, sizes []int) Result {
 	cfg = cfg.withDefaults()
 	solvers := paperSolvers(cfg)
 	res := Result{
@@ -390,7 +420,7 @@ func fig10At(cfg Config, sizes []int) Result {
 				row.Values = append(row.Values, Missing)
 				continue
 			}
-			secs, _, ok := timeSolver(s, setup, m)
+			secs, _, ok := timeSolver(ctx, s, setup, m)
 			if !ok {
 				secs = Missing
 			}
@@ -398,6 +428,7 @@ func fig10At(cfg Config, sizes []int) Result {
 		}
 		res.Rows = append(res.Rows, row)
 	}
+	noteInterrupted(ctx, &res)
 	return res
 }
 
@@ -406,9 +437,14 @@ var fig11Widths = []int{16, 24, 32, 40, 48, 64}
 
 // Fig11 reproduces "Execution times for varying M, synthetic workload of 200
 // queries, m = 5": the two optimal algorithms only.
-func Fig11(cfg Config) Result { return fig11At(cfg, fig11Widths, 200) }
+func Fig11(cfg Config) Result { return Fig11Context(context.Background(), cfg) }
 
-func fig11At(cfg Config, widths []int, logSize int) Result {
+// Fig11Context is Fig11 under a context.
+func Fig11Context(ctx context.Context, cfg Config) Result {
+	return fig11At(ctx, cfg, fig11Widths, 200)
+}
+
+func fig11At(ctx context.Context, cfg Config, widths []int, logSize int) Result {
 	cfg = cfg.withDefaults()
 	ilpSolver := core.ILP{Timeout: cfg.ILPTimeout}
 	mfiSolver := core.MaxFreqItemSets{Backend: core.BackendTwoPhaseWalk, Seed: cfg.Seed}
@@ -429,7 +465,7 @@ func fig11At(cfg Config, widths []int, logSize int) Result {
 		setup := workloadSetup{log: log, tuples: tuples}
 		row := Row{X: fmt.Sprintf("%d", width)}
 		for _, s := range []core.Solver{ilpSolver, mfiSolver} {
-			secs, _, ok := timeSolver(s, setup, m)
+			secs, _, ok := timeSolver(ctx, s, setup, m)
 			if !ok {
 				secs = Missing
 			}
@@ -437,10 +473,21 @@ func fig11At(cfg Config, widths []int, logSize int) Result {
 		}
 		res.Rows = append(res.Rows, row)
 	}
+	noteInterrupted(ctx, &res)
 	return res
 }
 
 // All runs every figure in order.
-func All(cfg Config) []Result {
-	return []Result{Fig6(cfg), Fig7(cfg), Fig8(cfg), Fig9(cfg), Fig10(cfg), Fig11(cfg)}
+func All(cfg Config) []Result { return AllContext(context.Background(), cfg) }
+
+// AllContext runs every figure in order under a context. When ctx is
+// cancelled or expires mid-run, each remaining measurement fails fast (the
+// solvers surface the cancellation promptly), so the slice still contains one
+// Result per figure — interrupted ones carry missing cells and an
+// "interrupted" note instead of blocking.
+func AllContext(ctx context.Context, cfg Config) []Result {
+	return []Result{
+		Fig6Context(ctx, cfg), Fig7Context(ctx, cfg), Fig8Context(ctx, cfg),
+		Fig9Context(ctx, cfg), Fig10Context(ctx, cfg), Fig11Context(ctx, cfg),
+	}
 }

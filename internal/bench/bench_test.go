@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"math"
 	"strings"
 	"testing"
@@ -108,24 +109,24 @@ func TestFig7Small(t *testing.T) {
 
 func TestFig8And9Small(t *testing.T) {
 	cfg := tiny()
-	r8 := fig8At(cfg, 120)
+	r8 := fig8At(context.Background(), cfg, 120)
 	checkResult(t, r8, len(mRange))
 	for _, c := range r8.Columns {
 		if c == "ILP" {
 			t.Error("Fig 8 must not include ILP")
 		}
 	}
-	r9 := fig9At(cfg, 120)
+	r9 := fig9At(context.Background(), cfg, 120)
 	checkResult(t, r9, len(mRange))
 }
 
 func TestFig10Small(t *testing.T) {
-	r := fig10At(tiny(), []int{60, 120})
+	r := fig10At(context.Background(), tiny(), []int{60, 120})
 	checkResult(t, r, 2)
 }
 
 func TestFig10ILPCapProducesMissing(t *testing.T) {
-	r := fig10At(tiny(), []int{fig10ILPCap + 1})
+	r := fig10At(context.Background(), tiny(), []int{fig10ILPCap + 1})
 	if !math.IsNaN(r.Rows[0].Values[0]) {
 		t.Errorf("ILP above cap should be missing, got %v", r.Rows[0].Values[0])
 	}
@@ -137,7 +138,7 @@ func TestFig10ILPCapProducesMissing(t *testing.T) {
 }
 
 func TestFig11Small(t *testing.T) {
-	r := fig11At(tiny(), []int{8, 12}, 40)
+	r := fig11At(context.Background(), tiny(), []int{8, 12}, 40)
 	checkResult(t, r, 2)
 	if len(r.Columns) != 2 {
 		t.Fatalf("columns=%v", r.Columns)
@@ -146,7 +147,7 @@ func TestFig11Small(t *testing.T) {
 
 func TestAblationsSmall(t *testing.T) {
 	cfg := tiny()
-	a1 := ablationWalksAt(cfg, []int{60, 120})
+	a1 := ablationWalksAt(context.Background(), cfg, []int{60, 120})
 	checkResult(t, a1, 2)
 	a3 := AblationThreshold(cfg)
 	checkResult(t, a3, 5)
@@ -163,7 +164,7 @@ func TestAblationsSmall(t *testing.T) {
 
 func TestAblationWalkLevelsSmall(t *testing.T) {
 	cfg := tiny()
-	a2 := ablationWalkLevelsAt(cfg, []int{60, 120})
+	a2 := ablationWalkLevelsAt(context.Background(), cfg, []int{60, 120})
 	checkResult(t, a2, 2)
 	for _, row := range a2.Rows {
 		if row.Values[2] < 1 || row.Values[3] < 1 {
@@ -173,7 +174,7 @@ func TestAblationWalkLevelsSmall(t *testing.T) {
 }
 
 func TestAblationGeneralizationSmall(t *testing.T) {
-	a5 := ablationGeneralizationAt(tiny(), []int{30, 300})
+	a5 := ablationGeneralizationAt(context.Background(), tiny(), []int{30, 300})
 	checkResult(t, a5, 2)
 	for _, row := range a5.Rows {
 		for j, v := range row.Values {
@@ -198,7 +199,7 @@ func absf(x float64) float64 {
 }
 
 func TestAblationTextSmall(t *testing.T) {
-	a6 := ablationTextAt(tiny(), []int{8, 12})
+	a6 := ablationTextAt(context.Background(), tiny(), []int{8, 12})
 	checkResult(t, a6, 2)
 	for _, row := range a6.Rows {
 		greedySat, exactSat := row.Values[2], row.Values[3]
@@ -209,7 +210,7 @@ func TestAblationTextSmall(t *testing.T) {
 }
 
 func TestAblationIPvsILPSmall(t *testing.T) {
-	a7 := ablationIPvsILPAt(tiny(), []int{40, 80})
+	a7 := ablationIPvsILPAt(context.Background(), tiny(), []int{40, 80})
 	checkResult(t, a7, 2)
 	for _, row := range a7.Rows {
 		for j, v := range row.Values {

@@ -20,6 +20,13 @@ const wordBits = 64
 // width 0; use New or FromIndices to construct vectors of a given width.
 // Vectors of different widths are never equal and must not be combined with
 // the binary operations.
+//
+// Vector is a value type with reference semantics for its bits: copying a
+// Vector (assignment, passing by value, storing in a slice) shares the
+// underlying word storage, so an in-place mutation (Set, Clear) through
+// either copy is visible through both. Use Clone before mutating when the
+// original must stay intact. The pure operations (And, Or, AndNot, Not)
+// allocate a fresh vector and never alias their operands.
 type Vector struct {
 	width int
 	words []uint64

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -9,15 +10,51 @@ import (
 	"standout/internal/dataset"
 )
 
+// BatchError records which tuple of a batch failed and why. It is the error
+// type SolveBatchContext aggregates per tuple and returns as the batch-level
+// error; errors.Is/As unwrap to the solver's underlying error.
+type BatchError struct {
+	Index int // index into the tuples slice
+	Err   error
+}
+
+func (e *BatchError) Error() string {
+	return fmt.Sprintf("core: batch tuple %d: %v", e.Index, e.Err)
+}
+
+func (e *BatchError) Unwrap() error { return e.Err }
+
 // SolveBatch solves the same (log, m) problem for many tuples concurrently —
 // the marketplace regime the paper's preprocessing discussion targets, where
 // one workload is shared by a stream of new listings. Results align with
 // tuples by index. workers ≤ 0 selects GOMAXPROCS. The first error cancels
-// the batch.
+// the batch: dispatch stops, in-flight solves are interrupted through their
+// context, and the error is returned.
 //
 // Every Solver in this package is safe for concurrent use by value; to share
 // MaxFreqItemSets preprocessing across the batch, pass a PreparedSolver.
 func SolveBatch(s Solver, log *dataset.QueryLog, tuples []bitvec.Vector, m, workers int) ([]Solution, error) {
+	out, _, err := SolveBatchContext(context.Background(), s, log, tuples, m, workers)
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// SolveBatchContext is SolveBatch under a context, with partial-result
+// reporting. Solutions and per-tuple errors align with tuples by index:
+// errs[i] carries tuple i's failure (including a cancellation that landed
+// mid-solve), and a tuple that was never attempted has a zero Solution and a
+// nil error.
+//
+// Cancellation is prompt in both directions. When ctx is done, the producer
+// stops handing out work, every in-flight solve is interrupted through the
+// context it was given, and the external ctx error is returned. When a solve
+// fails, the failure cancels an internal context with the same effect and the
+// batch error — a *BatchError identifying the first failing tuple observed —
+// is returned. Either way at most the already-dispatched tuples (bounded by
+// the number of workers) run to completion; everything else is skipped.
+func SolveBatchContext(ctx context.Context, s Solver, log *dataset.QueryLog, tuples []bitvec.Vector, m, workers int) ([]Solution, []error, error) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -25,9 +62,13 @@ func SolveBatch(s Solver, log *dataset.QueryLog, tuples []bitvec.Vector, m, work
 		workers = len(tuples)
 	}
 	out := make([]Solution, len(tuples))
+	errs := make([]error, len(tuples))
 	if len(tuples) == 0 {
-		return out, nil
+		return out, errs, ctx.Err()
 	}
+
+	bctx, cancel := context.WithCancel(ctx)
+	defer cancel()
 
 	var (
 		wg       sync.WaitGroup
@@ -35,29 +76,50 @@ func SolveBatch(s Solver, log *dataset.QueryLog, tuples []bitvec.Vector, m, work
 		firstErr error
 		next     = make(chan int)
 	)
+	fail := func(i int, err error) {
+		errs[i] = err
+		errOnce.Do(func() {
+			firstErr = &BatchError{Index: i, Err: err}
+			cancel() // first failure stops the producer and in-flight solves
+		})
+	}
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for i := range next {
-				sol, err := s.Solve(Instance{Log: log, Tuple: tuples[i], M: m})
+				// Between dequeue and solve the batch may have been cancelled;
+				// skip rather than start work that is doomed to be interrupted.
+				if bctx.Err() != nil {
+					continue
+				}
+				sol, err := s.SolveContext(bctx, Instance{Log: log, Tuple: tuples[i], M: m})
 				if err != nil {
-					errOnce.Do(func() { firstErr = fmt.Errorf("core: batch tuple %d: %w", i, err) })
+					fail(i, err)
 					continue
 				}
 				out[i] = sol
 			}
 		}()
 	}
+	// The producer competes sends against cancellation so it can never block
+	// on workers that have stopped receiving.
+producer:
 	for i := range tuples {
-		next <- i
+		select {
+		case next <- i:
+		case <-bctx.Done():
+			break producer
+		}
 	}
 	close(next)
 	wg.Wait()
-	if firstErr != nil {
-		return nil, firstErr
+
+	// The external context outranks any per-tuple failure it caused.
+	if err := ctx.Err(); err != nil {
+		return out, errs, err
 	}
-	return out, nil
+	return out, errs, firstErr
 }
 
 // PreparedSolver adapts MaxFreqItemSets preprocessing state to the Solver
@@ -72,11 +134,16 @@ func (p PreparedSolver) Name() string { return "MaxFreqItemSets-SOC-CB-QL (prepa
 
 // Solve implements Solver.
 func (p PreparedSolver) Solve(in Instance) (Solution, error) {
+	return p.SolveContext(context.Background(), in)
+}
+
+// SolveContext implements Solver, delegating to Prep.SolvePreparedContext.
+func (p PreparedSolver) SolveContext(ctx context.Context, in Instance) (Solution, error) {
 	if p.Prep == nil {
 		return Solution{}, fmt.Errorf("core: PreparedSolver with nil Prep")
 	}
 	if in.Log != p.Prep.log {
 		return Solution{}, fmt.Errorf("core: PreparedSolver used with a different query log")
 	}
-	return p.Prep.SolvePrepared(in.Tuple, in.M)
+	return p.Prep.SolvePreparedContext(ctx, in.Tuple, in.M)
 }

@@ -1,0 +1,157 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+
+	"standout/internal/gen"
+)
+
+// countingSolver wraps a Solver and counts SolveContext invocations, for
+// asserting how much work a cancelled batch actually performed.
+type countingSolver struct {
+	inner Solver
+	n     *atomic.Int64
+}
+
+func (c countingSolver) Name() string { return "counting" }
+
+func (c countingSolver) Solve(in Instance) (Solution, error) {
+	return c.SolveContext(context.Background(), in)
+}
+
+func (c countingSolver) SolveContext(ctx context.Context, in Instance) (Solution, error) {
+	c.n.Add(1)
+	return c.inner.SolveContext(ctx, in)
+}
+
+// failingAt fails for one specific tuple (matched by pointer-free index
+// lookup: the tuple value itself) and succeeds otherwise.
+type failingAt struct {
+	bad Instance
+}
+
+func (f failingAt) Name() string { return "failing-at" }
+
+func (f failingAt) Solve(in Instance) (Solution, error) {
+	return f.SolveContext(context.Background(), in)
+}
+
+func (f failingAt) SolveContext(ctx context.Context, in Instance) (Solution, error) {
+	if in.Tuple.Equal(f.bad.Tuple) {
+		return Solution{}, errSentinel
+	}
+	return ConsumeAttr{}.SolveContext(ctx, in)
+}
+
+// TestSolveBatchStopsDispatchingOnFirstError is the regression test for the
+// contract bug: a 1000-tuple batch whose very first solves fail must not
+// dispatch the remaining work. The counting wrapper proves the number of
+// attempted solves stays bounded by the worker count, not the batch size.
+func TestSolveBatchStopsDispatchingOnFirstError(t *testing.T) {
+	tab := gen.Cars(1, 1000)
+	log := gen.RealWorkload(tab, 2, 20)
+	tuples := tab.Rows
+	if len(tuples) != 1000 {
+		t.Fatalf("want 1000 tuples, have %d", len(tuples))
+	}
+	const workers = 8
+	var n atomic.Int64
+	s := countingSolver{inner: failingSolver{}, n: &n}
+
+	_, err := SolveBatch(s, log, tuples, 2, workers)
+	if !errors.Is(err, errSentinel) {
+		t.Fatalf("err=%v, want wrapped sentinel", err)
+	}
+	var be *BatchError
+	if !errors.As(err, &be) {
+		t.Fatalf("err=%T, want *BatchError", err)
+	}
+	solves := n.Load()
+	if solves >= int64(len(tuples)) {
+		t.Fatalf("batch attempted %d solves of %d after first error", solves, len(tuples))
+	}
+	// Every worker may have had one tuple in flight plus one dequeued before
+	// observing cancellation; anything near the batch size means the producer
+	// kept dispatching.
+	if solves > 4*workers {
+		t.Fatalf("batch attempted %d solves, want ≤ %d (≈ workers)", solves, 4*workers)
+	}
+}
+
+// TestSolveBatchContextExternalCancel: a pre-cancelled context performs no
+// solves at all and reports the context's own error.
+func TestSolveBatchContextExternalCancel(t *testing.T) {
+	tab := gen.Cars(1, 50)
+	log := gen.RealWorkload(tab, 2, 10)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var n atomic.Int64
+	s := countingSolver{inner: ConsumeAttr{}, n: &n}
+	_, _, err := SolveBatchContext(ctx, s, log, tab.Rows, 2, 4)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err=%v, want context.Canceled", err)
+	}
+	if got := n.Load(); got != 0 {
+		t.Fatalf("cancelled batch still ran %d solves", got)
+	}
+}
+
+// TestSolveBatchContextPartialResults: with one worker and a failure planted
+// mid-batch, everything before the failure is returned solved, the failing
+// index carries its error, and everything after is untouched.
+func TestSolveBatchContextPartialResults(t *testing.T) {
+	tab := gen.Cars(1, 50)
+	log := gen.RealWorkload(tab, 2, 10)
+	tuples := tab.Rows[:20]
+	const failIdx = 10
+	s := failingAt{bad: Instance{Tuple: tuples[failIdx]}}
+
+	out, errs, err := SolveBatchContext(context.Background(), s, log, tuples, 2, 1)
+	var be *BatchError
+	if !errors.As(err, &be) || be.Index != failIdx {
+		t.Fatalf("err=%v, want *BatchError at index %d", err, failIdx)
+	}
+	if !errors.Is(err, errSentinel) {
+		t.Fatalf("err=%v does not unwrap to the sentinel", err)
+	}
+	for i := 0; i < failIdx; i++ {
+		if errs[i] != nil || out[i].Kept.Width() == 0 {
+			t.Fatalf("tuple %d before the failure: errs=%v out=%+v", i, errs[i], out[i])
+		}
+	}
+	if !errors.Is(errs[failIdx], errSentinel) {
+		t.Fatalf("errs[%d]=%v, want sentinel", failIdx, errs[failIdx])
+	}
+	for i := failIdx + 1; i < len(tuples); i++ {
+		if errs[i] != nil || out[i].Kept.Width() != 0 {
+			t.Fatalf("tuple %d after the failure was attempted: errs=%v out=%+v", i, errs[i], out[i])
+		}
+	}
+}
+
+// TestSolveBatchContextBackgroundMatchesSolveBatch: the context variant with
+// a background context returns the same solutions as the legacy API.
+func TestSolveBatchContextBackgroundMatchesSolveBatch(t *testing.T) {
+	tab := gen.Cars(1, 100)
+	log := gen.RealWorkload(tab, 2, 30)
+	tuples := tab.Rows[:15]
+	want, err := SolveBatch(ConsumeAttrCumul{}, log, tuples, 3, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, errs, err := SolveBatchContext(context.Background(), ConsumeAttrCumul{}, log, tuples, 3, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range tuples {
+		if errs[i] != nil {
+			t.Fatalf("tuple %d: unexpected error %v", i, errs[i])
+		}
+		if got[i].Satisfied != want[i].Satisfied || !got[i].Kept.Equal(want[i].Kept) {
+			t.Fatalf("tuple %d: %+v vs %+v", i, got[i], want[i])
+		}
+	}
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"math/rand"
 	"testing"
@@ -131,6 +132,9 @@ type failingSolver struct{}
 
 func (failingSolver) Name() string                     { return "failing" }
 func (failingSolver) Solve(Instance) (Solution, error) { return Solution{}, errSentinel }
+func (failingSolver) SolveContext(context.Context, Instance) (Solution, error) {
+	return Solution{}, errSentinel
+}
 
 func TestSolveBatchFirstErrorWrapped(t *testing.T) {
 	tab := gen.Cars(1, 20)

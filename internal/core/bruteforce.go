@@ -1,5 +1,10 @@
 package core
 
+import (
+	"context"
+	"fmt"
+)
+
 // BruteForce is the optimal baseline of §IV.A: it enumerates every
 // combination of m attributes of the new tuple and keeps the best. Its cost
 // is C(|t|, m) query-log scans, which is only viable for small tuples; it is
@@ -10,7 +15,17 @@ type BruteForce struct{}
 func (BruteForce) Name() string { return "BruteForce-SOC-CB-QL" }
 
 // Solve implements Solver.
-func (BruteForce) Solve(in Instance) (Solution, error) {
+func (b BruteForce) Solve(in Instance) (Solution, error) {
+	return b.SolveContext(context.Background(), in)
+}
+
+// SolveContext implements Solver. The combination enumeration polls ctx every
+// pollMask+1 evaluated candidates, so cancellation latency is bounded by 64
+// log scans regardless of how large C(|t|, m) is.
+func (BruteForce) SolveContext(ctx context.Context, in Instance) (Solution, error) {
+	if err := ctx.Err(); err != nil {
+		return Solution{}, fmt.Errorf("core: brute force: %w", err)
+	}
 	n, err := normalize(in)
 	if err != nil {
 		return Solution{}, err
@@ -24,11 +39,20 @@ func (BruteForce) Solve(in Instance) (Solution, error) {
 	comb := make([]int, n.m)
 	attrs := make([]int, n.m)
 	candidates := 0
+	var ctxErr error
 
 	// Enumerate m-combinations of n.ones in lexicographic order.
 	var rec func(start, depth int)
 	rec = func(start, depth int) {
+		if ctxErr != nil {
+			return
+		}
 		if depth == n.m {
+			if candidates&pollMask == 0 {
+				if ctxErr = pollCtx(ctx); ctxErr != nil {
+					return
+				}
+			}
 			for i, idx := range comb {
 				attrs[i] = n.ones[idx]
 			}
@@ -48,6 +72,9 @@ func (BruteForce) Solve(in Instance) (Solution, error) {
 		}
 	}
 	rec(0, 0)
+	if ctxErr != nil {
+		return Solution{}, fmt.Errorf("core: brute force: %w", ctxErr)
+	}
 
 	if first { // m == 0: the empty compression is the only candidate
 		kept := n.keep(nil)

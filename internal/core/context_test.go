@@ -1,0 +1,186 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"reflect"
+	"testing"
+	"time"
+
+	"standout/internal/bitvec"
+	"standout/internal/dataset"
+)
+
+// contextSolvers is every solver of the package, including the ones the
+// shared helpers leave out (IP; PreparedSolver is covered separately because
+// it needs per-log preprocessing).
+func contextSolvers() map[string]Solver {
+	out := allSolvers()
+	out["IP"] = IP{}
+	return out
+}
+
+// TestSolveContextBackgroundIdentical: with a background context SolveContext
+// must return exactly what Solve returns — same compression, same count, same
+// stats — for every solver on random instances.
+func TestSolveContextBackgroundIdentical(t *testing.T) {
+	r := rand.New(rand.NewSource(901))
+	for trial := 0; trial < 25; trial++ {
+		in := randomInstance(r)
+		for name, s := range contextSolvers() {
+			plain, err1 := s.Solve(in)
+			ctxed, err2 := s.SolveContext(context.Background(), in)
+			if (err1 == nil) != (err2 == nil) {
+				t.Fatalf("trial %d %s: Solve err=%v, SolveContext err=%v", trial, name, err1, err2)
+			}
+			if !reflect.DeepEqual(plain, ctxed) {
+				t.Fatalf("trial %d %s: Solve=%+v, SolveContext=%+v", trial, name, plain, ctxed)
+			}
+		}
+	}
+}
+
+// TestSolveContextPreCancelled: a context cancelled before the call must make
+// every solver return context.Canceled immediately — no panic, no work, no
+// partial solution.
+func TestSolveContextPreCancelled(t *testing.T) {
+	r := rand.New(rand.NewSource(902))
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for trial := 0; trial < 10; trial++ {
+		in := randomInstance(r)
+		for name, s := range contextSolvers() {
+			sol, err := s.SolveContext(ctx, in)
+			if !errors.Is(err, context.Canceled) {
+				t.Fatalf("trial %d %s: err=%v, want context.Canceled", trial, name, err)
+			}
+			if sol.Kept.Width() != 0 || sol.Satisfied != 0 {
+				t.Fatalf("trial %d %s: non-zero solution %+v alongside cancellation", trial, name, sol)
+			}
+		}
+	}
+}
+
+// TestPreparedSolveContext covers the Prep path: background identical to
+// SolvePrepared, pre-cancelled returns context.Canceled and leaves the
+// mining cache empty so a later solve is not poisoned.
+func TestPreparedSolveContext(t *testing.T) {
+	r := rand.New(rand.NewSource(903))
+	in := randomInstance(r)
+	mfi := MaxFreqItemSets{Backend: BackendExactDFS}
+
+	prep, err := mfi.Preprocess(in.Log)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cancelled, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := prep.SolvePreparedContext(cancelled, in.Tuple, in.M); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err=%v, want context.Canceled", err)
+	}
+	if len(prep.perThr) != 0 {
+		t.Fatalf("cancelled solve cached %d thresholds", len(prep.perThr))
+	}
+
+	want, err := prep.SolvePrepared(in.Tuple, in.M)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := prep.SolvePreparedContext(context.Background(), in.Tuple, in.M)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(want, got) {
+		t.Fatalf("SolvePrepared=%+v, SolvePreparedContext=%+v", want, got)
+	}
+}
+
+// adversarialInstance is the acceptance-criteria stress case: a width-40
+// tuple with every attribute present against a 50,000-query log (300
+// distinct patterns of 2–4 attributes, duplicated), m = 12. Without a
+// deadline every exact solver churns on it for far longer than the test
+// deadline: brute force faces C(40,12) ≈ 5.6e9 candidates, the IP/ILP
+// branch-and-bounds search a 40-deep tree, and MFI mines a dense 40-wide
+// complement lattice.
+func adversarialInstance(t testing.TB) Instance {
+	t.Helper()
+	const (
+		width    = 40
+		distinct = 300
+		total    = 50000
+	)
+	r := rand.New(rand.NewSource(904))
+	patterns := make([]bitvec.Vector, distinct)
+	for i := range patterns {
+		q := bitvec.New(width)
+		k := 2 + r.Intn(3)
+		for q.Count() < k {
+			q.Set(r.Intn(width))
+		}
+		patterns[i] = q
+	}
+	log := dataset.NewQueryLog(dataset.GenericSchema(width))
+	for i := 0; i < total; i++ {
+		log.Queries = append(log.Queries, patterns[i%distinct])
+	}
+	return Instance{Log: log, Tuple: bitvec.New(width).Not(), M: 12}
+}
+
+// TestDeadlineHonoredOnAdversarialInstance: every exact solver given 100ms on
+// the adversarial instance must come back with context.DeadlineExceeded
+// within deadlineSlack× the deadline (2× normally — the acceptance bound;
+// polling granularity and instance setup are the only slack — wider under
+// the race detector, see race_on_test.go).
+func TestDeadlineHonoredOnAdversarialInstance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("50k-query stress instance")
+	}
+	in := adversarialInstance(t)
+	const deadline = 100 * time.Millisecond
+	solvers := map[string]Solver{
+		"BruteForce": BruteForce{},
+		"IP":         IP{},
+		"ILP":        ILP{},
+		"MFI-dfs":    MaxFreqItemSets{Backend: BackendExactDFS},
+	}
+	for name, s := range solvers {
+		t.Run(name, func(t *testing.T) {
+			ctx, cancel := context.WithTimeout(context.Background(), deadline)
+			defer cancel()
+			start := time.Now()
+			_, err := s.SolveContext(ctx, in)
+			elapsed := time.Since(start)
+			if !errors.Is(err, context.DeadlineExceeded) {
+				t.Fatalf("err=%v after %v, want context.DeadlineExceeded", err, elapsed)
+			}
+			if elapsed > deadlineSlack*deadline {
+				t.Fatalf("returned after %v, want ≤ %v", elapsed, deadlineSlack*deadline)
+			}
+		})
+	}
+}
+
+// TestILPInternalTimeoutKeepsIncumbent: the ILP solver's own Timeout field
+// preserves the documented anytime contract — incumbent with Optimal=false
+// and nil error — while an external context deadline is always an error.
+func TestILPInternalTimeoutKeepsIncumbent(t *testing.T) {
+	if testing.Short() {
+		t.Skip("50k-query stress instance")
+	}
+	in := adversarialInstance(t)
+	sol, err := ILP{Timeout: 100 * time.Millisecond}.Solve(in)
+	if err != nil {
+		// No incumbent in time: the error must at least be typed.
+		if !errors.Is(err, context.DeadlineExceeded) {
+			t.Fatalf("err=%v, want nil or context.DeadlineExceeded", err)
+		}
+		return
+	}
+	if sol.Optimal {
+		t.Fatal("timeout-limited solve claims optimality")
+	}
+	if sol.Kept.Count() > in.M {
+		t.Fatalf("incumbent keeps %d > m=%d attributes", sol.Kept.Count(), in.M)
+	}
+}

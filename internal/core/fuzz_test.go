@@ -1,7 +1,10 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"math/rand"
+	"reflect"
 	"testing"
 
 	"standout/internal/bitvec"
@@ -45,6 +48,8 @@ func FuzzExactSolversAgree(f *testing.F) {
 		if err != nil {
 			t.Fatal(err)
 		}
+		done, cancel := context.WithCancel(context.Background())
+		cancel()
 		for _, s := range []Solver{
 			ILP{},
 			MaxFreqItemSets{Backend: BackendExactDFS},
@@ -60,6 +65,17 @@ func FuzzExactSolversAgree(f *testing.F) {
 			}
 			if !sol.Kept.SubsetOf(tuple) || sol.Kept.Count() > budget {
 				t.Fatalf("%s: invalid solution", s.Name())
+			}
+			// Context contract, on the same fuzzed instance: a background
+			// context changes nothing, a cancelled one returns its error
+			// without panicking or producing a solution.
+			ctxSol, err := s.SolveContext(context.Background(), in)
+			if err != nil || !reflect.DeepEqual(sol, ctxSol) {
+				t.Fatalf("%s: SolveContext(background)=%+v/%v diverges from Solve=%+v",
+					s.Name(), ctxSol, err, sol)
+			}
+			if _, err := s.SolveContext(done, in); !errors.Is(err, context.Canceled) {
+				t.Fatalf("%s: cancelled SolveContext err=%v, want context.Canceled", s.Name(), err)
 			}
 		}
 	})

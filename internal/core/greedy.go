@@ -1,6 +1,9 @@
 package core
 
 import (
+	"context"
+	"fmt"
+	"math/bits"
 	"sort"
 
 	"standout/internal/bitvec"
@@ -19,7 +22,17 @@ type ConsumeAttr struct{}
 func (ConsumeAttr) Name() string { return "ConsumeAttr-SOC-CB-QL" }
 
 // Solve implements Solver.
-func (ConsumeAttr) Solve(in Instance) (Solution, error) {
+func (s ConsumeAttr) Solve(in Instance) (Solution, error) {
+	return s.SolveContext(context.Background(), in)
+}
+
+// SolveContext implements Solver. ConsumeAttr does a constant number of
+// linear passes over the log, so a single up-front cancellation check is the
+// only one needed.
+func (ConsumeAttr) SolveContext(ctx context.Context, in Instance) (Solution, error) {
+	if err := ctx.Err(); err != nil {
+		return Solution{}, fmt.Errorf("core: consume-attr: %w", err)
+	}
 	n, err := normalize(in)
 	if err != nil {
 		return Solution{}, err
@@ -51,13 +64,30 @@ func topByFreq(candidates []int, freq []int, k int) []int {
 // of log queries containing all selected attributes plus the candidate).
 // When no remaining attribute co-occurs with the current selection, the
 // remaining slots fall back to individual frequency order.
+//
+// The co-occurrence counts are maintained incrementally: one vertical bitmap
+// per candidate attribute (the set of queries containing it) plus a running
+// bitmap of the queries satisfied by the current selection. Scoring a
+// candidate is then one AND-popcount over ⌈S/64⌉ words instead of cloning the
+// selection and rescanning every query, taking a step from O(m·|t|·S)
+// attribute-word operations with an allocation per candidate to
+// O(m·|t|·S/64) with none.
 type ConsumeAttrCumul struct{}
 
 // Name implements Solver.
 func (ConsumeAttrCumul) Name() string { return "ConsumeAttrCumul-SOC-CB-QL" }
 
 // Solve implements Solver.
-func (ConsumeAttrCumul) Solve(in Instance) (Solution, error) {
+func (s ConsumeAttrCumul) Solve(in Instance) (Solution, error) {
+	return s.SolveContext(context.Background(), in)
+}
+
+// SolveContext implements Solver. Cancellation is polled once per selection
+// step; a step costs at most |t| AND-popcount passes over the query rowset.
+func (ConsumeAttrCumul) SolveContext(ctx context.Context, in Instance) (Solution, error) {
+	if err := ctx.Err(); err != nil {
+		return Solution{}, fmt.Errorf("core: consume-attr-cumul: %w", err)
+	}
 	n, err := normalize(in)
 	if err != nil {
 		return Solution{}, err
@@ -67,7 +97,37 @@ func (ConsumeAttrCumul) Solve(in Instance) (Solution, error) {
 	}
 	freq := in.Log.AttrFrequencies()
 
-	selected := bitvec.New(in.Tuple.Width())
+	// Vertical bitmaps over the full log: cols[i] marks the queries that
+	// contain candidate attribute n.ones[i] (§IV.D scores co-occurrence
+	// against the whole log, like the individual frequencies).
+	nq := len(in.Log.Queries)
+	words := (nq + 63) / 64
+	cols := make([][]uint64, len(n.ones))
+	colOf := make(map[int]int, len(n.ones)) // attribute index → cols row
+	backing := make([]uint64, len(n.ones)*words)
+	for i, j := range n.ones {
+		cols[i] = backing[i*words : (i+1)*words]
+		colOf[j] = i
+	}
+	for qi, q := range in.Log.Queries {
+		for _, j := range q.Ones() {
+			if i, ok := colOf[j]; ok {
+				cols[i][qi/64] |= 1 << (qi % 64)
+			}
+		}
+	}
+
+	// satQ is the running set of queries containing every selected attribute;
+	// scoring candidate j is popcount(satQ ∧ cols[j]).
+	satQ := make([]uint64, words)
+	countAnd := func(col []uint64) int {
+		c := 0
+		for w := range satQ {
+			c += bits.OnesCount64(satQ[w] & col[w])
+		}
+		return c
+	}
+
 	remaining := append([]int(nil), n.ones...)
 	var picked []int
 
@@ -83,26 +143,25 @@ func (ConsumeAttrCumul) Solve(in Instance) (Solution, error) {
 	}
 
 	for len(picked) < n.m {
+		if err := pollCtx(ctx); err != nil {
+			return Solution{}, fmt.Errorf("core: consume-attr-cumul: %w", err)
+		}
 		var idx int
 		if len(picked) == 0 {
 			idx = pickBest(func(j int) int { return freq[j] })
 		} else {
-			idx = pickBest(func(j int) int {
-				withJ := selected.Clone()
-				withJ.Set(j)
-				// Co-occurrence of the selected set with j across the log.
-				count := 0
-				for _, q := range in.Log.Queries {
-					if withJ.SubsetOf(q) {
-						count++
-					}
-				}
-				return count
-			})
+			idx = pickBest(func(j int) int { return countAnd(cols[colOf[j]]) })
 		}
 		j := remaining[idx]
 		picked = append(picked, j)
-		selected.Set(j)
+		col := cols[colOf[j]]
+		if len(picked) == 1 {
+			copy(satQ, col)
+		} else {
+			for w := range satQ {
+				satQ[w] &= col[w]
+			}
+		}
 		remaining = append(remaining[:idx], remaining[idx+1:]...)
 	}
 
@@ -121,7 +180,16 @@ type ConsumeQueries struct{}
 func (ConsumeQueries) Name() string { return "ConsumeQueries-SOC-CB-QL" }
 
 // Solve implements Solver.
-func (ConsumeQueries) Solve(in Instance) (Solution, error) {
+func (s ConsumeQueries) Solve(in Instance) (Solution, error) {
+	return s.SolveContext(context.Background(), in)
+}
+
+// SolveContext implements Solver. Cancellation is polled once per consumed
+// query; each iteration costs one pass over the restricted log.
+func (ConsumeQueries) SolveContext(ctx context.Context, in Instance) (Solution, error) {
+	if err := ctx.Err(); err != nil {
+		return Solution{}, fmt.Errorf("core: consume-queries: %w", err)
+	}
 	n, err := normalize(in)
 	if err != nil {
 		return Solution{}, err
@@ -135,6 +203,9 @@ func (ConsumeQueries) Solve(in Instance) (Solution, error) {
 	used := make([]bool, n.log.Size())
 
 	for count < n.m {
+		if err := pollCtx(ctx); err != nil {
+			return Solution{}, fmt.Errorf("core: consume-queries: %w", err)
+		}
 		// Pass over the whole workload to find the query adding fewest new
 		// attributes — this full rescan per iteration is what makes
 		// ConsumeQueries the slowest greedy in Fig 10.

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"time"
@@ -29,9 +30,11 @@ import (
 // and duplicate queries are collapsed with multiplicities as objective
 // weights.
 type ILP struct {
-	// Timeout bounds the branch-and-bound wall clock; 0 means none. On
-	// timeout Solve returns the incumbent with Solution.Optimal=false, or an
-	// error if no incumbent was found.
+	// Timeout bounds the branch-and-bound wall clock; 0 means none. It is
+	// implemented as a context deadline layered over the caller's context. On
+	// expiry Solve returns the incumbent with Solution.Optimal=false, or, when
+	// no incumbent was found, an error satisfying
+	// errors.Is(err, context.DeadlineExceeded).
 	Timeout time.Duration
 	// MaxNodes bounds branch-and-bound nodes; 0 means the ilp default.
 	MaxNodes int
@@ -46,6 +49,22 @@ func (ILP) Name() string { return "ILP-SOC-CB-QL" }
 
 // Solve implements Solver.
 func (s ILP) Solve(in Instance) (Solution, error) {
+	return s.SolveContext(context.Background(), in)
+}
+
+// SolveContext implements Solver. Cancellation is polled before every
+// branch-and-bound node and inside the simplex hot loops of each LP solve.
+//
+// The two deadline sources are reported differently: when the caller's ctx is
+// cancelled or expires, SolveContext always returns an error (the caller
+// asked to stop; a silent partial answer would masquerade as a full one).
+// When only the solver's own Timeout expires, the incumbent — if any — is
+// returned with Optimal=false and a nil error, preserving Solve's documented
+// anytime behavior.
+func (s ILP) SolveContext(ctx context.Context, in Instance) (Solution, error) {
+	if err := ctx.Err(); err != nil {
+		return Solution{}, fmt.Errorf("core: ILP solve: %w", err)
+	}
 	n, err := normalize(in)
 	if err != nil {
 		return Solution{}, err
@@ -97,7 +116,7 @@ func (s ILP) Solve(in Instance) (Solution, error) {
 		return sol, float64(sat), true
 	}
 
-	res, err := ilp.Solve(prob, intVars, ilp.Options{
+	res, err := ilp.SolveContext(ctx, prob, intVars, ilp.Options{
 		MaxNodes:    s.MaxNodes,
 		Timeout:     s.Timeout,
 		ObjIntegral: true,
@@ -105,7 +124,13 @@ func (s ILP) Solve(in Instance) (Solution, error) {
 		LP:          lp.Options{Presolve: s.Presolve},
 	})
 	if err != nil {
-		return Solution{}, fmt.Errorf("core: ILP solve: %w", err)
+		if ctx.Err() != nil || !res.HasIncumbent {
+			// The caller's context fired, or the solver's own Timeout expired
+			// with nothing to show: propagate the typed error.
+			return Solution{}, fmt.Errorf("core: ILP solve: %w", err)
+		}
+		// Only the solver's Timeout fired and an incumbent exists: fall
+		// through and return it below with Optimal=false.
 	}
 
 	switch res.Status {

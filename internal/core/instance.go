@@ -21,6 +21,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -77,13 +78,42 @@ type Stats struct {
 }
 
 // Solver is the common interface of all SOC-CB-QL algorithms.
+//
+// Every solver in this package implements Solve as
+// SolveContext(context.Background(), in), so the two methods always agree;
+// third-party implementations should preserve that identity.
 type Solver interface {
 	// Name returns the paper's name for the algorithm, e.g. "ILP-SOC-CB-QL".
 	Name() string
 	// Solve computes a compression for the instance. Exact solvers return an
 	// optimal Solution; greedy solvers a heuristic one.
 	Solve(in Instance) (Solution, error)
+	// SolveContext is Solve under a context: every potentially-unbounded
+	// inner loop polls ctx, and when ctx is cancelled or its deadline expires
+	// the solver stops promptly and returns an error satisfying errors.Is
+	// against context.Canceled or context.DeadlineExceeded. With a background
+	// context the result is identical to Solve's. Cancellation latency is
+	// bounded by one polling interval — a few hundred candidate evaluations
+	// at most, microseconds to low milliseconds of work.
+	SolveContext(ctx context.Context, in Instance) (Solution, error)
 }
+
+// pollCtx reports a pending cancellation without blocking; solvers call it
+// from their inner loops, typically every pollMask+1 iterations.
+func pollCtx(ctx context.Context) error {
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	default:
+		return nil
+	}
+}
+
+// pollMask throttles cancellation polls in hot enumeration loops: iterations
+// whose counter&pollMask != 0 skip the check. 63 keeps the poll overhead
+// unmeasurable while every loop body that scans a query log still checks at
+// sub-millisecond granularity.
+const pollMask = 63
 
 // AttrNames renders the kept attributes of a solution against a schema,
 // convenience for presenting results.

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+	"fmt"
 	"sort"
 
 	"standout/internal/bitvec"
@@ -31,7 +33,17 @@ type IP struct{}
 func (IP) Name() string { return "IP-SOC-CB-QL" }
 
 // Solve implements Solver.
-func (IP) Solve(in Instance) (Solution, error) {
+func (s IP) Solve(in Instance) (Solution, error) {
+	return s.SolveContext(context.Background(), in)
+}
+
+// SolveContext implements Solver. The branch-and-bound recursion polls ctx
+// every 256 nodes; each node costs two weighted log scans (evaluate + bound),
+// so cancellation latency stays well under a millisecond per 10k queries.
+func (IP) SolveContext(ctx context.Context, in Instance) (Solution, error) {
+	if err := ctx.Err(); err != nil {
+		return Solution{}, fmt.Errorf("core: ip: %w", err)
+	}
 	n, err := normalize(in)
 	if err != nil {
 		return Solution{}, err
@@ -81,8 +93,17 @@ func (IP) Solve(in Instance) (Solution, error) {
 		return total
 	}
 
+	var ctxErr error
 	var rec func(pos, used int)
 	rec = func(pos, used int) {
+		if ctxErr != nil {
+			return
+		}
+		if nodes&255 == 0 {
+			if ctxErr = pollCtx(ctx); ctxErr != nil {
+				return
+			}
+		}
 		nodes++
 		if sat := evaluate(); sat > best.Satisfied {
 			best.Kept = kept.Clone()
@@ -105,6 +126,9 @@ func (IP) Solve(in Instance) (Solution, error) {
 		dropped.Clear(j)
 	}
 	rec(0, 0)
+	if ctxErr != nil {
+		return Solution{}, fmt.Errorf("core: ip: %w", ctxErr)
+	}
 
 	if best.Satisfied < 0 { // empty attribute set
 		best.Kept = kept.Clone()

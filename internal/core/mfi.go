@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+	"fmt"
 	"math/rand"
 	"sort"
 	"sync"
@@ -71,6 +73,16 @@ func (MaxFreqItemSets) Name() string { return "MaxFreqItemSets-SOC-CB-QL" }
 // regime the paper's preprocessing discussion targets), use Preprocess once
 // and SolvePrepared per tuple.
 func (s MaxFreqItemSets) Solve(in Instance) (Solution, error) {
+	return s.SolveContext(context.Background(), in)
+}
+
+// SolveContext implements Solver. Cancellation is polled inside the mining
+// backend (per DFS call or walk iteration) and throughout the level-(M−m)
+// candidate enumeration.
+func (s MaxFreqItemSets) SolveContext(ctx context.Context, in Instance) (Solution, error) {
+	if err := ctx.Err(); err != nil {
+		return Solution{}, fmt.Errorf("core: mfi: %w", err)
+	}
 	n, err := normalize(in)
 	if err != nil {
 		return Solution{}, err
@@ -78,7 +90,7 @@ func (s MaxFreqItemSets) Solve(in Instance) (Solution, error) {
 	if n.exact {
 		return n.full(), nil
 	}
-	return s.solveNormalized(n, nil)
+	return s.solveNormalized(ctx, n, nil)
 }
 
 // Prep is the reusable preprocessing state of §IV.C: the complemented query
@@ -113,6 +125,16 @@ func (s MaxFreqItemSets) Preprocess(log *dataset.QueryLog) (*Prep, error) {
 // SolvePrepared solves an instance over the preprocessed log. in.Log must be
 // the same log passed to Preprocess.
 func (p *Prep) SolvePrepared(tuple bitvec.Vector, m int) (Solution, error) {
+	return p.SolvePreparedContext(context.Background(), tuple, m)
+}
+
+// SolvePreparedContext is SolvePrepared under a context. A solve interrupted
+// mid-mining leaves the per-threshold cache untouched (partial mining results
+// are never cached), so a later solve at the same threshold starts clean.
+func (p *Prep) SolvePreparedContext(ctx context.Context, tuple bitvec.Vector, m int) (Solution, error) {
+	if err := ctx.Err(); err != nil {
+		return Solution{}, fmt.Errorf("core: mfi prepared: %w", err)
+	}
 	n, err := normalize(Instance{Log: p.log, Tuple: tuple, M: m})
 	if err != nil {
 		return Solution{}, err
@@ -120,7 +142,7 @@ func (p *Prep) SolvePrepared(tuple bitvec.Vector, m int) (Solution, error) {
 	if n.exact {
 		return n.full(), nil
 	}
-	return p.s.solveNormalized(n, p)
+	return p.s.solveNormalized(ctx, n, p)
 }
 
 // solveNormalized dispatches a one-shot solve to the projected sub-problem
@@ -132,9 +154,9 @@ func (p *Prep) SolvePrepared(tuple bitvec.Vector, m int) (Solution, error) {
 // the mined table; dropping them shrinks the lattice from M to |t|
 // dimensions without changing the set of maximal frequent itemsets (each
 // projected set corresponds to its union with ~t).
-func (s MaxFreqItemSets) solveNormalized(n normalized, prep *Prep) (Solution, error) {
+func (s MaxFreqItemSets) solveNormalized(ctx context.Context, n normalized, prep *Prep) (Solution, error) {
 	if prep != nil {
-		return s.solveCore(n, prep)
+		return s.solveCore(ctx, n, prep)
 	}
 	width := n.in.Tuple.Width()
 	proj := dataset.NewQueryLog(dataset.GenericSchema(len(n.ones)))
@@ -153,7 +175,7 @@ func (s MaxFreqItemSets) solveNormalized(n normalized, prep *Prep) (Solution, er
 	if err != nil {
 		return Solution{}, err
 	}
-	sol, err := s.solveCore(pn, nil)
+	sol, err := s.solveCore(ctx, pn, nil)
 	if err != nil {
 		return Solution{}, err
 	}
@@ -169,7 +191,7 @@ func (s MaxFreqItemSets) solveNormalized(n normalized, prep *Prep) (Solution, er
 // solveCore runs the MFI search. When prep is non-nil the mining runs on the
 // full log's complement with caching; otherwise on the (projected)
 // restricted log's complement.
-func (s MaxFreqItemSets) solveCore(n normalized, prep *Prep) (Solution, error) {
+func (s MaxFreqItemSets) solveCore(ctx context.Context, n normalized, prep *Prep) (Solution, error) {
 	mineLog := n.log
 	if prep != nil {
 		mineLog = prep.log
@@ -178,28 +200,33 @@ func (s MaxFreqItemSets) solveCore(n normalized, prep *Prep) (Solution, error) {
 	stats := Stats{}
 
 	var oneShotMiner *itemsets.Miner // built lazily, shared across thresholds
-	runMiner := func(miner *itemsets.Miner, thr int) []itemsets.ItemsetCount {
+	runMiner := func(miner *itemsets.Miner, thr int) ([]itemsets.ItemsetCount, error) {
 		switch s.Backend {
 		case BackendExactDFS:
-			return miner.MaximalDFS(thr)
+			return miner.MaximalDFSContext(ctx, thr)
 		case BackendBottomUpWalk:
-			return miner.MaximalRandomWalkBottomUp(thr, s.walkOpts())
+			return miner.MaximalRandomWalkBottomUpContext(ctx, thr, s.walkOpts())
 		default:
-			return miner.MaximalRandomWalk(thr, s.walkOpts())
+			return miner.MaximalRandomWalkContext(ctx, thr, s.walkOpts())
 		}
 	}
-	mine := func(thr int) []itemsets.ItemsetCount {
+	mine := func(thr int) ([]itemsets.ItemsetCount, error) {
 		if prep != nil {
 			// The lock is held across mining so concurrent SolvePrepared
 			// callers hitting the same threshold mine it exactly once.
 			prep.mu.Lock()
 			defer prep.mu.Unlock()
 			if cached, ok := prep.perThr[thr]; ok {
-				return cached
+				return cached, nil
 			}
-			out := runMiner(prep.miner, thr)
+			out, err := runMiner(prep.miner, thr)
+			if err != nil {
+				// Mining was interrupted: the itemsets gathered so far are an
+				// incomplete sample and must not poison the shared cache.
+				return nil, err
+			}
 			prep.perThr[thr] = out
-			return out
+			return out, nil
 		}
 		if oneShotMiner == nil {
 			oneShotMiner = itemsets.NewMiner(mineLog.AsTable().Complement())
@@ -207,11 +234,14 @@ func (s MaxFreqItemSets) solveCore(n normalized, prep *Prep) (Solution, error) {
 		return runMiner(oneShotMiner, thr)
 	}
 
-	search := func(thr int) (Solution, bool) {
-		mfis := mine(thr)
+	search := func(thr int) (Solution, bool, error) {
+		mfis, err := mine(thr)
+		if err != nil {
+			return Solution{}, false, fmt.Errorf("core: mfi: %w", err)
+		}
 		stats.MFIs += len(mfis)
 		stats.Threshold = thr
-		return s.bestAtLevel(n, mfis, &stats)
+		return s.bestAtLevel(ctx, n, mfis, &stats)
 	}
 
 	if size == 0 {
@@ -225,7 +255,11 @@ func (s MaxFreqItemSets) solveCore(n normalized, prep *Prep) (Solution, error) {
 	// then itself frequent at thr, hence inside some mined maximal set and
 	// enumerated. So the first threshold that yields anything yields OPT.
 	if s.Threshold > 0 {
-		if sol, ok := search(s.Threshold); ok {
+		sol, ok, err := search(s.Threshold)
+		if err != nil {
+			return Solution{}, err
+		}
+		if ok {
 			sol.Optimal = s.Backend == BackendExactDFS
 			sol.Stats = stats
 			return sol, nil
@@ -257,7 +291,11 @@ func (s MaxFreqItemSets) solveCore(n normalized, prep *Prep) (Solution, error) {
 		}
 	}
 	for {
-		if sol, ok := search(thr); ok {
+		sol, ok, err := search(thr)
+		if err != nil {
+			return Solution{}, err
+		}
+		if ok {
 			sol.Optimal = s.Backend == BackendExactDFS
 			sol.Stats = stats
 			return sol, nil
@@ -306,7 +344,10 @@ func (s MaxFreqItemSets) greedyLowerBound(n normalized) int {
 // vector (no allocation per candidate); duplicate candidates across maximal
 // sets are rescored rather than deduplicated — scoring is cheaper than
 // tracking.
-func (s MaxFreqItemSets) bestAtLevel(n normalized, mfis []itemsets.ItemsetCount, stats *Stats) (Solution, bool) {
+//
+// Cancellation is polled once per maximal set while bounding and every
+// pollMask+1 scored candidates while enumerating.
+func (s MaxFreqItemSets) bestAtLevel(ctx context.Context, n normalized, mfis []itemsets.ItemsetCount, stats *Stats) (Solution, bool, error) {
 	width := n.in.Tuple.Width()
 	notT := n.in.Tuple.Not()
 	levelSize := width - n.m
@@ -325,7 +366,12 @@ func (s MaxFreqItemSets) bestAtLevel(n normalized, mfis []itemsets.ItemsetCount,
 		ub       int
 	}
 	cands := make([]cand, 0, len(mfis))
-	for _, mfi := range mfis {
+	for mi, mfi := range mfis {
+		if mi&pollMask == 0 {
+			if err := pollCtx(ctx); err != nil {
+				return Solution{}, false, fmt.Errorf("core: mfi: %w", err)
+			}
+		}
 		j := mfi.Items
 		if j.Count() < levelSize || !notT.SubsetOf(j) {
 			continue
@@ -352,6 +398,7 @@ func (s MaxFreqItemSets) bestAtLevel(n normalized, mfis []itemsets.ItemsetCount,
 
 	best := Solution{}
 	found := false
+	var ctxErr error
 	for _, c := range cands {
 		if found && c.ub <= best.Satisfied {
 			break // sorted descending: nothing below can improve
@@ -359,7 +406,15 @@ func (s MaxFreqItemSets) bestAtLevel(n normalized, mfis []itemsets.ItemsetCount,
 		kept := c.required // mutated in place by the recursion
 		var rec func(start, depth int)
 		rec = func(start, depth int) {
+			if ctxErr != nil {
+				return
+			}
 			if depth == c.need {
+				if stats.Candidates&pollMask == 0 {
+					if ctxErr = pollCtx(ctx); ctxErr != nil {
+						return
+					}
+				}
 				stats.Candidates++
 				sat := n.score(kept)
 				if !found || sat > best.Satisfied {
@@ -375,8 +430,11 @@ func (s MaxFreqItemSets) bestAtLevel(n normalized, mfis []itemsets.ItemsetCount,
 			}
 		}
 		rec(0, 0)
+		if ctxErr != nil {
+			return Solution{}, false, fmt.Errorf("core: mfi: %w", ctxErr)
+		}
 	}
-	return best, found
+	return best, found, nil
 }
 
 // fallback returns the frequency-greedy compression used when no compression

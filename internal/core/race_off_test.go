@@ -1,0 +1,8 @@
+//go:build !race
+
+package core
+
+// deadlineSlack bounds how far past a context deadline a solver may return
+// in TestDeadlineHonoredOnAdversarialInstance: 2× is the acceptance
+// criterion for uninstrumented builds.
+const deadlineSlack = 2

@@ -11,6 +11,7 @@ package ilp
 
 import (
 	"container/heap"
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -71,7 +72,10 @@ type Options struct {
 	// MaxNodes bounds the number of nodes processed; 0 means 1<<20.
 	MaxNodes int
 	// Timeout stops the search after the given wall-clock duration; 0 means
-	// no limit. The incumbent found so far is returned with StatusLimit.
+	// no limit. It is implemented as a context deadline layered over the
+	// caller's context: on expiry SolveContext returns the incumbent found so
+	// far with StatusLimit together with an error satisfying
+	// errors.Is(err, context.DeadlineExceeded).
 	Timeout time.Duration
 	// IntTol is the integrality tolerance; 0 means 1e-6.
 	IntTol float64
@@ -115,12 +119,34 @@ func (h *bestFirst) Pop() interface{} {
 // intVars (all other variables remain continuous). The problem is cloned
 // internally; base is not modified.
 func Solve(base *lp.Problem, intVars []int, opts Options) (Result, error) {
+	return SolveContext(context.Background(), base, intVars, opts)
+}
+
+// SolveContext is Solve under a context. The branch-and-bound loop polls ctx
+// before every node and the underlying LP solves poll it inside their own hot
+// loops, so cancellation latency is bounded by a fraction of one simplex
+// iteration, not by a whole node.
+//
+// When ctx is cancelled or its deadline (or Options.Timeout, layered on top)
+// expires, SolveContext stops promptly and returns BOTH a Result carrying the
+// best incumbent found so far (Status == StatusLimit, HasIncumbent reporting
+// whether X is usable) AND a non-nil error satisfying errors.Is against
+// context.Canceled or context.DeadlineExceeded. Callers that can use a
+// partial answer inspect the Result; callers that cannot just propagate the
+// error.
+func SolveContext(ctx context.Context, base *lp.Problem, intVars []int, opts Options) (Result, error) {
 	for _, v := range intVars {
 		if v < 0 || v >= base.NumVars() {
 			return Result{}, fmt.Errorf("%w: %d of %d", ErrBadIntVar, v, base.NumVars())
 		}
 	}
+	if opts.Timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, opts.Timeout)
+		defer cancel()
+	}
 	s := &search{
+		ctx:     ctx,
 		prob:    base.Clone(),
 		intVars: append([]int(nil), intVars...),
 		opts:    opts,
@@ -130,9 +156,6 @@ func Solve(base *lp.Problem, intVars []int, opts Options) (Result, error) {
 	}
 	if s.opts.IntTol == 0 {
 		s.opts.IntTol = 1e-6
-	}
-	if s.opts.Timeout > 0 {
-		s.deadline = time.Now().Add(s.opts.Timeout)
 	}
 	s.maximize = base.Sense() == lp.Maximize
 	// Remember the base bounds so each node can be applied from scratch.
@@ -146,10 +169,10 @@ func Solve(base *lp.Problem, intVars []int, opts Options) (Result, error) {
 }
 
 type search struct {
+	ctx      context.Context
 	prob     *lp.Problem
 	intVars  []int
 	opts     Options
-	deadline time.Time
 	maximize bool
 
 	baseLo, baseUp []float64
@@ -201,16 +224,23 @@ func (s *search) run() (Result, error) {
 		if s.hasIncumbent && !s.improves(top.bound) {
 			return finish(StatusOptimal, top.bound), nil
 		}
-		if s.nodes >= s.opts.MaxNodes ||
-			(!s.deadline.IsZero() && time.Now().After(s.deadline)) {
+		if err := s.ctx.Err(); err != nil {
+			return finish(StatusLimit, top.bound), fmt.Errorf("ilp: %w", err)
+		}
+		if s.nodes >= s.opts.MaxNodes {
 			return finish(StatusLimit, top.bound), nil
 		}
 		heap.Pop(open)
 		s.nodes++
 
 		s.applyBounds(top)
-		res, err := s.prob.Solve(s.opts.LP)
+		res, err := s.prob.SolveContext(s.ctx, s.opts.LP)
 		if err != nil {
+			if cerr := s.ctx.Err(); cerr != nil {
+				// The LP was interrupted mid-solve; surface the incumbent with
+				// the context error, like the per-node check above.
+				return finish(StatusLimit, top.bound), fmt.Errorf("ilp: %w", cerr)
+			}
 			return Result{}, err
 		}
 		switch res.Status {

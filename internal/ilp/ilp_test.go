@@ -1,6 +1,8 @@
 package ilp
 
 import (
+	"context"
+	"errors"
 	"math"
 	"math/rand"
 	"testing"
@@ -158,8 +160,21 @@ func TestNodeLimit(t *testing.T) {
 func TestTimeout(t *testing.T) {
 	p, ints := randomKnapsack(rand.New(rand.NewSource(5)), 40)
 	res, err := Solve(p, ints, Options{Timeout: time.Nanosecond})
-	if err != nil {
-		t.Fatal(err)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err=%v, want context.DeadlineExceeded", err)
+	}
+	if res.Status != StatusLimit {
+		t.Fatalf("status=%v, want limit", res.Status)
+	}
+}
+
+func TestCancelledContext(t *testing.T) {
+	p, ints := randomKnapsack(rand.New(rand.NewSource(5)), 40)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := SolveContext(ctx, p, ints, Options{})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err=%v, want context.Canceled", err)
 	}
 	if res.Status != StatusLimit {
 		t.Fatalf("status=%v, want limit", res.Status)

@@ -1,11 +1,22 @@
 package itemsets
 
 import (
+	"context"
 	"math/rand"
 	"sort"
 
 	"standout/internal/bitvec"
 )
+
+// pollCtx reports a pending cancellation without blocking.
+func pollCtx(ctx context.Context) error {
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	default:
+		return nil
+	}
+}
 
 // Maximal frequent itemset miners. A frequent itemset is maximal when no
 // strict superset is frequent. On the dense complemented query logs of
@@ -19,6 +30,16 @@ import (
 // and serves as the verification oracle and as the exact backend of
 // MaxFreqItemSets-SOC-CB-QL for moderate widths.
 func (m *Miner) MaximalDFS(minSup int) []ItemsetCount {
+	out, _ := m.MaximalDFSContext(context.Background(), minSup)
+	return out
+}
+
+// MaximalDFSContext is MaximalDFS with cooperative cancellation: the DFS
+// polls ctx on every recursive call (each call performs at least one support
+// count, so the poll is amortized noise) and unwinds with ctx's error — the
+// partial itemset list found so far is returned alongside it. The mining is
+// worst-case exponential, which is exactly why a deadline belongs here.
+func (m *Miner) MaximalDFSContext(ctx context.Context, minSup int) ([]ItemsetCount, error) {
 	if minSup < 1 {
 		minSup = 1
 	}
@@ -27,6 +48,7 @@ func (m *Miner) MaximalDFS(minSup int) []ItemsetCount {
 	order := itemOrder(supports)
 
 	var found []ItemsetCount
+	var ctxErr error
 	isSubsumed := func(items bitvec.Vector) bool {
 		for _, f := range found {
 			if items.SubsetOf(f.Items) {
@@ -38,6 +60,13 @@ func (m *Miner) MaximalDFS(minSup int) []ItemsetCount {
 
 	var rec func(current bitvec.Vector, curRows []uint64, curSup int, cand []int)
 	rec = func(current bitvec.Vector, curRows []uint64, curSup int, cand []int) {
+		if ctxErr != nil {
+			return
+		}
+		if err := pollCtx(ctx); err != nil {
+			ctxErr = err
+			return
+		}
 		// Filter candidates to those frequent in the current context, and
 		// absorb parent-equivalent items on the way (PEP, as in MAFIA):
 		// an item supported by every row of the current context belongs to
@@ -117,13 +146,13 @@ func (m *Miner) MaximalDFS(minSup int) []ItemsetCount {
 	empty := bitvec.New(m.width)
 	full := m.fullRowset()
 	if m.nrows < minSup {
-		return nil // not even the empty itemset is frequent
+		return nil, nil // not even the empty itemset is frequent
 	}
 	rec(empty, full, m.nrows, order)
 
 	// The DFS can emit the empty itemset when nothing else is frequent; that
 	// is the correct answer (the empty set is maximal) and callers handle it.
-	return found
+	return found, ctxErr
 }
 
 // WalkOptions tunes the random-walk maximal miners.
@@ -171,7 +200,16 @@ func (o WalkOptions) withDefaults(width int) WalkOptions {
 // number is small, but the result is not guaranteed complete — use
 // MaximalDFS when exactness is required.
 func (m *Miner) MaximalRandomWalk(minSup int, opts WalkOptions) []ItemsetCount {
-	return m.walk(minSup, opts, true)
+	out, _ := m.walk(context.Background(), minSup, opts, true)
+	return out
+}
+
+// MaximalRandomWalkContext is MaximalRandomWalk with cooperative
+// cancellation, polled once per walk (a walk traverses the lattice in
+// milliseconds at most). The walks completed so far are returned with ctx's
+// error.
+func (m *Miner) MaximalRandomWalkContext(ctx context.Context, minSup int, opts WalkOptions) ([]ItemsetCount, error) {
+	return m.walk(ctx, minSup, opts, true)
 }
 
 // MaximalRandomWalkBottomUp is the bottom-up baseline of Gunopulos et al.
@@ -179,15 +217,22 @@ func (m *Miner) MaximalRandomWalk(minSup int, opts WalkOptions) []ItemsetCount {
 // tables it traverses many more lattice levels per walk than the two-phase
 // variant; the ablation bench quantifies exactly that.
 func (m *Miner) MaximalRandomWalkBottomUp(minSup int, opts WalkOptions) []ItemsetCount {
-	return m.walk(minSup, opts, false)
+	out, _ := m.walk(context.Background(), minSup, opts, false)
+	return out
 }
 
-func (m *Miner) walk(minSup int, opts WalkOptions, topDown bool) []ItemsetCount {
+// MaximalRandomWalkBottomUpContext is MaximalRandomWalkBottomUp with
+// cooperative cancellation, polled once per walk.
+func (m *Miner) MaximalRandomWalkBottomUpContext(ctx context.Context, minSup int, opts WalkOptions) ([]ItemsetCount, error) {
+	return m.walk(ctx, minSup, opts, false)
+}
+
+func (m *Miner) walk(ctx context.Context, minSup int, opts WalkOptions, topDown bool) ([]ItemsetCount, error) {
 	if minSup < 1 {
 		minSup = 1
 	}
 	if m.nrows < minSup {
-		return nil
+		return nil, nil
 	}
 	opts = opts.withDefaults(m.width)
 
@@ -198,8 +243,12 @@ func (m *Miner) walk(minSup int, opts WalkOptions, topDown bool) []ItemsetCount 
 	seen := map[string]*discovery{}
 	needConfirm := 0 // number of discoveries with times < MinConfirm
 
+	var ctxErr error
 	scratch := newWalkScratch(m)
 	for iter := 0; iter < opts.MaxIters; iter++ {
+		if ctxErr = pollCtx(ctx); ctxErr != nil {
+			break
+		}
 		var items bitvec.Vector
 		var rows []uint64
 		if topDown {
@@ -231,7 +280,7 @@ func (m *Miner) walk(minSup int, opts WalkOptions, topDown bool) []ItemsetCount 
 		out = append(out, d.set)
 	}
 	SortBySize(out)
-	return out
+	return out, ctxErr
 }
 
 // walkScratch holds per-walk-sequence reusable buffers so the hot walk loop

@@ -1,6 +1,7 @@
 package lp
 
 import (
+	"context"
 	"fmt"
 	"math"
 )
@@ -188,7 +189,7 @@ func (ps presolved) expand(p *Problem, res Result) Result {
 }
 
 // solveWithPresolve is the Options.Presolve path of Problem.Solve.
-func (p *Problem) solveWithPresolve(opts Options) (Result, error) {
+func (p *Problem) solveWithPresolve(ctx context.Context, opts Options) (Result, error) {
 	ps := presolve(p)
 	if ps.infeasible {
 		return Result{Status: StatusInfeasible}, nil
@@ -207,7 +208,7 @@ func (p *Problem) solveWithPresolve(opts Options) (Result, error) {
 	}
 	inner := opts
 	inner.Presolve = false
-	res, err := ps.reduced.Solve(inner)
+	res, err := ps.reduced.SolveContext(ctx, inner)
 	if err != nil {
 		return Result{}, fmt.Errorf("lp: presolved solve: %w", err)
 	}

@@ -16,6 +16,7 @@
 package lp
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -252,12 +253,28 @@ var ErrInvalid = errors.New("lp: invalid problem")
 // Solve validates and solves the problem. The Problem is not modified; it may
 // be solved again (e.g. with different bounds) afterwards.
 func (p *Problem) Solve(opts Options) (Result, error) {
+	return p.SolveContext(context.Background(), opts)
+}
+
+// SolveContext is Solve with cooperative cancellation: the tableau build and
+// the simplex iterations periodically poll ctx, and when it is cancelled (or
+// its deadline expires) the solve stops promptly and returns a zero Result
+// with an error satisfying errors.Is against ctx.Err() — i.e.
+// context.Canceled or context.DeadlineExceeded.
+func (p *Problem) SolveContext(ctx context.Context, opts Options) (Result, error) {
+	if err := ctx.Err(); err != nil {
+		return Result{}, fmt.Errorf("lp: %w", err)
+	}
 	if err := p.Validate(); err != nil {
 		return Result{}, fmt.Errorf("%w: %v", ErrInvalid, err)
 	}
 	if opts.Presolve {
-		return p.solveWithPresolve(opts)
+		return p.solveWithPresolve(ctx, opts)
 	}
-	s := newSimplex(p, opts)
-	return s.solve(), nil
+	s := newSimplex(ctx, p, opts)
+	res := s.solve()
+	if s.interrupted {
+		return Result{}, fmt.Errorf("lp: %w", ctx.Err())
+	}
+	return res, nil
 }

@@ -1,6 +1,7 @@
 package lp
 
 import (
+	"context"
 	"math"
 )
 
@@ -40,12 +41,18 @@ type simplex struct {
 	iters   int
 	bland   bool
 	nArt    int
+
+	// ctx is polled during the tableau build (per row batch) and once per
+	// simplex iteration; interrupted records that a poll fired, after which
+	// the tableau state is unusable and SolveContext reports ctx.Err().
+	ctx         context.Context
+	interrupted bool
 }
 
-func newSimplex(p *Problem, opts Options) *simplex {
+func newSimplex(ctx context.Context, p *Problem, opts Options) *simplex {
 	m := len(p.cons)
 	n := p.NumVars()
-	s := &simplex{m: m, n: n, sense: p.sense}
+	s := &simplex{m: m, n: n, sense: p.sense, ctx: ctx}
 	s.tol = opts.Tol
 	if s.tol == 0 {
 		s.tol = 1e-9
@@ -56,6 +63,23 @@ func newSimplex(p *Problem, opts Options) *simplex {
 	}
 	s.load(p)
 	return s
+}
+
+// poll checks for cancellation, latching interrupted. Large programs spend
+// seconds in a single tableau build or pivot, so the hot loops poll at a
+// granularity that keeps cancellation latency well under any deadline a
+// caller would plausibly set.
+func (s *simplex) poll() bool {
+	if s.interrupted {
+		return true
+	}
+	select {
+	case <-s.ctx.Done():
+		s.interrupted = true
+		return true
+	default:
+		return false
+	}
 }
 
 // load builds the initial tableau, basis and variable assignment.
@@ -97,6 +121,9 @@ func (s *simplex) load(p *Problem) {
 	s.rowSign = make([]float64, m)
 	rhs := make([]float64, m)
 	for i, c := range p.cons {
+		if i&63 == 0 && s.poll() {
+			return // partial tableau; solve() refuses to run
+		}
 		row := make([]float64, nTotal, nTotal+m)
 		sign := 1.0
 		if c.Op == GE {
@@ -122,6 +149,9 @@ func (s *simplex) load(p *Problem) {
 
 	// Initial basic values: slack_i = rhs_i − Σ A_ij · val_j.
 	for i := 0; i < m; i++ {
+		if i&63 == 0 && s.poll() {
+			return
+		}
 		v := rhs[i]
 		for j := 0; j < n; j++ {
 			if s.tab[i][j] != 0 && s.val[j] != 0 {
@@ -209,6 +239,9 @@ func (s *simplex) recomputeRC(cost []float64) {
 }
 
 func (s *simplex) solve() Result {
+	if s.interrupted {
+		return Result{}
+	}
 	// Phase 1: drive artificials to zero.
 	if s.nArt > 0 {
 		phase1 := make([]float64, s.nTotal)
@@ -279,6 +312,11 @@ func (s *simplex) iterate() Status {
 	blandAfter := 10*(s.m+s.n) + 500
 	startIters := s.iters
 	for {
+		if s.poll() {
+			// Report iteration-limit internally; SolveContext rewrites this
+			// into the context error once solve() unwinds.
+			return StatusIterLimit
+		}
 		if s.iters-startIters > blandAfter {
 			s.bland = true
 		}

@@ -12,6 +12,7 @@
 package text
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -41,6 +42,12 @@ func Tokenize(s string) []string {
 // solver is any core.Solver; greedy solvers are the §V recommendation for
 // large vocabularies.
 func SelectKeywords(solver core.Solver, queries [][]string, ad []string, m int) ([]string, int, error) {
+	return SelectKeywordsContext(context.Background(), solver, queries, ad, m)
+}
+
+// SelectKeywordsContext is SelectKeywords under a context, forwarded to the
+// solver's SolveContext.
+func SelectKeywordsContext(ctx context.Context, solver core.Solver, queries [][]string, ad []string, m int) ([]string, int, error) {
 	if len(ad) == 0 {
 		return nil, 0, fmt.Errorf("text: ad has no keywords")
 	}
@@ -71,7 +78,7 @@ func SelectKeywords(solver core.Solver, queries [][]string, ad []string, m int) 
 		}
 	}
 	tuple := bitvec.New(len(vocab)).Not() // the ad has all of its own keywords
-	sol, err := solver.Solve(core.Instance{Log: log, Tuple: tuple, M: m})
+	sol, err := solver.SolveContext(ctx, core.Instance{Log: log, Tuple: tuple, M: m})
 	if err != nil {
 		return nil, 0, fmt.Errorf("text: %w", err)
 	}

@@ -32,6 +32,8 @@
 package standout
 
 import (
+	"context"
+
 	"standout/internal/bitvec"
 	"standout/internal/core"
 	"standout/internal/dataset"
@@ -113,7 +115,17 @@ func ParseTuple(s *Schema, spec string) (Vector, error) { return dataset.ParseTu
 // the best all-round exact choice at moderate widths. For large instances
 // pick a solver explicitly (see the package documentation).
 func Solve(log *QueryLog, tuple Vector, m int) (Solution, error) {
-	return MaxFreqItemSets{Backend: BackendExactDFS}.Solve(Instance{Log: log, Tuple: tuple, M: m})
+	return SolveContext(context.Background(), log, tuple, m)
+}
+
+// SolveContext is Solve under a context: pass a context with a deadline (or
+// cancel it) to bound the solve's wall clock. On cancellation the error
+// satisfies errors.Is against context.Canceled or context.DeadlineExceeded.
+// Every solver in the library honors its context the same way; see DESIGN.md
+// for per-solver check granularity.
+func SolveContext(ctx context.Context, log *QueryLog, tuple Vector, m int) (Solution, error) {
+	return MaxFreqItemSets{Backend: BackendExactDFS}.
+		SolveContext(ctx, Instance{Log: log, Tuple: tuple, M: m})
 }
 
 // Solvers returns one instance of every algorithm in the paper's order;
@@ -137,7 +149,18 @@ type PreparedSolver = core.PreparedSolver
 
 // SolveBatch solves the same (log, m) problem for many tuples concurrently,
 // fanning out across workers (≤ 0 selects GOMAXPROCS). Results align with
-// tuples by index.
+// tuples by index. The first error cancels the batch.
 func SolveBatch(s Solver, log *QueryLog, tuples []Vector, m, workers int) ([]Solution, error) {
 	return core.SolveBatch(s, log, tuples, m, workers)
+}
+
+// BatchError identifies the tuple whose failure cancelled a batch.
+type BatchError = core.BatchError
+
+// SolveBatchContext is SolveBatch under a context, with partial results: it
+// returns every solution computed before cancellation or the first failure,
+// per-tuple errors aligned by index, and the batch-level error (the external
+// context's error, or a *BatchError wrapping the first solver failure).
+func SolveBatchContext(ctx context.Context, s Solver, log *QueryLog, tuples []Vector, m, workers int) ([]Solution, []error, error) {
+	return core.SolveBatchContext(ctx, s, log, tuples, m, workers)
 }
