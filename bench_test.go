@@ -5,6 +5,7 @@
 package standout_test
 
 import (
+	"context"
 	"testing"
 	"time"
 
@@ -125,3 +126,32 @@ func BenchmarkMFIPreprocessedLookup(b *testing.B) {
 		}
 	}
 }
+
+// Observability overhead benchmarks (see DESIGN.md §Observability). The nil
+// variant is the pre-obsv baseline: a context with no trace attached must
+// solve at the same cost — the begin/end wrapper performs zero allocations
+// on that path (pinned exactly by TestNilTracePathAddsNoAllocations in
+// internal/core). The traced variant bounds the cost of full span/counter
+// recording. BENCH_obsv.json records a run of both.
+func benchmarkSolveTraced(b *testing.B, traced bool) {
+	b.Helper()
+	tab := standout.GenerateCars(1, 2000)
+	log := standout.GenerateRealWorkload(tab, 2, 185)
+	tuple := standout.PickTuples(tab, 3, 1)[0]
+	in := standout.Instance{Log: log, Tuple: tuple, M: 5}
+	ctx := context.Background()
+	if traced {
+		ctx = standout.WithTrace(ctx, standout.NewTrace())
+	}
+	s := standout.ConsumeAttr{}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.SolveContext(ctx, in); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSolveNilTrace(b *testing.B)  { benchmarkSolveTraced(b, false) }
+func BenchmarkSolveWithTrace(b *testing.B) { benchmarkSolveTraced(b, true) }

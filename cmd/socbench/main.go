@@ -9,11 +9,18 @@
 //
 //	-quick          reduced averaging for a fast run
 //	-csv            emit CSV instead of aligned text
+//	-json           emit an indented JSON array of results (with -trace, each
+//	                figure carries per-cell trace summaries: phase breakdowns
+//	                and solver counters keyed "x|column")
 //	-seed N         generator seed (default 1)
 //	-tuples N       tuples to average over (0, meaning the paper's 100)
 //	-cars N         cars-table size (default 15211, the paper's dataset size)
 //	-ilp-timeout D  per-solve ILP timeout (default 30s); expired runs print "-"
 //	-timeout D      wall-clock budget for the whole run; unmeasured cells print "-"
+//	-trace          per-cell solve traces (see -json); summary of untraced
+//	                work prints to stderr at exit
+//	-metrics FILE   Prometheus text dump of the process metrics at exit ("-" = stdout)
+//	-pprof ADDR     serve net/http/pprof, expvar and /metrics on ADDR (loopback)
 //
 // Interrupting with ^C (SIGINT) or SIGTERM cancels the in-flight solve and
 // prints whatever was already measured.
@@ -30,6 +37,7 @@ import (
 	"time"
 
 	"standout/internal/bench"
+	"standout/internal/obsv"
 )
 
 func main() {
@@ -41,15 +49,18 @@ func main() {
 	}
 }
 
-func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
+func run(ctx context.Context, args []string, stdout, stderr io.Writer) (err error) {
 	fs := flag.NewFlagSet("socbench", flag.ContinueOnError)
 	quick := fs.Bool("quick", false, "reduced averaging for a fast run")
 	csv := fs.Bool("csv", false, "emit CSV instead of aligned text")
+	jsonOut := fs.Bool("json", false, "emit a JSON array of results (per-cell traces with -trace)")
 	seed := fs.Int64("seed", 1, "generator seed")
 	tuples := fs.Int("tuples", 0, "tuples to average over (0 = paper's 100)")
 	cars := fs.Int("cars", 0, "cars table size (0 = paper's 15211)")
 	ilpTimeout := fs.Duration("ilp-timeout", 0, "per-solve ILP timeout (0 = 30s)")
 	timeout := fs.Duration("timeout", 0, "wall-clock budget for the whole run (0 = none)")
+	var obs obsv.Flags
+	obs.Register(fs)
 	fs.Usage = func() {
 		fmt.Fprintf(stderr,
 			"usage: socbench [flags] fig6|fig7|fig8|fig9|fig10|fig11|ablations|all\n")
@@ -64,6 +75,15 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
 		defer cancel()
 	}
+	ctx, finish, err := obs.Apply(ctx, stdout, stderr)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if ferr := finish(); ferr != nil && err == nil {
+			err = ferr
+		}
+	}()
 
 	cfg := bench.Config{
 		Seed:       *seed,
@@ -71,6 +91,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		Tuples:     *tuples,
 		ILPTimeout: *ilpTimeout,
 		Quick:      *quick,
+		Trace:      obs.Trace,
 	}
 
 	type runFn = func(context.Context, bench.Config) bench.Result
@@ -106,19 +127,31 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	}
 
 	start := time.Now()
-	// Results stream as each experiment completes (some take minutes). A
-	// cancelled context makes the remaining experiments fail fast and report
-	// missing cells, so every requested table still prints.
+	// Results stream as each experiment completes (some take minutes); JSON
+	// mode collects them into one array instead. A cancelled context makes
+	// the remaining experiments fail fast and report missing cells, so every
+	// requested table still prints.
+	var collected []bench.Result
 	for _, f := range runner {
 		res := f(ctx, cfg)
-		if *csv {
+		switch {
+		case *jsonOut:
+			collected = append(collected, res)
+		case *csv:
 			fmt.Fprintf(stdout, "# %s — %s\n%s\n", res.Name, res.Title, res.CSV())
-		} else {
+		default:
 			fmt.Fprintln(stdout, res.Format())
 		}
 		if fl, ok := stdout.(interface{ Flush() error }); ok {
 			_ = fl.Flush()
 		}
+	}
+	if *jsonOut {
+		data, err := bench.MarshalResultsJSON(collected)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "%s\n", data)
 	}
 	fmt.Fprintf(stderr, "socbench: done in %s\n", time.Since(start).Round(time.Millisecond))
 	return ctx.Err()

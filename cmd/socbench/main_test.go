@@ -3,8 +3,13 @@ package main
 import (
 	"bytes"
 	"context"
+	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
+
+	"standout/internal/obsv"
 )
 
 func tinyArgs(extra ...string) []string {
@@ -36,6 +41,77 @@ func TestRunCSVMode(t *testing.T) {
 	if !strings.Contains(out.String(), "m,Optimal,ConsumeAttr") {
 		t.Errorf("CSV header missing:\n%s", out.String())
 	}
+}
+
+// TestRunMetricsPrometheusFormat is the acceptance check for the -metrics
+// flag: the dump a bench run leaves behind must parse as Prometheus text
+// format (# HELP/# TYPE headers, well-formed sample lines).
+func TestRunMetricsPrometheusFormat(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "metrics.prom")
+	var out, errOut bytes.Buffer
+	if err := run(context.Background(), tinyArgs("-metrics", path, "fig7"), &out, &errOut); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := obsv.LintProm(string(data)); err != nil {
+		t.Fatalf("metrics dump is not valid Prometheus text:\n%v\n%s", err, data)
+	}
+	for _, want := range []string{"standout_solves_total", "standout_solve_duration_seconds_bucket"} {
+		if !strings.Contains(string(data), want) {
+			t.Errorf("metrics dump missing %q:\n%s", want, data)
+		}
+	}
+}
+
+// TestRunJSONWithTraces: -json -trace yields a JSON array whose figures carry
+// per-cell trace summaries with phase breakdowns.
+func TestRunJSONWithTraces(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if err := run(context.Background(), tinyArgs("-json", "-trace", "fig7"), &out, &errOut); err != nil {
+		t.Fatal(err)
+	}
+	var results []struct {
+		Name       string                  `json:"name"`
+		Rows       []json.RawMessage       `json:"rows"`
+		CellTraces map[string]obsv.Summary `json:"cell_traces"`
+	}
+	if err := json.Unmarshal(out.Bytes(), &results); err != nil {
+		t.Fatalf("output is not JSON: %v\n%s", err, out.String())
+	}
+	if len(results) != 1 || results[0].Name != "Fig 7" || len(results[0].Rows) == 0 {
+		t.Fatalf("unexpected results: %+v", results)
+	}
+	traces := results[0].CellTraces
+	if len(traces) == 0 {
+		t.Fatal("no cell traces recorded with -trace")
+	}
+	sum, ok := traces["1|Optimal"]
+	if !ok {
+		t.Fatalf("missing cell 1|Optimal; have keys %v", keysOf(traces))
+	}
+	if len(sum.Phases) == 0 {
+		t.Fatalf("cell trace has no phase breakdown: %+v", sum)
+	}
+	found := false
+	for _, p := range sum.Phases {
+		if p.Name == "solve" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("cell trace missing the solve phase: %+v", sum.Phases)
+	}
+}
+
+func keysOf(m map[string]obsv.Summary) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
 }
 
 func TestRunErrors(t *testing.T) {

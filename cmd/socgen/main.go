@@ -25,6 +25,7 @@ import (
 
 	"standout/internal/dataset"
 	"standout/internal/gen"
+	"standout/internal/obsv"
 )
 
 func main() {
@@ -36,15 +37,26 @@ func main() {
 	}
 }
 
-func run(ctx context.Context, args []string, stdout io.Writer) error {
+func run(ctx context.Context, args []string, stdout io.Writer) (err error) {
 	fs := flag.NewFlagSet("socgen", flag.ContinueOnError)
 	n := fs.Int("n", 0, "rows/queries to generate (0 = paper defaults)")
 	seed := fs.Int64("seed", 1, "generator seed")
 	carsN := fs.Int("cars", 2000, "cars-table size used to derive real-workload popularity")
 	timeout := fs.Duration("timeout", 0, "wall-clock limit (0 = none); ^C also cancels")
+	var obs obsv.Flags
+	obs.Register(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	ctx, finish, err := obs.Apply(ctx, os.Stderr, os.Stderr)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if ferr := finish(); ferr != nil && err == nil {
+			err = ferr
+		}
+	}()
 	if *timeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, *timeout)

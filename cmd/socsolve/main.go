@@ -10,6 +10,10 @@
 // The tuple is either a 0/1 bit string of the schema's width or a
 // comma-separated attribute-name list. With -db instead of -log, the rows of
 // the database act as the workload (SOC-CB-D: maximize dominated tuples).
+//
+// Observability: -trace prints a per-phase breakdown of every solve at exit,
+// -metrics FILE dumps Prometheus text metrics, and -pprof ADDR serves
+// net/http/pprof on a loopback address for live profiling.
 package main
 
 import (
@@ -26,6 +30,7 @@ import (
 
 	"standout/internal/core"
 	"standout/internal/dataset"
+	"standout/internal/obsv"
 )
 
 var solvers = map[string]func() core.Solver{
@@ -49,7 +54,7 @@ func main() {
 }
 
 // run parses arguments, loads the instance and prints solutions to out.
-func run(ctx context.Context, args []string, out io.Writer) error {
+func run(ctx context.Context, args []string, out io.Writer) (err error) {
 	fs := flag.NewFlagSet("socsolve", flag.ContinueOnError)
 	logPath := fs.String("log", "", "query log CSV (SOC-CB-QL)")
 	dbPath := fs.String("db", "", "database CSV (SOC-CB-D: rows act as queries)")
@@ -57,9 +62,20 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	m := fs.Int("m", 0, "number of attributes to retain")
 	algo := fs.String("algo", "all", "algorithm: "+algoNames()+", or all")
 	timeout := fs.Duration("timeout", 0, "per-solve wall-clock limit (0 = none); ^C also cancels")
+	var obs obsv.Flags
+	obs.Register(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	ctx, finish, err := obs.Apply(ctx, out, out)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if ferr := finish(); ferr != nil && err == nil {
+			err = ferr
+		}
+	}()
 
 	if (*logPath == "") == (*dbPath == "") {
 		return fmt.Errorf("exactly one of -log or -db is required")

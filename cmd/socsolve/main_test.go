@@ -7,6 +7,8 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"standout/internal/obsv"
 )
 
 func writeFile(t *testing.T, name, content string) string {
@@ -74,6 +76,41 @@ t7,0,0,1,1,0,0
 	}
 	if !strings.Contains(out.String(), "satisfied 4 (optimal)") {
 		t.Errorf("SOC-CB-D optimum missing:\n%s", out.String())
+	}
+}
+
+// TestRunObservabilityFlags: -trace appends the phase breakdown, -metrics
+// dumps parseable Prometheus text, and -pprof serves a live profiler whose
+// /metrics endpoint answers while the run is in flight.
+func TestRunObservabilityFlags(t *testing.T) {
+	logPath := writeFile(t, "q.csv", queriesCSV)
+	promPath := filepath.Join(t.TempDir(), "metrics.prom")
+	var out bytes.Buffer
+	err := run(context.Background(), []string{
+		"-log", logPath, "-tuple", "110111", "-m", "3", "-algo", "brute",
+		"-trace", "-metrics", promPath, "-pprof", "localhost:0",
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	if !strings.Contains(text, "pprof: serving on http://") {
+		t.Errorf("pprof address not announced:\n%s", text)
+	}
+	for _, want := range []string{"solve", "enumerate", "bruteforce.candidates"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("trace summary missing %q:\n%s", want, text)
+		}
+	}
+	data, err := os.ReadFile(promPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := obsv.LintProm(string(data)); err != nil {
+		t.Fatalf("metrics dump is not valid Prometheus text: %v", err)
+	}
+	if !strings.Contains(string(data), "standout_solves_total") {
+		t.Errorf("metrics dump missing solve counter:\n%s", data)
 	}
 }
 

@@ -21,6 +21,7 @@ import (
 	"syscall"
 
 	"standout/internal/dataset"
+	"standout/internal/obsv"
 )
 
 func main() {
@@ -32,16 +33,27 @@ func main() {
 	}
 }
 
-func run(ctx context.Context, args []string, out io.Writer) error {
+func run(ctx context.Context, args []string, out io.Writer) (err error) {
 	fs := flag.NewFlagSet("socstats", flag.ContinueOnError)
 	logPath := fs.String("log", "", "query log CSV")
 	dbPath := fs.String("db", "", "database CSV (rows treated as queries)")
 	tupleSpec := fs.String("tuple", "", "optional tuple: bit string or attribute-name list")
 	top := fs.Int("top", 10, "number of top attributes to print")
 	timeout := fs.Duration("timeout", 0, "wall-clock limit (0 = none); ^C also cancels")
+	var obs obsv.Flags
+	obs.Register(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	ctx, finish, err := obs.Apply(ctx, out, out)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if ferr := finish(); ferr != nil && err == nil {
+			err = ferr
+		}
+	}()
 	if *timeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, *timeout)

@@ -54,7 +54,7 @@ func ablationWalksAt(ctx context.Context, cfg Config, sizes []int) Result {
 		row := Row{X: fmt.Sprintf("%d", size)}
 		for _, b := range backends {
 			s := core.MaxFreqItemSets{Backend: b, Seed: cfg.Seed}
-			secs, _, ok := timeSolver(ctx, s, setup, m)
+			secs, _, ok := measure(ctx, cfg, &res, row.X, b.String(), s, setup, m)
 			if !ok {
 				secs = Missing
 			}
@@ -210,10 +210,10 @@ func AblationGreedyGapContext(ctx context.Context, cfg Config) Result {
 		res.Columns = append(res.Columns, shortName(s))
 	}
 	for _, m := range mRange {
-		_, opt, ok := timeSolver(ctx, optimal, setup, m)
 		row := Row{X: fmt.Sprintf("%d", m)}
+		_, opt, ok := measure(ctx, cfg, &res, row.X, "Optimal", optimal, setup, m)
 		for _, s := range greedy {
-			_, q, ok2 := timeSolver(ctx, s, setup, m)
+			_, q, ok2 := measure(ctx, cfg, &res, row.X, shortName(s), s, setup, m)
 			if !ok || !ok2 || opt == 0 {
 				row.Values = append(row.Values, Missing)
 				continue
@@ -379,8 +379,8 @@ func ablationIPvsILPAt(ctx context.Context, cfg Config, sizes []int) Result {
 	for _, size := range sizes {
 		setup := carsSetup(cfg, true, size)
 		row := Row{X: fmt.Sprintf("%d", size)}
-		for _, s := range []core.Solver{ip, ilp} {
-			secs, _, ok := timeSolver(ctx, s, setup, m)
+		for j, s := range []core.Solver{ip, ilp} {
+			secs, _, ok := measure(ctx, cfg, &res, row.X, res.Columns[j], s, setup, m)
 			if !ok {
 				secs = Missing
 			}

@@ -20,6 +20,7 @@ import (
 	"standout/internal/core"
 	"standout/internal/dataset"
 	"standout/internal/gen"
+	"standout/internal/obsv"
 )
 
 // Config tunes the harness. The zero value reproduces the paper's settings;
@@ -38,6 +39,9 @@ type Config struct {
 	ILPTimeout time.Duration
 	// Quick, if true, divides Tuples by 10 (minimum 3) for fast runs.
 	Quick bool
+	// Trace records a per-cell solve-trace summary (phase breakdown, solver
+	// counters) into Result.CellTraces. Only the JSON rendering emits them.
+	Trace bool
 }
 
 func (c Config) withDefaults() Config {
@@ -81,6 +85,9 @@ type Result struct {
 	Columns []string
 	Rows    []Row
 	Notes   []string
+	// CellTraces maps "x|column" to the aggregated solve trace of that
+	// cell's measurements, populated when Config.Trace is set.
+	CellTraces map[string]obsv.Summary
 }
 
 // Format renders the result as an aligned text table.
@@ -210,6 +217,22 @@ func timeSolver(ctx context.Context, s core.Solver, setup workloadSetup, m int) 
 	return elapsed, float64(total) / float64(len(setup.tuples)), true
 }
 
+// measure is timeSolver plus per-cell tracing: when cfg.Trace is set, the
+// cell's solves run under a fresh Trace whose summary lands in
+// res.CellTraces under the key "x|col".
+func measure(ctx context.Context, cfg Config, res *Result, x, col string, s core.Solver, setup workloadSetup, m int) (secs, quality float64, ok bool) {
+	if !cfg.Trace {
+		return timeSolver(ctx, s, setup, m)
+	}
+	tr := obsv.NewTrace()
+	secs, quality, ok = timeSolver(obsv.WithTrace(ctx, tr), s, setup, m)
+	if res.CellTraces == nil {
+		res.CellTraces = map[string]obsv.Summary{}
+	}
+	res.CellTraces[x+"|"+col] = tr.Snapshot()
+	return secs, quality, ok
+}
+
 // noteInterrupted appends a note when the harness context expired mid-figure:
 // the remaining cells were reported missing without being measured.
 func noteInterrupted(ctx context.Context, res *Result) {
@@ -259,7 +282,7 @@ func Fig6Context(ctx context.Context, cfg Config) Result {
 	for _, m := range mRange {
 		row := Row{X: fmt.Sprintf("%d", m)}
 		for _, s := range solvers {
-			secs, _, ok := timeSolver(ctx, s, setup, m)
+			secs, _, ok := measure(ctx, cfg, &res, row.X, shortName(s), s, setup, m)
 			if !ok {
 				secs = Missing
 			}
@@ -328,7 +351,7 @@ func fig8At(ctx context.Context, cfg Config, logSize int) Result {
 	for _, m := range mRange {
 		row := Row{X: fmt.Sprintf("%d", m)}
 		for _, s := range solvers {
-			secs, _, ok := timeSolver(ctx, s, setup, m)
+			secs, _, ok := measure(ctx, cfg, &res, row.X, shortName(s), s, setup, m)
 			if !ok {
 				secs = Missing
 			}
@@ -368,13 +391,13 @@ func qualityFigure(ctx context.Context, cfg Config, setup workloadSetup, name, t
 	}
 	for _, m := range mRange {
 		row := Row{X: fmt.Sprintf("%d", m)}
-		_, q, ok := timeSolver(ctx, optimal, setup, m)
+		_, q, ok := measure(ctx, cfg, &res, row.X, "Optimal", optimal, setup, m)
 		if !ok {
 			q = Missing
 		}
 		row.Values = append(row.Values, q)
 		for _, s := range greedy {
-			_, q, ok := timeSolver(ctx, s, setup, m)
+			_, q, ok := measure(ctx, cfg, &res, row.X, shortName(s), s, setup, m)
 			if !ok {
 				q = Missing
 			}
@@ -420,7 +443,7 @@ func fig10At(ctx context.Context, cfg Config, sizes []int) Result {
 				row.Values = append(row.Values, Missing)
 				continue
 			}
-			secs, _, ok := timeSolver(ctx, s, setup, m)
+			secs, _, ok := measure(ctx, cfg, &res, row.X, shortName(s), s, setup, m)
 			if !ok {
 				secs = Missing
 			}
@@ -465,7 +488,7 @@ func fig11At(ctx context.Context, cfg Config, widths []int, logSize int) Result 
 		setup := workloadSetup{log: log, tuples: tuples}
 		row := Row{X: fmt.Sprintf("%d", width)}
 		for _, s := range []core.Solver{ilpSolver, mfiSolver} {
-			secs, _, ok := timeSolver(ctx, s, setup, m)
+			secs, _, ok := measure(ctx, cfg, &res, row.X, shortName(s), s, setup, m)
 			if !ok {
 				secs = Missing
 			}

@@ -1,0 +1,61 @@
+package bench
+
+import (
+	"encoding/json"
+	"math"
+
+	"standout/internal/obsv"
+)
+
+// jsonResult mirrors Result with JSON tags and nullable cells:
+// encoding/json rejects NaN, so Missing measurements become null.
+type jsonResult struct {
+	Name       string                  `json:"name"`
+	Title      string                  `json:"title"`
+	XLabel     string                  `json:"x_label"`
+	YLabel     string                  `json:"y_label"`
+	Columns    []string                `json:"columns"`
+	Rows       []jsonRow               `json:"rows"`
+	Notes      []string                `json:"notes,omitempty"`
+	CellTraces map[string]obsv.Summary `json:"cell_traces,omitempty"`
+}
+
+type jsonRow struct {
+	X      string     `json:"x"`
+	Values []*float64 `json:"values"`
+}
+
+func (r Result) toJSON() jsonResult {
+	out := jsonResult{
+		Name: r.Name, Title: r.Title,
+		XLabel: r.XLabel, YLabel: r.YLabel,
+		Columns: r.Columns, Notes: r.Notes,
+		CellTraces: r.CellTraces,
+	}
+	for _, row := range r.Rows {
+		jr := jsonRow{X: row.X, Values: make([]*float64, len(row.Values))}
+		for i, v := range row.Values {
+			if !math.IsNaN(v) {
+				v := v
+				jr.Values[i] = &v
+			}
+		}
+		out.Rows = append(out.Rows, jr)
+	}
+	return out
+}
+
+// JSON renders the result for machine consumption (one figure).
+func (r Result) JSON() ([]byte, error) {
+	return json.MarshalIndent(r.toJSON(), "", "  ")
+}
+
+// MarshalResultsJSON renders a run's results as one indented JSON array —
+// the layout of the repository's BENCH_*.json files.
+func MarshalResultsJSON(rs []Result) ([]byte, error) {
+	out := make([]jsonResult, len(rs))
+	for i, r := range rs {
+		out[i] = r.toJSON()
+	}
+	return json.MarshalIndent(out, "", "  ")
+}

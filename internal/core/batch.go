@@ -3,11 +3,15 @@ package core
 import (
 	"context"
 	"fmt"
+	"log/slog"
 	"runtime"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"standout/internal/bitvec"
 	"standout/internal/dataset"
+	"standout/internal/obsv"
 )
 
 // BatchError records which tuple of a batch failed and why. It is the error
@@ -70,11 +74,23 @@ func SolveBatchContext(ctx context.Context, s Solver, log *dataset.QueryLog, tup
 	bctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 
+	// Batch-level observability: a shared "batch" span, per-tuple queue-wait
+	// samples (time from batch start to a worker dequeuing the index), and
+	// per-tuple outcome counters. The trace is shared by every worker — Trace
+	// is concurrency-safe — so each tuple's solver phases aggregate into one
+	// batch-wide breakdown.
+	tr := obsv.FromContext(ctx)
+	batchSpan := tr.StartSpan("batch")
+	t0 := time.Now()
+	tr.Count("batch.tuples", int64(len(tuples)))
+	var solved, failed, skipped atomic.Int64
+
 	var (
-		wg       sync.WaitGroup
-		errOnce  sync.Once
-		firstErr error
-		next     = make(chan int)
+		wg         sync.WaitGroup
+		errOnce    sync.Once
+		firstErr   error
+		next       = make(chan int)
+		dispatched int
 	)
 	fail := func(i int, err error) {
 		errs[i] = err
@@ -88,16 +104,22 @@ func SolveBatchContext(ctx context.Context, s Solver, log *dataset.QueryLog, tup
 		go func() {
 			defer wg.Done()
 			for i := range next {
+				wait := time.Since(t0)
+				mBatchQueueWait.Observe(wait.Seconds())
+				tr.Count("batch.queue_wait_ns", wait.Nanoseconds())
 				// Between dequeue and solve the batch may have been cancelled;
 				// skip rather than start work that is doomed to be interrupted.
 				if bctx.Err() != nil {
+					skipped.Add(1)
 					continue
 				}
 				sol, err := s.SolveContext(bctx, Instance{Log: log, Tuple: tuples[i], M: m})
 				if err != nil {
+					failed.Add(1)
 					fail(i, err)
 					continue
 				}
+				solved.Add(1)
 				out[i] = sol
 			}
 		}()
@@ -108,12 +130,28 @@ producer:
 	for i := range tuples {
 		select {
 		case next <- i:
+			dispatched++
 		case <-bctx.Done():
 			break producer
 		}
 	}
 	close(next)
 	wg.Wait()
+
+	skipped.Add(int64(len(tuples) - dispatched)) // never handed to a worker
+	batchSpan.End()
+	tr.Count("batch.solved", solved.Load())
+	tr.Count("batch.failed", failed.Load())
+	tr.Count("batch.skipped", skipped.Load())
+	if lg := obsv.Logger(ctx); lg != nil {
+		lg.LogAttrs(ctx, slog.LevelInfo, "batch.finish",
+			slog.String("solver", s.Name()),
+			slog.Int("tuples", len(tuples)),
+			slog.Int64("solved", solved.Load()),
+			slog.Int64("failed", failed.Load()),
+			slog.Int64("skipped", skipped.Load()),
+			slog.Duration("elapsed", time.Since(t0)))
+	}
 
 	// The external context outranks any per-tuple failure it caused.
 	if err := ctx.Err(); err != nil {

@@ -3,6 +3,7 @@ package core
 import (
 	"context"
 	"errors"
+	"fmt"
 	"sync/atomic"
 	"testing"
 
@@ -153,5 +154,61 @@ func TestSolveBatchContextBackgroundMatchesSolveBatch(t *testing.T) {
 		if got[i].Satisfied != want[i].Satisfied || !got[i].Kept.Equal(want[i].Kept) {
 			t.Fatalf("tuple %d: %+v vs %+v", i, got[i], want[i])
 		}
+	}
+}
+
+// blockThenFail coordinates two tuples: the "block" tuple parks on its
+// context until the batch cancels it, every other tuple waits until the
+// block tuple is in flight and then fails with the sentinel. This pins the
+// exact interleaving where a real failure and a cancellation race.
+type blockThenFail struct {
+	block    Instance
+	blocking chan struct{}
+}
+
+func (b blockThenFail) Name() string { return "block-then-fail" }
+
+func (b blockThenFail) Solve(in Instance) (Solution, error) {
+	return b.SolveContext(context.Background(), in)
+}
+
+func (b blockThenFail) SolveContext(ctx context.Context, in Instance) (Solution, error) {
+	if in.Tuple.Equal(b.block.Tuple) {
+		close(b.blocking)
+		<-ctx.Done()
+		return Solution{}, fmt.Errorf("interrupted: %w", ctx.Err())
+	}
+	<-b.blocking
+	return Solution{}, errSentinel
+}
+
+// TestSolveBatchContextErrorAttribution: when tuple 1 fails with a real
+// (non-context) error while tuple 0 is still in flight, the batch must
+// report the sentinel at index 1, the induced cancellation at index 0, and
+// the batch-level error must identify the genuinely failing index — not the
+// cancelled bystander.
+func TestSolveBatchContextErrorAttribution(t *testing.T) {
+	tab := gen.Cars(1, 10)
+	log := gen.RealWorkload(tab, 2, 10)
+	tuples := tab.Rows[:2]
+	s := blockThenFail{
+		block:    Instance{Tuple: tuples[0]},
+		blocking: make(chan struct{}),
+	}
+
+	_, errs, err := SolveBatchContext(context.Background(), s, log, tuples, 2, 2)
+
+	var be *BatchError
+	if !errors.As(err, &be) {
+		t.Fatalf("err=%T (%v), want *BatchError", err, err)
+	}
+	if be.Index != 1 || !errors.Is(be, errSentinel) {
+		t.Fatalf("batch error attributes index %d (%v), want the sentinel at index 1", be.Index, be)
+	}
+	if !errors.Is(errs[1], errSentinel) {
+		t.Fatalf("errs[1]=%v, want the sentinel", errs[1])
+	}
+	if !errors.Is(errs[0], context.Canceled) {
+		t.Fatalf("errs[0]=%v, want context.Canceled from the induced cancellation", errs[0])
 	}
 }

@@ -3,6 +3,8 @@ package core
 import (
 	"context"
 	"fmt"
+
+	"standout/internal/obsv"
 )
 
 // BruteForce is the optimal baseline of §IV.A: it enumerates every
@@ -22,7 +24,13 @@ func (b BruteForce) Solve(in Instance) (Solution, error) {
 // SolveContext implements Solver. The combination enumeration polls ctx every
 // pollMask+1 evaluated candidates, so cancellation latency is bounded by 64
 // log scans regardless of how large C(|t|, m) is.
-func (BruteForce) SolveContext(ctx context.Context, in Instance) (Solution, error) {
+func (s BruteForce) SolveContext(ctx context.Context, in Instance) (Solution, error) {
+	obs := beginSolve(ctx, s.Name(), in)
+	sol, err := s.solve(ctx, in, obs.tr)
+	return obs.end(ctx, sol, err)
+}
+
+func (BruteForce) solve(ctx context.Context, in Instance, tr *obsv.Trace) (Solution, error) {
 	if err := ctx.Err(); err != nil {
 		return Solution{}, fmt.Errorf("core: brute force: %w", err)
 	}
@@ -71,7 +79,10 @@ func (BruteForce) SolveContext(ctx context.Context, in Instance) (Solution, erro
 			rec(i+1, depth+1)
 		}
 	}
+	sp := tr.StartSpan("enumerate")
 	rec(0, 0)
+	sp.End()
+	tr.Count("bruteforce.candidates", int64(candidates))
 	if ctxErr != nil {
 		return Solution{}, fmt.Errorf("core: brute force: %w", ctxErr)
 	}
@@ -81,6 +92,7 @@ func (BruteForce) SolveContext(ctx context.Context, in Instance) (Solution, erro
 		best.Kept = kept
 		best.Satisfied = n.score(kept)
 		candidates++
+		tr.Count("bruteforce.candidates", 1)
 	}
 	best.Stats.Candidates = candidates
 	return best, nil

@@ -7,6 +7,7 @@ import (
 	"sort"
 
 	"standout/internal/bitvec"
+	"standout/internal/obsv"
 )
 
 // The three greedy heuristics of §IV.D. None is guaranteed optimal; the
@@ -29,7 +30,13 @@ func (s ConsumeAttr) Solve(in Instance) (Solution, error) {
 // SolveContext implements Solver. ConsumeAttr does a constant number of
 // linear passes over the log, so a single up-front cancellation check is the
 // only one needed.
-func (ConsumeAttr) SolveContext(ctx context.Context, in Instance) (Solution, error) {
+func (s ConsumeAttr) SolveContext(ctx context.Context, in Instance) (Solution, error) {
+	obs := beginSolve(ctx, s.Name(), in)
+	sol, err := s.solve(ctx, in, obs.tr)
+	return obs.end(ctx, sol, err)
+}
+
+func (ConsumeAttr) solve(ctx context.Context, in Instance, tr *obsv.Trace) (Solution, error) {
 	if err := ctx.Err(); err != nil {
 		return Solution{}, fmt.Errorf("core: consume-attr: %w", err)
 	}
@@ -44,9 +51,12 @@ func (ConsumeAttr) SolveContext(ctx context.Context, in Instance) (Solution, err
 	}
 	// Per §IV.D the frequencies come from the full query log, not just the
 	// queries the tuple can satisfy.
+	sp := tr.StartSpan("select")
 	freq := in.Log.AttrFrequencies()
 	picked := topByFreq(n.ones, freq, n.m)
 	kept := n.keep(picked)
+	sp.End()
+	tr.Count("greedy.rescans", 1) // one frequency pass over the whole log
 	return Solution{Kept: kept, Satisfied: n.score(kept)}, nil
 }
 
@@ -84,7 +94,13 @@ func (s ConsumeAttrCumul) Solve(in Instance) (Solution, error) {
 
 // SolveContext implements Solver. Cancellation is polled once per selection
 // step; a step costs at most |t| AND-popcount passes over the query rowset.
-func (ConsumeAttrCumul) SolveContext(ctx context.Context, in Instance) (Solution, error) {
+func (s ConsumeAttrCumul) SolveContext(ctx context.Context, in Instance) (Solution, error) {
+	obs := beginSolve(ctx, s.Name(), in)
+	sol, err := s.solve(ctx, in, obs.tr)
+	return obs.end(ctx, sol, err)
+}
+
+func (ConsumeAttrCumul) solve(ctx context.Context, in Instance, tr *obsv.Trace) (Solution, error) {
 	if err := ctx.Err(); err != nil {
 		return Solution{}, fmt.Errorf("core: consume-attr-cumul: %w", err)
 	}
@@ -142,10 +158,14 @@ func (ConsumeAttrCumul) SolveContext(ctx context.Context, in Instance) (Solution
 		return bestIdx
 	}
 
+	sp := tr.StartSpan("select")
+	rescans := 0
 	for len(picked) < n.m {
 		if err := pollCtx(ctx); err != nil {
+			sp.End()
 			return Solution{}, fmt.Errorf("core: consume-attr-cumul: %w", err)
 		}
+		rescans++ // each step rescans every remaining candidate attribute
 		var idx int
 		if len(picked) == 0 {
 			idx = pickBest(func(j int) int { return freq[j] })
@@ -164,6 +184,8 @@ func (ConsumeAttrCumul) SolveContext(ctx context.Context, in Instance) (Solution
 		}
 		remaining = append(remaining[:idx], remaining[idx+1:]...)
 	}
+	sp.End()
+	tr.Count("greedy.rescans", int64(rescans))
 
 	kept := n.keep(picked)
 	return Solution{Kept: kept, Satisfied: n.score(kept)}, nil
@@ -186,7 +208,13 @@ func (s ConsumeQueries) Solve(in Instance) (Solution, error) {
 
 // SolveContext implements Solver. Cancellation is polled once per consumed
 // query; each iteration costs one pass over the restricted log.
-func (ConsumeQueries) SolveContext(ctx context.Context, in Instance) (Solution, error) {
+func (s ConsumeQueries) SolveContext(ctx context.Context, in Instance) (Solution, error) {
+	obs := beginSolve(ctx, s.Name(), in)
+	sol, err := s.solve(ctx, in, obs.tr)
+	return obs.end(ctx, sol, err)
+}
+
+func (ConsumeQueries) solve(ctx context.Context, in Instance, tr *obsv.Trace) (Solution, error) {
 	if err := ctx.Err(); err != nil {
 		return Solution{}, fmt.Errorf("core: consume-queries: %w", err)
 	}
@@ -202,10 +230,14 @@ func (ConsumeQueries) SolveContext(ctx context.Context, in Instance) (Solution, 
 	count := 0
 	used := make([]bool, n.log.Size())
 
+	sp := tr.StartSpan("select")
+	rescans := 0
 	for count < n.m {
 		if err := pollCtx(ctx); err != nil {
+			sp.End()
 			return Solution{}, fmt.Errorf("core: consume-queries: %w", err)
 		}
+		rescans++
 		// Pass over the whole workload to find the query adding fewest new
 		// attributes — this full rescan per iteration is what makes
 		// ConsumeQueries the slowest greedy in Fig 10.
@@ -231,6 +263,8 @@ func (ConsumeQueries) SolveContext(ctx context.Context, in Instance) (Solution, 
 			count++
 		}
 	}
+	sp.End()
+	tr.Count("greedy.rescans", int64(rescans))
 
 	// Left-over budget (fewer satisfiable queries than budget): fill with the
 	// most frequent unselected tuple attributes, never hurting the solution.

@@ -9,6 +9,7 @@ import (
 	"standout/internal/bitvec"
 	"standout/internal/ilp"
 	"standout/internal/lp"
+	"standout/internal/obsv"
 )
 
 // ILP is the exact algorithm of §IV.B. It encodes the instance as the
@@ -62,6 +63,12 @@ func (s ILP) Solve(in Instance) (Solution, error) {
 // returned with Optimal=false and a nil error, preserving Solve's documented
 // anytime behavior.
 func (s ILP) SolveContext(ctx context.Context, in Instance) (Solution, error) {
+	obs := beginSolve(ctx, s.Name(), in)
+	sol, err := s.solve(ctx, in, obs.tr)
+	return obs.end(ctx, sol, err)
+}
+
+func (s ILP) solve(ctx context.Context, in Instance, tr *obsv.Trace) (Solution, error) {
 	if err := ctx.Err(); err != nil {
 		return Solution{}, fmt.Errorf("core: ILP solve: %w", err)
 	}
@@ -72,6 +79,7 @@ func (s ILP) SolveContext(ctx context.Context, in Instance) (Solution, error) {
 	if n.exact {
 		return n.full(), nil
 	}
+	encodeSpan := tr.StartSpan("encode")
 	log, weights := n.log.Dedup()
 
 	prob := lp.NewProblem(lp.Maximize)
@@ -95,6 +103,7 @@ func (s ILP) SolveContext(ctx context.Context, in Instance) (Solution, error) {
 				[]lp.Term{{Var: y, Coeff: 1}, {Var: xVar[j], Coeff: -1}}, lp.LE, 0)
 		}
 	}
+	encodeSpan.End()
 
 	// Rounding heuristic: keep the m attributes with the largest fractional
 	// xⱼ and score the resulting compression exactly. This gives the
@@ -116,6 +125,7 @@ func (s ILP) SolveContext(ctx context.Context, in Instance) (Solution, error) {
 		return sol, float64(sat), true
 	}
 
+	bnbSpan := tr.StartSpan("branch_bound")
 	res, err := ilp.SolveContext(ctx, prob, intVars, ilp.Options{
 		MaxNodes:    s.MaxNodes,
 		Timeout:     s.Timeout,
@@ -123,6 +133,8 @@ func (s ILP) SolveContext(ctx context.Context, in Instance) (Solution, error) {
 		Heuristic:   heuristic,
 		LP:          lp.Options{Presolve: s.Presolve},
 	})
+	bnbSpan.End()
+	tr.Count("ilp.nodes", int64(res.Nodes))
 	if err != nil {
 		if ctx.Err() != nil || !res.HasIncumbent {
 			// The caller's context fired, or the solver's own Timeout expired

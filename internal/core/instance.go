@@ -27,6 +27,7 @@ import (
 
 	"standout/internal/bitvec"
 	"standout/internal/dataset"
+	"standout/internal/obsv"
 )
 
 // Instance is one SOC-CB-QL problem: choose at most M attributes of Tuple to
@@ -67,7 +68,16 @@ type Solution struct {
 	Optimal bool
 	// Stats carries solver-specific diagnostics.
 	Stats Stats
+
+	// trace is the obsv.Trace the producing solve ran under (the one attached
+	// to its context via obsv.WithTrace), or nil.
+	trace *obsv.Trace
 }
+
+// Trace returns the observability trace the producing solve recorded into,
+// or nil when the solve ran without one. Solutions of one batch share the
+// batch's trace.
+func (s Solution) Trace() *obsv.Trace { return s.trace }
 
 // Stats reports solver work; fields are zero when not applicable.
 type Stats struct {

@@ -6,6 +6,7 @@ import (
 	"sort"
 
 	"standout/internal/bitvec"
+	"standout/internal/obsv"
 )
 
 // IP is the exact algorithm for the paper's first, nonlinear integer-program
@@ -40,7 +41,13 @@ func (s IP) Solve(in Instance) (Solution, error) {
 // SolveContext implements Solver. The branch-and-bound recursion polls ctx
 // every 256 nodes; each node costs two weighted log scans (evaluate + bound),
 // so cancellation latency stays well under a millisecond per 10k queries.
-func (IP) SolveContext(ctx context.Context, in Instance) (Solution, error) {
+func (s IP) SolveContext(ctx context.Context, in Instance) (Solution, error) {
+	obs := beginSolve(ctx, s.Name(), in)
+	sol, err := s.solve(ctx, in, obs.tr)
+	return obs.end(ctx, sol, err)
+}
+
+func (IP) solve(ctx context.Context, in Instance, tr *obsv.Trace) (Solution, error) {
 	if err := ctx.Err(); err != nil {
 		return Solution{}, fmt.Errorf("core: ip: %w", err)
 	}
@@ -68,7 +75,7 @@ func (IP) SolveContext(ctx context.Context, in Instance) (Solution, error) {
 	kept := bitvec.New(in.Tuple.Width())
 	dropped := bitvec.New(in.Tuple.Width())
 	best := Solution{Optimal: true, Satisfied: -1}
-	nodes := 0
+	nodes, pruned := 0, 0
 
 	evaluate := func() int {
 		sat := 0
@@ -108,11 +115,13 @@ func (IP) SolveContext(ctx context.Context, in Instance) (Solution, error) {
 		if sat := evaluate(); sat > best.Satisfied {
 			best.Kept = kept.Clone()
 			best.Satisfied = sat
+			tr.Event("ip.incumbent", int64(sat))
 		}
 		if pos == len(order) || used == n.m {
 			return
 		}
 		if bound(used) <= best.Satisfied {
+			pruned++
 			return
 		}
 		j := order[pos]
@@ -125,7 +134,11 @@ func (IP) SolveContext(ctx context.Context, in Instance) (Solution, error) {
 		rec(pos+1, used)
 		dropped.Clear(j)
 	}
+	sp := tr.StartSpan("branch_bound")
 	rec(0, 0)
+	sp.End()
+	tr.Count("ip.nodes", int64(nodes))
+	tr.Count("ip.pruned", int64(pruned))
 	if ctxErr != nil {
 		return Solution{}, fmt.Errorf("core: ip: %w", ctxErr)
 	}

@@ -10,6 +10,7 @@ import (
 	"standout/internal/bitvec"
 	"standout/internal/dataset"
 	"standout/internal/itemsets"
+	"standout/internal/obsv"
 )
 
 // MiningBackend selects how MaxFreqItemSets mines maximal frequent itemsets
@@ -80,6 +81,12 @@ func (s MaxFreqItemSets) Solve(in Instance) (Solution, error) {
 // backend (per DFS call or walk iteration) and throughout the level-(M−m)
 // candidate enumeration.
 func (s MaxFreqItemSets) SolveContext(ctx context.Context, in Instance) (Solution, error) {
+	obs := beginSolve(ctx, s.Name(), in)
+	sol, err := s.solve(ctx, in)
+	return obs.end(ctx, sol, err)
+}
+
+func (s MaxFreqItemSets) solve(ctx context.Context, in Instance) (Solution, error) {
 	if err := ctx.Err(); err != nil {
 		return Solution{}, fmt.Errorf("core: mfi: %w", err)
 	}
@@ -132,6 +139,12 @@ func (p *Prep) SolvePrepared(tuple bitvec.Vector, m int) (Solution, error) {
 // mid-mining leaves the per-threshold cache untouched (partial mining results
 // are never cached), so a later solve at the same threshold starts clean.
 func (p *Prep) SolvePreparedContext(ctx context.Context, tuple bitvec.Vector, m int) (Solution, error) {
+	obs := beginSolve(ctx, PreparedSolver{}.Name(), Instance{Log: p.log, Tuple: tuple, M: m})
+	sol, err := p.solvePrepared(ctx, tuple, m)
+	return obs.end(ctx, sol, err)
+}
+
+func (p *Prep) solvePrepared(ctx context.Context, tuple bitvec.Vector, m int) (Solution, error) {
 	if err := ctx.Err(); err != nil {
 		return Solution{}, fmt.Errorf("core: mfi prepared: %w", err)
 	}
@@ -198,9 +211,12 @@ func (s MaxFreqItemSets) solveCore(ctx context.Context, n normalized, prep *Prep
 	}
 	size := mineLog.Size()
 	stats := Stats{}
+	tr := obsv.FromContext(ctx)
 
 	var oneShotMiner *itemsets.Miner // built lazily, shared across thresholds
 	runMiner := func(miner *itemsets.Miner, thr int) ([]itemsets.ItemsetCount, error) {
+		sp := tr.StartSpan("mine")
+		defer sp.End()
 		switch s.Backend {
 		case BackendExactDFS:
 			return miner.MaximalDFSContext(ctx, thr)
@@ -235,13 +251,21 @@ func (s MaxFreqItemSets) solveCore(ctx context.Context, n normalized, prep *Prep
 	}
 
 	search := func(thr int) (Solution, bool, error) {
+		tr.Count("mfi.rounds", 1)
+		tr.Event("mfi.threshold", int64(thr))
 		mfis, err := mine(thr)
 		if err != nil {
 			return Solution{}, false, fmt.Errorf("core: mfi: %w", err)
 		}
 		stats.MFIs += len(mfis)
 		stats.Threshold = thr
-		return s.bestAtLevel(ctx, n, mfis, &stats)
+		tr.Count("mfi.itemsets", int64(len(mfis)))
+		before := stats.Candidates
+		sp := tr.StartSpan("enumerate")
+		sol, ok, err := s.bestAtLevel(ctx, n, mfis, &stats)
+		sp.End()
+		tr.Count("mfi.candidates", int64(stats.Candidates-before))
+		return sol, ok, err
 	}
 
 	if size == 0 {

@@ -1,0 +1,99 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"log/slog"
+	"time"
+
+	"standout/internal/obsv"
+)
+
+// Process-level metrics, recorded into the obsv default registry for every
+// solve that runs through this package regardless of whether a trace or
+// logger is attached. All updates are atomic or a single short mutex hold —
+// nothing here allocates, keeping the untraced hot path unchanged.
+var (
+	mSolves = obsv.Default.Counter("standout_solves_total",
+		"Solves started through the core solvers.")
+	mSolveErrors = obsv.Default.Counter("standout_solve_errors_total",
+		"Solves that returned a non-cancellation error.")
+	mSolveCancels = obsv.Default.Counter("standout_solve_cancels_total",
+		"Solves that ended with context cancellation or deadline expiry.")
+	mSolveDuration = obsv.Default.Histogram("standout_solve_duration_seconds",
+		"Wall time of one solve.", nil)
+	mBatchQueueWait = obsv.Default.Histogram("standout_batch_queue_wait_seconds",
+		"Time a batch tuple waited between batch start and dequeue by a worker.", nil)
+)
+
+// solveObs ties one SolveContext call to the observability stack: the
+// context-attached trace (nil when absent), the structured event logger (nil
+// when absent), and the registry metrics above. Constructed by beginSolve at
+// the top of every solver's SolveContext and closed by end, which also
+// stamps the trace into the returned Solution.
+type solveObs struct {
+	tr    *obsv.Trace
+	log   *slog.Logger
+	span  obsv.Span
+	name  string
+	start time.Time
+}
+
+func beginSolve(ctx context.Context, name string, in Instance) solveObs {
+	mSolves.Add(1)
+	o := solveObs{
+		tr:    obsv.FromContext(ctx),
+		log:   obsv.Logger(ctx),
+		name:  name,
+		start: time.Now(),
+	}
+	o.span = o.tr.StartSpan("solve")
+	if o.log != nil {
+		queries := 0
+		if in.Log != nil {
+			queries = in.Log.Size()
+		}
+		o.log.LogAttrs(ctx, slog.LevelInfo, "solve.start",
+			slog.String("solver", name),
+			slog.Int("queries", queries),
+			slog.Int("width", in.Tuple.Width()),
+			slog.Int("m", in.M))
+	}
+	return o
+}
+
+// end closes the solve's observability scope and passes (sol, err) through,
+// so every SolveContext can finish with `return obs.end(ctx, sol, err)`.
+func (o solveObs) end(ctx context.Context, sol Solution, err error) (Solution, error) {
+	d := time.Since(o.start)
+	mSolveDuration.Observe(d.Seconds())
+	o.span.End()
+	sol.trace = o.tr
+	switch {
+	case err == nil:
+		if o.log != nil {
+			o.log.LogAttrs(ctx, slog.LevelInfo, "solve.finish",
+				slog.String("solver", o.name),
+				slog.Int("satisfied", sol.Satisfied),
+				slog.Bool("optimal", sol.Optimal),
+				slog.Duration("elapsed", d))
+		}
+	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+		mSolveCancels.Add(1)
+		if o.log != nil {
+			o.log.LogAttrs(ctx, slog.LevelWarn, "solve.cancel",
+				slog.String("solver", o.name),
+				slog.Duration("elapsed", d),
+				slog.String("error", err.Error()))
+		}
+	default:
+		mSolveErrors.Add(1)
+		if o.log != nil {
+			o.log.LogAttrs(ctx, slog.LevelError, "solve.error",
+				slog.String("solver", o.name),
+				slog.Duration("elapsed", d),
+				slog.String("error", err.Error()))
+		}
+	}
+	return sol, err
+}

@@ -1,0 +1,216 @@
+package core
+
+import (
+	"bytes"
+	"context"
+	"log/slog"
+	"strings"
+	"testing"
+
+	"standout/internal/bitvec"
+	"standout/internal/obsv"
+)
+
+// TestEverySolverPopulatesTrace is the acceptance test of the observability
+// layer: every solver in the library's portfolio (including both mining
+// backends and the IP form) records at least one phase span and at least one
+// solver-specific counter into a context-attached trace.
+func TestEverySolverPopulatesTrace(t *testing.T) {
+	cases := []struct {
+		name    string
+		solver  Solver
+		phase   string // a span name the solver must aggregate
+		counter string // a solver-specific counter it must touch
+	}{
+		{"BruteForce", BruteForce{}, "enumerate", "bruteforce.candidates"},
+		{"IP", IP{}, "branch_bound", "ip.nodes"},
+		{"ILP", ILP{}, "branch_bound", "ilp.nodes"},
+		{"MFI-dfs", MaxFreqItemSets{Backend: BackendExactDFS}, "mine", "itemsets.dfs_nodes"},
+		{"MFI-walk", MaxFreqItemSets{Backend: BackendTwoPhaseWalk}, "mine", "itemsets.walks"},
+		{"MFI-bottom", MaxFreqItemSets{Backend: BackendBottomUpWalk}, "enumerate", "mfi.rounds"},
+		{"ConsumeAttr", ConsumeAttr{}, "select", "greedy.rescans"},
+		{"ConsumeAttrCumul", ConsumeAttrCumul{}, "select", "greedy.rescans"},
+		{"ConsumeQueries", ConsumeQueries{}, "select", "greedy.rescans"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			in := example1(t)
+			tr := obsv.NewTrace()
+			ctx := obsv.WithTrace(context.Background(), tr)
+			sol, err := tc.solver.SolveContext(ctx, in)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if sol.Trace() != tr {
+				t.Fatal("Solution.Trace() does not return the context trace")
+			}
+			sum := tr.Snapshot()
+			phases := map[string]bool{}
+			for _, p := range sum.Phases {
+				phases[p.Name] = true
+			}
+			if !phases["solve"] {
+				t.Errorf("missing common %q span; phases: %v", "solve", sum.Phases)
+			}
+			if !phases[tc.phase] {
+				t.Errorf("missing phase span %q; phases: %v", tc.phase, sum.Phases)
+			}
+			if _, ok := sum.Counters[tc.counter]; !ok {
+				t.Errorf("missing counter %q; counters: %v", tc.counter, sum.Counters)
+			}
+		})
+	}
+}
+
+// The ILP drives the lp package; its trace must include simplex-level
+// counters, and with Presolve enabled also the presolve eliminations.
+func TestILPTraceIncludesLPCounters(t *testing.T) {
+	for _, presolve := range []bool{false, true} {
+		in := example1(t)
+		tr := obsv.NewTrace()
+		ctx := obsv.WithTrace(context.Background(), tr)
+		if _, err := (ILP{Presolve: presolve}).SolveContext(ctx, in); err != nil {
+			t.Fatal(err)
+		}
+		sum := tr.Snapshot()
+		if sum.Counters["lp.solves"] == 0 {
+			t.Fatalf("presolve=%v: lp.solves not recorded: %v", presolve, sum.Counters)
+		}
+		if _, ok := sum.Counters["lp.pivots"]; !ok {
+			t.Fatalf("presolve=%v: lp.pivots not recorded: %v", presolve, sum.Counters)
+		}
+		if presolve {
+			if _, ok := sum.Counters["lp.presolve.fixed_vars"]; !ok {
+				t.Fatalf("lp.presolve.fixed_vars not recorded: %v", sum.Counters)
+			}
+		}
+		if sum.Counters["ilp.nodes_expanded"] == 0 {
+			t.Fatalf("presolve=%v: ilp.nodes_expanded not recorded: %v", presolve, sum.Counters)
+		}
+	}
+}
+
+func TestPreparedSolveTraced(t *testing.T) {
+	in := example1(t)
+	prep, err := MaxFreqItemSets{Backend: BackendExactDFS}.Preprocess(in.Log)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := obsv.NewTrace()
+	ctx := obsv.WithTrace(context.Background(), tr)
+	sol, err := prep.SolvePreparedContext(ctx, in.Tuple, in.M)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Trace() != tr {
+		t.Fatal("prepared solve did not attach the trace")
+	}
+	if tr.Counter("mfi.rounds") == 0 {
+		t.Fatalf("prepared solve recorded no mining rounds: %v", tr.Snapshot().Counters)
+	}
+}
+
+func TestBatchTraceCounters(t *testing.T) {
+	in := example1(t)
+	tuples := []bitvec.Vector{in.Tuple, in.Tuple, in.Tuple}
+	tr := obsv.NewTrace()
+	ctx := obsv.WithTrace(context.Background(), tr)
+	_, errs, err := SolveBatchContext(ctx, ConsumeAttr{}, in.Log, tuples, in.M, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, e := range errs {
+		if e != nil {
+			t.Fatalf("tuple %d: %v", i, e)
+		}
+	}
+	sum := tr.Snapshot()
+	if sum.Counters["batch.tuples"] != 3 || sum.Counters["batch.solved"] != 3 {
+		t.Fatalf("batch counters: %v", sum.Counters)
+	}
+	if sum.Counters["batch.failed"] != 0 || sum.Counters["batch.skipped"] != 0 {
+		t.Fatalf("batch counters: %v", sum.Counters)
+	}
+	if _, ok := sum.Counters["batch.queue_wait_ns"]; !ok {
+		t.Fatalf("batch.queue_wait_ns missing: %v", sum.Counters)
+	}
+	phases := map[string]bool{}
+	for _, p := range sum.Phases {
+		phases[p.Name] = true
+	}
+	if !phases["batch"] || !phases["solve"] {
+		t.Fatalf("batch phases: %v", sum.Phases)
+	}
+}
+
+// TestNilTracePathAddsNoAllocations pins the cardinal obsv design rule at
+// the solver level: the begin/end wrapper around every SolveContext performs
+// zero heap allocations when the context carries no trace and no logger.
+func TestNilTracePathAddsNoAllocations(t *testing.T) {
+	in := example1(t)
+	ctx := context.Background()
+	allocs := testing.AllocsPerRun(200, func() {
+		obs := beginSolve(ctx, "BruteForce-SOC-CB-QL", in)
+		_, _ = obs.end(ctx, Solution{}, nil)
+	})
+	if allocs != 0 {
+		t.Fatalf("untraced begin/end allocates %v per solve, want 0", allocs)
+	}
+}
+
+func TestSlogEventsEmitted(t *testing.T) {
+	in := example1(t)
+	var buf bytes.Buffer
+	lg := slog.New(slog.NewJSONHandler(&buf, &slog.HandlerOptions{Level: slog.LevelDebug}))
+	ctx := obsv.WithLogger(context.Background(), lg)
+	if _, err := (ConsumeAttr{}).SolveContext(ctx, in); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"solve.start", "solve.finish", "ConsumeAttr-SOC-CB-QL"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("log output missing %q:\n%s", want, out)
+		}
+	}
+
+	buf.Reset()
+	cctx, cancel := context.WithCancel(ctx)
+	cancel()
+	if _, err := (ConsumeAttr{}).SolveContext(cctx, in); err == nil {
+		t.Fatal("expected cancellation error")
+	}
+	if !strings.Contains(buf.String(), "solve.cancel") {
+		t.Fatalf("log output missing solve.cancel:\n%s", buf.String())
+	}
+
+	buf.Reset()
+	bad := in
+	bad.M = -1
+	if _, err := (ConsumeAttr{}).SolveContext(ctx, bad); err == nil {
+		t.Fatal("expected validation error")
+	}
+	if !strings.Contains(buf.String(), "solve.error") {
+		t.Fatalf("log output missing solve.error:\n%s", buf.String())
+	}
+}
+
+func TestSolveMetricsRegistered(t *testing.T) {
+	in := example1(t)
+	before := mSolves.Value()
+	if _, err := (ConsumeAttr{}).Solve(in); err != nil {
+		t.Fatal(err)
+	}
+	if mSolves.Value() != before+1 {
+		t.Fatalf("standout_solves_total did not increment (%d -> %d)", before, mSolves.Value())
+	}
+	var sb strings.Builder
+	if err := obsv.Default.WriteProm(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if err := obsv.LintProm(sb.String()); err != nil {
+		t.Fatalf("default registry output fails lint: %v", err)
+	}
+	if !strings.Contains(sb.String(), "standout_solve_duration_seconds_bucket") {
+		t.Fatalf("duration histogram missing:\n%s", sb.String())
+	}
+}

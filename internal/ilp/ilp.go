@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"standout/internal/lp"
+	"standout/internal/obsv"
 )
 
 // Status reports the outcome of a branch-and-bound run.
@@ -174,6 +175,7 @@ type search struct {
 	intVars  []int
 	opts     Options
 	maximize bool
+	tr       *obsv.Trace // context trace, nil when absent
 
 	baseLo, baseUp []float64
 
@@ -181,6 +183,7 @@ type search struct {
 	incScore     float64 // internal maximization form
 	hasIncumbent bool
 	nodes        int
+	pruned       int // subtrees cut by bound or LP infeasibility
 }
 
 // score converts an objective in the problem's sense to internal
@@ -203,6 +206,13 @@ func (s *search) unscore(score float64) float64 {
 func (s *search) run() (Result, error) {
 	open := &bestFirst{{branch: -1, bound: math.Inf(1)}}
 	s.incScore = math.Inf(-1)
+	s.tr = obsv.FromContext(s.ctx)
+	if s.tr != nil {
+		defer func() {
+			s.tr.Count("ilp.nodes_expanded", int64(s.nodes))
+			s.tr.Count("ilp.nodes_pruned", int64(s.pruned))
+		}()
+	}
 
 	finish := func(st Status, bestBound float64) Result {
 		res := Result{Status: st, Nodes: s.nodes, HasIncumbent: s.hasIncumbent}
@@ -245,6 +255,7 @@ func (s *search) run() (Result, error) {
 		}
 		switch res.Status {
 		case lp.StatusInfeasible:
+			s.pruned++
 			continue
 		case lp.StatusUnbounded:
 			if top.branch == -1 {
@@ -256,6 +267,7 @@ func (s *search) run() (Result, error) {
 		}
 		nodeScore := s.score(res.Objective)
 		if s.hasIncumbent && !s.improves(nodeScore) {
+			s.pruned++
 			continue
 		}
 
@@ -304,6 +316,7 @@ func (s *search) offerIncumbent(sol []float64, score float64) {
 		s.incumbent = sol
 		s.incScore = score
 		s.hasIncumbent = true
+		s.tr.Event("ilp.incumbent", int64(math.Round(s.unscore(score))))
 	}
 }
 

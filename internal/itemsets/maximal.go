@@ -6,6 +6,7 @@ import (
 	"sort"
 
 	"standout/internal/bitvec"
+	"standout/internal/obsv"
 )
 
 // pollCtx reports a pending cancellation without blocking.
@@ -49,6 +50,7 @@ func (m *Miner) MaximalDFSContext(ctx context.Context, minSup int) ([]ItemsetCou
 
 	var found []ItemsetCount
 	var ctxErr error
+	dfsNodes := int64(0)
 	isSubsumed := func(items bitvec.Vector) bool {
 		for _, f := range found {
 			if items.SubsetOf(f.Items) {
@@ -67,6 +69,7 @@ func (m *Miner) MaximalDFSContext(ctx context.Context, minSup int) ([]ItemsetCou
 			ctxErr = err
 			return
 		}
+		dfsNodes++
 		// Filter candidates to those frequent in the current context, and
 		// absorb parent-equivalent items on the way (PEP, as in MAFIA):
 		// an item supported by every row of the current context belongs to
@@ -149,6 +152,7 @@ func (m *Miner) MaximalDFSContext(ctx context.Context, minSup int) ([]ItemsetCou
 		return nil, nil // not even the empty itemset is frequent
 	}
 	rec(empty, full, m.nrows, order)
+	obsv.FromContext(ctx).Count("itemsets.dfs_nodes", dfsNodes)
 
 	// The DFS can emit the empty itemset when nothing else is frequent; that
 	// is the correct answer (the empty set is maximal) and callers handle it.
@@ -245,10 +249,12 @@ func (m *Miner) walk(ctx context.Context, minSup int, opts WalkOptions, topDown 
 
 	var ctxErr error
 	scratch := newWalkScratch(m)
+	walks := int64(0)
 	for iter := 0; iter < opts.MaxIters; iter++ {
 		if ctxErr = pollCtx(ctx); ctxErr != nil {
 			break
 		}
+		walks++
 		var items bitvec.Vector
 		var rows []uint64
 		if topDown {
@@ -275,6 +281,7 @@ func (m *Miner) walk(ctx context.Context, minSup int, opts WalkOptions, topDown 
 		}
 	}
 
+	obsv.FromContext(ctx).Count("itemsets.walks", walks)
 	out := make([]ItemsetCount, 0, len(seen))
 	for _, d := range seen {
 		out = append(out, d.set)

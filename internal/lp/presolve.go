@@ -4,6 +4,8 @@ import (
 	"context"
 	"fmt"
 	"math"
+
+	"standout/internal/obsv"
 )
 
 // Presolve reductions applied before the simplex when Options.Presolve is
@@ -191,6 +193,10 @@ func (ps presolved) expand(p *Problem, res Result) Result {
 // solveWithPresolve is the Options.Presolve path of Problem.Solve.
 func (p *Problem) solveWithPresolve(ctx context.Context, opts Options) (Result, error) {
 	ps := presolve(p)
+	if tr := obsv.FromContext(ctx); tr != nil && !ps.infeasible {
+		tr.Count("lp.presolve.fixed_vars", int64(p.NumVars()-ps.reduced.NumVars()))
+		tr.Count("lp.presolve.dropped_rows", int64(p.NumConstraints()-ps.reduced.NumConstraints()))
+	}
 	if ps.infeasible {
 		return Result{Status: StatusInfeasible}, nil
 	}

@@ -20,6 +20,8 @@ import (
 	"errors"
 	"fmt"
 	"math"
+
+	"standout/internal/obsv"
 )
 
 // Sense selects the optimization direction.
@@ -269,12 +271,26 @@ func (p *Problem) SolveContext(ctx context.Context, opts Options) (Result, error
 		return Result{}, fmt.Errorf("%w: %v", ErrInvalid, err)
 	}
 	if opts.Presolve {
-		return p.solveWithPresolve(ctx, opts)
+		res, err := p.solveWithPresolve(ctx, opts)
+		countSolve(ctx, res, err)
+		return res, err
 	}
 	s := newSimplex(ctx, p, opts)
 	res := s.solve()
 	if s.interrupted {
 		return Result{}, fmt.Errorf("lp: %w", ctx.Err())
 	}
+	countSolve(ctx, res, nil)
 	return res, nil
+}
+
+// countSolve records one LP solve into the context trace, if any: the solve
+// itself and its simplex pivot count (both phases, presolved or not).
+func countSolve(ctx context.Context, res Result, err error) {
+	tr := obsv.FromContext(ctx)
+	if tr == nil || err != nil {
+		return
+	}
+	tr.Count("lp.solves", 1)
+	tr.Count("lp.pivots", int64(res.Iters))
 }

@@ -1,0 +1,83 @@
+package obsv
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+)
+
+// Flags is the observability flag trio shared by the cmd tools: every tool
+// registers the same -trace, -metrics and -pprof flags and calls Apply once
+// after parsing, so profiling any solver run works identically across the
+// toolbox.
+type Flags struct {
+	// Trace attaches a Trace to the run's context; its summary prints to the
+	// diagnostic writer when the cleanup runs.
+	Trace bool
+	// Metrics names a file to receive a Prometheus text dump of the Default
+	// registry at cleanup; "-" selects the tool's stdout.
+	Metrics string
+	// Pprof is a listen address (use loopback; the profiler has no
+	// authentication) for net/http/pprof, expvar and /metrics.
+	Pprof string
+}
+
+// Register installs the three flags into fs.
+func (f *Flags) Register(fs *flag.FlagSet) {
+	fs.BoolVar(&f.Trace, "trace", false,
+		"record a solve trace and print its summary at exit")
+	fs.StringVar(&f.Metrics, "metrics", "",
+		`write Prometheus text metrics to this file at exit ("-" = stdout)`)
+	fs.StringVar(&f.Pprof, "pprof", "",
+		`serve pprof, expvar and /metrics on this loopback address (e.g. "localhost:0")`)
+}
+
+// Apply starts whatever the flags requested: it returns a context carrying a
+// fresh Trace when -trace is set, and a cleanup function that stops the
+// profiling server, writes the -metrics dump and prints the trace summary.
+// The cleanup is never nil; run it before exiting.
+func (f *Flags) Apply(ctx context.Context, stdout, diag io.Writer) (context.Context, func() error, error) {
+	var tr *Trace
+	if f.Trace {
+		tr = NewTrace()
+		ctx = WithTrace(ctx, tr)
+	}
+	stopServer := func() error { return nil }
+	if f.Pprof != "" {
+		Default.PublishExpvar("standout_metrics") // /debug/vars includes the registry
+		addr, stop, err := StartServer(f.Pprof, Default)
+		if err != nil {
+			return ctx, func() error { return nil }, err
+		}
+		stopServer = stop
+		fmt.Fprintf(diag, "pprof: serving on http://%s/debug/pprof/ (metrics on /metrics)\n", addr)
+	}
+	cleanup := func() error {
+		err := stopServer()
+		if f.Metrics != "" {
+			if werr := f.writeMetrics(stdout); werr != nil && err == nil {
+				err = werr
+			}
+		}
+		if tr != nil {
+			fmt.Fprint(diag, tr.String())
+		}
+		return err
+	}
+	return ctx, cleanup, nil
+}
+
+func (f *Flags) writeMetrics(stdout io.Writer) error {
+	w := stdout
+	if f.Metrics != "-" {
+		file, err := os.Create(f.Metrics)
+		if err != nil {
+			return fmt.Errorf("obsv: metrics dump: %w", err)
+		}
+		defer file.Close()
+		w = file
+	}
+	return Default.WriteProm(w)
+}

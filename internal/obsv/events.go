@@ -1,0 +1,29 @@
+package obsv
+
+import (
+	"context"
+	"log/slog"
+)
+
+// The structured event sink: an optional *slog.Logger carried in the
+// context. When present, the solver stack emits solve lifecycle events
+// ("solve.start", "solve.finish", "solve.cancel", "solve.error",
+// "batch.finish") with the solver name, instance shape and outcome as
+// attributes. When absent — the default — no event code runs and nothing
+// allocates.
+
+// loggerKey carries the event logger in a context (zero-size key type, so
+// lookups are allocation-free).
+type loggerKey struct{}
+
+// WithLogger returns a context whose solves emit structured lifecycle
+// events through l.
+func WithLogger(ctx context.Context, l *slog.Logger) context.Context {
+	return context.WithValue(ctx, loggerKey{}, l)
+}
+
+// Logger returns the event logger attached to ctx, or nil.
+func Logger(ctx context.Context) *slog.Logger {
+	l, _ := ctx.Value(loggerKey{}).(*slog.Logger)
+	return l
+}

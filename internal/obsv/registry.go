@@ -1,0 +1,299 @@
+package obsv
+
+import (
+	"expvar"
+	"fmt"
+	"io"
+	"math"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Registry is a process-level set of named counters, gauges and histograms.
+// Metrics are created once (get-or-create by name) and updated lock-free on
+// the hot path; rendering takes the registry lock. The zero value is not
+// usable; call NewRegistry or use Default.
+type Registry struct {
+	mu      sync.Mutex
+	order   []string // insertion order for stable output
+	metrics map[string]metric
+
+	expvarOnce sync.Once
+}
+
+// metric is the common behavior of every registered instrument.
+type metric interface {
+	help() string
+	promType() string
+	// writeProm appends the metric's sample lines (no HELP/TYPE headers).
+	writeProm(w io.Writer, name string)
+	// value returns the expvar representation.
+	value() any
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{metrics: make(map[string]metric)}
+}
+
+// Default is the library-wide registry the solver stack records into; the
+// cmd tools publish and dump it.
+var Default = NewRegistry()
+
+var nameRE = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+
+// register returns the existing metric under name or installs make()'s
+// result. A name reused with a different instrument kind is a programming
+// error and panics, as does a name that is not a valid Prometheus metric
+// name.
+func (r *Registry) register(name string, make func() metric) metric {
+	if !nameRE.MatchString(name) {
+		panic(fmt.Sprintf("obsv: invalid metric name %q", name))
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m, ok := r.metrics[name]; ok {
+		return m
+	}
+	m := make()
+	r.metrics[name] = m
+	r.order = append(r.order, name)
+	return m
+}
+
+// Counter is a monotonically increasing int64 metric.
+type Counter struct {
+	helpText string
+	v        atomic.Int64
+}
+
+// Add increments the counter; negative deltas are a programming error but
+// are applied as-is (the dump will show it).
+func (c *Counter) Add(delta int64) { c.v.Add(delta) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+func (c *Counter) help() string     { return c.helpText }
+func (c *Counter) promType() string { return "counter" }
+func (c *Counter) value() any       { return c.Value() }
+func (c *Counter) writeProm(w io.Writer, name string) {
+	fmt.Fprintf(w, "%s %d\n", name, c.Value())
+}
+
+// Counter returns the counter registered under name, creating it on first
+// use. Panics if name is registered as a different kind.
+func (r *Registry) Counter(name, help string) *Counter {
+	m := r.register(name, func() metric { return &Counter{helpText: help} })
+	c, ok := m.(*Counter)
+	if !ok {
+		panic(fmt.Sprintf("obsv: metric %q already registered as %s", name, m.promType()))
+	}
+	return c
+}
+
+// Gauge is a float64 metric that can go up and down.
+type Gauge struct {
+	helpText string
+	bits     atomic.Uint64
+}
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+func (g *Gauge) help() string     { return g.helpText }
+func (g *Gauge) promType() string { return "gauge" }
+func (g *Gauge) value() any       { return g.Value() }
+func (g *Gauge) writeProm(w io.Writer, name string) {
+	fmt.Fprintf(w, "%s %s\n", name, promFloat(g.Value()))
+}
+
+// Gauge returns the gauge registered under name, creating it on first use.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	m := r.register(name, func() metric { return &Gauge{helpText: help} })
+	g, ok := m.(*Gauge)
+	if !ok {
+		panic(fmt.Sprintf("obsv: metric %q already registered as %s", name, m.promType()))
+	}
+	return g
+}
+
+// DefBuckets are the default histogram buckets, spanning microseconds to
+// tens of seconds — the observed range of a solve.
+var DefBuckets = []float64{1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 0.1, 1, 10, 60}
+
+// Histogram is a cumulative-bucket duration/size distribution.
+type Histogram struct {
+	helpText string
+	bounds   []float64 // sorted upper bounds, +Inf implicit
+
+	mu     sync.Mutex
+	counts []uint64 // one per bound, plus the +Inf overflow at the end
+	sum    float64
+	total  uint64
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	h.mu.Lock()
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i]++
+	h.sum += v
+	h.total++
+	h.mu.Unlock()
+}
+
+// Count returns the number of samples observed.
+func (h *Histogram) Count() uint64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.total
+}
+
+// Sum returns the sum of all observed samples.
+func (h *Histogram) Sum() float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.sum
+}
+
+func (h *Histogram) help() string     { return h.helpText }
+func (h *Histogram) promType() string { return "histogram" }
+func (h *Histogram) value() any {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return map[string]any{"count": h.total, "sum": h.sum}
+}
+
+func (h *Histogram) writeProm(w io.Writer, name string) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	cum := uint64(0)
+	for i, b := range h.bounds {
+		cum += h.counts[i]
+		fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", name, promFloat(b), cum)
+	}
+	fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, h.total)
+	fmt.Fprintf(w, "%s_sum %s\n", name, promFloat(h.sum))
+	fmt.Fprintf(w, "%s_count %d\n", name, h.total)
+}
+
+// Histogram returns the histogram registered under name, creating it with
+// the given bucket upper bounds (nil means DefBuckets) on first use.
+func (r *Registry) Histogram(name, help string, buckets []float64) *Histogram {
+	m := r.register(name, func() metric {
+		if buckets == nil {
+			buckets = DefBuckets
+		}
+		bounds := append([]float64(nil), buckets...)
+		sort.Float64s(bounds)
+		return &Histogram{helpText: help, bounds: bounds, counts: make([]uint64, len(bounds)+1)}
+	})
+	h, ok := m.(*Histogram)
+	if !ok {
+		panic(fmt.Sprintf("obsv: metric %q already registered as %s", name, m.promType()))
+	}
+	return h
+}
+
+// promFloat formats a float the way Prometheus expects (no exponent for
+// common values, +Inf spelled out).
+func promFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WriteProm renders every metric in Prometheus text exposition format
+// (version 0.0.4): # HELP / # TYPE headers followed by sample lines, in
+// registration order.
+func (r *Registry) WriteProm(w io.Writer) error {
+	r.mu.Lock()
+	names := append([]string(nil), r.order...)
+	metrics := make([]metric, len(names))
+	for i, n := range names {
+		metrics[i] = r.metrics[n]
+	}
+	r.mu.Unlock()
+
+	var sb strings.Builder
+	for i, name := range names {
+		m := metrics[i]
+		if h := m.help(); h != "" {
+			fmt.Fprintf(&sb, "# HELP %s %s\n", name, strings.ReplaceAll(h, "\n", " "))
+		}
+		fmt.Fprintf(&sb, "# TYPE %s %s\n", name, m.promType())
+		m.writeProm(&sb, name)
+	}
+	_, err := io.WriteString(w, sb.String())
+	return err
+}
+
+// ExpvarFunc returns an expvar.Var rendering the registry as a JSON object
+// of name → value (histograms as {count, sum}).
+func (r *Registry) ExpvarFunc() expvar.Var {
+	return expvar.Func(func() any {
+		r.mu.Lock()
+		names := append([]string(nil), r.order...)
+		metrics := make([]metric, len(names))
+		for i, n := range names {
+			metrics[i] = r.metrics[n]
+		}
+		r.mu.Unlock()
+		out := make(map[string]any, len(names))
+		for i, n := range names {
+			out[n] = metrics[i].value()
+		}
+		return out
+	})
+}
+
+// PublishExpvar publishes the registry under the given expvar name, once;
+// repeated calls (including under the same name from different tools in one
+// process) are no-ops rather than expvar.Publish panics.
+func (r *Registry) PublishExpvar(name string) {
+	r.expvarOnce.Do(func() {
+		if expvar.Get(name) == nil {
+			expvar.Publish(name, r.ExpvarFunc())
+		}
+	})
+}
+
+// promLineRE validates one Prometheus sample line: a metric name, an
+// optional label set, and a float value (optional timestamp tolerated).
+var promLineRE = regexp.MustCompile(
+	`^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[a-zA-Z_][a-zA-Z0-9_]*="(\\.|[^"\\])*"(,[a-zA-Z_][a-zA-Z0-9_]*="(\\.|[^"\\])*")*\})? (NaN|[+-]?Inf|[-+]?[0-9]*\.?[0-9]+([eE][-+]?[0-9]+)?)( [0-9]+)?$`)
+
+// LintProm checks that text parses as Prometheus text exposition format.
+// It is intentionally strict about the sample-line grammar and is used by
+// the tests gating `socbench -metrics` output.
+func LintProm(text string) error {
+	for i, line := range strings.Split(text, "\n") {
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			if !strings.HasPrefix(line, "# HELP ") && !strings.HasPrefix(line, "# TYPE ") {
+				return fmt.Errorf("line %d: comment is neither HELP nor TYPE: %q", i+1, line)
+			}
+			continue
+		}
+		if !promLineRE.MatchString(line) {
+			return fmt.Errorf("line %d: not a valid sample line: %q", i+1, line)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,159 @@
+package obsv
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+func TestRegistryPromOutput(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("solves_total", "Total solves started.")
+	c.Add(3)
+	g := r.Gauge("workers", "Configured batch workers.")
+	g.Set(4)
+	h := r.Histogram("solve_seconds", "Solve wall time.", nil)
+	h.Observe(0.002)
+	h.Observe(0.5)
+	h.Observe(120) // beyond the last bucket → +Inf slot
+
+	var sb strings.Builder
+	if err := r.WriteProm(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"# HELP solves_total Total solves started.",
+		"# TYPE solves_total counter",
+		"solves_total 3",
+		"# TYPE workers gauge",
+		"workers 4",
+		"# TYPE solve_seconds histogram",
+		`solve_seconds_bucket{le="0.01"} 1`,
+		`solve_seconds_bucket{le="1"} 2`,
+		`solve_seconds_bucket{le="+Inf"} 3`,
+		"solve_seconds_count 3",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("WriteProm output missing %q:\n%s", want, out)
+		}
+	}
+	if err := LintProm(out); err != nil {
+		t.Fatalf("WriteProm output fails LintProm: %v\n%s", err, out)
+	}
+}
+
+func TestRegistryGetOrCreate(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("c", "h")
+	b := r.Counter("c", "other help ignored")
+	if a != b {
+		t.Fatal("Counter with same name returned distinct metrics")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("kind mismatch did not panic")
+		}
+	}()
+	r.Gauge("c", "wrong kind")
+}
+
+func TestRegistryInvalidName(t *testing.T) {
+	r := NewRegistry()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("invalid name did not panic")
+		}
+	}()
+	r.Counter("bad name!", "h")
+}
+
+func TestExpvarFunc(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("n", "h").Add(7)
+	r.Histogram("d", "h", []float64{1}).Observe(0.5)
+	v := r.ExpvarFunc()
+	var got map[string]any
+	if err := json.Unmarshal([]byte(v.String()), &got); err != nil {
+		t.Fatalf("expvar output not JSON: %v (%s)", err, v.String())
+	}
+	if got["n"].(float64) != 7 {
+		t.Fatalf("expvar n = %v", got["n"])
+	}
+	d := got["d"].(map[string]any)
+	if d["count"].(float64) != 1 || d["sum"].(float64) != 0.5 {
+		t.Fatalf("expvar d = %v", d)
+	}
+}
+
+func TestPublishExpvarIdempotent(t *testing.T) {
+	r := NewRegistry()
+	r.PublishExpvar("obsv_test_metrics")
+	r.PublishExpvar("obsv_test_metrics") // must not panic
+	r2 := NewRegistry()
+	r2.PublishExpvar("obsv_test_metrics") // duplicate name from another registry: no panic
+}
+
+func TestLintPromRejectsGarbage(t *testing.T) {
+	for _, bad := range []string{
+		"not a metric line at all!",
+		"# BOGUS comment kind",
+		`name{unterminated="x} 1`,
+	} {
+		if err := LintProm(bad); err == nil {
+			t.Errorf("LintProm accepted %q", bad)
+		}
+	}
+	if err := LintProm(""); err != nil {
+		t.Errorf("LintProm rejected empty input: %v", err)
+	}
+}
+
+func TestStartServer(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("hits", "h").Add(1)
+	addr, stop, err := StartServer("localhost:0", r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if err := stop(); err != nil {
+			t.Errorf("stop: %v", err)
+		}
+	}()
+
+	get := func(path string) string {
+		resp, err := http.Get(fmt.Sprintf("http://%s%s", addr, path))
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		b, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(b)
+	}
+
+	metrics := get("/metrics")
+	if !strings.Contains(metrics, "hits 1") {
+		t.Fatalf("/metrics missing counter:\n%s", metrics)
+	}
+	if err := LintProm(metrics); err != nil {
+		t.Fatalf("/metrics fails lint: %v", err)
+	}
+	if !strings.Contains(get("/debug/pprof/"), "pprof") {
+		t.Fatal("/debug/pprof/ index not served")
+	}
+	vars := get("/debug/vars")
+	var anyJSON map[string]any
+	if err := json.Unmarshal([]byte(vars), &anyJSON); err != nil {
+		t.Fatalf("/debug/vars not JSON: %v", err)
+	}
+}

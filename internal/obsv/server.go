@@ -1,0 +1,48 @@
+package obsv
+
+import (
+	"context"
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// StartServer binds addr (use a loopback address such as "localhost:0" —
+// the profiler has no authentication) and serves:
+//
+//	/debug/pprof/...  net/http/pprof profiles
+//	/debug/vars       expvar JSON (including the registry, once published)
+//	/metrics          the registry in Prometheus text format
+//
+// It returns the bound address (useful with port 0) and a stop function
+// that shuts the server down. reg may be nil to serve pprof only.
+func StartServer(addr string, reg *Registry) (string, func() error, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", nil, fmt.Errorf("obsv: listen %s: %w", addr, err)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/debug/vars", expvar.Handler())
+	if reg != nil {
+		mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+			w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+			_ = reg.WriteProm(w)
+		})
+	}
+	srv := &http.Server{Handler: mux}
+	go func() { _ = srv.Serve(ln) }()
+	stop := func() error {
+		ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+		defer cancel()
+		return srv.Shutdown(ctx)
+	}
+	return ln.Addr().String(), stop, nil
+}

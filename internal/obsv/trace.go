@@ -1,0 +1,261 @@
+// Package obsv is the library's observability substrate: per-solve traces
+// carried in a context, a process-level metrics registry with expvar and
+// Prometheus-text publication, a log/slog structured event sink, and a small
+// HTTP server exposing pprof, /metrics and /debug/vars.
+//
+// Everything is standard library only. The cardinal design rule is that the
+// disabled path is free: a solver running under a context with no Trace
+// attached must not allocate or take locks on behalf of this package, so the
+// collectors can stay compiled into every hot path (the overhead budget is
+// documented in DESIGN.md §Observability).
+package obsv
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// maxEvents bounds the per-trace timestamped event list so a pathological
+// solver (thousands of incumbent updates) cannot balloon a trace; further
+// events are dropped and counted in Summary.DroppedEvents.
+const maxEvents = 1024
+
+// Trace collects the telemetry of one logical solve (or one batch of
+// solves): named counters, phase spans aggregated by name, and timestamped
+// events. A nil *Trace is valid and every method on it is a cheap no-op, so
+// callers fetch once with FromContext and instrument unconditionally.
+//
+// A Trace is safe for concurrent use; SolveBatchContext workers share one.
+type Trace struct {
+	t0 time.Time
+
+	mu       sync.Mutex
+	counters map[string]int64
+	phases   map[string]*phaseAgg
+	events   []Event
+	dropped  int64
+}
+
+type phaseAgg struct {
+	count int64
+	total time.Duration
+}
+
+// NewTrace returns an empty collector; attach it with WithTrace.
+func NewTrace() *Trace {
+	return &Trace{
+		t0:       time.Now(),
+		counters: make(map[string]int64),
+		phases:   make(map[string]*phaseAgg),
+	}
+}
+
+// traceKey carries the Trace in a context. A zero-size key type keeps
+// context.Value lookups allocation-free.
+type traceKey struct{}
+
+// WithTrace returns a context carrying t; solvers run under it populate t.
+func WithTrace(ctx context.Context, t *Trace) context.Context {
+	return context.WithValue(ctx, traceKey{}, t)
+}
+
+// FromContext returns the Trace attached to ctx, or nil. The nil result is
+// directly usable: every Trace method tolerates a nil receiver.
+func FromContext(ctx context.Context) *Trace {
+	t, _ := ctx.Value(traceKey{}).(*Trace)
+	return t
+}
+
+// Count adds delta to the named counter, creating it at zero first. Counters
+// are for totals flushed at phase or solve end (nodes expanded, pivots,
+// candidates scored), not for per-iteration increments inside hot loops.
+func (t *Trace) Count(name string, delta int64) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.counters[name] += delta
+	t.mu.Unlock()
+}
+
+// Counter returns the current value of a counter (0 when absent).
+func (t *Trace) Counter(name string) int64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.counters[name]
+}
+
+// Event appends a timestamped (name, value) pair — incumbent updates,
+// threshold changes — recorded relative to the trace's creation time.
+func (t *Trace) Event(name string, value int64) {
+	if t == nil {
+		return
+	}
+	at := time.Since(t.t0)
+	t.mu.Lock()
+	if len(t.events) >= maxEvents {
+		t.dropped++
+	} else {
+		t.events = append(t.events, Event{Name: name, Value: value, AtSeconds: at.Seconds()})
+	}
+	t.mu.Unlock()
+}
+
+// Span is an in-flight phase measurement returned by StartSpan. It is a
+// plain value (no heap allocation); call End exactly once.
+type Span struct {
+	t     *Trace
+	name  string
+	start time.Time
+}
+
+// StartSpan opens a phase span. Spans with the same name aggregate (count +
+// total duration), so per-threshold or per-tuple repetitions of a phase stay
+// bounded in the trace. On a nil Trace the zero Span is returned and End is
+// free.
+func (t *Trace) StartSpan(name string) Span {
+	if t == nil {
+		return Span{}
+	}
+	return Span{t: t, name: name, start: time.Now()}
+}
+
+// End closes the span, folding its duration into the trace.
+func (s Span) End() {
+	if s.t == nil {
+		return
+	}
+	d := time.Since(s.start)
+	s.t.mu.Lock()
+	agg := s.t.phases[s.name]
+	if agg == nil {
+		agg = &phaseAgg{}
+		s.t.phases[s.name] = agg
+	}
+	agg.count++
+	agg.total += d
+	s.t.mu.Unlock()
+}
+
+// PhaseStat is one aggregated phase in a Summary.
+type PhaseStat struct {
+	Name    string  `json:"name"`
+	Count   int64   `json:"count"`
+	Seconds float64 `json:"seconds"`
+}
+
+// Event is one timestamped trace event.
+type Event struct {
+	Name      string  `json:"name"`
+	Value     int64   `json:"value"`
+	AtSeconds float64 `json:"at_seconds"`
+}
+
+// Summary is an immutable, JSON-marshalable snapshot of a Trace. Phases are
+// sorted by descending total time (the reading order of a phase breakdown),
+// counters render sorted by name.
+type Summary struct {
+	Counters      map[string]int64 `json:"counters,omitempty"`
+	Phases        []PhaseStat      `json:"phases,omitempty"`
+	Events        []Event          `json:"events,omitempty"`
+	DroppedEvents int64            `json:"dropped_events,omitempty"`
+}
+
+// Snapshot captures the trace's current state. It is safe to call while the
+// trace is still being written (e.g. for live progress dumps).
+func (t *Trace) Snapshot() Summary {
+	if t == nil {
+		return Summary{}
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	s := Summary{DroppedEvents: t.dropped}
+	if len(t.counters) > 0 {
+		s.Counters = make(map[string]int64, len(t.counters))
+		for k, v := range t.counters {
+			s.Counters[k] = v
+		}
+	}
+	for name, agg := range t.phases {
+		s.Phases = append(s.Phases, PhaseStat{Name: name, Count: agg.count, Seconds: agg.total.Seconds()})
+	}
+	sort.Slice(s.Phases, func(a, b int) bool {
+		if s.Phases[a].Seconds != s.Phases[b].Seconds {
+			return s.Phases[a].Seconds > s.Phases[b].Seconds
+		}
+		return s.Phases[a].Name < s.Phases[b].Name
+	})
+	if len(t.events) > 0 {
+		s.Events = append([]Event(nil), t.events...)
+	}
+	return s
+}
+
+// String renders the snapshot as an aligned human-readable block, the format
+// the cmd tools print under -trace.
+func (t *Trace) String() string { return t.Snapshot().String() }
+
+// String renders the summary; empty summaries render as "(empty trace)".
+func (s Summary) String() string {
+	var sb strings.Builder
+	for _, p := range s.Phases {
+		fmt.Fprintf(&sb, "phase %-20s %8d× %12.6fs\n", p.Name, p.Count, p.Seconds)
+	}
+	names := make([]string, 0, len(s.Counters))
+	for name := range s.Counters {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		fmt.Fprintf(&sb, "count %-20s %8d\n", name, s.Counters[name])
+	}
+	for _, e := range s.Events {
+		fmt.Fprintf(&sb, "event %-20s %8d  @%.6fs\n", e.Name, e.Value, e.AtSeconds)
+	}
+	if s.DroppedEvents > 0 {
+		fmt.Fprintf(&sb, "event (dropped)          %8d\n", s.DroppedEvents)
+	}
+	if sb.Len() == 0 {
+		return "(empty trace)\n"
+	}
+	return sb.String()
+}
+
+// Merge folds other into s: counters add, phases aggregate by name, events
+// concatenate (bounded by maxEvents). Used by the bench harness to combine
+// the traces of a cell's repeated solves.
+func (s *Summary) Merge(other Summary) {
+	if len(other.Counters) > 0 && s.Counters == nil {
+		s.Counters = make(map[string]int64, len(other.Counters))
+	}
+	for k, v := range other.Counters {
+		s.Counters[k] += v
+	}
+	byName := make(map[string]int, len(s.Phases))
+	for i, p := range s.Phases {
+		byName[p.Name] = i
+	}
+	for _, p := range other.Phases {
+		if i, ok := byName[p.Name]; ok {
+			s.Phases[i].Count += p.Count
+			s.Phases[i].Seconds += p.Seconds
+		} else {
+			s.Phases = append(s.Phases, p)
+		}
+	}
+	for _, e := range other.Events {
+		if len(s.Events) >= maxEvents {
+			s.DroppedEvents++
+			continue
+		}
+		s.Events = append(s.Events, e)
+	}
+	s.DroppedEvents += other.DroppedEvents
+}

@@ -1,0 +1,186 @@
+package obsv
+
+import (
+	"context"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestNilTraceIsSafe(t *testing.T) {
+	var tr *Trace
+	tr.Count("x", 1)
+	tr.Event("x", 2)
+	sp := tr.StartSpan("phase")
+	sp.End()
+	if got := tr.Counter("x"); got != 0 {
+		t.Fatalf("nil counter = %d, want 0", got)
+	}
+	s := tr.Snapshot()
+	if len(s.Counters) != 0 || len(s.Phases) != 0 || len(s.Events) != 0 {
+		t.Fatalf("nil snapshot not empty: %+v", s)
+	}
+	if got := s.String(); got != "(empty trace)\n" {
+		t.Fatalf("empty summary String = %q", got)
+	}
+}
+
+func TestNilPathZeroAlloc(t *testing.T) {
+	ctx := context.Background()
+	allocs := testing.AllocsPerRun(100, func() {
+		tr := FromContext(ctx)
+		tr.Count("nodes", 10)
+		sp := tr.StartSpan("solve")
+		tr.Event("incumbent", 3)
+		sp.End()
+	})
+	if allocs != 0 {
+		t.Fatalf("nil-trace path allocates %v per run, want 0", allocs)
+	}
+}
+
+func TestFromContextRoundTrip(t *testing.T) {
+	if FromContext(context.Background()) != nil {
+		t.Fatal("FromContext on bare context should be nil")
+	}
+	tr := NewTrace()
+	ctx := WithTrace(context.Background(), tr)
+	if FromContext(ctx) != tr {
+		t.Fatal("FromContext did not return the attached trace")
+	}
+}
+
+func TestCountersSpansEvents(t *testing.T) {
+	tr := NewTrace()
+	tr.Count("nodes", 5)
+	tr.Count("nodes", 7)
+	tr.Count("pruned", 1)
+	if got := tr.Counter("nodes"); got != 12 {
+		t.Fatalf("nodes = %d, want 12", got)
+	}
+
+	sp := tr.StartSpan("bnb")
+	time.Sleep(time.Millisecond)
+	sp.End()
+	tr.StartSpan("bnb").End()
+	tr.StartSpan("encode").End()
+	tr.Event("incumbent", 4)
+
+	s := tr.Snapshot()
+	if s.Counters["nodes"] != 12 || s.Counters["pruned"] != 1 {
+		t.Fatalf("counters = %v", s.Counters)
+	}
+	byName := map[string]PhaseStat{}
+	for _, p := range s.Phases {
+		byName[p.Name] = p
+	}
+	if byName["bnb"].Count != 2 {
+		t.Fatalf("bnb span count = %d, want 2", byName["bnb"].Count)
+	}
+	if byName["bnb"].Seconds < 0.001 {
+		t.Fatalf("bnb span seconds = %v, want >= 1ms", byName["bnb"].Seconds)
+	}
+	if byName["encode"].Count != 1 {
+		t.Fatalf("encode span count = %d", byName["encode"].Count)
+	}
+	// Phases sorted by descending seconds: bnb (slept) must come first.
+	if s.Phases[0].Name != "bnb" {
+		t.Fatalf("phase order = %v, want bnb first", s.Phases)
+	}
+	if len(s.Events) != 1 || s.Events[0].Name != "incumbent" || s.Events[0].Value != 4 {
+		t.Fatalf("events = %v", s.Events)
+	}
+	if s.Events[0].AtSeconds < 0 {
+		t.Fatalf("event timestamp negative: %v", s.Events[0])
+	}
+
+	out := s.String()
+	for _, want := range []string{"phase bnb", "count nodes", "event incumbent"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("String() missing %q:\n%s", want, out)
+		}
+	}
+	if _, err := json.Marshal(s); err != nil {
+		t.Fatalf("summary not JSON-marshalable: %v", err)
+	}
+}
+
+func TestEventCap(t *testing.T) {
+	tr := NewTrace()
+	for i := 0; i < maxEvents+10; i++ {
+		tr.Event("e", int64(i))
+	}
+	s := tr.Snapshot()
+	if len(s.Events) != maxEvents {
+		t.Fatalf("events = %d, want %d", len(s.Events), maxEvents)
+	}
+	if s.DroppedEvents != 10 {
+		t.Fatalf("dropped = %d, want 10", s.DroppedEvents)
+	}
+}
+
+func TestConcurrentTrace(t *testing.T) {
+	tr := NewTrace()
+	done := make(chan struct{})
+	for g := 0; g < 8; g++ {
+		go func() {
+			defer func() { done <- struct{}{} }()
+			for i := 0; i < 100; i++ {
+				tr.Count("n", 1)
+				sp := tr.StartSpan("p")
+				sp.End()
+				tr.Event("e", 1)
+			}
+		}()
+	}
+	for g := 0; g < 8; g++ {
+		<-done
+	}
+	if got := tr.Counter("n"); got != 800 {
+		t.Fatalf("n = %d, want 800", got)
+	}
+}
+
+func TestSummaryMerge(t *testing.T) {
+	a := Summary{
+		Counters: map[string]int64{"nodes": 3},
+		Phases:   []PhaseStat{{Name: "solve", Count: 1, Seconds: 0.5}},
+		Events:   []Event{{Name: "x", Value: 1}},
+	}
+	b := Summary{
+		Counters:      map[string]int64{"nodes": 2, "pruned": 4},
+		Phases:        []PhaseStat{{Name: "solve", Count: 1, Seconds: 0.25}, {Name: "mine", Count: 2, Seconds: 0.1}},
+		Events:        []Event{{Name: "y", Value: 2}},
+		DroppedEvents: 1,
+	}
+	a.Merge(b)
+	if a.Counters["nodes"] != 5 || a.Counters["pruned"] != 4 {
+		t.Fatalf("merged counters = %v", a.Counters)
+	}
+	byName := map[string]PhaseStat{}
+	for _, p := range a.Phases {
+		byName[p.Name] = p
+	}
+	if p := byName["solve"]; p.Count != 2 || p.Seconds != 0.75 {
+		t.Fatalf("merged solve phase = %+v", p)
+	}
+	if p := byName["mine"]; p.Count != 2 {
+		t.Fatalf("merged mine phase = %+v", p)
+	}
+	if len(a.Events) != 2 || a.DroppedEvents != 1 {
+		t.Fatalf("merged events = %v dropped = %d", a.Events, a.DroppedEvents)
+	}
+
+	var zero Summary
+	zero.Merge(a)
+	if zero.Counters["nodes"] != 5 {
+		t.Fatalf("merge into zero summary: %v", zero.Counters)
+	}
+}
+
+func TestLoggerContext(t *testing.T) {
+	if Logger(context.Background()) != nil {
+		t.Fatal("Logger on bare context should be nil")
+	}
+}

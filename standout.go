@@ -33,10 +33,12 @@ package standout
 
 import (
 	"context"
+	"log/slog"
 
 	"standout/internal/bitvec"
 	"standout/internal/core"
 	"standout/internal/dataset"
+	"standout/internal/obsv"
 )
 
 // Re-exported data-model types. See the internal packages for full method
@@ -80,6 +82,14 @@ type (
 )
 
 // Mining backends for MaxFreqItemSets.
+//
+// The zero value of MiningBackend is BackendTwoPhaseWalk, so a bare
+// MaxFreqItemSets{} literal runs the paper's randomized walk: fast and
+// complete with high probability, but not guaranteed optimal. The library's
+// own defaults — Solve, SolveContext, and every entry of Solvers() — use
+// BackendExactDFS instead, trading speed for a guaranteed optimum; construct
+// MaxFreqItemSets{Backend: BackendTwoPhaseWalk} explicitly to reproduce the
+// paper's walk behavior.
 const (
 	// BackendTwoPhaseWalk is the paper's top-down two-phase random walk.
 	BackendTwoPhaseWalk = core.BackendTwoPhaseWalk
@@ -129,13 +139,16 @@ func SolveContext(ctx context.Context, log *QueryLog, tuple Vector, m int) (Solu
 }
 
 // Solvers returns one instance of every algorithm in the paper's order;
-// handy for comparisons and experiments.
+// handy for comparisons and experiments. The MaxFreqItemSets entry uses the
+// same guaranteed-exact DFS mining backend as Solve, so every exact solver in
+// the list actually returns a provable optimum (the walk backends are
+// available by constructing MaxFreqItemSets with an explicit Backend).
 func Solvers() []Solver {
 	return []Solver{
 		BruteForce{},
 		IP{},
 		ILP{},
-		MaxFreqItemSets{},
+		MaxFreqItemSets{Backend: BackendExactDFS},
 		ConsumeAttr{},
 		ConsumeAttrCumul{},
 		ConsumeQueries{},
@@ -164,3 +177,49 @@ type BatchError = core.BatchError
 func SolveBatchContext(ctx context.Context, s Solver, log *QueryLog, tuples []Vector, m, workers int) ([]Solution, []error, error) {
 	return core.SolveBatchContext(ctx, s, log, tuples, m, workers)
 }
+
+// Observability. Every solver populates a per-solve Trace when one is
+// attached to its context, records process-level metrics into the registry
+// returned by Metrics, and emits structured lifecycle events through a
+// context-attached slog.Logger. All three are off (and free) by default; see
+// DESIGN.md §Observability for the trace schema and the overhead budget.
+//
+//	tr := standout.NewTrace()
+//	ctx := standout.WithTrace(context.Background(), tr)
+//	sol, err := standout.SolveContext(ctx, log, tuple, m)
+//	fmt.Print(tr)              // phase breakdown, counters, events
+//	_ = sol.Trace() == tr      // the solution carries its trace too
+type (
+	// Trace collects one solve's (or one batch's) phase spans, counters and
+	// timestamped events. Safe for concurrent use; nil is a valid no-op.
+	Trace = obsv.Trace
+	// TraceSummary is an immutable JSON-marshalable snapshot of a Trace.
+	TraceSummary = obsv.Summary
+	// MetricsRegistry is a process-level set of counters, gauges and
+	// histograms with expvar and Prometheus-text publication.
+	MetricsRegistry = obsv.Registry
+)
+
+// NewTrace returns an empty trace; attach it with WithTrace.
+func NewTrace() *Trace { return obsv.NewTrace() }
+
+// WithTrace returns a context carrying t. Every solve run under the returned
+// context records its phase spans and counters into t, and the resulting
+// Solution's Trace method returns it.
+func WithTrace(ctx context.Context, t *Trace) context.Context { return obsv.WithTrace(ctx, t) }
+
+// TraceFromContext returns the trace attached by WithTrace, or nil.
+func TraceFromContext(ctx context.Context) *Trace { return obsv.FromContext(ctx) }
+
+// WithLogger returns a context whose solves emit structured lifecycle events
+// (solve.start, solve.finish, solve.cancel, solve.error, batch.finish)
+// through l.
+func WithLogger(ctx context.Context, l *slog.Logger) context.Context {
+	return obsv.WithLogger(ctx, l)
+}
+
+// Metrics returns the process-wide metrics registry the library records
+// into: solve totals, error/cancel counts, solve-duration and batch
+// queue-wait histograms. Use its WriteProm method for a Prometheus
+// text-format dump or PublishExpvar to expose it under /debug/vars.
+func Metrics() *MetricsRegistry { return obsv.Default }

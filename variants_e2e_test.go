@@ -1,0 +1,147 @@
+package standout_test
+
+import (
+	"strings"
+	"testing"
+
+	"standout"
+)
+
+// These tests exercise the variant facades end to end on instances small
+// enough to verify by hand, asserting exact visibility counts rather than
+// internal consistency only.
+
+// TestPerAttributeHandChecked: schema {A,B,C}, queries {A},{A},{A,B},{C},
+// tuple ABC. Keeping just A satisfies the two {A} queries at cost 1 —
+// ratio 2.0 — which beats every larger budget:
+//
+//	m=1: keep {A} → 2/1 = 2.0 (keep {C} → 1/1)
+//	m=2: keep {A,B} or {A,C} → 3/2 = 1.5
+//	m=3: keep {A,B,C} → 4/3 ≈ 1.33
+func TestPerAttributeHandChecked(t *testing.T) {
+	schema := standout.MustSchema([]string{"A", "B", "C"})
+	log := standout.NewQueryLog(schema)
+	for _, attrs := range [][]string{{"A"}, {"A"}, {"A", "B"}, {"C"}} {
+		q, err := schema.VectorOf(attrs...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := log.Append(q); err != nil {
+			t.Fatal(err)
+		}
+	}
+	tuple, err := schema.VectorOf("A", "B", "C")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range []standout.Solver{standout.BruteForce{}, standout.ILP{}} {
+		sol, err := standout.PerAttribute(s, log, tuple)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sol.M != 1 || sol.Satisfied != 2 || sol.Ratio != 2.0 {
+			t.Fatalf("%s: m=%d satisfied=%d ratio=%v, want m=1 satisfied=2 ratio=2",
+				s.Name(), sol.M, sol.Satisfied, sol.Ratio)
+		}
+		if names := sol.AttrNames(schema); strings.Join(names, ",") != "A" {
+			t.Fatalf("%s: kept %v, want [A]", s.Name(), names)
+		}
+	}
+}
+
+// TestDisjunctiveHandChecked: schema {A,B,C,D}, queries {A,B},{B},{C},{C,D},
+// {D}, tuple ABCD, m=2. Disjunctive retrieval needs only one shared
+// attribute, so this is max coverage. The three singleton queries {B},{C},
+// {D} need three distinct attributes, so two attributes cover at most 4
+// queries — and {B,C} (or {B,D}) achieves 4. The greedy also reaches 4 here
+// from any tie-broken first pick.
+func TestDisjunctiveHandChecked(t *testing.T) {
+	schema := standout.MustSchema([]string{"A", "B", "C", "D"})
+	log := standout.NewQueryLog(schema)
+	for _, attrs := range [][]string{{"A", "B"}, {"B"}, {"C"}, {"C", "D"}, {"D"}} {
+		q, err := schema.VectorOf(attrs...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := log.Append(q); err != nil {
+			t.Fatal(err)
+		}
+	}
+	tuple, err := schema.VectorOf("A", "B", "C", "D")
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact, err := standout.SolveDisjunctive(log, tuple, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exact.Satisfied != 4 {
+		t.Fatalf("exact satisfied=%d, want 4", exact.Satisfied)
+	}
+	if got := standout.DisjunctiveSatisfied(log, exact.Kept); got != 4 {
+		t.Fatalf("recount of exact kept set = %d, want 4", got)
+	}
+	greedy, err := standout.SolveDisjunctiveGreedy(log, tuple, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if greedy.Satisfied != 4 {
+		t.Fatalf("greedy satisfied=%d, want 4", greedy.Satisfied)
+	}
+	if got := standout.DisjunctiveSatisfied(log, greedy.Kept); got != greedy.Satisfied {
+		t.Fatalf("greedy recount %d != reported %d", got, greedy.Satisfied)
+	}
+}
+
+// TestTopKHandChecked: schema {A,B,C}; competition r1=ABC (score 10),
+// r2=C (score 9), r3=A (score 1); every query returns its top k=2 rows.
+// The new tuple ABC compressed to m=2 attributes scores AttrCount = 2, so:
+//
+//	{A}: only r1 outranks it (1 < k) → winnable
+//	{B}: only r1 outranks it        → winnable
+//	{C}: r1 and r2 outrank it (2 ≥ k) → hopeless
+//
+// The winnable set {A},{B} is an ordinary SOC-CB-QL instance whose optimum
+// keeps {A,B} and satisfies both queries.
+func TestTopKHandChecked(t *testing.T) {
+	schema := standout.MustSchema([]string{"A", "B", "C"})
+	db := standout.NewTable(schema)
+	for _, spec := range []string{"111", "001", "100"} {
+		v, err := standout.ParseTuple(schema, spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := db.Append(v, ""); err != nil {
+			t.Fatal(err)
+		}
+	}
+	log := standout.NewQueryLog(schema)
+	for _, attrs := range [][]string{{"A"}, {"B"}, {"C"}} {
+		q, err := schema.VectorOf(attrs...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := log.Append(q); err != nil {
+			t.Fatal(err)
+		}
+	}
+	tuple, err := schema.VectorOf("A", "B", "C")
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := standout.TopKVariant{
+		DB: db, K: 2,
+		NewTupleScore: standout.AttrCountScore,
+		RowScores:     []float64{10, 9, 1},
+	}
+	sol, err := v.Solve(standout.BruteForce{}, log, tuple, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Satisfied != 2 {
+		t.Fatalf("satisfied=%d, want 2 ({A} and {B} winnable, {C} hopeless)", sol.Satisfied)
+	}
+	if names := sol.AttrNames(schema); strings.Join(names, ",") != "A,B" {
+		t.Fatalf("kept %v, want [A B]", names)
+	}
+}
