@@ -1,9 +1,9 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: check build test test-race bench vet cover experiments quick-experiments fuzz
+.PHONY: check build test test-race bench vet fmt-check cover cover-gate experiments quick-experiments fuzz
 
 # Default: everything CI would gate on.
-check: build vet test test-race
+check: build vet fmt-check test test-race cover-gate
 
 build:
 	go build ./...
@@ -11,17 +11,32 @@ build:
 vet:
 	go vet ./...
 
+# Fail if any file is not gofmt-clean (gofmt -l prints offenders).
+fmt-check:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
 test:
 	go test ./...
 
-# The solver core is the concurrency-heavy part (SolveBatchContext, shared
-# Prep caches); race-test it on every check. `go test -race ./...` also works
-# but takes much longer on the bench package.
+# The solver core is the concurrency-heavy part (SolveBatchContext, the
+# shared PreparedLog index + solution memo, the LRU); race-test it on every
+# check. `go test -race ./...` also works but takes much longer on the bench
+# package.
 test-race:
-	go test -race ./internal/core/... ./internal/ilp/... ./internal/itemsets/...
+	go test -race ./internal/core/... ./internal/cache/... ./internal/index/... ./internal/ilp/... ./internal/itemsets/...
 
 cover:
 	go test -cover ./...
+
+# The shared-index layer is pure data structure code with no excuse for
+# untested branches: hold internal/index and internal/cache at >= 85%
+# statement coverage.
+cover-gate:
+	@go test -cover ./internal/index/... ./internal/cache/... | awk ' \
+		/coverage:/ { c = $$0; sub(/.*coverage: /, "", c); sub(/%.*/, "", c); \
+			if (c + 0 < 85) { print "coverage below 85%: " $$0; bad = 1 } else print } \
+		END { exit bad }'
 
 bench:
 	go test -bench=. -benchmem ./...

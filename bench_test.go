@@ -155,3 +155,32 @@ func benchmarkSolveTraced(b *testing.B, traced bool) {
 
 func BenchmarkSolveNilTrace(b *testing.B)  { benchmarkSolveTraced(b, false) }
 func BenchmarkSolveWithTrace(b *testing.B) { benchmarkSolveTraced(b, true) }
+
+// Batch benchmarks with the shared query-log index and solution memo on vs
+// off (see DESIGN.md §Shared index). The indexed variant is SolveBatch's
+// default (it prepares the log once per batch); the unindexed variant forces
+// the direct-scan path via WithoutPreparation. Both produce identical
+// solutions — the differential sweep in internal/core pins that — so the
+// ratio of these two is pure index/cache speedup. BENCH_index.json records a
+// full-scale run (10k queries, 64 tuples) via `socbench -json index`.
+func benchmarkBatch(b *testing.B, indexed bool) {
+	b.Helper()
+	tab := standout.GenerateCars(1, 2000)
+	log := standout.GenerateSyntheticWorkload(tab.Schema, 2, 1500, standout.WorkloadOptions{})
+	tuples := standout.PickTuples(tab, 3, 16)
+	ctx := context.Background()
+	if !indexed {
+		ctx = standout.WithoutPreparation(ctx)
+	}
+	s := standout.ConsumeAttrCumul{}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := standout.SolveBatchContext(ctx, s, log, tuples, 5, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBatchIndexed(b *testing.B)   { benchmarkBatch(b, true) }
+func BenchmarkBatchUnindexed(b *testing.B) { benchmarkBatch(b, false) }

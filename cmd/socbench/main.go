@@ -3,11 +3,12 @@
 //
 // Usage:
 //
-//	socbench [flags] fig6|fig7|fig8|fig9|fig10|fig11|ablations|all
+//	socbench [flags] fig6|fig7|fig8|fig9|fig10|fig11|index|ablations|all
 //
 // Flags:
 //
 //	-quick          reduced averaging for a fast run
+//	-prep           run figure solves through a shared prepared-log index
 //	-csv            emit CSV instead of aligned text
 //	-json           emit an indented JSON array of results (with -trace, each
 //	                figure carries per-cell trace summaries: phase breakdowns
@@ -59,11 +60,12 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) (err erro
 	cars := fs.Int("cars", 0, "cars table size (0 = paper's 15211)")
 	ilpTimeout := fs.Duration("ilp-timeout", 0, "per-solve ILP timeout (0 = 30s)")
 	timeout := fs.Duration("timeout", 0, "wall-clock budget for the whole run (0 = none)")
+	prep := fs.Bool("prep", false, "run figure solves through a shared prepared-log index")
 	var obs obsv.Flags
 	obs.Register(fs)
 	fs.Usage = func() {
 		fmt.Fprintf(stderr,
-			"usage: socbench [flags] fig6|fig7|fig8|fig9|fig10|fig11|ablations|all\n")
+			"usage: socbench [flags] fig6|fig7|fig8|fig9|fig10|fig11|index|ablations|all\n")
 		fs.SetOutput(stderr)
 		fs.PrintDefaults()
 	}
@@ -92,6 +94,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) (err erro
 		ILPTimeout: *ilpTimeout,
 		Quick:      *quick,
 		Trace:      obs.Trace,
+		Prepare:    *prep,
 	}
 
 	type runFn = func(context.Context, bench.Config) bench.Result
@@ -106,6 +109,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) (err erro
 		bench.AblationIPvsILPContext,
 	}
 	runners := map[string][]runFn{
+		"index":     {bench.IndexBatchContext},
 		"fig6":      {bench.Fig6Context},
 		"fig7":      {bench.Fig7Context},
 		"fig8":      {bench.Fig8Context},

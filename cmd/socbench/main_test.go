@@ -122,3 +122,21 @@ func TestRunErrors(t *testing.T) {
 		}
 	}
 }
+
+// TestRunFig7JSONUnchangedByPrep is the golden A/B for the shared index:
+// running the quality figure through a prepared log (-prep) must leave every
+// JSON cell value byte-identical — the index accelerates solves, it does not
+// change them. Fig 7 reports satisfied-query counts, which are deterministic
+// for a fixed seed, so the whole document can be compared literally.
+func TestRunFig7JSONUnchangedByPrep(t *testing.T) {
+	var plain, prepped, errOut bytes.Buffer
+	if err := run(context.Background(), tinyArgs("-json", "fig7"), &plain, &errOut); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(context.Background(), tinyArgs("-json", "-prep", "fig7"), &prepped, &errOut); err != nil {
+		t.Fatal(err)
+	}
+	if plain.String() != prepped.String() {
+		t.Fatalf("fig7 JSON changed under -prep:\nwithout: %s\nwith: %s", plain.String(), prepped.String())
+	}
+}

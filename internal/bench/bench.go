@@ -42,6 +42,12 @@ type Config struct {
 	// Trace records a per-cell solve-trace summary (phase breakdown, solver
 	// counters) into Result.CellTraces. Only the JSON rendering emits them.
 	Trace bool
+	// Prepare runs every figure's solves through a PreparedLog (the shared
+	// bitmap index; memoization stays off so every solve is really measured).
+	// Satisfied-query figures are bit-identical either way — the index is an
+	// accelerator, not a different algorithm — which the golden CLI tests
+	// assert; timing figures measure the indexed path instead.
+	Prepare bool
 }
 
 func (c Config) withDefaults() Config {
@@ -180,10 +186,29 @@ func formatValue(v float64) string {
 	}
 }
 
-// workloadSetup bundles the data of one experiment environment.
+// workloadSetup bundles the data of one experiment environment. prep, when
+// non-nil, carries the shared index every measurement attaches to its context
+// (Config.Prepare).
 type workloadSetup struct {
 	log    *dataset.QueryLog
 	tuples []bitvec.Vector
+	prep   *core.PreparedLog
+}
+
+// withPrep attaches the shared index when cfg.Prepare asks for it. The
+// solution memo is disabled: measuring a cache hit would report the memo's
+// latency, not the solver's.
+func (w workloadSetup) withPrep(cfg Config) workloadSetup {
+	if !cfg.Prepare {
+		return w
+	}
+	p, err := core.PrepareLog(w.log)
+	if err != nil {
+		return w // invalid logs fall back to the direct path
+	}
+	p.SetSolutionCache(0)
+	w.prep = p
+	return w
 }
 
 // carsSetup builds the cars table, a workload and the averaged tuple set.
@@ -195,7 +220,7 @@ func carsSetup(cfg Config, synthetic bool, logSize int) workloadSetup {
 	} else {
 		log = gen.RealWorkload(tab, cfg.Seed+1, logSize)
 	}
-	return workloadSetup{log: log, tuples: gen.PickTuples(tab, cfg.Seed+2, cfg.Tuples)}
+	return workloadSetup{log: log, tuples: gen.PickTuples(tab, cfg.Seed+2, cfg.Tuples)}.withPrep(cfg)
 }
 
 // timeSolver measures the mean wall-clock seconds per tuple and the mean
@@ -204,6 +229,9 @@ func carsSetup(cfg Config, synthetic bool, logSize int) workloadSetup {
 // the measurement missing (timeout), so an interrupted figure finishes fast
 // with "-" cells instead of hanging.
 func timeSolver(ctx context.Context, s core.Solver, setup workloadSetup, m int) (secs, quality float64, ok bool) {
+	if setup.prep != nil {
+		ctx = core.WithPrepared(ctx, setup.prep)
+	}
 	start := time.Now()
 	total := 0
 	for _, tuple := range setup.tuples {
@@ -485,7 +513,7 @@ func fig11At(ctx context.Context, cfg Config, widths []int, logSize int) Result 
 		for i := range tuples {
 			tuples[i] = gen.RandomTuple(schema, cfg.Seed+10+int64(i), 0.5)
 		}
-		setup := workloadSetup{log: log, tuples: tuples}
+		setup := workloadSetup{log: log, tuples: tuples}.withPrep(cfg)
 		row := Row{X: fmt.Sprintf("%d", width)}
 		for _, s := range []core.Solver{ilpSolver, mfiSolver} {
 			secs, _, ok := measure(ctx, cfg, &res, row.X, shortName(s), s, setup, m)

@@ -1,0 +1,96 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"standout/internal/bitvec"
+	"standout/internal/core"
+	"standout/internal/gen"
+)
+
+// indexBatchLogSize and indexBatchTuples set the IndexBatch workload scale:
+// one 10,000-query synthetic log shared by a 64-tuple batch, the marketplace
+// regime the shared index targets. Quick shrinks both for CI.
+const (
+	indexBatchLogSize = 10000
+	indexBatchTuples  = 64
+)
+
+// IndexBatch measures batch throughput with the shared query-log index and
+// solution memo on versus off: each row is one solver, each measurement one
+// SolveBatch over the same tuples, the "indexed" column using the automatic
+// per-batch PrepareLog and the "unindexed" column forcing the direct-scan
+// path with WithoutPreparation. The final row repeats each tuple several
+// times, the case the solution memo exists for. Both paths return identical
+// solutions (the differential test sweep pins that); only the time differs.
+func IndexBatch(cfg Config) Result { return IndexBatchContext(context.Background(), cfg) }
+
+// IndexBatchContext is IndexBatch under a context; see All for cancellation
+// semantics.
+func IndexBatchContext(ctx context.Context, cfg Config) Result {
+	cfg = cfg.withDefaults()
+	logSize, ntuples := indexBatchLogSize, indexBatchTuples
+	if cfg.Quick {
+		logSize, ntuples = 1500, 16
+	}
+	tab := gen.Cars(cfg.Seed, cfg.CarsN)
+	log := gen.SyntheticWorkload(tab.Schema, cfg.Seed+1, logSize, gen.WorkloadOptions{})
+	tuples := gen.PickTuples(tab, cfg.Seed+2, ntuples)
+
+	// Each tuple four times, shuffle-free: repeats within one batch are what
+	// the memo converts into cache hits.
+	repeated := make([]bitvec.Vector, 0, len(tuples)*4)
+	for rep := 0; rep < 4; rep++ {
+		repeated = append(repeated, tuples...)
+	}
+
+	res := Result{
+		Name:   "Index",
+		Title:  fmt.Sprintf("Batch throughput with shared index/cache on vs off (%d queries, %d tuples, m = 5)", logSize, ntuples),
+		XLabel: "solver", YLabel: "seconds per batch",
+		Columns: []string{"indexed", "unindexed", "speedup"},
+	}
+
+	const m = 5
+	timeBatch := func(ctx context.Context, s core.Solver, batch []bitvec.Vector) (float64, bool) {
+		start := time.Now()
+		_, _, err := core.SolveBatchContext(ctx, s, log, batch, m, 0)
+		if err != nil {
+			return 0, false
+		}
+		return time.Since(start).Seconds(), true
+	}
+
+	type rowSpec struct {
+		label string
+		s     core.Solver
+		batch []bitvec.Vector
+	}
+	rows := []rowSpec{
+		{"MaxFreqItemSets", core.MaxFreqItemSets{Backend: core.BackendTwoPhaseWalk, Seed: cfg.Seed}, tuples},
+		{"ConsumeAttr", core.ConsumeAttr{}, tuples},
+		{"ConsumeAttrCumul", core.ConsumeAttrCumul{}, tuples},
+		{"ConsumeQueries", core.ConsumeQueries{}, tuples},
+		{"ConsumeAttrCumul ×4 repeats", core.ConsumeAttrCumul{}, repeated},
+	}
+	for _, spec := range rows {
+		row := Row{X: spec.label}
+		indexed, okI := timeBatch(ctx, spec.s, spec.batch)
+		unindexed, okU := timeBatch(core.WithoutPreparation(ctx), spec.s, spec.batch)
+		switch {
+		case okI && okU:
+			row.Values = []float64{indexed, unindexed, unindexed / indexed}
+		case okI:
+			row.Values = []float64{indexed, Missing, Missing}
+		case okU:
+			row.Values = []float64{Missing, unindexed, Missing}
+		default:
+			row.Values = []float64{Missing, Missing, Missing}
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	noteInterrupted(ctx, &res)
+	return res
+}

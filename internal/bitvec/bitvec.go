@@ -263,6 +263,23 @@ func (v Vector) CountAnd(u Vector) int {
 	return n
 }
 
+// Hash64 returns a 64-bit FNV-1a-style hash of the vector's width and bits,
+// folded with seed. Two Equal vectors always hash identically under the same
+// seed; the value is an in-process fingerprint only and is not stable across
+// library versions.
+func (v Vector) Hash64(seed uint64) uint64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := seed ^ offset
+	h = (h ^ uint64(v.width)) * prime
+	for _, w := range v.words {
+		h = (h ^ w) * prime
+	}
+	return h
+}
+
 // String renders the vector as a string of '0'/'1' runes in index order,
 // matching the tabular presentation in the paper (e.g. "110100").
 func (v Vector) String() string {

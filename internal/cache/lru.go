@@ -1,0 +1,190 @@
+// Package cache provides a small, dependency-free, concurrency-safe LRU used
+// to memoize per-log solver state (prepared indexes, solutions for repeated
+// tuples) under the batch solve path. It is deliberately generic and knows
+// nothing about solvers: callers own key construction and invalidation
+// (typically by folding a content fingerprint into the key, so a mutated log
+// simply stops hitting).
+package cache
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Stats is a point-in-time snapshot of a cache's counters.
+type Stats struct {
+	Hits      uint64
+	Misses    uint64
+	Evictions uint64
+}
+
+type entry[K comparable, V any] struct {
+	key        K
+	value      V
+	prev, next *entry[K, V] // intrusive LRU list; head = most recent
+}
+
+// LRU is a size-bounded least-recently-used map. All methods are safe for
+// concurrent use. A capacity ≤ 0 disables storage entirely: Put is a no-op
+// and Get always misses, which callers use as the "caching off" switch
+// without branching at every call site.
+type LRU[K comparable, V any] struct {
+	// OnEvict, when non-nil, is called (with the cache's lock held — keep it
+	// cheap, e.g. a counter bump) for every entry displaced by capacity
+	// pressure, Resize, or Purge. Set it before first use.
+	OnEvict func(key K, value V)
+
+	hits, misses, evictions atomic.Uint64
+
+	mu         sync.Mutex
+	capacity   int
+	items      map[K]*entry[K, V]
+	head, tail *entry[K, V]
+}
+
+// NewLRU returns an LRU bounded to capacity entries (≤ 0 disables storage).
+func NewLRU[K comparable, V any](capacity int) *LRU[K, V] {
+	return &LRU[K, V]{capacity: capacity, items: make(map[K]*entry[K, V])}
+}
+
+// Get returns the cached value and marks it most recently used.
+func (c *LRU[K, V]) Get(key K) (V, bool) {
+	c.mu.Lock()
+	e, ok := c.items[key]
+	if !ok {
+		c.mu.Unlock()
+		c.misses.Add(1)
+		var zero V
+		return zero, false
+	}
+	c.moveToFront(e)
+	v := e.value
+	c.mu.Unlock()
+	c.hits.Add(1)
+	return v, true
+}
+
+// Put inserts or refreshes key, evicting the least recently used entry when
+// over capacity. It is a no-op on a disabled (capacity ≤ 0) cache.
+func (c *LRU[K, V]) Put(key K, value V) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.capacity <= 0 {
+		return
+	}
+	if e, ok := c.items[key]; ok {
+		e.value = value
+		c.moveToFront(e)
+		return
+	}
+	e := &entry[K, V]{key: key, value: value}
+	c.items[key] = e
+	c.pushFront(e)
+	for len(c.items) > c.capacity {
+		c.evictTail()
+	}
+}
+
+// Remove drops key if present, without counting an eviction.
+func (c *LRU[K, V]) Remove(key K) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if e, ok := c.items[key]; ok {
+		c.unlink(e)
+		delete(c.items, key)
+	}
+}
+
+// Resize changes the capacity, evicting oldest entries as needed. A new
+// capacity ≤ 0 disables the cache and evicts everything.
+func (c *LRU[K, V]) Resize(capacity int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.capacity = capacity
+	if capacity < 0 {
+		capacity = 0
+	}
+	for len(c.items) > capacity {
+		c.evictTail()
+	}
+}
+
+// Purge evicts every entry, keeping the capacity.
+func (c *LRU[K, V]) Purge() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for c.tail != nil {
+		c.evictTail()
+	}
+}
+
+// Len returns the current entry count.
+func (c *LRU[K, V]) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.items)
+}
+
+// Cap returns the configured capacity (≤ 0 means disabled).
+func (c *LRU[K, V]) Cap() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.capacity
+}
+
+// Stats snapshots the hit/miss/eviction counters.
+func (c *LRU[K, V]) Stats() Stats {
+	return Stats{
+		Hits:      c.hits.Load(),
+		Misses:    c.misses.Load(),
+		Evictions: c.evictions.Load(),
+	}
+}
+
+// evictTail removes the least recently used entry. Caller holds mu.
+func (c *LRU[K, V]) evictTail() {
+	e := c.tail
+	if e == nil {
+		return
+	}
+	c.unlink(e)
+	delete(c.items, e.key)
+	c.evictions.Add(1)
+	if c.OnEvict != nil {
+		c.OnEvict(e.key, e.value)
+	}
+}
+
+func (c *LRU[K, V]) pushFront(e *entry[K, V]) {
+	e.prev = nil
+	e.next = c.head
+	if c.head != nil {
+		c.head.prev = e
+	}
+	c.head = e
+	if c.tail == nil {
+		c.tail = e
+	}
+}
+
+func (c *LRU[K, V]) unlink(e *entry[K, V]) {
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else {
+		c.head = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else {
+		c.tail = e.prev
+	}
+	e.prev, e.next = nil, nil
+}
+
+func (c *LRU[K, V]) moveToFront(e *entry[K, V]) {
+	if c.head == e {
+		return
+	}
+	c.unlink(e)
+	c.pushFront(e)
+}

@@ -1,0 +1,161 @@
+package cache
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestBasicGetPut(t *testing.T) {
+	c := NewLRU[string, int](3)
+	if _, ok := c.Get("a"); ok {
+		t.Fatal("hit on empty cache")
+	}
+	c.Put("a", 1)
+	c.Put("b", 2)
+	if v, ok := c.Get("a"); !ok || v != 1 {
+		t.Fatalf("Get(a) = %d,%v", v, ok)
+	}
+	c.Put("a", 10) // refresh in place
+	if v, _ := c.Get("a"); v != 10 {
+		t.Fatalf("Get(a) after refresh = %d", v)
+	}
+	if c.Len() != 2 || c.Cap() != 3 {
+		t.Fatalf("Len=%d Cap=%d", c.Len(), c.Cap())
+	}
+	st := c.Stats()
+	if st.Hits != 2 || st.Misses != 1 || st.Evictions != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestEvictionOrder(t *testing.T) {
+	var evicted []int
+	c := NewLRU[int, string](2)
+	c.OnEvict = func(k int, _ string) { evicted = append(evicted, k) }
+	c.Put(1, "a")
+	c.Put(2, "b")
+	c.Get(1)      // 1 becomes most recent
+	c.Put(3, "c") // displaces 2, the LRU entry
+	if _, ok := c.Get(2); ok {
+		t.Fatal("2 survived eviction")
+	}
+	if _, ok := c.Get(1); !ok {
+		t.Fatal("1 evicted despite recent use")
+	}
+	if len(evicted) != 1 || evicted[0] != 2 {
+		t.Fatalf("evicted = %v, want [2]", evicted)
+	}
+	if c.Stats().Evictions != 1 {
+		t.Fatalf("evictions = %d", c.Stats().Evictions)
+	}
+}
+
+func TestDisabled(t *testing.T) {
+	c := NewLRU[string, int](0)
+	c.Put("a", 1)
+	if _, ok := c.Get("a"); ok {
+		t.Fatal("disabled cache stored a value")
+	}
+	if c.Len() != 0 {
+		t.Fatalf("Len = %d", c.Len())
+	}
+}
+
+func TestRemove(t *testing.T) {
+	c := NewLRU[string, int](4)
+	c.Put("a", 1)
+	c.Put("b", 2)
+	c.Remove("a")
+	c.Remove("missing") // no-op
+	if _, ok := c.Get("a"); ok {
+		t.Fatal("a survived Remove")
+	}
+	if c.Stats().Evictions != 0 {
+		t.Fatal("Remove counted as eviction")
+	}
+	if v, ok := c.Get("b"); !ok || v != 2 {
+		t.Fatal("b damaged by Remove(a)")
+	}
+}
+
+func TestResizeAndPurge(t *testing.T) {
+	c := NewLRU[int, int](4)
+	for i := 0; i < 4; i++ {
+		c.Put(i, i)
+	}
+	c.Get(0) // keep 0 warm
+	c.Resize(2)
+	if c.Len() != 2 || c.Cap() != 2 {
+		t.Fatalf("after Resize: Len=%d Cap=%d", c.Len(), c.Cap())
+	}
+	if _, ok := c.Get(0); !ok {
+		t.Fatal("most-recent entry evicted by Resize")
+	}
+	if _, ok := c.Get(1); ok {
+		t.Fatal("LRU entry survived Resize")
+	}
+
+	c.Purge()
+	if c.Len() != 0 || c.Cap() != 2 {
+		t.Fatalf("after Purge: Len=%d Cap=%d", c.Len(), c.Cap())
+	}
+	c.Put(7, 7)
+	if _, ok := c.Get(7); !ok {
+		t.Fatal("cache unusable after Purge")
+	}
+
+	c.Resize(-1) // disable
+	if c.Len() != 0 {
+		t.Fatal("Resize(-1) kept entries")
+	}
+	c.Put(8, 8)
+	if c.Len() != 0 {
+		t.Fatal("disabled cache accepted Put after Resize(-1)")
+	}
+}
+
+// TestConcurrent hammers one cache from many goroutines; run under -race this
+// is the memory-safety check, and the final Len must respect capacity.
+func TestConcurrent(t *testing.T) {
+	c := NewLRU[int, int](32)
+	c.OnEvict = func(int, int) {}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				k := (g*31 + i) % 64
+				c.Put(k, k)
+				if v, ok := c.Get(k % 48); ok && v != k%48 {
+					t.Errorf("Get(%d) = %d", k%48, v)
+				}
+				if i%97 == 0 {
+					c.Remove(k)
+				}
+				if i%193 == 0 {
+					c.Resize(16 + i%32)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if c.Len() > 64 {
+		t.Fatalf("Len = %d exceeds any capacity used", c.Len())
+	}
+	st := c.Stats()
+	if st.Hits+st.Misses == 0 {
+		t.Fatal("no gets recorded")
+	}
+}
+
+func Example() {
+	c := NewLRU[string, string](2)
+	c.Put("k1", "v1")
+	c.Put("k2", "v2")
+	c.Put("k3", "v3") // evicts k1
+	_, ok := c.Get("k1")
+	fmt.Println(ok, c.Len())
+	// Output: false 2
+}

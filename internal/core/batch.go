@@ -35,8 +35,12 @@ func (e *BatchError) Unwrap() error { return e.Err }
 // the batch: dispatch stops, in-flight solves are interrupted through their
 // context, and the error is returned.
 //
-// Every Solver in this package is safe for concurrent use by value; to share
-// MaxFreqItemSets preprocessing across the batch, pass a PreparedSolver.
+// Per-log work is built once and shared: the batch prepares the query log
+// (inverted attribute→query bitmap index plus a solution memo for repeated
+// tuples) and every worker solves through it. Results are identical to the
+// unshared path — only faster. See SolveBatchContext for the knobs.
+//
+// Every Solver in this package is safe for concurrent use by value.
 func SolveBatch(s Solver, log *dataset.QueryLog, tuples []bitvec.Vector, m, workers int) ([]Solution, error) {
 	out, _, err := SolveBatchContext(context.Background(), s, log, tuples, m, workers)
 	if err != nil {
@@ -58,6 +62,13 @@ func SolveBatch(s Solver, log *dataset.QueryLog, tuples []bitvec.Vector, m, work
 // batch error — a *BatchError identifying the first failing tuple observed —
 // is returned. Either way at most the already-dispatched tuples (bounded by
 // the number of workers) run to completion; everything else is skipped.
+//
+// Shared per-log state: unless the context disables it (WithoutPreparation)
+// or already carries a matching PreparedLog (WithPrepared — e.g. to reuse
+// one across batches), a multi-tuple batch prepares the log once — building
+// the shared bitmap index under an "index.build" span on the batch trace —
+// and every worker solves through it, memoizing solutions for repeated
+// tuples. A context-attached PreparedLog for a different log is ignored.
 func SolveBatchContext(ctx context.Context, s Solver, log *dataset.QueryLog, tuples []bitvec.Vector, m, workers int) ([]Solution, []error, error) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -69,6 +80,18 @@ func SolveBatchContext(ctx context.Context, s Solver, log *dataset.QueryLog, tup
 	errs := make([]error, len(tuples))
 	if len(tuples) == 0 {
 		return out, errs, ctx.Err()
+	}
+
+	pl := preparedFromContext(ctx)
+	if pl != nil && !pl.usableFor(log) {
+		pl = nil // prepared for some other (or mutated) log: ignore
+	}
+	if pl == nil && !preparationDisabled(ctx) && len(tuples) > 1 {
+		// Build failures are not fatal here: an invalid log will produce the
+		// same validation error from the solver itself, attributed per tuple.
+		if built, err := PrepareLogContext(ctx, log); err == nil {
+			pl = built
+		}
 	}
 
 	bctx, cancel := context.WithCancel(ctx)
@@ -113,7 +136,13 @@ func SolveBatchContext(ctx context.Context, s Solver, log *dataset.QueryLog, tup
 					skipped.Add(1)
 					continue
 				}
-				sol, err := s.SolveContext(bctx, Instance{Log: log, Tuple: tuples[i], M: m})
+				var sol Solution
+				var err error
+				if pl != nil {
+					sol, err = pl.SolveContext(bctx, s, tuples[i], m)
+				} else {
+					sol, err = s.SolveContext(bctx, Instance{Log: log, Tuple: tuples[i], M: m})
+				}
 				if err != nil {
 					failed.Add(1)
 					fail(i, err)

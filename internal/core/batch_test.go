@@ -144,3 +144,51 @@ func TestSolveBatchFirstErrorWrapped(t *testing.T) {
 		t.Fatalf("err=%v, want wrapped sentinel", err)
 	}
 }
+
+func TestSolveBatchWorkerNormalization(t *testing.T) {
+	tab := gen.Cars(3, 60)
+	log := gen.RealWorkload(tab, 3, 40)
+	tuples := tab.Rows[:6]
+	want, err := SolveBatch(ConsumeAttr{}, log, tuples, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Zero and negative select GOMAXPROCS; a worker count far beyond the
+	// tuple count is clamped. All must produce the sequential results.
+	for _, workers := range []int{-5, 0, len(tuples), 1000} {
+		got, err := SolveBatch(ConsumeAttr{}, log, tuples, 3, workers)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i := range want {
+			if got[i].Satisfied != want[i].Satisfied || got[i].Kept.String() != want[i].Kept.String() {
+				t.Fatalf("workers=%d tuple %d: (%d, %v) != (%d, %v)", workers, i,
+					got[i].Satisfied, got[i].Kept, want[i].Satisfied, want[i].Kept)
+			}
+		}
+	}
+}
+
+func TestSolveBatchContextZeroTuples(t *testing.T) {
+	tab := gen.Cars(1, 50)
+	log := gen.RealWorkload(tab, 2, 10)
+	for _, tuples := range [][]bitvec.Vector{nil, {}} {
+		sols, errs, err := SolveBatchContext(context.Background(), ConsumeAttr{}, log, tuples, 3, 4)
+		if err != nil {
+			t.Fatalf("zero-tuple batch errored: %v", err)
+		}
+		if sols == nil || errs == nil {
+			t.Fatal("zero-tuple batch returned nil slices")
+		}
+		if len(sols) != 0 || len(errs) != 0 {
+			t.Fatalf("zero-tuple batch returned %d solutions, %d errors", len(sols), len(errs))
+		}
+	}
+
+	// An already-cancelled context surfaces through even the empty batch.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, _, err := SolveBatchContext(ctx, ConsumeAttr{}, log, nil, 3, 4); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled empty batch err = %v, want context.Canceled", err)
+	}
+}

@@ -34,7 +34,7 @@ func (BruteForce) solve(ctx context.Context, in Instance, tr *obsv.Trace) (Solut
 	if err := ctx.Err(); err != nil {
 		return Solution{}, fmt.Errorf("core: brute force: %w", err)
 	}
-	n, err := normalize(in)
+	n, err := normalize(ctx, in)
 	if err != nil {
 		return Solution{}, err
 	}

@@ -80,3 +80,86 @@ func FuzzExactSolversAgree(f *testing.F) {
 		}
 	})
 }
+
+// FuzzIndexedSolveAgrees derives an instance from the fuzz inputs, prepares
+// the log, and asserts the indexed/memoized paths agree with the direct scan
+// path. The seed corpus stresses the index's corners: an empty log, heavy
+// query duplication, an all-ones tuple, and budgets at or above popcount(t).
+func FuzzIndexedSolveAgrees(f *testing.F) {
+	f.Add(int64(1), uint8(5), uint8(0), uint8(2), uint8(0))  // empty log
+	f.Add(int64(2), uint8(6), uint8(12), uint8(3), uint8(1)) // duplicate queries
+	f.Add(int64(3), uint8(7), uint8(9), uint8(4), uint8(2))  // all-ones tuple
+	f.Add(int64(4), uint8(5), uint8(8), uint8(15), uint8(3)) // m ≥ popcount(t)
+	f.Fuzz(func(t *testing.T, seed int64, width, nq, m, mode uint8) {
+		w := int(width%10) + 2
+		q := int(nq % 20) // 0..19: the empty log is in scope here
+		budget := int(m % 14)
+		r := rand.New(rand.NewSource(seed))
+		log := dataset.NewQueryLog(dataset.GenericSchema(w))
+		var base bitvec.Vector
+		for i := 0; i < q; i++ {
+			if mode%4 == 1 && i > 0 && base.Width() == w {
+				// Duplicate-heavy log: most queries repeat the first.
+				if r.Intn(4) != 0 {
+					log.Queries = append(log.Queries, base.Clone())
+					continue
+				}
+			}
+			query := bitvec.New(w)
+			k := 1 + r.Intn(3)
+			for query.Count() < k {
+				query.Set(r.Intn(w))
+			}
+			if i == 0 {
+				base = query
+			}
+			log.Queries = append(log.Queries, query)
+		}
+		tuple := bitvec.New(w)
+		if mode%4 == 2 {
+			for j := 0; j < w; j++ {
+				tuple.Set(j)
+			}
+		} else {
+			for j := 0; j < w; j++ {
+				if r.Intn(2) == 0 {
+					tuple.Set(j)
+				}
+			}
+		}
+		if mode%4 == 3 {
+			budget = tuple.Count() + r.Intn(3) // at or above popcount(t)
+		}
+		in := Instance{Log: log, Tuple: tuple, M: budget}
+
+		p, err := PrepareLog(log)
+		if err != nil {
+			t.Fatal(err)
+		}
+		prepCtx := WithPrepared(context.Background(), p)
+		for _, s := range []Solver{BruteForce{}, ConsumeAttr{}, ConsumeAttrCumul{}, ConsumeQueries{}} {
+			direct, err := s.Solve(in)
+			if err != nil {
+				t.Fatalf("%s/direct: %v", s.Name(), err)
+			}
+			indexed, err := s.SolveContext(prepCtx, in)
+			if err != nil {
+				t.Fatalf("%s/indexed: %v", s.Name(), err)
+			}
+			if direct.Satisfied != indexed.Satisfied || direct.Kept.String() != indexed.Kept.String() {
+				t.Fatalf("%s: direct (%d, %v) != indexed (%d, %v)",
+					s.Name(), direct.Satisfied, direct.Kept, indexed.Satisfied, indexed.Kept)
+			}
+			for pass := 0; pass < 2; pass++ { // second pass is a memo hit
+				memo, err := p.SolveContext(context.Background(), s, tuple, budget)
+				if err != nil {
+					t.Fatalf("%s/memo: %v", s.Name(), err)
+				}
+				if memo.Satisfied != direct.Satisfied || memo.Kept.String() != direct.Kept.String() {
+					t.Fatalf("%s/memo pass %d: (%d, %v) != direct (%d, %v)",
+						s.Name(), pass, memo.Satisfied, memo.Kept, direct.Satisfied, direct.Kept)
+				}
+			}
+		}
+	})
+}

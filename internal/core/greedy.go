@@ -40,7 +40,7 @@ func (ConsumeAttr) solve(ctx context.Context, in Instance, tr *obsv.Trace) (Solu
 	if err := ctx.Err(); err != nil {
 		return Solution{}, fmt.Errorf("core: consume-attr: %w", err)
 	}
-	n, err := normalize(in)
+	n, err := normalize(ctx, in)
 	if err != nil {
 		return Solution{}, err
 	}
@@ -50,9 +50,9 @@ func (ConsumeAttr) solve(ctx context.Context, in Instance, tr *obsv.Trace) (Solu
 		return sol, nil
 	}
 	// Per §IV.D the frequencies come from the full query log, not just the
-	// queries the tuple can satisfy.
+	// queries the tuple can satisfy; an attached index has them precomputed.
 	sp := tr.StartSpan("select")
-	freq := in.Log.AttrFrequencies()
+	freq := n.fullFreq()
 	picked := topByFreq(n.ones, freq, n.m)
 	kept := n.keep(picked)
 	sp.End()
@@ -104,31 +104,40 @@ func (ConsumeAttrCumul) solve(ctx context.Context, in Instance, tr *obsv.Trace) 
 	if err := ctx.Err(); err != nil {
 		return Solution{}, fmt.Errorf("core: consume-attr-cumul: %w", err)
 	}
-	n, err := normalize(in)
+	n, err := normalize(ctx, in)
 	if err != nil {
 		return Solution{}, err
 	}
 	if n.exact {
 		return n.full(), nil
 	}
-	freq := in.Log.AttrFrequencies()
+	freq := n.fullFreq()
 
 	// Vertical bitmaps over the full log: cols[i] marks the queries that
 	// contain candidate attribute n.ones[i] (§IV.D scores co-occurrence
-	// against the whole log, like the individual frequencies).
+	// against the whole log, like the individual frequencies). An attached
+	// index already holds exactly these columns; without one they are built
+	// here in a single pass.
 	nq := len(in.Log.Queries)
 	words := (nq + 63) / 64
 	cols := make([][]uint64, len(n.ones))
 	colOf := make(map[int]int, len(n.ones)) // attribute index → cols row
-	backing := make([]uint64, len(n.ones)*words)
-	for i, j := range n.ones {
-		cols[i] = backing[i*words : (i+1)*words]
-		colOf[j] = i
-	}
-	for qi, q := range in.Log.Queries {
-		for _, j := range q.Ones() {
-			if i, ok := colOf[j]; ok {
-				cols[i][qi/64] |= 1 << (qi % 64)
+	if n.idx != nil {
+		for i, j := range n.ones {
+			cols[i] = n.idx.QueriesWith(j) // read-only shared storage
+			colOf[j] = i
+		}
+	} else {
+		backing := make([]uint64, len(n.ones)*words)
+		for i, j := range n.ones {
+			cols[i] = backing[i*words : (i+1)*words]
+			colOf[j] = i
+		}
+		for qi, q := range in.Log.Queries {
+			for _, j := range q.Ones() {
+				if i, ok := colOf[j]; ok {
+					cols[i][qi/64] |= 1 << (qi % 64)
+				}
 			}
 		}
 	}
@@ -218,7 +227,7 @@ func (ConsumeQueries) solve(ctx context.Context, in Instance, tr *obsv.Trace) (S
 	if err := ctx.Err(); err != nil {
 		return Solution{}, fmt.Errorf("core: consume-queries: %w", err)
 	}
-	n, err := normalize(in)
+	n, err := normalize(ctx, in)
 	if err != nil {
 		return Solution{}, err
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math/rand"
 	"reflect"
 	"testing"
@@ -13,7 +14,7 @@ import (
 // log (O(m·|t|·S) with a fresh allocation per candidate). The rewritten
 // solver must make byte-identical picks.
 func cumulNaive(in Instance) (Solution, error) {
-	n, err := normalize(in)
+	n, err := normalize(context.Background(), in)
 	if err != nil {
 		return Solution{}, err
 	}

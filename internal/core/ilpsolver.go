@@ -72,7 +72,7 @@ func (s ILP) solve(ctx context.Context, in Instance, tr *obsv.Trace) (Solution, 
 	if err := ctx.Err(); err != nil {
 		return Solution{}, fmt.Errorf("core: ILP solve: %w", err)
 	}
-	n, err := normalize(in)
+	n, err := normalize(ctx, in)
 	if err != nil {
 		return Solution{}, err
 	}

@@ -27,6 +27,7 @@ import (
 
 	"standout/internal/bitvec"
 	"standout/internal/dataset"
+	"standout/internal/index"
 	"standout/internal/obsv"
 )
 
@@ -135,23 +136,52 @@ func (s Solution) AttrNames(schema *dataset.Schema) []string {
 // queries not contained in the tuple are dropped (no compression can ever
 // satisfy them — the tuple itself cannot), and the effective budget is
 // clamped to the tuple size.
+//
+// When the solve's context carries a PreparedLog for the instance's log (see
+// WithPrepared and SolveBatchContext), normalize additionally attaches the
+// shared attribute→query bitmap index: the restricted log is materialized
+// from the index's candidate bitmap instead of a full scan, and score runs
+// word-parallel over dropped-attribute columns instead of rescanning
+// queries. Results are bit-identical either way — the differential sweep in
+// differential_test.go pins that.
 type normalized struct {
 	in    Instance
 	log   *dataset.QueryLog // queries ⊆ tuple
 	ones  []int             // indices of the tuple's attributes
 	m     int               // min(M, |tuple|)
 	exact bool              // true when the whole tuple fits the budget
+
+	idx     *index.Index // shared per-log index, or nil
+	cand    index.Bitmap // queries ⊆ tuple (idx path only)
+	scratch index.Bitmap // scoring workspace (idx path only)
+	dropbuf []int        // scoring workspace (idx path only)
 }
 
-func normalize(in Instance) (normalized, error) {
+func normalize(ctx context.Context, in Instance) (normalized, error) {
 	if err := in.Validate(); err != nil {
 		return normalized{}, err
 	}
 	n := normalized{
 		in:   in,
-		log:  in.Log.Restrict(in.Tuple),
 		ones: in.Tuple.Ones(),
 		m:    in.M,
+	}
+	if p := preparedFromContext(ctx); p != nil && p.usableFor(in.Log) {
+		n.idx = p.idx
+		n.cand = p.idx.Candidates(in.Tuple)
+		n.scratch = make(index.Bitmap, p.idx.Words())
+		n.dropbuf = make([]int, 0, len(n.ones))
+		// Materialize the restricted log from the candidate bitmap,
+		// preserving query order (bitmap iteration is ascending) so greedy
+		// tie-breaking matches the scan path exactly.
+		restricted := dataset.NewQueryLog(in.Log.Schema)
+		restricted.Queries = make([]bitvec.Vector, 0, n.cand.Count())
+		for _, qi := range n.cand.Ones() {
+			restricted.Queries = append(restricted.Queries, in.Log.Queries[qi])
+		}
+		n.log = restricted
+	} else {
+		n.log = in.Log.Restrict(in.Tuple)
 	}
 	if n.m >= len(n.ones) {
 		n.m = len(n.ones)
@@ -166,11 +196,32 @@ func (n normalized) full() Solution {
 	return Solution{Kept: kept, Satisfied: n.log.Size(), Optimal: true}
 }
 
-// score counts the queries satisfied by a candidate compression. The count
-// over the restricted log equals the count over the original log because
-// dropped queries are unsatisfiable by any subset of the tuple.
+// score counts the queries satisfied by a candidate compression kept ⊆
+// tuple. The count over the restricted log equals the count over the
+// original log because dropped queries are unsatisfiable by any subset of
+// the tuple. With an index attached the count runs word-parallel: the
+// candidate bitmap minus the columns of the tuple attributes kept drops
+// (every candidate query is ⊆ tuple, so only tuple attributes matter).
 func (n normalized) score(kept bitvec.Vector) int {
+	if n.idx != nil {
+		drop := n.dropbuf[:0]
+		for _, a := range n.ones {
+			if !kept.Get(a) {
+				drop = append(drop, a)
+			}
+		}
+		return n.idx.SatisfiedDropping(n.cand, drop, n.scratch)
+	}
 	return n.log.Satisfied(kept)
+}
+
+// fullFreq returns per-attribute frequencies over the whole (unrestricted)
+// log — precomputed by the index when one is attached.
+func (n normalized) fullFreq() []int {
+	if n.idx != nil {
+		return n.idx.AttrFrequencies()
+	}
+	return n.in.Log.AttrFrequencies()
 }
 
 // keep materializes a compression from a subset of tuple-attribute indices.

@@ -51,7 +51,7 @@ func (IP) solve(ctx context.Context, in Instance, tr *obsv.Trace) (Solution, err
 	if err := ctx.Err(); err != nil {
 		return Solution{}, fmt.Errorf("core: ip: %w", err)
 	}
-	n, err := normalize(in)
+	n, err := normalize(ctx, in)
 	if err != nil {
 		return Solution{}, err
 	}

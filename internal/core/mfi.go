@@ -90,13 +90,21 @@ func (s MaxFreqItemSets) solve(ctx context.Context, in Instance) (Solution, erro
 	if err := ctx.Err(); err != nil {
 		return Solution{}, fmt.Errorf("core: mfi: %w", err)
 	}
-	n, err := normalize(in)
+	n, err := normalize(ctx, in)
 	if err != nil {
 		return Solution{}, err
 	}
 	if n.exact {
 		return n.full(), nil
 	}
+	// Mining always runs per tuple, on the log projected to the tuple's
+	// attributes, even when a PreparedLog is attached: projection bounds the
+	// mining dimension by popcount(t), and exact DFS over the full schema
+	// width is exponentially worse — sharing full-complement mining across a
+	// batch loses far more than it amortizes (and the walk backends would
+	// additionally change results by consuming randomness differently). The
+	// attached index still accelerates normalize and scoring, and repeated
+	// tuples hit the PreparedLog's solution memo above this call.
 	return s.solveNormalized(ctx, n, nil)
 }
 
@@ -148,7 +156,7 @@ func (p *Prep) solvePrepared(ctx context.Context, tuple bitvec.Vector, m int) (S
 	if err := ctx.Err(); err != nil {
 		return Solution{}, fmt.Errorf("core: mfi prepared: %w", err)
 	}
-	n, err := normalize(Instance{Log: p.log, Tuple: tuple, M: m})
+	n, err := normalize(ctx, Instance{Log: p.log, Tuple: tuple, M: m})
 	if err != nil {
 		return Solution{}, err
 	}
@@ -184,7 +192,7 @@ func (s MaxFreqItemSets) solveNormalized(ctx context.Context, n normalized, prep
 		}
 		proj.Queries = append(proj.Queries, pq)
 	}
-	pn, err := normalize(Instance{Log: proj, Tuple: bitvec.New(len(n.ones)).Not(), M: n.m})
+	pn, err := normalize(ctx, Instance{Log: proj, Tuple: bitvec.New(len(n.ones)).Not(), M: n.m})
 	if err != nil {
 		return Solution{}, err
 	}
@@ -466,7 +474,7 @@ func (s MaxFreqItemSets) bestAtLevel(ctx context.Context, n normalized, mfis []i
 // frequent attributes of the tuple. Satisfied is computed exactly (usually
 // zero in the adaptive case).
 func (s MaxFreqItemSets) fallback(n normalized, stats Stats) Solution {
-	freq := n.in.Log.AttrFrequencies()
+	freq := n.fullFreq()
 	kept := n.keep(topByFreq(n.ones, freq, n.m))
 	return Solution{Kept: kept, Satisfied: n.score(kept), Stats: stats}
 }

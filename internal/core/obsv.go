@@ -24,6 +24,14 @@ var (
 		"Wall time of one solve.", nil)
 	mBatchQueueWait = obsv.Default.Histogram("standout_batch_queue_wait_seconds",
 		"Time a batch tuple waited between batch start and dequeue by a worker.", nil)
+	mIndexBuilds = obsv.Default.Counter("standout_index_builds_total",
+		"Shared query-log indexes built by PrepareLog (including batch auto-builds).")
+	mPrepCacheHits = obsv.Default.Counter("standout_prep_cache_hits_total",
+		"Solves answered from a PreparedLog's solution memo.")
+	mPrepCacheMisses = obsv.Default.Counter("standout_prep_cache_misses_total",
+		"Memoizable solves that missed a PreparedLog's solution memo.")
+	mPrepCacheEvictions = obsv.Default.Counter("standout_prep_cache_evictions_total",
+		"Solutions evicted from PreparedLog memos by capacity pressure.")
 )
 
 // solveObs ties one SolveContext call to the observability stack: the

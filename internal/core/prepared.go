@@ -1,0 +1,237 @@
+package core
+
+import (
+	"context"
+	"fmt"
+
+	"standout/internal/bitvec"
+	"standout/internal/cache"
+	"standout/internal/dataset"
+	"standout/internal/index"
+	"standout/internal/obsv"
+)
+
+// DefaultSolutionCacheSize bounds the per-PreparedLog solution memo when the
+// caller does not choose a capacity. Solutions are small (one bit vector and
+// a few ints), so a thousand entries cost well under a megabyte.
+const DefaultSolutionCacheSize = 1024
+
+// PreparedLog is the shared, concurrency-safe per-log solve state of the
+// batch path: the inverted attribute→query bitmap index (package index), the
+// log's content fingerprint, and a size-bounded LRU memoizing solutions for
+// repeated (solver, tuple, m) triples. Build one with PrepareLog, then
+// either attach it to a context with WithPrepared (every solver picks the
+// index up transparently) or solve through SolveContext to also get
+// memoization. SolveBatchContext builds one automatically per batch and
+// shares it across its workers.
+//
+// A PreparedLog is tied to the exact log contents at PrepareLog time. The
+// log must not be mutated while the PreparedLog is in use; mutations made
+// through QueryLog.Append or announced with QueryLog.Touch are detected and
+// reported as errors by SolveContext (and silently disable the index on the
+// WithPrepared path). In-place bit flips that bypass Touch are undetectable.
+type PreparedLog struct {
+	log     *dataset.QueryLog
+	idx     *index.Index
+	fp      uint64
+	version uint64
+	nq      int
+
+	sols *cache.LRU[solutionKey, Solution]
+}
+
+// solutionKey identifies one memoizable solve: the log contents (by
+// fingerprint), the solver's configuration identity, and the instance.
+type solutionKey struct {
+	fp     uint64
+	solver string
+	m      int
+	tuple  string
+}
+
+// PrepareLog validates the log and builds its shared index. The returned
+// PreparedLog has solution memoization enabled at DefaultSolutionCacheSize;
+// use SetSolutionCache to resize or disable it.
+func PrepareLog(log *dataset.QueryLog) (*PreparedLog, error) {
+	return PrepareLogContext(context.Background(), log)
+}
+
+// PrepareLogContext is PrepareLog under a context: the index build is
+// recorded as an "index.build" span on the context's trace and counted in
+// the process metrics. The build itself is not interruptible — it is one
+// pass over the log, far below cancellation granularity.
+func PrepareLogContext(ctx context.Context, log *dataset.QueryLog) (*PreparedLog, error) {
+	tr := obsv.FromContext(ctx)
+	sp := tr.StartSpan("index.build")
+	ix, err := index.Build(log)
+	sp.End()
+	if err != nil {
+		return nil, err
+	}
+	mIndexBuilds.Add(1)
+	tr.Count("index.queries", int64(ix.NumQueries()))
+	p := &PreparedLog{
+		log:     log,
+		idx:     ix,
+		fp:      ix.Fingerprint(),
+		version: log.Version(),
+		nq:      log.Size(),
+		sols:    cache.NewLRU[solutionKey, Solution](DefaultSolutionCacheSize),
+	}
+	p.sols.OnEvict = func(solutionKey, Solution) { mPrepCacheEvictions.Add(1) }
+	return p, nil
+}
+
+// Log returns the prepared query log.
+func (p *PreparedLog) Log() *dataset.QueryLog { return p.log }
+
+// Fingerprint returns the log's content hash at PrepareLog time.
+func (p *PreparedLog) Fingerprint() uint64 { return p.fp }
+
+// Stale reports whether the log has visibly changed since PrepareLog (its
+// version counter moved or its length differs). A stale PreparedLog must be
+// rebuilt; SolveContext refuses to use one.
+func (p *PreparedLog) Stale() bool {
+	return p.log.Version() != p.version || p.log.Size() != p.nq
+}
+
+// usableFor reports whether the prepared state may serve instances over log:
+// same log object, not stale.
+func (p *PreparedLog) usableFor(log *dataset.QueryLog) bool {
+	return p != nil && p.log == log && !p.Stale()
+}
+
+// SetSolutionCache bounds the solution memo to capacity entries; ≤ 0
+// disables memoization (the index keeps working). Resizing down evicts
+// oldest entries. Safe to call concurrently with solves.
+func (p *PreparedLog) SetSolutionCache(capacity int) { p.sols.Resize(capacity) }
+
+// CacheStats snapshots the solution memo's hit/miss/eviction counters.
+func (p *PreparedLog) CacheStats() cache.Stats { return p.sols.Stats() }
+
+// Solve is SolveContext with a background context.
+func (p *PreparedLog) Solve(s Solver, tuple bitvec.Vector, m int) (Solution, error) {
+	return p.SolveContext(context.Background(), s, tuple, m)
+}
+
+// SolveContext solves (log, tuple, m) with s through the shared state: the
+// solver runs with the index attached, and — for solvers with a stable
+// configuration identity (every solver in this package) — successful
+// solutions are memoized so a repeated tuple returns without solving.
+// Memoized hits return a defensive clone of the kept vector and re-stamp the
+// current context's trace. Solvers of unknown concrete type are never
+// memoized (their configuration cannot be keyed), only accelerated.
+func (p *PreparedLog) SolveContext(ctx context.Context, s Solver, tuple bitvec.Vector, m int) (Solution, error) {
+	if p.Stale() {
+		return Solution{}, fmt.Errorf(
+			"core: prepared log modified since PrepareLog (version %d → %d, size %d → %d); re-prepare",
+			p.version, p.log.Version(), p.nq, p.log.Size())
+	}
+	ctx = withPrepared(ctx, p)
+	tr := obsv.FromContext(ctx)
+
+	id, cacheable := solverCacheID(s)
+	var key solutionKey
+	if cacheable {
+		key = solutionKey{fp: p.fp, solver: id, m: m, tuple: tuple.Key()}
+		if sol, ok := p.sols.Get(key); ok {
+			mPrepCacheHits.Add(1)
+			tr.Count("prep.cache.hit", 1)
+			sol.Kept = sol.Kept.Clone()
+			sol.trace = tr
+			return sol, nil
+		}
+		mPrepCacheMisses.Add(1)
+		tr.Count("prep.cache.miss", 1)
+	}
+
+	sol, err := s.SolveContext(ctx, Instance{Log: p.log, Tuple: tuple, M: m})
+	if err == nil && cacheable {
+		p.sols.Put(key, sol)
+	}
+	return sol, err
+}
+
+// solverCacheID maps a solver to a stable identity string covering its
+// result-relevant configuration. Only solvers of this package's concrete
+// types are keyable; unknown implementations report false and are never
+// memoized. A MaxFreqItemSets with a caller-supplied RNG is also unkeyable:
+// its walk results depend on external mutable state.
+func solverCacheID(s Solver) (string, bool) {
+	switch v := s.(type) {
+	case BruteForce:
+		return "brute", true
+	case IP:
+		return "ip", true
+	case ILP:
+		return fmt.Sprintf("ilp;timeout=%s;maxnodes=%d;presolve=%t", v.Timeout, v.MaxNodes, v.Presolve), true
+	case ConsumeAttr:
+		return "consume-attr", true
+	case ConsumeAttrCumul:
+		return "consume-attr-cumul", true
+	case ConsumeQueries:
+		return "consume-queries", true
+	case MaxFreqItemSets:
+		return mfiCacheID(v)
+	case PreparedSolver:
+		if v.Prep == nil {
+			return "", false
+		}
+		id, ok := mfiCacheID(v.Prep.s)
+		return "prepared;" + id, ok
+	default:
+		return "", false
+	}
+}
+
+func mfiCacheID(v MaxFreqItemSets) (string, bool) {
+	if v.Walk.Rng != nil {
+		return "", false
+	}
+	return fmt.Sprintf("mfi;backend=%d;thr=%d;init=%d;seed=%d;walk=%d,%d,%d",
+		v.Backend, v.Threshold, v.InitialThreshold, v.Seed,
+		v.Walk.MaxIters, v.Walk.MinIters, v.Walk.MinConfirm), true
+}
+
+// Context plumbing. The prepared log rides the context so the whole solver
+// stack — down to normalize — can pick up the shared index without changing
+// the Solver interface.
+
+type preparedCtxKey struct{}
+type noPrepCtxKey struct{}
+
+// withPrepared returns a context carrying p for the solvers underneath.
+func withPrepared(ctx context.Context, p *PreparedLog) context.Context {
+	return context.WithValue(ctx, preparedCtxKey{}, p)
+}
+
+// WithPrepared returns a context under which every solve of p's log uses
+// the shared index (solves of other logs are unaffected). Unlike
+// PreparedLog.SolveContext it does not memoize solutions.
+func WithPrepared(ctx context.Context, p *PreparedLog) context.Context {
+	return withPrepared(ctx, p)
+}
+
+// preparedFromContext returns the attached PreparedLog, or nil.
+func preparedFromContext(ctx context.Context) *PreparedLog {
+	p, _ := ctx.Value(preparedCtxKey{}).(*PreparedLog)
+	return p
+}
+
+// PreparedFromContext returns the PreparedLog attached by WithPrepared (or
+// built by SolveBatchContext), or nil.
+func PreparedFromContext(ctx context.Context) *PreparedLog { return preparedFromContext(ctx) }
+
+// WithoutPreparation returns a context under which SolveBatchContext skips
+// its automatic index build and runs the direct scan path — the pre-index
+// behavior, kept reachable for A/B measurement and differential testing. An
+// explicitly attached PreparedLog (WithPrepared further down the chain)
+// still wins.
+func WithoutPreparation(ctx context.Context) context.Context {
+	return context.WithValue(ctx, noPrepCtxKey{}, true)
+}
+
+func preparationDisabled(ctx context.Context) bool {
+	disabled, _ := ctx.Value(noPrepCtxKey{}).(bool)
+	return disabled
+}

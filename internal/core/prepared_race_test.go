@@ -1,0 +1,174 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"standout/internal/bitvec"
+	"standout/internal/dataset"
+)
+
+// These tests hammer one shared PreparedLog (index + solution memo) from many
+// goroutines. They pass under plain `go test` but exist for `go test -race`,
+// where the detector checks the index's read-only sharing, the LRU's locking,
+// and the batch path's coordination around a single prepared state.
+
+// raceWorkload builds a moderately sized log and a tuple set with repeats, so
+// concurrent solves exercise hits, misses, and (with a small cache) evictions.
+func raceWorkload(t *testing.T, nq, ntuples int) (*dataset.QueryLog, []bitvec.Vector) {
+	t.Helper()
+	const width = 12
+	r := rand.New(rand.NewSource(42))
+	log := dataset.NewQueryLog(dataset.GenericSchema(width))
+	for i := 0; i < nq; i++ {
+		q := bitvec.New(width)
+		k := 1 + r.Intn(4)
+		for q.Count() < k {
+			q.Set(r.Intn(width))
+		}
+		if err := log.Append(q); err != nil {
+			t.Fatal(err)
+		}
+	}
+	tuples := make([]bitvec.Vector, ntuples)
+	for i := range tuples {
+		if i%3 == 2 {
+			tuples[i] = tuples[i-1].Clone() // repeats feed the memo
+			continue
+		}
+		v := bitvec.New(width)
+		for j := 0; j < width; j++ {
+			if r.Intn(2) == 0 {
+				v.Set(j)
+			}
+		}
+		tuples[i] = v
+	}
+	return log, tuples
+}
+
+func TestSharedPreparedLogConcurrentSolves(t *testing.T) {
+	log, tuples := raceWorkload(t, 300, 48)
+	p, err := PrepareLog(log)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Phase 1: capacity large enough that nothing is ever evicted. Each
+	// goroutine sticks to one solver, so the workload's adjacent repeated
+	// tuples (raceWorkload makes every third a copy of its predecessor) are
+	// guaranteed memo hits — deterministically, since entries cannot churn.
+	solvers := []Solver{BruteForce{}, ConsumeAttr{}, ConsumeAttrCumul{}, MaxFreqItemSets{Backend: BackendExactDFS}}
+	hammer := func() {
+		var wg sync.WaitGroup
+		for g := 0; g < 8; g++ {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				s := solvers[g%len(solvers)]
+				for i, tuple := range tuples {
+					sol, err := p.SolveContext(context.Background(), s, tuple, 4)
+					if err != nil {
+						t.Errorf("g%d tuple %d: %v", g, i, err)
+						return
+					}
+					if got := log.Satisfied(sol.Kept); got != sol.Satisfied {
+						t.Errorf("g%d tuple %d: reported %d, recount %d", g, i, sol.Satisfied, got)
+						return
+					}
+				}
+			}(g)
+		}
+		wg.Wait()
+	}
+	hammer()
+	st := p.CacheStats()
+	if st.Misses == 0 || st.Hits == 0 {
+		t.Fatalf("phase 1 did not exercise the memo: %+v", st)
+	}
+	if st.Evictions != 0 {
+		t.Fatalf("phase 1 evicted below DefaultSolutionCacheSize: %+v", st)
+	}
+
+	// Phase 2: shrink the memo mid-flight and hammer again — concurrent
+	// solves against a small cache exercise the eviction path under load.
+	p.SetSolutionCache(8)
+	hammer()
+	if st := p.CacheStats(); st.Evictions == 0 {
+		t.Fatalf("capacity-8 memo never evicted: %+v", st)
+	}
+}
+
+func TestBatchSharesOnePreparedLog(t *testing.T) {
+	log, tuples := raceWorkload(t, 200, 32)
+	p, err := PrepareLog(log)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two concurrent batches share the same explicit PreparedLog.
+	ctx := WithPrepared(context.Background(), p)
+	var wg sync.WaitGroup
+	for b := 0; b < 2; b++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sols, errs, err := SolveBatchContext(ctx, ConsumeAttrCumul{}, log, tuples, 4, 4)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			for i := range sols {
+				if errs[i] != nil {
+					t.Errorf("tuple %d: %v", i, errs[i])
+					return
+				}
+				if got := log.Satisfied(sols[i].Kept); got != sols[i].Satisfied {
+					t.Errorf("tuple %d: reported %d, recount %d", i, sols[i].Satisfied, got)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if st := p.CacheStats(); st.Hits == 0 {
+		t.Fatalf("repeated tuples across two batches produced no memo hits: %+v", st)
+	}
+}
+
+func TestBatchCancellationWithSharedPrep(t *testing.T) {
+	log, tuples := raceWorkload(t, 300, 64)
+	p, err := PrepareLog(log)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(WithPrepared(context.Background(), p))
+
+	done := make(chan struct{})
+	var sols []Solution
+	var errs []error
+	var batchErr error
+	go func() {
+		defer close(done)
+		sols, errs, batchErr = SolveBatchContext(ctx, BruteForce{}, log, tuples, 6, 4)
+	}()
+	cancel() // mid-batch (possibly before the first dequeue — both are legal)
+	<-done
+
+	if batchErr != nil && !errors.Is(batchErr, context.Canceled) {
+		t.Fatalf("batch error = %v, want context.Canceled or nil", batchErr)
+	}
+	for i := range sols {
+		if errs[i] != nil && !errors.Is(errs[i], context.Canceled) {
+			t.Fatalf("tuple %d: unexpected error %v", i, errs[i])
+		}
+		// A tuple either completed with a valid solution or was skipped.
+		if errs[i] == nil && sols[i].Kept.Width() != 0 {
+			if got := log.Satisfied(sols[i].Kept); got != sols[i].Satisfied {
+				t.Fatalf("tuple %d: reported %d, recount %d", i, sols[i].Satisfied, got)
+			}
+		}
+	}
+}

@@ -1,0 +1,271 @@
+package core
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+
+	"standout/internal/bitvec"
+	"standout/internal/dataset"
+	"standout/internal/itemsets"
+)
+
+func TestPrepareLogBasics(t *testing.T) {
+	in := example1(t)
+	p, err := PrepareLog(in.Log)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Log() != in.Log {
+		t.Fatal("Log() is not the prepared log")
+	}
+	if p.Fingerprint() != in.Log.Fingerprint() {
+		t.Fatal("Fingerprint() does not match the log")
+	}
+	if p.Stale() {
+		t.Fatal("fresh PreparedLog reports stale")
+	}
+	if !p.usableFor(in.Log) {
+		t.Fatal("not usable for its own log")
+	}
+	other := dataset.NewQueryLog(dataset.GenericSchema(6))
+	if p.usableFor(other) {
+		t.Fatal("usable for a different log")
+	}
+	var nilP *PreparedLog
+	if nilP.usableFor(in.Log) {
+		t.Fatal("nil PreparedLog claims usability")
+	}
+}
+
+func TestPreparedSolveMatchesDirect(t *testing.T) {
+	in := example1(t)
+	p, err := PrepareLog(in.Log)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, s := range allSolvers() {
+		t.Run(name, func(t *testing.T) {
+			direct, err := s.Solve(in)
+			if err != nil {
+				t.Fatal(err)
+			}
+			prepped, err := p.Solve(s, in.Tuple, in.M)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if prepped.Satisfied != direct.Satisfied || prepped.Kept.String() != direct.Kept.String() {
+				t.Fatalf("prepared (%d, %v) != direct (%d, %v)",
+					prepped.Satisfied, prepped.Kept, direct.Satisfied, direct.Kept)
+			}
+
+			// WithPrepared (index only, no memo) must agree too.
+			ctx := WithPrepared(context.Background(), p)
+			viaCtx, err := s.SolveContext(ctx, in)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if viaCtx.Satisfied != direct.Satisfied || viaCtx.Kept.String() != direct.Kept.String() {
+				t.Fatalf("WithPrepared (%d, %v) != direct (%d, %v)",
+					viaCtx.Satisfied, viaCtx.Kept, direct.Satisfied, direct.Kept)
+			}
+		})
+	}
+}
+
+func TestPreparedSolutionMemo(t *testing.T) {
+	in := example1(t)
+	p, err := PrepareLog(in.Log)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := BruteForce{}
+
+	first, err := p.Solve(s, in.Tuple, in.M)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := p.CacheStats()
+	if st.Hits != 0 || st.Misses != 1 {
+		t.Fatalf("after first solve: %+v", st)
+	}
+
+	second, err := p.Solve(s, in.Tuple, in.M)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st = p.CacheStats()
+	if st.Hits != 1 || st.Misses != 1 {
+		t.Fatalf("after repeat solve: %+v", st)
+	}
+	if second.Satisfied != first.Satisfied || second.Kept.String() != first.Kept.String() {
+		t.Fatal("memoized solution differs")
+	}
+
+	// Hits must return an independent vector: corrupting one caller's copy
+	// must not poison the memo.
+	second.Kept.Clear(0)
+	third, err := p.Solve(s, in.Tuple, in.M)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if third.Kept.String() != first.Kept.String() {
+		t.Fatal("memo entry aliased a caller's vector")
+	}
+
+	// Different m is a different key.
+	if _, err := p.Solve(s, in.Tuple, in.M-1); err != nil {
+		t.Fatal(err)
+	}
+	if st := p.CacheStats(); st.Misses != 2 {
+		t.Fatalf("distinct m shared a key: %+v", st)
+	}
+
+	// Different solver configuration is a different key.
+	if _, err := p.Solve(MaxFreqItemSets{Backend: BackendExactDFS}, in.Tuple, in.M); err != nil {
+		t.Fatal(err)
+	}
+	if st := p.CacheStats(); st.Misses != 3 {
+		t.Fatalf("distinct solver shared a key: %+v", st)
+	}
+}
+
+func TestPreparedMemoEvictionAndDisable(t *testing.T) {
+	in := example1(t)
+	p, err := PrepareLog(in.Log)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.SetSolutionCache(1)
+	s := ConsumeAttr{}
+	t1 := in.Tuple
+	t2 := bitvec.FromIndices(6, 0, 1, 2)
+	for _, tuple := range []bitvec.Vector{t1, t2, t1} {
+		if _, err := p.Solve(s, tuple, 2); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := p.CacheStats()
+	// Capacity 1: t2 displaces t1, then t1's re-solve displaces t2 —
+	// three misses, two evictions, no hits.
+	if st.Hits != 0 || st.Misses != 3 || st.Evictions != 2 {
+		t.Fatalf("capacity-1 stats: %+v", st)
+	}
+
+	p.SetSolutionCache(0) // disable: everything misses, nothing stored
+	if _, err := p.Solve(s, t1, 2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Solve(s, t1, 2); err != nil {
+		t.Fatal(err)
+	}
+	if st := p.CacheStats(); st.Hits != 0 {
+		t.Fatalf("disabled memo produced a hit: %+v", st)
+	}
+}
+
+func TestPreparedStaleDetection(t *testing.T) {
+	in := example1(t)
+	p, err := PrepareLog(in.Log)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := in.Log.Append(bitvec.FromIndices(6, 5)); err != nil {
+		t.Fatal(err)
+	}
+	if !p.Stale() {
+		t.Fatal("not stale after Append")
+	}
+	if _, err := p.Solve(BruteForce{}, in.Tuple, in.M); err == nil {
+		t.Fatal("SolveContext accepted a stale PreparedLog")
+	}
+
+	// The WithPrepared path degrades silently: solvers fall back to the
+	// direct scan and still return correct results.
+	ctx := WithPrepared(context.Background(), p)
+	sol, err := BruteForce{}.SolveContext(ctx, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := BruteForce{}.Solve(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Satisfied != want.Satisfied {
+		t.Fatalf("stale-fallback satisfied %d, want %d", sol.Satisfied, want.Satisfied)
+	}
+}
+
+// unkeyableSolver is a Solver from outside this package's concrete types.
+type unkeyableSolver struct{ BruteForce }
+
+func TestSolverCacheIdentity(t *testing.T) {
+	keyable := []Solver{
+		BruteForce{}, IP{}, ILP{}, ConsumeAttr{}, ConsumeAttrCumul{}, ConsumeQueries{},
+		MaxFreqItemSets{}, MaxFreqItemSets{Backend: BackendExactDFS, Threshold: 3},
+		PreparedSolver{Prep: &Prep{}},
+	}
+	ids := map[string]bool{}
+	for _, s := range keyable {
+		id, ok := solverCacheID(s)
+		if !ok {
+			t.Fatalf("%T not keyable", s)
+		}
+		if ids[id] {
+			t.Fatalf("%T shares cache id %q with another configuration", s, id)
+		}
+		ids[id] = true
+	}
+	for _, s := range []Solver{
+		unkeyableSolver{},
+		MaxFreqItemSets{Walk: itemsets.WalkOptions{Rng: rand.New(rand.NewSource(1))}},
+		PreparedSolver{},
+	} {
+		if id, ok := solverCacheID(s); ok {
+			t.Fatalf("%T keyable as %q; must not be memoized", s, id)
+		}
+	}
+}
+
+func TestUnkeyableSolverNotMemoized(t *testing.T) {
+	in := example1(t)
+	p, err := PrepareLog(in.Log)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := unkeyableSolver{}
+	want, err := BruteForce{}.Solve(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		sol, err := p.Solve(s, in.Tuple, in.M)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sol.Satisfied != want.Satisfied {
+			t.Fatalf("satisfied %d, want %d", sol.Satisfied, want.Satisfied)
+		}
+	}
+	if st := p.CacheStats(); st.Hits+st.Misses != 0 {
+		t.Fatalf("unkeyable solver touched the memo: %+v", st)
+	}
+}
+
+func TestPreparedFromContext(t *testing.T) {
+	if PreparedFromContext(context.Background()) != nil {
+		t.Fatal("background context carries a PreparedLog")
+	}
+	in := example1(t)
+	p, err := PrepareLog(in.Log)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := WithPrepared(context.Background(), p)
+	if PreparedFromContext(ctx) != p {
+		t.Fatal("WithPrepared round-trip failed")
+	}
+	if !preparationDisabled(WithoutPreparation(context.Background())) {
+		t.Fatal("WithoutPreparation not recorded")
+	}
+}

@@ -215,6 +215,12 @@ func (t *Table) DominatedBy(v bitvec.Vector) []int {
 type QueryLog struct {
 	Schema  *Schema
 	Queries []bitvec.Vector
+
+	// version counts mutations made through Append and Touch. Callers that
+	// mutate Queries directly (appending to the slice, or flipping bits of a
+	// query in place) must call Touch afterwards so index and cache layers
+	// built over the log can notice the change.
+	version uint64
 }
 
 // NewQueryLog returns an empty query log over the schema.
@@ -227,7 +233,31 @@ func (q *QueryLog) Append(query bitvec.Vector) error {
 			query.Width(), q.Schema.Width())
 	}
 	q.Queries = append(q.Queries, query)
+	q.version++
 	return nil
+}
+
+// Version is a cheap mutation counter: it changes whenever the log is
+// modified through Append or Touch. Derived structures (indexes, caches)
+// record it at build time and compare to detect staleness without rehashing
+// the whole log. Direct mutation of Queries bypasses it — call Touch.
+func (q *QueryLog) Version() uint64 { return q.version }
+
+// Touch records an out-of-band mutation of Queries, invalidating any index
+// or cache built over the previous contents.
+func (q *QueryLog) Touch() { q.version++ }
+
+// Fingerprint returns a 64-bit content hash of the log: the schema width and
+// every query's bits, in order. Two logs with identical query sequences have
+// identical fingerprints regardless of how they were built. It is computed
+// from scratch on every call (O(S·M/64)) and is safe for concurrent use on
+// an unmutated log; cache layers use it to key per-log state.
+func (q *QueryLog) Fingerprint() uint64 {
+	h := uint64(len(q.Queries))*0x9e3779b97f4a7c15 + uint64(q.Width())
+	for _, query := range q.Queries {
+		h = query.Hash64(h)
+	}
+	return h
 }
 
 // Size returns the number of queries S.

@@ -234,3 +234,63 @@ func TestValidateCatchesCorruption(t *testing.T) {
 		t.Error("Validate missed ID/row count mismatch")
 	}
 }
+
+func TestVersionAndFingerprint(t *testing.T) {
+	log := NewQueryLog(GenericSchema(6))
+	v0, f0 := log.Version(), log.Fingerprint()
+	if err := log.Append(bitvec.FromIndices(6, 1, 3)); err != nil {
+		t.Fatal(err)
+	}
+	if log.Version() == v0 {
+		t.Error("Append did not bump the version")
+	}
+	if log.Fingerprint() == f0 {
+		t.Error("Append did not change the fingerprint")
+	}
+
+	// Fingerprint is a pure function of contents: an identical log matches,
+	// and recomputation is stable.
+	twin := NewQueryLog(GenericSchema(6))
+	if err := twin.Append(bitvec.FromIndices(6, 1, 3)); err != nil {
+		t.Fatal(err)
+	}
+	if log.Fingerprint() != twin.Fingerprint() {
+		t.Error("identical logs disagree on fingerprint")
+	}
+	if log.Fingerprint() != log.Fingerprint() {
+		t.Error("fingerprint not deterministic")
+	}
+
+	// Order matters (the greedy heuristics are order-sensitive, so logs that
+	// differ only by permutation must not share cached state).
+	a := NewQueryLog(GenericSchema(6))
+	b := NewQueryLog(GenericSchema(6))
+	for _, idx := range [][]int{{0}, {1, 2}} {
+		if err := a.Append(bitvec.FromIndices(6, idx...)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, idx := range [][]int{{1, 2}, {0}} {
+		if err := b.Append(bitvec.FromIndices(6, idx...)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if a.Fingerprint() == b.Fingerprint() {
+		t.Error("permuted logs share a fingerprint")
+	}
+
+	// In-place mutation is invisible to Version until Touch announces it,
+	// but always visible to Fingerprint.
+	fBefore, vBefore := log.Fingerprint(), log.Version()
+	log.Queries[0].Set(5)
+	if log.Version() != vBefore {
+		t.Error("in-place mutation bumped version without Touch")
+	}
+	if log.Fingerprint() == fBefore {
+		t.Error("in-place mutation did not change fingerprint")
+	}
+	log.Touch()
+	if log.Version() == vBefore {
+		t.Error("Touch did not bump the version")
+	}
+}

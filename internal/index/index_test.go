@@ -1,0 +1,227 @@
+package index
+
+import (
+	"math/rand"
+	"testing"
+
+	"standout/internal/bitvec"
+	"standout/internal/dataset"
+)
+
+// randomLog builds a log with nq random queries of 1..maxQ attributes.
+func randomLog(t *testing.T, r *rand.Rand, width, nq, maxQ int) *dataset.QueryLog {
+	t.Helper()
+	log := dataset.NewQueryLog(dataset.GenericSchema(width))
+	for i := 0; i < nq; i++ {
+		q := bitvec.New(width)
+		k := 1 + r.Intn(maxQ)
+		if k > width {
+			k = width
+		}
+		for q.Count() < k {
+			q.Set(r.Intn(width))
+		}
+		if err := log.Append(q); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return log
+}
+
+func randomVec(r *rand.Rand, width int, density float64) bitvec.Vector {
+	v := bitvec.New(width)
+	for i := 0; i < width; i++ {
+		if r.Float64() < density {
+			v.Set(i)
+		}
+	}
+	return v
+}
+
+// TestAgainstNaive cross-checks every index query form against the direct
+// log scans it replaces, over random instances including multi-word bitmaps
+// (nq > 64) and multi-word vectors (width > 64).
+func TestAgainstNaive(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 60; trial++ {
+		width := 1 + r.Intn(90) // crosses the 64-bit word boundary
+		nq := r.Intn(200)       // crosses the 64-query word boundary
+		log := randomLog(t, r, width, nq, 6)
+		ix, err := Build(log)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ix.NumQueries() != nq || ix.Width() != width || ix.Log() != log {
+			t.Fatalf("shape: got (%d,%d)", ix.NumQueries(), ix.Width())
+		}
+		if got, want := ix.Fingerprint(), log.Fingerprint(); got != want {
+			t.Fatalf("fingerprint %d != log %d", got, want)
+		}
+
+		wantFreq := log.AttrFrequencies()
+		for a := 0; a < width; a++ {
+			if ix.AttrFrequencies()[a] != wantFreq[a] {
+				t.Fatalf("freq[%d] = %d, want %d", a, ix.AttrFrequencies()[a], wantFreq[a])
+			}
+			if got := ix.QueriesWith(a).Count(); got != wantFreq[a] {
+				t.Fatalf("|QueriesWith(%d)| = %d, want %d", a, got, wantFreq[a])
+			}
+		}
+
+		for probe := 0; probe < 10; probe++ {
+			tuple := randomVec(r, width, r.Float64())
+			if got, want := ix.Satisfied(tuple), log.Satisfied(tuple); got != want {
+				t.Fatalf("Satisfied = %d, want %d (width=%d nq=%d)", got, want, width, nq)
+			}
+			cand := ix.Candidates(tuple)
+			wantIdx := log.SatisfiedBy(tuple)
+			if gotIdx := cand.Ones(); len(gotIdx) != len(wantIdx) {
+				t.Fatalf("|Candidates| = %d, want %d", len(gotIdx), len(wantIdx))
+			} else {
+				for i := range gotIdx {
+					if gotIdx[i] != wantIdx[i] {
+						t.Fatalf("Candidates[%d] = %d, want %d", i, gotIdx[i], wantIdx[i])
+					}
+					if !cand.Get(gotIdx[i]) {
+						t.Fatalf("Get(%d) = false inside Ones()", gotIdx[i])
+					}
+				}
+			}
+
+			// Score a random compression of the tuple three ways.
+			kept := tuple.Clone()
+			for _, a := range tuple.Ones() {
+				if r.Intn(2) == 0 {
+					kept.Clear(a)
+				}
+			}
+			want := log.Satisfied(kept)
+			if got := ix.SatisfiedWithin(cand, kept, nil); got != want {
+				t.Fatalf("SatisfiedWithin = %d, want %d", got, want)
+			}
+			var drop []int
+			for _, a := range tuple.Ones() {
+				if !kept.Get(a) {
+					drop = append(drop, a)
+				}
+			}
+			scratch := make(Bitmap, ix.Words())
+			if got := ix.SatisfiedDropping(cand, drop, scratch); got != want {
+				t.Fatalf("SatisfiedDropping = %d, want %d", got, want)
+			}
+		}
+	}
+}
+
+func TestEmptyLog(t *testing.T) {
+	log := dataset.NewQueryLog(dataset.GenericSchema(5))
+	ix, err := Build(log)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tuple := bitvec.FromIndices(5, 0, 2)
+	if got := ix.Satisfied(tuple); got != 0 {
+		t.Fatalf("Satisfied on empty log = %d", got)
+	}
+	if got := ix.Candidates(tuple).Count(); got != 0 {
+		t.Fatalf("Candidates on empty log = %d", got)
+	}
+	if ix.MaxQuerySize() != 0 {
+		t.Fatalf("MaxQuerySize = %d", ix.MaxQuerySize())
+	}
+}
+
+func TestSizeBuckets(t *testing.T) {
+	log := dataset.NewQueryLog(dataset.GenericSchema(6))
+	for _, spec := range [][]int{{0}, {1, 2}, {3, 4, 5}, {0, 1, 2, 3}} {
+		if err := log.Append(bitvec.FromIndices(6, spec...)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ix, err := Build(log)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k, want := range map[int]int{-1: 0, 0: 0, 1: 1, 2: 2, 3: 3, 4: 4, 99: 4} {
+		if got := ix.SizeAtMost(k).Count(); got != want {
+			t.Fatalf("SizeAtMost(%d) = %d, want %d", k, got, want)
+		}
+	}
+	if ix.MaxQuerySize() != 4 {
+		t.Fatalf("MaxQuerySize = %d, want 4", ix.MaxQuerySize())
+	}
+}
+
+func TestStale(t *testing.T) {
+	log := dataset.NewQueryLog(dataset.GenericSchema(4))
+	if err := log.Append(bitvec.FromIndices(4, 0)); err != nil {
+		t.Fatal(err)
+	}
+	ix, err := Build(log)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ix.Stale() {
+		t.Fatal("fresh index reported stale")
+	}
+	if err := log.Append(bitvec.FromIndices(4, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if !ix.Stale() {
+		t.Fatal("index not stale after Append")
+	}
+
+	ix2, err := Build(log)
+	if err != nil {
+		t.Fatal(err)
+	}
+	log.Queries[0].Set(3) // in-place mutation, announced via Touch
+	log.Touch()
+	if !ix2.Stale() {
+		t.Fatal("index not stale after Touch")
+	}
+}
+
+func TestBuildRejectsInvalidLog(t *testing.T) {
+	log := dataset.NewQueryLog(dataset.GenericSchema(4))
+	log.Queries = append(log.Queries, bitvec.New(9)) // wrong width, bypassing Append
+	if _, err := Build(log); err == nil {
+		t.Fatal("Build accepted an invalid log")
+	}
+}
+
+func TestPanicsOnWidthMismatch(t *testing.T) {
+	log := randomLog(t, rand.New(rand.NewSource(1)), 8, 10, 3)
+	ix, err := Build(log)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, fn := range map[string]func(){
+		"Candidates": func() { ix.Candidates(bitvec.New(9)) },
+		"Satisfied":  func() { ix.Satisfied(bitvec.New(7)) },
+		"QueriesWith": func() {
+			ix.QueriesWith(8)
+		},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: no panic on mismatch", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestBitmapClone(t *testing.T) {
+	b := Bitmap{0b1011}
+	c := b.Clone()
+	c[0] = 0
+	if b[0] != 0b1011 {
+		t.Fatal("Clone shares storage")
+	}
+	if got := b.Count(); got != 3 {
+		t.Fatalf("Count = %d", got)
+	}
+}

@@ -36,6 +36,7 @@ import (
 	"log/slog"
 
 	"standout/internal/bitvec"
+	"standout/internal/cache"
 	"standout/internal/core"
 	"standout/internal/dataset"
 	"standout/internal/obsv"
@@ -177,6 +178,57 @@ type BatchError = core.BatchError
 func SolveBatchContext(ctx context.Context, s Solver, log *QueryLog, tuples []Vector, m, workers int) ([]Solution, []error, error) {
 	return core.SolveBatchContext(ctx, s, log, tuples, m, workers)
 }
+
+// Shared per-log solve state. For the marketplace regime — one query log,
+// many tuples — prepare the log once and solve through the prepared state:
+// the solvers share an inverted attribute→query bitmap index and solutions
+// for repeated (solver, tuple, budget) triples are memoized. Results are
+// identical to the direct path, only faster. SolveBatch and SolveBatchContext do this
+// automatically; PrepareLog is for callers who want to reuse the state across
+// batches or single solves:
+//
+//	p, err := standout.PrepareLog(log)
+//	if err != nil { ... }
+//	sol, err := p.Solve(standout.ConsumeAttrCumul{}, tuple, m)
+//	fmt.Printf("%+v\n", p.CacheStats())
+type (
+	// PreparedLog is concurrency-safe shared solve state for one query log:
+	// the bitmap index, lazily built mining state, and a bounded solution
+	// memo. Tied to the exact log contents at PrepareLog time; mutations via
+	// QueryLog.Append (or announced with QueryLog.Touch) make it stale.
+	PreparedLog = core.PreparedLog
+	// CacheStats snapshots a PreparedLog solution memo's counters.
+	CacheStats = cache.Stats
+)
+
+// DefaultSolutionCacheSize is the solution-memo capacity PrepareLog starts
+// with; change it per PreparedLog with SetSolutionCache (≤ 0 disables).
+const DefaultSolutionCacheSize = core.DefaultSolutionCacheSize
+
+// PrepareLog validates the log and builds its shared solve state.
+func PrepareLog(log *QueryLog) (*PreparedLog, error) { return core.PrepareLog(log) }
+
+// PrepareLogContext is PrepareLog under a context; the index build is
+// recorded on the context's trace as an "index.build" span.
+func PrepareLogContext(ctx context.Context, log *QueryLog) (*PreparedLog, error) {
+	return core.PrepareLogContext(ctx, log)
+}
+
+// WithPrepared returns a context under which every solve of p's log uses the
+// shared index (solves of other logs are unaffected). Unlike
+// PreparedLog.Solve it does not memoize solutions.
+func WithPrepared(ctx context.Context, p *PreparedLog) context.Context {
+	return core.WithPrepared(ctx, p)
+}
+
+// PreparedFromContext returns the PreparedLog attached by WithPrepared, or
+// nil.
+func PreparedFromContext(ctx context.Context) *PreparedLog { return core.PreparedFromContext(ctx) }
+
+// WithoutPreparation returns a context under which SolveBatchContext skips
+// its automatic per-batch index build and scans the log directly — the
+// pre-index behavior, kept reachable for A/B measurement.
+func WithoutPreparation(ctx context.Context) context.Context { return core.WithoutPreparation(ctx) }
 
 // Observability. Every solver populates a per-solve Trace when one is
 // attached to its context, records process-level metrics into the registry
