@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: check build test test-race bench vet fmt-check cover cover-gate experiments quick-experiments fuzz
+.PHONY: check build test test-race soak bench vet fmt-check cover cover-gate experiments quick-experiments fuzz
 
 # Default: everything CI would gate on.
 check: build vet fmt-check test test-race cover-gate
@@ -24,7 +24,14 @@ test:
 # check. `go test -race ./...` also works but takes much longer on the bench
 # package.
 test-race:
-	go test -race ./internal/core/... ./internal/cache/... ./internal/index/... ./internal/ilp/... ./internal/itemsets/...
+	go test -race ./internal/core/... ./internal/cache/... ./internal/index/... ./internal/ilp/... ./internal/itemsets/... ./internal/serve/... ./internal/fault/...
+
+# 30 seconds of fault-injected chaos storms against the serving layer under
+# the race detector: injected panics, delays, forced staleness, live log
+# mutation. The suite asserts the server survives, every response is
+# well-formed, and degraded answers beat the greedy baseline.
+soak:
+	go test -race -run 'TestSoak' ./internal/serve/ -soak=30s -v
 
 cover:
 	go test -cover ./...

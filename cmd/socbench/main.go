@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	socbench [flags] fig6|fig7|fig8|fig9|fig10|fig11|index|ablations|all
+//	socbench [flags] fig6|fig7|fig8|fig9|fig10|fig11|index|serve|ablations|all
 //
 // Flags:
 //
@@ -33,8 +33,6 @@ import (
 	"fmt"
 	"io"
 	"os"
-	"os/signal"
-	"syscall"
 	"time"
 
 	"standout/internal/bench"
@@ -42,7 +40,7 @@ import (
 )
 
 func main() {
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	ctx, stop := obsv.SignalContext()
 	defer stop()
 	if err := run(ctx, os.Args[1:], os.Stdout, os.Stderr); err != nil {
 		fmt.Fprintf(os.Stderr, "socbench: %v\n", err)
@@ -59,24 +57,22 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) (err erro
 	tuples := fs.Int("tuples", 0, "tuples to average over (0 = paper's 100)")
 	cars := fs.Int("cars", 0, "cars table size (0 = paper's 15211)")
 	ilpTimeout := fs.Duration("ilp-timeout", 0, "per-solve ILP timeout (0 = 30s)")
-	timeout := fs.Duration("timeout", 0, "wall-clock budget for the whole run (0 = none)")
 	prep := fs.Bool("prep", false, "run figure solves through a shared prepared-log index")
 	var obs obsv.Flags
 	obs.Register(fs)
+	var runf obsv.RunFlags
+	runf.Register(fs)
 	fs.Usage = func() {
 		fmt.Fprintf(stderr,
-			"usage: socbench [flags] fig6|fig7|fig8|fig9|fig10|fig11|index|ablations|all\n")
+			"usage: socbench [flags] fig6|fig7|fig8|fig9|fig10|fig11|index|serve|ablations|all\n")
 		fs.SetOutput(stderr)
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	if *timeout > 0 {
-		var cancel context.CancelFunc
-		ctx, cancel = context.WithTimeout(ctx, *timeout)
-		defer cancel()
-	}
+	ctx, cancel := runf.Context(ctx)
+	defer cancel()
 	ctx, finish, err := obs.Apply(ctx, stdout, stderr)
 	if err != nil {
 		return err
@@ -110,6 +106,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) (err erro
 	}
 	runners := map[string][]runFn{
 		"index":     {bench.IndexBatchContext},
+		"serve":     {bench.ServeLoadContext},
 		"fig6":      {bench.Fig6Context},
 		"fig7":      {bench.Fig7Context},
 		"fig8":      {bench.Fig8Context},

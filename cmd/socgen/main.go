@@ -20,8 +20,6 @@ import (
 	"fmt"
 	"io"
 	"os"
-	"os/signal"
-	"syscall"
 
 	"standout/internal/dataset"
 	"standout/internal/gen"
@@ -29,7 +27,7 @@ import (
 )
 
 func main() {
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	ctx, stop := obsv.SignalContext()
 	defer stop()
 	if err := run(ctx, os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintf(os.Stderr, "socgen: %v\n", err)
@@ -42,9 +40,10 @@ func run(ctx context.Context, args []string, stdout io.Writer) (err error) {
 	n := fs.Int("n", 0, "rows/queries to generate (0 = paper defaults)")
 	seed := fs.Int64("seed", 1, "generator seed")
 	carsN := fs.Int("cars", 2000, "cars-table size used to derive real-workload popularity")
-	timeout := fs.Duration("timeout", 0, "wall-clock limit (0 = none); ^C also cancels")
 	var obs obsv.Flags
 	obs.Register(fs)
+	var runf obsv.RunFlags
+	runf.Register(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -57,11 +56,8 @@ func run(ctx context.Context, args []string, stdout io.Writer) (err error) {
 			err = ferr
 		}
 	}()
-	if *timeout > 0 {
-		var cancel context.CancelFunc
-		ctx, cancel = context.WithTimeout(ctx, *timeout)
-		defer cancel()
-	}
+	ctx, cancel := runf.Context(ctx)
+	defer cancel()
 	if fs.NArg() != 1 {
 		return fmt.Errorf("usage: socgen [flags] cars|workload-real|workload-synthetic")
 	}

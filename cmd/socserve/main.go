@@ -1,0 +1,207 @@
+// Command socserve runs the hardened solving service: the paper's online
+// scenario — price a new tuple's best m-attribute compression against a live
+// query log — as an HTTP/JSON server with admission control, deadline
+// propagation, a graceful-degradation ladder, and panic isolation (see
+// internal/serve and DESIGN.md §10).
+//
+// Usage:
+//
+//	socserve -log queries.csv [-addr 127.0.0.1:8080]
+//	socserve -db cars.csv                       # rows act as the workload
+//	socserve -gen 500 [-seed 7]                 # synthetic cars workload
+//
+// Endpoints:
+//
+//	POST /solve        {"tuple": "110100...|AC,Turbo", "m": 3,
+//	                    "algo": "mfi-exact", "timeout_ms": 500}
+//	POST /solve/batch  {"tuples": [...], "m": 3}
+//	GET  /log          workload stats; POST appends queries copy-on-write
+//	POST /log/touch    force index staleness (chaos lever)
+//	GET  /healthz /readyz /metrics
+//
+// Flags (beyond the obsv trio and -timeout):
+//
+//	-addr ADDR        listen address (default 127.0.0.1:8080; :0 picks a port)
+//	-max-concurrent   solve slots (default GOMAXPROCS)
+//	-max-queue        bounded wait queue; beyond it requests shed with 429
+//	-default-timeout  per-request deadline when the request names none
+//	-max-timeout      clamp on client-requested deadlines
+//	-grace            shutdown grace for in-flight requests (default 5s)
+//	-fault SPECS      deterministic fault injection, ";"-separated rules:
+//	                  SITE[:every=N][:offset=N][:count=N][:delay=D][:jitter=D][:ACTION]
+//	-fault-seed N     seed for injected delay jitter (default 1)
+//
+// ^C (SIGINT), SIGTERM, or an expired -timeout drain the server gracefully:
+// the listener closes, in-flight requests get -grace to finish.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"time"
+
+	"standout/internal/dataset"
+	"standout/internal/fault"
+	"standout/internal/gen"
+	"standout/internal/obsv"
+	"standout/internal/serve"
+)
+
+func main() {
+	ctx, stop := obsv.SignalContext()
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintf(os.Stderr, "socserve: %v\n", err)
+		os.Exit(2)
+	}
+}
+
+func run(ctx context.Context, args []string, stdout, stderr io.Writer) (err error) {
+	fs := flag.NewFlagSet("socserve", flag.ContinueOnError)
+	addr := fs.String("addr", "127.0.0.1:8080", "listen address (:0 picks a free port)")
+	logPath := fs.String("log", "", "query log CSV (SOC-CB-QL workload)")
+	dbPath := fs.String("db", "", "database CSV (rows act as the workload)")
+	genN := fs.Int("gen", 0, "generate a synthetic cars workload of this many queries")
+	seed := fs.Int64("seed", 1, "generator seed for -gen")
+	maxConcurrent := fs.Int("max-concurrent", 0, "concurrent solve slots (0 = GOMAXPROCS)")
+	maxQueue := fs.Int("max-queue", 0, "bounded admission queue (0 = 4×slots); beyond it 429")
+	defaultTimeout := fs.Duration("default-timeout", 0, "per-request deadline when unset (0 = 2s)")
+	maxTimeout := fs.Duration("max-timeout", 0, "clamp on client deadlines (0 = 30s)")
+	grace := fs.Duration("grace", 5*time.Second, "shutdown grace for in-flight requests")
+	faultSpec := fs.String("fault", "", `fault rules, ";"-separated (e.g. "serve.solve:every=10:panic")`)
+	faultSeed := fs.Int64("fault-seed", 1, "seed for injected delay jitter")
+	var obs obsv.Flags
+	obs.Register(fs)
+	var runf obsv.RunFlags // -timeout bounds the whole serving run
+	runf.Register(fs)
+	fs.Usage = func() {
+		fmt.Fprintf(stderr, "usage: socserve -log queries.csv | -db cars.csv | -gen N [flags]\n")
+		fs.SetOutput(stderr)
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	ctx, cancel := runf.Context(ctx)
+	defer cancel()
+	ctx, finish, err := obs.Apply(ctx, stdout, stderr)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if ferr := finish(); ferr != nil && err == nil {
+			err = ferr
+		}
+	}()
+
+	log, err := loadWorkload(*logPath, *dbPath, *genN, *seed)
+	if err != nil {
+		return err
+	}
+
+	var inj *fault.Injector
+	if *faultSpec != "" {
+		rules, err := fault.ParseRules(*faultSpec)
+		if err != nil {
+			return fmt.Errorf("parsing -fault: %w", err)
+		}
+		inj = fault.New(*faultSeed, rules...)
+		fmt.Fprintf(stderr, "socserve: fault injection armed: %s (seed %d)\n", *faultSpec, *faultSeed)
+	}
+
+	srv, err := serve.New(serve.Config{
+		Log:            log,
+		MaxConcurrent:  *maxConcurrent,
+		MaxQueue:       *maxQueue,
+		DefaultTimeout: *defaultTimeout,
+		MaxTimeout:     *maxTimeout,
+		Seed:           *seed,
+		Injector:       inj,
+	})
+	if err != nil {
+		return err
+	}
+	defer srv.Close()
+
+	return serveHTTP(ctx, *addr, srv.Handler(), *grace, log, stderr)
+}
+
+// serveHTTP runs the listener until ctx is done, then drains gracefully.
+func serveHTTP(ctx context.Context, addr string, h http.Handler, grace time.Duration, log *dataset.QueryLog, stderr io.Writer) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	hs := &http.Server{
+		Handler:     h,
+		BaseContext: func(net.Listener) context.Context { return ctx },
+	}
+	// The resolved address (meaningful with :0) prints before serving starts,
+	// so scripts and tests can scrape the port from stderr.
+	fmt.Fprintf(stderr, "socserve: %d queries over %d attributes; listening on http://%s\n",
+		log.Size(), log.Width(), ln.Addr())
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+	select {
+	case err := <-errc:
+		return err // bind failure or unexpected listener death
+	case <-ctx.Done():
+	}
+	fmt.Fprintf(stderr, "socserve: draining (grace %s)\n", grace)
+	sctx, cancel := context.WithTimeout(context.Background(), grace)
+	defer cancel()
+	if err := hs.Shutdown(sctx); err != nil {
+		_ = hs.Close()
+		return fmt.Errorf("shutdown: %w", err)
+	}
+	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	return nil
+}
+
+// loadWorkload resolves exactly one of the three workload sources.
+func loadWorkload(logPath, dbPath string, genN int, seed int64) (*dataset.QueryLog, error) {
+	sources := 0
+	for _, set := range []bool{logPath != "", dbPath != "", genN > 0} {
+		if set {
+			sources++
+		}
+	}
+	if sources != 1 {
+		return nil, fmt.Errorf("exactly one of -log, -db, -gen is required")
+	}
+	switch {
+	case logPath != "":
+		f, err := os.Open(logPath)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		log, err := dataset.ReadQueryLogCSV(f)
+		if err != nil {
+			return nil, fmt.Errorf("reading %s: %w", logPath, err)
+		}
+		return log, nil
+	case dbPath != "":
+		f, err := os.Open(dbPath)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		tab, err := dataset.ReadTableCSV(f)
+		if err != nil {
+			return nil, fmt.Errorf("reading %s: %w", dbPath, err)
+		}
+		return dataset.LogFromTable(tab), nil
+	default:
+		tab := gen.Cars(seed, 2000)
+		return gen.RealWorkload(tab, seed+1, genN), nil
+	}
+}

@@ -1,0 +1,216 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"standout/internal/dataset"
+	"standout/internal/gen"
+)
+
+// syncBuffer lets the test read stderr while run() is still writing to it.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+var addrRE = regexp.MustCompile(`listening on http://([\d.:]+)`)
+
+// startServer runs socserve's run() on a free port and returns its base URL
+// plus a shutdown func that asserts a clean exit.
+func startServer(t *testing.T, args ...string) (string, func()) {
+	t.Helper()
+	ctx, cancel := context.WithCancel(context.Background())
+	var stdout bytes.Buffer
+	stderr := &syncBuffer{}
+	done := make(chan error, 1)
+	go func() {
+		done <- run(ctx, append([]string{"-addr", "127.0.0.1:0", "-grace", "2s"}, args...), &stdout, stderr)
+	}()
+	deadline := time.Now().Add(10 * time.Second)
+	var url string
+	for url == "" {
+		if m := addrRE.FindStringSubmatch(stderr.String()); m != nil {
+			url = "http://" + m[1]
+			break
+		}
+		select {
+		case err := <-done:
+			t.Fatalf("server exited before binding: %v\nstderr: %s", err, stderr.String())
+		default:
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("server never reported its address\nstderr: %s", stderr.String())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	return url, func() {
+		cancel()
+		select {
+		case err := <-done:
+			if err != nil && err != context.Canceled {
+				t.Errorf("run returned %v\nstderr: %s", err, stderr.String())
+			}
+		case <-time.After(10 * time.Second):
+			t.Error("server did not drain within 10s of cancellation")
+		}
+	}
+}
+
+func post(t *testing.T, url string, body string) (int, []byte) {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	raw, _ := io.ReadAll(resp.Body)
+	return resp.StatusCode, raw
+}
+
+func TestServeGenWorkloadEndToEnd(t *testing.T) {
+	url, shutdown := startServer(t, "-gen", "200", "-seed", "5")
+	defer shutdown()
+
+	// The advertised car from the quick start: solve it over HTTP.
+	status, raw := post(t, url+"/solve", `{"tuple": "AC,ABS,Turbo,PowerLocks", "m": 2}`)
+	if status != http.StatusOK {
+		t.Fatalf("solve: status %d body %s", status, raw)
+	}
+	var sr struct {
+		Kept      []string `json:"kept"`
+		Satisfied int      `json:"satisfied"`
+		Solver    string   `json:"solver"`
+		Degraded  bool     `json:"degraded"`
+	}
+	if err := json.Unmarshal(raw, &sr); err != nil {
+		t.Fatalf("decode %s: %v", raw, err)
+	}
+	if len(sr.Kept) > 2 || sr.Solver == "" {
+		t.Fatalf("implausible solve response: %+v", sr)
+	}
+
+	if status, raw = post(t, url+"/log/touch", `{}`); status != http.StatusOK {
+		t.Fatalf("touch: status %d body %s", status, raw)
+	}
+	resp, err := http.Get(url + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(body), "standout_serve_requests_total") {
+		t.Errorf("metrics endpoint missing serve counters:\n%.400s", body)
+	}
+}
+
+func TestServeLogFileWorkload(t *testing.T) {
+	tab := gen.Cars(1, 100)
+	log := gen.RealWorkload(tab, 2, 40)
+	path := filepath.Join(t.TempDir(), "queries.csv")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dataset.WriteQueryLogCSV(f, log); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	url, shutdown := startServer(t, "-log", path)
+	defer shutdown()
+
+	resp, err := http.Get(url + "/log")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var stats struct {
+		Queries int `json:"queries"`
+		Width   int `json:"width"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats.Queries != log.Size() || stats.Width != log.Width() {
+		t.Fatalf("served log %d×%d, want %d×%d", stats.Queries, stats.Width, log.Size(), log.Width())
+	}
+}
+
+func TestServeFaultFlagInjectsPanics(t *testing.T) {
+	url, shutdown := startServer(t, "-gen", "100", "-fault", "serve.solve:count=1:panic=boom")
+	defer shutdown()
+
+	// greedy has no fallback rung, so the injected panic surfaces as a 500 —
+	// and the server stays alive for the next request.
+	status, raw := post(t, url+"/solve", `{"tuple": "AC,Turbo", "m": 1, "algo": "greedy"}`)
+	if status != http.StatusInternalServerError {
+		t.Fatalf("injected panic: status %d body %s", status, raw)
+	}
+	var e struct {
+		Panic bool `json:"panic"`
+	}
+	if err := json.Unmarshal(raw, &e); err != nil || !e.Panic {
+		t.Fatalf("500 body does not mark panic: %s", raw)
+	}
+	if status, raw = post(t, url+"/solve", `{"tuple": "AC,Turbo", "m": 1, "algo": "greedy"}`); status != http.StatusOK {
+		t.Fatalf("solve after injected panic: status %d body %s", status, raw)
+	}
+}
+
+func TestWorkloadSourceValidation(t *testing.T) {
+	for name, args := range map[string][]string{
+		"none": {},
+		"two":  {"-log", "x.csv", "-gen", "10"},
+	} {
+		var out bytes.Buffer
+		err := run(context.Background(), args, &out, &out)
+		if err == nil || !strings.Contains(err.Error(), "exactly one of") {
+			t.Errorf("%s: err = %v, want source-validation error", name, err)
+		}
+	}
+	var out bytes.Buffer
+	if err := run(context.Background(), []string{"-gen", "10", "-fault", "not a rule"}, &out, &out); err == nil {
+		t.Error("bad -fault spec accepted")
+	}
+}
+
+func TestRunTimeoutDrains(t *testing.T) {
+	var stdout bytes.Buffer
+	stderr := &syncBuffer{}
+	start := time.Now()
+	err := run(context.Background(),
+		[]string{"-addr", "127.0.0.1:0", "-gen", "50", "-timeout", "300ms", "-grace", "2s"},
+		&stdout, stderr)
+	if err != nil && err != context.DeadlineExceeded {
+		t.Fatalf("run: %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > 8*time.Second {
+		t.Fatalf("drain took %v; -timeout did not stop the server", elapsed)
+	}
+	if !strings.Contains(stderr.String(), "draining") {
+		t.Errorf("stderr missing drain notice: %s", stderr.String())
+	}
+}

@@ -25,10 +25,8 @@ import (
 	"fmt"
 	"io"
 	"os"
-	"os/signal"
 	"sort"
 	"strings"
-	"syscall"
 	"time"
 
 	"standout/internal/core"
@@ -48,7 +46,7 @@ var solvers = map[string]func() core.Solver{
 }
 
 func main() {
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	ctx, stop := obsv.SignalContext()
 	defer stop()
 	if err := run(ctx, os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintf(os.Stderr, "socsolve: %v\n", err)
@@ -64,10 +62,11 @@ func run(ctx context.Context, args []string, out io.Writer) (err error) {
 	tupleSpec := fs.String("tuple", "", "new tuple: bit string or comma-separated attribute names")
 	m := fs.Int("m", 0, "number of attributes to retain")
 	algo := fs.String("algo", "all", "algorithm: "+algoNames()+", or all")
-	timeout := fs.Duration("timeout", 0, "per-solve wall-clock limit (0 = none); ^C also cancels")
 	prep := fs.Bool("prep", false, "share a prepared-log index across the requested algorithms")
 	var obs obsv.Flags
 	obs.Register(fs)
+	var run obsv.RunFlags // applied per solve: each algorithm gets the full budget
+	run.Register(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -125,10 +124,7 @@ func run(ctx context.Context, args []string, out io.Writer) (err error) {
 		log.Size(), log.Width(), tuple.Count(), *m)
 	for _, name := range names {
 		s := solvers[name]()
-		sctx, cancel := ctx, context.CancelFunc(func() {})
-		if *timeout > 0 {
-			sctx, cancel = context.WithTimeout(ctx, *timeout)
-		}
+		sctx, cancel := run.Context(ctx)
 		start := time.Now()
 		sol, err := s.SolveContext(sctx, in)
 		elapsed := time.Since(start)

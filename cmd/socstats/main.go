@@ -16,16 +16,14 @@ import (
 	"fmt"
 	"io"
 	"os"
-	"os/signal"
 	"sort"
-	"syscall"
 
 	"standout/internal/dataset"
 	"standout/internal/obsv"
 )
 
 func main() {
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	ctx, stop := obsv.SignalContext()
 	defer stop()
 	if err := run(ctx, os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintf(os.Stderr, "socstats: %v\n", err)
@@ -39,9 +37,10 @@ func run(ctx context.Context, args []string, out io.Writer) (err error) {
 	dbPath := fs.String("db", "", "database CSV (rows treated as queries)")
 	tupleSpec := fs.String("tuple", "", "optional tuple: bit string or attribute-name list")
 	top := fs.Int("top", 10, "number of top attributes to print")
-	timeout := fs.Duration("timeout", 0, "wall-clock limit (0 = none); ^C also cancels")
 	var obs obsv.Flags
 	obs.Register(fs)
+	var runf obsv.RunFlags
+	runf.Register(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -54,11 +53,8 @@ func run(ctx context.Context, args []string, out io.Writer) (err error) {
 			err = ferr
 		}
 	}()
-	if *timeout > 0 {
-		var cancel context.CancelFunc
-		ctx, cancel = context.WithTimeout(ctx, *timeout)
-		defer cancel()
-	}
+	ctx, cancel := runf.Context(ctx)
+	defer cancel()
 	if (*logPath == "") == (*dbPath == "") {
 		return fmt.Errorf("exactly one of -log or -db is required")
 	}

@@ -1,0 +1,214 @@
+package bench
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"net/http"
+	"sort"
+	"time"
+
+	"standout/internal/bitvec"
+	"standout/internal/dataset"
+	"standout/internal/fault"
+	"standout/internal/gen"
+	"standout/internal/obsv"
+	"standout/internal/serve"
+)
+
+// serveCell is one load point: a client count and a fault toggle.
+type serveCell struct {
+	clients int
+	faults  bool
+}
+
+// ServeLoad benchmarks the hardened serving layer; see ServeLoadContext.
+func ServeLoad(cfg Config) Result { return ServeLoadContext(context.Background(), cfg) }
+
+// ServeLoadContext drives a closed-loop load generator against a real
+// loopback HTTP instance of the serve package: at each cell, N clients each
+// keep exactly one /solve request in flight for a fixed window, with and
+// without the chaos fault injector, at two concurrency levels straddling the
+// admission capacity. Columns report throughput, latency quantiles of
+// successful solves, and the shed / degraded fractions — the numbers behind
+// the "slow but alive" claim of DESIGN.md §10 (BENCH_serve.json).
+func ServeLoadContext(ctx context.Context, cfg Config) Result {
+	cfg = cfg.withDefaults()
+	res := Result{
+		Name:    "serve",
+		Title:   "Serving layer under closed-loop load (loopback HTTP, mfi-exact solves)",
+		XLabel:  "load",
+		YLabel:  "throughput / latency / shed",
+		Columns: []string{"throughput_rps", "p50_ms", "p99_ms", "shed_rate", "degraded_rate"},
+		Notes: []string{
+			"closed loop: each client holds one request in flight; server capacity 4 solves + 8 queued",
+			"faults: seeded injector (delays, errors, panics, forced prep staleness) on every layer",
+		},
+	}
+
+	carsN := cfg.CarsN
+	if carsN > 2000 {
+		carsN = 2000 // latency benchmark: the schema, not the table size, is under test
+	}
+	tab := gen.Cars(cfg.Seed, carsN)
+	log := gen.RealWorkload(tab, cfg.Seed+1, 400)
+	tuples := gen.PickTuples(tab, cfg.Seed+2, 32)
+
+	window := 2 * time.Second
+	if cfg.Quick {
+		window = 400 * time.Millisecond
+	}
+
+	cells := []serveCell{
+		{4, false}, {4, true},
+		{32, false}, {32, true},
+	}
+	for _, cell := range cells {
+		if ctx.Err() != nil {
+			noteInterrupted(ctx, &res)
+			break
+		}
+		row, err := serveLoadCell(ctx, cfg, log, tuples, cell, window)
+		if err != nil {
+			res.Notes = append(res.Notes, fmt.Sprintf("%s: %v", serveCellLabel(cell), err))
+			row = Row{X: serveCellLabel(cell), Values: []float64{Missing, Missing, Missing, Missing, Missing}}
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res
+}
+
+func serveCellLabel(c serveCell) string {
+	if c.faults {
+		return fmt.Sprintf("%d clients + faults", c.clients)
+	}
+	return fmt.Sprintf("%d clients", c.clients)
+}
+
+// serveBenchInjector mirrors the chaos-test rules at lower rates, so faulty
+// cells measure recovery cost rather than a wall of injected failures.
+func serveBenchInjector(seed int64) *fault.Injector {
+	return fault.New(seed,
+		fault.Rule{Site: "serve.solve", Every: 31, Kind: fault.KindPanic, Msg: "bench chaos"},
+		fault.Rule{Site: "serve.solve", Every: 11, Offset: 4, Kind: fault.KindDelay, Delay: time.Millisecond, Jitter: 2 * time.Millisecond},
+		fault.Rule{Site: "core.prep.stale", Every: 41, Kind: fault.KindError, Msg: "forced staleness"},
+	)
+}
+
+// serveLoadCell measures one (clients, faults) point against a fresh server.
+func serveLoadCell(ctx context.Context, cfg Config, log *dataset.QueryLog, tuples []bitvec.Vector, cell serveCell, window time.Duration) (Row, error) {
+	scfg := serve.Config{
+		Log:           log,
+		MaxConcurrent: 4,
+		MaxQueue:      8,
+		ExactBudget:   50 * time.Millisecond,
+		MFIBudget:     2 * time.Millisecond,
+		GreedyReserve: time.Millisecond,
+		Seed:          cfg.Seed,
+		Registry:      obsv.NewRegistry(),
+	}
+	if cell.faults {
+		scfg.Injector = serveBenchInjector(cfg.Seed)
+	}
+	srv, err := serve.New(scfg)
+	if err != nil {
+		return Row{}, err
+	}
+	defer srv.Close()
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return Row{}, err
+	}
+	hs := &http.Server{Handler: srv.Handler()}
+	go func() { _ = hs.Serve(ln) }()
+	defer hs.Close()
+	url := "http://" + ln.Addr().String() + "/solve"
+
+	type tally struct {
+		lat                  []time.Duration
+		ok, shed, degr, errs int64
+	}
+	tallies := make([]tally, cell.clients)
+	cctx, cancel := context.WithTimeout(ctx, window)
+	defer cancel()
+
+	done := make(chan int, cell.clients)
+	for c := 0; c < cell.clients; c++ {
+		go func(c int) {
+			defer func() { done <- c }()
+			rng := rand.New(rand.NewSource(cfg.Seed + int64(c)))
+			client := &http.Client{Timeout: 5 * time.Second}
+			ty := &tallies[c]
+			for cctx.Err() == nil {
+				body, _ := json.Marshal(map[string]any{
+					"tuple":      tuples[rng.Intn(len(tuples))].String(),
+					"m":          4 + rng.Intn(3),
+					"algo":       "mfi-exact",
+					"timeout_ms": 250,
+				})
+				t0 := time.Now()
+				resp, err := client.Post(url, "application/json", bytes.NewReader(body))
+				if err != nil {
+					ty.errs++
+					continue
+				}
+				var sr struct {
+					Degraded bool `json:"degraded"`
+				}
+				_ = json.NewDecoder(resp.Body).Decode(&sr)
+				_, _ = io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				switch resp.StatusCode {
+				case http.StatusOK:
+					ty.ok++
+					ty.lat = append(ty.lat, time.Since(t0))
+					if sr.Degraded {
+						ty.degr++
+					}
+				case http.StatusTooManyRequests:
+					ty.shed++
+				default:
+					ty.errs++
+				}
+			}
+		}(c)
+	}
+	for range tallies {
+		<-done
+	}
+
+	var all []time.Duration
+	var ok, shed, degr, errs int64
+	for i := range tallies {
+		all = append(all, tallies[i].lat...)
+		ok += tallies[i].ok
+		shed += tallies[i].shed
+		degr += tallies[i].degr
+		errs += tallies[i].errs
+	}
+	total := ok + shed + errs
+	if total == 0 {
+		return Row{}, fmt.Errorf("no requests completed in %v window", window)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	q := func(p float64) float64 {
+		if len(all) == 0 {
+			return Missing
+		}
+		i := int(p * float64(len(all)-1))
+		return float64(all[i]) / float64(time.Millisecond)
+	}
+	vals := []float64{
+		float64(ok) / window.Seconds(),
+		q(0.50),
+		q(0.99),
+		float64(shed) / float64(total),
+		float64(degr) / float64(total),
+	}
+	return Row{X: serveCellLabel(cell), Values: vals}, nil
+}

@@ -11,6 +11,7 @@ import (
 
 	"standout/internal/bitvec"
 	"standout/internal/dataset"
+	"standout/internal/fault"
 	"standout/internal/obsv"
 )
 
@@ -54,6 +55,11 @@ func SolveBatch(s Solver, log *dataset.QueryLog, tuples []bitvec.Vector, m, work
 // errs[i] carries tuple i's failure (including a cancellation that landed
 // mid-solve), and a tuple that was never attempted has a zero Solution and a
 // nil error.
+//
+// Every tuple solves behind a panic boundary: a panicking solver is
+// recovered into a *PanicError attributed to its tuple (wrapped by the
+// returned *BatchError like any other failure) instead of crashing the
+// process, so one malformed tuple cannot take down its siblings.
 //
 // Cancellation is prompt in both directions. When ctx is done, the producer
 // stops handing out work, every in-flight solve is interrupted through the
@@ -122,6 +128,21 @@ func SolveBatchContext(ctx context.Context, s Solver, log *dataset.QueryLog, tup
 			cancel() // first failure stops the producer and in-flight solves
 		})
 	}
+	// solveOne isolates one tuple's solve behind a panic boundary: a solver
+	// panic (a malformed tuple tripping a bitvec width check, an injected
+	// chaos panic) becomes a *PanicError attributed to that tuple through the
+	// normal *BatchError path instead of taking down the whole batch — and
+	// the process with it.
+	solveOne := func(i int) (sol Solution, err error) {
+		defer RecoverPanic(&err)
+		if ferr := fault.Hit(bctx, "core.batch.tuple"); ferr != nil {
+			return Solution{}, ferr
+		}
+		if pl != nil {
+			return pl.SolveContext(bctx, s, tuples[i], m)
+		}
+		return s.SolveContext(bctx, Instance{Log: log, Tuple: tuples[i], M: m})
+	}
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
@@ -136,13 +157,7 @@ func SolveBatchContext(ctx context.Context, s Solver, log *dataset.QueryLog, tup
 					skipped.Add(1)
 					continue
 				}
-				var sol Solution
-				var err error
-				if pl != nil {
-					sol, err = pl.SolveContext(bctx, s, tuples[i], m)
-				} else {
-					sol, err = s.SolveContext(bctx, Instance{Log: log, Tuple: tuples[i], M: m})
-				}
+				sol, err := solveOne(i)
 				if err != nil {
 					failed.Add(1)
 					fail(i, err)

@@ -1,0 +1,39 @@
+package core
+
+import (
+	"fmt"
+	"runtime/debug"
+
+	"standout/internal/obsv"
+)
+
+// PanicError is a solver panic converted to an error at a recovery boundary:
+// the per-tuple workers of SolveBatchContext recover panics into it (so one
+// malformed tuple cannot take down its siblings), and serving layers use it
+// to turn a panicking solve into a response instead of a dead process. The
+// original panic value and the stack at recovery are preserved for
+// diagnosis.
+type PanicError struct {
+	// Value is the value the solver panicked with.
+	Value any
+	// Stack is the goroutine stack captured at recovery.
+	Stack []byte
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("core: solver panicked: %v", e.Value)
+}
+
+var mSolvePanics = obsv.Default.Counter("standout_solve_panics_total",
+	"Solver panics recovered into PanicError at a batch or serving boundary.")
+
+// RecoverPanic converts an in-flight panic into a *PanicError assigned to
+// *errp, for use as `defer core.RecoverPanic(&err)` around a solve that must
+// not take down its caller. It leaves *errp alone when there is no panic.
+// The recovered stack is captured at the deferred call.
+func RecoverPanic(errp *error) {
+	if r := recover(); r != nil {
+		mSolvePanics.Add(1)
+		*errp = &PanicError{Value: r, Stack: debug.Stack()}
+	}
+}

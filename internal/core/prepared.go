@@ -2,14 +2,23 @@ package core
 
 import (
 	"context"
+	"errors"
 	"fmt"
 
 	"standout/internal/bitvec"
 	"standout/internal/cache"
 	"standout/internal/dataset"
+	"standout/internal/fault"
 	"standout/internal/index"
 	"standout/internal/obsv"
 )
+
+// ErrStalePrep reports that a PreparedLog's query log has visibly changed
+// since PrepareLog (its version counter moved through Append or Touch, or
+// its length differs). Errors returned by PreparedLog.SolveContext on a
+// stale prep wrap it: test with errors.Is(err, ErrStalePrep), then rebuild
+// with PrepareLog and retry.
+var ErrStalePrep = errors.New("core: prepared log modified since PrepareLog")
 
 // DefaultSolutionCacheSize bounds the per-PreparedLog solution memo when the
 // caller does not choose a capacity. Solutions are small (one bit vector and
@@ -27,9 +36,20 @@ const DefaultSolutionCacheSize = 1024
 //
 // A PreparedLog is tied to the exact log contents at PrepareLog time. The
 // log must not be mutated while the PreparedLog is in use; mutations made
-// through QueryLog.Append or announced with QueryLog.Touch are detected and
-// reported as errors by SolveContext (and silently disable the index on the
-// WithPrepared path). In-place bit flips that bypass Touch are undetectable.
+// through QueryLog.Append or announced with QueryLog.Touch are detected, and
+// the two solve paths react differently:
+//
+//   - SolveContext (and Solve) refuses to use a stale prep and returns an
+//     error wrapping ErrStalePrep. The caller decides the recovery — usually
+//     rebuild with PrepareLog and retry, which is what the serving layer's
+//     single-flight rebuild does.
+//   - The WithPrepared context path (normalize picking the index up
+//     transparently, including inside SolveBatchContext) silently ignores a
+//     stale or mismatched prep and falls back to the direct scan: results
+//     are identical, only slower, so a library solve never fails because an
+//     accelerator aged out.
+//
+// In-place bit flips that bypass Touch are undetectable on either path.
 type PreparedLog struct {
 	log     *dataset.QueryLog
 	idx     *index.Index
@@ -61,6 +81,9 @@ func PrepareLog(log *dataset.QueryLog) (*PreparedLog, error) {
 // the process metrics. The build itself is not interruptible — it is one
 // pass over the log, far below cancellation granularity.
 func PrepareLogContext(ctx context.Context, log *dataset.QueryLog) (*PreparedLog, error) {
+	if err := fault.Hit(ctx, "core.prep.build"); err != nil {
+		return nil, fmt.Errorf("core: prepare log: %w", err)
+	}
 	tr := obsv.FromContext(ctx)
 	sp := tr.StartSpan("index.build")
 	ix, err := index.Build(log)
@@ -124,8 +147,13 @@ func (p *PreparedLog) Solve(s Solver, tuple bitvec.Vector, m int) (Solution, err
 func (p *PreparedLog) SolveContext(ctx context.Context, s Solver, tuple bitvec.Vector, m int) (Solution, error) {
 	if p.Stale() {
 		return Solution{}, fmt.Errorf(
-			"core: prepared log modified since PrepareLog (version %d → %d, size %d → %d); re-prepare",
-			p.version, p.log.Version(), p.nq, p.log.Size())
+			"%w (version %d → %d, size %d → %d); re-prepare",
+			ErrStalePrep, p.version, p.log.Version(), p.nq, p.log.Size())
+	}
+	// Chaos hook: an injected fault here simulates the log aging out between
+	// the staleness check and the solve, the race a serving layer must absorb.
+	if ferr := fault.Hit(ctx, "core.prep.stale"); ferr != nil {
+		return Solution{}, fmt.Errorf("%w (injected: %v); re-prepare", ErrStalePrep, ferr)
 	}
 	ctx = withPrepared(ctx, p)
 	tr := obsv.FromContext(ctx)

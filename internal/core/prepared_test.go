@@ -2,6 +2,7 @@ package core
 
 import (
 	"context"
+	"errors"
 	"math/rand"
 	"testing"
 
@@ -176,8 +177,8 @@ func TestPreparedStaleDetection(t *testing.T) {
 	if !p.Stale() {
 		t.Fatal("not stale after Append")
 	}
-	if _, err := p.Solve(BruteForce{}, in.Tuple, in.M); err == nil {
-		t.Fatal("SolveContext accepted a stale PreparedLog")
+	if _, err := p.Solve(BruteForce{}, in.Tuple, in.M); !errors.Is(err, ErrStalePrep) {
+		t.Fatalf("stale SolveContext returned %v, want ErrStalePrep", err)
 	}
 
 	// The WithPrepared path degrades silently: solvers fall back to the

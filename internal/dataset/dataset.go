@@ -12,6 +12,7 @@ package dataset
 import (
 	"fmt"
 	"sort"
+	"sync/atomic"
 
 	"standout/internal/bitvec"
 )
@@ -219,8 +220,11 @@ type QueryLog struct {
 	// version counts mutations made through Append and Touch. Callers that
 	// mutate Queries directly (appending to the slice, or flipping bits of a
 	// query in place) must call Touch afterwards so index and cache layers
-	// built over the log can notice the change.
-	version uint64
+	// built over the log can notice the change. It is atomic so that Touch —
+	// the announcement that a mutation happened — can race with concurrent
+	// Version reads from staleness checks without tripping the race detector;
+	// mutating Queries itself still requires external synchronization.
+	version atomic.Uint64
 }
 
 // NewQueryLog returns an empty query log over the schema.
@@ -233,7 +237,7 @@ func (q *QueryLog) Append(query bitvec.Vector) error {
 			query.Width(), q.Schema.Width())
 	}
 	q.Queries = append(q.Queries, query)
-	q.version++
+	q.version.Add(1)
 	return nil
 }
 
@@ -241,11 +245,13 @@ func (q *QueryLog) Append(query bitvec.Vector) error {
 // modified through Append or Touch. Derived structures (indexes, caches)
 // record it at build time and compare to detect staleness without rehashing
 // the whole log. Direct mutation of Queries bypasses it — call Touch.
-func (q *QueryLog) Version() uint64 { return q.version }
+func (q *QueryLog) Version() uint64 { return q.version.Load() }
 
 // Touch records an out-of-band mutation of Queries, invalidating any index
-// or cache built over the previous contents.
-func (q *QueryLog) Touch() { q.version++ }
+// or cache built over the previous contents. Touch and Version are safe to
+// call concurrently with each other and with readers of the log; the
+// mutation of Queries they announce is not.
+func (q *QueryLog) Touch() { q.version.Add(1) }
 
 // Fingerprint returns a 64-bit content hash of the log: the schema width and
 // every query's bits, in order. Two logs with identical query sequences have

@@ -1,0 +1,389 @@
+// Package fault is a deterministic fault-injection layer for chaos testing
+// the serving stack. Production code marks interesting points ("sites") with
+// a Hit call; a test or a chaos run attaches an Injector to the context with
+// rules that make chosen hits at chosen sites sleep, fail, or panic. Without
+// an injector on the context a Hit is a single context lookup — cheap enough
+// to leave compiled into request-granularity paths permanently.
+//
+// Determinism: every site keeps an atomic hit counter, and a rule fires on
+// hit numbers selected purely by that counter ((n-1) % Every == Offset), so
+// the fault schedule — which hit of a site faults, how long an injected
+// delay lasts — is a pure function of the injector's seed and the per-site
+// arrival order. Under concurrency the assignment of hit numbers to
+// goroutines follows their arrival interleaving, but the set of faulted hit
+// numbers and their payloads never changes, which is what repeatable chaos
+// runs need.
+//
+// The site inventory of this repository is documented in DESIGN.md §10.
+package fault
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Kind selects what a firing rule does to the hitting call.
+type Kind int
+
+const (
+	// KindDelay sleeps Delay plus a seed-deterministic share of Jitter, then
+	// lets the call proceed. The sleep respects context cancellation.
+	KindDelay Kind = iota
+	// KindError makes Hit return Err (ErrInjected when nil), after any
+	// configured Delay.
+	KindError
+	// KindPanic makes Hit panic with an Injected value, after any configured
+	// Delay. The site's surrounding code is expected to recover — that is
+	// usually the behavior under test.
+	KindPanic
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindDelay:
+		return "delay"
+	case KindError:
+		return "error"
+	case KindPanic:
+		return "panic"
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// ErrInjected is the default error payload of a KindError rule.
+var ErrInjected = errors.New("fault: injected error")
+
+// Injected is the panic value of a KindPanic rule, carrying the site so a
+// recovering boundary can attribute the panic.
+type Injected struct {
+	Site string
+	Msg  string
+}
+
+func (p Injected) String() string {
+	if p.Msg == "" {
+		return "fault: injected panic at " + p.Site
+	}
+	return "fault: injected panic at " + p.Site + ": " + p.Msg
+}
+
+// Rule selects hits of one site and applies one fault to them.
+type Rule struct {
+	// Site names the injection point, e.g. "core.batch.tuple".
+	Site string
+	// Every fires the rule on every Every-th hit; 0 and 1 both mean every
+	// hit. Offset rotates which hit within the cycle fires: the rule fires
+	// on hit numbers n (1-based) with (n-1) % Every == Offset % Every.
+	Every, Offset uint64
+	// Count caps the total number of fires; 0 means unlimited.
+	Count uint64
+	// Kind is what a firing hit does.
+	Kind Kind
+	// Delay is the base sleep of KindDelay, and an optional extra latency
+	// before a KindError / KindPanic payload.
+	Delay time.Duration
+	// Jitter widens the sleep by a deterministic pseudo-random amount in
+	// [0, Jitter), derived from the injector seed, the site and the hit
+	// number.
+	Jitter time.Duration
+	// Err is the KindError payload; nil means ErrInjected.
+	Err error
+	// Msg annotates the KindPanic payload.
+	Msg string
+}
+
+func (r Rule) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s:every=%d", r.Site, r.norm().Every)
+	if r.Offset != 0 {
+		fmt.Fprintf(&sb, ":offset=%d", r.Offset)
+	}
+	if r.Count != 0 {
+		fmt.Fprintf(&sb, ":count=%d", r.Count)
+	}
+	fmt.Fprintf(&sb, ":%s", r.Kind)
+	if r.Kind == KindError && r.Err != nil && !errors.Is(r.Err, ErrInjected) {
+		fmt.Fprintf(&sb, "=%v", r.Err)
+	}
+	if r.Kind == KindPanic && r.Msg != "" {
+		fmt.Fprintf(&sb, "=%s", r.Msg)
+	}
+	if r.Delay > 0 {
+		fmt.Fprintf(&sb, ":delay=%s", r.Delay)
+	}
+	if r.Jitter > 0 {
+		fmt.Fprintf(&sb, ":jitter=%s", r.Jitter)
+	}
+	return sb.String()
+}
+
+func (r Rule) norm() Rule {
+	if r.Every == 0 {
+		r.Every = 1
+	}
+	return r
+}
+
+// ruleState is a Rule plus its fire counter. Hit numbers come from the
+// shared per-site counter so multiple rules on one site see the same stream.
+type ruleState struct {
+	Rule
+	fires atomic.Uint64
+}
+
+func (rs *ruleState) matches(n uint64) bool {
+	if (n-1)%rs.Every != rs.Offset%rs.Every {
+		return false
+	}
+	if rs.Count == 0 {
+		rs.fires.Add(1)
+		return true
+	}
+	// Cap total fires: claim a slot, back out if over.
+	if rs.fires.Add(1) > rs.Count {
+		rs.fires.Add(^uint64(0))
+		return false
+	}
+	return true
+}
+
+// Injector holds an immutable rule set and the per-site hit counters. Safe
+// for concurrent use; construct with New.
+type Injector struct {
+	seed  uint64
+	rules map[string][]*ruleState
+
+	mu   sync.Mutex
+	hits map[string]*atomic.Uint64
+}
+
+// New builds an injector over the rules. The seed drives delay jitter only;
+// rule selection is counter-based and seed-independent.
+func New(seed int64, rules ...Rule) *Injector {
+	in := &Injector{
+		seed:  uint64(seed),
+		rules: make(map[string][]*ruleState),
+		hits:  make(map[string]*atomic.Uint64),
+	}
+	for _, r := range rules {
+		r = r.norm()
+		in.rules[r.Site] = append(in.rules[r.Site], &ruleState{Rule: r})
+		if _, ok := in.hits[r.Site]; !ok {
+			in.hits[r.Site] = new(atomic.Uint64)
+		}
+	}
+	return in
+}
+
+// Hits returns how many times site has been hit.
+func (in *Injector) Hits(site string) uint64 {
+	in.mu.Lock()
+	c := in.hits[site]
+	in.mu.Unlock()
+	if c == nil {
+		return 0
+	}
+	return c.Load()
+}
+
+// Fires returns how many faults have fired at site, summed over its rules.
+func (in *Injector) Fires(site string) uint64 {
+	var total uint64
+	for _, rs := range in.rules[site] {
+		total += rs.fires.Load()
+	}
+	return total
+}
+
+// Sites returns the sites with at least one rule, sorted.
+func (in *Injector) Sites() []string {
+	out := make([]string, 0, len(in.rules))
+	for s := range in.rules {
+		out = append(out, s)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Hit records one arrival at site and applies the first firing rule: it may
+// sleep (KindDelay), return an error (KindError) or panic (KindPanic). A nil
+// receiver returns nil immediately.
+func (in *Injector) Hit(ctx context.Context, site string) error {
+	if in == nil {
+		return nil
+	}
+	rules := in.rules[site]
+	if len(rules) == 0 {
+		return nil
+	}
+	in.mu.Lock()
+	c := in.hits[site]
+	in.mu.Unlock()
+	n := c.Add(1)
+	for _, rs := range rules {
+		if !rs.matches(n) {
+			continue
+		}
+		if d := in.delayFor(rs, site, n); d > 0 {
+			if err := sleep(ctx, d); err != nil {
+				return err
+			}
+		}
+		switch rs.Kind {
+		case KindDelay:
+			return nil
+		case KindError:
+			if rs.Err != nil {
+				return rs.Err
+			}
+			return ErrInjected
+		case KindPanic:
+			panic(Injected{Site: site, Msg: rs.Msg})
+		}
+	}
+	return nil
+}
+
+// delayFor computes the deterministic sleep of one fire: base delay plus a
+// jitter share derived from (seed, site, hit number).
+func (in *Injector) delayFor(rs *ruleState, site string, n uint64) time.Duration {
+	d := rs.Delay
+	if rs.Jitter > 0 {
+		h := fnv.New64a()
+		h.Write([]byte(site))
+		d += time.Duration(splitmix64(in.seed^h.Sum64()^n) % uint64(rs.Jitter))
+	}
+	return d
+}
+
+// sleep blocks for d or until ctx is done, whichever comes first.
+func sleep(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// splitmix64 is the SplitMix64 finalizer, a strong 64-bit mixer.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// Context plumbing.
+
+type ctxKey struct{}
+
+// WithInjector returns a context carrying in for the code underneath.
+func WithInjector(ctx context.Context, in *Injector) context.Context {
+	return context.WithValue(ctx, ctxKey{}, in)
+}
+
+// From returns the context's injector, or nil.
+func From(ctx context.Context) *Injector {
+	in, _ := ctx.Value(ctxKey{}).(*Injector)
+	return in
+}
+
+// Hit applies the context's injector at site; with no injector attached it
+// is a no-op returning nil. This is the form production code embeds.
+func Hit(ctx context.Context, site string) error {
+	return From(ctx).Hit(ctx, site)
+}
+
+// ParseRule parses the textual rule form used by CLI flags:
+//
+//	SITE[:every=N][:offset=N][:count=N][:delay=DUR][:jitter=DUR][:ACTION]
+//
+// where ACTION is one of "delay" (the default), "error[=MSG]", "cancel"
+// (error=context.Canceled), or "panic[=MSG]". Examples:
+//
+//	core.batch.tuple:every=7:panic=chaos
+//	serve.admit:every=3:delay=2ms:jitter=1ms
+//	core.prep.stale:every=5:error
+func ParseRule(spec string) (Rule, error) {
+	parts := strings.Split(spec, ":")
+	if len(parts) == 0 || parts[0] == "" {
+		return Rule{}, fmt.Errorf("fault: rule %q has no site", spec)
+	}
+	if strings.ContainsAny(parts[0], " \t") {
+		return Rule{}, fmt.Errorf("fault: rule %q: site %q contains whitespace", spec, parts[0])
+	}
+	r := Rule{Site: parts[0]}
+	for _, p := range parts[1:] {
+		key, val, hasVal := strings.Cut(p, "=")
+		switch key {
+		case "every", "offset", "count":
+			n, err := strconv.ParseUint(val, 10, 64)
+			if err != nil {
+				return Rule{}, fmt.Errorf("fault: rule %q: bad %s: %v", spec, key, err)
+			}
+			switch key {
+			case "every":
+				r.Every = n
+			case "offset":
+				r.Offset = n
+			case "count":
+				r.Count = n
+			}
+		case "delay", "jitter":
+			d, err := time.ParseDuration(val)
+			if err != nil {
+				return Rule{}, fmt.Errorf("fault: rule %q: bad %s: %v", spec, key, err)
+			}
+			if key == "delay" {
+				r.Delay = d
+			} else {
+				r.Jitter = d
+			}
+		case "error":
+			r.Kind = KindError
+			if hasVal && val != "" {
+				r.Err = fmt.Errorf("fault: injected: %s", val)
+			}
+		case "cancel":
+			r.Kind = KindError
+			r.Err = context.Canceled
+		case "panic":
+			r.Kind = KindPanic
+			r.Msg = val
+		default:
+			return Rule{}, fmt.Errorf("fault: rule %q: unknown field %q", spec, key)
+		}
+	}
+	if r.Kind == KindDelay && r.Delay <= 0 && r.Jitter <= 0 {
+		return Rule{}, fmt.Errorf("fault: rule %q: delay rule without delay= or jitter= can never fire usefully", spec)
+	}
+	return r.norm(), nil
+}
+
+// ParseRules parses a comma-free multi-rule spec: rules separated by ";".
+func ParseRules(specs string) ([]Rule, error) {
+	var out []Rule
+	for _, spec := range strings.Split(specs, ";") {
+		spec = strings.TrimSpace(spec)
+		if spec == "" {
+			continue
+		}
+		r, err := ParseRule(spec)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}

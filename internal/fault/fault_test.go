@@ -1,0 +1,194 @@
+package fault
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNoInjectorIsNoop(t *testing.T) {
+	if err := Hit(context.Background(), "any.site"); err != nil {
+		t.Fatalf("Hit without injector: %v", err)
+	}
+	var in *Injector
+	if err := in.Hit(context.Background(), "any.site"); err != nil {
+		t.Fatalf("nil injector Hit: %v", err)
+	}
+}
+
+func TestErrorEveryN(t *testing.T) {
+	in := New(1, Rule{Site: "s", Every: 3, Kind: KindError})
+	ctx := WithInjector(context.Background(), in)
+	var got []int
+	for i := 1; i <= 9; i++ {
+		if err := Hit(ctx, "s"); err != nil {
+			if !errors.Is(err, ErrInjected) {
+				t.Fatalf("hit %d: unexpected error %v", i, err)
+			}
+			got = append(got, i)
+		}
+	}
+	want := []int{1, 4, 7}
+	if len(got) != len(want) {
+		t.Fatalf("fired on hits %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("fired on hits %v, want %v", got, want)
+		}
+	}
+	if in.Hits("s") != 9 || in.Fires("s") != 3 {
+		t.Fatalf("hits=%d fires=%d, want 9 and 3", in.Hits("s"), in.Fires("s"))
+	}
+}
+
+func TestOffsetAndCount(t *testing.T) {
+	in := New(1, Rule{Site: "s", Every: 4, Offset: 1, Count: 2, Kind: KindError})
+	ctx := WithInjector(context.Background(), in)
+	var got []int
+	for i := 1; i <= 16; i++ {
+		if Hit(ctx, "s") != nil {
+			got = append(got, i)
+		}
+	}
+	// (n-1)%4 == 1 → hits 2, 6, 10, 14; Count caps at the first two.
+	if len(got) != 2 || got[0] != 2 || got[1] != 6 {
+		t.Fatalf("fired on hits %v, want [2 6]", got)
+	}
+}
+
+func TestPanicCarriesSite(t *testing.T) {
+	in := New(1, Rule{Site: "s", Kind: KindPanic, Msg: "boom"})
+	ctx := WithInjector(context.Background(), in)
+	defer func() {
+		r := recover()
+		p, ok := r.(Injected)
+		if !ok {
+			t.Fatalf("recovered %v (%T), want Injected", r, r)
+		}
+		if p.Site != "s" || p.Msg != "boom" {
+			t.Fatalf("payload %+v", p)
+		}
+	}()
+	_ = Hit(ctx, "s")
+	t.Fatal("Hit did not panic")
+}
+
+func TestDelayIsDeterministic(t *testing.T) {
+	mk := func() *Injector {
+		return New(42, Rule{Site: "s", Kind: KindDelay, Delay: time.Millisecond, Jitter: 5 * time.Millisecond})
+	}
+	a, b := mk(), mk()
+	for n := uint64(1); n <= 10; n++ {
+		da := a.delayFor(a.rules["s"][0], "s", n)
+		db := b.delayFor(b.rules["s"][0], "s", n)
+		if da != db {
+			t.Fatalf("hit %d: delays differ: %s vs %s", n, da, db)
+		}
+		if da < time.Millisecond || da >= 6*time.Millisecond {
+			t.Fatalf("hit %d: delay %s out of [1ms, 6ms)", n, da)
+		}
+	}
+}
+
+func TestDelayHonorsCancellation(t *testing.T) {
+	in := New(1, Rule{Site: "s", Kind: KindDelay, Delay: time.Minute})
+	ctx, cancel := context.WithCancel(WithInjector(context.Background(), in))
+	done := make(chan error, 1)
+	go func() { done <- Hit(ctx, "s") }()
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("got %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("delayed Hit did not observe cancellation")
+	}
+}
+
+func TestConcurrentScheduleIsExact(t *testing.T) {
+	// 8 goroutines × 100 hits: exactly every 5th of the 800 hits fires,
+	// regardless of interleaving.
+	in := New(1, Rule{Site: "s", Every: 5, Kind: KindError})
+	ctx := WithInjector(context.Background(), in)
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	fired := 0
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				if Hit(ctx, "s") != nil {
+					mu.Lock()
+					fired++
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if fired != 160 {
+		t.Fatalf("fired %d times over 800 hits, want 160", fired)
+	}
+}
+
+func TestParseRule(t *testing.T) {
+	cases := []struct {
+		spec string
+		want Rule
+	}{
+		{"core.batch.tuple:every=7:panic=chaos",
+			Rule{Site: "core.batch.tuple", Every: 7, Kind: KindPanic, Msg: "chaos"}},
+		{"serve.admit:every=3:delay=2ms:jitter=1ms",
+			Rule{Site: "serve.admit", Every: 3, Kind: KindDelay, Delay: 2 * time.Millisecond, Jitter: time.Millisecond}},
+		{"core.prep.stale:every=5:offset=2:error",
+			Rule{Site: "core.prep.stale", Every: 5, Offset: 2, Kind: KindError}},
+		{"s:cancel", Rule{Site: "s", Every: 1, Kind: KindError, Err: context.Canceled}},
+		{"s:count=1:panic", Rule{Site: "s", Every: 1, Count: 1, Kind: KindPanic}},
+	}
+	for _, c := range cases {
+		got, err := ParseRule(c.spec)
+		if err != nil {
+			t.Fatalf("ParseRule(%q): %v", c.spec, err)
+		}
+		want := c.want.norm()
+		if got.Site != want.Site || got.Every != want.Every || got.Offset != want.Offset ||
+			got.Count != want.Count || got.Kind != want.Kind || got.Delay != want.Delay ||
+			got.Jitter != want.Jitter || got.Msg != want.Msg || !errors.Is(got.Err, want.Err) {
+			t.Fatalf("ParseRule(%q) = %+v, want %+v", c.spec, got, want)
+		}
+	}
+	for _, bad := range []string{"", ":every=2", "s:every=x", "s:wat=1", "s:delay=fast",
+		"not a rule", "s", "s:every=3"} {
+		if _, err := ParseRule(bad); err == nil {
+			t.Fatalf("ParseRule(%q) accepted", bad)
+		}
+	}
+}
+
+func TestParseRules(t *testing.T) {
+	rules, err := ParseRules("a:every=2:error; b:panic=x;")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rules) != 2 || rules[0].Site != "a" || rules[1].Site != "b" {
+		t.Fatalf("got %+v", rules)
+	}
+}
+
+func TestErrorAfterDelay(t *testing.T) {
+	in := New(1, Rule{Site: "s", Kind: KindError, Delay: 10 * time.Millisecond})
+	ctx := WithInjector(context.Background(), in)
+	start := time.Now()
+	err := Hit(ctx, "s")
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("got %v", err)
+	}
+	if time.Since(start) < 10*time.Millisecond {
+		t.Fatal("error fired before its delay")
+	}
+}

@@ -1,0 +1,43 @@
+package obsv
+
+import (
+	"context"
+	"flag"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+)
+
+// SignalContext returns a context cancelled by SIGINT (^C) or SIGTERM, the
+// lifecycle wiring every cmd tool shares. Call stop before exiting to
+// restore default signal handling.
+func SignalContext() (ctx context.Context, stop context.CancelFunc) {
+	return signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+}
+
+// RunFlags is the wall-clock-budget flag shared by the cmd tools, the
+// companion of Flags: every tool registers the same -timeout flag and
+// derives its working context through Context, so "bound this run and let
+// ^C cancel it" behaves identically across the toolbox.
+type RunFlags struct {
+	// Timeout bounds the run (or, for tools that apply it per solve, one
+	// solve); 0 means unbounded.
+	Timeout time.Duration
+}
+
+// Register installs the -timeout flag into fs.
+func (f *RunFlags) Register(fs *flag.FlagSet) {
+	fs.DurationVar(&f.Timeout, "timeout", 0,
+		"wall-clock limit (0 = none); ^C also cancels")
+}
+
+// Context derives the deadline-bounded context the flag requested: parent
+// with a timeout when -timeout is set, parent unchanged otherwise. The
+// returned cancel is never nil; call it when the bounded work finishes.
+func (f *RunFlags) Context(parent context.Context) (context.Context, context.CancelFunc) {
+	if f.Timeout > 0 {
+		return context.WithTimeout(parent, f.Timeout)
+	}
+	return parent, func() {}
+}

@@ -10,6 +10,15 @@ import (
 	"time"
 )
 
+// Handler returns an http.Handler rendering reg in Prometheus text
+// exposition format, for mounting a /metrics endpoint on any mux.
+func Handler(reg *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = reg.WriteProm(w)
+	})
+}
+
 // StartServer binds addr (use a loopback address such as "localhost:0" —
 // the profiler has no authentication) and serves:
 //
@@ -32,10 +41,7 @@ func StartServer(addr string, reg *Registry) (string, func() error, error) {
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	mux.Handle("/debug/vars", expvar.Handler())
 	if reg != nil {
-		mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
-			w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-			_ = reg.WriteProm(w)
-		})
+		mux.Handle("/metrics", Handler(reg))
 	}
 	srv := &http.Server{Handler: mux}
 	go func() { _ = srv.Serve(ln) }()

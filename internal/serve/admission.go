@@ -1,0 +1,66 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+)
+
+// errShed reports that the admission queue was full: the request is rejected
+// immediately (429 + Retry-After) instead of queueing into a latency cliff.
+var errShed = errors.New("serve: admission queue full, request shed")
+
+// admission is a bounded two-stage admission gate: up to `cap(slots)`
+// requests solve concurrently, up to maxQueue more wait for a slot, and
+// everything beyond that is shed on arrival. Shedding at the gate keeps the
+// queue — and therefore queueing latency — bounded no matter the offered
+// load, which is the difference between a slow server and a dead one.
+type admission struct {
+	slots    chan struct{}
+	waiting  atomic.Int64
+	maxQueue int64
+	met      *metrics
+}
+
+func newAdmission(concurrent, maxQueue int, met *metrics) *admission {
+	return &admission{
+		slots:    make(chan struct{}, concurrent),
+		maxQueue: int64(maxQueue),
+		met:      met,
+	}
+}
+
+// acquire takes a solve slot, waiting in the bounded queue if none is free.
+// It returns errShed when the queue is full and ctx.Err() when the caller
+// gives up first. Every successful acquire must be paired with release.
+func (a *admission) acquire(ctx context.Context) error {
+	select {
+	case a.slots <- struct{}{}:
+		a.met.inflight.Set(float64(len(a.slots)))
+		return nil
+	default:
+	}
+	if n := a.waiting.Add(1); n > a.maxQueue {
+		a.waiting.Add(-1)
+		return errShed
+	}
+	a.met.queueDepth.Set(float64(a.waiting.Load()))
+	defer func() {
+		a.met.queueDepth.Set(float64(a.waiting.Add(-1)))
+	}()
+	select {
+	case a.slots <- struct{}{}:
+		a.met.inflight.Set(float64(len(a.slots)))
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+func (a *admission) release() {
+	<-a.slots
+	a.met.inflight.Set(float64(len(a.slots)))
+}
+
+// depth reports the current number of queued requests.
+func (a *admission) depth() int64 { return a.waiting.Load() }

@@ -1,0 +1,287 @@
+package serve
+
+// Chaos suite: the server under deterministic fault injection and hostile
+// traffic. The invariants checked everywhere:
+//
+//  1. The process never dies — every injected panic is recovered.
+//  2. Every response is well-formed: a known status code with a decodable
+//     JSON body (success, degraded success, 429 shed, or 4xx/5xx error).
+//  3. Any 200 solve — degraded or not — satisfies at least as many queries
+//     as the greedy baseline on the same instance, because every ladder
+//     rung above greedy is exact and the bottom rung IS the baseline.
+//
+// `go test -race ./internal/serve -run Chaos` exercises the storm once;
+// `make soak` runs it in a loop for -soak (default 30s there, 0 disables
+// the loop here so plain `go test` stays fast).
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"standout/internal/bitvec"
+	"standout/internal/dataset"
+	"standout/internal/fault"
+)
+
+var soakFor = flag.Duration("soak", 0, "run the chaos storm in a loop for this long (0 = single storm)")
+
+// chaosInjector wires faults into every layer the request path crosses:
+// slow solves, injected errors and cancellations, solver panics, forced prep
+// staleness, and failing index rebuilds. All deterministic under the seed.
+func chaosInjector(seed int64) *fault.Injector {
+	return fault.New(seed,
+		fault.Rule{Site: "serve.solve", Every: 17, Kind: fault.KindPanic, Msg: "chaos panic"},
+		fault.Rule{Site: "serve.solve", Every: 13, Offset: 5, Kind: fault.KindError, Msg: "chaos error"},
+		fault.Rule{Site: "serve.solve", Every: 7, Offset: 3, Kind: fault.KindDelay, Delay: 2 * time.Millisecond, Jitter: 3 * time.Millisecond},
+		fault.Rule{Site: "serve.admit", Every: 29, Kind: fault.KindError, Msg: "admit fault"},
+		fault.Rule{Site: "core.prep.stale", Every: 11, Kind: fault.KindError, Msg: "forced staleness"},
+		fault.Rule{Site: "core.prep.build", Every: 5, Kind: fault.KindError, Msg: "rebuild fault"},
+		fault.Rule{Site: "core.batch.tuple", Every: 23, Kind: fault.KindPanic, Msg: "batch chaos"},
+	)
+}
+
+// wellFormed asserts invariant 2 for one response and returns the decoded
+// solve body when the status was 200.
+func wellFormed(t *testing.T, kind string, status int, raw []byte) *solveResponse {
+	t.Helper()
+	switch status {
+	case http.StatusOK:
+	case http.StatusBadRequest, http.StatusTooManyRequests, http.StatusInternalServerError,
+		http.StatusServiceUnavailable, http.StatusGatewayTimeout:
+		var e errorResponse
+		if err := json.Unmarshal(raw, &e); err != nil || e.Error == "" {
+			t.Errorf("%s: %d with malformed error body %q (%v)", kind, status, raw, err)
+		}
+		return nil
+	default:
+		t.Errorf("%s: unexpected status %d (body %q)", kind, status, raw)
+		return nil
+	}
+	if kind == "batch" {
+		var b batchResponse
+		if err := json.Unmarshal(raw, &b); err != nil {
+			t.Errorf("batch: malformed 200 body %q: %v", raw, err)
+		}
+		for i, item := range b.Results {
+			if (item.Result == nil) == (item.Error == "") {
+				t.Errorf("batch item %d: exactly one of result/error must be set: %+v", i, item)
+			}
+		}
+		return nil
+	}
+	var s solveResponse
+	if err := json.Unmarshal(raw, &s); err != nil {
+		t.Errorf("%s: malformed 200 body %q: %v", kind, raw, err)
+		return nil
+	}
+	if s.Solver == "" {
+		t.Errorf("%s: 200 without solver name: %+v", kind, s)
+	}
+	return &s
+}
+
+// storm fires requests from `clients` goroutines for one pass over the
+// workload. With mutate set it also swaps and touches the log mid-storm; the
+// greedy-floor check (invariant 3) only runs when the log is stable, since
+// the baseline is defined per log generation.
+func storm(t *testing.T, ts *httptest.Server, log *dataset.QueryLog, tuples []bitvec.Vector, seed int64, clients, perClient int, mutate bool) {
+	t.Helper()
+	baseline := make(map[string]int, len(tuples)*3)
+	if !mutate {
+		nonzero := 0
+		for _, tuple := range tuples {
+			for m := 4; m <= 6; m++ {
+				b := greedyBaseline(t, log, tuple, m)
+				baseline[fmt.Sprintf("%s/%d", tuple, m)] = b
+				if b > 0 {
+					nonzero++
+				}
+			}
+		}
+		// Queries carry 4–6 attributes, so m below 4 satisfies nothing and
+		// would make the ≥-baseline invariant vacuous; guard against that.
+		if nonzero == 0 {
+			t.Fatal("every greedy baseline is zero; the ≥-baseline invariant checks nothing")
+		}
+	}
+	client := ts.Client()
+	post := func(path string, body any) (int, []byte) {
+		b, _ := json.Marshal(body)
+		resp, err := client.Post(ts.URL+path, "application/json", bytes.NewReader(b))
+		if err != nil {
+			t.Errorf("POST %s: %v", path, err)
+			return 0, nil
+		}
+		defer resp.Body.Close()
+		raw, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, raw
+	}
+
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed + int64(c)))
+			for i := 0; i < perClient; i++ {
+				tuple := tuples[rng.Intn(len(tuples))]
+				m := 4 + rng.Intn(3)
+				switch op := rng.Intn(10); {
+				case op < 6: // single solve, random tier
+					algo := []string{"mfi-exact", "mfi", "greedy", "consumeattr", "ip"}[rng.Intn(5)]
+					status, raw := post("/solve", solveRequest{
+						Tuple: tuple.String(), M: m, Algo: algo, TimeoutMS: 50 + rng.Intn(200)})
+					if s := wellFormed(t, "solve", status, raw); s != nil && !mutate {
+						if base := baseline[fmt.Sprintf("%s/%d", tuple, m)]; s.Satisfied < base {
+							t.Errorf("solve %s m=%d via %s (degraded=%v): satisfied %d < greedy baseline %d",
+								tuple, m, s.Solver, s.Degraded, s.Satisfied, base)
+						}
+					}
+				case op < 8: // batch
+					specs := make([]string, 1+rng.Intn(4))
+					for j := range specs {
+						specs[j] = tuples[rng.Intn(len(tuples))].String()
+					}
+					status, raw := post("/solve/batch", batchRequest{
+						Tuples: specs, M: m, TimeoutMS: 100 + rng.Intn(200), Workers: 1 + rng.Intn(4)})
+					wellFormed(t, "batch", status, raw)
+				case op < 9: // force staleness mid-flight
+					if status, raw := post("/log/touch", struct{}{}); status != http.StatusOK {
+						t.Errorf("touch: status %d body %q", status, raw)
+					}
+				default: // mutate the log (only in the mutating storm)
+					if !mutate {
+						status, raw := post("/solve", solveRequest{Tuple: tuple.String(), M: m, TimeoutMS: 100})
+						wellFormed(t, "solve", status, raw)
+						continue
+					}
+					status, raw := post("/log", appendRequest{Append: []string{tuple.String()}})
+					if status != http.StatusOK {
+						t.Errorf("append: status %d body %q", status, raw)
+					}
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+}
+
+// TestChaosStormStableLog is the main acceptance storm: heavy concurrent
+// traffic, every fault kind firing, the log never mutated — so every 200
+// must beat the greedy baseline, and the server must answer everything
+// well-formed without dying.
+func TestChaosStormStableLog(t *testing.T) {
+	srv, ts, log, tuples := newTestServer(t, func(c *Config) {
+		c.Injector = chaosInjector(1)
+		c.MaxConcurrent = 4
+		c.MaxQueue = 8
+		c.ExactBudget = 50 * time.Millisecond
+		c.MFIBudget = 5 * time.Millisecond
+		c.GreedyReserve = 2 * time.Millisecond
+	})
+	// Touches are fired by the storm but appends are not: the log object
+	// stays stable while its version churns, forcing stale-prep recovery.
+	storm(t, ts, log, tuples, 100, 8, 25, false)
+	if srv.met.requests.Value() == 0 {
+		t.Fatal("storm sent no requests")
+	}
+	t.Logf("storm: requests=%d shed=%d degraded=%d panics=%d rebuilds=%d staleRetries=%d",
+		srv.met.requests.Value(), srv.met.shed.Value(), srv.met.degraded.Value(),
+		srv.met.panics.Value(), srv.met.prepRebuilds.Value(), srv.met.staleRetries.Value())
+	// The injectors fire on schedule, so the hardening paths demonstrably ran.
+	if srv.met.prepRebuilds.Value() == 0 {
+		t.Error("chaos storm never exercised a prep rebuild")
+	}
+}
+
+// TestChaosStormMutatingLog layers live log mutation (copy-on-write appends)
+// on top of the fault storm. Baselines shift between generations, so this
+// storm checks only well-formedness and survival.
+func TestChaosStormMutatingLog(t *testing.T) {
+	srv, ts, log, tuples := newTestServer(t, func(c *Config) {
+		c.Injector = chaosInjector(2)
+		c.MaxConcurrent = 4
+		c.MaxQueue = 8
+	})
+	storm(t, ts, log, tuples, 200, 8, 25, true)
+	if srv.met.logSwaps.Value() == 0 {
+		t.Error("mutating storm performed no log swaps")
+	}
+	// The server is still healthy: a clean solve succeeds afterwards.
+	status, raw := postJSON(t, ts.URL+"/solve", solveRequest{Tuple: tuples[0].String(), M: 2, TimeoutMS: 2000})
+	if status != http.StatusOK && status != http.StatusInternalServerError {
+		t.Fatalf("post-storm solve: status %d body %s", status, raw)
+	}
+}
+
+// TestChaosTimeoutStorm hammers the server with deadlines too short for the
+// requested exact tier: every answer must be a degraded 200, a 504, or a
+// shed — never a hang, never a malformed body.
+func TestChaosTimeoutStorm(t *testing.T) {
+	_, ts, log, tuples := newTestServer(t, func(c *Config) {
+		c.ExactBudget = time.Hour // requested tier never fits
+		c.MFIBudget = time.Millisecond
+		c.GreedyReserve = time.Millisecond
+	})
+	var wg sync.WaitGroup
+	for c := 0; c < 6; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				tuple := tuples[(c+i)%len(tuples)]
+				status, raw := postJSON(t, ts.URL+"/solve",
+					solveRequest{Tuple: tuple.String(), M: 5, Algo: "brute", TimeoutMS: 1 + i%30})
+				s := wellFormed(t, "solve", status, raw)
+				if s == nil {
+					continue
+				}
+				if !s.Degraded {
+					t.Errorf("brute under 1-30ms deadline served undegraded via %s", s.Solver)
+				}
+				if base := greedyBaseline(t, log, tuple, 5); s.Satisfied < base {
+					t.Errorf("degraded satisfied %d < greedy baseline %d", s.Satisfied, base)
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+}
+
+// TestSoak loops the chaos storms for -soak. `make soak` runs it for 30s
+// under -race; with the default -soak=0 it exits immediately.
+func TestSoak(t *testing.T) {
+	if *soakFor <= 0 {
+		t.Skip("soak disabled; run with -soak=30s (see `make soak`)")
+	}
+	deadline := time.Now().Add(*soakFor)
+	round := int64(0)
+	for time.Now().Before(deadline) {
+		round++
+		srv, ts, log, tuples := newTestServer(t, func(c *Config) {
+			c.Injector = chaosInjector(round)
+			c.MaxConcurrent = 4
+			c.MaxQueue = 8
+			c.ExactBudget = 50 * time.Millisecond
+			c.MFIBudget = 5 * time.Millisecond
+		})
+		storm(t, ts, log, tuples, round, 6, 20, round%2 == 0)
+		t.Logf("soak round %d: requests=%d shed=%d degraded=%d panics=%d",
+			round, srv.met.requests.Value(), srv.met.shed.Value(),
+			srv.met.degraded.Value(), srv.met.panics.Value())
+		ts.Close()
+		srv.Close()
+	}
+	if round == 0 {
+		t.Fatal("soak deadline passed without a single round")
+	}
+}

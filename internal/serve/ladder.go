@@ -1,0 +1,184 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"sort"
+	"strings"
+	"time"
+
+	"standout/internal/bitvec"
+	"standout/internal/core"
+	"standout/internal/dataset"
+	"standout/internal/fault"
+)
+
+// Algorithms maps request algo names to solver constructors. "greedy" is the
+// ladder's bottom rung (ConsumeAttrCumul, the strongest §IV.D heuristic) and
+// also requestable directly.
+var algorithms = map[string]func() core.Solver{
+	"brute":            func() core.Solver { return core.BruteForce{} },
+	"ip":               func() core.Solver { return core.IP{} },
+	"ilp":              func() core.Solver { return core.ILP{} },
+	"mfi":              func() core.Solver { return core.MaxFreqItemSets{} },
+	"mfi-exact":        func() core.Solver { return core.MaxFreqItemSets{Backend: core.BackendExactDFS} },
+	"consumeattr":      func() core.Solver { return core.ConsumeAttr{} },
+	"consumeattrcumul": func() core.Solver { return core.ConsumeAttrCumul{} },
+	"consumequeries":   func() core.Solver { return core.ConsumeQueries{} },
+	"greedy":           func() core.Solver { return core.ConsumeAttrCumul{} },
+}
+
+// greedyNames are the rungless algorithms: already the cheapest tier.
+var greedyNames = map[string]bool{
+	"consumeattr": true, "consumeattrcumul": true, "consumequeries": true, "greedy": true,
+}
+
+// AlgoNames lists the accepted algo values, sorted.
+func AlgoNames() []string {
+	out := make([]string, 0, len(algorithms))
+	for n := range algorithms {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// rung is one step of the degradation ladder: a solver, its response name,
+// and the minimum remaining deadline budget worth attempting it with.
+type rung struct {
+	name   string
+	solver core.Solver
+	floor  time.Duration
+}
+
+// ladder builds the fallback chain for a requested algorithm:
+//
+//	exact (brute|ip|ilp)  →  mfi-exact  →  greedy
+//	mfi | mfi-exact       →  greedy
+//	greedy tier           →  (no fallback; already the floor)
+//
+// Every rung above greedy is exact, so any answer the ladder produces —
+// degraded or not — satisfies at least as many queries as the greedy
+// baseline on the same instance.
+func (s *Server) ladder(algo string) []rung {
+	requested := rung{algo, algorithms[algo](), s.cfg.ExactBudget}
+	greedy := rung{"greedy", core.ConsumeAttrCumul{}, 0}
+	if greedyNames[algo] {
+		return []rung{{algo, algorithms[algo](), 0}}
+	}
+	if strings.HasPrefix(algo, "mfi") {
+		requested.floor = s.cfg.MFIBudget
+		return []rung{requested, greedy}
+	}
+	mfi := rung{"mfi-exact", core.MaxFreqItemSets{Backend: core.BackendExactDFS}, s.cfg.MFIBudget}
+	return []rung{requested, mfi, greedy}
+}
+
+// solveLadder runs one instance down the degradation ladder under the
+// request deadline. Rungs whose floor exceeds the remaining budget are
+// skipped outright; an attempted rung gets the remaining budget minus a
+// reserve for the rungs below it, so a rung that blows its slice still
+// leaves time to serve something. The bottom rung gets whatever is left.
+// It returns the solution, the name of the rung that produced it, and
+// whether that was a degradation from the requested algorithm.
+func (s *Server) solveLadder(ctx context.Context, algo string, log *dataset.QueryLog, tuple bitvec.Vector, m int) (core.Solution, string, bool, error) {
+	rungs := s.ladder(algo)
+	deadline, hasDeadline := ctx.Deadline()
+	var lastErr error
+	for i, r := range rungs {
+		last := i == len(rungs)-1
+		if err := ctx.Err(); err != nil {
+			return core.Solution{}, r.name, i > 0, err
+		}
+		rctx, cancel := ctx, context.CancelFunc(func() {})
+		if hasDeadline && !last {
+			remaining := time.Until(deadline)
+			if remaining < r.floor {
+				continue // not worth starting: fall to a cheaper rung
+			}
+			slice := remaining - s.cfg.GreedyReserve
+			if slice <= 0 {
+				continue
+			}
+			rctx, cancel = context.WithTimeout(ctx, slice)
+		}
+		sol, err := s.attempt(rctx, r.solver, log, tuple, m)
+		cancel()
+		if err == nil {
+			return sol, r.name, i > 0, nil
+		}
+		lastErr = err
+		if ctx.Err() != nil {
+			// The request's own budget is gone; stop descending.
+			return core.Solution{}, r.name, i > 0, ctx.Err()
+		}
+		var pe *core.PanicError
+		switch {
+		case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+			continue // the rung's slice expired: degrade
+		case errors.As(err, &pe):
+			continue // the rung panicked (already recovered and counted): degrade
+		case last:
+		default:
+			// Anything else (validation, injected non-deadline fault) will
+			// not improve on a cheaper rung — but a degraded answer still
+			// beats an error, so fall through to the bottom rung.
+			continue
+		}
+	}
+	return core.Solution{}, "", false, lastErr
+}
+
+// attempt solves one instance through the shared prep, retrying with
+// single-flight rebuilds when the prep goes stale mid-flight (a Touch or
+// swap racing the solve), and falling back to index-less solving when
+// rebuilding keeps failing. Panics are recovered into *core.PanicError.
+func (s *Server) attempt(ctx context.Context, solver core.Solver, log *dataset.QueryLog, tuple bitvec.Vector, m int) (core.Solution, error) {
+	for try := 0; ; try++ {
+		p, perr := s.prep.get(ctx, log)
+		var sol core.Solution
+		var err error
+		if perr == nil {
+			sol, err = s.safeSolve(ctx, func(ctx context.Context) (core.Solution, error) {
+				return p.SolveContext(ctx, solver, tuple, m)
+			})
+		} else {
+			if ctx.Err() != nil {
+				return core.Solution{}, ctx.Err()
+			}
+			// No shared index available (persistent rebuild failure): serve
+			// the slow-but-correct direct path rather than failing.
+			sol, err = s.safeSolve(ctx, func(ctx context.Context) (core.Solution, error) {
+				return solver.SolveContext(ctx, core.Instance{Log: log, Tuple: tuple, M: m})
+			})
+		}
+		if err != nil && errors.Is(err, core.ErrStalePrep) && try < s.cfg.RebuildRetries && ctx.Err() == nil {
+			s.met.staleRetries.Add(1)
+			if p != nil {
+				s.prep.invalidate(p)
+			}
+			if serr := sleepCtx(ctx, s.prep.backoffFor(try+1)); serr != nil {
+				return core.Solution{}, serr
+			}
+			continue
+		}
+		return sol, err
+	}
+}
+
+// safeSolve is the panic boundary of one solve attempt: a panicking solver
+// (or an injected chaos panic at the serve.solve site) becomes a
+// *core.PanicError and a metrics tick instead of a dead process.
+func (s *Server) safeSolve(ctx context.Context, f func(context.Context) (core.Solution, error)) (sol core.Solution, err error) {
+	defer func() {
+		var pe *core.PanicError
+		if errors.As(err, &pe) {
+			s.met.panics.Add(1)
+		}
+	}()
+	defer core.RecoverPanic(&err)
+	if ferr := fault.Hit(ctx, "serve.solve"); ferr != nil {
+		return core.Solution{}, ferr
+	}
+	return f(ctx)
+}

@@ -1,0 +1,54 @@
+package serve
+
+import "standout/internal/obsv"
+
+// metrics is the serving layer's instrument set, registered get-or-create on
+// an obsv.Registry so multiple Servers in one process (tests, blue/green
+// logs) share one set of counters. The /metrics endpoint renders the whole
+// registry — these plus the core solver metrics recording underneath.
+type metrics struct {
+	requests     *obsv.Counter
+	shed         *obsv.Counter
+	degraded     *obsv.Counter
+	panics       *obsv.Counter
+	failures     *obsv.Counter
+	timeouts     *obsv.Counter
+	prepRebuilds *obsv.Counter
+	prepRetries  *obsv.Counter
+	staleRetries *obsv.Counter
+	logSwaps     *obsv.Counter
+	queueDepth   *obsv.Gauge
+	inflight     *obsv.Gauge
+	latency      *obsv.Histogram
+}
+
+func newMetrics(r *obsv.Registry) *metrics {
+	return &metrics{
+		requests: r.Counter("standout_serve_requests_total",
+			"Solve and batch requests accepted for parsing (everything past routing)."),
+		shed: r.Counter("standout_serve_shed_total",
+			"Requests rejected with 429 because the admission queue was full."),
+		degraded: r.Counter("standout_serve_degraded_total",
+			"Responses served by a cheaper rung of the degradation ladder than requested."),
+		panics: r.Counter("standout_serve_panics_total",
+			"Solver panics recovered at the serving boundary."),
+		failures: r.Counter("standout_serve_failures_total",
+			"Requests answered 5xx (panics, injected faults, exhausted rebuilds)."),
+		timeouts: r.Counter("standout_serve_timeouts_total",
+			"Requests whose whole deadline budget expired (504)."),
+		prepRebuilds: r.Counter("standout_serve_prep_rebuilds_total",
+			"Prepared-log rebuilds started by the single-flight path."),
+		prepRetries: r.Counter("standout_serve_prep_retries_total",
+			"Prepared-log rebuild attempts beyond the first (backoff retries)."),
+		staleRetries: r.Counter("standout_serve_stale_retries_total",
+			"Solves retried after hitting ErrStalePrep mid-flight."),
+		logSwaps: r.Counter("standout_serve_log_swaps_total",
+			"Copy-on-write query-log swaps from POST /log."),
+		queueDepth: r.Gauge("standout_serve_queue_depth",
+			"Requests currently waiting for an admission slot."),
+		inflight: r.Gauge("standout_serve_inflight",
+			"Requests currently holding an admission slot."),
+		latency: r.Histogram("standout_serve_request_seconds",
+			"Wall time of one admitted solve or batch request.", nil),
+	}
+}

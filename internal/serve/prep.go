@@ -1,0 +1,168 @@
+package serve
+
+import (
+	"context"
+	"math/rand"
+	"sync"
+	"time"
+
+	"standout/internal/core"
+	"standout/internal/dataset"
+)
+
+// prepCache is the server's single-flight holder of the shared PreparedLog.
+// Many requests discovering a missing or stale prep at once fold into one
+// rebuild: the first caller builds (with bounded, jitter-backed retries
+// against a log that keeps moving), everyone else waits on the in-flight
+// build or on their own context, whichever ends first. Rebuilding outside
+// any request context means a cancelled requester never poisons the build
+// its siblings are waiting for.
+type prepCache struct {
+	mu   sync.Mutex
+	cur  *core.PreparedLog
+	wait chan struct{} // non-nil while a build is in flight
+	err  error         // outcome of the last finished build
+
+	buildCtx context.Context // server base context: carries the injector
+	retries  int
+	backoff  time.Duration
+	met      *metrics
+
+	rngMu sync.Mutex
+	rng   *rand.Rand
+}
+
+func newPrepCache(buildCtx context.Context, seed int64, retries int, backoff time.Duration, met *metrics) *prepCache {
+	return &prepCache{
+		buildCtx: buildCtx,
+		retries:  retries,
+		backoff:  backoff,
+		met:      met,
+		rng:      rand.New(rand.NewSource(seed)),
+	}
+}
+
+// usable reports whether p can serve solves of log right now.
+func usable(p *core.PreparedLog, log *dataset.QueryLog) bool {
+	return p != nil && p.Log() == log && !p.Stale()
+}
+
+// get returns a usable PreparedLog for log, joining or starting a
+// single-flight rebuild when the cached one is missing, stale, or built for
+// a previous log generation. A nil PreparedLog with a nil error never
+// happens; on persistent build failure the error reports the last attempt's
+// cause and callers fall back to index-less solving.
+func (c *prepCache) get(ctx context.Context, log *dataset.QueryLog) (*core.PreparedLog, error) {
+	for {
+		c.mu.Lock()
+		if usable(c.cur, log) {
+			p := c.cur
+			c.mu.Unlock()
+			return p, nil
+		}
+		if c.wait == nil {
+			ch := make(chan struct{})
+			c.wait = ch
+			c.mu.Unlock()
+
+			p, err := c.build(log)
+
+			c.mu.Lock()
+			if err == nil {
+				c.cur = p
+			}
+			c.err = err
+			c.wait = nil
+			c.mu.Unlock()
+			close(ch)
+			return p, err
+		}
+		ch := c.wait
+		c.mu.Unlock()
+		select {
+		case <-ch:
+			// Re-check: the finished build may target our log (use it), an
+			// older generation (start our own), or have failed (surface it
+			// below through another loop iteration's build).
+			c.mu.Lock()
+			if usable(c.cur, log) {
+				p := c.cur
+				c.mu.Unlock()
+				return p, nil
+			}
+			if err := c.err; err != nil {
+				c.mu.Unlock()
+				return nil, err
+			}
+			c.mu.Unlock()
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+}
+
+// build runs one rebuild with retries: each attempt that fails — an injected
+// build fault, or a log Touch racing the build so the fresh prep is born
+// stale — backs off for base<<attempt plus seeded jitter and tries again.
+func (c *prepCache) build(log *dataset.QueryLog) (*core.PreparedLog, error) {
+	c.met.prepRebuilds.Add(1)
+	var lastErr error
+	for attempt := 0; attempt <= c.retries; attempt++ {
+		if attempt > 0 {
+			c.met.prepRetries.Add(1)
+			if err := sleepCtx(c.buildCtx, c.backoffFor(attempt)); err != nil {
+				return nil, err
+			}
+		}
+		p, err := core.PrepareLogContext(c.buildCtx, log)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		if p.Stale() {
+			lastErr = core.ErrStalePrep
+			continue
+		}
+		return p, nil
+	}
+	return nil, lastErr
+}
+
+// backoffFor is base<<(attempt-1) plus up to 100% seeded jitter, so
+// rebuilding herds desynchronize deterministically under a fixed seed.
+func (c *prepCache) backoffFor(attempt int) time.Duration {
+	base := c.backoff << (attempt - 1)
+	c.rngMu.Lock()
+	j := time.Duration(c.rng.Int63n(int64(base) + 1))
+	c.rngMu.Unlock()
+	return base + j
+}
+
+// invalidate drops a cached prep built for an older log generation so the
+// next get starts fresh. Harmless if another generation already replaced it.
+func (c *prepCache) invalidate(old *core.PreparedLog) {
+	c.mu.Lock()
+	if c.cur == old {
+		c.cur = nil
+	}
+	c.mu.Unlock()
+}
+
+// snapshot returns the cached prep without building, for readiness checks.
+func (c *prepCache) snapshot() *core.PreparedLog {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.cur
+}
+
+// sleepCtx blocks for d or until ctx is done.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}

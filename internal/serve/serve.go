@@ -1,0 +1,690 @@
+// Package serve is the hardened HTTP/JSON serving layer over the SOC-CB-QL
+// solver stack: the paper's §VII online scenario — a seller submits a new
+// tuple and wants its best m-attribute compression against a live query log
+// — as a long-running service built to survive sustained traffic and
+// misbehaving dependencies.
+//
+// Robustness model (DESIGN.md §10):
+//
+//   - Admission control: a bounded concurrency pool plus a bounded wait
+//     queue; beyond that, requests are shed immediately with 429 and a
+//     Retry-After hint instead of queueing into a latency collapse.
+//   - Deadline propagation: every request's timeout (client-chosen, clamped)
+//     flows as a context deadline into the solvers, which cancel promptly.
+//   - Degradation ladder: when the remaining budget is too small for the
+//     requested algorithm the server falls back exact → MFI-exact → greedy,
+//     marks the response degraded:true, and names the solver actually used.
+//     Every rung above greedy is exact, so degraded answers are never worse
+//     than the greedy baseline.
+//   - Panic isolation: a panicking solve (malformed instance, injected
+//     chaos) is recovered into a 4xx/5xx response; sibling requests and the
+//     process are untouched.
+//   - Stale-prep recovery: the shared PreparedLog index is rebuilt
+//     single-flight with jittered backoff when the query log is swapped
+//     (POST /log, copy-on-write) or Touch'ed mid-flight; solves that caught
+//     ErrStalePrep retry against the rebuilt index.
+//
+// Endpoints: POST /solve, POST /solve/batch, GET /log, POST /log (append,
+// copy-on-write swap), POST /log/touch (force staleness), GET /healthz,
+// GET /readyz, GET /metrics.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime"
+	"runtime/debug"
+	"sync"
+	"time"
+
+	"standout/internal/bitvec"
+	"standout/internal/core"
+	"standout/internal/dataset"
+	"standout/internal/fault"
+	"standout/internal/obsv"
+)
+
+// Config tunes a Server. The zero value of every field selects a sensible
+// default; only Log is required.
+type Config struct {
+	// Log is the initial query log (required). The server owns it from New
+	// on: mutate only through the /log endpoints or Swap.
+	Log *dataset.QueryLog
+	// MaxConcurrent bounds simultaneously solving requests; default
+	// GOMAXPROCS.
+	MaxConcurrent int
+	// MaxQueue bounds requests waiting for a solve slot; beyond it requests
+	// are shed with 429. Default 4 × MaxConcurrent.
+	MaxQueue int
+	// DefaultTimeout applies when a request names none; default 2s.
+	DefaultTimeout time.Duration
+	// MaxTimeout clamps client-requested timeouts; default 30s.
+	MaxTimeout time.Duration
+	// ExactBudget is the minimum remaining deadline budget for which an
+	// exact rung (brute/ip/ilp) is attempted; default 250ms.
+	ExactBudget time.Duration
+	// MFIBudget is the same floor for the MFI-exact rung; default 25ms.
+	MFIBudget time.Duration
+	// GreedyReserve is the slice of budget an upper rung must leave for the
+	// rungs below it; default 5ms.
+	GreedyReserve time.Duration
+	// RebuildRetries bounds prep rebuild attempts and stale-solve retries;
+	// default 3.
+	RebuildRetries int
+	// RebuildBackoff is the base backoff between rebuild attempts (doubled
+	// per attempt, plus seeded jitter); default 2ms.
+	RebuildBackoff time.Duration
+	// BatchWorkers bounds the workers of one /solve/batch request; default
+	// MaxConcurrent.
+	BatchWorkers int
+	// MaxBatch bounds tuples per /solve/batch request; default 4096.
+	MaxBatch int
+	// Seed drives backoff jitter; default 1.
+	Seed int64
+	// Registry receives the serve metrics and backs /metrics; default
+	// obsv.Default.
+	Registry *obsv.Registry
+	// Injector, when non-nil, attaches deterministic fault injection to
+	// every request and rebuild context (chaos testing).
+	Injector *fault.Injector
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxConcurrent <= 0 {
+		c.MaxConcurrent = runtime.GOMAXPROCS(0)
+	}
+	if c.MaxQueue <= 0 {
+		c.MaxQueue = 4 * c.MaxConcurrent
+	}
+	if c.DefaultTimeout <= 0 {
+		c.DefaultTimeout = 2 * time.Second
+	}
+	if c.MaxTimeout <= 0 {
+		c.MaxTimeout = 30 * time.Second
+	}
+	if c.ExactBudget <= 0 {
+		c.ExactBudget = 250 * time.Millisecond
+	}
+	if c.MFIBudget <= 0 {
+		c.MFIBudget = 25 * time.Millisecond
+	}
+	if c.GreedyReserve <= 0 {
+		c.GreedyReserve = 5 * time.Millisecond
+	}
+	if c.RebuildRetries <= 0 {
+		c.RebuildRetries = 3
+	}
+	if c.RebuildBackoff <= 0 {
+		c.RebuildBackoff = 2 * time.Millisecond
+	}
+	if c.BatchWorkers <= 0 {
+		c.BatchWorkers = c.MaxConcurrent
+	}
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 4096
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.Registry == nil {
+		c.Registry = obsv.Default
+	}
+	return c
+}
+
+// Server is the hardened solving service. Construct with New, mount
+// Handler() on an http.Server, and Close when done.
+type Server struct {
+	cfg  Config
+	met  *metrics
+	adm  *admission
+	prep *prepCache
+	mux  *http.ServeMux
+
+	baseCtx context.Context
+	stop    context.CancelFunc
+
+	mu  sync.Mutex // serializes log swaps
+	log *dataset.QueryLog
+}
+
+// New validates cfg and returns a running Server (its prep index builds
+// lazily on first use; readyz reports readiness).
+func New(cfg Config) (*Server, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Log == nil {
+		return nil, errors.New("serve: Config.Log is required")
+	}
+	if err := cfg.Log.Validate(); err != nil {
+		return nil, fmt.Errorf("serve: invalid query log: %w", err)
+	}
+	baseCtx, stop := context.WithCancel(context.Background())
+	if cfg.Injector != nil {
+		baseCtx = fault.WithInjector(baseCtx, cfg.Injector)
+	}
+	s := &Server{
+		cfg:     cfg,
+		met:     newMetrics(cfg.Registry),
+		baseCtx: baseCtx,
+		stop:    stop,
+		log:     cfg.Log,
+	}
+	s.adm = newAdmission(cfg.MaxConcurrent, cfg.MaxQueue, s.met)
+	s.prep = newPrepCache(baseCtx, cfg.Seed, cfg.RebuildRetries, cfg.RebuildBackoff, s.met)
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("/solve", s.recovered(s.handleSolve))
+	s.mux.HandleFunc("/solve/batch", s.recovered(s.handleBatch))
+	s.mux.HandleFunc("/log", s.recovered(s.handleLog))
+	s.mux.HandleFunc("/log/touch", s.recovered(s.handleTouch))
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/readyz", s.handleReadyz)
+	s.mux.Handle("/metrics", obsv.Handler(cfg.Registry))
+	return s, nil
+}
+
+// Handler returns the server's HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Close stops background work (in-flight rebuild sleeps, readiness kicks).
+// In-flight requests finish on their own deadlines.
+func (s *Server) Close() { s.stop() }
+
+// CurrentLog returns the log generation new requests solve against.
+func (s *Server) CurrentLog() *dataset.QueryLog {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.log
+}
+
+// Swap atomically replaces the query log for new requests (in-flight
+// requests finish against their snapshot) and invalidates the shared index.
+func (s *Server) Swap(log *dataset.QueryLog) error {
+	if err := log.Validate(); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	if log.Width() != s.log.Width() {
+		w, cw := log.Width(), s.log.Width()
+		s.mu.Unlock()
+		return fmt.Errorf("serve: new log width %d does not match current width %d", w, cw)
+	}
+	s.log = log
+	s.mu.Unlock()
+	s.met.logSwaps.Add(1)
+	return nil
+}
+
+// reqCtx derives a request's working context: the client context plus the
+// server's fault injector.
+func (s *Server) reqCtx(r *http.Request) context.Context {
+	ctx := r.Context()
+	if s.cfg.Injector != nil {
+		ctx = fault.WithInjector(ctx, s.cfg.Injector)
+	}
+	return ctx
+}
+
+// recovered is the outermost panic boundary: anything that escapes a handler
+// (handler bugs, panics outside the solve path's own boundary) becomes a 500
+// instead of killing the connection and, under http.Server's default
+// behavior, leaving a half-dead process.
+func (s *Server) recovered(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			if rec := recover(); rec != nil {
+				s.met.panics.Add(1)
+				s.met.failures.Add(1)
+				writeJSON(w, http.StatusInternalServerError, errorResponse{
+					Error: fmt.Sprintf("panic: %v", rec), Panic: true,
+				})
+				_ = debug.Stack() // keep the capture cheap but explicit
+			}
+		}()
+		h(w, r)
+	}
+}
+
+// Request/response bodies.
+
+type solveRequest struct {
+	// Tuple is a 0/1 bit string of the schema width or a comma-separated
+	// attribute-name list.
+	Tuple string `json:"tuple"`
+	// M is the attribute budget.
+	M int `json:"m"`
+	// Algo selects the algorithm; default "mfi-exact". See AlgoNames.
+	Algo string `json:"algo,omitempty"`
+	// TimeoutMS bounds the solve; 0 means the server default, values above
+	// the server maximum are clamped.
+	TimeoutMS int `json:"timeout_ms,omitempty"`
+}
+
+type solveResponse struct {
+	Kept      []string `json:"kept"`
+	KeptBits  string   `json:"kept_bits"`
+	Satisfied int      `json:"satisfied"`
+	Optimal   bool     `json:"optimal"`
+	// Degraded reports that the deadline ladder served a cheaper solver than
+	// requested; Solver names the rung that produced the answer.
+	Degraded  bool    `json:"degraded"`
+	Solver    string  `json:"solver"`
+	ElapsedMS float64 `json:"elapsed_ms"`
+}
+
+type batchRequest struct {
+	Tuples    []string `json:"tuples"`
+	M         int      `json:"m"`
+	Algo      string   `json:"algo,omitempty"`
+	TimeoutMS int      `json:"timeout_ms,omitempty"`
+	Workers   int      `json:"workers,omitempty"`
+}
+
+type batchItem struct {
+	// Exactly one of Result and Error is set per tuple.
+	Result *solveResponse `json:"result,omitempty"`
+	Error  string         `json:"error,omitempty"`
+}
+
+type batchResponse struct {
+	Results []batchItem `json:"results"`
+	// Error carries the batch-level failure (first failing tuple), if any;
+	// Results still holds everything that completed before cancellation.
+	Error     string  `json:"error,omitempty"`
+	Degraded  bool    `json:"degraded"`
+	Solver    string  `json:"solver"`
+	ElapsedMS float64 `json:"elapsed_ms"`
+}
+
+type logResponse struct {
+	Queries     int    `json:"queries"`
+	Width       int    `json:"width"`
+	Version     uint64 `json:"version"`
+	Fingerprint string `json:"fingerprint"`
+}
+
+type appendRequest struct {
+	Append []string `json:"append"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+	Panic bool   `json:"panic,omitempty"`
+	// RetryAfterMS accompanies 429 shed responses.
+	RetryAfterMS int `json:"retry_after_ms,omitempty"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// timeoutFor clamps the request's timeout wish into (0, MaxTimeout].
+func (s *Server) timeoutFor(ms int) time.Duration {
+	d := time.Duration(ms) * time.Millisecond
+	if d <= 0 {
+		d = s.cfg.DefaultTimeout
+	}
+	if d > s.cfg.MaxTimeout {
+		d = s.cfg.MaxTimeout
+	}
+	return d
+}
+
+// admit runs the admission gate for one request, returning false after
+// writing the 429/503 response itself.
+func (s *Server) admit(ctx context.Context, w http.ResponseWriter) bool {
+	if err := fault.Hit(ctx, "serve.admit"); err != nil {
+		s.met.failures.Add(1)
+		writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: err.Error()})
+		return false
+	}
+	if err := s.adm.acquire(ctx); err != nil {
+		if errors.Is(err, errShed) {
+			s.met.shed.Add(1)
+			w.Header().Set("Retry-After", "1")
+			writeJSON(w, http.StatusTooManyRequests, errorResponse{
+				Error: "overloaded: admission queue full", RetryAfterMS: 1000,
+			})
+		} else {
+			writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: err.Error()})
+		}
+		return false
+	}
+	return true
+}
+
+func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		writeJSON(w, http.StatusMethodNotAllowed, errorResponse{Error: "POST only"})
+		return
+	}
+	s.met.requests.Add(1)
+	var req solveRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20)).Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "bad request body: " + err.Error()})
+		return
+	}
+	log := s.CurrentLog()
+	tuple, algo, status, errMsg := s.validateSolve(log, req.Tuple, req.M, req.Algo)
+	if status != 0 {
+		writeJSON(w, status, errorResponse{Error: errMsg})
+		return
+	}
+
+	ctx := s.reqCtx(r)
+	if !s.admit(ctx, w) {
+		return
+	}
+	defer s.adm.release()
+
+	ctx, cancel := context.WithTimeout(ctx, s.timeoutFor(req.TimeoutMS))
+	defer cancel()
+
+	start := time.Now()
+	sol, used, degraded, err := s.solveLadder(ctx, algo, log, tuple, req.M)
+	elapsed := time.Since(start)
+	s.met.latency.Observe(elapsed.Seconds())
+	if err != nil {
+		s.writeSolveError(w, err)
+		return
+	}
+	if degraded {
+		s.met.degraded.Add(1)
+	}
+	writeJSON(w, http.StatusOK, solveResponse{
+		Kept:      sol.AttrNames(log.Schema),
+		KeptBits:  sol.Kept.String(),
+		Satisfied: sol.Satisfied,
+		Optimal:   sol.Optimal,
+		Degraded:  degraded,
+		Solver:    used,
+		ElapsedMS: float64(elapsed) / float64(time.Millisecond),
+	})
+}
+
+// validateSolve checks the parseable parts of a solve request against the
+// log snapshot; a non-zero status reports the 4xx to return.
+func (s *Server) validateSolve(log *dataset.QueryLog, tupleSpec string, m int, algo string) (bitvec.Vector, string, int, string) {
+	if algo == "" {
+		algo = "mfi-exact"
+	}
+	if _, ok := algorithms[algo]; !ok {
+		return bitvec.Vector{}, "", http.StatusBadRequest,
+			fmt.Sprintf("unknown algo %q (have %v)", algo, AlgoNames())
+	}
+	if m < 0 {
+		return bitvec.Vector{}, "", http.StatusBadRequest, fmt.Sprintf("negative budget m=%d", m)
+	}
+	tuple, err := dataset.ParseTuple(log.Schema, tupleSpec)
+	if err != nil {
+		return bitvec.Vector{}, "", http.StatusBadRequest, "bad tuple: " + err.Error()
+	}
+	return tuple, algo, 0, ""
+}
+
+// writeSolveError maps a ladder failure to a response: deadline exhaustion
+// is 504, client cancellation 503, panics and injected faults 500 — always a
+// well-formed JSON body, never a hung or half-written connection.
+func (s *Server) writeSolveError(w http.ResponseWriter, err error) {
+	var pe *core.PanicError
+	switch {
+	case errors.As(err, &pe):
+		s.met.failures.Add(1)
+		writeJSON(w, http.StatusInternalServerError, errorResponse{Error: err.Error(), Panic: true})
+	case errors.Is(err, context.DeadlineExceeded):
+		s.met.timeouts.Add(1)
+		writeJSON(w, http.StatusGatewayTimeout, errorResponse{Error: "deadline exceeded before any rung completed"})
+	case errors.Is(err, context.Canceled):
+		writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: "request canceled"})
+	default:
+		s.met.failures.Add(1)
+		writeJSON(w, http.StatusInternalServerError, errorResponse{Error: err.Error()})
+	}
+}
+
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		writeJSON(w, http.StatusMethodNotAllowed, errorResponse{Error: "POST only"})
+		return
+	}
+	s.met.requests.Add(1)
+	var req batchRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 64<<20)).Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "bad request body: " + err.Error()})
+		return
+	}
+	if len(req.Tuples) == 0 {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "empty tuples"})
+		return
+	}
+	if len(req.Tuples) > s.cfg.MaxBatch {
+		writeJSON(w, http.StatusBadRequest, errorResponse{
+			Error: fmt.Sprintf("batch of %d exceeds limit %d", len(req.Tuples), s.cfg.MaxBatch)})
+		return
+	}
+	log := s.CurrentLog()
+	if req.Algo == "" {
+		req.Algo = "mfi-exact"
+	}
+	if _, ok := algorithms[req.Algo]; !ok {
+		writeJSON(w, http.StatusBadRequest, errorResponse{
+			Error: fmt.Sprintf("unknown algo %q (have %v)", req.Algo, AlgoNames())})
+		return
+	}
+	if req.M < 0 {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: fmt.Sprintf("negative budget m=%d", req.M)})
+		return
+	}
+
+	// Per-tuple parse errors are attributed without poisoning the batch:
+	// only well-formed tuples are dispatched to the solver pool.
+	items := make([]batchItem, len(req.Tuples))
+	var tuples []bitvec.Vector
+	var solveIdx []int
+	for i, spec := range req.Tuples {
+		tuple, err := dataset.ParseTuple(log.Schema, spec)
+		if err != nil {
+			items[i] = batchItem{Error: "bad tuple: " + err.Error()}
+			continue
+		}
+		tuples = append(tuples, tuple)
+		solveIdx = append(solveIdx, i)
+	}
+
+	ctx := s.reqCtx(r)
+	if !s.admit(ctx, w) {
+		return
+	}
+	defer s.adm.release()
+
+	ctx, cancel := context.WithTimeout(ctx, s.timeoutFor(req.TimeoutMS))
+	defer cancel()
+
+	// The ladder is applied once for the whole batch: a budget too small for
+	// the requested tier degrades every tuple to a cheaper exact-or-greedy
+	// solver rather than letting the deadline kill the batch midway.
+	algo, degraded := s.batchAlgo(ctx, req.Algo)
+	solver := algorithms[algo]()
+
+	workers := req.Workers
+	if workers <= 0 || workers > s.cfg.BatchWorkers {
+		workers = s.cfg.BatchWorkers
+	}
+
+	start := time.Now()
+	var sols []core.Solution
+	var errs []error
+	var batchErr error
+	if len(tuples) > 0 {
+		pctx := ctx
+		if p, perr := s.prep.get(ctx, log); perr == nil {
+			pctx = core.WithPrepared(ctx, p)
+		}
+		sols, errs, batchErr = core.SolveBatchContext(pctx, solver, log, tuples, req.M, workers)
+	}
+	elapsed := time.Since(start)
+	s.met.latency.Observe(elapsed.Seconds())
+
+	if batchErr != nil && len(sols) == 0 && errors.Is(batchErr, context.DeadlineExceeded) {
+		s.met.timeouts.Add(1)
+		writeJSON(w, http.StatusGatewayTimeout, errorResponse{Error: "batch deadline exceeded"})
+		return
+	}
+
+	resp := batchResponse{
+		Results:   items,
+		Degraded:  degraded,
+		Solver:    algo,
+		ElapsedMS: float64(elapsed) / float64(time.Millisecond),
+	}
+	if degraded {
+		s.met.degraded.Add(1)
+	}
+	completed := 0
+	for k, i := range solveIdx {
+		switch {
+		case errs != nil && errs[k] != nil:
+			items[i] = batchItem{Error: errs[k].Error()}
+		case sols != nil && sols[k].Kept.Width() != 0:
+			completed++
+			items[i] = batchItem{Result: &solveResponse{
+				Kept:      sols[k].AttrNames(log.Schema),
+				KeptBits:  sols[k].Kept.String(),
+				Satisfied: sols[k].Satisfied,
+				Optimal:   sols[k].Optimal,
+				Degraded:  degraded,
+				Solver:    algo,
+			}}
+		default:
+			items[i] = batchItem{Error: "skipped: batch canceled before this tuple was attempted"}
+		}
+	}
+	if batchErr != nil {
+		resp.Error = batchErr.Error()
+		var pe *core.PanicError
+		if errors.As(batchErr, &pe) {
+			s.met.panics.Add(1)
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// batchAlgo picks the batch's solver tier from the remaining budget: the
+// requested tier when it fits, else the best tier whose floor fits.
+func (s *Server) batchAlgo(ctx context.Context, algo string) (string, bool) {
+	deadline, ok := ctx.Deadline()
+	if !ok || greedyNames[algo] {
+		return algo, false
+	}
+	remaining := time.Until(deadline)
+	floor := s.cfg.ExactBudget
+	if greedyNames[algo] {
+		floor = 0
+	} else if algo == "mfi" || algo == "mfi-exact" {
+		floor = s.cfg.MFIBudget
+	}
+	if remaining >= floor {
+		return algo, false
+	}
+	if remaining >= s.cfg.MFIBudget {
+		return "mfi-exact", true
+	}
+	return "greedy", true
+}
+
+func (s *Server) handleLog(w http.ResponseWriter, r *http.Request) {
+	switch r.Method {
+	case http.MethodGet:
+		log := s.CurrentLog()
+		writeJSON(w, http.StatusOK, logStats(log))
+	case http.MethodPost:
+		var req appendRequest
+		if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 64<<20)).Decode(&req); err != nil {
+			writeJSON(w, http.StatusBadRequest, errorResponse{Error: "bad request body: " + err.Error()})
+			return
+		}
+		if len(req.Append) == 0 {
+			writeJSON(w, http.StatusBadRequest, errorResponse{Error: "empty append"})
+			return
+		}
+		// Copy-on-write: in-flight requests keep solving their snapshot; new
+		// requests see the new generation and rebuild the index for it.
+		s.mu.Lock()
+		old := s.log
+		next := dataset.NewQueryLog(old.Schema)
+		next.Queries = append(make([]bitvec.Vector, 0, len(old.Queries)+len(req.Append)), old.Queries...)
+		for _, spec := range req.Append {
+			q, err := dataset.ParseTuple(old.Schema, spec)
+			if err != nil {
+				s.mu.Unlock()
+				writeJSON(w, http.StatusBadRequest, errorResponse{Error: "bad query: " + err.Error()})
+				return
+			}
+			if err := next.Append(q); err != nil {
+				s.mu.Unlock()
+				writeJSON(w, http.StatusBadRequest, errorResponse{Error: "bad query: " + err.Error()})
+				return
+			}
+		}
+		s.log = next
+		s.mu.Unlock()
+		s.met.logSwaps.Add(1)
+		writeJSON(w, http.StatusOK, logStats(next))
+	default:
+		w.Header().Set("Allow", "GET, POST")
+		writeJSON(w, http.StatusMethodNotAllowed, errorResponse{Error: "GET or POST only"})
+	}
+}
+
+// handleTouch bumps the current log's version — the deliberate staleness
+// lever: every in-flight prep solve observes ErrStalePrep and the
+// single-flight rebuild path re-indexes. Chaos tests use it to force
+// cache-rebuild races; operators use it after out-of-band log edits.
+func (s *Server) handleTouch(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		writeJSON(w, http.StatusMethodNotAllowed, errorResponse{Error: "POST only"})
+		return
+	}
+	log := s.CurrentLog()
+	log.Touch()
+	writeJSON(w, http.StatusOK, logStats(log))
+}
+
+func logStats(log *dataset.QueryLog) logResponse {
+	return logResponse{
+		Queries:     log.Size(),
+		Width:       log.Width(),
+		Version:     log.Version(),
+		Fingerprint: fmt.Sprintf("%016x", log.Fingerprint()),
+	}
+}
+
+// handleHealthz is liveness: the process is up and serving HTTP.
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// handleReadyz is readiness: the shared index matches the current log
+// generation and the admission queue has room. When the index is missing or
+// stale it kicks a background single-flight build and reports 503 so load
+// balancers drain to warmed replicas.
+func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	if err := s.baseCtx.Err(); err != nil {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "shutting down"})
+		return
+	}
+	log := s.CurrentLog()
+	if p := s.prep.snapshot(); usable(p, log) {
+		writeJSON(w, http.StatusOK, map[string]any{"status": "ready", "queue_depth": s.adm.depth()})
+		return
+	}
+	go func() { _, _ = s.prep.get(s.baseCtx, log) }()
+	writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "index not ready"})
+}
