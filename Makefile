@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: check build test test-race soak bench vet fmt-check cover cover-gate experiments quick-experiments fuzz
+.PHONY: check build test test-race soak bench vet fmt-check cover cover-gate experiments quick-experiments fuzz fuzz-smoke
 
 # Default: everything CI would gate on.
 check: build vet fmt-check test test-race cover-gate
@@ -24,7 +24,7 @@ test:
 # check. `go test -race ./...` also works but takes much longer on the bench
 # package.
 test-race:
-	go test -race ./internal/core/... ./internal/cache/... ./internal/index/... ./internal/ilp/... ./internal/itemsets/... ./internal/serve/... ./internal/fault/...
+	go test -race ./internal/core/... ./internal/cache/... ./internal/index/... ./internal/ilp/... ./internal/itemsets/... ./internal/par/... ./internal/serve/... ./internal/fault/...
 
 # 30 seconds of fault-injected chaos storms against the serving layer under
 # the race detector: injected panics, delays, forced staleness, live log
@@ -36,11 +36,11 @@ soak:
 cover:
 	go test -cover ./...
 
-# The shared-index layer is pure data structure code with no excuse for
-# untested branches: hold internal/index and internal/cache at >= 85%
-# statement coverage.
+# The shared-index layer and the parallel scheduler are pure data structure
+# code with no excuse for untested branches: hold internal/index,
+# internal/cache and internal/par at >= 85% statement coverage.
 cover-gate:
-	@go test -cover ./internal/index/... ./internal/cache/... | awk ' \
+	@go test -cover ./internal/index/... ./internal/cache/... ./internal/par/... | awk ' \
 		/coverage:/ { c = $$0; sub(/.*coverage: /, "", c); sub(/%.*/, "", c); \
 			if (c + 0 < 85) { print "coverage below 85%: " $$0; bad = 1 } else print } \
 		END { exit bad }'
@@ -59,3 +59,11 @@ quick-experiments:
 # Exploratory fuzzing of the exact-solver agreement property.
 fuzz:
 	go test -fuzz FuzzExactSolversAgree -fuzztime 60s ./internal/core
+
+# ~30s fuzz smoke for CI: a short budget on every fuzz target, seeded by the
+# committed corpora under testdata/fuzz/, so regressions the corpora encode
+# are caught on every run and a little fresh exploration happens too.
+fuzz-smoke:
+	go test -fuzz FuzzVectorAlgebra -fuzztime 8s ./internal/bitvec
+	go test -fuzz FuzzSatisfiedDropping -fuzztime 8s ./internal/index
+	go test -fuzz FuzzExactSolversAgree -fuzztime 14s ./internal/core

@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	socbench [flags] fig6|fig7|fig8|fig9|fig10|fig11|index|serve|ablations|all
+//	socbench [flags] fig6|fig7|fig8|fig9|fig10|fig11|index|parallel|serve|ablations|all
 //
 // Flags:
 //
@@ -58,13 +58,14 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) (err erro
 	cars := fs.Int("cars", 0, "cars table size (0 = paper's 15211)")
 	ilpTimeout := fs.Duration("ilp-timeout", 0, "per-solve ILP timeout (0 = 30s)")
 	prep := fs.Bool("prep", false, "run figure solves through a shared prepared-log index")
+	workers := fs.Int("workers", 0, "per-solve parallel workers for brute/ilp/mfi-exact (0 = sequential; results identical at any count)")
 	var obs obsv.Flags
 	obs.Register(fs)
 	var runf obsv.RunFlags
 	runf.Register(fs)
 	fs.Usage = func() {
 		fmt.Fprintf(stderr,
-			"usage: socbench [flags] fig6|fig7|fig8|fig9|fig10|fig11|index|serve|ablations|all\n")
+			"usage: socbench [flags] fig6|fig7|fig8|fig9|fig10|fig11|index|parallel|serve|ablations|all\n")
 		fs.SetOutput(stderr)
 		fs.PrintDefaults()
 	}
@@ -91,6 +92,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) (err erro
 		Quick:      *quick,
 		Trace:      obs.Trace,
 		Prepare:    *prep,
+		Workers:    *workers,
 	}
 
 	type runFn = func(context.Context, bench.Config) bench.Result
@@ -106,6 +108,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) (err erro
 	}
 	runners := map[string][]runFn{
 		"index":     {bench.IndexBatchContext},
+		"parallel":  {bench.ParallelContext},
 		"serve":     {bench.ServeLoadContext},
 		"fig6":      {bench.Fig6Context},
 		"fig7":      {bench.Fig7Context},

@@ -73,6 +73,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) (err erro
 	maxQueue := fs.Int("max-queue", 0, "bounded admission queue (0 = 4×slots); beyond it 429")
 	defaultTimeout := fs.Duration("default-timeout", 0, "per-request deadline when unset (0 = 2s)")
 	maxTimeout := fs.Duration("max-timeout", 0, "clamp on client deadlines (0 = 30s)")
+	workers := fs.Int("workers", 0, "per-solve parallel workers for brute/ilp/mfi-exact (0 = sequential; answers identical either way)")
 	grace := fs.Duration("grace", 5*time.Second, "shutdown grace for in-flight requests")
 	faultSpec := fs.String("fault", "", `fault rules, ";"-separated (e.g. "serve.solve:every=10:panic")`)
 	faultSeed := fs.Int64("fault-seed", 1, "seed for injected delay jitter")
@@ -121,6 +122,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) (err erro
 		MaxQueue:       *maxQueue,
 		DefaultTimeout: *defaultTimeout,
 		MaxTimeout:     *maxTimeout,
+		SolverWorkers:  *workers,
 		Seed:           *seed,
 		Injector:       inj,
 	})

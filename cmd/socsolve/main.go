@@ -34,15 +34,18 @@ import (
 	"standout/internal/obsv"
 )
 
-var solvers = map[string]func() core.Solver{
-	"brute":            func() core.Solver { return core.BruteForce{} },
-	"ip":               func() core.Solver { return core.IP{} },
-	"ilp":              func() core.Solver { return core.ILP{Timeout: 5 * time.Minute} },
-	"mfi":              func() core.Solver { return core.MaxFreqItemSets{} },
-	"mfi-exact":        func() core.Solver { return core.MaxFreqItemSets{Backend: core.BackendExactDFS} },
-	"consumeattr":      func() core.Solver { return core.ConsumeAttr{} },
-	"consumeattrcumul": func() core.Solver { return core.ConsumeAttrCumul{} },
-	"consumequeries":   func() core.Solver { return core.ConsumeQueries{} },
+// solvers construct each algorithm for a worker count. Results never depend
+// on workers — the parallel engines are bit-deterministic (DESIGN.md §11) —
+// and the greedy solvers, too cheap to parallelize, ignore it entirely.
+var solvers = map[string]func(workers int) core.Solver{
+	"brute":            func(w int) core.Solver { return core.BruteForce{Workers: w} },
+	"ip":               func(int) core.Solver { return core.IP{} },
+	"ilp":              func(w int) core.Solver { return core.ILP{Timeout: 5 * time.Minute, Workers: w} },
+	"mfi":              func(int) core.Solver { return core.MaxFreqItemSets{} },
+	"mfi-exact":        func(w int) core.Solver { return core.MaxFreqItemSets{Backend: core.BackendExactDFS, Workers: w} },
+	"consumeattr":      func(int) core.Solver { return core.ConsumeAttr{} },
+	"consumeattrcumul": func(int) core.Solver { return core.ConsumeAttrCumul{} },
+	"consumequeries":   func(int) core.Solver { return core.ConsumeQueries{} },
 }
 
 func main() {
@@ -63,6 +66,7 @@ func run(ctx context.Context, args []string, out io.Writer) (err error) {
 	m := fs.Int("m", 0, "number of attributes to retain")
 	algo := fs.String("algo", "all", "algorithm: "+algoNames()+", or all")
 	prep := fs.Bool("prep", false, "share a prepared-log index across the requested algorithms")
+	workers := fs.Int("workers", 1, "parallel workers per solve for brute/ilp/mfi-exact (results are identical at any count)")
 	var obs obsv.Flags
 	obs.Register(fs)
 	var run obsv.RunFlags // applied per solve: each algorithm gets the full budget
@@ -123,7 +127,7 @@ func run(ctx context.Context, args []string, out io.Writer) (err error) {
 	fmt.Fprintf(out, "workload: %d queries over %d attributes; tuple has %d attributes; m = %d\n\n",
 		log.Size(), log.Width(), tuple.Count(), *m)
 	for _, name := range names {
-		s := solvers[name]()
+		s := solvers[name](*workers)
 		sctx, cancel := run.Context(ctx)
 		start := time.Now()
 		sol, err := s.SolveContext(sctx, in)

@@ -336,7 +336,7 @@ func ablationTextAt(ctx context.Context, cfg Config, adLens []int) Result {
 		if len(ad) <= 20 {
 			start = time.Now()
 			_, sat, err := text.SelectKeywordsContext(
-				ctx, core.MaxFreqItemSets{Backend: core.BackendExactDFS}, queries, ad, m)
+				ctx, core.MaxFreqItemSets{Backend: core.BackendExactDFS, Workers: cfg.Workers}, queries, ad, m)
 			if err == nil {
 				eTime = time.Since(start).Seconds()
 				eSat = float64(sat)
@@ -367,7 +367,7 @@ func AblationIPvsILPContext(ctx context.Context, cfg Config) Result {
 func ablationIPvsILPAt(ctx context.Context, cfg Config, sizes []int) Result {
 	cfg = cfg.withDefaults()
 	ip := core.IP{}
-	ilp := core.ILP{Timeout: cfg.ILPTimeout}
+	ilp := core.ILP{Timeout: cfg.ILPTimeout, Workers: cfg.Workers}
 	res := Result{
 		Name:    "Ablation A7",
 		Title:   "IP (direct branch-and-bound) vs ILP (LP relaxation), synthetic workload, m = 5",

@@ -48,6 +48,12 @@ type Config struct {
 	// accelerator, not a different algorithm — which the golden CLI tests
 	// assert; timing figures measure the indexed path instead.
 	Prepare bool
+	// Workers is the per-solve worker count handed to the parallel-capable
+	// solvers (BruteForce, ILP, exact-DFS MFI) in every experiment; ≤ 1
+	// means sequential. Satisfied-query figures are bit-identical at any
+	// setting (the parallel engines are deterministic, DESIGN.md §11); only
+	// timings move.
+	Workers int
 }
 
 func (c Config) withDefaults() Config {
@@ -273,7 +279,7 @@ func noteInterrupted(ctx context.Context, res *Result) {
 // paperSolvers returns the five §IV algorithms with the configured limits.
 func paperSolvers(cfg Config) []core.Solver {
 	return []core.Solver{
-		core.ILP{Timeout: cfg.ILPTimeout},
+		core.ILP{Timeout: cfg.ILPTimeout, Workers: cfg.Workers},
 		core.MaxFreqItemSets{Backend: core.BackendTwoPhaseWalk, Seed: cfg.Seed},
 		core.ConsumeAttr{},
 		core.ConsumeAttrCumul{},
@@ -497,7 +503,7 @@ func Fig11Context(ctx context.Context, cfg Config) Result {
 
 func fig11At(ctx context.Context, cfg Config, widths []int, logSize int) Result {
 	cfg = cfg.withDefaults()
-	ilpSolver := core.ILP{Timeout: cfg.ILPTimeout}
+	ilpSolver := core.ILP{Timeout: cfg.ILPTimeout, Workers: cfg.Workers}
 	mfiSolver := core.MaxFreqItemSets{Backend: core.BackendTwoPhaseWalk, Seed: cfg.Seed}
 	res := Result{
 		Name:   "Fig 11",

@@ -1,0 +1,189 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"runtime"
+	"time"
+
+	"standout/internal/bitvec"
+	"standout/internal/core"
+	"standout/internal/fault"
+	"standout/internal/gen"
+)
+
+// parallelWorkerCounts are the columns of the Parallel experiment, after the
+// plain sequential-loop baseline.
+var parallelWorkerCounts = []int{1, 2, 4, 8}
+
+// Parallel measures the parallel solving engine: each row is one workload,
+// each column one worker count, plus a "seq" column running the same solves
+// in a plain loop with no scheduler at all (the pre-engine baseline — the
+// 1-worker column is expected to sit within noise of it) and the 8-worker
+// speedup over seq. Solutions are bit-identical across every column; the
+// differential determinism suite in internal/core pins that, so this
+// experiment only reports time.
+//
+// CPU-bound rows can only speed up with real cores (see the host_cpus note
+// emitted with the result). The "batch, 1ms simulated I/O per tuple" row is
+// latency-bound instead — each tuple sleeps through a deterministic injected
+// delay at the core.batch.tuple fault site, standing in for the per-item
+// network or disk stall of a serving deployment — so overlapping the waits
+// speeds it up on any machine, which is the property the row certifies.
+func Parallel(cfg Config) Result { return ParallelContext(context.Background(), cfg) }
+
+// ParallelContext is Parallel under a context; see All for cancellation
+// semantics.
+func ParallelContext(ctx context.Context, cfg Config) Result {
+	cfg = cfg.withDefaults()
+	logSize, ntuples := 4000, 32
+	if cfg.Quick {
+		logSize, ntuples = 1000, 12
+	}
+	tab := gen.Cars(cfg.Seed, cfg.CarsN)
+	log := gen.SyntheticWorkload(tab.Schema, cfg.Seed+1, logSize, gen.WorkloadOptions{})
+	tuples := gen.PickTuples(tab, cfg.Seed+2, ntuples)
+	const m = 4
+
+	res := Result{
+		Name:   "Parallel",
+		Title:  fmt.Sprintf("Parallel engine scaling (%d queries, %d tuples, m = %d)", logSize, ntuples, m),
+		XLabel: "workload", YLabel: "seconds per run",
+		Columns: []string{"seq", "w=1", "w=2", "w=4", "w=8", "speedup@8"},
+		Notes: []string{
+			fmt.Sprintf("host_cpus=%d GOMAXPROCS=%d — CPU-bound rows cannot beat ~1x without real cores; the simulated-I/O row is latency-bound and scales anywhere", runtime.NumCPU(), runtime.GOMAXPROCS(0)),
+			"identical solutions at every worker count (determinism suite, DESIGN.md §11)",
+		},
+	}
+
+	// Each workload provides the sequential-loop baseline and the solve at a
+	// worker count; both return false on error/cancellation (missing cell).
+	type workload struct {
+		label string
+		seq   func(ctx context.Context) bool
+		par   func(ctx context.Context, workers int) bool
+	}
+
+	// The sequential batch baseline replays exactly what one batch worker
+	// does — a fresh prepared index, then one solve per tuple through it —
+	// with no scheduler in the loop. That keeps the seq and w=1 columns
+	// measuring the same work, so their gap is the engine's overhead alone.
+	batchSeq := func(build func(w int) core.Solver, batch []bitvec.Vector) func(context.Context) bool {
+		return func(ctx context.Context) bool {
+			p, err := core.PrepareLogContext(ctx, log)
+			if err != nil {
+				return false
+			}
+			s := build(1)
+			for _, tu := range batch {
+				if _, err := p.SolveContext(ctx, s, tu, m); err != nil {
+					return false
+				}
+			}
+			return true
+		}
+	}
+	batchPar := func(build func(w int) core.Solver, batch []bitvec.Vector) func(context.Context, int) bool {
+		return func(ctx context.Context, w int) bool {
+			_, _, err := core.SolveBatchContext(ctx, build(1), log, batch, m, w)
+			return err == nil
+		}
+	}
+
+	// Single-solve rows parallelize inside one solve instead of across
+	// tuples: a handful of the heaviest instances, solved back to back.
+	heavy := tuples
+	if len(heavy) > 4 {
+		heavy = heavy[:4]
+	}
+	singleSeq := func(build func(w int) core.Solver) func(context.Context) bool {
+		return func(ctx context.Context) bool {
+			s := build(0)
+			for _, tu := range heavy {
+				if _, err := s.SolveContext(ctx, core.Instance{Log: log, Tuple: tu, M: m}); err != nil {
+					return false
+				}
+			}
+			return true
+		}
+	}
+	singlePar := func(build func(w int) core.Solver) func(context.Context, int) bool {
+		return func(ctx context.Context, w int) bool {
+			s := build(w)
+			for _, tu := range heavy {
+				if _, err := s.SolveContext(ctx, core.Instance{Log: log, Tuple: tu, M: m}); err != nil {
+					return false
+				}
+			}
+			return true
+		}
+	}
+
+	greedy := func(int) core.Solver { return core.ConsumeAttrCumul{} }
+	brute := func(w int) core.Solver { return core.BruteForce{Workers: w} }
+	ilp := func(w int) core.Solver { return core.ILP{Timeout: cfg.ILPTimeout, Workers: w} }
+	mfi := func(w int) core.Solver { return core.MaxFreqItemSets{Backend: core.BackendExactDFS, Workers: w} }
+
+	// The latency-bound workload: every tuple solve stalls 1ms at the batch
+	// fault site before the (cheap) greedy solve, like a per-item RPC would.
+	ioCtx := func(parent context.Context) context.Context {
+		inj := fault.New(cfg.Seed, fault.Rule{
+			Site:  "core.batch.tuple",
+			Kind:  fault.KindDelay,
+			Delay: time.Millisecond,
+		})
+		return fault.WithInjector(parent, inj)
+	}
+	ioSeq := func(ctx context.Context) bool {
+		_, _, err := core.SolveBatchContext(ioCtx(ctx), greedy(1), log, tuples, m, 1)
+		return err == nil
+	}
+	ioPar := func(ctx context.Context, w int) bool {
+		_, _, err := core.SolveBatchContext(ioCtx(ctx), greedy(1), log, tuples, m, w)
+		return err == nil
+	}
+
+	// mfi-exact is orders of magnitude heavier per solve than the rest; a
+	// small slice of the batch keeps the row's runtime in line with the
+	// others without changing what it measures.
+	mfiBatch := tuples
+	if len(mfiBatch) > 4 {
+		mfiBatch = mfiBatch[:4]
+	}
+	workloads := []workload{
+		{"batch, greedy (CPU-bound)", batchSeq(greedy, tuples), batchPar(greedy, tuples)},
+		{fmt.Sprintf("batch, mfi-exact ×%d tuples (CPU-bound)", len(mfiBatch)), batchSeq(mfi, mfiBatch), batchPar(mfi, mfiBatch)},
+		{"single solve, bruteforce", singleSeq(brute), singlePar(brute)},
+		{"single solve, ilp", singleSeq(ilp), singlePar(ilp)},
+		{"batch, 1ms simulated I/O per tuple", ioSeq, ioPar},
+	}
+
+	timeRun := func(f func() bool) (float64, bool) {
+		start := time.Now()
+		ok := f()
+		return time.Since(start).Seconds(), ok
+	}
+
+	for _, wl := range workloads {
+		row := Row{X: wl.label, Values: make([]float64, len(res.Columns))}
+		for i := range row.Values {
+			row.Values[i] = Missing
+		}
+		if sec, ok := timeRun(func() bool { return wl.seq(ctx) }); ok {
+			row.Values[0] = sec
+		}
+		for i, w := range parallelWorkerCounts {
+			w := w
+			if sec, ok := timeRun(func() bool { return wl.par(ctx, w) }); ok {
+				row.Values[1+i] = sec
+			}
+		}
+		if seq, w8 := row.Values[0], row.Values[len(parallelWorkerCounts)]; !math.IsNaN(seq) && !math.IsNaN(w8) && w8 > 0 {
+			row.Values[len(res.Columns)-1] = seq / w8
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	noteInterrupted(ctx, &res)
+	return res
+}

@@ -1,0 +1,96 @@
+package bitvec
+
+import (
+	"testing"
+)
+
+// vectorsFromFuzz decodes the fuzz input into a width and two vectors of
+// that width. The first byte picks the width (1..128 — spanning the one-word
+// and multi-word layouts); the rest is split between the two bit patterns.
+func vectorsFromFuzz(data []byte) (Vector, Vector, bool) {
+	if len(data) < 1 {
+		return Vector{}, Vector{}, false
+	}
+	width := 1 + int(data[0])%128
+	data = data[1:]
+	build := func(bits []byte) Vector {
+		v := New(width)
+		for i := 0; i < width; i++ {
+			if i/8 < len(bits) && bits[i/8]&(1<<(i%8)) != 0 {
+				v.Set(i)
+			}
+		}
+		return v
+	}
+	half := len(data) / 2
+	return build(data[:half]), build(data[half:]), true
+}
+
+// FuzzVectorAlgebra checks the boolean-algebra identities the solvers lean
+// on: complement round-trips, subset/domination consistency across the three
+// ways the codebase tests containment (SubsetOf, Dominates, AndNot-empty),
+// and the String parse/print round-trip.
+func FuzzVectorAlgebra(f *testing.F) {
+	f.Add([]byte{6, 0b101101, 0b110100})
+	f.Add([]byte{64, 0xff, 0x00, 0xff, 0x00, 0xff, 0x00, 0xff, 0x00, 0xaa, 0x55, 0xaa, 0x55, 0xaa, 0x55, 0xaa, 0x55})
+	f.Add([]byte{128, 1, 2, 3, 4})
+	f.Add([]byte{1})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		v, u, ok := vectorsFromFuzz(data)
+		if !ok {
+			return
+		}
+		width := v.Width()
+
+		// Complement round-trips.
+		if !v.Not().Not().Equal(v) {
+			t.Fatalf("double complement of %s is %s", v, v.Not().Not())
+		}
+		if n := v.And(v.Not()).Count(); n != 0 {
+			t.Fatalf("v AND NOT v has %d ones", n)
+		}
+		if n := v.Or(v.Not()).Count(); n != width {
+			t.Fatalf("v OR NOT v has %d ones, width %d", n, width)
+		}
+		if v.Count()+v.Not().Count() != width {
+			t.Fatalf("|v| + |¬v| = %d + %d ≠ width %d", v.Count(), v.Not().Count(), width)
+		}
+
+		// The three containment formulations must agree.
+		bySubset := v.SubsetOf(u)
+		byDominates := u.Dominates(v)
+		byAndNot := v.AndNot(u).Count() == 0
+		if bySubset != byDominates || bySubset != byAndNot {
+			t.Fatalf("containment disagrees for v=%s u=%s: SubsetOf=%t Dominates=%t AndNot=%t",
+				v, u, bySubset, byDominates, byAndNot)
+		}
+
+		// Meet and join bracket both operands.
+		meet, join := v.And(u), v.Or(u)
+		if !meet.SubsetOf(v) || !meet.SubsetOf(u) {
+			t.Fatalf("v AND u = %s not below both operands", meet)
+		}
+		if !v.SubsetOf(join) || !u.SubsetOf(join) {
+			t.Fatalf("v OR u = %s not above both operands", join)
+		}
+		if meet.Count()+join.Count() != v.Count()+u.Count() {
+			t.Fatalf("inclusion–exclusion broken: |meet|+|join| = %d+%d, |v|+|u| = %d+%d",
+				meet.Count(), join.Count(), v.Count(), u.Count())
+		}
+		if got := v.CountAnd(u); got != meet.Count() {
+			t.Fatalf("CountAnd = %d, And().Count() = %d", got, meet.Count())
+		}
+
+		// String round-trip: parse(print(v)) == v, and Key agrees with Equal.
+		back, err := FromString(v.String())
+		if err != nil {
+			t.Fatalf("FromString(%q): %v", v.String(), err)
+		}
+		if !back.Equal(v) {
+			t.Fatalf("round-trip %s -> %s", v, back)
+		}
+		if (v.Key() == u.Key()) != v.Equal(u) {
+			t.Fatalf("Key equality disagrees with Equal for %s vs %s", v, u)
+		}
+	})
+}

@@ -5,14 +5,13 @@ import (
 	"fmt"
 	"log/slog"
 	"runtime"
-	"sync"
-	"sync/atomic"
 	"time"
 
 	"standout/internal/bitvec"
 	"standout/internal/dataset"
 	"standout/internal/fault"
 	"standout/internal/obsv"
+	"standout/internal/par"
 )
 
 // BatchError records which tuple of a batch failed and why. It is the error
@@ -75,17 +74,28 @@ func SolveBatch(s Solver, log *dataset.QueryLog, tuples []bitvec.Vector, m, work
 // the shared bitmap index under an "index.build" span on the batch trace —
 // and every worker solves through it, memoizing solutions for repeated
 // tuples. A context-attached PreparedLog for a different log is ignored.
+//
+// Scheduling runs on the work-stealing engine of internal/par: tuples start
+// evenly range-split across workers and idle workers steal from the busiest
+// range, so one pathologically slow tuple cannot strand the cheap tuples
+// queued behind it. Results are written by tuple index, so the schedule is
+// invisible in the output (DESIGN.md §11). The batch is normalized before
+// any worker sizing: an empty batch returns before the scheduler is even
+// constructed, and a single-tuple or single-worker batch runs entirely on
+// the calling goroutine — zero goroutines spawned either way.
 func SolveBatchContext(ctx context.Context, s Solver, log *dataset.QueryLog, tuples []bitvec.Vector, m, workers int) ([]Solution, []error, error) {
+	// Normalize the batch shape first; worker sizing comes after, so a batch
+	// with nothing to do never consults the scheduler at all.
+	out := make([]Solution, len(tuples))
+	errs := make([]error, len(tuples))
+	if len(tuples) == 0 {
+		return out, errs, ctx.Err()
+	}
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
 	if workers > len(tuples) {
 		workers = len(tuples)
-	}
-	out := make([]Solution, len(tuples))
-	errs := make([]error, len(tuples))
-	if len(tuples) == 0 {
-		return out, errs, ctx.Err()
 	}
 
 	pl := preparedFromContext(ctx)
@@ -100,11 +110,8 @@ func SolveBatchContext(ctx context.Context, s Solver, log *dataset.QueryLog, tup
 		}
 	}
 
-	bctx, cancel := context.WithCancel(ctx)
-	defer cancel()
-
 	// Batch-level observability: a shared "batch" span, per-tuple queue-wait
-	// samples (time from batch start to a worker dequeuing the index), and
+	// samples (time from batch start to a worker claiming the index), and
 	// per-tuple outcome counters. The trace is shared by every worker — Trace
 	// is concurrency-safe — so each tuple's solver phases aggregate into one
 	// batch-wide breakdown.
@@ -112,88 +119,62 @@ func SolveBatchContext(ctx context.Context, s Solver, log *dataset.QueryLog, tup
 	batchSpan := tr.StartSpan("batch")
 	t0 := time.Now()
 	tr.Count("batch.tuples", int64(len(tuples)))
-	var solved, failed, skipped atomic.Int64
 
-	var (
-		wg         sync.WaitGroup
-		errOnce    sync.Once
-		firstErr   error
-		next       = make(chan int)
-		dispatched int
-	)
-	fail := func(i int, err error) {
-		errs[i] = err
-		errOnce.Do(func() {
-			firstErr = &BatchError{Index: i, Err: err}
-			cancel() // first failure stops the producer and in-flight solves
-		})
-	}
-	// solveOne isolates one tuple's solve behind a panic boundary: a solver
-	// panic (a malformed tuple tripping a bitvec width check, an injected
-	// chaos panic) becomes a *PanicError attributed to that tuple through the
-	// normal *BatchError path instead of taking down the whole batch — and
-	// the process with it.
-	solveOne := func(i int) (sol Solution, err error) {
-		defer RecoverPanic(&err)
+	res := par.Run(ctx, len(tuples), par.Options{
+		Workers: workers,
+		// A solver panic (a malformed tuple tripping a bitvec width check, an
+		// injected chaos panic) becomes a *PanicError attributed to its tuple
+		// through the normal *BatchError path instead of taking down the
+		// whole batch — and the process with it.
+		WrapPanic: wrapBatchPanic,
+	}, func(bctx context.Context, i int) error {
+		wait := time.Since(t0)
+		mBatchQueueWait.Observe(wait.Seconds())
+		tr.Count("batch.queue_wait_ns", wait.Nanoseconds())
 		if ferr := fault.Hit(bctx, "core.batch.tuple"); ferr != nil {
-			return Solution{}, ferr
+			return ferr
 		}
+		var sol Solution
+		var err error
 		if pl != nil {
-			return pl.SolveContext(bctx, s, tuples[i], m)
+			sol, err = pl.SolveContext(bctx, s, tuples[i], m)
+		} else {
+			sol, err = s.SolveContext(bctx, Instance{Log: log, Tuple: tuples[i], M: m})
 		}
-		return s.SolveContext(bctx, Instance{Log: log, Tuple: tuples[i], M: m})
-	}
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range next {
-				wait := time.Since(t0)
-				mBatchQueueWait.Observe(wait.Seconds())
-				tr.Count("batch.queue_wait_ns", wait.Nanoseconds())
-				// Between dequeue and solve the batch may have been cancelled;
-				// skip rather than start work that is doomed to be interrupted.
-				if bctx.Err() != nil {
-					skipped.Add(1)
-					continue
-				}
-				sol, err := solveOne(i)
-				if err != nil {
-					failed.Add(1)
-					fail(i, err)
-					continue
-				}
-				solved.Add(1)
-				out[i] = sol
-			}
-		}()
-	}
-	// The producer competes sends against cancellation so it can never block
-	// on workers that have stopped receiving.
-producer:
-	for i := range tuples {
-		select {
-		case next <- i:
-			dispatched++
-		case <-bctx.Done():
-			break producer
+		if err != nil {
+			return err
 		}
-	}
-	close(next)
-	wg.Wait()
+		out[i] = sol
+		return nil
+	})
+	copy(errs, res.Errs)
 
-	skipped.Add(int64(len(tuples) - dispatched)) // never handed to a worker
+	var firstErr error
+	failed := 0
+	for _, err := range errs {
+		if err != nil {
+			failed++
+		}
+	}
+	if res.First != nil {
+		firstErr = &BatchError{Index: res.First.Index, Err: res.First.Err}
+	}
+	solved := res.Attempted - failed
+	skipped := len(tuples) - res.Attempted
+
 	batchSpan.End()
-	tr.Count("batch.solved", solved.Load())
-	tr.Count("batch.failed", failed.Load())
-	tr.Count("batch.skipped", skipped.Load())
+	tr.Count("batch.solved", int64(solved))
+	tr.Count("batch.failed", int64(failed))
+	tr.Count("batch.skipped", int64(skipped))
+	tr.Count("batch.steals", res.Steals)
 	if lg := obsv.Logger(ctx); lg != nil {
 		lg.LogAttrs(ctx, slog.LevelInfo, "batch.finish",
 			slog.String("solver", s.Name()),
 			slog.Int("tuples", len(tuples)),
-			slog.Int64("solved", solved.Load()),
-			slog.Int64("failed", failed.Load()),
-			slog.Int64("skipped", skipped.Load()),
+			slog.Int("solved", solved),
+			slog.Int("failed", failed),
+			slog.Int("skipped", skipped),
+			slog.Int64("steals", res.Steals),
 			slog.Duration("elapsed", time.Since(t0)))
 	}
 
@@ -202,6 +183,14 @@ producer:
 		return out, errs, err
 	}
 	return out, errs, firstErr
+}
+
+// wrapBatchPanic is the par.Options.WrapPanic hook of batch solving: it
+// converts a recovered worker panic into the package's *PanicError, keeping
+// the panic-counter metric accurate.
+func wrapBatchPanic(v any, stack []byte) error {
+	mSolvePanics.Add(1)
+	return &PanicError{Value: v, Stack: stack}
 }
 
 // PreparedSolver adapts MaxFreqItemSets preprocessing state to the Solver

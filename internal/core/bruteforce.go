@@ -3,15 +3,26 @@ package core
 import (
 	"context"
 	"fmt"
+	"sync"
 
 	"standout/internal/obsv"
+	"standout/internal/par"
 )
 
 // BruteForce is the optimal baseline of §IV.A: it enumerates every
 // combination of m attributes of the new tuple and keeps the best. Its cost
 // is C(|t|, m) query-log scans, which is only viable for small tuples; it is
 // the ground truth against which every other solver is tested.
-type BruteForce struct{}
+type BruteForce struct {
+	// Workers parallelizes the enumeration by sharding the candidate space on
+	// its leading combination elements; ≤ 1 (the zero value) enumerates
+	// sequentially. Any worker count returns results bit-identical to the
+	// sequential enumeration: shards are merged in lexicographic shard order
+	// under the same strict-improvement rule the sequential loop uses, so the
+	// winner is the first candidate in lexicographic order achieving the
+	// maximum either way (DESIGN.md §11).
+	Workers int
+}
 
 // Name implements Solver.
 func (BruteForce) Name() string { return "BruteForce-SOC-CB-QL" }
@@ -30,7 +41,19 @@ func (s BruteForce) SolveContext(ctx context.Context, in Instance) (Solution, er
 	return obs.end(ctx, sol, err)
 }
 
-func (BruteForce) solve(ctx context.Context, in Instance, tr *obsv.Trace) (Solution, error) {
+// bfShard enumerates the m-combinations of n.ones sharing one fixed
+// lexicographic prefix (indices into n.ones), tracking the shard's
+// first-maximum candidate.
+type bfShard struct {
+	prefix [2]int // comb[0] (and comb[1] when m ≥ 2), as indices into ones
+	plen   int
+
+	best       Solution
+	found      bool
+	candidates int
+}
+
+func (s BruteForce) solve(ctx context.Context, in Instance, tr *obsv.Trace) (Solution, error) {
 	if err := ctx.Err(); err != nil {
 		return Solution{}, fmt.Errorf("core: brute force: %w", err)
 	}
@@ -41,15 +64,65 @@ func (BruteForce) solve(ctx context.Context, in Instance, tr *obsv.Trace) (Solut
 	if n.exact {
 		return n.full(), nil
 	}
+	if n.m == 0 {
+		// The empty compression is the only candidate.
+		kept := n.keep(nil)
+		sol := Solution{Kept: kept, Satisfied: n.score(kept), Optimal: true}
+		sol.Stats.Candidates = 1
+		tr.Count("bruteforce.candidates", 1)
+		return sol, nil
+	}
 
-	best := Solution{Optimal: true}
+	// Shard the combination space on its leading elements: one shard per
+	// feasible comb[0] (m == 1) or (comb[0], comb[1]) pair (m ≥ 2). Shards
+	// are generated — and later merged — in lexicographic order, which is
+	// exactly the order the sequential recursion visits them.
+	var shards []bfShard
+	if s.Workers > 1 {
+		if n.m == 1 {
+			for i := 0; i <= len(n.ones)-1; i++ {
+				shards = append(shards, bfShard{prefix: [2]int{i}, plen: 1})
+			}
+		} else {
+			for i := 0; i <= len(n.ones)-n.m; i++ {
+				for j := i + 1; j <= len(n.ones)-(n.m-1); j++ {
+					shards = append(shards, bfShard{prefix: [2]int{i, j}, plen: 2})
+				}
+			}
+		}
+	}
+
+	sp := tr.StartSpan("enumerate")
+	var best Solution
+	var candidates int
+	if len(shards) < 2 {
+		best, candidates, err = s.enumerate(ctx, n, bfShard{})
+	} else {
+		best, candidates, err = s.enumerateSharded(ctx, n, shards)
+	}
+	sp.End()
+	tr.Count("bruteforce.candidates", int64(candidates))
+	if err != nil {
+		return Solution{}, fmt.Errorf("core: brute force: %w", err)
+	}
+	best.Optimal = true
+	best.Stats.Candidates = candidates
+	return best, nil
+}
+
+// enumerate walks the m-combinations of n.ones in lexicographic order —
+// restricted to sh's prefix when sh.plen > 0 — and returns the first-maximum
+// candidate plus the number of candidates scored. It owns its comb/attrs
+// buffers and must be given a normalized with unshared scoring scratch when
+// called concurrently (see normalized.shard).
+func (BruteForce) enumerate(ctx context.Context, n normalized, sh bfShard) (Solution, int, error) {
+	best := Solution{}
 	first := true
 	comb := make([]int, n.m)
 	attrs := make([]int, n.m)
 	candidates := 0
 	var ctxErr error
 
-	// Enumerate m-combinations of n.ones in lexicographic order.
 	var rec func(start, depth int)
 	rec = func(start, depth int) {
 		if ctxErr != nil {
@@ -79,21 +152,62 @@ func (BruteForce) solve(ctx context.Context, in Instance, tr *obsv.Trace) (Solut
 			rec(i+1, depth+1)
 		}
 	}
-	sp := tr.StartSpan("enumerate")
-	rec(0, 0)
-	sp.End()
-	tr.Count("bruteforce.candidates", int64(candidates))
+	start := 0
+	for d := 0; d < sh.plen; d++ {
+		comb[d] = sh.prefix[d]
+		start = sh.prefix[d] + 1
+	}
+	rec(start, sh.plen)
 	if ctxErr != nil {
-		return Solution{}, fmt.Errorf("core: brute force: %w", ctxErr)
+		return Solution{}, candidates, ctxErr
 	}
+	return best, candidates, nil
+}
 
-	if first { // m == 0: the empty compression is the only candidate
-		kept := n.keep(nil)
-		best.Kept = kept
-		best.Satisfied = n.score(kept)
-		candidates++
-		tr.Count("bruteforce.candidates", 1)
+// enumerateSharded fans the prefix shards over internal/par workers, then
+// folds the shard-local bests in lexicographic shard order with the same
+// strict-improvement rule the sequential loop applies per candidate — an
+// exact reconstruction of the sequential first-maximum winner.
+func (s BruteForce) enumerateSharded(ctx context.Context, n normalized, shards []bfShard) (Solution, int, error) {
+	workers := s.Workers
+	if workers > len(shards) {
+		workers = len(shards)
 	}
-	best.Stats.Candidates = candidates
-	return best, nil
+	// Per-goroutine scoring scratch: normalized.score writes into shared
+	// buffers on the indexed path, so each concurrent shard scores through
+	// its own copy, pooled so a worker reuses one across its shards.
+	scratch := sync.Pool{New: func() any {
+		sc := n.shard()
+		return &sc
+	}}
+	res := par.Run(ctx, len(shards), par.Options{Workers: workers}, func(ctx context.Context, i int) error {
+		sh := &shards[i]
+		sc := scratch.Get().(*normalized)
+		defer scratch.Put(sc)
+		best, cands, err := s.enumerate(ctx, *sc, *sh)
+		if err != nil {
+			return err
+		}
+		sh.best = best
+		sh.found = true
+		sh.candidates = cands
+		return nil
+	})
+	if res.First != nil {
+		return Solution{}, 0, res.First.Err
+	}
+	var best Solution
+	first := true
+	candidates := 0
+	for _, sh := range shards {
+		candidates += sh.candidates
+		if !sh.found {
+			continue
+		}
+		if first || sh.best.Satisfied > best.Satisfied {
+			best = sh.best
+			first = false
+		}
+	}
+	return best, candidates, nil
 }

@@ -43,6 +43,11 @@ type ILP struct {
 	// branch-fixed variables shrinks deep-node LPs, but the per-node program
 	// rebuild costs more than it saves on small instances; off by default.
 	Presolve bool
+	// Workers parallelizes the branch-and-bound search with speculative LP
+	// workers; ≤ 1 (the zero value) searches sequentially. Results are
+	// bit-identical for any worker count (see ilp.Options.Workers and
+	// DESIGN.md §11).
+	Workers int
 }
 
 // Name implements Solver.
@@ -132,6 +137,7 @@ func (s ILP) solve(ctx context.Context, in Instance, tr *obsv.Trace) (Solution, 
 		ObjIntegral: true,
 		Heuristic:   heuristic,
 		LP:          lp.Options{Presolve: s.Presolve},
+		Workers:     s.Workers,
 	})
 	bnbSpan.End()
 	tr.Count("ilp.nodes", int64(res.Nodes))

@@ -190,6 +190,19 @@ func normalize(ctx context.Context, in Instance) (normalized, error) {
 	return n, nil
 }
 
+// shard returns a copy of n with independent scoring workspaces (scratch
+// bitmap and drop buffer), for parallel enumeration: score mutates those
+// buffers, so concurrent shards must not share them. Everything else — the
+// restricted log, the index, the candidate bitmap — is read-only after
+// normalize and stays shared.
+func (n normalized) shard() normalized {
+	if n.idx != nil {
+		n.scratch = make(index.Bitmap, n.idx.Words())
+		n.dropbuf = make([]int, 0, len(n.ones))
+	}
+	return n
+}
+
 // full returns the trivial solution that keeps the entire tuple.
 func (n normalized) full() Solution {
 	kept := n.in.Tuple.Clone()

@@ -65,6 +65,13 @@ type MaxFreqItemSets struct {
 	// Seed drives the walk RNG when Walk.Rng is nil; two solves with the same
 	// seed are identical.
 	Seed int64
+	// Workers parallelizes the mining of the exact-DFS backend (the DFS
+	// root's branches fan out over internal/par); ≤ 1 mines sequentially.
+	// Results are bit-identical for any worker count: the mined maximal-set
+	// list is canonicalized to a total order either way (DESIGN.md §11). The
+	// walk backends ignore Workers — a walk consumes one shared RNG stream,
+	// which parallel consumption would reorder, changing results.
+	Workers int
 }
 
 // Name implements Solver.
@@ -227,7 +234,7 @@ func (s MaxFreqItemSets) solveCore(ctx context.Context, n normalized, prep *Prep
 		defer sp.End()
 		switch s.Backend {
 		case BackendExactDFS:
-			return miner.MaximalDFSContext(ctx, thr)
+			return miner.MaximalDFSParallelContext(ctx, thr, s.Workers)
 		case BackendBottomUpWalk:
 			return miner.MaximalRandomWalkBottomUpContext(ctx, thr, s.walkOpts())
 		default:
@@ -426,7 +433,11 @@ func (s MaxFreqItemSets) bestAtLevel(ctx context.Context, n normalized, mfis []i
 		}
 		cands = append(cands, cand{required: required, pool: poolVec.Ones(), need: need, ub: ub})
 	}
-	sort.Slice(cands, func(a, b int) bool { return cands[a].ub > cands[b].ub })
+	// Stable on ub ties, so the search order — and with it the first-maximum
+	// tie-break — is a pure function of the mined list's canonical order, not
+	// of sorting internals (the determinism contract of DESIGN.md §11 rests
+	// on this).
+	sort.SliceStable(cands, func(a, b int) bool { return cands[a].ub > cands[b].ub })
 
 	best := Solution{}
 	found := false

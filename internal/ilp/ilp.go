@@ -87,6 +87,15 @@ type Options struct {
 	Heuristic Heuristic
 	// LP tunes the underlying simplex solves.
 	LP lp.Options
+	// Workers parallelizes the search with Workers−1 speculative LP solvers
+	// (≤ 1, the zero value, searches sequentially). The coordinator replays
+	// the exact sequential best-first trajectory — every heap decision,
+	// incumbent update and node count is unchanged — while the extra workers
+	// pre-solve the LP relaxations of open nodes on private problem clones.
+	// A node's relaxation depends only on its branch chain, never on when it
+	// is solved, so the Result is bit-identical to the sequential one for
+	// any worker count (DESIGN.md §11); only wall-clock time changes.
+	Workers int
 }
 
 // ErrBadIntVar is returned when an integer variable index is out of range.
@@ -98,7 +107,24 @@ type node struct {
 	lo, up float64 // bound override for branch
 	bound  float64 // parent LP score (internal maximization form)
 	depth  int
+
+	// Speculation slot, guarded by the speculator mutex (untouched on
+	// sequential runs): a worker claims an open node, solves its LP
+	// relaxation on a private clone and parks the outcome here for the
+	// coordinator to consume when — if ever — the node is expanded.
+	state lpState
+	res   lp.Result
+	err   error
 }
+
+// lpState is the lifecycle of a node's speculative LP solve.
+type lpState int32
+
+const (
+	lpIdle    lpState = iota // no one is solving this node's relaxation
+	lpClaimed                // a worker (or the coordinator) is solving it
+	lpDone                   // res/err hold the outcome
+)
 
 // bestFirst is a max-heap of open nodes keyed on bound.
 type bestFirst []*node
@@ -184,6 +210,23 @@ type search struct {
 	hasIncumbent bool
 	nodes        int
 	pruned       int // subtrees cut by bound or LP infeasibility
+
+	spec *speculator // nil on sequential runs
+}
+
+// lockSpec/unlockSpec guard state shared with speculative workers — the open
+// heap, node speculation slots, the incumbent score. They are no-ops on
+// sequential runs, keeping the default path free of synchronization.
+func (s *search) lockSpec() {
+	if s.spec != nil {
+		s.spec.mu.Lock()
+	}
+}
+
+func (s *search) unlockSpec() {
+	if s.spec != nil {
+		s.spec.mu.Unlock()
+	}
 }
 
 // score converts an objective in the problem's sense to internal
@@ -228,9 +271,20 @@ func (s *search) run() (Result, error) {
 		return res
 	}
 
-	for open.Len() > 0 {
+	if s.opts.Workers > 1 {
+		s.spec = newSpeculator(s, open)
+		defer s.spec.stop()
+	}
+
+	for {
+		s.lockSpec()
+		if open.Len() == 0 {
+			s.unlockSpec()
+			break
+		}
 		// Best-first: the top node carries the global best bound.
 		top := (*open)[0]
+		s.unlockSpec()
 		if s.hasIncumbent && !s.improves(top.bound) {
 			return finish(StatusOptimal, top.bound), nil
 		}
@@ -240,11 +294,12 @@ func (s *search) run() (Result, error) {
 		if s.nodes >= s.opts.MaxNodes {
 			return finish(StatusLimit, top.bound), nil
 		}
+		s.lockSpec()
 		heap.Pop(open)
+		s.unlockSpec()
 		s.nodes++
 
-		s.applyBounds(top)
-		res, err := s.prob.SolveContext(s.ctx, s.opts.LP)
+		res, err := s.solveNode(top)
 		if err != nil {
 			if cerr := s.ctx.Err(); cerr != nil {
 				// The LP was interrupted mid-solve; surface the incumbent with
@@ -292,8 +347,13 @@ func (s *search) run() (Result, error) {
 			bound: nodeScore, depth: top.depth + 1}
 		upn := &node{parent: top, branch: frac, lo: math.Ceil(x), up: s.baseBoundsUp(frac),
 			bound: nodeScore, depth: top.depth + 1}
+		s.lockSpec()
 		heap.Push(open, down)
 		heap.Push(open, upn)
+		s.unlockSpec()
+		if s.spec != nil {
+			s.spec.cond.Broadcast() // fresh speculation targets
+		}
 	}
 
 	if s.hasIncumbent {
@@ -313,22 +373,62 @@ func (s *search) improves(bound float64) bool {
 
 func (s *search) offerIncumbent(sol []float64, score float64) {
 	if !s.hasIncumbent || score > s.incScore+1e-9 {
+		// The coordinator is the only writer; the lock publishes the score to
+		// speculative workers, which read it to skip doomed speculation.
+		s.lockSpec()
 		s.incumbent = sol
 		s.incScore = score
 		s.hasIncumbent = true
+		s.unlockSpec()
 		s.tr.Event("ilp.incumbent", int64(math.Round(s.unscore(score))))
 	}
 }
 
+// solveNode produces the node's LP relaxation result: from the speculation
+// slot when a worker already solved (or is solving) it, inline on the
+// coordinator's problem otherwise. Either way the outcome is the same — the
+// relaxation is a pure function of the node's branch chain — so speculation
+// is invisible in everything but latency.
+func (s *search) solveNode(nd *node) (lp.Result, error) {
+	if s.spec == nil {
+		applyBoundsTo(s.prob, s.baseLo, s.baseUp, nd)
+		return s.prob.SolveContext(s.ctx, s.opts.LP)
+	}
+	sp := s.spec
+	sp.mu.Lock()
+	for nd.state == lpClaimed {
+		sp.cond.Wait() // a worker is mid-solve; its publish wakes us
+	}
+	if nd.state == lpDone {
+		res, err := nd.res, nd.err
+		sp.mu.Unlock()
+		return res, err
+	}
+	nd.state = lpClaimed // bar workers from duplicating the inline solve
+	sp.mu.Unlock()
+	applyBoundsTo(s.prob, s.baseLo, s.baseUp, nd)
+	res, err := s.prob.SolveContext(s.ctx, s.opts.LP)
+	sp.mu.Lock()
+	nd.res, nd.err, nd.state = res, err, lpDone
+	sp.mu.Unlock()
+	return res, err
+}
+
 // applyBounds resets the problem bounds to base and applies the node chain.
 func (s *search) applyBounds(n *node) {
-	for j := range s.baseLo {
-		s.prob.SetBounds(j, s.baseLo[j], s.baseUp[j])
+	applyBoundsTo(s.prob, s.baseLo, s.baseUp, n)
+}
+
+// applyBoundsTo resets prob's bounds to base and applies the node chain;
+// shared by the coordinator and the speculative workers' private clones.
+func applyBoundsTo(prob *lp.Problem, baseLo, baseUp []float64, n *node) {
+	for j := range baseLo {
+		prob.SetBounds(j, baseLo[j], baseUp[j])
 	}
 	for cur := n; cur != nil && cur.branch >= 0; cur = cur.parent {
-		lo, up := s.prob.Bounds(cur.branch)
+		lo, up := prob.Bounds(cur.branch)
 		// Intersect: deeper overrides tighten, ancestors must not loosen.
-		s.prob.SetBounds(cur.branch, math.Max(lo, cur.lo), math.Min(up, cur.up))
+		prob.SetBounds(cur.branch, math.Max(lo, cur.lo), math.Min(up, cur.up))
 	}
 }
 

@@ -1,0 +1,117 @@
+package ilp
+
+import (
+	"context"
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// TestParallelBitIdentical is the package-level determinism proof for
+// speculative parallel branch-and-bound: for every worker count the full
+// Result — status, objective, incumbent vector, node count, gap — must equal
+// the sequential one exactly. Solve clones the base problem, so one problem
+// serves every run.
+func TestParallelBitIdentical(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	instances := 40
+	if testing.Short() {
+		instances = 8
+	}
+	for i := 0; i < instances; i++ {
+		p, ints := randomKnapsack(r, 8+r.Intn(6))
+		opts := Options{ObjIntegral: i%2 == 0}
+		seq, seqErr := Solve(p, ints, opts)
+		if seqErr != nil {
+			t.Fatalf("instance %d: sequential: %v", i, seqErr)
+		}
+		for _, w := range []int{2, 4, 8} {
+			opts.Workers = w
+			got, err := Solve(p, ints, opts)
+			if err != nil {
+				t.Fatalf("instance %d workers=%d: %v", i, w, err)
+			}
+			if !reflect.DeepEqual(got, seq) {
+				t.Fatalf("instance %d workers=%d: result diverged\nseq: %+v\npar: %+v", i, w, got, seq)
+			}
+		}
+	}
+}
+
+// TestParallelNodeLimitIdentical checks that the node limit cuts the parallel
+// search at exactly the same trajectory point as the sequential one — the
+// strongest evidence that speculation does not perturb the search order.
+func TestParallelNodeLimitIdentical(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	p, ints := randomKnapsack(r, 14)
+	for _, limit := range []int{1, 3, 7, 20} {
+		seq, seqErr := Solve(p, ints, Options{MaxNodes: limit, ObjIntegral: true})
+		par, parErr := Solve(p, ints, Options{MaxNodes: limit, ObjIntegral: true, Workers: 4})
+		if (seqErr == nil) != (parErr == nil) {
+			t.Fatalf("limit %d: error mismatch: seq=%v par=%v", limit, seqErr, parErr)
+		}
+		if !reflect.DeepEqual(par, seq) {
+			t.Fatalf("limit %d: result diverged\nseq: %+v\npar: %+v", limit, seq, par)
+		}
+	}
+}
+
+// TestParallelCancellation verifies a cancelled parallel solve returns the
+// context error and leaves no workers behind (the race detector and
+// goroutine-leak-sensitive -count runs would catch a stuck speculator).
+func TestParallelCancellation(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	p, ints := randomKnapsack(r, 16)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := SolveContext(ctx, p, ints, Options{Workers: 4})
+	if err == nil {
+		t.Fatalf("want context error, got result %+v", res)
+	}
+	if res.Status != StatusLimit {
+		t.Fatalf("status = %v, want %v", res.Status, StatusLimit)
+	}
+}
+
+// TestParallelHeuristicIdentical exercises the incumbent-publication path:
+// heuristics update the incumbent mid-search, which workers observe for
+// speculation pruning; the result must still match sequentially.
+func TestParallelHeuristicIdentical(t *testing.T) {
+	r := rand.New(rand.NewSource(19))
+	p, ints := randomKnapsack(r, 12)
+	// Round down: keep only variables the LP already set to (essentially) 1.
+	// The LP point satisfies the knapsack constraint and zeroing fractional
+	// variables only sheds weight, so the candidate is always feasible.
+	h := func(x []float64) ([]float64, float64, bool) {
+		sol := make([]float64, len(x))
+		obj := 0.0
+		for j := range x {
+			if x[j] > 0.999 {
+				sol[j] = 1
+				obj += p.ObjCoeff(j)
+			}
+		}
+		return sol, obj, true
+	}
+	seq, seqErr := Solve(p, ints, Options{Heuristic: h, ObjIntegral: true})
+	par, parErr := Solve(p, ints, Options{Heuristic: h, ObjIntegral: true, Workers: 4})
+	if (seqErr == nil) != (parErr == nil) {
+		t.Fatalf("error mismatch: seq=%v par=%v", seqErr, parErr)
+	}
+	if !reflect.DeepEqual(par, seq) {
+		t.Fatalf("result diverged\nseq: %+v\npar: %+v", seq, par)
+	}
+}
+
+func TestParallelWorkersOneIsSequential(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	p, ints := randomKnapsack(r, 10)
+	a, errA := Solve(p, ints, Options{Workers: 1})
+	b, errB := Solve(p, ints, Options{})
+	if errA != nil || errB != nil {
+		t.Fatalf("errors: %v %v", errA, errB)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("Workers=1 diverged from zero value:\n%+v\n%+v", a, b)
+	}
+}

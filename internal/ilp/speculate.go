@@ -1,0 +1,135 @@
+package ilp
+
+import (
+	"context"
+	"sync"
+
+	"standout/internal/lp"
+	"standout/internal/obsv"
+)
+
+// speculator runs Options.Workers−1 background goroutines that pre-solve the
+// LP relaxations of open branch-and-bound nodes while the coordinator is busy
+// with the current node.
+//
+// Why this parallelization — and not, say, sharing the heap — keeps results
+// bit-identical: a node's LP relaxation depends only on its branch chain
+// (bounds applied over the base problem), never on when or where it is
+// solved, and package lp builds a fresh deterministic simplex per solve. So
+// workers may solve any open node at any time on a private clone without
+// changing what the coordinator sees. Every observable decision — which node
+// is expanded next, pruning, branching variable, incumbent updates, the node
+// count — stays on the coordinator, which replays the exact sequential
+// trajectory and merely finds some LP answers already waiting. The node
+// limit, status and gap reporting are therefore unchanged for any worker
+// count; the only things that vary are wall-clock time and the trace's
+// lp.solves count (abandoned speculation is real work).
+//
+// Shared state (heap array, node speculation slots, incumbent score) is
+// guarded by mu; workers never mutate the heap or the incumbent.
+type speculator struct {
+	s    *search
+	open *bestFirst
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	stopped bool
+
+	ctx    context.Context
+	cancel context.CancelFunc
+	wg     sync.WaitGroup
+
+	speculated int64 // worker LP solves started (useful or not)
+}
+
+// specScan bounds how deep into the heap array workers look for speculation
+// targets. The array prefix holds the best-bound nodes — the ones the
+// coordinator will pop soonest — so scanning further buys little and costs a
+// linear walk under the lock.
+const specScan = 64
+
+func newSpeculator(s *search, open *bestFirst) *speculator {
+	sp := &speculator{s: s, open: open}
+	sp.cond = sync.NewCond(&sp.mu)
+	sp.ctx, sp.cancel = context.WithCancel(s.ctx)
+	// Clone the problems on the coordinator goroutine, before it starts
+	// mutating bounds for node solves — Clone racing SetBounds would be a
+	// data race. Only bounds ever change between solves, and every solve
+	// rewrites all of them via applyBoundsTo, so clones never go stale.
+	workers := s.opts.Workers - 1
+	for w := 0; w < workers; w++ {
+		prob := s.prob.Clone()
+		sp.wg.Add(1)
+		go sp.worker(prob)
+	}
+	return sp
+}
+
+// stop retires the workers: in-flight LP solves are interrupted through the
+// speculation context (package lp polls it every simplex iteration), so stop
+// returns promptly even mid-solve.
+func (sp *speculator) stop() {
+	sp.mu.Lock()
+	sp.stopped = true
+	sp.mu.Unlock()
+	sp.cancel()
+	sp.cond.Broadcast()
+	sp.wg.Wait()
+	obsv.FromContext(sp.s.ctx).Count("ilp.speculated", sp.speculated)
+}
+
+// pickLocked selects an open node worth speculating on: unclaimed and, when
+// an incumbent exists, with a bound that can still matter. Called with mu
+// held. The scan prefers the front of the heap array — best bounds first.
+func (sp *speculator) pickLocked() *node {
+	h := *sp.open
+	limit := len(h)
+	if limit > specScan {
+		limit = specScan
+	}
+	for i := 0; i < limit; i++ {
+		nd := h[i]
+		if nd.state != lpIdle {
+			continue
+		}
+		if sp.s.hasIncumbent && !sp.s.improves(nd.bound) {
+			// The coordinator will prune or terminate before expanding this
+			// node; solving its LP would be pure waste. Skipping reads the
+			// incumbent under mu and cannot affect results — the coordinator
+			// solves inline whatever was not speculated.
+			continue
+		}
+		return nd
+	}
+	return nil
+}
+
+func (sp *speculator) worker(prob *lp.Problem) {
+	defer sp.wg.Done()
+	for {
+		sp.mu.Lock()
+		var nd *node
+		for {
+			if sp.stopped {
+				sp.mu.Unlock()
+				return
+			}
+			if nd = sp.pickLocked(); nd != nil {
+				break
+			}
+			sp.cond.Wait()
+		}
+		nd.state = lpClaimed
+		sp.speculated++
+		sp.mu.Unlock()
+
+		applyBoundsTo(prob, sp.s.baseLo, sp.s.baseUp, nd)
+		res, err := prob.SolveContext(sp.ctx, sp.s.opts.LP)
+
+		sp.mu.Lock()
+		nd.res, nd.err, nd.state = res, err, lpDone
+		sp.mu.Unlock()
+		// The coordinator may be blocked waiting for exactly this node.
+		sp.cond.Broadcast()
+	}
+}

@@ -1,0 +1,106 @@
+package index
+
+import (
+	"testing"
+
+	"standout/internal/bitvec"
+	"standout/internal/dataset"
+)
+
+// FuzzSatisfiedDropping pits the word-parallel scoring fast path against a
+// naive per-query rescorer on fuzzer-shaped logs. The fast path computes
+// satisfied counts by AND-NOT peeling over the inverted index; the naive
+// oracle walks the raw queries. Any divergence is a soundness bug in the
+// index — the whole solver stack scores through it.
+//
+// Input layout: byte 0 picks the width (1..16), byte 1 the query count
+// (0..40); each following byte pair forms one query's bit pattern, then two
+// bytes shape the tuple and the kept subset.
+func FuzzSatisfiedDropping(f *testing.F) {
+	f.Add([]byte{6, 3, 0b11, 0, 0b101, 0, 0b10000, 0, 0b111111, 0b1011})
+	f.Add([]byte{16, 2, 0xff, 0xff, 0x01, 0x80, 0xff, 0xff, 0x0f, 0x00})
+	f.Add([]byte{1, 1, 1, 0, 1, 1})
+	f.Add([]byte{9, 0, 0xaa, 0x01})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) < 4 {
+			return
+		}
+		width := 1 + int(data[0])%16
+		nq := int(data[1]) % 41
+		data = data[2:]
+
+		pattern := func(b []byte) bitvec.Vector {
+			v := bitvec.New(width)
+			bits := uint16(0)
+			if len(b) > 0 {
+				bits = uint16(b[0])
+			}
+			if len(b) > 1 {
+				bits |= uint16(b[1]) << 8
+			}
+			for i := 0; i < width; i++ {
+				if bits&(1<<i) != 0 {
+					v.Set(i)
+				}
+			}
+			return v
+		}
+
+		log := dataset.NewQueryLog(dataset.GenericSchema(width))
+		for i := 0; i < nq && len(data) >= 2; i++ {
+			q := pattern(data)
+			data = data[2:]
+			if q.Count() == 0 {
+				q.Set(i % width) // empty queries are rejected by Build
+			}
+			log.Queries = append(log.Queries, q)
+		}
+		if len(data) < 2 {
+			return
+		}
+		tuple := pattern(data[:1])
+		kept := pattern(data[1:]).And(tuple) // kept ⊆ tuple by construction
+
+		ix, err := Build(log)
+		if err != nil {
+			t.Fatalf("Build: %v", err)
+		}
+
+		cand := ix.Candidates(tuple)
+		drop := tuple.AndNot(kept).Ones()
+		got := ix.SatisfiedDropping(cand, drop, nil)
+
+		// Oracle 1: walk cand and test each query against drop directly.
+		naive := 0
+		for _, qi := range cand.Ones() {
+			hits := false
+			q := log.Queries[qi]
+			for _, a := range drop {
+				if q.Get(a) {
+					hits = true
+					break
+				}
+			}
+			if !hits {
+				naive++
+			}
+		}
+		if got != naive {
+			t.Fatalf("SatisfiedDropping = %d, naive rescorer = %d (width=%d, %d queries, tuple=%s, kept=%s)",
+				got, naive, width, len(log.Queries), tuple, kept)
+		}
+
+		// Oracle 2: with cand = Candidates(tuple) and kept ⊆ tuple, dropping
+		// tuple\kept leaves exactly the queries contained in kept — the
+		// definition the raw log computes.
+		if want := log.Satisfied(kept); got != want {
+			t.Fatalf("SatisfiedDropping = %d, log.Satisfied(kept) = %d (tuple=%s, kept=%s)",
+				got, want, tuple, kept)
+		}
+
+		// SatisfiedWithin must agree with its Dropping specialization.
+		if within := ix.SatisfiedWithin(cand, kept, nil); within != got {
+			t.Fatalf("SatisfiedWithin = %d, SatisfiedDropping = %d", within, got)
+		}
+	})
+}

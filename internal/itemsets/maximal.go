@@ -4,9 +4,12 @@ import (
 	"context"
 	"math/rand"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"standout/internal/bitvec"
 	"standout/internal/obsv"
+	"standout/internal/par"
 )
 
 // pollCtx reports a pending cancellation without blocking.
@@ -40,123 +43,241 @@ func (m *Miner) MaximalDFS(minSup int) []ItemsetCount {
 // count, so the poll is amortized noise) and unwinds with ctx's error — the
 // partial itemset list found so far is returned alongside it. The mining is
 // worst-case exponential, which is exactly why a deadline belongs here.
+//
+// The returned list is canonically ordered by SortBySize — a total order —
+// so equal inputs produce byte-equal output regardless of the mining
+// schedule; MaximalDFSParallelContext returns the identical list.
 func (m *Miner) MaximalDFSContext(ctx context.Context, minSup int) ([]ItemsetCount, error) {
+	return m.MaximalDFSParallelContext(ctx, minSup, 1)
+}
+
+// MaximalDFSParallelContext is MaximalDFSContext fanned over up to `workers`
+// goroutines: the DFS root is expanded once, then its top-level branches run
+// concurrently on the scheduler of internal/par, sharing one found-set store
+// for cross-branch subsumption pruning. The pruning stays sound under any
+// interleaving — a subtree whose ceiling is contained in an already-found
+// frequent set holds no new maximal set — and the final canonicalization
+// (dedup, maximality filter, SortBySize) makes the returned list identical
+// to the sequential one for any worker count. workers ≤ 1 mines on the
+// calling goroutine with no synchronization in the store.
+func (m *Miner) MaximalDFSParallelContext(ctx context.Context, minSup, workers int) ([]ItemsetCount, error) {
 	if minSup < 1 {
 		minSup = 1
 	}
-	supports := m.singletonSupports()
-	// Fail-first item order: least frequent items first.
-	order := itemOrder(supports)
-
-	var found []ItemsetCount
-	var ctxErr error
-	dfsNodes := int64(0)
-	isSubsumed := func(items bitvec.Vector) bool {
-		for _, f := range found {
-			if items.SubsetOf(f.Items) {
-				return true
-			}
-		}
-		return false
-	}
-
-	var rec func(current bitvec.Vector, curRows []uint64, curSup int, cand []int)
-	rec = func(current bitvec.Vector, curRows []uint64, curSup int, cand []int) {
-		if ctxErr != nil {
-			return
-		}
-		if err := pollCtx(ctx); err != nil {
-			ctxErr = err
-			return
-		}
-		dfsNodes++
-		// Filter candidates to those frequent in the current context, and
-		// absorb parent-equivalent items on the way (PEP, as in MAFIA):
-		// an item supported by every row of the current context belongs to
-		// every maximal superset in this subtree, so it is added outright
-		// instead of branched on. On dense tables (the §IV.C regime) this
-		// collapses otherwise-exponential subtrees.
-		type ext struct {
-			item int
-			sup  int
-		}
-		var exts []ext
-		for _, j := range cand {
-			s := countAnd(curRows, m.cols[j])
-			if s < minSup {
-				continue
-			}
-			if s == curSup {
-				if !current.Get(j) {
-					current = current.Clone()
-					current.Set(j)
-				}
-				continue
-			}
-			exts = append(exts, ext{j, s})
-		}
-		if len(exts) == 0 {
-			if !isSubsumed(current) {
-				found = append(found, ItemsetCount{Items: current.Clone(), Support: curSup})
-			}
-			return
-		}
-		// Fail-first: least-supported extensions explored first.
-		sort.Slice(exts, func(a, b int) bool {
-			if exts[a].sup != exts[b].sup {
-				return exts[a].sup < exts[b].sup
-			}
-			return exts[a].item < exts[b].item
-		})
-
-		// Lookahead: if current ∪ all viable extensions is frequent, it is the
-		// unique maximal set below this node.
-		all := current.Clone()
-		allRows := append([]uint64(nil), curRows...)
-		for _, e := range exts {
-			all.Set(e.item)
-			intersect(allRows, m.cols[e.item])
-		}
-		if s := popcount(allRows); s >= minSup {
-			if !isSubsumed(all) {
-				found = append(found, ItemsetCount{Items: all, Support: s})
-			}
-			return
-		}
-
-		for i, e := range exts {
-			next := current.Clone()
-			next.Set(e.item)
-			// Subsumption pruning: if next plus every remaining candidate is
-			// already inside a found maximal set, this subtree adds nothing.
-			withRest := next.Clone()
-			for _, e2 := range exts[i+1:] {
-				withRest.Set(e2.item)
-			}
-			if isSubsumed(withRest) {
-				continue
-			}
-			nextRows := append([]uint64(nil), curRows...)
-			intersect(nextRows, m.cols[e.item])
-			rest := make([]int, 0, len(exts)-i-1)
-			for _, e2 := range exts[i+1:] {
-				rest = append(rest, e2.item)
-			}
-			rec(next, nextRows, e.sup, rest)
-		}
-	}
-
-	empty := bitvec.New(m.width)
-	full := m.fullRowset()
 	if m.nrows < minSup {
 		return nil, nil // not even the empty itemset is frequent
 	}
-	rec(empty, full, m.nrows, order)
-	obsv.FromContext(ctx).Count("itemsets.dfs_nodes", dfsNodes)
+	// Fail-first item order: least frequent items first.
+	order := itemOrder(m.singletonSupports())
+
+	d := &dfsRun{m: m, minSup: minSup, workers: workers}
+	err := d.rec(ctx, bitvec.New(m.width), m.fullRowset(), m.nrows, order, 0)
+	obsv.FromContext(ctx).Count("itemsets.dfs_nodes", d.nodes.Load())
+	if err != nil {
+		// Partial results: canonicalized, but incomplete — callers treat them
+		// as a sample, never a cache-worthy answer.
+		return canonicalMaximal(d.store.found), err
+	}
 
 	// The DFS can emit the empty itemset when nothing else is frequent; that
 	// is the correct answer (the empty set is maximal) and callers handle it.
-	return found, ctxErr
+	return canonicalMaximal(d.store.found), nil
+}
+
+// dfsStore accumulates found itemsets, shared by concurrent DFS branches.
+// Reads for subsumption racing against appends are sound: a stale read can
+// only miss a pruning opportunity, never prune wrongly.
+type dfsStore struct {
+	mu     sync.Mutex
+	locked bool // take mu (parallel run); sequential runs skip the lock
+	found  []ItemsetCount
+}
+
+func (s *dfsStore) subsumed(items bitvec.Vector) bool {
+	if s.locked {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+	}
+	for _, f := range s.found {
+		if items.SubsetOf(f.Items) {
+			return true
+		}
+	}
+	return false
+}
+
+func (s *dfsStore) add(it ItemsetCount) {
+	if s.locked {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+	}
+	s.found = append(s.found, it)
+}
+
+// dfsRun is one maximal-DFS mining run: the miner, the threshold, the shared
+// store and the parallelism budget spent at the root.
+type dfsRun struct {
+	m       *Miner
+	minSup  int
+	workers int
+	store   dfsStore
+	nodes   atomic.Int64
+}
+
+type dfsExt struct {
+	item int
+	sup  int
+}
+
+func (d *dfsRun) rec(ctx context.Context, current bitvec.Vector, curRows []uint64, curSup int, cand []int, depth int) error {
+	if err := pollCtx(ctx); err != nil {
+		return err
+	}
+	d.nodes.Add(1)
+	m := d.m
+	// Filter candidates to those frequent in the current context, and
+	// absorb parent-equivalent items on the way (PEP, as in MAFIA):
+	// an item supported by every row of the current context belongs to
+	// every maximal superset in this subtree, so it is added outright
+	// instead of branched on. On dense tables (the §IV.C regime) this
+	// collapses otherwise-exponential subtrees.
+	var exts []dfsExt
+	for _, j := range cand {
+		s := countAnd(curRows, m.cols[j])
+		if s < d.minSup {
+			continue
+		}
+		if s == curSup {
+			if !current.Get(j) {
+				current = current.Clone()
+				current.Set(j)
+			}
+			continue
+		}
+		exts = append(exts, dfsExt{j, s})
+	}
+	if len(exts) == 0 {
+		if !d.store.subsumed(current) {
+			d.store.add(ItemsetCount{Items: current.Clone(), Support: curSup})
+		}
+		return nil
+	}
+	// Fail-first: least-supported extensions explored first.
+	sort.Slice(exts, func(a, b int) bool {
+		if exts[a].sup != exts[b].sup {
+			return exts[a].sup < exts[b].sup
+		}
+		return exts[a].item < exts[b].item
+	})
+
+	// Lookahead: if current ∪ all viable extensions is frequent, it is the
+	// unique maximal set below this node.
+	all := current.Clone()
+	allRows := append([]uint64(nil), curRows...)
+	for _, e := range exts {
+		all.Set(e.item)
+		intersect(allRows, m.cols[e.item])
+	}
+	if s := popcount(allRows); s >= d.minSup {
+		if !d.store.subsumed(all) {
+			d.store.add(ItemsetCount{Items: all, Support: s})
+		}
+		return nil
+	}
+
+	if depth == 0 && d.workers > 1 && len(exts) > 1 {
+		return d.branchesParallel(ctx, current, curRows, exts)
+	}
+	for i, e := range exts {
+		next := current.Clone()
+		next.Set(e.item)
+		// Subsumption pruning: if next plus every remaining candidate is
+		// already inside a found maximal set, this subtree adds nothing.
+		withRest := next.Clone()
+		for _, e2 := range exts[i+1:] {
+			withRest.Set(e2.item)
+		}
+		if d.store.subsumed(withRest) {
+			continue
+		}
+		nextRows := append([]uint64(nil), curRows...)
+		intersect(nextRows, m.cols[e.item])
+		rest := make([]int, 0, len(exts)-i-1)
+		for _, e2 := range exts[i+1:] {
+			rest = append(rest, e2.item)
+		}
+		if err := d.rec(ctx, next, nextRows, e.sup, rest, depth+1); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// branchesParallel distributes the root's branch subtrees over internal/par
+// workers. Each branch owns its cloned itemset and rowset; only the found
+// store is shared, behind its mutex.
+func (d *dfsRun) branchesParallel(ctx context.Context, current bitvec.Vector, curRows []uint64, exts []dfsExt) error {
+	d.store.locked = true
+	res := par.Run(ctx, len(exts), par.Options{Workers: d.workers}, func(ctx context.Context, i int) error {
+		e := exts[i]
+		next := current.Clone()
+		next.Set(e.item)
+		withRest := next.Clone()
+		for _, e2 := range exts[i+1:] {
+			withRest.Set(e2.item)
+		}
+		if d.store.subsumed(withRest) {
+			return nil
+		}
+		nextRows := append([]uint64(nil), curRows...)
+		intersect(nextRows, d.m.cols[e.item])
+		rest := make([]int, 0, len(exts)-i-1)
+		for _, e2 := range exts[i+1:] {
+			rest = append(rest, e2.item)
+		}
+		return d.rec(ctx, next, nextRows, e.sup, rest, 1)
+	})
+	d.store.locked = false
+	if res.First != nil {
+		return res.First.Err
+	}
+	return nil
+}
+
+// canonicalMaximal reduces a raw found list to the canonical answer: exact
+// duplicates collapse, sets strictly contained in another survivor drop
+// (concurrent branches can emit a set before its superset is known), and the
+// result sorts by SortBySize — a total order, so the output is a pure
+// function of the input SET of itemsets.
+func canonicalMaximal(found []ItemsetCount) []ItemsetCount {
+	if found == nil {
+		return nil
+	}
+	seen := make(map[string]struct{}, len(found))
+	uniq := found[:0]
+	for _, f := range found {
+		k := f.Items.Key()
+		if _, dup := seen[k]; dup {
+			continue
+		}
+		seen[k] = struct{}{}
+		uniq = append(uniq, f)
+	}
+	out := make([]ItemsetCount, 0, len(uniq))
+	for i, f := range uniq {
+		maximal := true
+		for j, g := range uniq {
+			if i != j && f.Items.SubsetOf(g.Items) && !g.Items.SubsetOf(f.Items) {
+				maximal = false
+				break
+			}
+		}
+		if maximal {
+			out = append(out, f)
+		}
+	}
+	SortBySize(out)
+	return out
 }
 
 // WalkOptions tunes the random-walk maximal miners.

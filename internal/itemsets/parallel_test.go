@@ -1,0 +1,60 @@
+package itemsets
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// listFingerprint flattens a mining result — order included, since the
+// canonical ordering is part of the parallel determinism contract.
+func listFingerprint(sets []ItemsetCount) string {
+	s := ""
+	for _, ic := range sets {
+		s += fmt.Sprintf("%s:%d;", ic.Items, ic.Support)
+	}
+	return s
+}
+
+// TestMaximalDFSParallelBitIdentical checks the package-level determinism
+// contract: the parallel DFS returns the exact canonical list — same sets,
+// same supports, same order — as the sequential run, for every worker count.
+func TestMaximalDFSParallelBitIdentical(t *testing.T) {
+	r := rand.New(rand.NewSource(61))
+	for trial := 0; trial < 60; trial++ {
+		rows := 3 + r.Intn(14)
+		cols := 2 + r.Intn(8)
+		density := 0.2 + 0.6*r.Float64()
+		tab := randomTable(r, rows, cols, density)
+		minSup := 1 + r.Intn(3)
+		m := NewMiner(tab)
+		seq, err := m.MaximalDFSContext(context.Background(), minSup)
+		if err != nil {
+			t.Fatalf("trial %d sequential: %v", trial, err)
+		}
+		want := listFingerprint(seq)
+		for _, w := range []int{2, 4, 8} {
+			got, err := m.MaximalDFSParallelContext(context.Background(), minSup, w)
+			if err != nil {
+				t.Fatalf("trial %d workers=%d: %v", trial, w, err)
+			}
+			if key := listFingerprint(got); key != want {
+				t.Fatalf("trial %d workers=%d diverged\nseq: %s\npar: %s", trial, w, want, key)
+			}
+		}
+	}
+}
+
+// TestMaximalDFSParallelCancellation verifies the parallel miner honors a
+// pre-cancelled context: it must return the context error promptly and leak
+// no goroutines (the -race -count runs would trip on a stuck worker).
+func TestMaximalDFSParallelCancellation(t *testing.T) {
+	r := rand.New(rand.NewSource(67))
+	tab := randomTable(r, 30, 12, 0.5)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := NewMiner(tab).MaximalDFSParallelContext(ctx, 1, 4); err == nil {
+		t.Fatal("want context error from cancelled parallel mine")
+	}
+}

@@ -108,6 +108,18 @@ func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
 // Value returns the current value.
 func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
 
+// Add shifts the gauge by delta atomically (CAS loop), for gauges tracking a
+// level — queue depth, busy workers — rather than a sampled measurement.
+func (g *Gauge) Add(delta float64) {
+	for {
+		old := g.bits.Load()
+		v := math.Float64frombits(old) + delta
+		if g.bits.CompareAndSwap(old, math.Float64bits(v)) {
+			return
+		}
+	}
+}
+
 func (g *Gauge) help() string     { return g.helpText }
 func (g *Gauge) promType() string { return "gauge" }
 func (g *Gauge) value() any       { return g.Value() }

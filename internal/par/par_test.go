@@ -1,0 +1,374 @@
+package par
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"standout/internal/fault"
+)
+
+// markOnce returns a Func that records each processed index and fails the
+// test on a duplicate run — the exactly-once property every other assertion
+// builds on.
+func markOnce(t *testing.T, ran []atomic.Int32) Func {
+	t.Helper()
+	return func(ctx context.Context, i int) error {
+		if n := ran[i].Add(1); n != 1 {
+			t.Errorf("item %d ran %d times", i, n)
+		}
+		return nil
+	}
+}
+
+func TestRunCoversEveryItemOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 3, 8, 100} {
+		for _, n := range []int{0, 1, 2, 7, 64, 1000} {
+			ran := make([]atomic.Int32, n)
+			res := Run(context.Background(), n, Options{Workers: workers}, markOnce(t, ran))
+			for i := range ran {
+				if ran[i].Load() != 1 {
+					t.Fatalf("workers=%d n=%d: item %d ran %d times", workers, n, i, ran[i].Load())
+				}
+			}
+			if res.Attempted != n {
+				t.Fatalf("workers=%d n=%d: attempted %d", workers, n, res.Attempted)
+			}
+			if res.First != nil || len(res.Errs) != n {
+				t.Fatalf("workers=%d n=%d: unexpected errors %+v", workers, n, res)
+			}
+		}
+	}
+}
+
+func TestRunSequentialSpawnsNoGoroutines(t *testing.T) {
+	for _, tc := range []struct{ n, workers int }{
+		{0, 8}, {1, 8}, {5, 1}, {1, 1}, {0, 0},
+	} {
+		res := Run(context.Background(), tc.n, Options{Workers: tc.workers},
+			func(ctx context.Context, i int) error { return nil })
+		if res.Spawned != 0 {
+			t.Errorf("n=%d workers=%d: spawned %d goroutines, want 0", tc.n, tc.workers, res.Spawned)
+		}
+	}
+	// And a genuinely parallel job reports its spawns.
+	res := Run(context.Background(), 16, Options{Workers: 4},
+		func(ctx context.Context, i int) error { return nil })
+	if res.Spawned != 3 {
+		t.Errorf("parallel job spawned %d, want 3", res.Spawned)
+	}
+}
+
+func TestRunFirstErrorCancelsRest(t *testing.T) {
+	const n = 500
+	boom := errors.New("boom")
+	var started atomic.Int32
+	res := Run(context.Background(), n, Options{Workers: 4}, func(ctx context.Context, i int) error {
+		started.Add(1)
+		if i == 3 {
+			return boom
+		}
+		// Late items should be skipped once the failure lands; stall a bit so
+		// cancellation can actually beat the drain.
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(50 * time.Microsecond):
+			return nil
+		}
+	})
+	if res.First == nil {
+		t.Fatal("no First error recorded")
+	}
+	if !errors.Is(res.First, boom) {
+		t.Fatalf("First = %v, want wrapped %v", res.First, boom)
+	}
+	if !errors.Is(res.Errs[res.First.Index], boom) {
+		t.Fatalf("Errs[%d] = %v", res.First.Index, res.Errs[res.First.Index])
+	}
+	if res.Attempted >= n {
+		t.Fatalf("cancellation skipped nothing (attempted %d of %d)", res.Attempted, n)
+	}
+	// Every item is accounted for exactly once: error, success, or skip.
+	failed := 0
+	for _, err := range res.Errs {
+		if err != nil {
+			failed++
+		}
+	}
+	if failed == 0 || failed > res.Attempted {
+		t.Fatalf("failed=%d attempted=%d", failed, res.Attempted)
+	}
+}
+
+func TestRunExternalCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var attempted atomic.Int32
+	go func() {
+		for attempted.Load() == 0 {
+			time.Sleep(time.Millisecond)
+		}
+		cancel()
+	}()
+	res := Run(ctx, 10_000, Options{Workers: 4}, func(ctx context.Context, i int) error {
+		attempted.Add(1)
+		time.Sleep(100 * time.Microsecond)
+		return nil
+	})
+	if res.Attempted == 10_000 {
+		t.Fatal("external cancel skipped nothing")
+	}
+	if res.First != nil {
+		t.Fatalf("external cancel must not synthesize an item error, got %v", res.First)
+	}
+}
+
+func TestRunPanicCapture(t *testing.T) {
+	res := Run(context.Background(), 8, Options{Workers: 2}, func(ctx context.Context, i int) error {
+		if i == 5 {
+			panic("kaboom")
+		}
+		return nil
+	})
+	if res.First == nil || res.First.Index != 5 {
+		t.Fatalf("First = %+v, want index 5", res.First)
+	}
+	var pe *PanicError
+	if !errors.As(res.Errs[5], &pe) || pe.Value != "kaboom" {
+		t.Fatalf("Errs[5] = %v", res.Errs[5])
+	}
+	if len(pe.Stack) == 0 {
+		t.Fatal("panic stack not captured")
+	}
+}
+
+func TestRunWrapPanicHook(t *testing.T) {
+	wrapped := errors.New("wrapped panic")
+	res := Run(context.Background(), 2, Options{
+		Workers:   2,
+		WrapPanic: func(v any, stack []byte) error { return fmt.Errorf("%w: %v", wrapped, v) },
+	}, func(ctx context.Context, i int) error {
+		if i == 1 {
+			panic("custom")
+		}
+		return nil
+	})
+	if !errors.Is(res.Errs[1], wrapped) {
+		t.Fatalf("Errs[1] = %v, want custom wrapping", res.Errs[1])
+	}
+}
+
+func TestRunSkewedWorkSteals(t *testing.T) {
+	// One huge item at the front of worker 0's range, many cheap ones behind
+	// it: the other workers must steal worker 0's leftovers or the job would
+	// serialize. Steal counting proves the mechanism engages.
+	const n = 4096
+	var slow sync.WaitGroup
+	slow.Add(1)
+	done := make(chan struct{})
+	go func() { defer close(done); slow.Wait() }()
+	res := Run(context.Background(), n, Options{Workers: 4}, func(ctx context.Context, i int) error {
+		if i == 0 {
+			defer slow.Done()
+			// Hold until someone else has stolen (bounded so a regression
+			// fails fast instead of hanging).
+			deadline := time.Now().Add(2 * time.Second)
+			for mSteals.Value() == 0 && time.Now().Before(deadline) {
+				time.Sleep(50 * time.Microsecond)
+			}
+		}
+		return nil
+	})
+	<-done
+	if res.Attempted != n {
+		t.Fatalf("attempted %d of %d", res.Attempted, n)
+	}
+	if res.Steals == 0 {
+		t.Fatal("skewed job recorded no steals")
+	}
+}
+
+func TestRunFaultSiteInjectsErrors(t *testing.T) {
+	inj := fault.New(1, fault.Rule{Site: "par.worker", Every: 3, Kind: fault.KindError})
+	ctx := fault.WithInjector(context.Background(), inj)
+	res := Run(ctx, 9, Options{Workers: 1}, func(ctx context.Context, i int) error { return nil })
+	if res.First == nil || !errors.Is(res.First, fault.ErrInjected) {
+		t.Fatalf("First = %v, want injected error", res.First)
+	}
+}
+
+func TestPoolForEachBasics(t *testing.T) {
+	p := NewPool(4)
+	defer p.Close()
+	for trial := 0; trial < 10; trial++ {
+		n := trial * 17
+		ran := make([]atomic.Int32, n)
+		res := p.ForEach(context.Background(), n, Options{}, markOnce(t, ran))
+		if res.Attempted != n || res.First != nil {
+			t.Fatalf("trial %d: %+v", trial, res)
+		}
+		for i := range ran {
+			if ran[i].Load() != 1 {
+				t.Fatalf("trial %d: item %d ran %d times", trial, i, ran[i].Load())
+			}
+		}
+	}
+}
+
+func TestPoolConcurrentJobs(t *testing.T) {
+	p := NewPool(4)
+	defer p.Close()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			n := 50 + g*13
+			ran := make([]atomic.Int32, n)
+			res := p.ForEach(context.Background(), n, Options{}, markOnce(t, ran))
+			if res.Attempted != n {
+				t.Errorf("job %d: attempted %d of %d", g, res.Attempted, n)
+			}
+			for i := range ran {
+				if ran[i].Load() != 1 {
+					t.Errorf("job %d: item %d ran %d times", g, i, ran[i].Load())
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+// TestPoolResizeStorm is the scheduler stress test of ISSUE 5: eight
+// goroutines hammer ForEach while another thrashes Resize across [1, 8] and
+// a fault injector panics inside par.worker. Every item must still be
+// attributed exactly once — run, or failed with an attributed error — and
+// every panic must surface as an *ItemError-compatible entry, never a crash.
+func TestPoolResizeStorm(t *testing.T) {
+	p := NewPool(4)
+	defer p.Close()
+
+	inj := fault.New(42, fault.Rule{Site: "par.worker", Every: 97, Kind: fault.KindPanic, Msg: "storm"})
+	ctx := fault.WithInjector(context.Background(), inj)
+
+	stop := make(chan struct{})
+	var resizer sync.WaitGroup
+	resizer.Add(1)
+	go func() {
+		defer resizer.Done()
+		rng := rand.New(rand.NewSource(7))
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				p.Resize(1 + rng.Intn(8))
+				time.Sleep(200 * time.Microsecond)
+			}
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(g)))
+			for round := 0; round < 20; round++ {
+				n := 30 + rng.Intn(200)
+				ran := make([]atomic.Int32, n)
+				res := p.ForEach(ctx, n, Options{}, func(ctx context.Context, i int) error {
+					ran[i].Add(1)
+					return nil
+				})
+				// Exactly-once attribution: every index is in exactly one
+				// state — succeeded (fn ran once, no error), failed (error
+				// recorded; the injected panic fires before fn, so fn may
+				// not have run), or skipped by the cancellation (neither).
+				attempted, failed := 0, 0
+				for i := range ran {
+					runs := int(ran[i].Load())
+					if runs > 1 {
+						t.Errorf("job %d/%d: item %d ran %d times", g, round, i, runs)
+					}
+					errSet := res.Errs[i] != nil
+					if errSet {
+						failed++
+						var pe *PanicError
+						if !errors.As(res.Errs[i], &pe) {
+							t.Errorf("job %d/%d: item %d failed with %v, want panic", g, round, i, res.Errs[i])
+						}
+						if runs != 0 {
+							t.Errorf("job %d/%d: item %d both ran and failed at the fault site", g, round, i)
+						}
+					}
+					if runs == 1 || errSet {
+						attempted++
+					}
+				}
+				if attempted != res.Attempted {
+					t.Errorf("job %d/%d: attempted %d, result says %d", g, round, attempted, res.Attempted)
+				}
+				if res.First != nil && res.Errs[res.First.Index] == nil {
+					t.Errorf("job %d/%d: First points at index %d with nil error", g, round, res.First.Index)
+				}
+				if failed > 0 && res.First == nil {
+					t.Errorf("job %d/%d: %d failures but no First", g, round, failed)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(stop)
+	resizer.Wait()
+
+	if fires := inj.Fires("par.worker"); fires == 0 {
+		t.Fatal("storm never triggered the par.worker fault site")
+	}
+}
+
+func TestPoolResizeBounds(t *testing.T) {
+	p := NewPool(2)
+	defer p.Close()
+	p.Resize(0) // clamps to 1
+	if got := p.Workers(); got != 1 {
+		t.Fatalf("Workers after Resize(0) = %d", got)
+	}
+	p.Resize(6)
+	if got := p.Workers(); got != 6 {
+		t.Fatalf("Workers after Resize(6) = %d", got)
+	}
+	res := p.ForEach(context.Background(), 100, Options{},
+		func(ctx context.Context, i int) error { return nil })
+	if res.Attempted != 100 {
+		t.Fatalf("attempted %d", res.Attempted)
+	}
+}
+
+func TestPoolClosedFallsBackToCaller(t *testing.T) {
+	p := NewPool(2)
+	p.Close()
+	ran := make([]atomic.Int32, 10)
+	res := p.ForEach(context.Background(), 10, Options{}, markOnce(t, ran))
+	if res.Attempted != 10 {
+		t.Fatalf("closed-pool fallback attempted %d", res.Attempted)
+	}
+	// Close is idempotent.
+	p.Close()
+}
+
+func TestItemErrorUnwrap(t *testing.T) {
+	base := errors.New("cause")
+	e := &ItemError{Index: 3, Err: base}
+	if !errors.Is(e, base) {
+		t.Fatal("ItemError does not unwrap")
+	}
+	if e.Error() == "" || (&PanicError{Value: "v"}).Error() == "" {
+		t.Fatal("empty error strings")
+	}
+}

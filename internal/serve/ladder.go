@@ -13,19 +13,21 @@ import (
 	"standout/internal/fault"
 )
 
-// Algorithms maps request algo names to solver constructors. "greedy" is the
-// ladder's bottom rung (ConsumeAttrCumul, the strongest §IV.D heuristic) and
-// also requestable directly.
-var algorithms = map[string]func() core.Solver{
-	"brute":            func() core.Solver { return core.BruteForce{} },
-	"ip":               func() core.Solver { return core.IP{} },
-	"ilp":              func() core.Solver { return core.ILP{} },
-	"mfi":              func() core.Solver { return core.MaxFreqItemSets{} },
-	"mfi-exact":        func() core.Solver { return core.MaxFreqItemSets{Backend: core.BackendExactDFS} },
-	"consumeattr":      func() core.Solver { return core.ConsumeAttr{} },
-	"consumeattrcumul": func() core.Solver { return core.ConsumeAttrCumul{} },
-	"consumequeries":   func() core.Solver { return core.ConsumeQueries{} },
-	"greedy":           func() core.Solver { return core.ConsumeAttrCumul{} },
+// Algorithms maps request algo names to solver constructors, parameterized
+// on the per-solve worker count (Config.SolverWorkers; solvers without a
+// parallel mode ignore it — results never depend on it either way, see
+// DESIGN.md §11). "greedy" is the ladder's bottom rung (ConsumeAttrCumul,
+// the strongest §IV.D heuristic) and also requestable directly.
+var algorithms = map[string]func(workers int) core.Solver{
+	"brute":            func(w int) core.Solver { return core.BruteForce{Workers: w} },
+	"ip":               func(int) core.Solver { return core.IP{} },
+	"ilp":              func(w int) core.Solver { return core.ILP{Workers: w} },
+	"mfi":              func(int) core.Solver { return core.MaxFreqItemSets{} },
+	"mfi-exact":        func(w int) core.Solver { return core.MaxFreqItemSets{Backend: core.BackendExactDFS, Workers: w} },
+	"consumeattr":      func(int) core.Solver { return core.ConsumeAttr{} },
+	"consumeattrcumul": func(int) core.Solver { return core.ConsumeAttrCumul{} },
+	"consumequeries":   func(int) core.Solver { return core.ConsumeQueries{} },
+	"greedy":           func(int) core.Solver { return core.ConsumeAttrCumul{} },
 }
 
 // greedyNames are the rungless algorithms: already the cheapest tier.
@@ -61,16 +63,16 @@ type rung struct {
 // degraded or not — satisfies at least as many queries as the greedy
 // baseline on the same instance.
 func (s *Server) ladder(algo string) []rung {
-	requested := rung{algo, algorithms[algo](), s.cfg.ExactBudget}
+	requested := rung{algo, algorithms[algo](s.cfg.SolverWorkers), s.cfg.ExactBudget}
 	greedy := rung{"greedy", core.ConsumeAttrCumul{}, 0}
 	if greedyNames[algo] {
-		return []rung{{algo, algorithms[algo](), 0}}
+		return []rung{{algo, algorithms[algo](s.cfg.SolverWorkers), 0}}
 	}
 	if strings.HasPrefix(algo, "mfi") {
 		requested.floor = s.cfg.MFIBudget
 		return []rung{requested, greedy}
 	}
-	mfi := rung{"mfi-exact", core.MaxFreqItemSets{Backend: core.BackendExactDFS}, s.cfg.MFIBudget}
+	mfi := rung{"mfi-exact", core.MaxFreqItemSets{Backend: core.BackendExactDFS, Workers: s.cfg.SolverWorkers}, s.cfg.MFIBudget}
 	return []rung{requested, mfi, greedy}
 }
 

@@ -80,6 +80,11 @@ type Config struct {
 	// BatchWorkers bounds the workers of one /solve/batch request; default
 	// MaxConcurrent.
 	BatchWorkers int
+	// SolverWorkers is the worker count handed to solvers with an internal
+	// parallel mode (brute, ilp, mfi-exact); ≤ 0 means 1 (sequential).
+	// Answers are bit-identical at any setting — the parallel engines are
+	// deterministic (DESIGN.md §11) — so this only trades latency for CPU.
+	SolverWorkers int
 	// MaxBatch bounds tuples per /solve/batch request; default 4096.
 	MaxBatch int
 	// Seed drives backoff jitter; default 1.
@@ -510,7 +515,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	// the requested tier degrades every tuple to a cheaper exact-or-greedy
 	// solver rather than letting the deadline kill the batch midway.
 	algo, degraded := s.batchAlgo(ctx, req.Algo)
-	solver := algorithms[algo]()
+	solver := algorithms[algo](s.cfg.SolverWorkers)
 
 	workers := req.Workers
 	if workers <= 0 || workers > s.cfg.BatchWorkers {

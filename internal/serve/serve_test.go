@@ -479,7 +479,7 @@ func TestAlgoNamesSortedAndComplete(t *testing.T) {
 	}
 	// Every name constructs a working solver.
 	for _, n := range names {
-		if s := algorithms[n](); s == nil {
+		if s := algorithms[n](2); s == nil {
 			t.Fatalf("algorithm %q constructs nil", n)
 		}
 	}
