@@ -115,11 +115,11 @@ type job struct {
 	fn     Func
 	wrap   func(v any, stack []byte) error
 
-	cells     []cell
-	unclaimed atomic.Int64 // items no worker has claimed yet
-	running   atomic.Int64 // items claimed but not finished
-	attempted atomic.Int64
-	steals    atomic.Int64
+	cells      []cell
+	unclaimed  atomic.Int64 // items no worker has claimed yet
+	unfinished atomic.Int64 // items not yet run or skipped; 0 closes done
+	attempted  atomic.Int64
+	steals     atomic.Int64
 
 	errs    []error
 	firstMu sync.Mutex
@@ -159,6 +159,7 @@ func newJob(ctx context.Context, n, cells int, opts Options, fn Func) *job {
 		start += size
 	}
 	j.unclaimed.Store(int64(n))
+	j.unfinished.Store(int64(n))
 	mQueued.Add(float64(n))
 	if n == 0 {
 		close(j.done)
@@ -244,7 +245,6 @@ func (j *job) claim(pref int) (int, bool) {
 
 func (j *job) claimed() {
 	j.unclaimed.Add(-1)
-	j.running.Add(1)
 	mQueued.Add(-1)
 }
 
@@ -263,14 +263,11 @@ func (j *job) runItem(i int) {
 			j.fail(i, err)
 		}
 	}
-	if j.running.Add(-1) == 0 && j.unclaimed.Load() == 0 {
-		// unclaimed is decremented before running is incremented, so the last
-		// finisher observes unclaimed == 0 exactly once — after every claim.
-		select {
-		case <-j.done:
-		default:
-			close(j.done)
-		}
+	// unfinished only ever decreases, one decrement per item, so exactly one
+	// goroutine observes zero — after all n items have run or been skipped —
+	// and done closes exactly once, never while an item is still in flight.
+	if j.unfinished.Add(-1) == 0 {
+		close(j.done)
 	}
 }
 
@@ -302,9 +299,14 @@ func (j *job) fail(i int, err error) {
 	j.firstMu.Unlock()
 }
 
-// work claims and runs items until the job has none left to claim.
-func (j *job) work(pref int) {
+// work claims and runs items until the job has none left to claim, or until
+// retire (when non-nil) reports the worker should stop between items. Unclaimed
+// items left behind by a retiring worker stay in the cells for other workers.
+func (j *job) work(pref int, retire func() bool) {
 	for {
+		if retire != nil && retire() {
+			return
+		}
 		i, ok := j.claim(pref)
 		if !ok {
 			return
@@ -351,10 +353,10 @@ func Run(ctx context.Context, n int, opts Options, fn Func) Result {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			j.work(w)
+			j.work(w, nil)
 		}(w)
 	}
-	j.work(0)
+	j.work(0, nil)
 	wg.Wait()
 	if n > 0 {
 		<-j.done
@@ -456,7 +458,14 @@ func (p *Pool) worker(slot int) {
 			continue
 		}
 		p.mu.Unlock()
-		j.work(slot)
+		// Retire between items, not at the job boundary: a shrink takes
+		// effect as soon as the worker finishes the item it is running.
+		j.work(slot, func() bool {
+			p.mu.Lock()
+			retired := slot >= p.target
+			p.mu.Unlock()
+			return retired
+		})
 		p.mu.Lock()
 	}
 }
@@ -474,18 +483,20 @@ func (p *Pool) ForEach(ctx context.Context, n int, opts Options, fn Func) Result
 		opts.Workers = 1
 		return Run(ctx, n, opts, fn)
 	}
-	cells := p.target
-	p.mu.Unlock()
-
-	j := newJob(ctx, n, cells, opts, fn)
-	defer j.cancel()
+	// Create and enqueue the job without dropping the lock: a racing Close
+	// either wins the closed check above or sees the enqueued job and waits
+	// for it to drain — there is no window where an enqueued job is left with
+	// no workers to run it.
+	j := newJob(ctx, n, p.target, opts, fn)
 	if n == 0 {
+		p.mu.Unlock()
+		j.cancel()
 		return j.result(0)
 	}
-	p.mu.Lock()
 	p.jobs = append(p.jobs, j)
 	p.cond.Broadcast()
 	p.mu.Unlock()
+	defer j.cancel()
 
 	<-j.done
 

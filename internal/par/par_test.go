@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -329,6 +330,103 @@ func TestPoolResizeStorm(t *testing.T) {
 
 	if fires := inj.Fires("par.worker"); fires == 0 {
 		t.Fatal("storm never triggered the par.worker fault site")
+	}
+}
+
+// TestPoolForEachCompletionLatch hammers the done latch with tiny two-item
+// jobs — the regime where one worker finishes its item at the instant the
+// other claims the last one. A premature close would return control to the
+// submitter while fn is still in flight; a double close would panic.
+func TestPoolForEachCompletionLatch(t *testing.T) {
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(4))
+	p := NewPool(2)
+	defer p.Close()
+	for trial := 0; trial < 3000; trial++ {
+		var inFlight atomic.Int32
+		res := p.ForEach(context.Background(), 2, Options{}, func(ctx context.Context, i int) error {
+			inFlight.Add(1)
+			runtime.Gosched()
+			inFlight.Add(-1)
+			return nil
+		})
+		if got := inFlight.Load(); got != 0 {
+			t.Fatalf("trial %d: ForEach returned with %d items in flight", trial, got)
+		}
+		if res.Attempted != 2 {
+			t.Fatalf("trial %d: attempted %d of 2", trial, res.Attempted)
+		}
+	}
+}
+
+// TestPoolCloseForEachRace races Close against concurrent ForEach calls: each
+// job must either be rejected up front (and run on the caller) or be enqueued
+// where Close waits for it — never appended to a pool whose workers are all
+// gone, which would strand the submitter on the done latch forever.
+func TestPoolCloseForEachRace(t *testing.T) {
+	for trial := 0; trial < 200; trial++ {
+		p := NewPool(2)
+		var wg sync.WaitGroup
+		for g := 0; g < 4; g++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				ran := make([]atomic.Int32, 8)
+				res := p.ForEach(context.Background(), 8, Options{}, markOnce(t, ran))
+				if res.Attempted != 8 || res.First != nil {
+					t.Errorf("trial %d: %+v", trial, res)
+				}
+			}()
+		}
+		runtime.Gosched()
+		p.Close()
+		wg.Wait()
+	}
+}
+
+// TestPoolShrinkTakesEffectMidJob pins the Resize contract: a retiring worker
+// finishes the item it is running and exits at the next item boundary, not at
+// the end of the whole job. All four workers park inside an item, the pool
+// shrinks to one, and every item run after the gate opens must then execute
+// with single-worker concurrency.
+func TestPoolShrinkTakesEffectMidJob(t *testing.T) {
+	p := NewPool(4)
+	defer p.Close()
+	const n = 24
+	var started, after, peak atomic.Int32
+	gate := make(chan struct{})
+	resized := make(chan struct{})
+	done := make(chan Result, 1)
+	go func() {
+		done <- p.ForEach(context.Background(), n, Options{}, func(ctx context.Context, i int) error {
+			if started.Add(1) <= 4 {
+				<-gate
+				return nil
+			}
+			<-resized
+			c := after.Add(1)
+			defer after.Add(-1)
+			for {
+				if pk := peak.Load(); c <= pk || peak.CompareAndSwap(pk, c) {
+					break
+				}
+			}
+			time.Sleep(100 * time.Microsecond)
+			return nil
+		})
+	}()
+	// Wait until every worker is parked inside an item, then shrink.
+	for started.Load() < 4 {
+		time.Sleep(50 * time.Microsecond)
+	}
+	p.Resize(1)
+	close(resized)
+	close(gate)
+	res := <-done
+	if res.Attempted != n || res.First != nil {
+		t.Fatalf("job after shrink: %+v", res)
+	}
+	if got := peak.Load(); got != 1 {
+		t.Fatalf("post-shrink items ran %d-wide, want 1 (retirement deferred to job end?)", got)
 	}
 }
 
