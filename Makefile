@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: check build test test-race soak bench vet fmt-check cover cover-gate experiments quick-experiments fuzz fuzz-smoke
+.PHONY: check build test test-race soak bench bench-bitmap vet fmt-check cover cover-gate experiments quick-experiments fuzz fuzz-smoke
 
 # Default: everything CI would gate on.
 check: build vet fmt-check test test-race cover-gate
@@ -21,10 +21,11 @@ test:
 
 # The solver core is the concurrency-heavy part (SolveBatchContext, the
 # shared PreparedLog index + solution memo, the LRU); race-test it on every
-# check. `go test -race ./...` also works but takes much longer on the bench
-# package.
+# check, together with the bitvec layer whose compressed sets the index
+# shares read-only across workers. `go test -race ./...` also works but takes
+# much longer on the bench package.
 test-race:
-	go test -race ./internal/core/... ./internal/cache/... ./internal/index/... ./internal/ilp/... ./internal/itemsets/... ./internal/par/... ./internal/serve/... ./internal/fault/...
+	go test -race ./internal/bitvec/... ./internal/core/... ./internal/cache/... ./internal/index/... ./internal/ilp/... ./internal/itemsets/... ./internal/par/... ./internal/serve/... ./internal/fault/...
 
 # 30 seconds of fault-injected chaos storms against the serving layer under
 # the race detector: injected panics, delays, forced staleness, live log
@@ -36,17 +37,23 @@ soak:
 cover:
 	go test -cover ./...
 
-# The shared-index layer and the parallel scheduler are pure data structure
-# code with no excuse for untested branches: hold internal/index,
-# internal/cache and internal/par at >= 85% statement coverage.
+# The shared-index layer, its bit-set backends and the parallel scheduler
+# are pure data structure code with no excuse for untested branches: hold
+# internal/bitvec, internal/index, internal/cache and internal/par at >= 85%
+# statement coverage.
 cover-gate:
-	@go test -cover ./internal/index/... ./internal/cache/... ./internal/par/... | awk ' \
+	@go test -cover ./internal/bitvec/... ./internal/index/... ./internal/cache/... ./internal/par/... | awk ' \
 		/coverage:/ { c = $$0; sub(/.*coverage: /, "", c); sub(/%.*/, "", c); \
 			if (c + 0 < 85) { print "coverage below 85%: " $$0; bad = 1 } else print } \
 		END { exit bad }'
 
 bench:
 	go test -bench=. -benchmem ./...
+
+# Regenerate BENCH_bitmap.json: the wide-sparse-schema sweep comparing dense
+# and compressed column representations on memory and scoring throughput.
+bench-bitmap:
+	go run ./cmd/socbench -json bitmap > BENCH_bitmap.json
 
 # Full-scale reproduction of the paper's figures + ablations (slow: the ILP
 # blow-up past 1000 queries IS Fig 10's finding).
@@ -64,6 +71,7 @@ fuzz:
 # committed corpora under testdata/fuzz/, so regressions the corpora encode
 # are caught on every run and a little fresh exploration happens too.
 fuzz-smoke:
-	go test -fuzz FuzzVectorAlgebra -fuzztime 8s ./internal/bitvec
+	go test -fuzz FuzzVectorAlgebra -fuzztime 6s ./internal/bitvec
+	go test -fuzz FuzzCompressedAlgebra -fuzztime 8s ./internal/bitvec
 	go test -fuzz FuzzSatisfiedDropping -fuzztime 8s ./internal/index
 	go test -fuzz FuzzExactSolversAgree -fuzztime 14s ./internal/core

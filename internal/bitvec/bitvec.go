@@ -62,9 +62,10 @@ func FromBools(b []bool) Vector {
 	return v
 }
 
-// FromString parses a vector from a string of '0' and '1' runes, most
-// significant attribute first in index order (i.e. s[i] is bit i).
-// Whitespace is ignored. It returns an error on any other rune.
+// FromString parses a vector from a string of '0' and '1' runes in index
+// order: s[i] is bit i (attribute a_i), exactly the layout String produces,
+// so FromString(v.String()) round-trips. Whitespace is ignored. It returns
+// an error on any other rune.
 func FromString(s string) (Vector, error) {
 	var cleaned []rune
 	for _, r := range s {
@@ -89,6 +90,32 @@ func wordsFor(width int) int { return (width + wordBits - 1) / wordBits }
 
 // Width returns the number of bits in the vector.
 func (v Vector) Width() int { return v.width }
+
+// Words returns the vector's backing storage, least-significant word first;
+// bits past Width in the final word are always zero. The slice aliases the
+// vector: writes through it mutate the vector (and any copies sharing its
+// storage). It exists so adjacent packages can run word-parallel loops over
+// vectors they own without a copy; treat it as read-only otherwise.
+func (v Vector) Words() []uint64 { return v.words }
+
+// FromWords wraps words as a Vector of the given width without copying: the
+// returned vector aliases the slice, so mutations flow both ways. It panics
+// unless len(words) is exactly the storage size for width and all bits past
+// width in the final word are zero — the invariant every Vector maintains.
+func FromWords(width int, words []uint64) Vector {
+	if width < 0 {
+		panic(fmt.Sprintf("bitvec: negative width %d", width))
+	}
+	if len(words) != wordsFor(width) {
+		panic(fmt.Sprintf("bitvec: %d words for width %d (want %d)",
+			len(words), width, wordsFor(width)))
+	}
+	if width%wordBits != 0 && len(words) > 0 &&
+		words[len(words)-1]&^((1<<(uint(width)%wordBits))-1) != 0 {
+		panic(fmt.Sprintf("bitvec: stray bits beyond width %d in final word", width))
+	}
+	return Vector{width: width, words: words}
+}
 
 // Set sets bit i. It panics if i is out of range.
 func (v Vector) Set(i int) {
@@ -295,8 +322,17 @@ func (v Vector) String() string {
 	return sb.String()
 }
 
-// Key returns a compact string usable as a map key. Two vectors have the same
-// key iff they are Equal.
+// Key returns a compact string usable as a map key. Two vectors have the
+// same key iff they are Equal.
+//
+// The encoding is the width as an explicit 32-bit little-endian prefix
+// (widths above 2³²−1 are unsupported and would collide; nothing in this
+// library approaches that), followed by each storage word least-significant
+// byte first. Because the width is encoded up front — not inferable from the
+// payload length — vectors of different widths that share trailing words
+// (e.g. widths 63, 64 and 65 with identical low bits) always get distinct
+// keys, and Compressed.Key reproduces the identical encoding so keys are
+// representation-independent.
 func (v Vector) Key() string {
 	buf := make([]byte, 0, 8*len(v.words)+4)
 	buf = append(buf,

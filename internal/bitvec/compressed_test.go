@@ -1,0 +1,446 @@
+package bitvec
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// randomSparse returns a dense vector with n random bits set, plus the
+// compressed equivalent built two ways (conversion and incremental Set).
+func randomSparse(t *testing.T, rng *rand.Rand, width, n int) (Vector, *Compressed) {
+	t.Helper()
+	v := New(width)
+	for i := 0; i < n; i++ {
+		v.Set(rng.Intn(width))
+	}
+	c := CompressedFrom(v)
+	inc := NewCompressed(width)
+	for _, i := range v.Ones() {
+		inc.Set(i)
+	}
+	if c.Key() != inc.Key() {
+		t.Fatalf("conversion and incremental construction disagree (width %d)", width)
+	}
+	return v, c
+}
+
+func TestCompressedRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, width := range []int{1, 63, 64, 65, 1000, chunkBits - 1, chunkBits, chunkBits + 1, 3 * chunkBits, 200000} {
+		for _, n := range []int{0, 1, 7, 100, 5000} {
+			if n > width {
+				continue
+			}
+			v, c := randomSparse(t, rng, width, n)
+			if c.Width() != width {
+				t.Fatalf("width %d, got %d", width, c.Width())
+			}
+			if c.Count() != v.Count() {
+				t.Fatalf("width %d: Count %d, dense %d", width, c.Count(), v.Count())
+			}
+			if !c.Dense().Equal(v) {
+				t.Fatalf("width %d n %d: Dense round-trip mismatch", width, n)
+			}
+			if c.Key() != v.Key() {
+				t.Fatalf("width %d: Key differs across representations", width)
+			}
+			if c.Hash64(42) != v.Hash64(42) {
+				t.Fatalf("width %d: Hash64 differs across representations", width)
+			}
+			ones := c.Ones()
+			want := v.Ones()
+			if len(ones) != len(want) {
+				t.Fatalf("Ones length %d, want %d", len(ones), len(want))
+			}
+			for i := range ones {
+				if ones[i] != want[i] {
+					t.Fatalf("Ones[%d] = %d, want %d", i, ones[i], want[i])
+				}
+				if !c.Get(ones[i]) {
+					t.Fatalf("Get(%d) false for a member", ones[i])
+				}
+			}
+		}
+	}
+}
+
+// TestCompressedContainerForms drives each chunk through all three container
+// formats: sparse (array), dense (bitmap), and clustered (runs).
+func TestCompressedContainerForms(t *testing.T) {
+	width := 2 * chunkBits
+
+	// All-ones first chunk plus a sparse tail: Optimize should produce a run
+	// container for chunk 0 and an array for chunk 1.
+	v := New(width)
+	for i := 0; i < chunkBits; i++ {
+		v.Set(i)
+	}
+	v.Set(chunkBits + 10)
+	v.Set(chunkBits + 7000)
+	c := CompressedFrom(v)
+	if c.cs[0].typ != cruns {
+		t.Fatalf("full chunk stored as %v, want runs", c.cs[0].typ)
+	}
+	if c.cs[1].typ != carray {
+		t.Fatalf("sparse chunk stored as %v, want array", c.cs[1].typ)
+	}
+	if got := c.SizeBytes(); got >= bitmapBytes {
+		t.Fatalf("run+array encoding costs %d bytes, expected below one bitmap (%d)", got, bitmapBytes)
+	}
+	if !c.Dense().Equal(v) {
+		t.Fatal("round trip through runs+array broke the contents")
+	}
+
+	// Mutating a run container must expand it transparently and stay correct.
+	c.Clear(5)
+	v.Clear(5)
+	c.Set(5)
+	v.Set(5)
+	if !c.Dense().Equal(v) {
+		t.Fatal("mutation through run expansion broke the contents")
+	}
+
+	// Half-full random chunk: bitmap container.
+	rng := rand.New(rand.NewSource(2))
+	u := New(width)
+	for i := 0; i < chunkBits/2; i++ {
+		u.Set(rng.Intn(chunkBits))
+	}
+	cu := CompressedFrom(u)
+	if cu.cs[0].typ != cbitmap {
+		t.Fatalf("half-full random chunk stored as %v, want bitmap", cu.cs[0].typ)
+	}
+
+	// Growing an array container past arrayMaxCard converts it to a bitmap.
+	g := NewCompressed(width)
+	for i := 0; i < arrayMaxCard+1; i++ {
+		g.Set(2 * i) // every other bit: incompressible as runs
+	}
+	if g.cs[0].typ != cbitmap {
+		t.Fatalf("array grew to %d members but is %v, want bitmap", g.Count(), g.cs[0].typ)
+	}
+	if g.Count() != arrayMaxCard+1 {
+		t.Fatalf("Count %d after conversion, want %d", g.Count(), arrayMaxCard+1)
+	}
+	// And Optimize shrinks a sparse bitmap back down.
+	for i := g.Count(); i > 10; i-- {
+		g.Clear(2 * (i - 1))
+	}
+	g.Optimize()
+	if g.cs[0].typ != carray {
+		t.Fatalf("sparse container after Optimize is %v, want array", g.cs[0].typ)
+	}
+}
+
+func TestCompressedAlgebraMatchesDense(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 200; trial++ {
+		width := 1 + rng.Intn(3*chunkBits)
+		nv, nu := rng.Intn(2000), rng.Intn(2000)
+		v, cv := randomSparse(t, rng, width, nv%width+1)
+		u, cu := randomSparse(t, rng, width, nu%width+1)
+
+		type pair struct {
+			name string
+			a, b Bits
+		}
+		// Every representation pairing must agree with the dense oracle.
+		for _, p := range []pair{
+			{"dense/dense", v.CloneBits(), u},
+			{"dense/comp", v.CloneBits(), cu},
+			{"comp/dense", cv.CloneBits(), u},
+			{"comp/comp", cv.CloneBits(), cu},
+		} {
+			wantAnd := v.And(u)
+			wantNot := v.AndNot(u)
+			if got := p.a.AndCount(p.b); got != wantAnd.Count() {
+				t.Fatalf("%s AndCount = %d, want %d", p.name, got, wantAnd.Count())
+			}
+			if got := p.a.SubsetOfBits(p.b); got != v.SubsetOf(u) {
+				t.Fatalf("%s SubsetOfBits = %t, want %t", p.name, got, v.SubsetOf(u))
+			}
+			if got := p.a.AndBits(p.b); got.Key() != wantAnd.Key() {
+				t.Fatalf("%s AndBits mismatch", p.name)
+			}
+			if got := p.a.AndNotBits(p.b); got.Key() != wantNot.Key() {
+				t.Fatalf("%s AndNotBits mismatch", p.name)
+			}
+
+			work := p.a.CloneBits()
+			if removed := work.AndNotWith(p.b); removed != v.Count()-wantNot.Count() {
+				t.Fatalf("%s AndNotWith removed %d, want %d", p.name, removed, v.Count()-wantNot.Count())
+			} else if work.Key() != wantNot.Key() {
+				t.Fatalf("%s AndNotWith content mismatch", p.name)
+			}
+			work = p.a.CloneBits()
+			if n := work.AndWith(p.b); n != wantAnd.Count() || work.Key() != wantAnd.Key() {
+				t.Fatalf("%s AndWith = %d (want %d) or content mismatch", p.name, n, wantAnd.Count())
+			}
+		}
+	}
+}
+
+func TestCompressedCopyFromReusesStorage(t *testing.T) {
+	width := 2 * chunkBits
+	rng := rand.New(rand.NewSource(4))
+	_, src1 := randomSparse(t, rng, width, 500)
+	_, src2 := randomSparse(t, rng, width, 300)
+
+	sc := NewCompressed(width)
+	sc.CopyFrom(src1)
+	if sc.Key() != src1.Key() {
+		t.Fatal("CopyFrom missed members")
+	}
+	// Warm: copying a set of similar shape must not allocate.
+	allocs := testing.AllocsPerRun(20, func() {
+		sc.CopyFrom(src2)
+		sc.CopyFrom(src1)
+	})
+	if allocs != 0 {
+		t.Fatalf("warm CopyFrom allocates %.1f times per run, want 0", allocs)
+	}
+	// The copy must be independent of the source.
+	one := src1.Ones()[0]
+	sc.Clear(one)
+	if !src1.Get(one) {
+		t.Fatal("CopyFrom aliased the source")
+	}
+
+	// Copying from a run-encoded source expands to mutable containers.
+	full := New(width)
+	for i := 0; i < chunkBits+100; i++ {
+		full.Set(i)
+	}
+	cf := CompressedFrom(full)
+	if cf.cs[0].typ != cruns {
+		t.Fatalf("setup: expected run container, got %v", cf.cs[0].typ)
+	}
+	sc.CopyFrom(cf)
+	if sc.Key() != full.Key() {
+		t.Fatal("CopyFrom(run source) missed members")
+	}
+	for i := range sc.cs {
+		if sc.cs[i].typ == cruns {
+			t.Fatal("CopyFrom left a run container in a mutable copy")
+		}
+	}
+	sc.Clear(0)
+	if sc.Count() != full.Count()-1 {
+		t.Fatal("mutating the expanded copy failed")
+	}
+}
+
+func TestCompressedWidthChecks(t *testing.T) {
+	c := NewCompressed(100)
+	v := New(200)
+	mustPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s: no panic on width mismatch", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("AndCount", func() { c.AndCount(v) })
+	mustPanic("AndNotWith", func() { c.AndNotWith(v) })
+	mustPanic("AndWith", func() { c.AndWith(v) })
+	mustPanic("SubsetOfBits", func() { c.SubsetOfBits(v) })
+	mustPanic("CopyFrom", func() { c.CopyFrom(NewCompressed(99)) })
+	mustPanic("Get range", func() { c.Get(100) })
+	mustPanic("Set range", func() { c.Set(-1) })
+	mustPanic("negative width", func() { NewCompressed(-1) })
+	mustPanic("vector AndNotWith", func() { New(10).AndNotWith(c) })
+	mustPanic("FromWords length", func() { FromWords(65, make([]uint64, 1)) })
+	mustPanic("FromWords stray bits", func() { FromWords(3, []uint64{0xff}) })
+}
+
+// TestVectorKeyWidthUniqueness pins the Key encoding satellite: widths that
+// share trailing words with identical low bits must still get distinct keys,
+// because the 32-bit little-endian width prefix disambiguates them.
+func TestVectorKeyWidthUniqueness(t *testing.T) {
+	mk := func(width int) Vector {
+		v := New(width)
+		for _, i := range []int{0, 5, 17, 40, 62} {
+			v.Set(i) // identical low-word bits at every width
+		}
+		return v
+	}
+	v63, v64, v65 := mk(63), mk(64), mk(65)
+	keys := map[string]int{v63.Key(): 63, v64.Key(): 64, v65.Key(): 65}
+	if len(keys) != 3 {
+		t.Fatalf("widths 63/64/65 with identical low bits produced %d distinct keys, want 3", len(keys))
+	}
+	// The width prefix is explicitly 32-bit little-endian.
+	k := v65.Key()
+	if k[0] != 65 || k[1] != 0 || k[2] != 0 || k[3] != 0 {
+		t.Fatalf("width prefix bytes = %v, want [65 0 0 0]", []byte(k[:4]))
+	}
+	if len(k) != 4+8*2 {
+		t.Fatalf("key length %d, want width prefix + 2 words", len(k))
+	}
+	// Representation independence at every width.
+	for _, v := range []Vector{v63, v64, v65} {
+		if CompressedFrom(v).Key() != v.Key() {
+			t.Fatalf("compressed key differs at width %d", v.Width())
+		}
+	}
+}
+
+func TestCompressedRangeEarlyExit(t *testing.T) {
+	c := CompressedFromIndices(200000, 3, 70000, 150000)
+	var seen []int
+	c.Range(func(i int) bool {
+		seen = append(seen, i)
+		return len(seen) < 2
+	})
+	if len(seen) != 2 || seen[0] != 3 || seen[1] != 70000 {
+		t.Fatalf("early-exit Range saw %v", seen)
+	}
+}
+
+func TestCompressedClearRemovesEmptyChunks(t *testing.T) {
+	c := CompressedFromIndices(200000, 5, 100000)
+	c.Clear(100000)
+	if len(c.keys) != 1 || c.Count() != 1 {
+		t.Fatalf("chunk not removed: keys %v, count %d", c.keys, c.Count())
+	}
+	c.Clear(100000) // clearing an absent bit in an absent chunk is a no-op
+	if c.Count() != 1 {
+		t.Fatal("repeated Clear changed the set")
+	}
+}
+
+// mixedSet builds width-3·chunkBits sets whose chunks land in all three
+// container formats at once: a run chunk, a dense random (bitmap) chunk, and
+// a sparse (array) chunk — so the container-pair algebra (run∧bitmap,
+// bitmap∧array, …) is exercised, not just array∧array.
+func mixedSet(rng *rand.Rand, kind int) Vector {
+	width := 3 * chunkBits
+	v := New(width)
+	switch kind % 3 {
+	case 0: // run chunk 0
+		start := rng.Intn(chunkBits / 2)
+		for i := start; i < start+chunkBits/2; i++ {
+			v.Set(i)
+		}
+	case 1: // bitmap chunk 0
+		for i := 0; i < chunkBits/2; i++ {
+			v.Set(rng.Intn(chunkBits))
+		}
+	default: // array chunk 0
+		for i := 0; i < 100; i++ {
+			v.Set(rng.Intn(chunkBits))
+		}
+	}
+	// Chunk 1 dense-random, chunk 2 sparse, with occasional gaps.
+	if rng.Intn(4) > 0 {
+		for i := 0; i < chunkBits/3; i++ {
+			v.Set(chunkBits + rng.Intn(chunkBits))
+		}
+	}
+	if rng.Intn(4) > 0 {
+		for i := 0; i < 50; i++ {
+			v.Set(2*chunkBits + rng.Intn(chunkBits))
+		}
+	}
+	return v
+}
+
+func TestCompressedAlgebraContainerMix(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 60; trial++ {
+		v := mixedSet(rng, trial)
+		u := mixedSet(rng, trial+1)
+		cv, cu := CompressedFrom(v), CompressedFrom(u)
+		cv.Optimize()
+		cu.Optimize()
+
+		wantAnd, wantNot := v.And(u), v.AndNot(u)
+		if got := cv.AndCount(cu); got != wantAnd.Count() {
+			t.Fatalf("trial %d: AndCount %d, want %d", trial, got, wantAnd.Count())
+		}
+		if got := cv.SubsetOfBits(cu); got != v.SubsetOf(u) {
+			t.Fatalf("trial %d: SubsetOfBits %t, want %t", trial, got, v.SubsetOf(u))
+		}
+		work := cv.CloneBits()
+		if removed := work.AndNotWith(cu); removed != v.Count()-wantNot.Count() || work.Key() != wantNot.Key() {
+			t.Fatalf("trial %d: AndNotWith diverges from dense AndNot", trial)
+		}
+		work = cv.CloneBits()
+		if n := work.AndWith(cu); n != wantAnd.Count() || work.Key() != wantAnd.Key() {
+			t.Fatalf("trial %d: AndWith diverges from dense And", trial)
+		}
+		// Mixed-representation forms against run/bitmap operands.
+		if got := v.AndCount(cu); got != wantAnd.Count() {
+			t.Fatalf("trial %d: dense AndCount(comp) %d, want %d", trial, got, wantAnd.Count())
+		}
+		if got := cv.AndCount(u); got != wantAnd.Count() {
+			t.Fatalf("trial %d: comp AndCount(dense) %d, want %d", trial, got, wantAnd.Count())
+		}
+		// Subset with an actual subset: v∧u ⊆ u in every pairing.
+		meet := CompressedFrom(wantAnd)
+		if !meet.SubsetOfBits(cu) || !meet.SubsetOfBits(u) || !wantAnd.SubsetOfBits(cu) {
+			t.Fatalf("trial %d: meet not a subset of its operand", trial)
+		}
+	}
+}
+
+// opaqueBits hides a Bits value's concrete type so the representation type
+// switches in the polymorphic operations fall through to their generic
+// Range-based arms.
+type opaqueBits struct{ Bits }
+
+func TestGenericBitsFallback(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	for trial := 0; trial < 20; trial++ {
+		width := 1 + rng.Intn(2*chunkBits)
+		v, cv := randomSparse(t, rng, width, rng.Intn(300)+1)
+		u, cu := randomSparse(t, rng, width, rng.Intn(300)+1)
+		ou := opaqueBits{u}
+		wantAnd, wantNot := v.And(u), v.AndNot(u)
+
+		for _, a := range []Bits{v.CloneBits(), cv.CloneBits()} {
+			if got := a.AndCount(ou); got != wantAnd.Count() {
+				t.Fatalf("AndCount via opaque operand = %d, want %d", got, wantAnd.Count())
+			}
+			if got := a.SubsetOfBits(ou); got != v.SubsetOf(u) {
+				t.Fatalf("SubsetOfBits via opaque operand = %t, want %t", got, v.SubsetOf(u))
+			}
+			work := a.CloneBits()
+			if removed := work.AndNotWith(ou); removed != v.Count()-wantNot.Count() || work.Key() != wantNot.Key() {
+				t.Fatal("AndNotWith via opaque operand diverges")
+			}
+			work = a.CloneBits()
+			if n := work.AndWith(ou); n != wantAnd.Count() || work.Key() != wantAnd.Key() {
+				t.Fatal("AndWith via opaque operand diverges")
+			}
+			if got := a.AndBits(ou); got.Key() != wantAnd.Key() {
+				t.Fatal("AndBits via opaque operand diverges")
+			}
+			if got := a.AndNotBits(ou); got.Key() != wantNot.Key() {
+				t.Fatal("AndNotBits via opaque operand diverges")
+			}
+		}
+		_ = cu
+	}
+}
+
+func TestVectorRangeAndSuperset(t *testing.T) {
+	v := FromIndices(150, 3, 70, 149)
+	var seen []int
+	v.Range(func(i int) bool {
+		seen = append(seen, i)
+		return len(seen) < 2
+	})
+	if len(seen) != 2 || seen[0] != 3 || seen[1] != 70 {
+		t.Fatalf("early-exit Range saw %v", seen)
+	}
+	u := FromIndices(150, 3, 70)
+	if !v.SupersetOf(u) || u.SupersetOf(v) {
+		t.Fatal("SupersetOf disagrees with SubsetOf")
+	}
+	if w := v.Words(); len(w) != 3 || w[0]&(1<<3) == 0 {
+		t.Fatalf("Words view wrong: %v", w)
+	}
+}

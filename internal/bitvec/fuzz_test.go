@@ -1,6 +1,7 @@
 package bitvec
 
 import (
+	"encoding/binary"
 	"testing"
 )
 
@@ -91,6 +92,99 @@ func FuzzVectorAlgebra(f *testing.F) {
 		}
 		if (v.Key() == u.Key()) != v.Equal(u) {
 			t.Fatalf("Key equality disagrees with Equal for %s vs %s", v, u)
+		}
+	})
+}
+
+// FuzzCompressedAlgebra round-trips fuzzer-shaped sets between the dense and
+// Roaring-style compressed representations and checks every cross-
+// representation operation of the Bits interface against the dense word
+// algebra. Widths span multiple 2¹⁶-bit chunks so array, bitmap and run
+// containers (and their boundaries) are all reachable.
+//
+// Input layout: 3 bytes of width (1 .. ~200k), then alternating 3-byte
+// big-endian indices assigned to v and u; an index's top bit picks a short
+// run of consecutive bits instead of a single bit, steering the corpus
+// toward run containers.
+func FuzzCompressedAlgebra(f *testing.F) {
+	f.Add([]byte{0, 1, 0, 0, 0, 3, 0, 0, 9})
+	f.Add([]byte{2, 0, 0, 0, 255, 255, 1, 0, 0, 0, 0, 64})
+	f.Add([]byte{3, 4, 5, 128, 0, 100, 0, 200, 7, 128, 0, 101})
+	f.Add([]byte{0, 0, 64})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) < 3 {
+			return
+		}
+		width := 1 + int(binary.BigEndian.Uint32(append([]byte{0}, data[:3]...))%200000)
+		data = data[3:]
+
+		v, u := New(width), New(width)
+		for n := 0; len(data) >= 3; n++ {
+			raw := binary.BigEndian.Uint32(append([]byte{0}, data[:3]...))
+			data = data[3:]
+			run := 1
+			if raw&0x800000 != 0 {
+				run = 97 // spill across word boundaries
+			}
+			target := v
+			if n%2 == 1 {
+				target = u
+			}
+			start := int(raw & 0x7fffff)
+			for j := 0; j < run; j++ {
+				target.Set((start + j) % width)
+			}
+		}
+
+		cv, cu := CompressedFrom(v), CompressedFrom(u)
+
+		// Conversion round-trips exactly, including fingerprints.
+		if !cv.Dense().Equal(v) {
+			t.Fatalf("dense→compressed→dense changed the set (width %d)", width)
+		}
+		if cv.Count() != v.Count() || cv.Key() != v.Key() || cv.Hash64(7) != v.Hash64(7) {
+			t.Fatalf("compressed fingerprints diverge from dense (width %d)", width)
+		}
+
+		// Cross-representation algebra against the dense oracle.
+		wantAnd, wantNot := v.And(u), v.AndNot(u)
+		for _, op := range []struct {
+			name string
+			a, b Bits
+		}{
+			{"comp/comp", cv, cu},
+			{"comp/dense", cv, u},
+			{"dense/comp", v, cu},
+		} {
+			if got := op.a.AndCount(op.b); got != wantAnd.Count() {
+				t.Fatalf("%s AndCount = %d, want %d", op.name, got, wantAnd.Count())
+			}
+			if got := op.a.SubsetOfBits(op.b); got != v.SubsetOf(u) {
+				t.Fatalf("%s SubsetOfBits = %t, want %t", op.name, got, v.SubsetOf(u))
+			}
+			diff := op.a.CloneBits()
+			if removed := diff.AndNotWith(op.b); removed != v.Count()-wantNot.Count() {
+				t.Fatalf("%s AndNotWith removed %d, want %d",
+					op.name, removed, v.Count()-wantNot.Count())
+			}
+			if diff.Key() != wantNot.Key() {
+				t.Fatalf("%s AndNotWith content diverges from dense AndNot", op.name)
+			}
+			meet := op.a.CloneBits()
+			if n := meet.AndWith(op.b); n != wantAnd.Count() || meet.Key() != wantAnd.Key() {
+				t.Fatalf("%s AndWith diverges from dense And", op.name)
+			}
+		}
+
+		// Ones agrees across representations, and Get agrees on every member.
+		co, vo := cv.Ones(), v.Ones()
+		if len(co) != len(vo) {
+			t.Fatalf("Ones length %d vs dense %d", len(co), len(vo))
+		}
+		for i := range co {
+			if co[i] != vo[i] || !cv.Get(vo[i]) {
+				t.Fatalf("member iteration diverges at %d", i)
+			}
 		}
 	})
 }

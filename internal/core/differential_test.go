@@ -7,6 +7,7 @@ import (
 
 	"standout/internal/bitvec"
 	"standout/internal/dataset"
+	"standout/internal/index"
 )
 
 // The differential sweep pins the index/caching layer to the pre-index
@@ -37,11 +38,19 @@ func runDifferential(t *testing.T, in Instance) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	// A second prep with every column and bucket force-compressed: the sweep
+	// instances are far too small for Auto to compress anything, so this is
+	// how the Roaring-backed scoring paths face the same 1000 instances.
+	cp, err := PrepareLogWith(in.Log, index.Options{Mode: index.ForceCompressed})
+	if err != nil {
+		t.Fatal(err)
+	}
 	mfiPrep, err := MaxFreqItemSets{Backend: BackendExactDFS}.Preprocess(in.Log)
 	if err != nil {
 		t.Fatal(err)
 	}
 	prepCtx := WithPrepared(context.Background(), p)
+	compCtx := WithPrepared(context.Background(), cp)
 
 	want, err := BruteForce{}.Solve(in)
 	if err != nil {
@@ -75,6 +84,15 @@ func runDifferential(t *testing.T, in Instance) {
 			t.Fatalf("%s/indexed satisfied %d, BruteForce %d", name, indexed.Satisfied, want.Satisfied)
 		}
 
+		compressed, err := s.SolveContext(compCtx, in)
+		if err != nil {
+			t.Fatalf("%s/compressed: %v", name, err)
+		}
+		assertValid(t, in, compressed, name+"/compressed")
+		if compressed.Satisfied != want.Satisfied {
+			t.Fatalf("%s/compressed satisfied %d, BruteForce %d", name, compressed.Satisfied, want.Satisfied)
+		}
+
 		// Twice through the memoizing path: second call is a cache hit and
 		// must still agree.
 		for pass := 0; pass < 2; pass++ {
@@ -90,21 +108,24 @@ func runDifferential(t *testing.T, in Instance) {
 		}
 	}
 
-	// Greedies are not optimal, but the indexed path must be bit-for-bit the
-	// same heuristic: identical kept set, not just identical count.
+	// Greedies are not optimal, but the indexed paths — dense and compressed
+	// alike — must be bit-for-bit the same heuristic: identical kept set, not
+	// just identical count.
 	for name, s := range greedySolvers() {
 		direct, err := s.Solve(in)
 		if err != nil {
 			t.Fatalf("%s/direct: %v", name, err)
 		}
-		indexed, err := s.SolveContext(prepCtx, in)
-		if err != nil {
-			t.Fatalf("%s/indexed: %v", name, err)
-		}
-		assertValid(t, in, indexed, name+"/indexed")
-		if direct.Satisfied != indexed.Satisfied || direct.Kept.String() != indexed.Kept.String() {
-			t.Fatalf("%s: direct (%d, %v) != indexed (%d, %v)",
-				name, direct.Satisfied, direct.Kept, indexed.Satisfied, indexed.Kept)
+		for path, ctx := range map[string]context.Context{"indexed": prepCtx, "compressed": compCtx} {
+			indexed, err := s.SolveContext(ctx, in)
+			if err != nil {
+				t.Fatalf("%s/%s: %v", name, path, err)
+			}
+			assertValid(t, in, indexed, name+"/"+path)
+			if direct.Satisfied != indexed.Satisfied || direct.Kept.String() != indexed.Kept.String() {
+				t.Fatalf("%s/%s: direct (%d, %v) != %s (%d, %v)",
+					name, path, direct.Satisfied, direct.Kept, path, indexed.Satisfied, indexed.Kept)
+			}
 		}
 	}
 }

@@ -3,7 +3,6 @@ package core
 import (
 	"context"
 	"fmt"
-	"math/bits"
 	"sort"
 
 	"standout/internal/bitvec"
@@ -116,42 +115,43 @@ func (ConsumeAttrCumul) solve(ctx context.Context, in Instance, tr *obsv.Trace) 
 	// Vertical bitmaps over the full log: cols[i] marks the queries that
 	// contain candidate attribute n.ones[i] (§IV.D scores co-occurrence
 	// against the whole log, like the individual frequencies). An attached
-	// index already holds exactly these columns; without one they are built
-	// here in a single pass.
+	// index already holds exactly these columns — in whichever representation
+	// its density heuristic picked, which is why the rows are bitvec.Bits: a
+	// compressed column scores in O(members), never materializing the dense
+	// form. Without an index the columns are built densely in a single pass.
 	nq := len(in.Log.Queries)
 	words := (nq + 63) / 64
-	cols := make([][]uint64, len(n.ones))
+	cols := make([]bitvec.Bits, len(n.ones))
 	colOf := make(map[int]int, len(n.ones)) // attribute index → cols row
 	if n.idx != nil {
 		for i, j := range n.ones {
-			cols[i] = n.idx.QueriesWith(j) // read-only shared storage
+			cols[i] = n.idx.Column(j) // read-only shared storage
 			colOf[j] = i
 		}
 	} else {
 		backing := make([]uint64, len(n.ones)*words)
+		dense := make([][]uint64, len(n.ones))
 		for i, j := range n.ones {
-			cols[i] = backing[i*words : (i+1)*words]
+			dense[i] = backing[i*words : (i+1)*words]
 			colOf[j] = i
 		}
 		for qi, q := range in.Log.Queries {
 			for _, j := range q.Ones() {
 				if i, ok := colOf[j]; ok {
-					cols[i][qi/64] |= 1 << (qi % 64)
+					dense[i][qi/64] |= 1 << (qi % 64)
 				}
 			}
+		}
+		for i := range dense {
+			cols[i] = bitvec.FromWords(nq, dense[i])
 		}
 	}
 
 	// satQ is the running set of queries containing every selected attribute;
-	// scoring candidate j is popcount(satQ ∧ cols[j]).
-	satQ := make([]uint64, words)
-	countAnd := func(col []uint64) int {
-		c := 0
-		for w := range satQ {
-			c += bits.OnesCount64(satQ[w] & col[w])
-		}
-		return c
-	}
+	// scoring candidate j is |satQ ∧ cols[j]|, dispatched on the column's
+	// representation.
+	satQ := bitvec.New(nq)
+	countAnd := func(col bitvec.Bits) int { return satQ.AndCount(col) }
 
 	remaining := append([]int(nil), n.ones...)
 	var picked []int
@@ -185,11 +185,9 @@ func (ConsumeAttrCumul) solve(ctx context.Context, in Instance, tr *obsv.Trace) 
 		picked = append(picked, j)
 		col := cols[colOf[j]]
 		if len(picked) == 1 {
-			copy(satQ, col)
+			col.Range(func(qi int) bool { satQ.Set(qi); return true })
 		} else {
-			for w := range satQ {
-				satQ[w] &= col[w]
-			}
+			satQ.AndWith(col)
 		}
 		remaining = append(remaining[:idx], remaining[idx+1:]...)
 	}

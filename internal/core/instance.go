@@ -151,10 +151,10 @@ type normalized struct {
 	m     int               // min(M, |tuple|)
 	exact bool              // true when the whole tuple fits the budget
 
-	idx     *index.Index // shared per-log index, or nil
-	cand    index.Bitmap // queries ⊆ tuple (idx path only)
-	scratch index.Bitmap // scoring workspace (idx path only)
-	dropbuf []int        // scoring workspace (idx path only)
+	idx     *index.Index   // shared per-log index, or nil
+	cand    bitvec.Bits    // queries ⊆ tuple, in the index's representation (idx path only)
+	scratch *index.Scratch // scoring workspace (idx path only)
+	dropbuf []int          // scoring workspace (idx path only)
 }
 
 func normalize(ctx context.Context, in Instance) (normalized, error) {
@@ -168,17 +168,21 @@ func normalize(ctx context.Context, in Instance) (normalized, error) {
 	}
 	if p := preparedFromContext(ctx); p != nil && p.usableFor(in.Log) {
 		n.idx = p.idx
-		n.cand = p.idx.Candidates(in.Tuple)
-		n.scratch = make(index.Bitmap, p.idx.Words())
+		// CandidateSet keeps the candidates in whatever representation the
+		// index's size bucket uses — compressed candidates stay compressed
+		// through every subsequent score.
+		n.cand = p.idx.CandidateSet(in.Tuple)
+		n.scratch = p.idx.NewScratch()
 		n.dropbuf = make([]int, 0, len(n.ones))
-		// Materialize the restricted log from the candidate bitmap,
-		// preserving query order (bitmap iteration is ascending) so greedy
-		// tie-breaking matches the scan path exactly.
+		// Materialize the restricted log from the candidate set, preserving
+		// query order (member iteration is ascending) so greedy tie-breaking
+		// matches the scan path exactly.
 		restricted := dataset.NewQueryLog(in.Log.Schema)
 		restricted.Queries = make([]bitvec.Vector, 0, n.cand.Count())
-		for _, qi := range n.cand.Ones() {
+		n.cand.Range(func(qi int) bool {
 			restricted.Queries = append(restricted.Queries, in.Log.Queries[qi])
-		}
+			return true
+		})
 		n.log = restricted
 	} else {
 		n.log = in.Log.Restrict(in.Tuple)
@@ -197,7 +201,7 @@ func normalize(ctx context.Context, in Instance) (normalized, error) {
 // normalize and stays shared.
 func (n normalized) shard() normalized {
 	if n.idx != nil {
-		n.scratch = make(index.Bitmap, n.idx.Words())
+		n.scratch = n.idx.NewScratch()
 		n.dropbuf = make([]int, 0, len(n.ones))
 	}
 	return n
@@ -223,7 +227,7 @@ func (n normalized) score(kept bitvec.Vector) int {
 				drop = append(drop, a)
 			}
 		}
-		return n.idx.SatisfiedDropping(n.cand, drop, n.scratch)
+		return n.idx.SatisfiedDroppingBits(n.cand, drop, n.scratch)
 	}
 	return n.log.Satisfied(kept)
 }

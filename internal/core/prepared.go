@@ -76,17 +76,30 @@ func PrepareLog(log *dataset.QueryLog) (*PreparedLog, error) {
 	return PrepareLogContext(context.Background(), log)
 }
 
+// PrepareLogWith is PrepareLog under explicit index build options —
+// typically to force a column representation (index.ForceDense /
+// index.ForceCompressed) for measurement or testing. Solutions are
+// bit-identical across modes; only memory and speed differ.
+func PrepareLogWith(log *dataset.QueryLog, opts index.Options) (*PreparedLog, error) {
+	return PrepareLogContextWith(context.Background(), log, opts)
+}
+
 // PrepareLogContext is PrepareLog under a context: the index build is
 // recorded as an "index.build" span on the context's trace and counted in
 // the process metrics. The build itself is not interruptible — it is one
 // pass over the log, far below cancellation granularity.
 func PrepareLogContext(ctx context.Context, log *dataset.QueryLog) (*PreparedLog, error) {
+	return PrepareLogContextWith(ctx, log, index.Options{})
+}
+
+// PrepareLogContextWith is PrepareLogWith under a context.
+func PrepareLogContextWith(ctx context.Context, log *dataset.QueryLog, opts index.Options) (*PreparedLog, error) {
 	if err := fault.Hit(ctx, "core.prep.build"); err != nil {
 		return nil, fmt.Errorf("core: prepare log: %w", err)
 	}
 	tr := obsv.FromContext(ctx)
 	sp := tr.StartSpan("index.build")
-	ix, err := index.Build(log)
+	ix, err := index.BuildWith(log, opts)
 	sp.End()
 	if err != nil {
 		return nil, err

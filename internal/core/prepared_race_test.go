@@ -9,6 +9,7 @@ import (
 
 	"standout/internal/bitvec"
 	"standout/internal/dataset"
+	"standout/internal/index"
 )
 
 // These tests hammer one shared PreparedLog (index + solution memo) from many
@@ -100,6 +101,73 @@ func TestSharedPreparedLogConcurrentSolves(t *testing.T) {
 	if st := p.CacheStats(); st.Evictions == 0 {
 		t.Fatalf("capacity-8 memo never evicted: %+v", st)
 	}
+}
+
+// TestSharedCompressedPrepConcurrentSolves hammers one force-compressed
+// PreparedLog from many goroutines and checks every solution against a
+// sequentially-solved dense prep. Under -race this proves the compressed
+// index's read-only sharing: columns, buckets and candidate sets are shared
+// across workers while each shard peels through its own Scratch.
+func TestSharedCompressedPrepConcurrentSolves(t *testing.T) {
+	log, tuples := raceWorkload(t, 300, 48)
+	cp, err := PrepareLogWith(log, index.Options{Mode: index.ForceCompressed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dp, err := PrepareLogWith(log, index.Options{Mode: index.ForceDense})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Dense reference solutions, computed sequentially.
+	want := make([]Solution, len(tuples))
+	for i, tuple := range tuples {
+		want[i], err = dp.SolveContext(context.Background(), BruteForce{}, tuple, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	ctx := WithPrepared(context.Background(), cp)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i, tuple := range tuples {
+				sol, err := BruteForce{}.SolveContext(ctx, Instance{Log: log, Tuple: tuple, M: 4})
+				if err != nil {
+					t.Errorf("g%d tuple %d: %v", g, i, err)
+					return
+				}
+				if sol.Satisfied != want[i].Satisfied {
+					t.Errorf("g%d tuple %d: compressed %d, dense %d", g, i, sol.Satisfied, want[i].Satisfied)
+					return
+				}
+			}
+		}(g)
+	}
+	// A concurrent parallel batch shares the same compressed prep.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		sols, errs, err := SolveBatchContext(ctx, ConsumeAttrCumul{}, log, tuples, 4, 4)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		for i := range sols {
+			if errs[i] != nil {
+				t.Errorf("batch tuple %d: %v", i, errs[i])
+				return
+			}
+			if got := log.Satisfied(sols[i].Kept); got != sols[i].Satisfied {
+				t.Errorf("batch tuple %d: reported %d, recount %d", i, sols[i].Satisfied, got)
+				return
+			}
+		}
+	}()
+	wg.Wait()
 }
 
 func TestBatchSharesOnePreparedLog(t *testing.T) {

@@ -61,46 +61,74 @@ func FuzzSatisfiedDropping(f *testing.F) {
 		tuple := pattern(data[:1])
 		kept := pattern(data[1:]).And(tuple) // kept ⊆ tuple by construction
 
-		ix, err := Build(log)
-		if err != nil {
-			t.Fatalf("Build: %v", err)
-		}
-
-		cand := ix.Candidates(tuple)
 		drop := tuple.AndNot(kept).Ones()
-		got := ix.SatisfiedDropping(cand, drop, nil)
 
-		// Oracle 1: walk cand and test each query against drop directly.
-		naive := 0
-		for _, qi := range cand.Ones() {
-			hits := false
-			q := log.Queries[qi]
-			for _, a := range drop {
-				if q.Get(a) {
-					hits = true
-					break
+		// Every representation mode must agree with both oracles and with
+		// each other — the compressed paths are exercised here even on tiny
+		// logs because ForceCompressed overrides the density heuristic.
+		for _, mode := range []Mode{Auto, ForceDense, ForceCompressed} {
+			ix, err := BuildWith(log, Options{Mode: mode})
+			if err != nil {
+				t.Fatalf("BuildWith(mode %d): %v", mode, err)
+			}
+
+			cand := ix.Candidates(tuple)
+			got := ix.SatisfiedDropping(cand, drop, nil)
+
+			// Oracle 1: walk cand and test each query against drop directly.
+			naive := 0
+			for _, qi := range cand.Ones() {
+				hits := false
+				q := log.Queries[qi]
+				for _, a := range drop {
+					if q.Get(a) {
+						hits = true
+						break
+					}
+				}
+				if !hits {
+					naive++
 				}
 			}
-			if !hits {
-				naive++
+			if got != naive {
+				t.Fatalf("mode %d: SatisfiedDropping = %d, naive rescorer = %d (width=%d, %d queries, tuple=%s, kept=%s)",
+					mode, got, naive, width, len(log.Queries), tuple, kept)
 			}
-		}
-		if got != naive {
-			t.Fatalf("SatisfiedDropping = %d, naive rescorer = %d (width=%d, %d queries, tuple=%s, kept=%s)",
-				got, naive, width, len(log.Queries), tuple, kept)
-		}
 
-		// Oracle 2: with cand = Candidates(tuple) and kept ⊆ tuple, dropping
-		// tuple\kept leaves exactly the queries contained in kept — the
-		// definition the raw log computes.
-		if want := log.Satisfied(kept); got != want {
-			t.Fatalf("SatisfiedDropping = %d, log.Satisfied(kept) = %d (tuple=%s, kept=%s)",
-				got, want, tuple, kept)
-		}
+			// Oracle 2: with cand = Candidates(tuple) and kept ⊆ tuple,
+			// dropping tuple\kept leaves exactly the queries contained in
+			// kept — the definition the raw log computes.
+			if want := log.Satisfied(kept); got != want {
+				t.Fatalf("mode %d: SatisfiedDropping = %d, log.Satisfied(kept) = %d (tuple=%s, kept=%s)",
+					mode, got, want, tuple, kept)
+			}
 
-		// SatisfiedWithin must agree with its Dropping specialization.
-		if within := ix.SatisfiedWithin(cand, kept, nil); within != got {
-			t.Fatalf("SatisfiedWithin = %d, SatisfiedDropping = %d", within, got)
+			// SatisfiedWithin must agree with its Dropping specialization.
+			if within := ix.SatisfiedWithin(cand, kept, nil); within != got {
+				t.Fatalf("mode %d: SatisfiedWithin = %d, SatisfiedDropping = %d", mode, within, got)
+			}
+
+			// The polymorphic Bits forms must match the dense forms exactly,
+			// whichever representation CandidateSet picked.
+			cs := ix.CandidateSet(tuple)
+			if cs.Count() != cand.Count() {
+				t.Fatalf("mode %d: CandidateSet count %d, Candidates %d", mode, cs.Count(), cand.Count())
+			}
+			for _, qi := range cand.Ones() {
+				if !cs.Get(qi) {
+					t.Fatalf("mode %d: CandidateSet missing query %d", mode, qi)
+				}
+			}
+			sc := ix.NewScratch()
+			if bg := ix.SatisfiedDroppingBits(cs, drop, sc); bg != got {
+				t.Fatalf("mode %d: SatisfiedDroppingBits = %d, dense = %d", mode, bg, got)
+			}
+			if bw := ix.SatisfiedWithinBits(cs, kept, sc); bw != got {
+				t.Fatalf("mode %d: SatisfiedWithinBits = %d, dense = %d", mode, bw, got)
+			}
+			if s := ix.Satisfied(kept); s != got {
+				t.Fatalf("mode %d: Satisfied = %d, want %d", mode, s, got)
+			}
 		}
 	})
 }
