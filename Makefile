@@ -22,10 +22,11 @@ test:
 # The solver core is the concurrency-heavy part (SolveBatchContext, the
 # shared PreparedLog index + solution memo, the LRU); race-test it on every
 # check, together with the bitvec layer whose compressed sets the index
-# shares read-only across workers. `go test -race ./...` also works but takes
-# much longer on the bench package.
+# shares read-only across workers and the obsv layer whose lock-free flight
+# ring is written by every request. `go test -race ./...` also works but
+# takes much longer on the bench package.
 test-race:
-	go test -race ./internal/bitvec/... ./internal/core/... ./internal/cache/... ./internal/index/... ./internal/ilp/... ./internal/itemsets/... ./internal/par/... ./internal/serve/... ./internal/fault/...
+	go test -race ./internal/bitvec/... ./internal/core/... ./internal/cache/... ./internal/index/... ./internal/ilp/... ./internal/itemsets/... ./internal/par/... ./internal/serve/... ./internal/fault/... ./internal/obsv/...
 
 # 30 seconds of fault-injected chaos storms against the serving layer under
 # the race detector: injected panics, delays, forced staleness, live log

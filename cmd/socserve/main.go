@@ -18,6 +18,12 @@
 //	GET  /log          workload stats; POST appends queries copy-on-write
 //	POST /log/touch    force index staleness (chaos lever)
 //	GET  /healthz /readyz /metrics
+//	GET  /debug/requests[/TRACE_ID]  flight recorder: recent requests as JSON
+//
+// Every solve/batch/log request gets a W3C trace context (inbound
+// `traceparent` honored, else minted) echoed in `X-Request-Id`/`traceparent`
+// response headers and the body's trace_id field; `socstats tail` follows the
+// flight recorder live.
 //
 // Flags (beyond the obsv trio and -timeout):
 //
@@ -30,6 +36,9 @@
 //	-fault SPECS      deterministic fault injection, ";"-separated rules:
 //	                  SITE[:every=N][:offset=N][:count=N][:delay=D][:jitter=D][:ACTION]
 //	-fault-seed N     seed for injected delay jitter (default 1)
+//	-flight N         flight-recorder ring size (default 256; < 0 disables)
+//	-slow D           slow-request threshold (default 500ms)
+//	-sample N         keep 1-in-N boring successes in the recorder (default 1)
 //
 // ^C (SIGINT), SIGTERM, or an expired -timeout drain the server gracefully:
 // the listener closes, in-flight requests get -grace to finish.
@@ -75,6 +84,9 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) (err erro
 	maxTimeout := fs.Duration("max-timeout", 0, "clamp on client deadlines (0 = 30s)")
 	workers := fs.Int("workers", 0, "per-solve parallel workers for brute/ilp/mfi-exact (0 = sequential; answers identical either way)")
 	grace := fs.Duration("grace", 5*time.Second, "shutdown grace for in-flight requests")
+	flightSize := fs.Int("flight", 256, "flight-recorder ring size (completed-request records; < 0 disables)")
+	slow := fs.Duration("slow", 500*time.Millisecond, "latency at or above which a request is logged and always recorded")
+	sample := fs.Int("sample", 1, "keep 1-in-N boring successes in the flight recorder (errors and slow requests always kept)")
 	faultSpec := fs.String("fault", "", `fault rules, ";"-separated (e.g. "serve.solve:every=10:panic")`)
 	faultSeed := fs.Int64("fault-seed", 1, "seed for injected delay jitter")
 	var obs obsv.Flags
@@ -125,6 +137,9 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) (err erro
 		SolverWorkers:  *workers,
 		Seed:           *seed,
 		Injector:       inj,
+		FlightSize:     *flightSize,
+		SlowThreshold:  *slow,
+		SampleEvery:    *sample,
 	})
 	if err != nil {
 		return err

@@ -1,0 +1,116 @@
+package main
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"regexp"
+	"strings"
+	"testing"
+
+	"standout/internal/obsv"
+)
+
+// TestTraceContextLiveServer is the tentpole acceptance test against a real
+// socserve process loop: an inbound traceparent is echoed on the response,
+// attached to the flight-recorder record behind /debug/requests, and visible
+// as an exemplar on the latency histogram in /metrics.
+func TestTraceContextLiveServer(t *testing.T) {
+	url, shutdown := startServer(t,
+		"-gen", "200", "-seed", "5",
+		"-flight", "64", "-slow", "1ms", "-sample", "1")
+	defer shutdown()
+
+	const inTrace = "4bf92f3577b34da6a3ce929d0e0e4736"
+	req, err := http.NewRequest(http.MethodPost, url+"/solve",
+		strings.NewReader(`{"tuple": "AC,ABS,Turbo,PowerLocks", "m": 2}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("traceparent", "00-"+inTrace+"-00f067aa0ba902b7-01")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("solve status %d: %s", resp.StatusCode, raw)
+	}
+
+	// Echo: headers and body carry the caller's trace id.
+	if got := resp.Header.Get("X-Request-Id"); got != inTrace {
+		t.Fatalf("X-Request-Id = %q, want %q", got, inTrace)
+	}
+	if tid, _, err := obsv.ParseTraceparent(resp.Header.Get("traceparent")); err != nil || tid.String() != inTrace {
+		t.Fatalf("response traceparent = %q (%v), want trace id %s",
+			resp.Header.Get("traceparent"), err, inTrace)
+	}
+	var body struct {
+		TraceID string `json:"trace_id"`
+		Solver  string `json:"solver"`
+	}
+	if err := json.Unmarshal(raw, &body); err != nil {
+		t.Fatalf("decode %s: %v", raw, err)
+	}
+	if body.TraceID != inTrace {
+		t.Fatalf("body trace_id = %q, want %q", body.TraceID, inTrace)
+	}
+
+	// Flight record: retrievable by id with solver attribution and trace.
+	rr, err := http.Get(url + "/debug/requests/" + inTrace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recRaw, _ := io.ReadAll(rr.Body)
+	rr.Body.Close()
+	if rr.StatusCode != http.StatusOK {
+		t.Fatalf("/debug/requests/{id} status %d: %s", rr.StatusCode, recRaw)
+	}
+	var rec obsv.Record
+	if err := json.Unmarshal(recRaw, &rec); err != nil {
+		t.Fatal(err)
+	}
+	if rec.TraceID != inTrace || rec.Route != "/solve" || rec.Solver != body.Solver {
+		t.Fatalf("flight record = %+v, want trace %s solver %s", rec, inTrace, body.Solver)
+	}
+	if rec.Trace == nil || rec.Trace.TraceID != inTrace {
+		t.Fatalf("flight record's trace summary not stamped: %+v", rec.Trace)
+	}
+
+	// Exemplar: the trace id sits on a latency-histogram bucket line, and the
+	// whole live dump still passes the strict linter.
+	mr, err := http.Get(url + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	met, _ := io.ReadAll(mr.Body)
+	mr.Body.Close()
+	exRE := regexp.MustCompile(
+		`standout_serve_request_seconds_bucket\{le="[^"]+"\} \d+ # \{trace_id="` + inTrace + `"\} `)
+	if !exRE.Match(met) {
+		t.Fatalf("no latency exemplar for %s in /metrics:\n%.2000s", inTrace, met)
+	}
+	if err := obsv.LintProm(string(met)); err != nil {
+		t.Fatalf("live /metrics fails LintProm: %v", err)
+	}
+}
+
+// TestFlightDisabledFlag pins the -flight < 0 switch: the debug endpoint
+// answers 503 and requests still serve normally.
+func TestFlightDisabledFlag(t *testing.T) {
+	url, shutdown := startServer(t, "-gen", "100", "-seed", "3", "-flight", "-1")
+	defer shutdown()
+	if status, raw := post(t, url+"/solve", `{"tuple": "AC,ABS,Turbo", "m": 2}`); status != http.StatusOK {
+		t.Fatalf("solve with recorder off: status %d body %s", status, raw)
+	}
+	resp, err := http.Get(url + "/debug/requests")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("/debug/requests with -flight -1: status %d, want 503", resp.StatusCode)
+	}
+}

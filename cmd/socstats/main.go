@@ -1,13 +1,22 @@
-// Command socstats profiles a query log or database: dimensions, density,
+// Command socstats inspects SOC-CB-QL workloads, offline and live.
+//
+// The profiling mode analyses a query log or database: dimensions, density,
 // query-size histogram, duplicate ratio, attribute frequencies, and — given
 // a tuple — how much of the workload that tuple could ever satisfy. These
 // are the workload properties that decide which solver to use (§VII: ILP
 // for short wide logs, MaxFreqItemSets for long narrow ones, greedy beyond).
 //
+// The live mode, `socstats tail`, follows a running socserve's flight
+// recorder: it polls GET /debug/requests and renders recent requests —
+// trace ID, route, status, latency, solver rung, degraded/shed/panic/fault/
+// slow flags — as a refreshing sorted table.
+//
 // Usage:
 //
 //	socstats -log queries.csv [-tuple SPEC] [-top N]
 //	socstats -db cars.csv     [-tuple SPEC] [-top N]
+//	socstats tail -addr 127.0.0.1:8080 [-n 20] [-interval 1s] [-once]
+//	              [-interesting] [-sort recent|slow]
 package main
 
 import (
@@ -32,6 +41,9 @@ func main() {
 }
 
 func run(ctx context.Context, args []string, out io.Writer) (err error) {
+	if len(args) > 0 && args[0] == "tail" {
+		return runTail(ctx, args[1:], out)
+	}
 	fs := flag.NewFlagSet("socstats", flag.ContinueOnError)
 	logPath := fs.String("log", "", "query log CSV")
 	dbPath := fs.String("db", "", "database CSV (rows treated as queries)")

@@ -1,0 +1,135 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+	"time"
+
+	"standout/internal/obsv"
+)
+
+// runTail implements `socstats tail`: a live consumer of a socserve flight
+// recorder. It polls GET /debug/requests and renders the kept records as a
+// sorted table — the terminal answer to "what is the server doing right now"
+// without any tracing backend.
+func runTail(ctx context.Context, args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("socstats tail", flag.ContinueOnError)
+	addr := fs.String("addr", "127.0.0.1:8080", "socserve address to tail")
+	n := fs.Int("n", 20, "rows to show per refresh")
+	interval := fs.Duration("interval", time.Second, "poll interval")
+	once := fs.Bool("once", false, "print one snapshot and exit")
+	interesting := fs.Bool("interesting", false, "only errored/shed/degraded/faulted/slow requests")
+	sortBy := fs.String("sort", "recent", `row order: "recent" (newest first) or "slow" (latency, descending)`)
+	fs.SetOutput(out)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *sortBy != "recent" && *sortBy != "slow" {
+		return fmt.Errorf(`-sort must be "recent" or "slow", got %q`, *sortBy)
+	}
+
+	url := "http://" + *addr + "/debug/requests"
+	if *interesting {
+		url += "?interesting=1"
+	}
+	client := &http.Client{Timeout: 5 * time.Second}
+	for {
+		if err := tailOnce(ctx, client, url, *n, *sortBy, out); err != nil {
+			return err
+		}
+		if *once {
+			return nil
+		}
+		select {
+		case <-ctx.Done():
+			return nil
+		case <-time.After(*interval):
+		}
+	}
+}
+
+// tailResponse mirrors the serve /debug/requests list body.
+type tailResponse struct {
+	Stats   obsv.FlightStats `json:"stats"`
+	Records []obsv.Record    `json:"records"`
+}
+
+func tailOnce(ctx context.Context, client *http.Client, url string, n int, sortBy string, out io.Writer) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return fmt.Errorf("polling %s: %w", url, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return fmt.Errorf("polling %s: %s: %s", url, resp.Status, strings.TrimSpace(string(body)))
+	}
+	var tr tailResponse
+	if err := json.NewDecoder(resp.Body).Decode(&tr); err != nil {
+		return fmt.Errorf("decoding %s: %w", url, err)
+	}
+
+	if sortBy == "slow" {
+		sort.SliceStable(tr.Records, func(a, b int) bool {
+			return tr.Records[a].LatencyMS > tr.Records[b].LatencyMS
+		})
+	}
+	if n >= 0 && n < len(tr.Records) {
+		tr.Records = tr.Records[:n]
+	}
+
+	fmt.Fprintf(out, "flight: seen %d kept %d sampled-out %d  (ring %d, 1-in-%d, slow ≥ %.0fms)\n",
+		tr.Stats.Seen, tr.Stats.Kept, tr.Stats.SampledOut,
+		tr.Stats.Size, tr.Stats.SampleEvery, tr.Stats.SlowMS)
+	fmt.Fprintf(out, "%-6s %-8s %-14s %4s %10s %-10s %-5s %s\n",
+		"SEQ", "TRACE", "ROUTE", "ST", "LAT(ms)", "SOLVER", "FLAGS", "ERROR")
+	for _, r := range tr.Records {
+		fmt.Fprintf(out, "%-6d %-8s %-14s %4d %10.2f %-10s %-5s %s\n",
+			r.Seq, shortID(r.TraceID), r.Route, r.Status, r.LatencyMS,
+			r.Solver, flagLetters(r), truncate(r.Error, 40))
+	}
+	fmt.Fprintln(out)
+	return nil
+}
+
+// flagLetters compresses a record's outcome flags into the table's FLAGS
+// column: D=degraded, S=shed, P=panic, F=fault, W=slow ("w" for wall time).
+func flagLetters(r obsv.Record) string {
+	var sb strings.Builder
+	for _, f := range []struct {
+		on bool
+		c  byte
+	}{{r.Degraded, 'D'}, {r.Shed, 'S'}, {r.Panic, 'P'}, {r.Fault, 'F'}, {r.Slow, 'W'}} {
+		if f.on {
+			sb.WriteByte(f.c)
+		}
+	}
+	if sb.Len() == 0 {
+		return "-"
+	}
+	return sb.String()
+}
+
+func shortID(id string) string {
+	if len(id) > 8 {
+		return id[:8]
+	}
+	return id
+}
+
+func truncate(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n-1] + "…"
+}

@@ -1,0 +1,108 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"standout/internal/obsv"
+)
+
+// tailServer serves a real flight recorder's debug endpoints over HTTP, the
+// way socserve mounts them.
+func tailServer(t *testing.T, f *obsv.Flight) string {
+	t.Helper()
+	mux := http.NewServeMux()
+	mux.Handle("/debug/requests", f.Handler())
+	mux.Handle("/debug/requests/", f.Handler())
+	ts := httptest.NewServer(mux)
+	t.Cleanup(ts.Close)
+	return strings.TrimPrefix(ts.URL, "http://")
+}
+
+func TestTailRendersSortedTable(t *testing.T) {
+	f := obsv.NewFlight(16, 10*time.Millisecond, 1)
+	f.Record(&obsv.Record{TraceID: "aaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaa",
+		Route: "/solve", Status: 200, LatencyMS: 1.5, Solver: "mfi-exact"})
+	f.Record(&obsv.Record{TraceID: "bbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbb",
+		Route: "/solve", Status: 200, LatencyMS: 42.0, Solver: "greedy", Degraded: true})
+	f.Record(&obsv.Record{TraceID: "cccccccccccccccccccccccccccccccc",
+		Route: "/solve/batch", Status: 429, LatencyMS: 0.1, Shed: true,
+		Error: "overloaded: admission queue full"})
+	addr := tailServer(t, f)
+
+	var out bytes.Buffer
+	if err := run(context.Background(), []string{"tail", "-addr", addr, "-once"}, &out); err != nil {
+		t.Fatalf("tail -once: %v", err)
+	}
+	got := out.String()
+	for _, want := range []string{
+		"seen 3 kept 3",
+		"SEQ", "TRACE", "FLAGS",
+		"aaaaaaaa", "bbbbbbbb", "cccccccc",
+		"mfi-exact", "greedy",
+		"DW", // degraded + slow: the 42ms record against the 10ms threshold
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("tail output missing %q:\n%s", want, got)
+		}
+	}
+	// Default order is newest first: the shed batch row leads, flagged S.
+	lines := strings.Split(got, "\n")
+	if len(lines) < 5 || !strings.Contains(lines[2], "cccccccc") || !strings.Contains(lines[2], " S ") {
+		t.Errorf("newest (shed) record not first:\n%s", got)
+	}
+
+	// -sort slow reorders by latency: the 42ms degraded row leads.
+	out.Reset()
+	if err := run(context.Background(), []string{"tail", "-addr", addr, "-once", "-sort", "slow"}, &out); err != nil {
+		t.Fatalf("tail -sort slow: %v", err)
+	}
+	lines = strings.Split(out.String(), "\n")
+	if len(lines) < 5 || !strings.Contains(lines[2], "bbbbbbbb") {
+		t.Errorf("slowest record not first under -sort slow:\n%s", out.String())
+	}
+}
+
+func TestTailInterestingFilterAndLimit(t *testing.T) {
+	f := obsv.NewFlight(16, 0, 1)
+	for i := 0; i < 5; i++ {
+		f.Record(&obsv.Record{TraceID: strings.Repeat("a", 32), Route: "/solve", Status: 200})
+	}
+	f.Record(&obsv.Record{TraceID: strings.Repeat("e", 32), Route: "/solve", Status: 500, Error: "boom"})
+	addr := tailServer(t, f)
+
+	var out bytes.Buffer
+	if err := run(context.Background(), []string{"tail", "-addr", addr, "-once", "-interesting"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	if strings.Contains(got, "aaaaaaaa") || !strings.Contains(got, "eeeeeeee") {
+		t.Errorf("-interesting should show only the errored record:\n%s", got)
+	}
+	if !strings.Contains(got, "boom") {
+		t.Errorf("error column missing:\n%s", got)
+	}
+
+	out.Reset()
+	if err := run(context.Background(), []string{"tail", "-addr", addr, "-once", "-n", "2"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if rows := strings.Count(out.String(), "\n"); rows != 5 { // stats + header + 2 rows + blank
+		t.Errorf("-n 2 printed %d lines, want 5:\n%s", rows, out.String())
+	}
+}
+
+func TestTailRejectsBadFlags(t *testing.T) {
+	if err := run(context.Background(), []string{"tail", "-sort", "wat"}, new(bytes.Buffer)); err == nil {
+		t.Fatal("bad -sort accepted")
+	}
+	// An unreachable server is a polling error, not a hang.
+	if err := run(context.Background(), []string{"tail", "-addr", "127.0.0.1:1", "-once"}, new(bytes.Buffer)); err == nil {
+		t.Fatal("unreachable server produced no error")
+	}
+}

@@ -33,6 +33,12 @@ type LRU[K comparable, V any] struct {
 	// cheap, e.g. a counter bump) for every entry displaced by capacity
 	// pressure, Resize, or Purge. Set it before first use.
 	OnEvict func(key K, value V)
+	// OnHit and OnMiss, when non-nil, observe every Get outcome (called
+	// after the lock is released — still keep them cheap). Set before first
+	// use; the typical use is exporting the cache's traffic into a metrics
+	// registry.
+	OnHit  func()
+	OnMiss func()
 
 	hits, misses, evictions atomic.Uint64
 
@@ -54,6 +60,9 @@ func (c *LRU[K, V]) Get(key K) (V, bool) {
 	if !ok {
 		c.mu.Unlock()
 		c.misses.Add(1)
+		if c.OnMiss != nil {
+			c.OnMiss()
+		}
 		var zero V
 		return zero, false
 	}
@@ -61,6 +70,9 @@ func (c *LRU[K, V]) Get(key K) (V, bool) {
 	v := e.value
 	c.mu.Unlock()
 	c.hits.Add(1)
+	if c.OnHit != nil {
+		c.OnHit()
+	}
 	return v, true
 }
 

@@ -168,14 +168,19 @@ func SolveBatchContext(ctx context.Context, s Solver, log *dataset.QueryLog, tup
 	tr.Count("batch.skipped", int64(skipped))
 	tr.Count("batch.steals", res.Steals)
 	if lg := obsv.Logger(ctx); lg != nil {
-		lg.LogAttrs(ctx, slog.LevelInfo, "batch.finish",
+		attrs := []slog.Attr{
 			slog.String("solver", s.Name()),
 			slog.Int("tuples", len(tuples)),
 			slog.Int("solved", solved),
 			slog.Int("failed", failed),
 			slog.Int("skipped", skipped),
 			slog.Int64("steals", res.Steals),
-			slog.Duration("elapsed", time.Since(t0)))
+			slog.Duration("elapsed", time.Since(t0)),
+		}
+		if id := obsv.TraceIDStringFromContext(ctx); id != "" {
+			attrs = append(attrs, slog.String("trace_id", id))
+		}
+		lg.LogAttrs(ctx, slog.LevelInfo, "batch.finish", attrs...)
 	}
 
 	// The external context outranks any per-tuple failure it caused.

@@ -32,6 +32,15 @@ var (
 		"Memoizable solves that missed a PreparedLog's solution memo.")
 	mPrepCacheEvictions = obsv.Default.Counter("standout_prep_cache_evictions_total",
 		"Solutions evicted from PreparedLog memos by capacity pressure.")
+	// The standout_cache_* family mirrors internal/cache's own Stats counters
+	// into the registry via the LRU's OnHit/OnMiss/OnEvict hooks, so cache
+	// behavior is scrapeable without a code path into CacheStats.
+	mCacheHits = obsv.Default.Counter("standout_cache_hits_total",
+		"LRU cache hits across the core caches (solution memos).")
+	mCacheMisses = obsv.Default.Counter("standout_cache_misses_total",
+		"LRU cache misses across the core caches (solution memos).")
+	mCacheEvictions = obsv.Default.Counter("standout_cache_evictions_total",
+		"LRU cache evictions across the core caches (solution memos).")
 )
 
 // solveObs ties one SolveContext call to the observability stack: the
@@ -40,11 +49,12 @@ var (
 // the top of every solver's SolveContext and closed by end, which also
 // stamps the trace into the returned Solution.
 type solveObs struct {
-	tr    *obsv.Trace
-	log   *slog.Logger
-	span  obsv.Span
-	name  string
-	start time.Time
+	tr      *obsv.Trace
+	log     *slog.Logger
+	span    obsv.Span
+	name    string
+	traceID string
+	start   time.Time
 }
 
 func beginSolve(ctx context.Context, name string, in Instance) solveObs {
@@ -57,11 +67,14 @@ func beginSolve(ctx context.Context, name string, in Instance) solveObs {
 	}
 	o.span = o.tr.StartSpan("solve")
 	if o.log != nil {
+		// The distributed trace ID (when the request carries one) rides every
+		// solve log line, attributing solver work to the originating request.
+		o.traceID = obsv.TraceIDStringFromContext(ctx)
 		queries := 0
 		if in.Log != nil {
 			queries = in.Log.Size()
 		}
-		o.log.LogAttrs(ctx, slog.LevelInfo, "solve.start",
+		o.logAttrs(ctx, slog.LevelInfo, "solve.start",
 			slog.String("solver", name),
 			slog.Int("queries", queries),
 			slog.Int("width", in.Tuple.Width()),
@@ -70,17 +83,26 @@ func beginSolve(ctx context.Context, name string, in Instance) solveObs {
 	return o
 }
 
+// logAttrs forwards to the solve's logger, appending the trace_id attr when
+// the request carries one.
+func (o solveObs) logAttrs(ctx context.Context, level slog.Level, msg string, attrs ...slog.Attr) {
+	if o.traceID != "" {
+		attrs = append(attrs, slog.String("trace_id", o.traceID))
+	}
+	o.log.LogAttrs(ctx, level, msg, attrs...)
+}
+
 // end closes the solve's observability scope and passes (sol, err) through,
 // so every SolveContext can finish with `return obs.end(ctx, sol, err)`.
 func (o solveObs) end(ctx context.Context, sol Solution, err error) (Solution, error) {
 	d := time.Since(o.start)
-	mSolveDuration.Observe(d.Seconds())
+	mSolveDuration.ObserveExemplar(d.Seconds(), obsv.TraceIDStringFromContext(ctx))
 	o.span.End()
 	sol.trace = o.tr
 	switch {
 	case err == nil:
 		if o.log != nil {
-			o.log.LogAttrs(ctx, slog.LevelInfo, "solve.finish",
+			o.logAttrs(ctx, slog.LevelInfo, "solve.finish",
 				slog.String("solver", o.name),
 				slog.Int("satisfied", sol.Satisfied),
 				slog.Bool("optimal", sol.Optimal),
@@ -89,7 +111,7 @@ func (o solveObs) end(ctx context.Context, sol Solution, err error) (Solution, e
 	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
 		mSolveCancels.Add(1)
 		if o.log != nil {
-			o.log.LogAttrs(ctx, slog.LevelWarn, "solve.cancel",
+			o.logAttrs(ctx, slog.LevelWarn, "solve.cancel",
 				slog.String("solver", o.name),
 				slog.Duration("elapsed", d),
 				slog.String("error", err.Error()))
@@ -97,7 +119,7 @@ func (o solveObs) end(ctx context.Context, sol Solution, err error) (Solution, e
 	default:
 		mSolveErrors.Add(1)
 		if o.log != nil {
-			o.log.LogAttrs(ctx, slog.LevelError, "solve.error",
+			o.logAttrs(ctx, slog.LevelError, "solve.error",
 				slog.String("solver", o.name),
 				slog.Duration("elapsed", d),
 				slog.String("error", err.Error()))

@@ -114,7 +114,12 @@ func PrepareLogContextWith(ctx context.Context, log *dataset.QueryLog, opts inde
 		nq:      log.Size(),
 		sols:    cache.NewLRU[solutionKey, Solution](DefaultSolutionCacheSize),
 	}
-	p.sols.OnEvict = func(solutionKey, Solution) { mPrepCacheEvictions.Add(1) }
+	p.sols.OnEvict = func(solutionKey, Solution) {
+		mPrepCacheEvictions.Add(1)
+		mCacheEvictions.Add(1)
+	}
+	p.sols.OnHit = func() { mCacheHits.Add(1) }
+	p.sols.OnMiss = func() { mCacheMisses.Add(1) }
 	return p, nil
 }
 

@@ -28,6 +28,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"standout/internal/obsv"
 )
 
 // Kind selects what a firing rule does to the hitting call.
@@ -231,6 +233,13 @@ func (in *Injector) Hit(ctx context.Context, site string) error {
 	for _, rs := range rules {
 		if !rs.matches(n) {
 			continue
+		}
+		// A firing fault is part of the request's story: record it into the
+		// active trace so the flight recorder and /debug/requests can show
+		// which requests were faulted and at which site/hit number.
+		if tr := obsv.FromContext(ctx); tr != nil {
+			tr.Count("fault.fired", 1)
+			tr.Event("fault."+site, int64(n))
 		}
 		if d := in.delayFor(rs, site, n); d > 0 {
 			if err := sleep(ctx, d); err != nil {

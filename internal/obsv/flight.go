@@ -1,0 +1,248 @@
+package obsv
+
+import (
+	"encoding/json"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"time"
+)
+
+// The flight recorder: an always-on, fixed-size, lock-free ring of
+// completed-request records, so a live server can always answer "what just
+// happened" — which requests were slow, shed, degraded, faulted, or panicked
+// — without any external tracing backend. Writes are two atomic ops (a
+// sequence claim and a slot pointer store), cheap enough to leave on under
+// full load; readers snapshot the ring without blocking writers.
+//
+// Tail sampling biases the bounded ring toward interesting traffic: records
+// that errored, shed, degraded, panicked, hit an injected fault, or ran
+// slower than the recorder's threshold are always kept, while boring
+// successes are kept 1-in-SampleEvery. The decision happens at request end
+// (tail), when the outcome is known — head sampling would have to guess.
+
+// Record is one completed request as the flight recorder keeps it. Records
+// are immutable once handed to Flight.Record.
+type Record struct {
+	// Seq is the recorder's own monotone sequence number (1-based, assigned
+	// at keep time); it orders records and survives ring wrap.
+	Seq uint64 `json:"seq"`
+	// TraceID is the request's distributed trace ID (32 hex chars).
+	TraceID string `json:"trace_id"`
+	// Route is the request path, e.g. "/solve".
+	Route string `json:"route"`
+	// Status is the HTTP status served.
+	Status int `json:"status"`
+	// Start is the request's arrival time.
+	Start time.Time `json:"start"`
+	// LatencyMS is the wall time from arrival to response, in milliseconds.
+	LatencyMS float64 `json:"latency_ms"`
+	// Algo is the requested algorithm; Solver the ladder rung that actually
+	// answered (empty on non-solve routes).
+	Algo   string `json:"algo,omitempty"`
+	Solver string `json:"solver,omitempty"`
+	// Outcome flags. Slow is stamped by Record against the recorder's
+	// threshold; the others are the caller's.
+	Degraded bool `json:"degraded,omitempty"`
+	Shed     bool `json:"shed,omitempty"`
+	Panic    bool `json:"panic,omitempty"`
+	Fault    bool `json:"fault,omitempty"`
+	Slow     bool `json:"slow,omitempty"`
+	// Error carries the response's error message, if any.
+	Error string `json:"error,omitempty"`
+	// Trace is the request's trace summary (phases, counters, events).
+	Trace *Summary `json:"trace,omitempty"`
+}
+
+// Interesting reports whether the record must survive tail sampling:
+// anything that was not a plain fast success.
+func (r *Record) Interesting() bool {
+	return r.Status >= 400 || r.Degraded || r.Shed || r.Panic || r.Fault || r.Slow || r.Error != ""
+}
+
+// Flight is the fixed-size lock-free flight-recorder ring. A nil *Flight is
+// valid and inert (Record keeps nothing, Snapshot is empty), which is the
+// "recorder disabled" switch. Construct with NewFlight.
+type Flight struct {
+	slots       []atomic.Pointer[Record]
+	seq         atomic.Uint64 // kept records; claims ring slots
+	seen        atomic.Uint64 // all offered records, kept or not
+	sampledOut  atomic.Uint64 // boring records dropped by sampling
+	sampleEvery uint64
+	slow        time.Duration
+}
+
+// NewFlight builds a recorder holding the last size kept records. slow is
+// the latency threshold above which a request counts as interesting (≤ 0
+// disables the slow flag). sampleEvery keeps 1-in-N boring successes (≤ 1
+// keeps all). A size ≤ 0 returns nil — the disabled recorder.
+func NewFlight(size int, slow time.Duration, sampleEvery int) *Flight {
+	if size <= 0 {
+		return nil
+	}
+	if sampleEvery < 1 {
+		sampleEvery = 1
+	}
+	return &Flight{
+		slots:       make([]atomic.Pointer[Record], size),
+		sampleEvery: uint64(sampleEvery),
+		slow:        slow,
+	}
+}
+
+// SlowThreshold returns the recorder's slow-request latency threshold.
+func (f *Flight) SlowThreshold() time.Duration {
+	if f == nil {
+		return 0
+	}
+	return f.slow
+}
+
+// Record offers one completed request to the ring. It stamps r.Slow from the
+// recorder's threshold, applies tail sampling, and reports whether the
+// record was kept. r must not be mutated afterwards — readers hold the
+// pointer. Safe for concurrent use; nil-safe.
+func (f *Flight) Record(r *Record) bool {
+	if f == nil {
+		return false
+	}
+	if f.slow > 0 && r.LatencyMS >= float64(f.slow)/float64(time.Millisecond) {
+		r.Slow = true
+	}
+	n := f.seen.Add(1)
+	if !r.Interesting() && f.sampleEvery > 1 && (n-1)%f.sampleEvery != 0 {
+		f.sampledOut.Add(1)
+		return false
+	}
+	r.Seq = f.seq.Add(1)
+	f.slots[(r.Seq-1)%uint64(len(f.slots))].Store(r)
+	return true
+}
+
+// FlightStats is a point-in-time snapshot of the recorder's counters.
+type FlightStats struct {
+	// Seen counts every request offered; Kept those that entered the ring;
+	// SampledOut the boring successes dropped by tail sampling.
+	Seen       uint64 `json:"seen"`
+	Kept       uint64 `json:"kept"`
+	SampledOut uint64 `json:"sampled_out"`
+	// Size is the ring capacity; SampleEvery the boring-keep rate.
+	Size        int     `json:"size"`
+	SampleEvery uint64  `json:"sample_every"`
+	SlowMS      float64 `json:"slow_ms"`
+}
+
+// Stats snapshots the recorder's counters. Nil-safe.
+func (f *Flight) Stats() FlightStats {
+	if f == nil {
+		return FlightStats{}
+	}
+	return FlightStats{
+		Seen:        f.seen.Load(),
+		Kept:        f.seq.Load(),
+		SampledOut:  f.sampledOut.Load(),
+		Size:        len(f.slots),
+		SampleEvery: f.sampleEvery,
+		SlowMS:      float64(f.slow) / float64(time.Millisecond),
+	}
+}
+
+// Snapshot returns the kept records, newest first. It reads the ring without
+// blocking writers; a record being overwritten concurrently appears as
+// either its old or new value, never torn. Nil-safe.
+func (f *Flight) Snapshot() []Record {
+	if f == nil {
+		return nil
+	}
+	out := make([]Record, 0, len(f.slots))
+	for i := range f.slots {
+		if r := f.slots[i].Load(); r != nil {
+			out = append(out, *r)
+		}
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].Seq > out[b].Seq })
+	return out
+}
+
+// Find returns the most recent record with the given trace ID still in the
+// ring. Nil-safe.
+func (f *Flight) Find(traceID string) (Record, bool) {
+	var best *Record
+	if f == nil {
+		return Record{}, false
+	}
+	for i := range f.slots {
+		if r := f.slots[i].Load(); r != nil && r.TraceID == traceID {
+			if best == nil || r.Seq > best.Seq {
+				best = r
+			}
+		}
+	}
+	if best == nil {
+		return Record{}, false
+	}
+	return *best, true
+}
+
+// flightListResponse is the JSON body of the list endpoint.
+type flightListResponse struct {
+	Stats   FlightStats `json:"stats"`
+	Records []Record    `json:"records"`
+}
+
+// Handler returns the recorder's debug endpoint handler. Mount it at both
+// "/debug/requests" (list; query params: n=LIMIT bounds the rows,
+// interesting=1 filters to interesting records) and "/debug/requests/"
+// (where the rest of the path is a trace ID to look up). Works on a nil
+// recorder — requests answer 503 with a JSON error.
+func (f *Flight) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		if f == nil {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			_ = json.NewEncoder(w).Encode(map[string]string{"error": "flight recorder disabled"})
+			return
+		}
+		if id := flightPathID(r.URL.Path); id != "" {
+			rec, ok := f.Find(id)
+			if !ok {
+				w.WriteHeader(http.StatusNotFound)
+				_ = json.NewEncoder(w).Encode(map[string]string{
+					"error": "no record for trace id " + id + " (evicted or never kept)"})
+				return
+			}
+			_ = json.NewEncoder(w).Encode(rec)
+			return
+		}
+		recs := f.Snapshot()
+		if r.URL.Query().Get("interesting") == "1" {
+			kept := recs[:0]
+			for _, rec := range recs {
+				if rec.Interesting() {
+					kept = append(kept, rec)
+				}
+			}
+			recs = kept
+		}
+		if s := r.URL.Query().Get("n"); s != "" {
+			if n, err := strconv.Atoi(s); err == nil && n >= 0 && n < len(recs) {
+				recs = recs[:n]
+			}
+		}
+		if recs == nil {
+			recs = []Record{}
+		}
+		_ = json.NewEncoder(w).Encode(flightListResponse{Stats: f.Stats(), Records: recs})
+	})
+}
+
+// flightPathID extracts the trace-id path element of a lookup request
+// ("/debug/requests/<id>"), or "" for the list route.
+func flightPathID(path string) string {
+	const prefix = "/debug/requests"
+	rest := strings.TrimPrefix(path, prefix)
+	rest = strings.Trim(rest, "/")
+	return rest
+}

@@ -1,0 +1,212 @@
+package obsv
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+)
+
+func okRecord(id string) *Record {
+	return &Record{TraceID: id, Route: "/solve", Status: 200, Start: time.Now(), LatencyMS: 0.5}
+}
+
+func TestFlightNilIsInert(t *testing.T) {
+	var f *Flight
+	if f.Record(okRecord("aa")) {
+		t.Fatal("nil flight kept a record")
+	}
+	if got := f.Snapshot(); got != nil {
+		t.Fatalf("nil snapshot = %v", got)
+	}
+	if _, ok := f.Find("aa"); ok {
+		t.Fatal("nil flight found a record")
+	}
+	if s := f.Stats(); s.Seen != 0 || s.Size != 0 {
+		t.Fatalf("nil stats = %+v", s)
+	}
+	if NewFlight(0, time.Second, 1) != nil {
+		t.Fatal("NewFlight(0) should be the nil recorder")
+	}
+	// The disabled recorder still answers its debug endpoint, with a 503.
+	rr := httptest.NewRecorder()
+	f.Handler().ServeHTTP(rr, httptest.NewRequest("GET", "/debug/requests", nil))
+	if rr.Code != 503 {
+		t.Fatalf("disabled handler status = %d, want 503", rr.Code)
+	}
+}
+
+func TestFlightRingWrapKeepsNewest(t *testing.T) {
+	f := NewFlight(4, 0, 1)
+	for i := 0; i < 10; i++ {
+		if !f.Record(okRecord(fmt.Sprintf("%032d", i))) {
+			t.Fatalf("record %d dropped with sampling off", i)
+		}
+	}
+	recs := f.Snapshot()
+	if len(recs) != 4 {
+		t.Fatalf("ring holds %d records, want 4", len(recs))
+	}
+	for i, r := range recs {
+		wantSeq := uint64(10 - i)
+		if r.Seq != wantSeq {
+			t.Fatalf("record %d seq = %d, want %d (newest first)", i, r.Seq, wantSeq)
+		}
+	}
+	if _, ok := f.Find(fmt.Sprintf("%032d", 0)); ok {
+		t.Fatal("evicted record still findable")
+	}
+	if got, ok := f.Find(fmt.Sprintf("%032d", 9)); !ok || got.Seq != 10 {
+		t.Fatalf("newest record lookup = (%+v, %v)", got, ok)
+	}
+}
+
+func TestFlightTailSamplingKeepsInteresting(t *testing.T) {
+	f := NewFlight(64, 0, 8) // keep 1-in-8 boring
+	interesting := []*Record{
+		{TraceID: "e1", Status: 500},
+		{TraceID: "e2", Status: 200, Degraded: true},
+		{TraceID: "e3", Status: 429, Shed: true},
+		{TraceID: "e4", Status: 200, Panic: true},
+		{TraceID: "e5", Status: 200, Fault: true},
+		{TraceID: "e6", Status: 200, Error: "boom"},
+	}
+	kept := 0
+	for i := 0; i < 26; i++ {
+		if f.Record(okRecord(fmt.Sprintf("b%031d", i))) {
+			kept++
+		}
+		if i < len(interesting) {
+			if !f.Record(interesting[i]) {
+				t.Fatalf("interesting record %d sampled out: %+v", i, interesting[i])
+			}
+		}
+	}
+	if kept == 0 || kept >= 26 {
+		t.Fatalf("boring keeps = %d of 26, want a 1-in-8 sample", kept)
+	}
+	st := f.Stats()
+	if st.Seen != 32 || st.SampledOut != uint64(26-kept) || st.Kept != uint64(kept+6) {
+		t.Fatalf("stats = %+v (boring kept %d)", st, kept)
+	}
+}
+
+func TestFlightSlowThresholdStamps(t *testing.T) {
+	f := NewFlight(8, 10*time.Millisecond, 1000) // sample out almost everything boring
+	fast := okRecord("f1")
+	fast.LatencyMS = 1
+	slow := okRecord("51")
+	slow.LatencyMS = 25
+	f.Record(fast) // first boring record is the 1-in-N keep
+	if !f.Record(slow) {
+		t.Fatal("slow record sampled out")
+	}
+	got, ok := f.Find("51")
+	if !ok || !got.Slow {
+		t.Fatalf("slow record = (%+v, %v), want Slow=true", got, ok)
+	}
+	if got, _ := f.Find("f1"); got.Slow {
+		t.Fatal("fast record stamped slow")
+	}
+}
+
+func TestFlightConcurrentRecordAndSnapshot(t *testing.T) {
+	f := NewFlight(16, time.Millisecond, 4)
+	var writers, reader sync.WaitGroup
+	stop := make(chan struct{})
+	for g := 0; g < 4; g++ {
+		writers.Add(1)
+		go func(g int) {
+			defer writers.Done()
+			for i := 0; i < 500; i++ {
+				r := okRecord(fmt.Sprintf("%02d%030d", g, i))
+				if i%7 == 0 {
+					r.Degraded = true
+				}
+				f.Record(r)
+			}
+		}(g)
+	}
+	reader.Add(1)
+	go func() {
+		defer reader.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			for _, r := range f.Snapshot() {
+				if r.TraceID == "" || r.Seq == 0 {
+					t.Error("torn record in snapshot")
+					return
+				}
+			}
+			f.Find("0100000000000000000000000000000007")
+		}
+	}()
+	writers.Wait()
+	close(stop)
+	reader.Wait()
+	if st := f.Stats(); st.Seen != 2000 {
+		t.Fatalf("seen = %d, want 2000", st.Seen)
+	}
+}
+
+func TestFlightHandlerListAndLookup(t *testing.T) {
+	f := NewFlight(8, 0, 1)
+	deg := &Record{TraceID: "deadbeefdeadbeefdeadbeefdeadbeef", Route: "/solve", Status: 200,
+		Degraded: true, Solver: "greedy", LatencyMS: 3.5,
+		Trace: &Summary{Counters: map[string]int64{"batch.tuples": 2}}}
+	f.Record(okRecord("00000000000000000000000000000001"))
+	f.Record(deg)
+	f.Record(okRecord("00000000000000000000000000000002"))
+	h := f.Handler()
+
+	get := func(path string) (int, []byte) {
+		rr := httptest.NewRecorder()
+		h.ServeHTTP(rr, httptest.NewRequest("GET", path, nil))
+		return rr.Code, rr.Body.Bytes()
+	}
+
+	code, body := get("/debug/requests")
+	if code != 200 {
+		t.Fatalf("list status %d", code)
+	}
+	var list flightListResponse
+	if err := json.Unmarshal(body, &list); err != nil {
+		t.Fatalf("list body: %v\n%s", err, body)
+	}
+	if len(list.Records) != 3 || list.Records[0].Seq != 3 {
+		t.Fatalf("list = %+v", list.Records)
+	}
+	if list.Stats.Seen != 3 || list.Stats.Size != 8 {
+		t.Fatalf("list stats = %+v", list.Stats)
+	}
+
+	code, body = get("/debug/requests?n=1&interesting=1")
+	if err := json.Unmarshal(body, &list); err != nil || code != 200 {
+		t.Fatalf("filtered list: %d %v", code, err)
+	}
+	if len(list.Records) != 1 || !list.Records[0].Degraded {
+		t.Fatalf("filtered list = %+v", list.Records)
+	}
+
+	code, body = get("/debug/requests/deadbeefdeadbeefdeadbeefdeadbeef")
+	if code != 200 {
+		t.Fatalf("lookup status %d: %s", code, body)
+	}
+	var rec Record
+	if err := json.Unmarshal(body, &rec); err != nil {
+		t.Fatal(err)
+	}
+	if rec.Solver != "greedy" || rec.Trace == nil || rec.Trace.Counters["batch.tuples"] != 2 {
+		t.Fatalf("lookup record = %+v", rec)
+	}
+
+	if code, _ := get("/debug/requests/ffffffffffffffffffffffffffffffff"); code != 404 {
+		t.Fatalf("missing lookup status %d, want 404", code)
+	}
+}

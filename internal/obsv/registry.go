@@ -146,19 +146,43 @@ type Histogram struct {
 	helpText string
 	bounds   []float64 // sorted upper bounds, +Inf implicit
 
-	mu     sync.Mutex
-	counts []uint64 // one per bound, plus the +Inf overflow at the end
-	sum    float64
-	total  uint64
+	mu        sync.Mutex
+	counts    []uint64 // one per bound, plus the +Inf overflow at the end
+	sum       float64
+	total     uint64
+	exemplars []exemplar // lazily sized like counts; zero TraceID = none
+}
+
+// exemplar links one observed sample to the trace that produced it, kept
+// per native (non-cumulative) bucket — the newest sample wins, which is what
+// "show me a trace for this latency band" wants.
+type exemplar struct {
+	traceID string
+	value   float64
 }
 
 // Observe records one sample.
 func (h *Histogram) Observe(v float64) {
+	h.ObserveExemplar(v, "")
+}
+
+// ObserveExemplar records one sample and, when traceID is non-empty, makes
+// it the sample's bucket exemplar: WriteProm renders the trace ID on that
+// bucket's line in OpenMetrics exemplar syntax, linking the metric to the
+// flight-recorder record and the distributed trace. An empty traceID is
+// exactly Observe.
+func (h *Histogram) ObserveExemplar(v float64, traceID string) {
 	h.mu.Lock()
 	i := sort.SearchFloat64s(h.bounds, v)
 	h.counts[i]++
 	h.sum += v
 	h.total++
+	if traceID != "" {
+		if h.exemplars == nil {
+			h.exemplars = make([]exemplar, len(h.bounds)+1)
+		}
+		h.exemplars[i] = exemplar{traceID: traceID, value: v}
+	}
 	h.mu.Unlock()
 }
 
@@ -190,11 +214,22 @@ func (h *Histogram) writeProm(w io.Writer, name string) {
 	cum := uint64(0)
 	for i, b := range h.bounds {
 		cum += h.counts[i]
-		fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", name, promFloat(b), cum)
+		fmt.Fprintf(w, "%s_bucket{le=%q} %d%s\n", name, promFloat(b), cum, h.exemplarSuffix(i))
 	}
-	fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, h.total)
+	fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d%s\n", name, h.total, h.exemplarSuffix(len(h.bounds)))
 	fmt.Fprintf(w, "%s_sum %s\n", name, promFloat(h.sum))
 	fmt.Fprintf(w, "%s_count %d\n", name, h.total)
+}
+
+// exemplarSuffix renders bucket i's exemplar in OpenMetrics syntax
+// (` # {trace_id="…"} value`), or "". Caller holds h.mu. The exemplar rides
+// the cumulative bucket line of the native bucket its sample fell in, so its
+// value always lies within the line's le bound as OpenMetrics requires.
+func (h *Histogram) exemplarSuffix(i int) string {
+	if h.exemplars == nil || h.exemplars[i].traceID == "" {
+		return ""
+	}
+	return fmt.Sprintf(" # {trace_id=%q} %s", h.exemplars[i].traceID, promFloat(h.exemplars[i].value))
 }
 
 // Histogram returns the histogram registered under name, creating it with
@@ -289,9 +324,17 @@ func (r *Registry) PublishExpvar(name string) {
 var promLineRE = regexp.MustCompile(
 	`^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[a-zA-Z_][a-zA-Z0-9_]*="(\\.|[^"\\])*"(,[a-zA-Z_][a-zA-Z0-9_]*="(\\.|[^"\\])*")*\})? (NaN|[+-]?Inf|[-+]?[0-9]*\.?[0-9]+([eE][-+]?[0-9]+)?)( [0-9]+)?$`)
 
-// LintProm checks that text parses as Prometheus text exposition format.
-// It is intentionally strict about the sample-line grammar and is used by
-// the tests gating `socbench -metrics` output.
+// promExemplarRE validates the OpenMetrics exemplar clause that may follow a
+// sample value after " # ": a (possibly empty) label set, the exemplar
+// value, and an optional float timestamp.
+var promExemplarRE = regexp.MustCompile(
+	`^\{([a-zA-Z_][a-zA-Z0-9_]*="(\\.|[^"\\])*"(,[a-zA-Z_][a-zA-Z0-9_]*="(\\.|[^"\\])*")*)?\} (NaN|[+-]?Inf|[-+]?[0-9]*\.?[0-9]+([eE][-+]?[0-9]+)?)( [0-9]+(\.[0-9]+)?)?$`)
+
+// LintProm checks that text parses as Prometheus text exposition format,
+// extended with OpenMetrics exemplar clauses on sample lines (the dialect
+// WriteProm emits; see DESIGN.md §13 for why exemplars are rendered
+// unconditionally). It is intentionally strict about the grammar and gates
+// the full live registry in tests.
 func LintProm(text string) error {
 	for i, line := range strings.Split(text, "\n") {
 		if line == "" {
@@ -303,7 +346,17 @@ func LintProm(text string) error {
 			}
 			continue
 		}
-		if !promLineRE.MatchString(line) {
+		sample := line
+		// An exemplar clause is introduced by " # {". Label values cannot
+		// contain an unescaped '"', so the separator cannot occur inside the
+		// sample part of a well-formed line.
+		if j := strings.Index(line, " # "); j >= 0 {
+			sample = line[:j]
+			if ex := line[j+3:]; !promExemplarRE.MatchString(ex) {
+				return fmt.Errorf("line %d: not a valid exemplar clause: %q", i+1, ex)
+			}
+		}
+		if !promLineRE.MatchString(sample) {
 			return fmt.Errorf("line %d: not a valid sample line: %q", i+1, line)
 		}
 	}

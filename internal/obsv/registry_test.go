@@ -157,3 +157,61 @@ func TestStartServer(t *testing.T) {
 		t.Fatalf("/debug/vars not JSON: %v", err)
 	}
 }
+
+func TestHistogramExemplars(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat_seconds", "Latency.", []float64{0.01, 1})
+	h.ObserveExemplar(0.002, "0af7651916cd43dd8448eb211c80319c")
+	h.ObserveExemplar(0.5, "b7ad6b7169203331b7ad6b7169203331")
+	h.Observe(0.003) // no exemplar; must not clobber the bucket's
+
+	var sb strings.Builder
+	if err := r.WriteProm(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		`lat_seconds_bucket{le="0.01"} 2 # {trace_id="0af7651916cd43dd8448eb211c80319c"} 0.002`,
+		`lat_seconds_bucket{le="1"} 3 # {trace_id="b7ad6b7169203331b7ad6b7169203331"} 0.5`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exemplar line missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, `le="+Inf"} 3 #`) {
+		t.Errorf("+Inf bucket grew an exemplar it never observed:\n%s", out)
+	}
+	if err := LintProm(out); err != nil {
+		t.Fatalf("exemplar output fails LintProm: %v\n%s", err, out)
+	}
+
+	// The newest sample in a bucket wins.
+	h.ObserveExemplar(0.004, "cccccccccccccccccccccccccccccccc")
+	sb.Reset()
+	_ = r.WriteProm(&sb)
+	if !strings.Contains(sb.String(), `# {trace_id="cccccccccccccccccccccccccccccccc"} 0.004`) {
+		t.Fatalf("newest exemplar did not replace the old one:\n%s", sb.String())
+	}
+}
+
+func TestLintPromExemplarGrammar(t *testing.T) {
+	for _, good := range []string{
+		`m_bucket{le="1"} 3 # {trace_id="abc"} 0.5`,
+		`m_bucket{le="+Inf"} 3 # {} 0.5`,
+		`m_bucket{le="1"} 3 # {trace_id="abc",span_id="def"} 0.5 1234.5`,
+	} {
+		if err := LintProm(good); err != nil {
+			t.Errorf("LintProm rejected valid exemplar line %q: %v", good, err)
+		}
+	}
+	for _, bad := range []string{
+		`m_bucket{le="1"} 3 # trace_id="abc" 0.5`, // no braces
+		`m_bucket{le="1"} 3 # {trace_id=abc} 0.5`, // unquoted value
+		`m_bucket{le="1"} 3 # {trace_id="abc"}`,   // missing value
+		`m_bucket{le="1"} 3 #`,                    // dangling hash
+	} {
+		if err := LintProm(bad); err == nil {
+			t.Errorf("LintProm accepted malformed exemplar line %q", bad)
+		}
+	}
+}

@@ -34,6 +34,7 @@ type Trace struct {
 	t0 time.Time
 
 	mu       sync.Mutex
+	id       TraceID
 	counters map[string]int64
 	phases   map[string]*phaseAgg
 	events   []Event
@@ -52,6 +53,27 @@ func NewTrace() *Trace {
 		counters: make(map[string]int64),
 		phases:   make(map[string]*phaseAgg),
 	}
+}
+
+// SetTraceID stamps the trace with its request's distributed trace ID, so
+// snapshots (and the flight-recorder records embedding them) carry it.
+func (t *Trace) SetTraceID(id TraceID) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.id = id
+	t.mu.Unlock()
+}
+
+// TraceID returns the stamped trace ID (zero when never stamped or nil).
+func (t *Trace) TraceID() TraceID {
+	if t == nil {
+		return TraceID{}
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.id
 }
 
 // traceKey carries the Trace in a context. A zero-size key type keeps
@@ -162,6 +184,9 @@ type Event struct {
 // sorted by descending total time (the reading order of a phase breakdown),
 // counters render sorted by name.
 type Summary struct {
+	// TraceID is the distributed trace ID stamped with SetTraceID (hex, 32
+	// chars), or empty for a local/unstamped trace.
+	TraceID       string           `json:"trace_id,omitempty"`
 	Counters      map[string]int64 `json:"counters,omitempty"`
 	Phases        []PhaseStat      `json:"phases,omitempty"`
 	Events        []Event          `json:"events,omitempty"`
@@ -177,6 +202,9 @@ func (t *Trace) Snapshot() Summary {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	s := Summary{DroppedEvents: t.dropped}
+	if !t.id.IsZero() {
+		s.TraceID = t.id.String()
+	}
 	if len(t.counters) > 0 {
 		s.Counters = make(map[string]int64, len(t.counters))
 		for k, v := range t.counters {

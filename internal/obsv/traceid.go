@@ -1,0 +1,174 @@
+package obsv
+
+import (
+	"context"
+	"encoding/hex"
+	"fmt"
+	mrand "math/rand/v2"
+	"strings"
+)
+
+// Request identity: every request entering the serving layer gets a TraceID
+// (shared by everything done on the request's behalf, across process and
+// HTTP-hop boundaries) and a SpanID (this process's unit of work). The wire
+// format is the W3C Trace Context `traceparent` header,
+//
+//	version "-" trace-id "-" parent-id "-" trace-flags
+//	   00  - 32 lowhex  - 16 lowhex -   2 hex
+//
+// so inbound IDs from any W3C-compliant caller are honored and outbound
+// fan-out (the coming shard scatter-gather) propagates them unchanged. IDs
+// ride the context separately from *Trace: the untraced path stays
+// allocation-free (IDsFromContext on a bare context is a single map-free
+// Value lookup), and a Trace can be stamped with its TraceID for summaries.
+
+// TraceID is a 16-byte W3C trace-id. The zero value is invalid on the wire
+// (the spec forbids all-zero IDs) and doubles as "no ID".
+type TraceID [16]byte
+
+// SpanID is an 8-byte W3C parent-id (span identifier). The zero value is
+// invalid on the wire and doubles as "no ID".
+type SpanID [8]byte
+
+// IsZero reports whether the ID is the invalid all-zero value.
+func (t TraceID) IsZero() bool { return t == TraceID{} }
+
+// IsZero reports whether the ID is the invalid all-zero value.
+func (s SpanID) IsZero() bool { return s == SpanID{} }
+
+// String renders the ID as 32 lowercase hex characters.
+func (t TraceID) String() string { return hex.EncodeToString(t[:]) }
+
+// String renders the ID as 16 lowercase hex characters.
+func (s SpanID) String() string { return hex.EncodeToString(s[:]) }
+
+// NewTraceID returns a new random, non-zero trace ID. IDs only need to be
+// unique, not unpredictable, so they come from the auto-seeded math/rand/v2
+// generator rather than crypto/rand.
+func NewTraceID() TraceID {
+	var t TraceID
+	for t.IsZero() {
+		putUint64(t[:8], mrand.Uint64())
+		putUint64(t[8:], mrand.Uint64())
+	}
+	return t
+}
+
+// NewSpanID returns a new random, non-zero span ID.
+func NewSpanID() SpanID {
+	var s SpanID
+	for s.IsZero() {
+		putUint64(s[:], mrand.Uint64())
+	}
+	return s
+}
+
+func putUint64(b []byte, v uint64) {
+	for i := 0; i < 8; i++ {
+		b[i] = byte(v >> (56 - 8*i))
+	}
+}
+
+// ParseTraceparent parses a W3C traceparent header value. It accepts any
+// known-format version except the forbidden "ff", requires lowercase hex as
+// the spec does, and rejects all-zero IDs. The trace-flags byte is parsed for
+// validity but not returned: this system records every request (the flight
+// recorder does its own tail sampling), so the sampled bit does not change
+// behavior.
+func ParseTraceparent(header string) (TraceID, SpanID, error) {
+	var tid TraceID
+	var sid SpanID
+	parts := strings.Split(header, "-")
+	if len(parts) < 4 {
+		return tid, sid, fmt.Errorf("obsv: traceparent %q: want version-traceid-parentid-flags", header)
+	}
+	ver, rest := parts[0], parts[1:4]
+	if len(ver) != 2 || !isLowerHex(ver) {
+		return tid, sid, fmt.Errorf("obsv: traceparent %q: bad version %q", header, ver)
+	}
+	if ver == "ff" {
+		return tid, sid, fmt.Errorf("obsv: traceparent %q: version ff is forbidden", header)
+	}
+	if ver == "00" && len(parts) != 4 {
+		return tid, sid, fmt.Errorf("obsv: traceparent %q: version 00 has exactly 4 fields", header)
+	}
+	if len(rest[0]) != 32 || !isLowerHex(rest[0]) {
+		return tid, sid, fmt.Errorf("obsv: traceparent %q: bad trace-id %q", header, rest[0])
+	}
+	if len(rest[1]) != 16 || !isLowerHex(rest[1]) {
+		return tid, sid, fmt.Errorf("obsv: traceparent %q: bad parent-id %q", header, rest[1])
+	}
+	if len(rest[2]) != 2 || !isLowerHex(rest[2]) {
+		return tid, sid, fmt.Errorf("obsv: traceparent %q: bad trace-flags %q", header, rest[2])
+	}
+	if _, err := hex.Decode(tid[:], []byte(rest[0])); err != nil {
+		return TraceID{}, SpanID{}, fmt.Errorf("obsv: traceparent %q: %v", header, err)
+	}
+	if _, err := hex.Decode(sid[:], []byte(rest[1])); err != nil {
+		return TraceID{}, SpanID{}, fmt.Errorf("obsv: traceparent %q: %v", header, err)
+	}
+	if tid.IsZero() {
+		return TraceID{}, SpanID{}, fmt.Errorf("obsv: traceparent %q: all-zero trace-id", header)
+	}
+	if sid.IsZero() {
+		return TraceID{}, SpanID{}, fmt.Errorf("obsv: traceparent %q: all-zero parent-id", header)
+	}
+	return tid, sid, nil
+}
+
+// FormatTraceparent renders a version-00 traceparent header value with the
+// sampled flag set (this system always records; see ParseTraceparent).
+func FormatTraceparent(tid TraceID, sid SpanID) string {
+	var b strings.Builder
+	b.Grow(2 + 1 + 32 + 1 + 16 + 1 + 2)
+	b.WriteString("00-")
+	b.WriteString(tid.String())
+	b.WriteByte('-')
+	b.WriteString(sid.String())
+	b.WriteString("-01")
+	return b.String()
+}
+
+func isLowerHex(s string) bool {
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+// idsKey carries the request IDs in a context (zero-size key type, so the
+// miss path of IDsFromContext is allocation-free).
+type idsKey struct{}
+
+type ids struct {
+	trace TraceID
+	span  SpanID
+}
+
+// WithIDs returns a context carrying the request's trace and span IDs for
+// the stack underneath (solvers, batch workers, fault sites, metrics
+// exemplars). Attach once per request.
+func WithIDs(ctx context.Context, tid TraceID, sid SpanID) context.Context {
+	return context.WithValue(ctx, idsKey{}, ids{trace: tid, span: sid})
+}
+
+// IDsFromContext returns the request IDs attached with WithIDs. ok is false
+// on a bare context; the lookup never allocates either way.
+func IDsFromContext(ctx context.Context) (tid TraceID, sid SpanID, ok bool) {
+	v, ok := ctx.Value(idsKey{}).(ids)
+	return v.trace, v.span, ok
+}
+
+// TraceIDStringFromContext returns the hex trace ID attached with WithIDs,
+// or "" — the form metric exemplars and log attributes want. The empty path
+// does not allocate; the hit path allocates the hex string.
+func TraceIDStringFromContext(ctx context.Context) string {
+	tid, _, ok := IDsFromContext(ctx)
+	if !ok {
+		return ""
+	}
+	return tid.String()
+}

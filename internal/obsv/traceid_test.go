@@ -1,0 +1,137 @@
+package obsv
+
+import (
+	"context"
+	"strings"
+	"testing"
+)
+
+func TestTraceparentRoundTrip(t *testing.T) {
+	tid := NewTraceID()
+	sid := NewSpanID()
+	h := FormatTraceparent(tid, sid)
+	if !strings.HasPrefix(h, "00-") || !strings.HasSuffix(h, "-01") || len(h) != 55 {
+		t.Fatalf("formatted traceparent %q has wrong shape", h)
+	}
+	gotT, gotS, err := ParseTraceparent(h)
+	if err != nil {
+		t.Fatalf("ParseTraceparent(%q): %v", h, err)
+	}
+	if gotT != tid || gotS != sid {
+		t.Fatalf("round trip: got (%s, %s), want (%s, %s)", gotT, gotS, tid, sid)
+	}
+}
+
+func TestParseTraceparentHonorsInboundIDs(t *testing.T) {
+	const h = "00-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01"
+	tid, sid, err := ParseTraceparent(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tid.String() != "0af7651916cd43dd8448eb211c80319c" {
+		t.Fatalf("trace-id = %s", tid)
+	}
+	if sid.String() != "b7ad6b7169203331" {
+		t.Fatalf("parent-id = %s", sid)
+	}
+	// A future version with extra fields still parses (W3C forward compat).
+	if _, _, err := ParseTraceparent("01-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01-extra"); err != nil {
+		t.Fatalf("future version rejected: %v", err)
+	}
+}
+
+func TestParseTraceparentRejectsMalformed(t *testing.T) {
+	cases := map[string]string{
+		"empty":              "",
+		"too few fields":     "00-abc",
+		"short trace id":     "00-0af7651916cd43dd-b7ad6b7169203331-01",
+		"uppercase hex":      "00-0AF7651916CD43DD8448EB211C80319C-b7ad6b7169203331-01",
+		"non-hex trace id":   "00-0az7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01",
+		"zero trace id":      "00-00000000000000000000000000000000-b7ad6b7169203331-01",
+		"zero parent id":     "00-0af7651916cd43dd8448eb211c80319c-0000000000000000-01",
+		"short parent id":    "00-0af7651916cd43dd8448eb211c80319c-b7ad6b71-01",
+		"bad flags":          "00-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-zz",
+		"version ff":         "ff-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01",
+		"v00 extra fields":   "00-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01-extra",
+		"one-char version":   "0-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01",
+		"whitespace version": "  -0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01",
+	}
+	for name, h := range cases {
+		if _, _, err := ParseTraceparent(h); err == nil {
+			t.Errorf("%s: ParseTraceparent(%q) accepted", name, h)
+		}
+	}
+}
+
+func TestNewIDsNonZeroAndDistinct(t *testing.T) {
+	seen := map[TraceID]bool{}
+	for i := 0; i < 100; i++ {
+		id := NewTraceID()
+		if id.IsZero() {
+			t.Fatal("NewTraceID returned zero")
+		}
+		if seen[id] {
+			t.Fatalf("duplicate trace id %s in 100 draws", id)
+		}
+		seen[id] = true
+	}
+	if NewSpanID().IsZero() {
+		t.Fatal("NewSpanID returned zero")
+	}
+}
+
+func TestIDsContextRoundTrip(t *testing.T) {
+	if _, _, ok := IDsFromContext(context.Background()); ok {
+		t.Fatal("bare context reports IDs")
+	}
+	if got := TraceIDStringFromContext(context.Background()); got != "" {
+		t.Fatalf("bare context trace id = %q", got)
+	}
+	tid, sid := NewTraceID(), NewSpanID()
+	ctx := WithIDs(context.Background(), tid, sid)
+	gotT, gotS, ok := IDsFromContext(ctx)
+	if !ok || gotT != tid || gotS != sid {
+		t.Fatalf("IDsFromContext = (%s, %s, %v)", gotT, gotS, ok)
+	}
+	if got := TraceIDStringFromContext(ctx); got != tid.String() {
+		t.Fatalf("TraceIDStringFromContext = %q, want %q", got, tid.String())
+	}
+}
+
+func TestTraceIDStamp(t *testing.T) {
+	var nilTr *Trace
+	nilTr.SetTraceID(NewTraceID()) // must not panic
+	if !nilTr.TraceID().IsZero() {
+		t.Fatal("nil trace has an ID")
+	}
+	tr := NewTrace()
+	if s := tr.Snapshot(); s.TraceID != "" {
+		t.Fatalf("unstamped snapshot carries trace id %q", s.TraceID)
+	}
+	id := NewTraceID()
+	tr.SetTraceID(id)
+	if tr.TraceID() != id {
+		t.Fatal("TraceID did not round-trip")
+	}
+	if s := tr.Snapshot(); s.TraceID != id.String() {
+		t.Fatalf("snapshot trace id = %q, want %q", s.TraceID, id.String())
+	}
+}
+
+// TestUntracedIDLookupZeroAlloc pins the request-identity analog of the
+// cardinal obsv rule: code that checks for request IDs on a context without
+// any must not allocate, so the lookups can sit on every solve path.
+func TestUntracedIDLookupZeroAlloc(t *testing.T) {
+	ctx := context.Background()
+	allocs := testing.AllocsPerRun(100, func() {
+		if _, _, ok := IDsFromContext(ctx); ok {
+			t.Fatal("unexpected IDs")
+		}
+		if TraceIDStringFromContext(ctx) != "" {
+			t.Fatal("unexpected trace id")
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("bare-context ID lookup allocates %v per run, want 0", allocs)
+	}
+}

@@ -34,6 +34,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"runtime"
 	"runtime/debug"
@@ -95,6 +96,18 @@ type Config struct {
 	// Injector, when non-nil, attaches deterministic fault injection to
 	// every request and rebuild context (chaos testing).
 	Injector *fault.Injector
+	// FlightSize bounds the flight-recorder ring of completed-request
+	// records; default 256, negative disables the recorder.
+	FlightSize int
+	// SlowThreshold marks requests at or above it as slow: always kept by
+	// the recorder and logged at Warn; default 500ms.
+	SlowThreshold time.Duration
+	// SampleEvery keeps 1-in-N boring successes in the recorder (errored,
+	// shed, degraded, panicked, faulted and slow requests are always kept);
+	// default 1 (keep everything).
+	SampleEvery int
+	// Logger receives the structured slow-request log; default slog.Default.
+	Logger *slog.Logger
 }
 
 func (c Config) withDefaults() Config {
@@ -137,17 +150,31 @@ func (c Config) withDefaults() Config {
 	if c.Registry == nil {
 		c.Registry = obsv.Default
 	}
+	if c.FlightSize == 0 {
+		c.FlightSize = 256
+	}
+	if c.SlowThreshold <= 0 {
+		c.SlowThreshold = 500 * time.Millisecond
+	}
+	if c.SampleEvery < 1 {
+		c.SampleEvery = 1
+	}
+	if c.Logger == nil {
+		c.Logger = slog.Default()
+	}
 	return c
 }
 
 // Server is the hardened solving service. Construct with New, mount
 // Handler() on an http.Server, and Close when done.
 type Server struct {
-	cfg  Config
-	met  *metrics
-	adm  *admission
-	prep *prepCache
-	mux  *http.ServeMux
+	cfg    Config
+	met    *metrics
+	adm    *admission
+	prep   *prepCache
+	mux    *http.ServeMux
+	flight *obsv.Flight
+	logger *slog.Logger
 
 	baseCtx context.Context
 	stop    context.CancelFunc
@@ -173,6 +200,8 @@ func New(cfg Config) (*Server, error) {
 	s := &Server{
 		cfg:     cfg,
 		met:     newMetrics(cfg.Registry),
+		flight:  obsv.NewFlight(cfg.FlightSize, cfg.SlowThreshold, cfg.SampleEvery),
+		logger:  cfg.Logger,
 		baseCtx: baseCtx,
 		stop:    stop,
 		log:     cfg.Log,
@@ -180,13 +209,15 @@ func New(cfg Config) (*Server, error) {
 	s.adm = newAdmission(cfg.MaxConcurrent, cfg.MaxQueue, s.met)
 	s.prep = newPrepCache(baseCtx, cfg.Seed, cfg.RebuildRetries, cfg.RebuildBackoff, s.met)
 	s.mux = http.NewServeMux()
-	s.mux.HandleFunc("/solve", s.recovered(s.handleSolve))
-	s.mux.HandleFunc("/solve/batch", s.recovered(s.handleBatch))
-	s.mux.HandleFunc("/log", s.recovered(s.handleLog))
-	s.mux.HandleFunc("/log/touch", s.recovered(s.handleTouch))
+	s.mux.HandleFunc("/solve", s.traced("/solve", s.recovered(s.handleSolve)))
+	s.mux.HandleFunc("/solve/batch", s.traced("/solve/batch", s.recovered(s.handleBatch)))
+	s.mux.HandleFunc("/log", s.traced("/log", s.recovered(s.handleLog)))
+	s.mux.HandleFunc("/log/touch", s.traced("/log/touch", s.recovered(s.handleTouch)))
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/readyz", s.handleReadyz)
 	s.mux.Handle("/metrics", obsv.Handler(cfg.Registry))
+	s.mux.Handle("/debug/requests", s.flight.Handler())
+	s.mux.Handle("/debug/requests/", s.flight.Handler())
 	return s, nil
 }
 
@@ -242,7 +273,10 @@ func (s *Server) recovered(h http.HandlerFunc) http.HandlerFunc {
 			if rec := recover(); rec != nil {
 				s.met.panics.Add(1)
 				s.met.failures.Add(1)
-				writeJSON(w, http.StatusInternalServerError, errorResponse{
+				info := noteInfo(r.Context())
+				info.panicked = true
+				info.errMsg = fmt.Sprintf("panic: %v", rec)
+				writeJSON(r.Context(), w, http.StatusInternalServerError, errorResponse{
 					Error: fmt.Sprintf("panic: %v", rec), Panic: true,
 				})
 				_ = debug.Stack() // keep the capture cheap but explicit
@@ -268,6 +302,9 @@ type solveRequest struct {
 }
 
 type solveResponse struct {
+	// TraceID echoes the request's distributed trace ID (also in the
+	// X-Request-Id and traceparent response headers).
+	TraceID   string   `json:"trace_id,omitempty"`
 	Kept      []string `json:"kept"`
 	KeptBits  string   `json:"kept_bits"`
 	Satisfied int      `json:"satisfied"`
@@ -294,6 +331,7 @@ type batchItem struct {
 }
 
 type batchResponse struct {
+	TraceID string      `json:"trace_id,omitempty"`
 	Results []batchItem `json:"results"`
 	// Error carries the batch-level failure (first failing tuple), if any;
 	// Results still holds everything that completed before cancellation.
@@ -315,16 +353,21 @@ type appendRequest struct {
 }
 
 type errorResponse struct {
-	Error string `json:"error"`
-	Panic bool   `json:"panic,omitempty"`
+	// TraceID echoes the request's distributed trace ID, so error reports
+	// can be joined with /debug/requests records and histogram exemplars.
+	TraceID string `json:"trace_id,omitempty"`
+	Error   string `json:"error"`
+	Panic   bool   `json:"panic,omitempty"`
 	// RetryAfterMS accompanies 429 shed responses.
 	RetryAfterMS int `json:"retry_after_ms,omitempty"`
 }
 
-func writeJSON(w http.ResponseWriter, status int, v any) {
+// writeJSON writes the response body, stamping the request's trace ID into
+// body types that carry one (solve, batch and error responses).
+func writeJSON(ctx context.Context, w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
-	_ = json.NewEncoder(w).Encode(v)
+	_ = json.NewEncoder(w).Encode(stamp(ctx, v))
 }
 
 // timeoutFor clamps the request's timeout wish into (0, MaxTimeout].
@@ -344,18 +387,21 @@ func (s *Server) timeoutFor(ms int) time.Duration {
 func (s *Server) admit(ctx context.Context, w http.ResponseWriter) bool {
 	if err := fault.Hit(ctx, "serve.admit"); err != nil {
 		s.met.failures.Add(1)
-		writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: err.Error()})
+		noteInfo(ctx).errMsg = err.Error()
+		writeJSON(ctx, w, http.StatusServiceUnavailable, errorResponse{Error: err.Error()})
 		return false
 	}
 	if err := s.adm.acquire(ctx); err != nil {
 		if errors.Is(err, errShed) {
 			s.met.shed.Add(1)
+			noteInfo(ctx).shed = true
 			w.Header().Set("Retry-After", "1")
-			writeJSON(w, http.StatusTooManyRequests, errorResponse{
+			writeJSON(ctx, w, http.StatusTooManyRequests, errorResponse{
 				Error: "overloaded: admission queue full", RetryAfterMS: 1000,
 			})
 		} else {
-			writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: err.Error()})
+			noteInfo(ctx).errMsg = err.Error()
+			writeJSON(ctx, w, http.StatusServiceUnavailable, errorResponse{Error: err.Error()})
 		}
 		return false
 	}
@@ -365,19 +411,19 @@ func (s *Server) admit(ctx context.Context, w http.ResponseWriter) bool {
 func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		w.Header().Set("Allow", http.MethodPost)
-		writeJSON(w, http.StatusMethodNotAllowed, errorResponse{Error: "POST only"})
+		writeJSON(r.Context(), w, http.StatusMethodNotAllowed, errorResponse{Error: "POST only"})
 		return
 	}
 	s.met.requests.Add(1)
 	var req solveRequest
 	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20)).Decode(&req); err != nil {
-		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "bad request body: " + err.Error()})
+		writeJSON(r.Context(), w, http.StatusBadRequest, errorResponse{Error: "bad request body: " + err.Error()})
 		return
 	}
 	log := s.CurrentLog()
 	tuple, algo, status, errMsg := s.validateSolve(log, req.Tuple, req.M, req.Algo)
 	if status != 0 {
-		writeJSON(w, status, errorResponse{Error: errMsg})
+		writeJSON(r.Context(), w, status, errorResponse{Error: errMsg})
 		return
 	}
 
@@ -393,15 +439,17 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
 	sol, used, degraded, err := s.solveLadder(ctx, algo, log, tuple, req.M)
 	elapsed := time.Since(start)
-	s.met.latency.Observe(elapsed.Seconds())
+	s.met.latency.ObserveExemplar(elapsed.Seconds(), obsv.TraceIDStringFromContext(ctx))
+	info := noteInfo(ctx)
+	info.algo, info.solver, info.degraded = algo, used, degraded
 	if err != nil {
-		s.writeSolveError(w, err)
+		s.writeSolveError(ctx, w, err)
 		return
 	}
 	if degraded {
 		s.met.degraded.Add(1)
 	}
-	writeJSON(w, http.StatusOK, solveResponse{
+	writeJSON(r.Context(), w, http.StatusOK, solveResponse{
 		Kept:      sol.AttrNames(log.Schema),
 		KeptBits:  sol.Kept.String(),
 		Satisfied: sol.Satisfied,
@@ -435,41 +483,44 @@ func (s *Server) validateSolve(log *dataset.QueryLog, tupleSpec string, m int, a
 // writeSolveError maps a ladder failure to a response: deadline exhaustion
 // is 504, client cancellation 503, panics and injected faults 500 — always a
 // well-formed JSON body, never a hung or half-written connection.
-func (s *Server) writeSolveError(w http.ResponseWriter, err error) {
+func (s *Server) writeSolveError(ctx context.Context, w http.ResponseWriter, err error) {
+	info := noteInfo(ctx)
+	info.errMsg = err.Error()
 	var pe *core.PanicError
 	switch {
 	case errors.As(err, &pe):
 		s.met.failures.Add(1)
-		writeJSON(w, http.StatusInternalServerError, errorResponse{Error: err.Error(), Panic: true})
+		info.panicked = true
+		writeJSON(ctx, w, http.StatusInternalServerError, errorResponse{Error: err.Error(), Panic: true})
 	case errors.Is(err, context.DeadlineExceeded):
 		s.met.timeouts.Add(1)
-		writeJSON(w, http.StatusGatewayTimeout, errorResponse{Error: "deadline exceeded before any rung completed"})
+		writeJSON(ctx, w, http.StatusGatewayTimeout, errorResponse{Error: "deadline exceeded before any rung completed"})
 	case errors.Is(err, context.Canceled):
-		writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: "request canceled"})
+		writeJSON(ctx, w, http.StatusServiceUnavailable, errorResponse{Error: "request canceled"})
 	default:
 		s.met.failures.Add(1)
-		writeJSON(w, http.StatusInternalServerError, errorResponse{Error: err.Error()})
+		writeJSON(ctx, w, http.StatusInternalServerError, errorResponse{Error: err.Error()})
 	}
 }
 
 func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		w.Header().Set("Allow", http.MethodPost)
-		writeJSON(w, http.StatusMethodNotAllowed, errorResponse{Error: "POST only"})
+		writeJSON(r.Context(), w, http.StatusMethodNotAllowed, errorResponse{Error: "POST only"})
 		return
 	}
 	s.met.requests.Add(1)
 	var req batchRequest
 	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 64<<20)).Decode(&req); err != nil {
-		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "bad request body: " + err.Error()})
+		writeJSON(r.Context(), w, http.StatusBadRequest, errorResponse{Error: "bad request body: " + err.Error()})
 		return
 	}
 	if len(req.Tuples) == 0 {
-		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "empty tuples"})
+		writeJSON(r.Context(), w, http.StatusBadRequest, errorResponse{Error: "empty tuples"})
 		return
 	}
 	if len(req.Tuples) > s.cfg.MaxBatch {
-		writeJSON(w, http.StatusBadRequest, errorResponse{
+		writeJSON(r.Context(), w, http.StatusBadRequest, errorResponse{
 			Error: fmt.Sprintf("batch of %d exceeds limit %d", len(req.Tuples), s.cfg.MaxBatch)})
 		return
 	}
@@ -478,12 +529,12 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		req.Algo = "mfi-exact"
 	}
 	if _, ok := algorithms[req.Algo]; !ok {
-		writeJSON(w, http.StatusBadRequest, errorResponse{
+		writeJSON(r.Context(), w, http.StatusBadRequest, errorResponse{
 			Error: fmt.Sprintf("unknown algo %q (have %v)", req.Algo, AlgoNames())})
 		return
 	}
 	if req.M < 0 {
-		writeJSON(w, http.StatusBadRequest, errorResponse{Error: fmt.Sprintf("negative budget m=%d", req.M)})
+		writeJSON(r.Context(), w, http.StatusBadRequest, errorResponse{Error: fmt.Sprintf("negative budget m=%d", req.M)})
 		return
 	}
 
@@ -534,11 +585,14 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		sols, errs, batchErr = core.SolveBatchContext(pctx, solver, log, tuples, req.M, workers)
 	}
 	elapsed := time.Since(start)
-	s.met.latency.Observe(elapsed.Seconds())
+	s.met.latency.ObserveExemplar(elapsed.Seconds(), obsv.TraceIDStringFromContext(ctx))
+	info := noteInfo(ctx)
+	info.algo, info.solver, info.degraded = req.Algo, algo, degraded
 
 	if batchErr != nil && len(sols) == 0 && errors.Is(batchErr, context.DeadlineExceeded) {
 		s.met.timeouts.Add(1)
-		writeJSON(w, http.StatusGatewayTimeout, errorResponse{Error: "batch deadline exceeded"})
+		info.errMsg = "batch deadline exceeded"
+		writeJSON(r.Context(), w, http.StatusGatewayTimeout, errorResponse{Error: "batch deadline exceeded"})
 		return
 	}
 
@@ -572,12 +626,14 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	}
 	if batchErr != nil {
 		resp.Error = batchErr.Error()
+		info.errMsg = batchErr.Error()
 		var pe *core.PanicError
 		if errors.As(batchErr, &pe) {
 			s.met.panics.Add(1)
+			info.panicked = true
 		}
 	}
-	writeJSON(w, http.StatusOK, resp)
+	writeJSON(r.Context(), w, http.StatusOK, resp)
 }
 
 // batchAlgo picks the batch's solver tier from the remaining budget: the
@@ -607,15 +663,15 @@ func (s *Server) handleLog(w http.ResponseWriter, r *http.Request) {
 	switch r.Method {
 	case http.MethodGet:
 		log := s.CurrentLog()
-		writeJSON(w, http.StatusOK, logStats(log))
+		writeJSON(r.Context(), w, http.StatusOK, logStats(log))
 	case http.MethodPost:
 		var req appendRequest
 		if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 64<<20)).Decode(&req); err != nil {
-			writeJSON(w, http.StatusBadRequest, errorResponse{Error: "bad request body: " + err.Error()})
+			writeJSON(r.Context(), w, http.StatusBadRequest, errorResponse{Error: "bad request body: " + err.Error()})
 			return
 		}
 		if len(req.Append) == 0 {
-			writeJSON(w, http.StatusBadRequest, errorResponse{Error: "empty append"})
+			writeJSON(r.Context(), w, http.StatusBadRequest, errorResponse{Error: "empty append"})
 			return
 		}
 		// Copy-on-write: in-flight requests keep solving their snapshot; new
@@ -628,22 +684,22 @@ func (s *Server) handleLog(w http.ResponseWriter, r *http.Request) {
 			q, err := dataset.ParseTuple(old.Schema, spec)
 			if err != nil {
 				s.mu.Unlock()
-				writeJSON(w, http.StatusBadRequest, errorResponse{Error: "bad query: " + err.Error()})
+				writeJSON(r.Context(), w, http.StatusBadRequest, errorResponse{Error: "bad query: " + err.Error()})
 				return
 			}
 			if err := next.Append(q); err != nil {
 				s.mu.Unlock()
-				writeJSON(w, http.StatusBadRequest, errorResponse{Error: "bad query: " + err.Error()})
+				writeJSON(r.Context(), w, http.StatusBadRequest, errorResponse{Error: "bad query: " + err.Error()})
 				return
 			}
 		}
 		s.log = next
 		s.mu.Unlock()
 		s.met.logSwaps.Add(1)
-		writeJSON(w, http.StatusOK, logStats(next))
+		writeJSON(r.Context(), w, http.StatusOK, logStats(next))
 	default:
 		w.Header().Set("Allow", "GET, POST")
-		writeJSON(w, http.StatusMethodNotAllowed, errorResponse{Error: "GET or POST only"})
+		writeJSON(r.Context(), w, http.StatusMethodNotAllowed, errorResponse{Error: "GET or POST only"})
 	}
 }
 
@@ -654,12 +710,12 @@ func (s *Server) handleLog(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleTouch(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		w.Header().Set("Allow", http.MethodPost)
-		writeJSON(w, http.StatusMethodNotAllowed, errorResponse{Error: "POST only"})
+		writeJSON(r.Context(), w, http.StatusMethodNotAllowed, errorResponse{Error: "POST only"})
 		return
 	}
 	log := s.CurrentLog()
 	log.Touch()
-	writeJSON(w, http.StatusOK, logStats(log))
+	writeJSON(r.Context(), w, http.StatusOK, logStats(log))
 }
 
 func logStats(log *dataset.QueryLog) logResponse {
@@ -672,24 +728,24 @@ func logStats(log *dataset.QueryLog) logResponse {
 }
 
 // handleHealthz is liveness: the process is up and serving HTTP.
-func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(r.Context(), w, http.StatusOK, map[string]string{"status": "ok"})
 }
 
 // handleReadyz is readiness: the shared index matches the current log
 // generation and the admission queue has room. When the index is missing or
 // stale it kicks a background single-flight build and reports 503 so load
 // balancers drain to warmed replicas.
-func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 	if err := s.baseCtx.Err(); err != nil {
-		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "shutting down"})
+		writeJSON(r.Context(), w, http.StatusServiceUnavailable, map[string]string{"status": "shutting down"})
 		return
 	}
 	log := s.CurrentLog()
 	if p := s.prep.snapshot(); usable(p, log) {
-		writeJSON(w, http.StatusOK, map[string]any{"status": "ready", "queue_depth": s.adm.depth()})
+		writeJSON(r.Context(), w, http.StatusOK, map[string]any{"status": "ready", "queue_depth": s.adm.depth()})
 		return
 	}
 	go func() { _, _ = s.prep.get(s.baseCtx, log) }()
-	writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "index not ready"})
+	writeJSON(r.Context(), w, http.StatusServiceUnavailable, map[string]string{"status": "index not ready"})
 }

@@ -1,0 +1,161 @@
+package serve
+
+import (
+	"context"
+	"log/slog"
+	"net/http"
+	"time"
+
+	"standout/internal/obsv"
+)
+
+// Request-scoped tracing (DESIGN.md §13). Every traced route gets a W3C
+// trace context: an inbound `traceparent` header is honored (the request
+// joins the caller's trace), otherwise a fresh trace ID is minted. The IDs
+// ride the request context into the solver stack (obsv.WithIDs), the trace
+// collector is stamped with them (obsv.Trace.SetTraceID), and the response
+// echoes them in `traceparent` and `X-Request-Id` headers plus a `trace_id`
+// body field — so a caller holding an error response can go straight to
+// `GET /debug/requests/{id}` and the latency-histogram exemplars.
+
+// reqInfo accumulates per-request facts the handlers learn (which ladder rung
+// answered, whether admission shed, the error served) for the flight record.
+// It is written by the single handler goroutine and read by the middleware
+// after the handler returns.
+type reqInfo struct {
+	algo     string
+	solver   string
+	degraded bool
+	shed     bool
+	panicked bool
+	errMsg   string
+}
+
+// infoKey carries the *reqInfo in a context; zero-size for free lookups.
+type infoKey struct{}
+
+// noteInfo returns the request's reqInfo, or a throwaway on an untraced
+// context so call sites never nil-check.
+func noteInfo(ctx context.Context) *reqInfo {
+	if i, ok := ctx.Value(infoKey{}).(*reqInfo); ok {
+		return i
+	}
+	return &reqInfo{}
+}
+
+// statusWriter captures the status code a handler writes.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	return w.ResponseWriter.Write(b)
+}
+
+// traced wraps a route handler with the tracing middleware: trace-context
+// extraction/minting, header echo, an obsv.Trace for the solver stack, and —
+// after the handler returns — the flight-recorder record and the slow-request
+// log. It is the outermost layer, so a panic converted to a 500 by recovered
+// still produces a record with its real status.
+func (s *Server) traced(route string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		tid, _, err := obsv.ParseTraceparent(r.Header.Get("traceparent"))
+		if err != nil {
+			tid = obsv.NewTraceID()
+		}
+		span := obsv.NewSpanID()
+
+		tr := obsv.NewTrace()
+		tr.SetTraceID(tid)
+		info := &reqInfo{}
+		ctx := obsv.WithIDs(r.Context(), tid, span)
+		ctx = obsv.WithTrace(ctx, tr)
+		ctx = context.WithValue(ctx, infoKey{}, info)
+
+		w.Header().Set("X-Request-Id", tid.String())
+		w.Header().Set("traceparent", obsv.FormatTraceparent(tid, span))
+
+		sw := &statusWriter{ResponseWriter: w}
+		start := time.Now()
+		h(sw, r.WithContext(ctx))
+		elapsed := time.Since(start)
+
+		if sw.status == 0 {
+			sw.status = http.StatusOK
+		}
+		summary := tr.Snapshot()
+		rec := &obsv.Record{
+			TraceID:   tid.String(),
+			Route:     route,
+			Status:    sw.status,
+			Start:     start,
+			LatencyMS: float64(elapsed) / float64(time.Millisecond),
+			Algo:      info.algo,
+			Solver:    info.solver,
+			Degraded:  info.degraded,
+			Shed:      info.shed || sw.status == http.StatusTooManyRequests,
+			Panic:     info.panicked,
+			Fault:     tr.Counter("fault.fired") > 0,
+			Error:     info.errMsg,
+			Trace:     &summary,
+		}
+		if s.cfg.SlowThreshold > 0 && elapsed >= s.cfg.SlowThreshold {
+			rec.Slow = true
+		}
+		s.flight.Record(rec)
+		if rec.Slow {
+			s.logger.LogAttrs(ctx, slog.LevelWarn, "slow request",
+				slog.String("trace_id", rec.TraceID),
+				slog.String("route", route),
+				slog.Int("status", rec.Status),
+				slog.Float64("latency_ms", rec.LatencyMS),
+				slog.String("algo", rec.Algo),
+				slog.String("solver", rec.Solver),
+				slog.Bool("degraded", rec.Degraded),
+				slog.Bool("fault", rec.Fault))
+		}
+	}
+}
+
+// Flight returns the server's flight recorder (nil when disabled), for tests
+// and embedding processes that want programmatic access to recent requests.
+func (s *Server) Flight() *obsv.Flight { return s.flight }
+
+// stamp copies the request's trace ID into a response body that carries one,
+// so bodies are correlatable even when a proxy strips response headers. As
+// the choke point every error body passes through, it also notes the message
+// for the flight record, so ad-hoc 4xx writes need no extra bookkeeping.
+func stamp(ctx context.Context, v any) any {
+	if t, ok := v.(errorResponse); ok {
+		if info := noteInfo(ctx); info.errMsg == "" {
+			info.errMsg = t.Error
+		}
+	}
+	id := obsv.TraceIDStringFromContext(ctx)
+	if id == "" {
+		return v
+	}
+	switch t := v.(type) {
+	case errorResponse:
+		t.TraceID = id
+		return t
+	case solveResponse:
+		t.TraceID = id
+		return t
+	case batchResponse:
+		t.TraceID = id
+		return t
+	}
+	return v
+}

@@ -1,0 +1,66 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sort"
+	"testing"
+	"time"
+
+	"standout/internal/gen"
+	"standout/internal/obsv"
+)
+
+// benchmarkSolveRequest drives the full request path — tracing middleware,
+// admission, ladder, solve, response encoding — directly through the handler
+// (no network), with the flight recorder on or off, and reports per-request
+// p50/p99 wall time alongside ns/op. BENCH_obsv.json records a run of both;
+// the delta is the recorder's end-to-end overhead (two atomics, one record
+// allocation and a trace snapshot per request).
+func benchmarkSolveRequest(b *testing.B, flightSize int) {
+	b.Helper()
+	tab := gen.Cars(1, 150)
+	log := gen.RealWorkload(tab, 2, 50)
+	tuple := gen.PickTuples(tab, 3, 1)[0]
+	s, err := New(Config{
+		Log:        log,
+		Registry:   obsv.NewRegistry(),
+		Seed:       42,
+		FlightSize: flightSize,
+		// Far above any solve here: the bench measures recording cost, not
+		// slow-log formatting.
+		SlowThreshold: time.Hour,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer s.Close()
+	h := s.Handler()
+	body, err := json.Marshal(solveRequest{Tuple: tuple.String(), M: 5})
+	if err != nil {
+		b.Fatal(err)
+	}
+
+	lat := make([]time.Duration, 0, b.N)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		req := httptest.NewRequest(http.MethodPost, "/solve", bytes.NewReader(body))
+		rr := httptest.NewRecorder()
+		t0 := time.Now()
+		h.ServeHTTP(rr, req)
+		lat = append(lat, time.Since(t0))
+		if rr.Code != http.StatusOK {
+			b.Fatalf("status %d: %s", rr.Code, rr.Body.String())
+		}
+	}
+	b.StopTimer()
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	b.ReportMetric(float64(lat[len(lat)/2]), "p50-ns")
+	b.ReportMetric(float64(lat[len(lat)*99/100]), "p99-ns")
+}
+
+func BenchmarkSolveRequestFlightOn(b *testing.B)  { benchmarkSolveRequest(b, 256) }
+func BenchmarkSolveRequestFlightOff(b *testing.B) { benchmarkSolveRequest(b, -1) }

@@ -1,0 +1,433 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"standout/internal/fault"
+	"standout/internal/obsv"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files from current output")
+
+// postJSONH is postJSON plus request headers; it returns the response headers
+// too, for trace-propagation assertions.
+func postJSONH(t *testing.T, url string, body any, hdr map[string]string) (int, []byte, http.Header) {
+	t.Helper()
+	b, err := json.Marshal(body)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	req, err := http.NewRequest(http.MethodPost, url, bytes.NewReader(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	for k, v := range hdr {
+		req.Header.Set(k, v)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatalf("POST %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	out, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("read body: %v", err)
+	}
+	return resp.StatusCode, out, resp.Header
+}
+
+func getBody(t *testing.T, url string) (int, []byte) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	out, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("read body: %v", err)
+	}
+	return resp.StatusCode, out
+}
+
+// TestTraceContextEndToEnd is the tentpole acceptance path inside the serve
+// package: an inbound W3C traceparent is honored, echoed on the response
+// (headers and body), attached to the flight-recorder record, and visible as
+// an exemplar on the latency histogram.
+func TestTraceContextEndToEnd(t *testing.T) {
+	_, ts, _, tuples := newTestServer(t, nil)
+	const inTrace = "0af7651916cd43dd8448eb211c80319c"
+	inbound := "00-" + inTrace + "-b7ad6b7169203331-01"
+
+	status, raw, hdr := postJSONH(t, ts.URL+"/solve",
+		solveRequest{Tuple: tuples[0].String(), M: 5},
+		map[string]string{"traceparent": inbound})
+	if status != http.StatusOK {
+		t.Fatalf("solve status %d: %s", status, raw)
+	}
+
+	// Headers: the request id is the inbound trace id; the echoed traceparent
+	// keeps the trace id but carries this server's own (fresh) span id.
+	if got := hdr.Get("X-Request-Id"); got != inTrace {
+		t.Fatalf("X-Request-Id = %q, want %q", got, inTrace)
+	}
+	tp := hdr.Get("traceparent")
+	gotT, gotS, err := obsv.ParseTraceparent(tp)
+	if err != nil {
+		t.Fatalf("response traceparent %q: %v", tp, err)
+	}
+	if gotT.String() != inTrace {
+		t.Fatalf("response trace id %s, want %s", gotT, inTrace)
+	}
+	if gotS.String() == "b7ad6b7169203331" {
+		t.Fatal("server echoed the caller's span id instead of minting its own")
+	}
+
+	// Body: the trace id rides the solve response.
+	body := decode[solveResponse](t, raw)
+	if body.TraceID != inTrace {
+		t.Fatalf("body trace_id = %q, want %q", body.TraceID, inTrace)
+	}
+
+	// Flight recorder: the record is retrievable by trace id and carries the
+	// solver attribution and the trace summary.
+	code, recRaw := getBody(t, ts.URL+"/debug/requests/"+inTrace)
+	if code != http.StatusOK {
+		t.Fatalf("/debug/requests/{id} status %d: %s", code, recRaw)
+	}
+	rec := decode[obsv.Record](t, recRaw)
+	if rec.TraceID != inTrace || rec.Route != "/solve" || rec.Status != http.StatusOK {
+		t.Fatalf("flight record = %+v", rec)
+	}
+	if rec.Solver == "" || rec.Algo == "" {
+		t.Fatalf("flight record missing solver attribution: %+v", rec)
+	}
+	if rec.Trace == nil || rec.Trace.TraceID != inTrace {
+		t.Fatalf("flight record trace summary not stamped: %+v", rec.Trace)
+	}
+
+	// Metrics: the latency histogram carries the trace id as an exemplar.
+	code, met := getBody(t, ts.URL+"/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics status %d", code)
+	}
+	want := `# {trace_id="` + inTrace + `"}`
+	if !strings.Contains(string(met), want) {
+		t.Fatalf("/metrics has no exemplar %q:\n%s", want, met)
+	}
+	exRE := regexp.MustCompile(`standout_serve_request_seconds_bucket\{le="[^"]+"\} \d+ # \{trace_id="` +
+		inTrace + `"\} `)
+	if !exRE.MatchString(string(met)) {
+		t.Fatalf("exemplar not on a standout_serve_request_seconds bucket line:\n%s", met)
+	}
+	if err := obsv.LintProm(string(met)); err != nil {
+		t.Fatalf("/metrics with exemplars fails LintProm: %v", err)
+	}
+}
+
+func TestMintedTraceIDWhenHeaderAbsentOrBad(t *testing.T) {
+	_, ts, _, tuples := newTestServer(t, nil)
+	seen := map[string]bool{}
+	for _, hdr := range []map[string]string{
+		nil,
+		{"traceparent": "00-zzzz-bad-01"}, // malformed → minted, not errored
+	} {
+		status, raw, h := postJSONH(t, ts.URL+"/solve", solveRequest{Tuple: tuples[0].String(), M: 4}, hdr)
+		if status != http.StatusOK {
+			t.Fatalf("solve status %d: %s", status, raw)
+		}
+		id := h.Get("X-Request-Id")
+		if len(id) != 32 {
+			t.Fatalf("minted X-Request-Id %q is not 32 hex chars", id)
+		}
+		if _, _, err := obsv.ParseTraceparent(h.Get("traceparent")); err != nil {
+			t.Fatalf("minted traceparent %q invalid: %v", h.Get("traceparent"), err)
+		}
+		if seen[id] {
+			t.Fatalf("trace id %s reused across requests", id)
+		}
+		seen[id] = true
+		if body := decode[solveResponse](t, raw); body.TraceID != id {
+			t.Fatalf("body trace_id %q != header id %q", body.TraceID, id)
+		}
+	}
+}
+
+// TestShedResponseCarriesTraceHeaders is the regression for the shed path:
+// a 429 must keep its Retry-After hint and now also carry the trace headers
+// and body trace id, and the shed lands in the flight recorder.
+func TestShedResponseCarriesTraceHeaders(t *testing.T) {
+	inj := fault.New(7, fault.Rule{Site: "serve.solve", Kind: fault.KindDelay, Delay: 300 * time.Millisecond})
+	srv, ts, _, tuples := newTestServer(t, func(c *Config) {
+		c.MaxConcurrent = 1
+		c.MaxQueue = 1
+		c.Injector = inj
+	})
+	const n = 10
+	var mu sync.Mutex
+	var shedIDs []string
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			status, raw, hdr := postJSONH(t, ts.URL+"/solve",
+				solveRequest{Tuple: tuples[i%len(tuples)].String(), M: 2}, nil)
+			if status != http.StatusTooManyRequests {
+				return
+			}
+			if got := hdr.Get("Retry-After"); got != "1" {
+				t.Errorf("429 Retry-After = %q, want \"1\"", got)
+			}
+			id := hdr.Get("X-Request-Id")
+			if len(id) != 32 {
+				t.Errorf("429 X-Request-Id = %q, want 32 hex chars", id)
+			}
+			if _, _, err := obsv.ParseTraceparent(hdr.Get("traceparent")); err != nil {
+				t.Errorf("429 traceparent %q invalid: %v", hdr.Get("traceparent"), err)
+			}
+			e := decode[errorResponse](t, raw)
+			if e.RetryAfterMS <= 0 {
+				t.Errorf("429 without retry_after_ms: %s", raw)
+			}
+			if e.TraceID != id {
+				t.Errorf("429 body trace_id %q != header id %q", e.TraceID, id)
+			}
+			mu.Lock()
+			shedIDs = append(shedIDs, id)
+			mu.Unlock()
+		}(i)
+	}
+	wg.Wait()
+	if len(shedIDs) == 0 {
+		t.Fatalf("no requests shed with 1 slot + 1 queue and %d concurrent callers", n)
+	}
+	// Shed requests are interesting: tail sampling must have kept every one.
+	for _, id := range shedIDs {
+		rec, ok := srv.Flight().Find(id)
+		if !ok {
+			t.Fatalf("shed request %s missing from flight recorder", id)
+		}
+		if !rec.Shed || rec.Status != http.StatusTooManyRequests {
+			t.Fatalf("shed flight record = %+v", rec)
+		}
+	}
+}
+
+// TestMetricsFamiliesGolden pins the /metrics family shape (names, help,
+// types) of a fresh server's registry against a golden file, so renames and
+// accidental family drops show up as a diff. Run with -update to rewrite.
+func TestMetricsFamiliesGolden(t *testing.T) {
+	_, ts, _, _ := newTestServer(t, nil)
+	code, met := getBody(t, ts.URL+"/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics status %d", code)
+	}
+	var families []string
+	for _, line := range strings.Split(string(met), "\n") {
+		if strings.HasPrefix(line, "# HELP ") || strings.HasPrefix(line, "# TYPE ") {
+			families = append(families, line)
+		}
+	}
+	got := strings.Join(families, "\n") + "\n"
+	golden := filepath.Join("testdata", "metrics_families.golden")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("reading golden (run `go test ./internal/serve -run Golden -update` to create): %v", err)
+	}
+	if got != string(want) {
+		t.Fatalf("metrics families diverge from %s (run with -update to accept):\n--- got ---\n%s--- want ---\n%s",
+			golden, got, want)
+	}
+}
+
+// TestFullLiveRegistryLintProm renders the real process-wide registry — core
+// solver metrics, cache counters and serve metrics together, exemplars and
+// all — after mixed traffic, and holds it to the strict LintProm grammar.
+func TestFullLiveRegistryLintProm(t *testing.T) {
+	_, ts, _, tuples := newTestServer(t, func(c *Config) {
+		c.Registry = obsv.Default
+	})
+	for i, tuple := range tuples {
+		if status, raw := postJSON(t, ts.URL+"/solve", solveRequest{Tuple: tuple.String(), M: 3 + i%3}); status != http.StatusOK {
+			t.Fatalf("solve status %d: %s", status, raw)
+		}
+	}
+	specs := make([]string, len(tuples))
+	for i, tuple := range tuples {
+		specs[i] = tuple.String()
+	}
+	status, raw := postJSON(t, ts.URL+"/solve/batch", batchRequest{Tuples: specs, M: 4})
+	if status != http.StatusOK {
+		t.Fatalf("batch status %d: %s", status, raw)
+	}
+	if b := decode[batchResponse](t, raw); b.TraceID == "" {
+		t.Fatal("batch response body has no trace_id")
+	}
+
+	var sb strings.Builder
+	if err := obsv.Default.WriteProm(&sb); err != nil {
+		t.Fatal(err)
+	}
+	dump := sb.String()
+	if err := obsv.LintProm(dump); err != nil {
+		t.Fatalf("full live registry fails LintProm: %v", err)
+	}
+	for _, family := range []string{
+		"standout_solve_duration_seconds", // core, with exemplars from traced solves
+		"standout_cache_hits_total",
+		"standout_cache_misses_total",
+		"standout_cache_evictions_total",
+		"standout_serve_requests_total",
+	} {
+		if !strings.Contains(dump, "# TYPE "+family+" ") {
+			t.Errorf("full registry missing family %s", family)
+		}
+	}
+	// The core solve histogram on the default registry picked up exemplars
+	// from the traced requests above.
+	if !regexp.MustCompile(`standout_solve_duration_seconds_bucket\{le="[^"]+"\} \d+ # \{trace_id="[0-9a-f]{32}"\}`).MatchString(dump) {
+		t.Error("standout_solve_duration_seconds has no trace exemplar after traced solves")
+	}
+}
+
+// TestFlightRecorderUnderStorm runs faulted concurrent traffic with tail
+// sampling on while readers hammer the debug endpoints — the recorder's
+// production shape. Invariants: every response stays well-formed, the ring
+// keeps every interesting request it saw, and the debug endpoint always
+// returns coherent JSON.
+func TestFlightRecorderUnderStorm(t *testing.T) {
+	srv, ts, _, tuples := newTestServer(t, func(c *Config) {
+		c.Injector = chaosInjector(3)
+		c.FlightSize = 64
+		c.SampleEvery = 4
+		c.SlowThreshold = time.Minute // storm latencies are not "slow"; flags come from faults
+	})
+	stop := make(chan struct{})
+	var readers sync.WaitGroup
+	for g := 0; g < 2; g++ {
+		readers.Add(1)
+		go func() {
+			defer readers.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				code, raw := getBody(t, ts.URL+"/debug/requests?interesting=1")
+				if code != http.StatusOK {
+					t.Errorf("debug list status %d", code)
+					return
+				}
+				var list struct {
+					Stats   obsv.FlightStats `json:"stats"`
+					Records []obsv.Record    `json:"records"`
+				}
+				if err := json.Unmarshal(raw, &list); err != nil {
+					t.Errorf("debug list body: %v", err)
+					return
+				}
+				for _, r := range list.Records {
+					if !r.Interesting() {
+						t.Errorf("interesting=1 returned boring record %+v", r)
+						return
+					}
+				}
+			}
+		}()
+	}
+
+	var writers sync.WaitGroup
+	for c := 0; c < 4; c++ {
+		writers.Add(1)
+		go func(c int) {
+			defer writers.Done()
+			for i := 0; i < 40; i++ {
+				tuple := tuples[(c+i)%len(tuples)]
+				status, raw := postJSON(t, ts.URL+"/solve",
+					solveRequest{Tuple: tuple.String(), M: 4, TimeoutMS: 2000})
+				wellFormed(t, "solve", status, raw)
+			}
+		}(c)
+	}
+	writers.Wait()
+	close(stop)
+	readers.Wait()
+
+	st := srv.Flight().Stats()
+	if st.Seen == 0 || st.Kept == 0 {
+		t.Fatalf("recorder saw nothing under storm: %+v", st)
+	}
+	if st.Kept+st.SampledOut != st.Seen {
+		t.Fatalf("stats don't add up: %+v", st)
+	}
+	faulted := 0
+	for _, r := range srv.Flight().Snapshot() {
+		if r.Fault {
+			faulted++
+			if r.Trace == nil || r.Trace.Counters["fault.fired"] == 0 {
+				t.Fatalf("faulted record without fault.fired in its trace: %+v", r)
+			}
+		}
+	}
+	if faulted == 0 {
+		t.Fatal("chaos storm produced no fault-flagged flight records")
+	}
+}
+
+// TestLogRouteTraced pins that the log management routes are traced too.
+func TestLogRouteTraced(t *testing.T) {
+	_, ts, _, _ := newTestServer(t, nil)
+	resp, err := http.Get(ts.URL + "/log")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if id := resp.Header.Get("X-Request-Id"); len(id) != 32 {
+		t.Fatalf("GET /log X-Request-Id = %q, want 32 hex chars", id)
+	}
+}
+
+// TestBadRequestRecordCarriesError pins that ad-hoc 4xx writes — which call
+// writeJSON with an errorResponse directly instead of going through
+// writeSolveError — still land their message in the flight record (stamp is
+// the choke point that notes it).
+func TestBadRequestRecordCarriesError(t *testing.T) {
+	srv, ts, _, _ := newTestServer(t, nil)
+	status, raw, hdr := postJSONH(t, ts.URL+"/solve", solveRequest{Tuple: "NotAnAttr", M: 2}, nil)
+	if status != http.StatusBadRequest {
+		t.Fatalf("bad tuple status %d: %s", status, raw)
+	}
+	id := hdr.Get("X-Request-Id")
+	rec, ok := srv.Flight().Find(id)
+	if !ok {
+		t.Fatalf("400 request %s missing from flight recorder", id)
+	}
+	if rec.Status != http.StatusBadRequest || !strings.Contains(rec.Error, "bad tuple") {
+		t.Fatalf("400 flight record lost its error: %+v", rec)
+	}
+	if e := decode[errorResponse](t, raw); e.Error != rec.Error {
+		t.Fatalf("record error %q != body error %q", rec.Error, e.Error)
+	}
+}
