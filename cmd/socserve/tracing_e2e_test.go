@@ -79,21 +79,50 @@ func TestTraceContextLiveServer(t *testing.T) {
 		t.Fatalf("flight record's trace summary not stamped: %+v", rec.Trace)
 	}
 
-	// Exemplar: the trace id sits on a latency-histogram bucket line, and the
-	// whole live dump still passes the strict linter.
+	// Plain scrape: classic 0.0.4 text, no exemplar syntax (the classic
+	// parser would reject it), passing the strict linter.
 	mr, err := http.Get(url + "/metrics")
 	if err != nil {
 		t.Fatal(err)
 	}
 	met, _ := io.ReadAll(mr.Body)
 	mr.Body.Close()
+	if ct := mr.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("plain /metrics Content-Type = %q", ct)
+	}
+	if strings.Contains(string(met), " # ") {
+		t.Fatalf("classic /metrics scrape carries an exemplar suffix:\n%.2000s", met)
+	}
+	if err := obsv.LintProm(string(met)); err != nil {
+		t.Fatalf("live /metrics fails LintProm: %v", err)
+	}
+
+	// OpenMetrics scrape: the trace id sits on a latency-histogram bucket
+	// line as an exemplar, and the dump still passes the strict linter.
+	req, err = http.NewRequest(http.MethodGet, url+"/metrics", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Accept", "application/openmetrics-text; version=1.0.0; charset=utf-8")
+	mr, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	met, _ = io.ReadAll(mr.Body)
+	mr.Body.Close()
+	if ct := mr.Header.Get("Content-Type"); !strings.HasPrefix(ct, "application/openmetrics-text") {
+		t.Fatalf("OpenMetrics /metrics Content-Type = %q", ct)
+	}
 	exRE := regexp.MustCompile(
 		`standout_serve_request_seconds_bucket\{le="[^"]+"\} \d+ # \{trace_id="` + inTrace + `"\} `)
 	if !exRE.Match(met) {
 		t.Fatalf("no latency exemplar for %s in /metrics:\n%.2000s", inTrace, met)
 	}
+	if !strings.HasSuffix(string(met), "# EOF\n") {
+		t.Fatalf("OpenMetrics /metrics not terminated with # EOF:\n%.2000s", met)
+	}
 	if err := obsv.LintProm(string(met)); err != nil {
-		t.Fatalf("live /metrics fails LintProm: %v", err)
+		t.Fatalf("live /metrics (OpenMetrics) fails LintProm: %v", err)
 	}
 }
 

@@ -10,6 +10,7 @@ import (
 	"sort"
 	"strings"
 	"time"
+	"unicode/utf8"
 
 	"standout/internal/obsv"
 )
@@ -127,9 +128,15 @@ func shortID(id string) string {
 	return id
 }
 
+// truncate shortens s to at most n bytes, cutting on a rune boundary so a
+// multi-byte rune is never split into an invalid-UTF-8 fragment.
 func truncate(s string, n int) string {
 	if len(s) <= n {
 		return s
 	}
-	return s[:n-1] + "…"
+	cut := n - 1
+	for cut > 0 && !utf8.RuneStart(s[cut]) {
+		cut--
+	}
+	return s[:cut] + "…"
 }

@@ -13,9 +13,11 @@ import (
 // The flight recorder: an always-on, fixed-size, lock-free ring of
 // completed-request records, so a live server can always answer "what just
 // happened" — which requests were slow, shed, degraded, faulted, or panicked
-// — without any external tracing backend. Writes are two atomic ops (a
-// sequence claim and a slot pointer store), cheap enough to leave on under
-// full load; readers snapshot the ring without blocking writers.
+// — without any external tracing backend. Writes are a handful of atomic ops
+// (a sequence claim and a slot CAS that refuses to overwrite a newer record,
+// so a writer stalled across a full ring wrap cannot clobber newer history),
+// cheap enough to leave on under full load; readers snapshot the ring
+// without blocking writers.
 //
 // Tail sampling biases the bounded ring toward interesting traffic: records
 // that errored, shed, degraded, panicked, hit an injected fault, or ran
@@ -117,8 +119,20 @@ func (f *Flight) Record(r *Record) bool {
 		return false
 	}
 	r.Seq = f.seq.Add(1)
-	f.slots[(r.Seq-1)%uint64(len(f.slots))].Store(r)
-	return true
+	slot := &f.slots[(r.Seq-1)%uint64(len(f.slots))]
+	for {
+		old := slot.Load()
+		if old != nil && old.Seq > r.Seq {
+			// A writer stalled here long enough for the ring to wrap: the
+			// slot already holds a newer record, which must win. The stale
+			// record was still kept (it has a Seq) — it is just evicted
+			// immediately instead of clobbering newer history.
+			return true
+		}
+		if slot.CompareAndSwap(old, r) {
+			return true
+		}
+	}
 }
 
 // FlightStats is a point-in-time snapshot of the recorder's counters.

@@ -30,7 +30,9 @@ type metric interface {
 	help() string
 	promType() string
 	// writeProm appends the metric's sample lines (no HELP/TYPE headers).
-	writeProm(w io.Writer, name string)
+	// exemplars selects the OpenMetrics dialect: sample lines may carry
+	// exemplar suffixes, which the classic Prometheus text parser rejects.
+	writeProm(w io.Writer, name string, exemplars bool)
 	// value returns the expvar representation.
 	value() any
 }
@@ -81,7 +83,7 @@ func (c *Counter) Value() int64 { return c.v.Load() }
 func (c *Counter) help() string     { return c.helpText }
 func (c *Counter) promType() string { return "counter" }
 func (c *Counter) value() any       { return c.Value() }
-func (c *Counter) writeProm(w io.Writer, name string) {
+func (c *Counter) writeProm(w io.Writer, name string, _ bool) {
 	fmt.Fprintf(w, "%s %d\n", name, c.Value())
 }
 
@@ -123,7 +125,7 @@ func (g *Gauge) Add(delta float64) {
 func (g *Gauge) help() string     { return g.helpText }
 func (g *Gauge) promType() string { return "gauge" }
 func (g *Gauge) value() any       { return g.Value() }
-func (g *Gauge) writeProm(w io.Writer, name string) {
+func (g *Gauge) writeProm(w io.Writer, name string, _ bool) {
 	fmt.Fprintf(w, "%s %s\n", name, promFloat(g.Value()))
 }
 
@@ -167,10 +169,10 @@ func (h *Histogram) Observe(v float64) {
 }
 
 // ObserveExemplar records one sample and, when traceID is non-empty, makes
-// it the sample's bucket exemplar: WriteProm renders the trace ID on that
-// bucket's line in OpenMetrics exemplar syntax, linking the metric to the
-// flight-recorder record and the distributed trace. An empty traceID is
-// exactly Observe.
+// it the sample's bucket exemplar: WriteOpenMetrics renders the trace ID on
+// that bucket's line in OpenMetrics exemplar syntax, linking the metric to
+// the flight-recorder record and the distributed trace. A classic WriteProm
+// scrape never sees exemplars. An empty traceID is exactly Observe.
 func (h *Histogram) ObserveExemplar(v float64, traceID string) {
 	h.mu.Lock()
 	i := sort.SearchFloat64s(h.bounds, v)
@@ -208,15 +210,15 @@ func (h *Histogram) value() any {
 	return map[string]any{"count": h.total, "sum": h.sum}
 }
 
-func (h *Histogram) writeProm(w io.Writer, name string) {
+func (h *Histogram) writeProm(w io.Writer, name string, exemplars bool) {
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	cum := uint64(0)
 	for i, b := range h.bounds {
 		cum += h.counts[i]
-		fmt.Fprintf(w, "%s_bucket{le=%q} %d%s\n", name, promFloat(b), cum, h.exemplarSuffix(i))
+		fmt.Fprintf(w, "%s_bucket{le=%q} %d%s\n", name, promFloat(b), cum, h.exemplarSuffix(i, exemplars))
 	}
-	fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d%s\n", name, h.total, h.exemplarSuffix(len(h.bounds)))
+	fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d%s\n", name, h.total, h.exemplarSuffix(len(h.bounds), exemplars))
 	fmt.Fprintf(w, "%s_sum %s\n", name, promFloat(h.sum))
 	fmt.Fprintf(w, "%s_count %d\n", name, h.total)
 }
@@ -224,9 +226,12 @@ func (h *Histogram) writeProm(w io.Writer, name string) {
 // exemplarSuffix renders bucket i's exemplar in OpenMetrics syntax
 // (` # {trace_id="…"} value`), or "". Caller holds h.mu. The exemplar rides
 // the cumulative bucket line of the native bucket its sample fell in, so its
-// value always lies within the line's le bound as OpenMetrics requires.
-func (h *Histogram) exemplarSuffix(i int) string {
-	if h.exemplars == nil || h.exemplars[i].traceID == "" {
+// value always lies within the line's le bound as OpenMetrics requires. The
+// suffix is only emitted in the OpenMetrics dialect: the classic Prometheus
+// text parser allows nothing but a timestamp after the value, so a '#' there
+// would fail the whole scrape.
+func (h *Histogram) exemplarSuffix(i int, exemplars bool) string {
+	if !exemplars || h.exemplars == nil || h.exemplars[i].traceID == "" {
 		return ""
 	}
 	return fmt.Sprintf(" # {trace_id=%q} %s", h.exemplars[i].traceID, promFloat(h.exemplars[i].value))
@@ -264,10 +269,27 @@ func promFloat(v float64) string {
 	return strconv.FormatFloat(v, 'g', -1, 64)
 }
 
-// WriteProm renders every metric in Prometheus text exposition format
-// (version 0.0.4): # HELP / # TYPE headers followed by sample lines, in
-// registration order.
+// WriteProm renders every metric in classic Prometheus text exposition
+// format (version 0.0.4): # HELP / # TYPE headers followed by sample lines,
+// in registration order. Exemplars are never rendered here — the 0.0.4
+// parser rejects anything but a timestamp after a sample value, so a single
+// exemplar suffix would break every standard scrape. Use WriteOpenMetrics
+// for the exemplar-carrying dialect.
 func (r *Registry) WriteProm(w io.Writer) error {
+	return r.write(w, false)
+}
+
+// WriteOpenMetrics renders every metric in OpenMetrics text format: the same
+// families as WriteProm, plus exemplar suffixes on histogram bucket lines,
+// counter family names with the mandatory "_total" sample suffix stripped
+// from the HELP/TYPE headers (per the OpenMetrics naming rule; sample names
+// are unchanged), and the required terminating "# EOF" line. Serve it only
+// to scrapers that negotiated Content-Type application/openmetrics-text.
+func (r *Registry) WriteOpenMetrics(w io.Writer) error {
+	return r.write(w, true)
+}
+
+func (r *Registry) write(w io.Writer, openMetrics bool) error {
 	r.mu.Lock()
 	names := append([]string(nil), r.order...)
 	metrics := make([]metric, len(names))
@@ -279,11 +301,18 @@ func (r *Registry) WriteProm(w io.Writer) error {
 	var sb strings.Builder
 	for i, name := range names {
 		m := metrics[i]
-		if h := m.help(); h != "" {
-			fmt.Fprintf(&sb, "# HELP %s %s\n", name, strings.ReplaceAll(h, "\n", " "))
+		family := name
+		if openMetrics && m.promType() == "counter" {
+			family = strings.TrimSuffix(name, "_total")
 		}
-		fmt.Fprintf(&sb, "# TYPE %s %s\n", name, m.promType())
-		m.writeProm(&sb, name)
+		if h := m.help(); h != "" {
+			fmt.Fprintf(&sb, "# HELP %s %s\n", family, strings.ReplaceAll(h, "\n", " "))
+		}
+		fmt.Fprintf(&sb, "# TYPE %s %s\n", family, m.promType())
+		m.writeProm(&sb, name, openMetrics)
+	}
+	if openMetrics {
+		sb.WriteString("# EOF\n")
 	}
 	_, err := io.WriteString(w, sb.String())
 	return err
@@ -331,33 +360,46 @@ var promExemplarRE = regexp.MustCompile(
 	`^\{([a-zA-Z_][a-zA-Z0-9_]*="(\\.|[^"\\])*"(,[a-zA-Z_][a-zA-Z0-9_]*="(\\.|[^"\\])*")*)?\} (NaN|[+-]?Inf|[-+]?[0-9]*\.?[0-9]+([eE][-+]?[0-9]+)?)( [0-9]+(\.[0-9]+)?)?$`)
 
 // LintProm checks that text parses as Prometheus text exposition format,
-// extended with OpenMetrics exemplar clauses on sample lines (the dialect
-// WriteProm emits; see DESIGN.md §13 for why exemplars are rendered
-// unconditionally). It is intentionally strict about the grammar and gates
-// the full live registry in tests.
+// extended with the OpenMetrics additions WriteOpenMetrics emits: exemplar
+// clauses on sample lines and a "# EOF" terminator (see DESIGN.md §13). It
+// is intentionally strict about the grammar and gates the full live registry
+// in tests — both the classic and the OpenMetrics rendering must pass.
 func LintProm(text string) error {
 	for i, line := range strings.Split(text, "\n") {
 		if line == "" {
 			continue
 		}
 		if strings.HasPrefix(line, "#") {
-			if !strings.HasPrefix(line, "# HELP ") && !strings.HasPrefix(line, "# TYPE ") {
-				return fmt.Errorf("line %d: comment is neither HELP nor TYPE: %q", i+1, line)
+			if line != "# EOF" && !strings.HasPrefix(line, "# HELP ") && !strings.HasPrefix(line, "# TYPE ") {
+				return fmt.Errorf("line %d: comment is neither HELP, TYPE nor EOF: %q", i+1, line)
 			}
 			continue
 		}
-		sample := line
-		// An exemplar clause is introduced by " # {". Label values cannot
-		// contain an unescaped '"', so the separator cannot occur inside the
-		// sample part of a well-formed line.
-		if j := strings.Index(line, " # "); j >= 0 {
-			sample = line[:j]
-			if ex := line[j+3:]; !promExemplarRE.MatchString(ex) {
-				return fmt.Errorf("line %d: not a valid exemplar clause: %q", i+1, ex)
-			}
+		if promLineRE.MatchString(line) {
+			continue
 		}
-		if !promLineRE.MatchString(sample) {
+		// Not a bare sample: the line must be a sample plus an exemplar
+		// clause. The separator is the first " # " whose prefix is itself a
+		// complete sample line — a quoted label value may legally contain
+		// " # ", but then the prefix up to that point has an unclosed quote
+		// and cannot match, so scanning forward finds the true separator.
+		ex, found := "", false
+		for j := strings.Index(line, " # "); j >= 0; {
+			if promLineRE.MatchString(line[:j]) {
+				ex, found = line[j+3:], true
+				break
+			}
+			k := strings.Index(line[j+1:], " # ")
+			if k < 0 {
+				break
+			}
+			j += 1 + k
+		}
+		if !found {
 			return fmt.Errorf("line %d: not a valid sample line: %q", i+1, line)
+		}
+		if !promExemplarRE.MatchString(ex) {
+			return fmt.Errorf("line %d: not a valid exemplar clause: %q", i+1, ex)
 		}
 	}
 	return nil

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"net/http/httptest"
 	"strings"
 	"testing"
 )
@@ -166,7 +167,7 @@ func TestHistogramExemplars(t *testing.T) {
 	h.Observe(0.003) // no exemplar; must not clobber the bucket's
 
 	var sb strings.Builder
-	if err := r.WriteProm(&sb); err != nil {
+	if err := r.WriteOpenMetrics(&sb); err != nil {
 		t.Fatal(err)
 	}
 	out := sb.String()
@@ -181,16 +182,114 @@ func TestHistogramExemplars(t *testing.T) {
 	if strings.Contains(out, `le="+Inf"} 3 #`) {
 		t.Errorf("+Inf bucket grew an exemplar it never observed:\n%s", out)
 	}
+	if !strings.HasSuffix(out, "# EOF\n") {
+		t.Errorf("OpenMetrics output not terminated with # EOF:\n%s", out)
+	}
 	if err := LintProm(out); err != nil {
 		t.Fatalf("exemplar output fails LintProm: %v\n%s", err, out)
+	}
+
+	// The classic 0.0.4 rendering must never carry exemplar suffixes — the
+	// classic parser rejects anything but a timestamp after the value.
+	sb.Reset()
+	if err := r.WriteProm(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if classic := sb.String(); strings.Contains(classic, " # ") {
+		t.Fatalf("classic WriteProm output carries an exemplar suffix:\n%s", classic)
 	}
 
 	// The newest sample in a bucket wins.
 	h.ObserveExemplar(0.004, "cccccccccccccccccccccccccccccccc")
 	sb.Reset()
-	_ = r.WriteProm(&sb)
+	_ = r.WriteOpenMetrics(&sb)
 	if !strings.Contains(sb.String(), `# {trace_id="cccccccccccccccccccccccccccccccc"} 0.004`) {
 		t.Fatalf("newest exemplar did not replace the old one:\n%s", sb.String())
+	}
+}
+
+// TestWriteOpenMetricsCounterFamilies pins the OpenMetrics counter naming
+// rule: HELP/TYPE headers drop the mandatory "_total" sample suffix while
+// sample lines keep it.
+func TestWriteOpenMetricsCounterFamilies(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("hits_total", "Total hits.").Add(2)
+	var sb strings.Builder
+	if err := r.WriteOpenMetrics(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"# HELP hits Total hits.\n",
+		"# TYPE hits counter\n",
+		"hits_total 2\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("OpenMetrics counter output missing %q:\n%s", want, out)
+		}
+	}
+	sb.Reset()
+	if err := r.WriteProm(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if classic := sb.String(); !strings.Contains(classic, "# TYPE hits_total counter\n") {
+		t.Errorf("classic output must keep the full counter name in TYPE:\n%s", classic)
+	}
+}
+
+// TestHandlerContentNegotiation pins the /metrics dialect switch: a plain
+// scrape gets classic 0.0.4 text with no exemplars; an Accept header naming
+// application/openmetrics-text gets exemplars and the # EOF terminator.
+func TestHandlerContentNegotiation(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat_seconds", "Latency.", []float64{1})
+	h.ObserveExemplar(0.5, "0af7651916cd43dd8448eb211c80319c")
+	srv := httptest.NewServer(Handler(r))
+	defer srv.Close()
+
+	get := func(accept string) (string, string) {
+		req, err := http.NewRequest(http.MethodGet, srv.URL, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if accept != "" {
+			req.Header.Set("Accept", accept)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		b, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(b), resp.Header.Get("Content-Type")
+	}
+
+	classic, ct := get("")
+	if ct != ContentTypeProm {
+		t.Errorf("plain scrape Content-Type = %q, want %q", ct, ContentTypeProm)
+	}
+	if strings.Contains(classic, " # ") || strings.Contains(classic, "# EOF") {
+		t.Errorf("plain scrape carries OpenMetrics syntax:\n%s", classic)
+	}
+	if err := LintProm(classic); err != nil {
+		t.Errorf("plain scrape fails lint: %v", err)
+	}
+
+	om, ct := get("application/openmetrics-text; version=1.0.0; charset=utf-8, text/plain;q=0.5")
+	if ct != ContentTypeOpenMetrics {
+		t.Errorf("OpenMetrics scrape Content-Type = %q, want %q", ct, ContentTypeOpenMetrics)
+	}
+	if !strings.Contains(om, `# {trace_id="0af7651916cd43dd8448eb211c80319c"} 0.5`) {
+		t.Errorf("OpenMetrics scrape missing exemplar:\n%s", om)
+	}
+	if !strings.HasSuffix(om, "# EOF\n") {
+		t.Errorf("OpenMetrics scrape not terminated with # EOF:\n%s", om)
+	}
+	if err := LintProm(om); err != nil {
+		t.Errorf("OpenMetrics scrape fails lint: %v", err)
 	}
 }
 
@@ -199,6 +298,10 @@ func TestLintPromExemplarGrammar(t *testing.T) {
 		`m_bucket{le="1"} 3 # {trace_id="abc"} 0.5`,
 		`m_bucket{le="+Inf"} 3 # {} 0.5`,
 		`m_bucket{le="1"} 3 # {trace_id="abc",span_id="def"} 0.5 1234.5`,
+		`m{a="x # y"} 1`,                        // " # " inside a quoted label value is part of the sample
+		`m{a="x # y"} 1 # {trace_id="abc"} 0.5`, // ... even with a real exemplar clause after it
+		`m{a="x # y"} 1 # {b="p # q"} 0.5`,      // ... and inside the exemplar's own label values
+		"# EOF",
 	} {
 		if err := LintProm(good); err != nil {
 			t.Errorf("LintProm rejected valid exemplar line %q: %v", good, err)

@@ -7,16 +7,45 @@ import (
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"strings"
 	"time"
 )
 
-// Handler returns an http.Handler rendering reg in Prometheus text
-// exposition format, for mounting a /metrics endpoint on any mux.
+// Content types of the two exposition dialects a /metrics endpoint serves.
+const (
+	ContentTypeProm        = "text/plain; version=0.0.4; charset=utf-8"
+	ContentTypeOpenMetrics = "application/openmetrics-text; version=1.0.0; charset=utf-8"
+)
+
+// Handler returns an http.Handler rendering reg for a /metrics endpoint,
+// content-negotiated: a scraper whose Accept header names
+// application/openmetrics-text gets the OpenMetrics rendering (exemplars,
+// "# EOF"); everyone else gets classic 0.0.4 text with no exemplars, which
+// the classic parser requires.
 func Handler(reg *Registry) http.Handler {
-	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
-		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if acceptsOpenMetrics(r.Header.Get("Accept")) {
+			w.Header().Set("Content-Type", ContentTypeOpenMetrics)
+			_ = reg.WriteOpenMetrics(w)
+			return
+		}
+		w.Header().Set("Content-Type", ContentTypeProm)
 		_ = reg.WriteProm(w)
 	})
+}
+
+// acceptsOpenMetrics reports whether an Accept header asks for the
+// OpenMetrics text format. Media types are matched exactly; q-values are not
+// weighed (a scraper sending "application/openmetrics-text;q=0" would be
+// over-served, which real scrapers never do).
+func acceptsOpenMetrics(accept string) bool {
+	for _, part := range strings.Split(accept, ",") {
+		mediaType, _, _ := strings.Cut(part, ";")
+		if strings.TrimSpace(mediaType) == "application/openmetrics-text" {
+			return true
+		}
+	}
+	return false
 }
 
 // StartServer binds addr (use a loopback address such as "localhost:0" —

@@ -118,10 +118,22 @@ func TestTraceContextEndToEnd(t *testing.T) {
 		t.Fatalf("flight record trace summary not stamped: %+v", rec.Trace)
 	}
 
-	// Metrics: the latency histogram carries the trace id as an exemplar.
+	// Metrics: a plain scrape is classic 0.0.4 text with no exemplars (the
+	// classic parser would reject them); an OpenMetrics scrape carries the
+	// trace id as an exemplar on a latency-histogram bucket line.
 	code, met := getBody(t, ts.URL+"/metrics")
 	if code != http.StatusOK {
 		t.Fatalf("/metrics status %d", code)
+	}
+	if strings.Contains(string(met), " # ") {
+		t.Fatalf("classic /metrics scrape carries an exemplar suffix:\n%s", met)
+	}
+	if err := obsv.LintProm(string(met)); err != nil {
+		t.Fatalf("classic /metrics fails LintProm: %v", err)
+	}
+	code, met = getOpenMetrics(t, ts.URL+"/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics (OpenMetrics) status %d", code)
 	}
 	want := `# {trace_id="` + inTrace + `"}`
 	if !strings.Contains(string(met), want) {
@@ -135,6 +147,27 @@ func TestTraceContextEndToEnd(t *testing.T) {
 	if err := obsv.LintProm(string(met)); err != nil {
 		t.Fatalf("/metrics with exemplars fails LintProm: %v", err)
 	}
+}
+
+// getOpenMetrics is getBody with the Accept header a Prometheus OpenMetrics
+// scrape sends, selecting the exemplar-carrying /metrics dialect.
+func getOpenMetrics(t *testing.T, url string) (int, []byte) {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodGet, url, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Accept", "application/openmetrics-text; version=1.0.0; charset=utf-8")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	out, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("read body: %v", err)
+	}
+	return resp.StatusCode, out
 }
 
 func TestMintedTraceIDWhenHeaderAbsentOrBad(t *testing.T) {
@@ -262,8 +295,9 @@ func TestMetricsFamiliesGolden(t *testing.T) {
 }
 
 // TestFullLiveRegistryLintProm renders the real process-wide registry — core
-// solver metrics, cache counters and serve metrics together, exemplars and
-// all — after mixed traffic, and holds it to the strict LintProm grammar.
+// solver metrics, cache counters and serve metrics together — after mixed
+// traffic, and holds both dialects (classic 0.0.4 and OpenMetrics with
+// exemplars) to the strict LintProm grammar.
 func TestFullLiveRegistryLintProm(t *testing.T) {
 	_, ts, _, tuples := newTestServer(t, func(c *Config) {
 		c.Registry = obsv.Default
@@ -293,6 +327,9 @@ func TestFullLiveRegistryLintProm(t *testing.T) {
 	if err := obsv.LintProm(dump); err != nil {
 		t.Fatalf("full live registry fails LintProm: %v", err)
 	}
+	if strings.Contains(dump, " # ") {
+		t.Fatal("classic WriteProm dump carries an exemplar suffix")
+	}
 	for _, family := range []string{
 		"standout_solve_duration_seconds", // core, with exemplars from traced solves
 		"standout_cache_hits_total",
@@ -304,9 +341,18 @@ func TestFullLiveRegistryLintProm(t *testing.T) {
 			t.Errorf("full registry missing family %s", family)
 		}
 	}
+
+	sb.Reset()
+	if err := obsv.Default.WriteOpenMetrics(&sb); err != nil {
+		t.Fatal(err)
+	}
+	om := sb.String()
+	if err := obsv.LintProm(om); err != nil {
+		t.Fatalf("full live registry (OpenMetrics) fails LintProm: %v", err)
+	}
 	// The core solve histogram on the default registry picked up exemplars
-	// from the traced requests above.
-	if !regexp.MustCompile(`standout_solve_duration_seconds_bucket\{le="[^"]+"\} \d+ # \{trace_id="[0-9a-f]{32}"\}`).MatchString(dump) {
+	// from the traced requests above; only the OpenMetrics dialect shows them.
+	if !regexp.MustCompile(`standout_solve_duration_seconds_bucket\{le="[^"]+"\} \d+ # \{trace_id="[0-9a-f]{32}"\}`).MatchString(om) {
 		t.Error("standout_solve_duration_seconds has no trace exemplar after traced solves")
 	}
 }
