@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: check build test test-race soak bench bench-bitmap vet fmt-check cover cover-gate experiments quick-experiments fuzz fuzz-smoke
+.PHONY: check build test test-race soak bench bench-bitmap bench-compact vet fmt-check cover cover-gate experiments quick-experiments fuzz fuzz-smoke
 
 # Default: everything CI would gate on.
 check: build vet fmt-check test test-race cover-gate
@@ -26,7 +26,7 @@ test:
 # ring is written by every request. `go test -race ./...` also works but
 # takes much longer on the bench package.
 test-race:
-	go test -race ./internal/bitvec/... ./internal/core/... ./internal/cache/... ./internal/index/... ./internal/ilp/... ./internal/itemsets/... ./internal/par/... ./internal/serve/... ./internal/fault/... ./internal/obsv/...
+	go test -race ./internal/bitvec/... ./internal/compact/... ./internal/core/... ./internal/cache/... ./internal/index/... ./internal/ilp/... ./internal/itemsets/... ./internal/par/... ./internal/serve/... ./internal/fault/... ./internal/obsv/...
 
 # 30 seconds of fault-injected chaos storms against the serving layer under
 # the race detector: injected panics, delays, forced staleness, live log
@@ -38,12 +38,12 @@ soak:
 cover:
 	go test -cover ./...
 
-# The shared-index layer, its bit-set backends and the parallel scheduler
-# are pure data structure code with no excuse for untested branches: hold
-# internal/bitvec, internal/index, internal/cache and internal/par at >= 85%
-# statement coverage.
+# The shared-index layer, its bit-set backends, the log compactor and the
+# parallel scheduler are pure data structure code with no excuse for untested
+# branches: hold internal/bitvec, internal/index, internal/compact,
+# internal/cache and internal/par at >= 85% statement coverage.
 cover-gate:
-	@go test -cover ./internal/bitvec/... ./internal/index/... ./internal/cache/... ./internal/par/... | awk ' \
+	@go test -cover ./internal/bitvec/... ./internal/index/... ./internal/compact/... ./internal/cache/... ./internal/par/... | awk ' \
 		/coverage:/ { c = $$0; sub(/.*coverage: /, "", c); sub(/%.*/, "", c); \
 			if (c + 0 < 85) { print "coverage below 85%: " $$0; bad = 1 } else print } \
 		END { exit bad }'
@@ -55,6 +55,11 @@ bench:
 # and compressed column representations on memory and scoring throughput.
 bench-bitmap:
 	go run ./cmd/socbench -json bitmap > BENCH_bitmap.json
+
+# Regenerate BENCH_compact.json: delta-build latency vs full re-index after
+# appends, and solve time on a duplicate-heavy log raw vs compacted-weighted.
+bench-compact:
+	go run ./cmd/socbench -json compact > BENCH_compact.json
 
 # Full-scale reproduction of the paper's figures + ablations (slow: the ILP
 # blow-up past 1000 queries IS Fig 10's finding).
@@ -75,4 +80,6 @@ fuzz-smoke:
 	go test -fuzz FuzzVectorAlgebra -fuzztime 6s ./internal/bitvec
 	go test -fuzz FuzzCompressedAlgebra -fuzztime 8s ./internal/bitvec
 	go test -fuzz FuzzSatisfiedDropping -fuzztime 8s ./internal/index
+	go test -fuzz FuzzSegmentMerge -fuzztime 8s ./internal/index
+	go test -fuzz FuzzCompactEquivalence -fuzztime 6s ./internal/compact
 	go test -fuzz FuzzExactSolversAgree -fuzztime 14s ./internal/core

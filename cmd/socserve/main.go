@@ -28,6 +28,8 @@
 // Flags (beyond the obsv trio and -timeout):
 //
 //	-addr ADDR        listen address (default 127.0.0.1:8080; :0 picks a port)
+//	-compact          fold exact-duplicate queries into weighted entries at
+//	                  startup; answers are provably identical, the log smaller
 //	-max-concurrent   solve slots (default GOMAXPROCS)
 //	-max-queue        bounded wait queue; beyond it requests shed with 429
 //	-default-timeout  per-request deadline when the request names none
@@ -55,6 +57,7 @@ import (
 	"os"
 	"time"
 
+	"standout/internal/compact"
 	"standout/internal/dataset"
 	"standout/internal/fault"
 	"standout/internal/gen"
@@ -75,6 +78,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) (err erro
 	fs := flag.NewFlagSet("socserve", flag.ContinueOnError)
 	addr := fs.String("addr", "127.0.0.1:8080", "listen address (:0 picks a free port)")
 	logPath := fs.String("log", "", "query log CSV (SOC-CB-QL workload)")
+	doCompact := fs.Bool("compact", false, "fold exact-duplicate queries into weighted entries before serving (identical answers, smaller log)")
 	dbPath := fs.String("db", "", "database CSV (rows act as the workload)")
 	genN := fs.Int("gen", 0, "generate a synthetic cars workload of this many queries")
 	seed := fs.Int64("seed", 1, "generator seed for -gen")
@@ -116,6 +120,12 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) (err erro
 	log, err := loadWorkload(*logPath, *dbPath, *genN, *seed)
 	if err != nil {
 		return err
+	}
+	if *doCompact {
+		compacted, st := compact.Compact(log)
+		fmt.Fprintf(stderr, "socserve: compacted %d queries to %d weighted entries (%.1f%% of raw, %d duplicates folded)\n",
+			st.InputQueries, st.OutputQueries, 100*st.Ratio(), st.DuplicatesFolded)
+		log = compacted
 	}
 
 	var inj *fault.Injector

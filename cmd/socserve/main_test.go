@@ -14,6 +14,7 @@ import (
 	"testing"
 	"time"
 
+	"standout/internal/core"
 	"standout/internal/dataset"
 	"standout/internal/gen"
 )
@@ -212,5 +213,76 @@ func TestRunTimeoutDrains(t *testing.T) {
 	}
 	if !strings.Contains(stderr.String(), "draining") {
 		t.Errorf("stderr missing drain notice: %s", stderr.String())
+	}
+}
+
+func TestServeCompactFlag(t *testing.T) {
+	// A workload with guaranteed duplicates: every query appears three times.
+	tab := gen.Cars(3, 100)
+	base := gen.RealWorkload(tab, 4, 25)
+	log := dataset.NewQueryLog(base.Schema)
+	for rep := 0; rep < 3; rep++ {
+		for _, q := range base.Queries {
+			if err := log.Append(q); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	path := filepath.Join(t.TempDir(), "dups.csv")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dataset.WriteQueryLogCSV(f, log); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	url, shutdown := startServer(t, "-log", path, "-compact")
+	defer shutdown()
+
+	resp, err := http.Get(url + "/log")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var stats struct {
+		Queries     int `json:"queries"`
+		TotalWeight int `json:"total_weight"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	// Duplicates folded into weights: fewer entries than raw, same total
+	// weight, so every solve scores exactly as over the raw log.
+	if stats.Queries >= log.Size() {
+		t.Errorf("compacted log has %d entries, want < %d", stats.Queries, log.Size())
+	}
+	if stats.TotalWeight != log.Size() {
+		t.Errorf("total weight %d, want %d (weight is conserved)", stats.TotalWeight, log.Size())
+	}
+
+	status, raw := post(t, url+"/solve", `{"tuple": "AC,ABS,Turbo,PowerLocks", "m": 2, "algo": "brute"}`)
+	if status != http.StatusOK {
+		t.Fatalf("solve: status %d body %s", status, raw)
+	}
+	var sr struct {
+		Satisfied int `json:"satisfied"`
+	}
+	if err := json.Unmarshal(raw, &sr); err != nil {
+		t.Fatalf("decode %s: %v", raw, err)
+	}
+	// Cross-check against an in-process exact solve over the raw, uncompacted
+	// log: compaction must not change any answer.
+	tuple, err := dataset.ParseTuple(log.Schema, "AC,ABS,Turbo,PowerLocks")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := core.BruteForce{}.Solve(core.Instance{Log: log, Tuple: tuple, M: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sr.Satisfied != want.Satisfied {
+		t.Errorf("compacted server satisfied %d, raw solve %d", sr.Satisfied, want.Satisfied)
 	}
 }

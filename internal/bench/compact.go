@@ -1,0 +1,187 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"standout/internal/compact"
+	"standout/internal/core"
+	"standout/internal/dataset"
+	"standout/internal/gen"
+)
+
+// Workload scale for the compaction/segmentation sweeps: a 10,000-entry log
+// whose queries are drawn from a 1,000-query pool, the duplicate-heavy regime
+// weighted compaction exists for. Quick shrinks both for CI.
+const (
+	compactBaseLog  = 10000
+	compactDistinct = 1000
+)
+
+// CompactDelta measures incremental index maintenance: after appending k
+// queries to an already-prepared log, how long does a full re-index take
+// versus the segmented delta build (PrepareLogFrom: index only the k new
+// queries, then size-tiered compaction)? Rows sweep k; the honest caveat is
+// in the numbers themselves — the delta column includes the amortized
+// compaction merges, so small k on an uncompacted tower occasionally pays a
+// merge, and the speedup column is full/delta with both measured the same
+// way over the same appends.
+func CompactDelta(cfg Config) Result { return CompactDeltaContext(context.Background(), cfg) }
+
+// CompactDeltaContext is CompactDelta under a context; see All for
+// cancellation semantics.
+func CompactDeltaContext(ctx context.Context, cfg Config) Result {
+	cfg = cfg.withDefaults()
+	base, reps := compactBaseLog, 5
+	appends := []int{1, 8, 64, 512}
+	if cfg.Quick {
+		base, reps = 1500, 2
+		appends = []int{1, 8, 64}
+	}
+	tab := gen.Cars(cfg.Seed, cfg.CarsN)
+	full := gen.SyntheticWorkload(tab.Schema, cfg.Seed+1, base+appends[len(appends)-1], gen.WorkloadOptions{})
+
+	prefix := dataset.NewQueryLog(full.Schema)
+	for i := 0; i < base; i++ {
+		if err := prefix.Append(full.Queries[i]); err != nil {
+			panic(err)
+		}
+	}
+
+	res := Result{
+		Name: "CompactDelta",
+		Title: fmt.Sprintf("Index maintenance after appending k queries to a %d-query prepared log: full re-index vs segmented delta build",
+			base),
+		XLabel: "appended queries k", YLabel: "seconds per rebuild",
+		Columns: []string{"full rebuild", "delta build", "speedup"},
+	}
+
+	for _, k := range appends {
+		if ctx.Err() != nil {
+			break
+		}
+		extended := prefix.Extend()
+		for i := base; i < base+k; i++ {
+			if err := extended.AppendWeighted(full.Queries[i], 1); err != nil {
+				panic(err)
+			}
+		}
+
+		var fullSec, deltaSec float64
+		ok := true
+		for rep := 0; rep < reps && ok; rep++ {
+			// Fresh prev each rep so the delta path always starts from the same
+			// single-segment state rather than an ever-taller tower.
+			prev, err := core.PrepareLogContext(ctx, prefix)
+			if err != nil {
+				ok = false
+				break
+			}
+			start := time.Now()
+			if _, err := core.PrepareLogContext(ctx, extended); err != nil {
+				ok = false
+				break
+			}
+			fullSec += time.Since(start).Seconds()
+
+			start = time.Now()
+			p, err := core.PrepareLogFromContext(ctx, prev, extended)
+			if err != nil || !p.Delta() {
+				ok = false // a silent full-rebuild fallback would fake the speedup
+				break
+			}
+			deltaSec += time.Since(start).Seconds()
+		}
+		row := Row{X: fmt.Sprintf("%d", k)}
+		if ok {
+			fullSec /= float64(reps)
+			deltaSec /= float64(reps)
+			row.Values = []float64{fullSec, deltaSec, fullSec / deltaSec}
+		} else {
+			row.Values = []float64{Missing, Missing, Missing}
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	noteInterrupted(ctx, &res)
+	return res
+}
+
+// CompactSolve measures what weighted log compaction buys at solve time on a
+// duplicate-heavy workload: each row is one solver timed over the same tuples
+// against the raw log and against its compacted weighted equivalent (answers
+// are identical — the differential suite pins that; only the log length
+// differs). The title reports the fold ratio the workload actually achieved.
+func CompactSolve(cfg Config) Result { return CompactSolveContext(context.Background(), cfg) }
+
+// CompactSolveContext is CompactSolve under a context; see All for
+// cancellation semantics.
+func CompactSolveContext(ctx context.Context, cfg Config) Result {
+	cfg = cfg.withDefaults()
+	rawSize, distinct, ntuples := compactBaseLog, compactDistinct, 16
+	if cfg.Quick {
+		rawSize, distinct, ntuples = 1500, 150, 4
+	}
+	tab := gen.Cars(cfg.Seed, cfg.CarsN)
+	pool := gen.SyntheticWorkload(tab.Schema, cfg.Seed+1, distinct, gen.WorkloadOptions{})
+	r := rand.New(rand.NewSource(cfg.Seed + 2))
+	raw := dataset.NewQueryLog(tab.Schema)
+	for i := 0; i < rawSize; i++ {
+		if err := raw.Append(pool.Queries[r.Intn(pool.Size())]); err != nil {
+			panic(err)
+		}
+	}
+	compacted, st := compact.Compact(raw)
+	tuples := gen.PickTuples(tab, cfg.Seed+3, ntuples)
+
+	res := Result{
+		Name: "CompactSolve",
+		Title: fmt.Sprintf("Solve time on a duplicate-heavy log, raw vs compacted-weighted (%d → %d entries, %.0f%% of raw, %d tuples, m = 5)",
+			st.InputQueries, st.OutputQueries, 100*st.Ratio(), ntuples),
+		XLabel: "solver", YLabel: "seconds for all tuples",
+		Columns: []string{"raw", "compacted", "speedup"},
+	}
+
+	const m = 5
+	timeAll := func(log *dataset.QueryLog, s core.Solver) (float64, bool) {
+		start := time.Now()
+		for _, tuple := range tuples {
+			if _, err := s.SolveContext(ctx, core.Instance{Log: log, Tuple: tuple, M: m}); err != nil {
+				return 0, false
+			}
+		}
+		return time.Since(start).Seconds(), true
+	}
+
+	solvers := []struct {
+		label string
+		s     core.Solver
+	}{
+		{"MaxFreqItemSets", core.MaxFreqItemSets{Backend: core.BackendTwoPhaseWalk, Seed: cfg.Seed}},
+		{"ConsumeAttr", core.ConsumeAttr{}},
+		{"ConsumeAttrCumul", core.ConsumeAttrCumul{}},
+		{"ConsumeQueries", core.ConsumeQueries{}},
+	}
+	for _, spec := range solvers {
+		if ctx.Err() != nil {
+			break
+		}
+		row := Row{X: spec.label}
+		rawSec, okR := timeAll(raw, spec.s)
+		compSec, okC := timeAll(compacted, spec.s)
+		switch {
+		case okR && okC:
+			row.Values = []float64{rawSec, compSec, rawSec / compSec}
+		case okR:
+			row.Values = []float64{rawSec, Missing, Missing}
+		case okC:
+			row.Values = []float64{Missing, compSec, Missing}
+		default:
+			row.Values = []float64{Missing, Missing, Missing}
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	noteInterrupted(ctx, &res)
+	return res
+}

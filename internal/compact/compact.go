@@ -1,0 +1,154 @@
+// Package compact summarizes query logs into weighted form without changing
+// any solver's answer.
+//
+// The SOC-CB-QL objective is f(v) = Σ_q w_q·[q ⊆ v]. Folding exact
+// duplicates into one entry whose weight is the sum of the duplicates'
+// weights leaves f pointwise unchanged — for every candidate compression v,
+// not just the optimum — so every exact solver returns a bit-identical
+// Solution over the compacted log, and the greedy heuristics do too because
+// the statistics they consult (weighted attribute frequencies, weighted
+// AND-counts, the first-occurrence order that drives tie-breaking) are all
+// preserved by the fold. The differential suite in internal/core pins this
+// across 1000 seeded instances.
+//
+// Duplicates are provably the ONLY thing a pointwise-exact compaction may
+// fold. Folding a query q strictly subsumed by a shorter query p (p ⊂ q)
+// into p's weight is tempting — every v satisfying q satisfies p — but it is
+// lossy: the indicator functions v ↦ [q ⊆ v] over the subset lattice are
+// linearly independent (they are the rows of the lattice's zeta matrix,
+// which is triangular with unit diagonal under any linear extension of ⊆),
+// so no reweighting of a strict subset of distinct queries reproduces f at
+// every v. Concretely, with p = {a} ⊂ q = {a,b}, folding q into p scores
+// v = {a} as 2 where the true objective is 1. Compact therefore folds only
+// duplicates, and merely *reports* subsumption structure in its Stats so
+// operators can see how much a lossy summarizer would have claimed.
+package compact
+
+import (
+	"standout/internal/dataset"
+)
+
+// Stats describes one compaction run.
+type Stats struct {
+	// InputQueries and OutputQueries are the entry counts before and after;
+	// InputWeight == OutputWeight always (compaction preserves total weight).
+	InputQueries  int `json:"input_queries"`
+	OutputQueries int `json:"output_queries"`
+	InputWeight   int `json:"input_weight"`
+	OutputWeight  int `json:"output_weight"`
+	// DuplicatesFolded counts input entries absorbed into an earlier entry's
+	// weight: InputQueries − OutputQueries.
+	DuplicatesFolded int `json:"duplicates_folded"`
+	// SubsumedQueries counts distinct output queries strictly containing
+	// another distinct output query (q ⊃ p for some p in the log). These are
+	// detected and reported but NOT folded — folding them would change
+	// solver answers (see the package comment for the impossibility
+	// argument).
+	SubsumedQueries int `json:"subsumed_queries"`
+	// MaxChainLength is the length of the longest subsumption chain
+	// q_1 ⊂ q_2 ⊂ … ⊂ q_k among distinct output queries (1 when no
+	// subsumption exists, 0 on an empty log).
+	MaxChainLength int `json:"max_chain_length"`
+}
+
+// Ratio returns OutputQueries/InputQueries, the size of the compacted log
+// relative to the input (1 when nothing folded, 0 for an empty input).
+func (s Stats) Ratio() float64 {
+	if s.InputQueries == 0 {
+		return 0
+	}
+	return float64(s.OutputQueries) / float64(s.InputQueries)
+}
+
+// Compact returns a weighted query log equivalent to log for every SOC-CB-QL
+// objective evaluation: exact duplicates are folded into the first
+// occurrence's weight (existing weights summed), order of first occurrences
+// preserved. The result is a fresh log; the input is not modified. Stats
+// reports what folded and how much subsumption structure remains.
+func Compact(log *dataset.QueryLog) (*dataset.QueryLog, Stats) {
+	out, weights := log.Dedup()
+	allUnit := true
+	for _, w := range weights {
+		if w != 1 {
+			allUnit = false
+			break
+		}
+	}
+	if !allUnit {
+		out.Weights = weights
+	}
+	st := Stats{
+		InputQueries:  log.Size(),
+		OutputQueries: out.Size(),
+		InputWeight:   log.TotalWeight(),
+		OutputWeight:  out.TotalWeight(),
+	}
+	st.DuplicatesFolded = st.InputQueries - st.OutputQueries
+	st.SubsumedQueries, st.MaxChainLength = subsumptionStats(out)
+	return out, st
+}
+
+// subsumptionStats computes, over the distinct queries of a deduplicated
+// log, how many strictly contain another and the longest chain under strict
+// containment. Chains are a longest-path computation over the containment
+// DAG, evaluated by increasing popcount so every predecessor is finished
+// first. Quadratic in the number of distinct queries; callers compact once
+// per log generation, not per solve.
+func subsumptionStats(log *dataset.QueryLog) (subsumed, maxChain int) {
+	n := log.Size()
+	if n == 0 {
+		return 0, 0
+	}
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	counts := make([]int, n)
+	for i, q := range log.Queries {
+		counts[i] = q.Count()
+	}
+	// Insertion-free counting sort by popcount keeps this O(n log n)-ish.
+	sortByCount(order, counts)
+	chain := make([]int, n) // chain[i]: longest strict chain ending at query i
+	maxChain = 1
+	for oi, i := range order {
+		chain[i] = 1
+		qi := log.Queries[i]
+		for _, j := range order[:oi] {
+			if counts[j] >= counts[i] {
+				continue // equal popcount can't be a strict subset
+			}
+			if log.Queries[j].SubsetOf(qi) {
+				if chain[j]+1 > chain[i] {
+					chain[i] = chain[j] + 1
+				}
+			}
+		}
+		if chain[i] > 1 {
+			subsumed++
+			if chain[i] > maxChain {
+				maxChain = chain[i]
+			}
+		}
+	}
+	return subsumed, maxChain
+}
+
+// sortByCount stably sorts order by counts ascending.
+func sortByCount(order, counts []int) {
+	// Simple stable insertion-style sort via counting buckets.
+	maxC := 0
+	for _, c := range counts {
+		if c > maxC {
+			maxC = c
+		}
+	}
+	buckets := make([][]int, maxC+1)
+	for _, i := range order {
+		buckets[counts[i]] = append(buckets[counts[i]], i)
+	}
+	order = order[:0]
+	for _, b := range buckets {
+		order = append(order, b...)
+	}
+}

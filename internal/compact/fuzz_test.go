@@ -1,0 +1,96 @@
+package compact
+
+import (
+	"testing"
+
+	"standout/internal/bitvec"
+	"standout/internal/dataset"
+)
+
+// FuzzCompactEquivalence checks, on fuzzer-shaped weighted logs, that
+// compaction preserves the SOC-CB-QL objective at every vector of the subset
+// lattice, conserves total weight, keeps first-occurrence order, and emits
+// internally consistent stats. Pointwise objective equality is the exactness
+// contract every solver relies on (see the package comment).
+//
+// Input layout: byte 0 picks the width (1..8, kept narrow so the full 2^width
+// lattice is enumerable per input); each following byte pair is one query —
+// first byte the bit pattern, second byte the weight (1 + b%7). A duplicate
+// byte (pattern already seen) exercises the folding path by construction.
+func FuzzCompactEquivalence(f *testing.F) {
+	f.Add([]byte{4, 0b1100, 0, 0b0011, 2, 0b1100, 0, 0b1000, 5})
+	f.Add([]byte{3, 0b101, 0, 0b101, 0, 0b101, 0, 0b101, 0})
+	f.Add([]byte{8, 0b1, 0, 0b11, 1, 0b111, 2, 0b1111, 3})
+	f.Add([]byte{1, 1, 6})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) < 1 {
+			return
+		}
+		width := 1 + int(data[0])%8
+		data = data[1:]
+
+		log := dataset.NewQueryLog(dataset.GenericSchema(width))
+		for len(data) >= 2 && log.Size() < 48 {
+			v := bitvec.New(width)
+			for j := 0; j < width; j++ {
+				if data[0]&(1<<j) != 0 {
+					v.Set(j)
+				}
+			}
+			w := 1 + int(data[1])%7
+			data = data[2:]
+			if err := log.AppendWeighted(v, w); err != nil {
+				t.Fatalf("append: %v", err)
+			}
+		}
+
+		out, st := Compact(log)
+		if err := out.Validate(); err != nil {
+			t.Fatalf("compacted log invalid: %v", err)
+		}
+		if st.InputWeight != log.TotalWeight() || st.OutputWeight != out.TotalWeight() {
+			t.Fatalf("stats weight mismatch: %+v", st)
+		}
+		if st.InputWeight != st.OutputWeight {
+			t.Fatalf("compaction changed total weight: %d → %d", st.InputWeight, st.OutputWeight)
+		}
+		if st.DuplicatesFolded != log.Size()-out.Size() {
+			t.Fatalf("DuplicatesFolded %d, sizes %d → %d", st.DuplicatesFolded, log.Size(), out.Size())
+		}
+		if out.Size() > log.Size() {
+			t.Fatalf("compaction grew the log: %d → %d", log.Size(), out.Size())
+		}
+
+		// The compacted queries must be log's distinct queries in
+		// first-occurrence order.
+		seen := make(map[string]bool, log.Size())
+		want := 0
+		for i, q := range log.Queries {
+			k := q.Key()
+			if seen[k] {
+				continue
+			}
+			seen[k] = true
+			if want >= out.Size() || !out.Queries[want].Equal(q) {
+				t.Fatalf("distinct query %d (input %d) out of order", want, i)
+			}
+			want++
+		}
+		if want != out.Size() {
+			t.Fatalf("compacted size %d, distinct count %d", out.Size(), want)
+		}
+
+		// Pointwise objective equality over the full lattice.
+		for mask := 0; mask < 1<<width; mask++ {
+			v := bitvec.New(width)
+			for j := 0; j < width; j++ {
+				if mask&(1<<j) != 0 {
+					v.Set(j)
+				}
+			}
+			if got, raw := out.Satisfied(v), log.Satisfied(v); got != raw {
+				t.Fatalf("mask %b: compacted Satisfied = %d, raw = %d", mask, got, raw)
+			}
+		}
+	})
+}

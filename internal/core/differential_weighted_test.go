@@ -1,0 +1,228 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"standout/internal/bitvec"
+	"standout/internal/compact"
+	"standout/internal/dataset"
+	"standout/internal/fault"
+)
+
+// Weighted/segmented differential suite: for every seeded instance, the same
+// tuple is solved over (a) the raw log, (b) the compacted weighted log, and
+// (c) segmented preps assembled by randomized append/compact schedules
+// (including runs where tiered compaction is fault-injected to fail, leaving
+// unmerged deltas). Every deterministic solver must return a bit-identical
+// Solution — same Kept vector, same Satisfied count — across all
+// representations. This is the executable form of DESIGN.md §14's exactness
+// argument: duplicate folding preserves the objective pointwise, and segment
+// boundaries are invisible to scoring.
+//
+// The random-walk MFI backends are excluded: they are exact-by-certificate
+// but consume their RNG stream differently per representation (duplicate rows
+// change the walk's draws), so their equality is only in distribution, not
+// bit-for-bit.
+func weightedDiffSolvers() []Solver {
+	return []Solver{
+		BruteForce{},
+		IP{},
+		ILP{},
+		MaxFreqItemSets{Backend: BackendExactDFS},
+		ConsumeAttr{},
+		ConsumeAttrCumul{},
+		ConsumeQueries{},
+	}
+}
+
+// diffInstance is one generated case: a raw unit-weight log (duplicates
+// likely), a tuple, and a budget.
+type diffInstance struct {
+	raw   *dataset.QueryLog
+	tuple bitvec.Vector
+	m     int
+	kind  string
+}
+
+// genDiffInstance builds instance i. Most instances sample queries from a
+// small pool so exact duplicates are frequent; two adversarial shapes are
+// interleaved: all-duplicate logs (compaction collapses the whole log into a
+// single weighted entry) and subsumption chains q_1 ⊂ q_2 ⊂ … ⊂ q_k — the
+// shape where folding would be tempting and wrong, so compaction must keep
+// every chain link as its own weighted entry.
+func genDiffInstance(i int) diffInstance {
+	r := rand.New(rand.NewSource(int64(i)*7919 + 13))
+	width := 5 + r.Intn(6)
+	log := dataset.NewQueryLog(dataset.GenericSchema(width))
+	size := 6 + r.Intn(30)
+	kind := "pooled"
+
+	randQuery := func(maxOnes int) bitvec.Vector {
+		q := bitvec.New(width)
+		k := 1 + r.Intn(maxOnes)
+		for q.Count() < k {
+			q.Set(r.Intn(width))
+		}
+		return q
+	}
+	mustAppend := func(q bitvec.Vector) {
+		if err := log.Append(q); err != nil {
+			panic(err)
+		}
+	}
+
+	switch i % 10 {
+	case 7: // one query repeated size times
+		kind = "all-dup"
+		q := randQuery(4)
+		for j := 0; j < size; j++ {
+			mustAppend(q)
+		}
+	case 8: // subsumption chain, links repeated in random order
+		kind = "chain"
+		k := 2 + r.Intn(width-1)
+		chain := make([]bitvec.Vector, k)
+		q := bitvec.New(width)
+		perm := r.Perm(width)
+		for c := 0; c < k; c++ {
+			q.Set(perm[c])
+			chain[c] = q.Clone()
+		}
+		for j := 0; j < size; j++ {
+			mustAppend(chain[r.Intn(k)])
+		}
+	default: // sample from a small pool → duplicates likely
+		pool := make([]bitvec.Vector, 2+r.Intn(6))
+		for p := range pool {
+			pool[p] = randQuery(4)
+		}
+		for j := 0; j < size; j++ {
+			mustAppend(pool[r.Intn(len(pool))])
+		}
+	}
+
+	tuple := bitvec.New(width)
+	for tuple.Count() < 2+r.Intn(width-1) {
+		tuple.Set(r.Intn(width))
+	}
+	return diffInstance{raw: log, tuple: tuple, m: 1 + r.Intn(4), kind: kind}
+}
+
+// buildSegPrepRandomized reassembles full as a segmented PreparedLog through a
+// randomized schedule: a random prefix is built one-shot, the remainder lands
+// in random-sized appended chunks, each going through the real incremental
+// path (Extend → AppendWeighted → PrepareLogFromContext). Half the schedules
+// run with the core.prep.compact fault site erroring periodically, so the
+// final prep may hold any segment layout from fully merged to
+// one-segment-per-chunk — all of which must score identically.
+func buildSegPrepRandomized(t *testing.T, r *rand.Rand, full *dataset.QueryLog) *PreparedLog {
+	t.Helper()
+	ctx := context.Background()
+	if r.Intn(2) == 0 {
+		ctx = fault.WithInjector(ctx, fault.New(r.Int63(),
+			fault.Rule{Site: "core.prep.compact", Every: uint64(1 + r.Intn(3)), Kind: fault.KindError, Msg: "diff compaction fault"}))
+	}
+
+	n := full.Size()
+	cut := 1 + r.Intn(n)
+	cur := dataset.NewQueryLog(full.Schema)
+	for i := 0; i < cut; i++ {
+		if err := cur.AppendWeighted(full.Queries[i], full.Weight(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	prep, err := PrepareLogContext(ctx, cur)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := cut; i < n; {
+		chunk := 1 + r.Intn(n-i)
+		next := cur.Extend()
+		for j := 0; j < chunk; j++ {
+			if err := next.AppendWeighted(full.Queries[i+j], full.Weight(i+j)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		i += chunk
+		prep, err = PrepareLogFromContext(ctx, prep, next)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cur = next
+	}
+	if got, want := prep.Log().Size(), full.Size(); got != want {
+		t.Fatalf("segmented reassembly lost queries: %d != %d", got, want)
+	}
+	return prep
+}
+
+// diffSolutionMismatch describes how a and b differ, or "" when bit-identical.
+func diffSolutionMismatch(a, b Solution) string {
+	if !a.Kept.Equal(b.Kept) {
+		return fmt.Sprintf("kept %v vs %v", a.Kept, b.Kept)
+	}
+	if a.Satisfied != b.Satisfied {
+		return fmt.Sprintf("satisfied %d vs %d", a.Satisfied, b.Satisfied)
+	}
+	return ""
+}
+
+func TestDifferentialRawCompactedSegmented(t *testing.T) {
+	instances := 1000
+	if testing.Short() {
+		instances = 150
+	}
+	solvers := weightedDiffSolvers()
+	kinds := map[string]int{}
+	for i := 0; i < instances; i++ {
+		di := genDiffInstance(i)
+		kinds[di.kind]++
+		r := rand.New(rand.NewSource(int64(i)*104729 + 7))
+
+		compacted, st := compact.Compact(di.raw)
+		if st.InputWeight != st.OutputWeight {
+			t.Fatalf("inst %d: compaction changed total weight %d → %d", i, st.InputWeight, st.OutputWeight)
+		}
+		segRaw := buildSegPrepRandomized(t, r, di.raw)
+		segCompacted := buildSegPrepRandomized(t, r, compacted)
+
+		for _, s := range solvers {
+			rawSol, err := s.Solve(Instance{Log: di.raw, Tuple: di.tuple, M: di.m})
+			if err != nil {
+				t.Fatalf("inst %d (%s) %s raw: %v", i, di.kind, s.Name(), err)
+			}
+			compSol, err := s.Solve(Instance{Log: compacted, Tuple: di.tuple, M: di.m})
+			if err != nil {
+				t.Fatalf("inst %d (%s) %s compacted: %v", i, di.kind, s.Name(), err)
+			}
+			segSol, err := segRaw.Solve(s, di.tuple, di.m)
+			if err != nil {
+				t.Fatalf("inst %d (%s) %s segmented: %v", i, di.kind, s.Name(), err)
+			}
+			segCompSol, err := segCompacted.Solve(s, di.tuple, di.m)
+			if err != nil {
+				t.Fatalf("inst %d (%s) %s segmented-compacted: %v", i, di.kind, s.Name(), err)
+			}
+			if d := diffSolutionMismatch(rawSol, compSol); d != "" {
+				t.Fatalf("inst %d (%s) %s: raw vs compacted differ: %s", i, di.kind, s.Name(), d)
+			}
+			if d := diffSolutionMismatch(rawSol, segSol); d != "" {
+				t.Fatalf("inst %d (%s) %s: raw vs segmented differ (%d segs): %s",
+					i, di.kind, s.Name(), segRaw.Segments(), d)
+			}
+			if d := diffSolutionMismatch(rawSol, segCompSol); d != "" {
+				t.Fatalf("inst %d (%s) %s: raw vs segmented-compacted differ (%d segs): %s",
+					i, di.kind, s.Name(), segCompacted.Segments(), d)
+			}
+			// Recount independently of every solver and representation: the
+			// reported count must hold over the raw unit-weight log too.
+			if got := di.raw.Satisfied(rawSol.Kept); got != rawSol.Satisfied {
+				t.Fatalf("inst %d (%s) %s: reported %d, raw recount %d", i, di.kind, s.Name(), rawSol.Satisfied, got)
+			}
+		}
+	}
+	t.Logf("%d instances: %v", instances, kinds)
+}

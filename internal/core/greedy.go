@@ -123,9 +123,13 @@ func (ConsumeAttrCumul) solve(ctx context.Context, in Instance, tr *obsv.Trace) 
 	words := (nq + 63) / 64
 	cols := make([]bitvec.Bits, len(n.ones))
 	colOf := make(map[int]int, len(n.ones)) // attribute index → cols row
-	if n.idx != nil {
+	if len(n.segs) == 1 && n.segs[0].off == 0 {
+		// A single segment at offset zero covers the whole log, so its columns
+		// use global query ids and can be shared directly. Multi-segment preps
+		// hold columns in segment-local ids; stitching them per candidate would
+		// cost more than the dense rebuild below, so they take the else branch.
 		for i, j := range n.ones {
-			cols[i] = n.idx.Column(j) // read-only shared storage
+			cols[i] = n.segs[0].idx.Column(j) // read-only shared storage
 			colOf[j] = i
 		}
 	} else {
@@ -148,10 +152,26 @@ func (ConsumeAttrCumul) solve(ctx context.Context, in Instance, tr *obsv.Trace) 
 	}
 
 	// satQ is the running set of queries containing every selected attribute;
-	// scoring candidate j is |satQ ∧ cols[j]|, dispatched on the column's
-	// representation.
+	// scoring candidate j is the weight of satQ ∧ cols[j] — a plain popcount
+	// dispatched on the column's representation when the log is unweighted,
+	// a membership-filtered weight sum otherwise. Both agree with the
+	// individual frequencies' units, so the tie-break against freq is
+	// comparing like with like.
 	satQ := bitvec.New(nq)
 	countAnd := func(col bitvec.Bits) int { return satQ.AndCount(col) }
+	if in.Log.Weights != nil {
+		wts := in.Log.Weights
+		countAnd = func(col bitvec.Bits) int {
+			t := 0
+			col.Range(func(qi int) bool {
+				if satQ.Get(qi) {
+					t += wts[qi]
+				}
+				return true
+			})
+			return t
+		}
+	}
 
 	remaining := append([]int(nil), n.ones...)
 	var picked []int

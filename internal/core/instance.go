@@ -151,10 +151,19 @@ type normalized struct {
 	m     int               // min(M, |tuple|)
 	exact bool              // true when the whole tuple fits the budget
 
-	idx     *index.Index   // shared per-log index, or nil
-	cand    bitvec.Bits    // queries ⊆ tuple, in the index's representation (idx path only)
-	scratch *index.Scratch // scoring workspace (idx path only)
-	dropbuf []int          // scoring workspace (idx path only)
+	segs    []segref // shared per-log index segments, or nil
+	freq    []int    // weighted attribute frequencies (segs path only)
+	dropbuf []int    // scoring workspace (segs path only)
+}
+
+// segref is one index segment of the attached PreparedLog with this solve's
+// per-segment state: the candidate bitmap of the segment's queries contained
+// in the tuple (in segment-local ids) and a scoring scratch.
+type segref struct {
+	idx     *index.Index
+	off     int // global id of the segment's first query
+	cand    bitvec.Bits
+	scratch *index.Scratch
 }
 
 func normalize(ctx context.Context, in Instance) (normalized, error) {
@@ -167,22 +176,30 @@ func normalize(ctx context.Context, in Instance) (normalized, error) {
 		m:    in.M,
 	}
 	if p := preparedFromContext(ctx); p != nil && p.usableFor(in.Log) {
-		n.idx = p.idx
-		// CandidateSet keeps the candidates in whatever representation the
-		// index's size bucket uses — compressed candidates stay compressed
-		// through every subsequent score.
-		n.cand = p.idx.CandidateSet(in.Tuple)
-		n.scratch = p.idx.NewScratch()
+		seg := p.seg
+		n.freq = seg.AttrFrequencies()
+		n.segs = make([]segref, seg.Segments())
 		n.dropbuf = make([]int, 0, len(n.ones))
-		// Materialize the restricted log from the candidate set, preserving
-		// query order (member iteration is ascending) so greedy tie-breaking
-		// matches the scan path exactly.
+		// Materialize the restricted log from the per-segment candidate sets.
+		// Segments cover contiguous windows in log order and member iteration
+		// is ascending, so walking them in order preserves global query order
+		// — greedy tie-breaking matches the scan path exactly. CandidateSet
+		// keeps each segment's candidates in whatever representation its size
+		// bucket uses — compressed candidates stay compressed through every
+		// subsequent score.
 		restricted := dataset.NewQueryLog(in.Log.Schema)
-		restricted.Queries = make([]bitvec.Vector, 0, n.cand.Count())
-		n.cand.Range(func(qi int) bool {
-			restricted.Queries = append(restricted.Queries, in.Log.Queries[qi])
-			return true
-		})
+		for si := range n.segs {
+			ix, off := seg.Segment(si), seg.Offset(si)
+			cand := ix.CandidateSet(in.Tuple)
+			n.segs[si] = segref{idx: ix, off: off, cand: cand, scratch: ix.NewScratch()}
+			cand.Range(func(qi int) bool {
+				restricted.Queries = append(restricted.Queries, in.Log.Queries[off+qi])
+				if in.Log.Weights != nil {
+					restricted.Weights = append(restricted.Weights, in.Log.Weights[off+qi])
+				}
+				return true
+			})
+		}
 		n.log = restricted
 	} else {
 		n.log = in.Log.Restrict(in.Tuple)
@@ -194,14 +211,19 @@ func normalize(ctx context.Context, in Instance) (normalized, error) {
 	return n, nil
 }
 
-// shard returns a copy of n with independent scoring workspaces (scratch
-// bitmap and drop buffer), for parallel enumeration: score mutates those
-// buffers, so concurrent shards must not share them. Everything else — the
-// restricted log, the index, the candidate bitmap — is read-only after
-// normalize and stays shared.
+// shard returns a copy of n with independent scoring workspaces (per-segment
+// scratch bitmaps and the drop buffer), for parallel enumeration: score
+// mutates those buffers, so concurrent shards must not share them. Everything
+// else — the restricted log, the indexes, the candidate bitmaps — is
+// read-only after normalize and stays shared.
 func (n normalized) shard() normalized {
-	if n.idx != nil {
-		n.scratch = n.idx.NewScratch()
+	if n.segs != nil {
+		segs := make([]segref, len(n.segs))
+		copy(segs, n.segs)
+		for i := range segs {
+			segs[i].scratch = segs[i].idx.NewScratch()
+		}
+		n.segs = segs
 		n.dropbuf = make([]int, 0, len(n.ones))
 	}
 	return n
@@ -210,33 +232,39 @@ func (n normalized) shard() normalized {
 // full returns the trivial solution that keeps the entire tuple.
 func (n normalized) full() Solution {
 	kept := n.in.Tuple.Clone()
-	return Solution{Kept: kept, Satisfied: n.log.Size(), Optimal: true}
+	return Solution{Kept: kept, Satisfied: n.log.TotalWeight(), Optimal: true}
 }
 
-// score counts the queries satisfied by a candidate compression kept ⊆
-// tuple. The count over the restricted log equals the count over the
-// original log because dropped queries are unsatisfiable by any subset of
-// the tuple. With an index attached the count runs word-parallel: the
-// candidate bitmap minus the columns of the tuple attributes kept drops
-// (every candidate query is ⊆ tuple, so only tuple attributes matter).
+// score returns the total weight of queries satisfied by a candidate
+// compression kept ⊆ tuple (the count, for unweighted logs). The sum over the
+// restricted log equals the sum over the original log because dropped queries
+// are unsatisfiable by any subset of the tuple. With an index attached the
+// scoring runs word-parallel per segment — each segment's candidate bitmap
+// minus the columns of the tuple attributes kept drops — and the per-segment
+// sums add up exactly because every query lives in exactly one segment.
 func (n normalized) score(kept bitvec.Vector) int {
-	if n.idx != nil {
+	if n.segs != nil {
 		drop := n.dropbuf[:0]
 		for _, a := range n.ones {
 			if !kept.Get(a) {
 				drop = append(drop, a)
 			}
 		}
-		return n.idx.SatisfiedDroppingBits(n.cand, drop, n.scratch)
+		total := 0
+		for i := range n.segs {
+			s := &n.segs[i]
+			total += s.idx.SatisfiedDroppingBits(s.cand, drop, s.scratch)
+		}
+		return total
 	}
 	return n.log.Satisfied(kept)
 }
 
-// fullFreq returns per-attribute frequencies over the whole (unrestricted)
-// log — precomputed by the index when one is attached.
+// fullFreq returns per-attribute weighted frequencies over the whole
+// (unrestricted) log — precomputed by the index when one is attached.
 func (n normalized) fullFreq() []int {
-	if n.idx != nil {
-		return n.idx.AttrFrequencies()
+	if n.segs != nil {
+		return n.freq
 	}
 	return n.in.Log.AttrFrequencies()
 }

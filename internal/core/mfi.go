@@ -139,7 +139,7 @@ func (s MaxFreqItemSets) Preprocess(log *dataset.QueryLog) (*Prep, error) {
 	return &Prep{
 		s:      s,
 		log:    log,
-		miner:  itemsets.NewMiner(log.AsTable().Complement()),
+		miner:  itemsets.NewMinerWeighted(log.AsTable().Complement(), log.Weights),
 		perThr: map[int][]itemsets.ItemsetCount{},
 	}, nil
 }
@@ -192,12 +192,15 @@ func (s MaxFreqItemSets) solveNormalized(ctx context.Context, n normalized, prep
 	for i, j := range n.ones {
 		pos[j] = i
 	}
-	for _, q := range n.log.Queries {
+	for qi, q := range n.log.Queries {
 		pq := bitvec.New(len(n.ones))
 		for _, j := range q.Ones() {
 			pq.Set(pos[j])
 		}
 		proj.Queries = append(proj.Queries, pq)
+		if n.log.Weights != nil {
+			proj.Weights = append(proj.Weights, n.log.Weights[qi])
+		}
 	}
 	pn, err := normalize(ctx, Instance{Log: proj, Tuple: bitvec.New(len(n.ones)).Not(), M: n.m})
 	if err != nil {
@@ -224,7 +227,11 @@ func (s MaxFreqItemSets) solveCore(ctx context.Context, n normalized, prep *Prep
 	if prep != nil {
 		mineLog = prep.log
 	}
-	size := mineLog.Size()
+	// Support thresholds are in weight units: the miner counts weighted
+	// support, the greedy seed below is a weighted score, and a hit at any
+	// threshold proves a weighted-OPT bound — the optimality argument carries
+	// over verbatim with "queries" read as "total weight".
+	size := mineLog.TotalWeight()
 	stats := Stats{}
 	tr := obsv.FromContext(ctx)
 
@@ -260,7 +267,7 @@ func (s MaxFreqItemSets) solveCore(ctx context.Context, n normalized, prep *Prep
 			return out, nil
 		}
 		if oneShotMiner == nil {
-			oneShotMiner = itemsets.NewMiner(mineLog.AsTable().Complement())
+			oneShotMiner = itemsets.NewMinerWeighted(mineLog.AsTable().Complement(), mineLog.Weights)
 		}
 		return runMiner(oneShotMiner, thr)
 	}
@@ -422,13 +429,13 @@ func (s MaxFreqItemSets) bestAtLevel(ctx context.Context, n normalized, mfis []i
 			continue // cannot hit level M−m inside this maximal set
 		}
 		ub := 0
-		for _, q := range n.log.Queries {
+		for qi, q := range n.log.Queries {
 			outside := q.AndNot(required)
 			if !outside.SubsetOf(poolVec) {
 				continue // needs an attribute no subset of this set keeps
 			}
 			if outside.Count() <= need {
-				ub++
+				ub += n.log.Weight(qi)
 			}
 		}
 		cands = append(cands, cand{required: required, pool: poolVec.Ones(), need: need, ub: ub})

@@ -26,6 +26,12 @@ var (
 		"Time a batch tuple waited between batch start and dequeue by a worker.", nil)
 	mIndexBuilds = obsv.Default.Counter("standout_index_builds_total",
 		"Shared query-log indexes built by PrepareLog (including batch auto-builds).")
+	mDeltaBuilds = obsv.Default.Counter("standout_index_delta_builds_total",
+		"Incremental delta-segment builds by PrepareLogFrom (appended queries only).")
+	mCompactions = obsv.Default.Counter("standout_index_compactions_total",
+		"Size-tiered segment compactions performed after a delta build.")
+	mCompactionsSkipped = obsv.Default.Counter("standout_index_compactions_skipped_total",
+		"Segment compactions skipped because of an injected or real failure; serving continues on the unmerged segments.")
 	mPrepCacheHits = obsv.Default.Counter("standout_prep_cache_hits_total",
 		"Solves answered from a PreparedLog's solution memo.")
 	mPrepCacheMisses = obsv.Default.Counter("standout_prep_cache_misses_total",

@@ -50,12 +50,20 @@ const DefaultSolutionCacheSize = 1024
 //     accelerator aged out.
 //
 // In-place bit flips that bypass Touch are undetectable on either path.
+//
+// Internally the prepared state is a segmented index (index.Segmented): a
+// full PrepareLog builds one base segment, and PrepareLogFrom extends a
+// previous generation's index with a small delta segment over only the
+// appended queries — O(append) work — followed by size-tiered compaction
+// that keeps the segment count logarithmic. Solutions are bit-identical
+// across any segment layout; the differential suite pins that.
 type PreparedLog struct {
 	log     *dataset.QueryLog
-	idx     *index.Index
+	seg     *index.Segmented
 	fp      uint64
 	version uint64
 	nq      int
+	delta   bool // built incrementally by PrepareLogFrom
 
 	sols *cache.LRU[solutionKey, Solution]
 }
@@ -99,19 +107,25 @@ func PrepareLogContextWith(ctx context.Context, log *dataset.QueryLog, opts inde
 	}
 	tr := obsv.FromContext(ctx)
 	sp := tr.StartSpan("index.build")
-	ix, err := index.BuildWith(log, opts)
+	seg, err := index.BuildSegmented(log, opts)
 	sp.End()
 	if err != nil {
 		return nil, err
 	}
 	mIndexBuilds.Add(1)
-	tr.Count("index.queries", int64(ix.NumQueries()))
+	tr.Count("index.queries", int64(seg.NumQueries()))
+	return newPrepared(log, seg, false), nil
+}
+
+// newPrepared wraps a built segmented index into the shared solve state.
+func newPrepared(log *dataset.QueryLog, seg *index.Segmented, delta bool) *PreparedLog {
 	p := &PreparedLog{
 		log:     log,
-		idx:     ix,
-		fp:      ix.Fingerprint(),
-		version: log.Version(),
-		nq:      log.Size(),
+		seg:     seg,
+		fp:      seg.Fingerprint(),
+		version: seg.Version(),
+		nq:      seg.NumQueries(),
+		delta:   delta,
 		sols:    cache.NewLRU[solutionKey, Solution](DefaultSolutionCacheSize),
 	}
 	p.sols.OnEvict = func(solutionKey, Solution) {
@@ -120,7 +134,68 @@ func PrepareLogContextWith(ctx context.Context, log *dataset.QueryLog, opts inde
 	}
 	p.sols.OnHit = func() { mCacheHits.Add(1) }
 	p.sols.OnMiss = func() { mCacheMisses.Add(1) }
-	return p, nil
+	return p
+}
+
+// PrepareLogFrom is PrepareLogFromContext with a background context.
+func PrepareLogFrom(prev *PreparedLog, log *dataset.QueryLog) (*PreparedLog, error) {
+	return PrepareLogFromContext(context.Background(), prev, log)
+}
+
+// PrepareLogFromContext prepares log reusing prev's index wherever lineage
+// allows: when log provably extends the exact contents prev indexed
+// (QueryLog.ExtendsFrom against prev's version/size snapshot), the previous
+// segments are kept as-is and one delta segment is built over only the
+// appended queries — O(append) instead of O(total) — then size-tiered
+// compaction bounds the segment count. Any other history (nil prev, a Touch,
+// a different log family) falls back to a full build. Solutions are
+// bit-identical on every path.
+//
+// A failure during the compaction step (fault site "core.prep.compact") is
+// absorbed, not returned: the delta-extended prep is valid without merging —
+// compaction only re-tiers segments — so serving continues on the
+// pre-compaction layout and the skip is counted in the process metrics.
+func PrepareLogFromContext(ctx context.Context, prev *PreparedLog, log *dataset.QueryLog) (*PreparedLog, error) {
+	if prev == nil || !log.ExtendsFrom(prev.log, prev.version, prev.nq) {
+		var opts index.Options
+		if prev != nil {
+			opts.Mode = prev.seg.Mode()
+		}
+		return PrepareLogContextWith(ctx, log, opts)
+	}
+	if err := fault.Hit(ctx, "core.prep.build"); err != nil {
+		return nil, fmt.Errorf("core: prepare log: %w", err)
+	}
+	tr := obsv.FromContext(ctx)
+	sp := tr.StartSpan("index.delta")
+	seg, err := prev.seg.Extend(log)
+	sp.End()
+	if err != nil {
+		return nil, err
+	}
+	mDeltaBuilds.Add(1)
+	tr.Count("index.delta.queries", int64(seg.NumQueries()-prev.nq))
+
+	if ferr := fault.Hit(ctx, "core.prep.compact"); ferr != nil {
+		// Injected (or simulated) compaction failure: serve from the unmerged
+		// segments — exactness does not depend on the merge schedule.
+		mCompactionsSkipped.Add(1)
+		tr.Count("index.compaction.skipped", 1)
+		return newPrepared(log, seg, true), nil
+	}
+	sp = tr.StartSpan("index.compact")
+	merged, nmerged, err := seg.CompactTiered()
+	sp.End()
+	if err != nil {
+		mCompactionsSkipped.Add(1)
+		tr.Count("index.compaction.skipped", 1)
+		return newPrepared(log, seg, true), nil
+	}
+	if nmerged > 0 {
+		mCompactions.Add(1)
+		tr.Count("index.compaction.segments", int64(nmerged))
+	}
+	return newPrepared(log, merged, true), nil
 }
 
 // Log returns the prepared query log.
@@ -128,6 +203,14 @@ func (p *PreparedLog) Log() *dataset.QueryLog { return p.log }
 
 // Fingerprint returns the log's content hash at PrepareLog time.
 func (p *PreparedLog) Fingerprint() uint64 { return p.fp }
+
+// Segments returns the number of index segments backing this prep: 1 after a
+// full PrepareLog, possibly more after incremental PrepareLogFrom builds.
+func (p *PreparedLog) Segments() int { return p.seg.Segments() }
+
+// Delta reports whether this prep was built incrementally by PrepareLogFrom
+// (a delta extension of a previous generation) rather than by a full build.
+func (p *PreparedLog) Delta() bool { return p.delta }
 
 // Stale reports whether the log has visibly changed since PrepareLog (its
 // version counter moved or its length differs). A stale PreparedLog must be

@@ -213,9 +213,22 @@ func (t *Table) DominatedBy(v bitvec.Vector) []int {
 // QueryLog is a workload of conjunctive Boolean queries over a schema.
 // Each query is the set of attributes it requires (retrieval semantics:
 // tuple t is returned for q iff q ⊆ t).
+//
+// A query may carry an integer weight ≥ 1, the multiplicity with which it
+// counts toward Satisfied and AttrFrequencies. A nil Weights slice means
+// every query weighs 1 — the classic unweighted log — and the two forms are
+// semantically identical wherever weights are all 1. Weighted logs are what
+// compaction produces (internal/compact): folding duplicate queries into one
+// weighted entry leaves every solver's objective value unchanged, because a
+// satisfied count is just a weighted sum with unit weights.
 type QueryLog struct {
 	Schema  *Schema
 	Queries []bitvec.Vector
+	// Weights holds per-query multiplicities, parallel to Queries; nil means
+	// all 1. Entries must be ≥ 1 (Validate enforces this): zero or negative
+	// weights would break solver invariants that rely on weighted counts
+	// being strictly monotone in set containment.
+	Weights []int
 
 	// version counts mutations made through Append and Touch. Callers that
 	// mutate Queries directly (appending to the slice, or flipping bits of a
@@ -224,7 +237,21 @@ type QueryLog struct {
 	// the announcement that a mutation happened — can race with concurrent
 	// Version reads from staleness checks without tripping the race detector;
 	// mutating Queries itself still requires external synchronization.
+	//
+	// Append adds 1 per appended query while Touch adds 2, so a derived
+	// structure that recorded (version, size) can certify an append-only
+	// history: the log grew purely by appends iff the version advanced by
+	// exactly the size delta. Any Touch breaks the equality and forces the
+	// full-rebuild path.
 	version atomic.Uint64
+
+	// Extend lineage: a log built by Extend records its parent and the
+	// parent's (version, size) at copy time, so index layers can prove that
+	// this log's prefix equals a previously prepared generation and build a
+	// delta over only the appended suffix (see ExtendsFrom).
+	parent        *QueryLog
+	parentVersion uint64
+	parentSize    int
 }
 
 // NewQueryLog returns an empty query log over the schema.
@@ -232,13 +259,53 @@ func NewQueryLog(s *Schema) *QueryLog { return &QueryLog{Schema: s} }
 
 // Append adds a query, validating its width.
 func (q *QueryLog) Append(query bitvec.Vector) error {
+	return q.AppendWeighted(query, 1)
+}
+
+// AppendWeighted adds a query with multiplicity weight ≥ 1. Appending a
+// non-unit weight to a log with nil Weights materializes the slice with unit
+// entries for the existing queries.
+func (q *QueryLog) AppendWeighted(query bitvec.Vector, weight int) error {
 	if query.Width() != q.Schema.Width() {
 		return fmt.Errorf("dataset: query width %d does not match schema width %d",
 			query.Width(), q.Schema.Width())
 	}
+	if weight < 1 {
+		return fmt.Errorf("dataset: query weight %d is not ≥ 1", weight)
+	}
+	if q.Weights == nil && weight != 1 {
+		q.Weights = make([]int, len(q.Queries), len(q.Queries)+1)
+		for i := range q.Weights {
+			q.Weights[i] = 1
+		}
+	}
 	q.Queries = append(q.Queries, query)
+	if q.Weights != nil {
+		q.Weights = append(q.Weights, weight)
+	}
 	q.version.Add(1)
 	return nil
+}
+
+// Weight returns the multiplicity of query i (1 when Weights is nil).
+func (q *QueryLog) Weight(i int) int {
+	if q.Weights == nil {
+		return 1
+	}
+	return q.Weights[i]
+}
+
+// TotalWeight returns the sum of all query weights — the weighted log size,
+// equal to Size() for an unweighted log. It is the upper bound of Satisfied.
+func (q *QueryLog) TotalWeight() int {
+	if q.Weights == nil {
+		return len(q.Queries)
+	}
+	t := 0
+	for _, w := range q.Weights {
+		t += w
+	}
+	return t
 }
 
 // Version is a cheap mutation counter: it changes whenever the log is
@@ -250,20 +317,129 @@ func (q *QueryLog) Version() uint64 { return q.version.Load() }
 // Touch records an out-of-band mutation of Queries, invalidating any index
 // or cache built over the previous contents. Touch and Version are safe to
 // call concurrently with each other and with readers of the log; the
-// mutation of Queries they announce is not.
-func (q *QueryLog) Touch() { q.version.Add(1) }
+// mutation of Queries they announce is not. Touch advances the version by 2
+// where Append advances it by 1, so append-only growth is certifiable from
+// (version, size) deltas alone.
+func (q *QueryLog) Touch() { q.version.Add(2) }
 
-// Fingerprint returns a 64-bit content hash of the log: the schema width and
-// every query's bits, in order. Two logs with identical query sequences have
-// identical fingerprints regardless of how they were built. It is computed
-// from scratch on every call (O(S·M/64)) and is safe for concurrent use on
-// an unmutated log; cache layers use it to key per-log state.
+// Extend returns a new log over the same schema whose queries (and weights)
+// are a copy of q's, recording the lineage so derived structures can later
+// prove with ExtendsFrom that the new log's prefix is exactly q's current
+// contents. This is the copy-on-write append pattern of the serving layer:
+// in-flight readers keep the old generation, the new generation takes the
+// appends, and the index layer builds a delta over only the suffix.
+func (q *QueryLog) Extend() *QueryLog {
+	out := NewQueryLog(q.Schema)
+	out.Queries = append(make([]bitvec.Vector, 0, len(q.Queries)+1), q.Queries...)
+	if q.Weights != nil {
+		out.Weights = append(make([]int, 0, len(q.Weights)+1), q.Weights...)
+	}
+	out.parent = q
+	out.parentVersion = q.Version()
+	out.parentSize = len(q.Queries)
+	return out
+}
+
+// ExtendsFrom reports whether q's first `size` queries are provably the
+// exact contents the ancestor log had at the given (version, size) snapshot
+// — the precondition for building a delta index over q[size:] on top of an
+// index built over that snapshot. The proof walks q's Extend lineage:
+// each link certifies a prefix copy taken at a recorded parent version, and
+// any version drift along the chain (a Touch, or an out-of-band mutation
+// announced by one) voids the certificate and returns false.
+func (q *QueryLog) ExtendsFrom(ancestor *QueryLog, version uint64, size int) bool {
+	if ancestor == nil || size > len(q.Queries) {
+		return false
+	}
+	for cur := q; cur != nil; {
+		if cur == ancestor {
+			// Same object: valid iff it has not mutated since the snapshot and
+			// has only grown by appends (version delta == size delta).
+			dv := cur.Version() - version
+			ds := len(cur.Queries) - size
+			return ds >= 0 && dv == uint64(ds)
+		}
+		if cur.parent == nil || cur.parentSize < size {
+			return false
+		}
+		// cur itself must have only grown by appends since its Extend-creation
+		// (version 0 at size parentSize): a Touch announcing an out-of-band
+		// mutation voids the certificate even on the chain's head.
+		if cur.Version() != uint64(len(cur.Queries)-cur.parentSize) {
+			return false
+		}
+		if cur.parent == ancestor {
+			// cur's prefix was copied from the ancestor at parentVersion; the
+			// copy is the snapshot's contents iff the ancestor had at that
+			// moment only grown by appends since the snapshot.
+			dv := cur.parentVersion - version
+			ds := cur.parentSize - size
+			return dv == uint64(ds)
+		}
+		// Intermediate hop: cur's prefix equals parent's contents at
+		// parentVersion; that equals parent's *current* contents only if the
+		// parent has not mutated since the copy.
+		if cur.parent.Version() != cur.parentVersion || len(cur.parent.Queries) != cur.parentSize {
+			return false
+		}
+		cur = cur.parent
+	}
+	return false
+}
+
+// fingerprintSeed starts every log fingerprint; FoldFingerprint continues
+// one and FinishFingerprint finalizes it.
+const fingerprintSeed = 0x9e3779b97f4a7c15
+
+// Fingerprint returns a 64-bit content hash of the log: every query's bits
+// and non-unit weights in order, finalized with the log's length and schema
+// width. Two logs with identical query and weight sequences have identical
+// fingerprints regardless of how they were built; an explicit all-ones
+// Weights slice fingerprints identically to nil. It is computed from scratch
+// on every call (O(S·M/64)) and is safe for concurrent use on an unmutated
+// log; cache layers use it to key per-log state.
+//
+// The hash folds queries left to right with the length mixed in at the end,
+// so an incremental consumer (the segmented index) can keep the running
+// pre-finalized state and extend it in O(appended) on append:
+//
+//	h := log.FoldFingerprint(FingerprintSeed(), 0, n)   // retained
+//	... k queries appended ...
+//	h = log.FoldFingerprint(h, n, n+k)
+//	fp := FinishFingerprint(h, n+k, log.Width())        // == log.Fingerprint()
 func (q *QueryLog) Fingerprint() uint64 {
-	h := uint64(len(q.Queries))*0x9e3779b97f4a7c15 + uint64(q.Width())
-	for _, query := range q.Queries {
-		h = query.Hash64(h)
+	return FinishFingerprint(q.FoldFingerprint(FingerprintSeed(), 0, len(q.Queries)), len(q.Queries), q.Width())
+}
+
+// FingerprintSeed returns the initial rolling-fingerprint state.
+func FingerprintSeed() uint64 { return fingerprintSeed }
+
+// FoldFingerprint folds queries [lo, hi) — and their weights, when not 1 —
+// into the rolling fingerprint state h.
+func (q *QueryLog) FoldFingerprint(h uint64, lo, hi int) uint64 {
+	for i := lo; i < hi; i++ {
+		h = q.Queries[i].Hash64(h)
+		if q.Weights != nil && q.Weights[i] != 1 {
+			h = mix64(h ^ uint64(q.Weights[i])*0x9e3779b97f4a7c15)
+		}
 	}
 	return h
+}
+
+// FinishFingerprint finalizes a rolling fingerprint state for a log of
+// `size` queries over `width` attributes.
+func FinishFingerprint(h uint64, size, width int) uint64 {
+	return mix64(h ^ uint64(size)*0x9e3779b97f4a7c15 ^ uint64(width)*0xff51afd7ed558ccd)
+}
+
+// mix64 is the SplitMix64 finalizer: a cheap full-avalanche bijection.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
 }
 
 // Size returns the number of queries S.
@@ -283,16 +459,36 @@ func (q *QueryLog) Validate() error {
 				i, r.Width(), q.Schema.Width())
 		}
 	}
+	if q.Weights != nil {
+		if len(q.Weights) != len(q.Queries) {
+			return fmt.Errorf("dataset: %d weights for %d queries", len(q.Weights), len(q.Queries))
+		}
+		for i, w := range q.Weights {
+			if w < 1 {
+				return fmt.Errorf("dataset: query %d has weight %d, must be ≥ 1", i, w)
+			}
+		}
+	}
 	return nil
 }
 
-// Satisfied returns how many queries retrieve the (possibly compressed)
-// tuple v, i.e. |{q ∈ Q : q ⊆ v}| — the objective of SOC-CB-QL.
+// Satisfied returns the total weight of the queries retrieving the (possibly
+// compressed) tuple v — |{q ∈ Q : q ⊆ v}| for an unweighted log, the
+// objective of SOC-CB-QL. Over a compacted log (duplicates folded into
+// weights) this equals the raw log's count exactly.
 func (q *QueryLog) Satisfied(v bitvec.Vector) int {
 	n := 0
-	for _, query := range q.Queries {
+	if q.Weights == nil {
+		for _, query := range q.Queries {
+			if query.SubsetOf(v) {
+				n++
+			}
+		}
+		return n
+	}
+	for i, query := range q.Queries {
 		if query.SubsetOf(v) {
-			n++
+			n += q.Weights[i]
 		}
 	}
 	return n
@@ -309,12 +505,18 @@ func (q *QueryLog) SatisfiedBy(v bitvec.Vector) []int {
 	return out
 }
 
-// AttrFrequencies returns per-attribute occurrence counts across queries.
+// AttrFrequencies returns per-attribute occurrence weight across queries —
+// plain counts for an unweighted log. Compaction preserves these totals, so
+// frequency-driven greedy heuristics are invariant under it.
 func (q *QueryLog) AttrFrequencies() []int {
 	freq := make([]int, q.Width())
-	for _, r := range q.Queries {
+	for qi, r := range q.Queries {
+		w := 1
+		if q.Weights != nil {
+			w = q.Weights[qi]
+		}
 		for _, i := range r.Ones() {
-			freq[i]++
+			freq[i] += w
 		}
 	}
 	return freq
@@ -343,36 +545,57 @@ func (q *QueryLog) SizeHistogram() map[int]int {
 }
 
 // Restrict returns a new query log containing only the queries all of whose
-// attributes appear in the tuple t. Queries that t itself cannot satisfy can
-// never be satisfied by a compression of t, so solvers prune them up front.
+// attributes appear in the tuple t, carrying their weights. Queries that t
+// itself cannot satisfy can never be satisfied by a compression of t, so
+// solvers prune them up front.
 func (q *QueryLog) Restrict(t bitvec.Vector) *QueryLog {
 	out := NewQueryLog(q.Schema)
-	for _, query := range q.Queries {
+	for qi, query := range q.Queries {
 		if query.SubsetOf(t) {
 			out.Queries = append(out.Queries, query)
+			if q.Weights != nil {
+				out.Weights = append(out.Weights, q.Weights[qi])
+			}
 		}
 	}
 	return out
 }
 
-// Dedup returns a new query log with duplicate queries collapsed and a
-// parallel slice of multiplicities. Solvers that score candidate compressions
-// repeatedly can use the weighted form to cut work on skewed workloads.
+// Dedup returns a new query log with duplicate queries collapsed — incoming
+// weights folded into the survivor's multiplicity, first occurrence order
+// preserved — and a parallel slice of the multiplicities. Solvers that score
+// candidate compressions repeatedly use the weighted form to cut work on
+// skewed workloads; internal/compact wraps this into the full compaction
+// pipeline with statistics.
 func (q *QueryLog) Dedup() (*QueryLog, []int) {
 	seen := make(map[string]int)
 	out := NewQueryLog(q.Schema)
 	var weights []int
-	for _, query := range q.Queries {
+	for qi, query := range q.Queries {
 		k := query.Key()
 		if idx, ok := seen[k]; ok {
-			weights[idx]++
+			weights[idx] += q.Weight(qi)
 			continue
 		}
 		seen[k] = len(out.Queries)
 		out.Queries = append(out.Queries, query)
-		weights = append(weights, 1)
+		weights = append(weights, q.Weight(qi))
 	}
 	return out, weights
+}
+
+// Window returns a view log over queries [lo, hi), sharing q's backing
+// storage (full slice expressions prevent appends from aliasing). The view
+// is a private snapshot: its version counter starts at zero and nothing else
+// holds it, so indexes built over it never go stale. The segmented index
+// uses windows as its per-segment build inputs.
+func (q *QueryLog) Window(lo, hi int) *QueryLog {
+	out := NewQueryLog(q.Schema)
+	out.Queries = q.Queries[lo:hi:hi]
+	if q.Weights != nil {
+		out.Weights = q.Weights[lo:hi:hi]
+	}
+	return out
 }
 
 // TopAttrs returns the indices of the k most frequent attributes in the log,

@@ -4,6 +4,7 @@ import (
 	"encoding/csv"
 	"fmt"
 	"io"
+	"strconv"
 	"strings"
 
 	"standout/internal/bitvec"
@@ -56,30 +57,69 @@ func WriteTableCSV(w io.Writer, t *Table) error {
 }
 
 // ReadQueryLogCSV parses a query log from CSV (same layout as a table; any
-// "id" column is ignored).
+// "id" column is ignored). A trailing "weight" header column, when present,
+// carries per-query integer multiplicities ≥ 1 — the weighted form written
+// by WriteQueryLogCSV for compacted logs.
 func ReadQueryLogCSV(r io.Reader) (*QueryLog, error) {
-	rows, _, schema, err := readBoolCSV(r)
+	rows, _, weights, schema, err := readBoolCSVWeighted(r)
 	if err != nil {
 		return nil, err
 	}
-	q := &QueryLog{Schema: schema, Queries: rows}
+	q := &QueryLog{Schema: schema, Queries: rows, Weights: weights}
 	return q, q.Validate()
 }
 
-// WriteQueryLogCSV writes a query log as CSV.
+// WriteQueryLogCSV writes a query log as CSV. A weighted log gains a
+// trailing "weight" column that ReadQueryLogCSV round-trips; unweighted logs
+// keep the classic attribute-only layout.
 func WriteQueryLogCSV(w io.Writer, q *QueryLog) error {
-	return WriteTableCSV(w, q.AsTable())
+	if q.Weights == nil {
+		return WriteTableCSV(w, q.AsTable())
+	}
+	cw := csv.NewWriter(w)
+	header := append(append([]string(nil), q.Schema.Attrs()...), "weight")
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for i, query := range q.Queries {
+		rec := make([]string, 0, len(header))
+		for j := 0; j < q.Width(); j++ {
+			if query.Get(j) {
+				rec = append(rec, "1")
+			} else {
+				rec = append(rec, "0")
+			}
+		}
+		rec = append(rec, strconv.Itoa(q.Weights[i]))
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
 }
 
 func readBoolCSV(r io.Reader) (rows []bitvec.Vector, ids []string, schema *Schema, err error) {
+	rows, ids, _, schema, err = readBoolCSVOpt(r, false)
+	return rows, ids, schema, err
+}
+
+// readBoolCSVWeighted reads a query-log CSV where a trailing "weight" header
+// column, when present, carries per-query multiplicities. Tables read with
+// readBoolCSV keep "weight" as an ordinary attribute name.
+func readBoolCSVWeighted(r io.Reader) (rows []bitvec.Vector, ids []string, weights []int, schema *Schema, err error) {
+	return readBoolCSVOpt(r, true)
+}
+
+func readBoolCSVOpt(r io.Reader, allowWeights bool) (rows []bitvec.Vector, ids []string, weights []int, schema *Schema, err error) {
 	cr := csv.NewReader(r)
 	cr.FieldsPerRecord = -1 // validated manually for better messages
 	header, err := cr.Read()
 	if err == io.EOF {
-		return nil, nil, nil, fmt.Errorf("dataset: empty CSV input")
+		return nil, nil, nil, nil, fmt.Errorf("dataset: empty CSV input")
 	}
 	if err != nil {
-		return nil, nil, nil, fmt.Errorf("dataset: reading CSV header: %w", err)
+		return nil, nil, nil, nil, fmt.Errorf("dataset: reading CSV header: %w", err)
 	}
 	hasIDs := len(header) > 0 && strings.EqualFold(header[0], "id")
 	attrStart := 0
@@ -87,9 +127,15 @@ func readBoolCSV(r io.Reader) (rows []bitvec.Vector, ids []string, schema *Schem
 		attrStart = 1
 		ids = []string{}
 	}
-	schema, err = NewSchema(header[attrStart:])
+	attrEnd := len(header)
+	hasWeights := allowWeights && attrEnd > attrStart && strings.EqualFold(header[attrEnd-1], "weight")
+	if hasWeights {
+		attrEnd--
+		weights = []int{}
+	}
+	schema, err = NewSchema(header[attrStart:attrEnd])
 	if err != nil {
-		return nil, nil, nil, err
+		return nil, nil, nil, nil, err
 	}
 	for line := 2; ; line++ {
 		rec, err := cr.Read()
@@ -97,20 +143,20 @@ func readBoolCSV(r io.Reader) (rows []bitvec.Vector, ids []string, schema *Schem
 			break
 		}
 		if err != nil {
-			return nil, nil, nil, fmt.Errorf("dataset: reading CSV line %d: %w", line, err)
+			return nil, nil, nil, nil, fmt.Errorf("dataset: reading CSV line %d: %w", line, err)
 		}
 		if len(rec) != len(header) {
-			return nil, nil, nil, fmt.Errorf("dataset: line %d has %d fields, header has %d",
+			return nil, nil, nil, nil, fmt.Errorf("dataset: line %d has %d fields, header has %d",
 				line, len(rec), len(header))
 		}
 		v := bitvec.New(schema.Width())
-		for j, cell := range rec[attrStart:] {
+		for j, cell := range rec[attrStart:attrEnd] {
 			switch strings.TrimSpace(cell) {
 			case "1":
 				v.Set(j)
 			case "0":
 			default:
-				return nil, nil, nil, fmt.Errorf(
+				return nil, nil, nil, nil, fmt.Errorf(
 					"dataset: line %d attribute %q: value %q is not 0 or 1",
 					line, schema.Name(j), cell)
 			}
@@ -119,8 +165,16 @@ func readBoolCSV(r io.Reader) (rows []bitvec.Vector, ids []string, schema *Schem
 		if hasIDs {
 			ids = append(ids, rec[0])
 		}
+		if hasWeights {
+			w, err := strconv.Atoi(strings.TrimSpace(rec[len(rec)-1]))
+			if err != nil || w < 1 {
+				return nil, nil, nil, nil, fmt.Errorf(
+					"dataset: line %d: weight %q is not an integer ≥ 1", line, rec[len(rec)-1])
+			}
+			weights = append(weights, w)
+		}
 	}
-	return rows, ids, schema, nil
+	return rows, ids, weights, schema, nil
 }
 
 // ParseTuple parses a tuple for a schema from either a 0/1 bit string of the

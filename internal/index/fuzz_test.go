@@ -132,3 +132,123 @@ func FuzzSatisfiedDropping(f *testing.F) {
 		}
 	})
 }
+
+// FuzzSegmentMerge drives a Segmented index through a fuzzer-chosen schedule
+// of weighted appends, tiered compactions, and full compactions, checking
+// after every step that it scores bit-identically to the raw log and to a
+// one-shot monolithic build, and that its rolling fingerprint tracks the
+// log's. Any divergence means the delta/merge machinery is unsound — the
+// serving layer's incremental rebuilds all ride on it.
+//
+// Input layout: byte 0 picks the width (1..12); each following op byte is
+// interpreted by its low two bits — 0/1 append a query shaped by the next
+// two bytes (weight = 1 + high bits of the op byte), 2 runs CompactTiered,
+// 3 runs Compact.
+func FuzzSegmentMerge(f *testing.F) {
+	f.Add([]byte{6, 0, 0b11, 0, 1, 0b101, 0, 2, 0, 0b111, 0, 3})
+	f.Add([]byte{12, 0, 0xff, 0x0f, 0xc1, 0xff, 0x0f, 2, 2, 3})
+	f.Add([]byte{1, 0, 1, 0, 0, 1, 0, 0, 1, 0, 2, 0, 1, 0, 2})
+	f.Add([]byte{8, 3, 2})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) < 1 {
+			return
+		}
+		width := 1 + int(data[0])%12
+		data = data[1:]
+
+		log := dataset.NewQueryLog(dataset.GenericSchema(width))
+		seg, err := BuildSegmented(log, Options{})
+		if err != nil {
+			t.Fatalf("BuildSegmented(empty): %v", err)
+		}
+
+		probe := func(step int) {
+			if seg.Fingerprint() != log.Fingerprint() {
+				t.Fatalf("step %d: rolling fingerprint %x, log %x", step, seg.Fingerprint(), log.Fingerprint())
+			}
+			if seg.NumQueries() != log.Size() || seg.TotalWeight() != log.TotalWeight() {
+				t.Fatalf("step %d: nq/weight %d/%d, log %d/%d",
+					step, seg.NumQueries(), seg.TotalWeight(), log.Size(), log.TotalWeight())
+			}
+			oneShot, err := BuildSegmented(log, Options{})
+			if err != nil {
+				t.Fatalf("step %d: one-shot build: %v", step, err)
+			}
+			// Probe the full lattice on narrow schemas, a diagonal sweep on
+			// wide ones.
+			check := func(v bitvec.Vector) {
+				want := log.Satisfied(v)
+				if got := seg.Satisfied(v); got != want {
+					t.Fatalf("step %d: segmented Satisfied(%s) = %d, raw = %d (%d segments)",
+						step, v, got, want, seg.Segments())
+				}
+				if got := oneShot.Satisfied(v); got != want {
+					t.Fatalf("step %d: one-shot Satisfied(%s) = %d, raw = %d", step, v, got, want)
+				}
+			}
+			if width <= 8 {
+				for mask := 0; mask < 1<<width; mask++ {
+					v := bitvec.New(width)
+					for j := 0; j < width; j++ {
+						if mask&(1<<j) != 0 {
+							v.Set(j)
+						}
+					}
+					check(v)
+				}
+			} else {
+				for lo := 0; lo < width; lo++ {
+					v := bitvec.New(width)
+					for j := lo; j < width; j += 2 {
+						v.Set(j)
+					}
+					check(v)
+				}
+			}
+		}
+
+		for step := 0; len(data) > 0 && step < 64; step++ {
+			op := data[0]
+			data = data[1:]
+			switch op & 3 {
+			case 2:
+				next, _, err := seg.CompactTiered()
+				if err != nil {
+					t.Fatalf("step %d: CompactTiered: %v", step, err)
+				}
+				seg = next
+			case 3:
+				next, err := seg.Compact()
+				if err != nil {
+					t.Fatalf("step %d: Compact: %v", step, err)
+				}
+				seg = next
+			default:
+				if len(data) < 2 {
+					return
+				}
+				q := bitvec.New(width)
+				bits := uint16(data[0]) | uint16(data[1])<<8
+				data = data[2:]
+				for i := 0; i < width; i++ {
+					if bits&(1<<i) != 0 {
+						q.Set(i)
+					}
+				}
+				if q.Count() == 0 {
+					q.Set(step % width)
+				}
+				w := 1 + int(op>>2)
+				if err := log.AppendWeighted(q, w); err != nil {
+					t.Fatalf("step %d: append: %v", step, err)
+				}
+				next, err := seg.Extend(log)
+				if err != nil {
+					t.Fatalf("step %d: Extend: %v", step, err)
+				}
+				seg = next
+			}
+			probe(step)
+		}
+	})
+}

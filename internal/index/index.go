@@ -149,8 +149,18 @@ type Index struct {
 	// word loops when no column chose compression.
 	cols     []col
 	allDense bool
-	// freq[a] = |cols[a]|, the per-attribute frequencies every greedy needs.
+	// freq[a] = |cols[a]|, the per-attribute member counts driving
+	// representation choices and early exits.
 	freq []int
+	// weights mirrors the log's per-query multiplicities (shared storage,
+	// nil for an unweighted log). When non-nil the Satisfied* family returns
+	// weighted totals: the peel loops still track member counts for their
+	// early exits, and the surviving set's weights are summed at the end.
+	weights []int
+	// wfreq[a] is the weighted attribute frequency (== freq when weights is
+	// nil) — what the weighted greedy heuristics need.
+	wfreq       []int
+	totalWeight int
 	// buckets[k] holds the queries with at most k attributes, k ∈ [0,
 	// maxSize]. buckets[maxSize] is the full log.
 	buckets []col
@@ -182,6 +192,7 @@ func BuildWith(log *dataset.QueryLog, opts Options) (*Index, error) {
 		freq:    make([]int, width),
 	}
 
+	ix.weights = log.Weights
 	ix.maxSize = 0
 	sizes := make([]int, nq)
 	for qi, q := range log.Queries {
@@ -191,6 +202,19 @@ func BuildWith(log *dataset.QueryLog, opts Options) (*Index, error) {
 		}
 		for _, a := range q.Ones() {
 			ix.freq[a]++
+		}
+	}
+	if ix.weights == nil {
+		ix.wfreq = ix.freq
+		ix.totalWeight = nq
+	} else {
+		ix.wfreq = make([]int, width)
+		for qi, q := range log.Queries {
+			w := ix.weights[qi]
+			ix.totalWeight += w
+			for _, a := range q.Ones() {
+				ix.wfreq[a] += w
+			}
 		}
 	}
 
@@ -307,9 +331,50 @@ func (ix *Index) Words() int { return ix.words }
 // Mode returns the representation policy the index was built with.
 func (ix *Index) Mode() Mode { return ix.mode }
 
-// AttrFrequencies returns per-attribute query counts. Read-only: the slice
-// is the index's own storage.
-func (ix *Index) AttrFrequencies() []int { return ix.freq }
+// AttrFrequencies returns per-attribute query weight totals — plain counts
+// for an unweighted log, always equal to the log's own AttrFrequencies.
+// Read-only: the slice is the index's own storage.
+func (ix *Index) AttrFrequencies() []int { return ix.wfreq }
+
+// TotalWeight returns the indexed log's total query weight (== NumQueries
+// for an unweighted log) — the upper bound of Satisfied.
+func (ix *Index) TotalWeight() int { return ix.totalWeight }
+
+// Weighted reports whether the indexed log carries non-nil weights.
+func (ix *Index) Weighted() bool { return ix.weights != nil }
+
+// weightDense sums the weights of the members of a dense working set,
+// short-circuiting to the member count for unweighted logs. members < 0
+// means the count is unknown and must be recomputed.
+func (ix *Index) weightDense(set Bitmap, members int) int {
+	if ix.weights == nil {
+		if members >= 0 {
+			return members
+		}
+		return set.Count()
+	}
+	t := 0
+	for wi, w := range set {
+		for w != 0 {
+			t += ix.weights[wi*64+bits.TrailingZeros64(w)]
+			w &= w - 1
+		}
+	}
+	return t
+}
+
+// weightComp is weightDense for a compressed working set.
+func (ix *Index) weightComp(set *bitvec.Compressed, members int) int {
+	if ix.weights == nil {
+		return members
+	}
+	t := 0
+	set.Range(func(i int) bool {
+		t += ix.weights[i]
+		return true
+	})
+	return t
+}
 
 func (ix *Index) checkAttr(a int) {
 	if a < 0 || a >= ix.width {
@@ -481,7 +546,7 @@ func (ix *Index) SatisfiedWithin(cand Bitmap, v bitvec.Vector, scratch Bitmap) i
 		if !ix.peel(scratch, v) {
 			return 0
 		}
-		return scratch.Count()
+		return ix.weightDense(scratch, -1)
 	}
 	view := bitvec.FromWords(ix.nq, scratch)
 	rem := scratch.Count()
@@ -491,7 +556,7 @@ func (ix *Index) SatisfiedWithin(cand Bitmap, v bitvec.Vector, scratch Bitmap) i
 		}
 		rem -= ix.dropOne(view, a)
 	}
-	return rem
+	return ix.weightDense(scratch, rem)
 }
 
 // SatisfiedWithinBits is SatisfiedWithin over any candidate representation,
@@ -513,7 +578,7 @@ func (ix *Index) SatisfiedWithinBits(cand bitvec.Bits, v bitvec.Vector, sc *Scra
 		}
 		rem -= sc.comp.AndNotWith(ix.cols[a].bits(ix.nq))
 	}
-	return rem
+	return ix.weightComp(sc.comp, rem)
 }
 
 // SatisfiedDropping counts the queries of cand containing none of the
@@ -539,7 +604,7 @@ func (ix *Index) SatisfiedDropping(cand Bitmap, drop []int, scratch Bitmap) int 
 				return 0
 			}
 		}
-		return scratch.Count()
+		return ix.weightDense(scratch, -1)
 	}
 	view := bitvec.FromWords(ix.nq, scratch)
 	rem := scratch.Count()
@@ -552,7 +617,7 @@ func (ix *Index) SatisfiedDropping(cand Bitmap, drop []int, scratch Bitmap) int 
 		}
 		rem -= ix.dropOne(view, a)
 	}
-	return rem
+	return ix.weightDense(scratch, rem)
 }
 
 // SatisfiedDroppingBits is SatisfiedDropping over any candidate
@@ -580,7 +645,7 @@ func (ix *Index) SatisfiedDroppingBits(cand bitvec.Bits, drop []int, sc *Scratch
 		}
 		rem -= sc.comp.AndNotWith(ix.cols[a].bits(ix.nq))
 	}
-	return rem
+	return ix.weightComp(sc.comp, rem)
 }
 
 // denseOf views cand's words, materializing through the scratch buffer only

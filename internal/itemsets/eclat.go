@@ -38,7 +38,7 @@ func (m *Miner) Eclat(minSup int) []ItemsetCount {
 				for w := range rows {
 					rows[w] = e.rows[w] & f.rows[w]
 				}
-				sup = popcount(rows)
+				sup = m.pop(rows)
 				if sup >= minSup {
 					next = append(next, ext{item: f.item, rows: rows, sup: sup})
 				}
@@ -51,7 +51,7 @@ func (m *Miner) Eclat(minSup int) []ItemsetCount {
 
 	var roots []ext
 	for j := 0; j < m.width; j++ {
-		if sup := popcount(m.cols[j]); sup >= minSup {
+		if sup := m.pop(m.cols[j]); sup >= minSup {
 			roots = append(roots, ext{item: j, rows: m.cols[j], sup: sup})
 		}
 	}

@@ -108,7 +108,11 @@ func (m *Miner) FPGrowth(minSup int) []ItemsetCount {
 			}
 		}
 		sort.Slice(items, func(a, b int) bool { return rank[items[a]] < rank[items[b]] })
-		tree.insert(items, 1)
+		w := 1
+		if m.weights != nil {
+			w = m.weights[r]
+		}
+		tree.insert(items, w)
 	}
 
 	var out []ItemsetCount

@@ -64,14 +64,14 @@ func (m *Miner) MaximalDFSParallelContext(ctx context.Context, minSup, workers i
 	if minSup < 1 {
 		minSup = 1
 	}
-	if m.nrows < minSup {
+	if m.totalWeight < minSup {
 		return nil, nil // not even the empty itemset is frequent
 	}
 	// Fail-first item order: least frequent items first.
 	order := itemOrder(m.singletonSupports())
 
 	d := &dfsRun{m: m, minSup: minSup, workers: workers}
-	err := d.rec(ctx, bitvec.New(m.width), m.fullRowset(), m.nrows, order, 0)
+	err := d.rec(ctx, bitvec.New(m.width), m.fullRowset(), m.totalWeight, order, 0)
 	obsv.FromContext(ctx).Count("itemsets.dfs_nodes", d.nodes.Load())
 	if err != nil {
 		// Partial results: canonicalized, but incomplete — callers treat them
@@ -143,7 +143,7 @@ func (d *dfsRun) rec(ctx context.Context, current bitvec.Vector, curRows []uint6
 	// collapses otherwise-exponential subtrees.
 	var exts []dfsExt
 	for _, j := range cand {
-		s := countAnd(curRows, m.cols[j])
+		s := m.and(curRows, m.cols[j])
 		if s < d.minSup {
 			continue
 		}
@@ -178,7 +178,7 @@ func (d *dfsRun) rec(ctx context.Context, current bitvec.Vector, curRows []uint6
 		all.Set(e.item)
 		intersect(allRows, m.cols[e.item])
 	}
-	if s := popcount(allRows); s >= d.minSup {
+	if s := m.pop(allRows); s >= d.minSup {
 		if !d.store.subsumed(all) {
 			d.store.add(ItemsetCount{Items: all, Support: s})
 		}
@@ -356,7 +356,7 @@ func (m *Miner) walk(ctx context.Context, minSup int, opts WalkOptions, topDown 
 	if minSup < 1 {
 		minSup = 1
 	}
-	if m.nrows < minSup {
+	if m.totalWeight < minSup {
 		return nil, nil
 	}
 	opts = opts.withDefaults(m.width)
@@ -437,13 +437,13 @@ func (m *Miner) resetFull(rows []uint64) {
 	}
 }
 
-// supportInto recomputes rows = ∩ cols[items] and returns its popcount.
+// supportInto recomputes rows = ∩ cols[items] and returns its support.
 func (m *Miner) supportInto(rows []uint64, items []int) int {
 	m.resetFull(rows)
 	for _, j := range items {
 		intersect(rows, m.cols[j])
 	}
-	return popcount(rows)
+	return m.pop(rows)
 }
 
 // downPhase walks from the full itemset down the lattice, removing uniformly
@@ -476,7 +476,7 @@ func (m *Miner) downPhase(minSup int, rng *rand.Rand, sc *walkScratch) (bitvec.V
 func (m *Miner) randomFrequentSingleton(minSup int, rng *rand.Rand) (bitvec.Vector, []uint64) {
 	var frequent []int
 	for j := 0; j < m.width; j++ {
-		if popcount(m.cols[j]) >= minSup {
+		if m.pop(m.cols[j]) >= minSup {
 			frequent = append(frequent, j)
 		}
 	}
@@ -502,12 +502,12 @@ func (m *Miner) upPhase(items bitvec.Vector, rows []uint64, minSup int, rng *ran
 			if items.Get(j) {
 				continue
 			}
-			if countAnd(rows, m.cols[j]) >= minSup {
+			if m.and(rows, m.cols[j]) >= minSup {
 				sc.viable = append(sc.viable, j)
 			}
 		}
 		if len(sc.viable) == 0 {
-			return popcount(rows)
+			return m.pop(rows)
 		}
 		j := sc.viable[rng.Intn(len(sc.viable))]
 		items.Set(j)

@@ -27,16 +27,30 @@ type ItemsetCount struct {
 }
 
 // Miner holds a vertical (column bitmap) representation of a Boolean table
-// for fast support counting.
+// for fast support counting. A miner may be weighted (NewMinerWeighted):
+// each transaction then carries a positive integer multiplicity and every
+// support is the total weight of the supporting rows, so support thresholds
+// are expressed in weight units. An unweighted miner is the weights-all-1
+// special case and counts rows exactly as before.
 type Miner struct {
-	width int
-	nrows int
-	words int
-	cols  [][]uint64 // cols[item][w]: bitmap of rows containing item
+	width       int
+	nrows       int
+	words       int
+	cols        [][]uint64 // cols[item][w]: bitmap of rows containing item
+	weights     []int      // per-row multiplicities; nil means all 1
+	totalWeight int        // Σ weights, == nrows when unweighted
 }
 
 // NewMiner builds the vertical representation of the table.
 func NewMiner(tab *dataset.Table) *Miner {
+	return NewMinerWeighted(tab, nil)
+}
+
+// NewMinerWeighted builds the vertical representation of a weighted table:
+// weights[r] is row r's multiplicity (each must be ≥ 1 so weighted support
+// equality still certifies rowset equality, keeping parent-equivalence
+// pruning sound). nil weights mean all rows count once.
+func NewMinerWeighted(tab *dataset.Table, weights []int) *Miner {
 	width := tab.Width()
 	nrows := tab.Size()
 	words := (nrows + 63) / 64
@@ -49,6 +63,20 @@ func NewMiner(tab *dataset.Table) *Miner {
 			m.cols[j][r/64] |= 1 << (uint(r) % 64)
 		}
 	}
+	m.totalWeight = nrows
+	if weights != nil {
+		if len(weights) != nrows {
+			panic(fmt.Sprintf("itemsets: %d weights for %d rows", len(weights), nrows))
+		}
+		m.weights = weights
+		m.totalWeight = 0
+		for r, w := range weights {
+			if w < 1 {
+				panic(fmt.Sprintf("itemsets: weight %d at row %d, must be ≥ 1", w, r))
+			}
+			m.totalWeight += w
+		}
+	}
 	return m
 }
 
@@ -58,14 +86,47 @@ func (m *Miner) Width() int { return m.width }
 // NumRows returns the number of transactions.
 func (m *Miner) NumRows() int { return m.nrows }
 
-// Support returns the number of rows that contain every item of items.
+// TotalWeight returns the total row weight — the empty itemset's support.
+func (m *Miner) TotalWeight() int { return m.totalWeight }
+
+// pop returns the support of a rowset: its popcount when unweighted, the sum
+// of its rows' weights otherwise.
+func (m *Miner) pop(rs []uint64) int {
+	if m.weights == nil {
+		return popcount(rs)
+	}
+	n := 0
+	for w, word := range rs {
+		for ; word != 0; word &= word - 1 {
+			n += m.weights[w*64+bits.TrailingZeros64(word)]
+		}
+	}
+	return n
+}
+
+// and returns the support of rs ∩ col without materializing it.
+func (m *Miner) and(rs, col []uint64) int {
+	if m.weights == nil {
+		return countAnd(rs, col)
+	}
+	n := 0
+	for w := range rs {
+		for word := rs[w] & col[w]; word != 0; word &= word - 1 {
+			n += m.weights[w*64+bits.TrailingZeros64(word)]
+		}
+	}
+	return n
+}
+
+// Support returns the total weight of rows that contain every item of items
+// (the row count when the miner is unweighted).
 func (m *Miner) Support(items bitvec.Vector) int {
 	if items.Width() != m.width {
 		panic(fmt.Sprintf("itemsets: itemset width %d, miner width %d", items.Width(), m.width))
 	}
 	ones := items.Ones()
 	if len(ones) == 0 {
-		return m.nrows
+		return m.totalWeight
 	}
 	n := 0
 	first := m.cols[ones[0]]
@@ -77,7 +138,13 @@ func (m *Miner) Support(items bitvec.Vector) int {
 				break
 			}
 		}
-		n += bits.OnesCount64(acc)
+		if m.weights == nil {
+			n += bits.OnesCount64(acc)
+		} else {
+			for ; acc != 0; acc &= acc - 1 {
+				n += m.weights[w*64+bits.TrailingZeros64(acc)]
+			}
+		}
 	}
 	return n
 }
@@ -138,11 +205,11 @@ func itemOrder(supports []int) []int {
 	return idx
 }
 
-// singletonSupports returns the support of each single item.
+// singletonSupports returns the (weighted) support of each single item.
 func (m *Miner) singletonSupports() []int {
 	out := make([]int, m.width)
 	for j := 0; j < m.width; j++ {
-		out[j] = popcount(m.cols[j])
+		out[j] = m.pop(m.cols[j])
 	}
 	return out
 }

@@ -1,0 +1,133 @@
+package itemsets
+
+import (
+	"math/rand"
+	"testing"
+
+	"standout/internal/bitvec"
+	"standout/internal/dataset"
+)
+
+// TestWeightedMinerMatchesExpansion pins the defining property of weighted
+// mining: a miner over rows with multiplicities behaves exactly like an
+// unweighted miner over the table with each row physically duplicated
+// multiplicity times — same supports, same frequent sets, same maximal sets,
+// for the same weight-unit threshold.
+func TestWeightedMinerMatchesExpansion(t *testing.T) {
+	r := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 30; trial++ {
+		width := 3 + r.Intn(6)
+		nrows := 1 + r.Intn(12)
+		tab := dataset.NewTable(dataset.GenericSchema(width))
+		expanded := dataset.NewTable(dataset.GenericSchema(width))
+		weights := make([]int, nrows)
+		for i := 0; i < nrows; i++ {
+			row := bitvec.New(width)
+			for j := 0; j < width; j++ {
+				if r.Intn(2) == 0 {
+					row.Set(j)
+				}
+			}
+			w := 1 + r.Intn(4)
+			weights[i] = w
+			tab.Rows = append(tab.Rows, row)
+			for k := 0; k < w; k++ {
+				expanded.Rows = append(expanded.Rows, row)
+			}
+		}
+
+		wm := NewMinerWeighted(tab, weights)
+		em := NewMiner(expanded)
+		if wm.TotalWeight() != em.NumRows() {
+			t.Fatalf("trial %d: TotalWeight %d, expanded rows %d", trial, wm.TotalWeight(), em.NumRows())
+		}
+
+		// Support agrees at every itemset of the lattice.
+		for mask := 0; mask < 1<<width; mask++ {
+			items := bitvec.New(width)
+			for j := 0; j < width; j++ {
+				if mask&(1<<j) != 0 {
+					items.Set(j)
+				}
+			}
+			if got, want := wm.Support(items), em.Support(items); got != want {
+				t.Fatalf("trial %d mask %b: weighted support %d, expanded %d", trial, mask, got, want)
+			}
+		}
+
+		minSup := 1 + r.Intn(wm.TotalWeight())
+		wMax := wm.MaximalDFS(minSup)
+		eMax := em.MaximalDFS(minSup)
+		if len(wMax) != len(eMax) {
+			t.Fatalf("trial %d minSup %d: %d maximal sets weighted, %d expanded", trial, minSup, len(wMax), len(eMax))
+		}
+		for i := range wMax {
+			if !wMax[i].Items.Equal(eMax[i].Items) || wMax[i].Support != eMax[i].Support {
+				t.Fatalf("trial %d minSup %d: maximal[%d] %v/%d vs %v/%d",
+					trial, minSup, i, wMax[i].Items, wMax[i].Support, eMax[i].Items, eMax[i].Support)
+			}
+		}
+
+		// The three all-frequent miners agree with each other on the weighted
+		// miner (their mutual equivalence on unweighted miners is pinned
+		// elsewhere).
+		ap := wm.Apriori(minSup)
+		fp := wm.FPGrowth(minSup)
+		ec := wm.Eclat(minSup)
+		SortBySize(ap)
+		SortBySize(fp)
+		SortBySize(ec)
+		if len(ap) != len(fp) || len(ap) != len(ec) {
+			t.Fatalf("trial %d minSup %d: frequent counts apriori %d, fpgrowth %d, eclat %d",
+				trial, minSup, len(ap), len(fp), len(ec))
+		}
+		for i := range ap {
+			if !ap[i].Items.Equal(fp[i].Items) || ap[i].Support != fp[i].Support {
+				t.Fatalf("trial %d: apriori/fpgrowth diverge at %d: %v/%d vs %v/%d",
+					trial, i, ap[i].Items, ap[i].Support, fp[i].Items, fp[i].Support)
+			}
+			if !ap[i].Items.Equal(ec[i].Items) || ap[i].Support != ec[i].Support {
+				t.Fatalf("trial %d: apriori/eclat diverge at %d", trial, i)
+			}
+			if want := em.Support(ap[i].Items); ap[i].Support != want {
+				t.Fatalf("trial %d: frequent set %v support %d, expanded %d", trial, ap[i].Items, ap[i].Support, want)
+			}
+		}
+	}
+}
+
+// TestWeightedWalkMatchesDFS checks the random-walk miners respect weighted
+// thresholds: every walk result is a maximal frequent itemset of the weighted
+// DFS oracle.
+func TestWeightedWalkMatchesDFS(t *testing.T) {
+	r := rand.New(rand.NewSource(18))
+	width := 6
+	tab := dataset.NewTable(dataset.GenericSchema(width))
+	weights := make([]int, 0, 10)
+	for i := 0; i < 10; i++ {
+		row := bitvec.New(width)
+		for j := 0; j < width; j++ {
+			if r.Intn(3) != 0 { // dense, the §IV.C regime
+				row.Set(j)
+			}
+		}
+		tab.Rows = append(tab.Rows, row)
+		weights = append(weights, 1+r.Intn(4))
+	}
+	m := NewMinerWeighted(tab, weights)
+	minSup := m.TotalWeight() / 3
+
+	oracle := map[string]int{}
+	for _, it := range m.MaximalDFS(minSup) {
+		oracle[it.Items.Key()] = it.Support
+	}
+	for _, it := range m.MaximalRandomWalk(minSup, WalkOptions{}) {
+		sup, ok := oracle[it.Items.Key()]
+		if !ok {
+			t.Fatalf("walk found %v which the DFS oracle does not list as maximal", it.Items)
+		}
+		if sup != it.Support {
+			t.Fatalf("walk support %d for %v, oracle %d", it.Support, it.Items, sup)
+		}
+	}
+}

@@ -45,6 +45,7 @@ func chaosInjector(seed int64) *fault.Injector {
 		fault.Rule{Site: "serve.admit", Every: 29, Kind: fault.KindError, Msg: "admit fault"},
 		fault.Rule{Site: "core.prep.stale", Every: 11, Kind: fault.KindError, Msg: "forced staleness"},
 		fault.Rule{Site: "core.prep.build", Every: 5, Kind: fault.KindError, Msg: "rebuild fault"},
+		fault.Rule{Site: "core.prep.compact", Every: 3, Kind: fault.KindError, Msg: "compaction fault"},
 		fault.Rule{Site: "core.batch.tuple", Every: 23, Kind: fault.KindPanic, Msg: "batch chaos"},
 	)
 }
@@ -221,6 +222,47 @@ func TestChaosStormMutatingLog(t *testing.T) {
 	if status != http.StatusOK && status != http.StatusInternalServerError {
 		t.Fatalf("post-storm solve: status %d body %s", status, raw)
 	}
+}
+
+// TestChaosCompactionFaultStorm makes EVERY segment compaction fail while
+// the log mutates under load: each append's single-flight rebuild still
+// produces a delta-extended prep, it just never merges, so the segmented
+// index accretes one segment per append batch. Serving must absorb that —
+// the compaction failure is not a request failure — and keep answering from
+// the pre-compaction segments. A clean post-storm solve and a delta-build
+// count prove the incremental path (not full rebuilds) carried the storm.
+func TestChaosCompactionFaultStorm(t *testing.T) {
+	srv, ts, log, tuples := newTestServer(t, func(c *Config) {
+		c.Injector = fault.New(3,
+			fault.Rule{Site: "core.prep.compact", Every: 1, Kind: fault.KindError, Msg: "compaction always fails"},
+		)
+		c.MaxConcurrent = 4
+		c.MaxQueue = 8
+	})
+	storm(t, ts, log, tuples, 300, 8, 25, true)
+	if srv.met.logSwaps.Value() == 0 {
+		t.Error("compaction-fault storm performed no log swaps")
+	}
+	if srv.met.prepDeltas.Value() == 0 {
+		t.Error("compaction-fault storm never took the delta-build path")
+	}
+	if p := srv.prep.snapshot(); p != nil && p.Delta() && p.Segments() < 2 {
+		t.Errorf("every compaction failed yet the delta prep has %d segment(s); fault not exercised", p.Segments())
+	}
+	// The server is still healthy on the unmerged segments.
+	status, raw := postJSON(t, ts.URL+"/solve", solveRequest{Tuple: tuples[0].String(), M: 4, TimeoutMS: 2000})
+	if status != http.StatusOK {
+		t.Fatalf("post-storm solve on unmerged segments: status %d body %s", status, raw)
+	}
+	var sol solveResponse
+	if err := json.Unmarshal(raw, &sol); err != nil {
+		t.Fatalf("post-storm solve body: %v", err)
+	}
+	if base := greedyBaseline(t, srv.CurrentLog(), tuples[0], 4); sol.Satisfied < base {
+		t.Errorf("post-storm solve satisfied %d < greedy baseline %d", sol.Satisfied, base)
+	}
+	t.Logf("compaction-fault storm: swaps=%d deltas=%d rebuilds=%d", srv.met.logSwaps.Value(),
+		srv.met.prepDeltas.Value(), srv.met.prepRebuilds.Value())
 }
 
 // TestChaosTimeoutStorm hammers the server with deadlines too short for the

@@ -14,6 +14,7 @@ type metrics struct {
 	failures     *obsv.Counter
 	timeouts     *obsv.Counter
 	prepRebuilds *obsv.Counter
+	prepDeltas   *obsv.Counter
 	prepRetries  *obsv.Counter
 	staleRetries *obsv.Counter
 	logSwaps     *obsv.Counter
@@ -38,6 +39,8 @@ func newMetrics(r *obsv.Registry) *metrics {
 			"Requests whose whole deadline budget expired (504)."),
 		prepRebuilds: r.Counter("standout_serve_prep_rebuilds_total",
 			"Prepared-log rebuilds started by the single-flight path."),
+		prepDeltas: r.Counter("standout_serve_prep_delta_builds_total",
+			"Single-flight rebuilds satisfied by an incremental delta build instead of a full re-index."),
 		prepRetries: r.Counter("standout_serve_prep_retries_total",
 			"Prepared-log rebuild attempts beyond the first (backoff retries)."),
 		staleRetries: r.Counter("standout_serve_stale_retries_total",

@@ -63,9 +63,13 @@ func (c *prepCache) get(ctx context.Context, log *dataset.QueryLog) (*core.Prepa
 		if c.wait == nil {
 			ch := make(chan struct{})
 			c.wait = ch
+			// The outgoing generation seeds the incremental path: when the new
+			// log provably extends it (the POST /log append path guarantees
+			// that), the rebuild is a delta over only the appended queries.
+			prev := c.cur
 			c.mu.Unlock()
 
-			p, err := c.build(log)
+			p, err := c.build(prev, log)
 
 			c.mu.Lock()
 			if err == nil {
@@ -104,7 +108,9 @@ func (c *prepCache) get(ctx context.Context, log *dataset.QueryLog) (*core.Prepa
 // build runs one rebuild with retries: each attempt that fails — an injected
 // build fault, or a log Touch racing the build so the fresh prep is born
 // stale — backs off for base<<attempt plus seeded jitter and tries again.
-func (c *prepCache) build(log *dataset.QueryLog) (*core.PreparedLog, error) {
+// When prev's lineage covers log, each attempt is an O(append) delta build;
+// otherwise a full re-index (PrepareLogFromContext decides per attempt).
+func (c *prepCache) build(prev *core.PreparedLog, log *dataset.QueryLog) (*core.PreparedLog, error) {
 	c.met.prepRebuilds.Add(1)
 	var lastErr error
 	for attempt := 0; attempt <= c.retries; attempt++ {
@@ -114,7 +120,7 @@ func (c *prepCache) build(log *dataset.QueryLog) (*core.PreparedLog, error) {
 				return nil, err
 			}
 		}
-		p, err := core.PrepareLogContext(c.buildCtx, log)
+		p, err := core.PrepareLogFromContext(c.buildCtx, prev, log)
 		if err != nil {
 			lastErr = err
 			continue
@@ -122,6 +128,9 @@ func (c *prepCache) build(log *dataset.QueryLog) (*core.PreparedLog, error) {
 		if p.Stale() {
 			lastErr = core.ErrStalePrep
 			continue
+		}
+		if p.Delta() {
+			c.met.prepDeltas.Add(1)
 		}
 		return p, nil
 	}

@@ -343,6 +343,7 @@ type batchResponse struct {
 
 type logResponse struct {
 	Queries     int    `json:"queries"`
+	TotalWeight int    `json:"total_weight"`
 	Width       int    `json:"width"`
 	Version     uint64 `json:"version"`
 	Fingerprint string `json:"fingerprint"`
@@ -350,6 +351,11 @@ type logResponse struct {
 
 type appendRequest struct {
 	Append []string `json:"append"`
+	// Weights optionally assigns a multiplicity ≥ 1 to each appended query
+	// (len must equal len(Append)); omitted means every query counts once.
+	// Weighted entries are how a log summarizer (internal/compact) feeds its
+	// folded duplicates back into a serving log.
+	Weights []int `json:"weights,omitempty"`
 }
 
 type errorResponse struct {
@@ -674,20 +680,30 @@ func (s *Server) handleLog(w http.ResponseWriter, r *http.Request) {
 			writeJSON(r.Context(), w, http.StatusBadRequest, errorResponse{Error: "empty append"})
 			return
 		}
-		// Copy-on-write: in-flight requests keep solving their snapshot; new
-		// requests see the new generation and rebuild the index for it.
+		if req.Weights != nil && len(req.Weights) != len(req.Append) {
+			writeJSON(r.Context(), w, http.StatusBadRequest, errorResponse{Error: fmt.Sprintf(
+				"weights length %d does not match append length %d", len(req.Weights), len(req.Append))})
+			return
+		}
+		// Copy-on-write via Extend: in-flight requests keep solving their
+		// snapshot; new requests see the new generation, whose recorded
+		// lineage lets the single-flight rebuild extend the previous index
+		// with a delta segment instead of re-indexing from scratch.
 		s.mu.Lock()
 		old := s.log
-		next := dataset.NewQueryLog(old.Schema)
-		next.Queries = append(make([]bitvec.Vector, 0, len(old.Queries)+len(req.Append)), old.Queries...)
-		for _, spec := range req.Append {
+		next := old.Extend()
+		for i, spec := range req.Append {
 			q, err := dataset.ParseTuple(old.Schema, spec)
 			if err != nil {
 				s.mu.Unlock()
 				writeJSON(r.Context(), w, http.StatusBadRequest, errorResponse{Error: "bad query: " + err.Error()})
 				return
 			}
-			if err := next.Append(q); err != nil {
+			weight := 1
+			if req.Weights != nil {
+				weight = req.Weights[i]
+			}
+			if err := next.AppendWeighted(q, weight); err != nil {
 				s.mu.Unlock()
 				writeJSON(r.Context(), w, http.StatusBadRequest, errorResponse{Error: "bad query: " + err.Error()})
 				return
@@ -721,6 +737,7 @@ func (s *Server) handleTouch(w http.ResponseWriter, r *http.Request) {
 func logStats(log *dataset.QueryLog) logResponse {
 	return logResponse{
 		Queries:     log.Size(),
+		TotalWeight: log.TotalWeight(),
 		Width:       log.Width(),
 		Version:     log.Version(),
 		Fingerprint: fmt.Sprintf("%016x", log.Fingerprint()),
