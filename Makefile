@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: check build test test-race soak bench bench-bitmap bench-compact vet fmt-check cover cover-gate experiments quick-experiments fuzz fuzz-smoke
+.PHONY: check build test test-race soak soak-shard bench bench-bitmap bench-compact bench-shard vet fmt-check cover cover-gate experiments quick-experiments fuzz fuzz-smoke
 
 # Default: everything CI would gate on.
 check: build vet fmt-check test test-race cover-gate
@@ -26,7 +26,7 @@ test:
 # ring is written by every request. `go test -race ./...` also works but
 # takes much longer on the bench package.
 test-race:
-	go test -race ./internal/bitvec/... ./internal/compact/... ./internal/core/... ./internal/cache/... ./internal/index/... ./internal/ilp/... ./internal/itemsets/... ./internal/par/... ./internal/serve/... ./internal/fault/... ./internal/obsv/...
+	go test -race ./internal/bitvec/... ./internal/compact/... ./internal/core/... ./internal/cache/... ./internal/index/... ./internal/ilp/... ./internal/itemsets/... ./internal/par/... ./internal/serve/... ./internal/shard/... ./internal/fault/... ./internal/obsv/...
 
 # 30 seconds of fault-injected chaos storms against the serving layer under
 # the race detector: injected panics, delays, forced staleness, live log
@@ -34,6 +34,14 @@ test-race:
 # well-formed, and degraded answers beat the greedy baseline.
 soak:
 	go test -race -run 'TestSoak' ./internal/serve/ -soak=30s -v
+
+# 30 seconds of shard kill/restore storms against the scatter-gather
+# coordinator under the race detector: one shard dies and comes back every
+# round. The suite asserts zero 5xx, exact partial lower bounds over the
+# responding subset, circuit open within the retry budget, and bit-identical
+# full answers after the half-open probe recovery.
+soak-shard:
+	go test -race -run 'TestSoakShard' ./internal/shard/ -soak=30s -v
 
 cover:
 	go test -cover ./...
@@ -60,6 +68,11 @@ bench-bitmap:
 # appends, and solve time on a duplicate-heavy log raw vs compacted-weighted.
 bench-compact:
 	go run ./cmd/socbench -json compact > BENCH_compact.json
+
+# Regenerate BENCH_shard.json: the sharded scatter-gather deployment under
+# closed-loop load, hedging on vs off, with an injected slow-shard tail.
+bench-shard:
+	go run ./cmd/socbench -json shard > BENCH_shard.json
 
 # Full-scale reproduction of the paper's figures + ablations (slow: the ILP
 # blow-up past 1000 queries IS Fig 10's finding).

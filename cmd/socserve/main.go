@@ -9,6 +9,17 @@
 //	socserve -log queries.csv [-addr 127.0.0.1:8080]
 //	socserve -db cars.csv                       # rows act as the workload
 //	socserve -gen 500 [-seed 7]                 # synthetic cars workload
+//	socserve -log queries.csv -shard-of 0/4     # serve one hash partition
+//	socserve -shards http://h1:8080,http://h2:8080   # scatter-gather coordinator
+//
+// Coordinator mode (-shards) holds no workload: it bootstraps the schema
+// from the first reachable shard's GET /schema and scatter-gathers POST
+// /solve across the shards' /score counting oracles, merging answers
+// bit-identically to an unsharded server (internal/shard, DESIGN.md §15).
+// Lost shards degrade responses to exact partial results (200 with
+// "partial": true), never 5xx; per-shard circuit health is on GET /readyz.
+// Coordinator knobs: -shard-timeout, -shard-retries, -hedge-after,
+// -no-hedge, -breaker-failures, -breaker-cooloff.
 //
 // Endpoints:
 //
@@ -55,6 +66,7 @@ import (
 	"net"
 	"net/http"
 	"os"
+	"strings"
 	"time"
 
 	"standout/internal/compact"
@@ -63,6 +75,7 @@ import (
 	"standout/internal/gen"
 	"standout/internal/obsv"
 	"standout/internal/serve"
+	"standout/internal/shard"
 )
 
 func main() {
@@ -93,6 +106,14 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) (err erro
 	sample := fs.Int("sample", 1, "keep 1-in-N boring successes in the flight recorder (errors and slow requests always kept)")
 	faultSpec := fs.String("fault", "", `fault rules, ";"-separated (e.g. "serve.solve:every=10:panic")`)
 	faultSeed := fs.Int64("fault-seed", 1, "seed for injected delay jitter")
+	shards := fs.String("shards", "", "comma-separated shard base URLs; run as a scatter-gather coordinator (no workload flags)")
+	shardOf := fs.String("shard-of", "", `serve only shard i of an n-way hash partition of the workload ("i/n")`)
+	shardTimeout := fs.Duration("shard-timeout", 0, "coordinator: per-shard scatter attempt deadline (0 = 1s)")
+	shardRetries := fs.Int("shard-retries", 0, "coordinator: scatter retries per shard call (0 = 2, negative = none)")
+	hedgeAfter := fs.Duration("hedge-after", 0, "coordinator: hedge delay before latency history exists (0 = 25ms)")
+	noHedge := fs.Bool("no-hedge", false, "coordinator: disable hedged shard requests")
+	breakerFailures := fs.Int("breaker-failures", 0, "coordinator: consecutive failures opening a shard circuit (0 = 5)")
+	breakerCooloff := fs.Duration("breaker-cooloff", 0, "coordinator: open-circuit cooloff before the half-open probe (0 = 2s)")
 	var obs obsv.Flags
 	obs.Register(fs)
 	var runf obsv.RunFlags // -timeout bounds the whole serving run
@@ -117,6 +138,34 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) (err erro
 		}
 	}()
 
+	var inj *fault.Injector
+	if *faultSpec != "" {
+		rules, err := fault.ParseRules(*faultSpec)
+		if err != nil {
+			return fmt.Errorf("parsing -fault: %w", err)
+		}
+		inj = fault.New(*faultSeed, rules...)
+		fmt.Fprintf(stderr, "socserve: fault injection armed: %s (seed %d)\n", *faultSpec, *faultSeed)
+	}
+
+	// Coordinator mode: no workload of its own — shard addresses plus a
+	// schema bootstrapped from the first reachable shard.
+	if *shards != "" {
+		if *logPath != "" || *dbPath != "" || *genN > 0 || *shardOf != "" {
+			return fmt.Errorf("-shards is mutually exclusive with -log, -db, -gen and -shard-of")
+		}
+		return runCoordinator(ctx, coordinatorOpts{
+			addr: *addr, shards: *shards, grace: *grace,
+			maxConcurrent: *maxConcurrent, maxQueue: *maxQueue,
+			defaultTimeout: *defaultTimeout, maxTimeout: *maxTimeout,
+			shardTimeout: *shardTimeout, shardRetries: *shardRetries,
+			hedgeAfter: *hedgeAfter, noHedge: *noHedge,
+			breakerFailures: *breakerFailures, breakerCooloff: *breakerCooloff,
+			seed: *seed, injector: inj,
+			flightSize: *flightSize, slow: *slow, sample: *sample,
+		}, stderr)
+	}
+
 	log, err := loadWorkload(*logPath, *dbPath, *genN, *seed)
 	if err != nil {
 		return err
@@ -127,15 +176,18 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) (err erro
 			st.InputQueries, st.OutputQueries, 100*st.Ratio(), st.DuplicatesFolded)
 		log = compacted
 	}
-
-	var inj *fault.Injector
-	if *faultSpec != "" {
-		rules, err := fault.ParseRules(*faultSpec)
+	if *shardOf != "" {
+		si, sn, err := parseShardOf(*shardOf)
 		if err != nil {
-			return fmt.Errorf("parsing -fault: %w", err)
+			return err
 		}
-		inj = fault.New(*faultSeed, rules...)
-		fmt.Fprintf(stderr, "socserve: fault injection armed: %s (seed %d)\n", *faultSpec, *faultSeed)
+		part, err := shard.PartitionOne(ctx, log, si, sn)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(stderr, "socserve: serving shard %d/%d: %d of %d queries (weight %d of %d)\n",
+			si, sn, part.Size(), log.Size(), part.TotalWeight(), log.TotalWeight())
+		log = part
 	}
 
 	srv, err := serve.New(serve.Config{
@@ -156,11 +208,119 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) (err erro
 	}
 	defer srv.Close()
 
-	return serveHTTP(ctx, *addr, srv.Handler(), *grace, log, stderr)
+	banner := fmt.Sprintf("%d queries over %d attributes", log.Size(), log.Width())
+	return serveHTTP(ctx, *addr, srv.Handler(), *grace, banner, stderr)
+}
+
+// coordinatorOpts carries the coordinator-mode flag values.
+type coordinatorOpts struct {
+	addr            string
+	shards          string
+	grace           time.Duration
+	maxConcurrent   int
+	maxQueue        int
+	defaultTimeout  time.Duration
+	maxTimeout      time.Duration
+	shardTimeout    time.Duration
+	shardRetries    int
+	hedgeAfter      time.Duration
+	noHedge         bool
+	breakerFailures int
+	breakerCooloff  time.Duration
+	seed            int64
+	injector        *fault.Injector
+	flightSize      int
+	slow            time.Duration
+	sample          int
+}
+
+// runCoordinator serves scatter-gather over remote socserve shards.
+func runCoordinator(ctx context.Context, o coordinatorOpts, stderr io.Writer) error {
+	var backends []shard.Backend
+	var https []*shard.HTTP
+	for i, raw := range strings.Split(o.shards, ",") {
+		u := strings.TrimSpace(raw)
+		if u == "" {
+			continue
+		}
+		h := shard.NewHTTP(fmt.Sprintf("s%d", i), strings.TrimRight(u, "/"), nil)
+		backends = append(backends, h)
+		https = append(https, h)
+	}
+	if len(backends) == 0 {
+		return fmt.Errorf("-shards lists no URLs")
+	}
+	schema, err := bootstrapSchema(ctx, https, stderr)
+	if err != nil {
+		return err
+	}
+	srv, err := shard.NewServer(shard.Config{
+		Backends:        backends,
+		Schema:          schema,
+		ShardTimeout:    o.shardTimeout,
+		Retries:         o.shardRetries,
+		HedgeAfter:      o.hedgeAfter,
+		DisableHedge:    o.noHedge,
+		BreakerFailures: o.breakerFailures,
+		BreakerCooloff:  o.breakerCooloff,
+		MaxConcurrent:   o.maxConcurrent,
+		MaxQueue:        o.maxQueue,
+		DefaultTimeout:  o.defaultTimeout,
+		MaxTimeout:      o.maxTimeout,
+		Seed:            o.seed,
+		Injector:        o.injector,
+		FlightSize:      o.flightSize,
+		SlowThreshold:   o.slow,
+		SampleEvery:     o.sample,
+	})
+	if err != nil {
+		return err
+	}
+	defer srv.Close()
+	banner := fmt.Sprintf("coordinator over %d shards (width %d)", len(backends), schema.Width())
+	return serveHTTP(ctx, o.addr, srv.Handler(), o.grace, banner, stderr)
+}
+
+// bootstrapSchema fetches the serving schema from the first shard that
+// answers GET /schema, retrying with backoff so the coordinator can start
+// before (or while) its shards do.
+func bootstrapSchema(ctx context.Context, shards []*shard.HTTP, stderr io.Writer) (*dataset.Schema, error) {
+	var lastErr error
+	for attempt := 0; attempt < 20; attempt++ {
+		for _, h := range shards {
+			actx, cancel := context.WithTimeout(ctx, 2*time.Second)
+			schema, err := h.Schema(actx)
+			cancel()
+			if err == nil {
+				return schema, nil
+			}
+			lastErr = err
+		}
+		if attempt == 0 {
+			fmt.Fprintf(stderr, "socserve: waiting for a shard to answer /schema (%v)\n", lastErr)
+		}
+		select {
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case <-time.After(500 * time.Millisecond):
+		}
+	}
+	return nil, fmt.Errorf("no shard answered /schema: %w", lastErr)
+}
+
+// parseShardOf parses "i/n".
+func parseShardOf(spec string) (i, n int, err error) {
+	if _, err := fmt.Sscanf(spec, "%d/%d", &i, &n); err != nil {
+		return 0, 0, fmt.Errorf(`-shard-of %q: want "i/n" (e.g. 0/4)`, spec)
+	}
+	if n <= 0 || i < 0 || i >= n {
+		return 0, 0, fmt.Errorf("-shard-of %q: shard %d of %d is out of range", spec, i, n)
+	}
+	return i, n, nil
 }
 
 // serveHTTP runs the listener until ctx is done, then drains gracefully.
-func serveHTTP(ctx context.Context, addr string, h http.Handler, grace time.Duration, log *dataset.QueryLog, stderr io.Writer) error {
+func serveHTTP(ctx context.Context, addr string, h http.Handler, grace time.Duration, banner string, stderr io.Writer) error {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return err
@@ -171,8 +331,7 @@ func serveHTTP(ctx context.Context, addr string, h http.Handler, grace time.Dura
 	}
 	// The resolved address (meaningful with :0) prints before serving starts,
 	// so scripts and tests can scrape the port from stderr.
-	fmt.Fprintf(stderr, "socserve: %d queries over %d attributes; listening on http://%s\n",
-		log.Size(), log.Width(), ln.Addr())
+	fmt.Fprintf(stderr, "socserve: %s; listening on http://%s\n", banner, ln.Addr())
 	errc := make(chan error, 1)
 	go func() { errc <- hs.Serve(ln) }()
 	select {

@@ -286,3 +286,99 @@ func TestServeCompactFlag(t *testing.T) {
 		t.Errorf("compacted server satisfied %d, raw solve %d", sr.Satisfied, want.Satisfied)
 	}
 }
+
+// TestServeShardedEndToEnd stands up the full multi-shard quick start from
+// the README: two -shard-of backends over the same workload file and one
+// -shards coordinator over both. The coordinated answer must be bit-identical
+// to a single unsharded server's greedy answer, and readyz must report both
+// shard circuits closed.
+func TestServeShardedEndToEnd(t *testing.T) {
+	tab := gen.Cars(9, 120)
+	log := gen.RealWorkload(tab, 10, 60)
+	tuples := gen.PickTuples(tab, 11, 3)
+	path := filepath.Join(t.TempDir(), "queries.csv")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dataset.WriteQueryLogCSV(f, log); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	whole, stopWhole := startServer(t, "-log", path)
+	defer stopWhole()
+	s0, stop0 := startServer(t, "-log", path, "-shard-of", "0/2")
+	defer stop0()
+	s1, stop1 := startServer(t, "-log", path, "-shard-of", "1/2")
+	defer stop1()
+	coord, stopCoord := startServer(t, "-shards", s0+","+s1)
+	defer stopCoord()
+
+	for _, tuple := range tuples {
+		body := `{"tuple": "` + tuple.String() + `", "m": 3, "algo": "greedy"}`
+		wantStatus, wantRaw := post(t, whole+"/solve", body)
+		gotStatus, gotRaw := post(t, coord+"/solve", body)
+		if wantStatus != http.StatusOK || gotStatus != http.StatusOK {
+			t.Fatalf("solve: unsharded %d (%s), sharded %d (%s)", wantStatus, wantRaw, gotStatus, gotRaw)
+		}
+		type answer struct {
+			KeptBits  string `json:"kept_bits"`
+			Satisfied int    `json:"satisfied"`
+			Partial   bool   `json:"partial"`
+			Shards    int    `json:"shards"`
+		}
+		var want, got answer
+		if err := json.Unmarshal(wantRaw, &want); err != nil {
+			t.Fatal(err)
+		}
+		if err := json.Unmarshal(gotRaw, &got); err != nil {
+			t.Fatal(err)
+		}
+		if got.KeptBits != want.KeptBits || got.Satisfied != want.Satisfied {
+			t.Errorf("tuple %s: sharded (%s, %d) != unsharded (%s, %d)",
+				tuple, got.KeptBits, got.Satisfied, want.KeptBits, want.Satisfied)
+		}
+		if got.Partial || got.Shards != 2 {
+			t.Errorf("tuple %s: partial=%v shards=%d, want full over 2", tuple, got.Partial, got.Shards)
+		}
+	}
+
+	resp, err := http.Get(coord + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var rz struct {
+		Status string `json:"status"`
+		Shards []struct {
+			ID    string `json:"id"`
+			State string `json:"state"`
+		} `json:"shards"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&rz); err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK || rz.Status != "ready" || len(rz.Shards) != 2 {
+		t.Fatalf("coordinator readyz: status %d %q with %d shards, want 200 ready over 2", resp.StatusCode, rz.Status, len(rz.Shards))
+	}
+	for _, sh := range rz.Shards {
+		if sh.State != "closed" {
+			t.Errorf("shard %s circuit %q, want closed", sh.ID, sh.State)
+		}
+	}
+}
+
+func TestShardFlagValidation(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(context.Background(), []string{"-gen", "10", "-shard-of", "5/2"}, &out, &out); err == nil {
+		t.Error("out-of-range -shard-of accepted")
+	}
+	if err := run(context.Background(), []string{"-gen", "10", "-shard-of", "nope"}, &out, &out); err == nil {
+		t.Error("malformed -shard-of accepted")
+	}
+	err := run(context.Background(), []string{"-shards", "http://127.0.0.1:1", "-gen", "10"}, &out, &out)
+	if err == nil || !strings.Contains(err.Error(), "mutually exclusive") {
+		t.Errorf("-shards with -gen: err = %v, want mutual-exclusion error", err)
+	}
+}

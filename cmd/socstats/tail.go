@@ -104,13 +104,14 @@ func tailOnce(ctx context.Context, client *http.Client, url string, n int, sortB
 }
 
 // flagLetters compresses a record's outcome flags into the table's FLAGS
-// column: D=degraded, S=shed, P=panic, F=fault, W=slow ("w" for wall time).
+// column: D=degraded, S=shed, P=panic, F=fault, W=slow ("w" for wall time),
+// R=partial (a shard-coordinator response over a reduced shard set).
 func flagLetters(r obsv.Record) string {
 	var sb strings.Builder
 	for _, f := range []struct {
 		on bool
 		c  byte
-	}{{r.Degraded, 'D'}, {r.Shed, 'S'}, {r.Panic, 'P'}, {r.Fault, 'F'}, {r.Slow, 'W'}} {
+	}{{r.Degraded, 'D'}, {r.Shed, 'S'}, {r.Panic, 'P'}, {r.Fault, 'F'}, {r.Slow, 'W'}, {r.Partial, 'R'}} {
 		if f.on {
 			sb.WriteByte(f.c)
 		}

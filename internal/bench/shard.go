@@ -1,0 +1,275 @@
+package bench
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"net/http"
+	"sort"
+	"time"
+
+	"standout/internal/bitvec"
+	"standout/internal/compact"
+	"standout/internal/dataset"
+	"standout/internal/fault"
+	"standout/internal/gen"
+	"standout/internal/obsv"
+	"standout/internal/serve"
+	"standout/internal/shard"
+)
+
+// shardCell is one load point: a client count and the hedging toggle.
+type shardCell struct {
+	clients int
+	hedge   bool
+}
+
+// ShardLoad benchmarks the sharded scatter-gather deployment; see
+// ShardLoadContext.
+func ShardLoad(cfg Config) Result { return ShardLoadContext(context.Background(), cfg) }
+
+// ShardLoadContext drives a closed-loop load generator against a real
+// loopback deployment of the sharded serving layer: four HTTP shards (each an
+// internal/serve instance over one partition of a multi-million-query
+// workload) behind one coordinator. A seeded shard.slow delay fault makes a
+// few percent of shard calls an order of magnitude slower than the rest, so
+// the hedging-on and hedging-off cells straddle exactly the tail that hedged
+// requests are meant to cut; a rare shard.solve error fault exercises the
+// retry path without tripping breakers. Columns report throughput, latency
+// quantiles of successful solves, and the shed / partial / hedge fractions —
+// the numbers behind DESIGN.md §15 (BENCH_shard.json).
+func ShardLoadContext(ctx context.Context, cfg Config) Result {
+	cfg = cfg.withDefaults()
+	res := Result{
+		Name:    "shard",
+		Title:   "Sharded scatter-gather under closed-loop load (4 loopback HTTP shards, greedy solves)",
+		XLabel:  "load",
+		YLabel:  "throughput / latency / shed",
+		Columns: []string{"throughput_rps", "p50_ms", "p99_ms", "shed_rate", "partial_rate", "hedge_rate"},
+		Notes: []string{
+			"closed loop: each client holds one request in flight; coordinator capacity 8 solves + 16 queued",
+			"faults: seeded shard.slow delay (~0.5% of shard calls +250ms; ~1 in 9 solves) and rare shard.solve errors (retried)",
+			"hedge_rate: hedged shard calls per successful solve; no-hedge cells pay the delay fault in p99",
+		},
+	}
+
+	carsN := cfg.CarsN
+	if carsN > 2000 {
+		carsN = 2000 // latency benchmark: the schema, not the table size, is under test
+	}
+	logSize := 2 << 20 // ~2.1M raw queries across the shards
+	window := 2 * time.Second
+	if cfg.Quick {
+		logSize = 20000
+		window = 400 * time.Millisecond
+	}
+	tab := gen.Cars(cfg.Seed, carsN)
+	raw := gen.RealWorkload(tab, cfg.Seed+1, logSize)
+	// Weight-preserving compaction (internal/compact): duplicate queries fold
+	// into weighted entries, so every count — and therefore every solve — is
+	// bit-identical to the raw multi-million-entry log while shard scans stay
+	// interactive. This is exactly how a production shard would serve such a
+	// log.
+	log, cstats := compact.Compact(raw)
+	tuples := gen.PickTuples(tab, cfg.Seed+2, 32)
+	parts, err := shard.Partition(ctx, log, 4)
+	if err != nil {
+		res.Notes = append(res.Notes, fmt.Sprintf("partition: %v", err))
+		noteInterrupted(ctx, &res)
+		return res
+	}
+	res.Notes = append(res.Notes, fmt.Sprintf(
+		"workload: %d raw queries over %d attributes, compacted %.0fx to %d weighted entries, 4 partitions",
+		raw.Size(), log.Width(), 1/cstats.Ratio(), log.Size()))
+
+	cells := []shardCell{
+		{4, true}, {4, false},
+		{32, true}, {32, false},
+	}
+	for _, cell := range cells {
+		if ctx.Err() != nil {
+			noteInterrupted(ctx, &res)
+			break
+		}
+		row, err := shardLoadCell(ctx, cfg, log.Schema, parts, tuples, cell, window)
+		if err != nil {
+			res.Notes = append(res.Notes, fmt.Sprintf("%s: %v", shardCellLabel(cell), err))
+			row = Row{X: shardCellLabel(cell), Values: []float64{Missing, Missing, Missing, Missing, Missing, Missing}}
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res
+}
+
+func shardCellLabel(c shardCell) string {
+	if c.hedge {
+		return fmt.Sprintf("%d clients + hedging", c.clients)
+	}
+	return fmt.Sprintf("%d clients no hedge", c.clients)
+}
+
+// shardBenchInjector is the coordinator-side fault mix: an occasional slow
+// shard call (the tail hedging exists to cut — its hedge lands on a later
+// fault-counter tick and stays fast) and a rare transient error absorbed by
+// the retry budget without opening any breaker.
+func shardBenchInjector(seed int64) *fault.Injector {
+	return fault.New(seed,
+		fault.Rule{Site: "shard.slow", Every: 211, Kind: fault.KindDelay, Delay: 250 * time.Millisecond, Jitter: 50 * time.Millisecond},
+		fault.Rule{Site: "shard.solve", Every: 101, Offset: 7, Kind: fault.KindError, Msg: "bench transient"},
+	)
+}
+
+// shardLoadCell measures one (clients, hedging) point against a fresh
+// deployment: four serve instances on loopback listeners, one coordinator
+// server on a fifth.
+func shardLoadCell(ctx context.Context, cfg Config, schema *dataset.Schema, parts []*dataset.QueryLog, tuples []bitvec.Vector, cell shardCell, window time.Duration) (Row, error) {
+	backends := make([]shard.Backend, len(parts))
+	var closers []func()
+	defer func() {
+		for _, c := range closers {
+			c()
+		}
+	}()
+	for i, p := range parts {
+		ss, err := serve.New(serve.Config{
+			Log:           p,
+			MaxConcurrent: 64, // shards must absorb the coordinator's full fan-out
+			MaxQueue:      256,
+			Registry:      obsv.NewRegistry(),
+		})
+		if err != nil {
+			return Row{}, err
+		}
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			ss.Close()
+			return Row{}, err
+		}
+		hs := &http.Server{Handler: ss.Handler()}
+		go func() { _ = hs.Serve(ln) }()
+		closers = append(closers, func() { hs.Close(); ss.Close() })
+		backends[i] = shard.NewHTTP(fmt.Sprintf("s%d", i), "http://"+ln.Addr().String(), nil)
+	}
+
+	reg := obsv.NewRegistry()
+	srv, err := shard.NewServer(shard.Config{
+		Backends:      backends,
+		Schema:        schema,
+		Registry:      reg,
+		MaxConcurrent: 8,
+		MaxQueue:      16,
+		ShardTimeout:  2 * time.Second,
+		RetryBackoff:  time.Millisecond,
+		HedgeAfter:    10 * time.Millisecond,
+		DisableHedge:  !cell.hedge,
+		Seed:          cfg.Seed,
+		Injector:      shardBenchInjector(cfg.Seed),
+	})
+	if err != nil {
+		return Row{}, err
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		srv.Close()
+		return Row{}, err
+	}
+	hs := &http.Server{Handler: srv.Handler()}
+	go func() { _ = hs.Serve(ln) }()
+	closers = append(closers, func() { hs.Close(); srv.Close() })
+	url := "http://" + ln.Addr().String() + "/solve"
+
+	type tally struct {
+		lat                     []time.Duration
+		ok, shed, partial, errs int64
+	}
+	tallies := make([]tally, cell.clients)
+	cctx, cancel := context.WithTimeout(ctx, window)
+	defer cancel()
+
+	done := make(chan int, cell.clients)
+	for c := 0; c < cell.clients; c++ {
+		go func(c int) {
+			defer func() { done <- c }()
+			rng := rand.New(rand.NewSource(cfg.Seed + int64(c)))
+			client := &http.Client{Timeout: 10 * time.Second}
+			ty := &tallies[c]
+			for cctx.Err() == nil {
+				body, _ := json.Marshal(map[string]any{
+					"tuple":      tuples[rng.Intn(len(tuples))].String(),
+					"m":          3 + rng.Intn(3),
+					"algo":       "greedy",
+					"timeout_ms": 5000,
+				})
+				t0 := time.Now()
+				resp, err := client.Post(url, "application/json", bytes.NewReader(body))
+				if err != nil {
+					ty.errs++
+					continue
+				}
+				var sr struct {
+					Partial bool `json:"partial"`
+				}
+				_ = json.NewDecoder(resp.Body).Decode(&sr)
+				_, _ = io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				switch resp.StatusCode {
+				case http.StatusOK:
+					ty.ok++
+					ty.lat = append(ty.lat, time.Since(t0))
+					if sr.Partial {
+						ty.partial++
+					}
+				case http.StatusTooManyRequests:
+					ty.shed++
+				default:
+					ty.errs++
+				}
+			}
+		}(c)
+	}
+	for range tallies {
+		<-done
+	}
+
+	var all []time.Duration
+	var ok, shed, partial, errs int64
+	for i := range tallies {
+		all = append(all, tallies[i].lat...)
+		ok += tallies[i].ok
+		shed += tallies[i].shed
+		partial += tallies[i].partial
+		errs += tallies[i].errs
+	}
+	total := ok + shed + errs
+	if total == 0 {
+		return Row{}, fmt.Errorf("no requests completed in %v window", window)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	q := func(p float64) float64 {
+		if len(all) == 0 {
+			return Missing
+		}
+		i := int(p * float64(len(all)-1))
+		return float64(all[i]) / float64(time.Millisecond)
+	}
+	hedgeRate := 0.0
+	if ok > 0 {
+		// Get-or-create returns the coordinator's counter instance: the name is
+		// already registered, so this reads (not resets) the live value.
+		hedges := reg.Counter("standout_shard_hedges_total", "").Value()
+		hedgeRate = float64(hedges) / float64(ok)
+	}
+	vals := []float64{
+		float64(ok) / window.Seconds(),
+		q(0.50),
+		q(0.99),
+		float64(shed) / float64(total),
+		float64(partial) / float64(total),
+		hedgeRate,
+	}
+	return Row{X: shardCellLabel(cell), Values: vals}, nil
+}

@@ -1,0 +1,103 @@
+package core
+
+import (
+	"context"
+	"fmt"
+
+	"standout/internal/bitvec"
+	"standout/internal/dataset"
+)
+
+// Batch counting oracles for the sharded scatter-gather layer
+// (internal/shard). The SOC-CB-QL objective is additive over queries, so a
+// coordinator holding only per-shard counts can reconstruct every global
+// quantity the solvers need: CountSatisfied is the objective itself (queries
+// retrieving a candidate compression), CountContaining is the co-occurrence
+// score ConsumeAttrCumul ranks candidates by (and, on singleton candidates,
+// the per-attribute frequency ConsumeAttr sorts on). Summing the per-shard
+// results of either function over a partition of a log equals calling it on
+// the unpartitioned log — the exactness argument of DESIGN.md §15.
+
+// CountSatisfied returns, for each candidate compression, the total weight of
+// log queries retrieving it (queries q with q ⊆ cand) — the plain count for
+// an unweighted log. When the context carries a usable PreparedLog for log
+// (WithPrepared), candidates are answered from the shared attribute→query
+// index; results are bit-identical either way.
+func CountSatisfied(ctx context.Context, log *dataset.QueryLog, cands []bitvec.Vector) ([]int, error) {
+	if err := validateCands(log, cands); err != nil {
+		return nil, err
+	}
+	counts := make([]int, len(cands))
+	if p := preparedFromContext(ctx); p != nil && p.usableFor(log) {
+		seg := p.seg
+		for ci, cand := range cands {
+			if ci&pollMask == 0 {
+				if err := pollCtx(ctx); err != nil {
+					return nil, fmt.Errorf("core: count satisfied: %w", err)
+				}
+			}
+			total := 0
+			for si := 0; si < seg.Segments(); si++ {
+				ix, off := seg.Segment(si), seg.Offset(si)
+				cs := ix.CandidateSet(cand)
+				if log.Weights == nil {
+					total += cs.Count()
+				} else {
+					cs.Range(func(qi int) bool {
+						total += log.Weights[off+qi]
+						return true
+					})
+				}
+			}
+			counts[ci] = total
+		}
+		return counts, nil
+	}
+	for ci, cand := range cands {
+		if ci&pollMask == 0 {
+			if err := pollCtx(ctx); err != nil {
+				return nil, fmt.Errorf("core: count satisfied: %w", err)
+			}
+		}
+		counts[ci] = log.Satisfied(cand)
+	}
+	return counts, nil
+}
+
+// CountContaining returns, for each candidate, the total weight of log
+// queries containing it (queries q with q ⊇ cand). A single pass over the
+// log scores every candidate, so a greedy selection round costs one scan
+// regardless of how many candidates it weighs.
+func CountContaining(ctx context.Context, log *dataset.QueryLog, cands []bitvec.Vector) ([]int, error) {
+	if err := validateCands(log, cands); err != nil {
+		return nil, err
+	}
+	counts := make([]int, len(cands))
+	for qi, q := range log.Queries {
+		if qi&pollMask == 0 {
+			if err := pollCtx(ctx); err != nil {
+				return nil, fmt.Errorf("core: count containing: %w", err)
+			}
+		}
+		w := log.Weight(qi)
+		for ci, cand := range cands {
+			if cand.SubsetOf(q) {
+				counts[ci] += w
+			}
+		}
+	}
+	return counts, nil
+}
+
+func validateCands(log *dataset.QueryLog, cands []bitvec.Vector) error {
+	if log == nil {
+		return fmt.Errorf("core: nil query log")
+	}
+	for i, cand := range cands {
+		if cand.Width() != log.Width() {
+			return fmt.Errorf("core: candidate %d width %d, query log width %d",
+				i, cand.Width(), log.Width())
+		}
+	}
+	return nil
+}

@@ -314,6 +314,108 @@ func Hit(ctx context.Context, site string) error {
 	return From(ctx).Hit(ctx, site)
 }
 
+// Site inventory. Every Hit site compiled into production code is registered
+// here, so a typoed -fault flag fails fast at parse time instead of silently
+// arming a rule that can never fire. Rules built directly as Rule values (the
+// form tests use) bypass the check — only the textual ParseRule path, which is
+// what CLI flags go through, validates.
+var (
+	sitesMu    sync.RWMutex
+	knownSites = map[string]bool{
+		"core.batch.tuple":  true, // per-tuple solve of a batch (core.SolveBatchContext)
+		"core.prep.build":   true, // prepared-log index build attempt
+		"core.prep.compact": true, // segment compaction during a delta build
+		"core.prep.stale":   true, // staleness check of a prepared solve
+		"par.worker":        true, // worker-loop iteration of internal/par
+		"serve.admit":       true, // admission gate of one HTTP request
+		"serve.solve":       true, // one ladder-rung solve attempt
+		"shard.dial":        true, // outbound HTTP connection to a shard backend
+		"shard.partition":   true, // building one shard's query-log partition
+		"shard.slow":        true, // shard call latency (delay rules exercise hedging)
+		"shard.solve":       true, // one scatter attempt against a shard backend
+	}
+)
+
+// RegisterSite adds a site name to the inventory ParseRule validates against.
+// Packages introducing new Hit sites call this from an init function (or a
+// test does, for synthetic sites).
+func RegisterSite(name string) {
+	sitesMu.Lock()
+	knownSites[name] = true
+	sitesMu.Unlock()
+}
+
+// KnownSites returns the registered site inventory, sorted.
+func KnownSites() []string {
+	sitesMu.RLock()
+	out := make([]string, 0, len(knownSites))
+	for s := range knownSites {
+		out = append(out, s)
+	}
+	sitesMu.RUnlock()
+	sort.Strings(out)
+	return out
+}
+
+// checkSite validates a parsed site name against the inventory, suggesting
+// the closest registered site on a miss.
+func checkSite(spec, site string) error {
+	sitesMu.RLock()
+	ok := knownSites[site]
+	sitesMu.RUnlock()
+	if ok {
+		return nil
+	}
+	if best := closestSite(site); best != "" {
+		return fmt.Errorf("fault: rule %q: unknown site %q (did you mean %q?)", spec, site, best)
+	}
+	return fmt.Errorf("fault: rule %q: unknown site %q (known sites: %s)",
+		spec, site, strings.Join(KnownSites(), ", "))
+}
+
+// closestSite returns the registered site with the smallest edit distance to
+// name, or "" when nothing is close enough to be a plausible typo.
+func closestSite(name string) string {
+	best, bestDist := "", len(name)/2+2 // beyond this it is not a typo
+	for _, s := range KnownSites() {
+		if d := editDistance(name, s); d < bestDist {
+			best, bestDist = s, d
+		}
+	}
+	return best
+}
+
+// editDistance is the Levenshtein distance between a and b.
+func editDistance(a, b string) int {
+	prev := make([]int, len(b)+1)
+	cur := make([]int, len(b)+1)
+	for j := range prev {
+		prev[j] = j
+	}
+	for i := 1; i <= len(a); i++ {
+		cur[0] = i
+		for j := 1; j <= len(b); j++ {
+			cost := 1
+			if a[i-1] == b[j-1] {
+				cost = 0
+			}
+			cur[j] = min3(prev[j]+1, cur[j-1]+1, prev[j-1]+cost)
+		}
+		prev, cur = cur, prev
+	}
+	return prev[len(b)]
+}
+
+func min3(a, b, c int) int {
+	if b < a {
+		a = b
+	}
+	if c < a {
+		a = c
+	}
+	return a
+}
+
 // ParseRule parses the textual rule form used by CLI flags:
 //
 //	SITE[:every=N][:offset=N][:count=N][:delay=DUR][:jitter=DUR][:ACTION]
@@ -324,6 +426,10 @@ func Hit(ctx context.Context, site string) error {
 //	core.batch.tuple:every=7:panic=chaos
 //	serve.admit:every=3:delay=2ms:jitter=1ms
 //	core.prep.stale:every=5:error
+//
+// The site must be in the registered inventory (KnownSites); unknown sites
+// are rejected with a did-you-mean suggestion so a typo fails fast instead of
+// never firing.
 func ParseRule(spec string) (Rule, error) {
 	parts := strings.Split(spec, ":")
 	if len(parts) == 0 || parts[0] == "" {
@@ -331,6 +437,9 @@ func ParseRule(spec string) (Rule, error) {
 	}
 	if strings.ContainsAny(parts[0], " \t") {
 		return Rule{}, fmt.Errorf("fault: rule %q: site %q contains whitespace", spec, parts[0])
+	}
+	if err := checkSite(spec, parts[0]); err != nil {
+		return Rule{}, err
 	}
 	r := Rule{Site: parts[0]}
 	for _, p := range parts[1:] {

@@ -3,6 +3,7 @@ package fault
 import (
 	"context"
 	"errors"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -137,6 +138,7 @@ func TestConcurrentScheduleIsExact(t *testing.T) {
 }
 
 func TestParseRule(t *testing.T) {
+	RegisterSite("s") // synthetic site for the short-form cases below
 	cases := []struct {
 		spec string
 		want Rule
@@ -171,12 +173,45 @@ func TestParseRule(t *testing.T) {
 }
 
 func TestParseRules(t *testing.T) {
-	rules, err := ParseRules("a:every=2:error; b:panic=x;")
+	rules, err := ParseRules("serve.admit:every=2:error; par.worker:panic=x;")
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(rules) != 2 || rules[0].Site != "a" || rules[1].Site != "b" {
+	if len(rules) != 2 || rules[0].Site != "serve.admit" || rules[1].Site != "par.worker" {
 		t.Fatalf("got %+v", rules)
+	}
+}
+
+func TestParseRuleUnknownSite(t *testing.T) {
+	// A typo of a registered site is rejected with a did-you-mean hint.
+	_, err := ParseRule("shard.sovle:every=2:error")
+	if err == nil {
+		t.Fatal("typoed site accepted")
+	}
+	if !strings.Contains(err.Error(), `did you mean "shard.solve"`) {
+		t.Fatalf("no suggestion in %q", err)
+	}
+	// Something nothing like any site lists the inventory instead.
+	_, err = ParseRule("zzzzzzzzzzzzzzzz:error")
+	if err == nil {
+		t.Fatal("unknown site accepted")
+	}
+	if !strings.Contains(err.Error(), "known sites") {
+		t.Fatalf("no inventory listing in %q", err)
+	}
+	// RegisterSite extends the inventory.
+	RegisterSite("custom.site")
+	if _, err := ParseRule("custom.site:error"); err != nil {
+		t.Fatalf("registered site rejected: %v", err)
+	}
+	found := false
+	for _, s := range KnownSites() {
+		if s == "custom.site" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("KnownSites missing custom.site")
 	}
 }
 

@@ -52,6 +52,9 @@ type Record struct {
 	Panic    bool `json:"panic,omitempty"`
 	Fault    bool `json:"fault,omitempty"`
 	Slow     bool `json:"slow,omitempty"`
+	// Partial marks a shard-coordinator response computed over a subset of
+	// shards: an exact lower bound, served instead of an error (DESIGN.md §15).
+	Partial bool `json:"partial,omitempty"`
 	// Error carries the response's error message, if any.
 	Error string `json:"error,omitempty"`
 	// Trace is the request's trace summary (phases, counters, events).
@@ -61,7 +64,8 @@ type Record struct {
 // Interesting reports whether the record must survive tail sampling:
 // anything that was not a plain fast success.
 func (r *Record) Interesting() bool {
-	return r.Status >= 400 || r.Degraded || r.Shed || r.Panic || r.Fault || r.Slow || r.Error != ""
+	return r.Status >= 400 || r.Degraded || r.Shed || r.Panic || r.Fault || r.Slow ||
+		r.Partial || r.Error != ""
 }
 
 // Flight is the fixed-size lock-free flight-recorder ring. A nil *Flight is

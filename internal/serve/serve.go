@@ -24,9 +24,10 @@
 //     (POST /log, copy-on-write) or Touch'ed mid-flight; solves that caught
 //     ErrStalePrep retry against the rebuilt index.
 //
-// Endpoints: POST /solve, POST /solve/batch, GET /log, POST /log (append,
-// copy-on-write swap), POST /log/touch (force staleness), GET /healthz,
-// GET /readyz, GET /metrics.
+// Endpoints: POST /solve, POST /solve/batch, POST /score (additive counting
+// oracle for the shard coordinator), GET /schema, GET /log, POST /log
+// (append, copy-on-write swap), POST /log/touch (force staleness),
+// GET /healthz, GET /readyz, GET /metrics.
 package serve
 
 import (
@@ -211,6 +212,8 @@ func New(cfg Config) (*Server, error) {
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("/solve", s.traced("/solve", s.recovered(s.handleSolve)))
 	s.mux.HandleFunc("/solve/batch", s.traced("/solve/batch", s.recovered(s.handleBatch)))
+	s.mux.HandleFunc("/score", s.traced("/score", s.recovered(s.handleScore)))
+	s.mux.HandleFunc("/schema", s.handleSchema)
 	s.mux.HandleFunc("/log", s.traced("/log", s.recovered(s.handleLog)))
 	s.mux.HandleFunc("/log/touch", s.traced("/log/touch", s.recovered(s.handleTouch)))
 	s.mux.HandleFunc("/healthz", s.handleHealthz)

@@ -156,6 +156,9 @@ func stamp(ctx context.Context, v any) any {
 	case batchResponse:
 		t.TraceID = id
 		return t
+	case scoreResponse:
+		t.TraceID = id
+		return t
 	}
 	return v
 }

@@ -1,0 +1,176 @@
+package shard
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// breakerState is the classic three-state circuit: closed (normal service) →
+// open (fail fast, no backend traffic) → half-open (one probe in flight;
+// success closes the circuit, failure re-opens it and restarts the cooloff).
+type breakerState int
+
+const (
+	stateClosed breakerState = iota
+	stateOpen
+	stateHalfOpen
+)
+
+func (s breakerState) String() string {
+	switch s {
+	case stateClosed:
+		return "closed"
+	case stateOpen:
+		return "open"
+	case stateHalfOpen:
+		return "half-open"
+	}
+	return "unknown"
+}
+
+// breaker is one shard's circuit breaker. Counting failures per attempt (not
+// per request) means a shard that is hard-down trips the circuit within a
+// single request's retry budget.
+type breaker struct {
+	threshold int           // consecutive failures that open the circuit
+	cooloff   time.Duration // open → half-open delay
+	now       func() time.Time
+
+	mu       sync.Mutex
+	state    breakerState
+	consec   int
+	openedAt time.Time
+	probing  bool // a half-open probe is in flight
+	lastErr  string
+	calls    uint64 // attempts admitted to the backend
+	failures uint64 // attempts that failed
+	trips    uint64 // closed/half-open → open transitions
+}
+
+func newBreaker(threshold int, cooloff time.Duration) *breaker {
+	return &breaker{threshold: threshold, cooloff: cooloff, now: time.Now}
+}
+
+// allow reports whether a call may proceed. In the open state it admits
+// nothing until the cooloff elapses, then transitions to half-open and admits
+// exactly one probe; further calls fail fast until the probe resolves.
+func (b *breaker) allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case stateClosed:
+		b.calls++
+		return true
+	case stateOpen:
+		if b.now().Sub(b.openedAt) < b.cooloff {
+			return false
+		}
+		b.state = stateHalfOpen
+		b.probing = true
+		b.calls++
+		return true
+	case stateHalfOpen:
+		if b.probing {
+			return false
+		}
+		b.probing = true
+		b.calls++
+		return true
+	}
+	return false
+}
+
+// available reports whether allow would (eventually) admit traffic right now
+// — false only while the circuit is open inside its cooloff window. It never
+// transitions state, so request planning can exclude dead shards up front
+// without consuming the half-open probe slot.
+func (b *breaker) available() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state != stateOpen || b.now().Sub(b.openedAt) >= b.cooloff
+}
+
+// success reports a completed call: the circuit closes from any state.
+func (b *breaker) success() {
+	b.mu.Lock()
+	b.state = stateClosed
+	b.consec = 0
+	b.probing = false
+	b.lastErr = ""
+	b.mu.Unlock()
+}
+
+// failure reports a failed attempt. A half-open probe failure re-opens
+// immediately; closed-state failures open after threshold consecutive ones.
+func (b *breaker) failure(err error) {
+	b.mu.Lock()
+	b.failures++
+	if err != nil {
+		b.lastErr = err.Error()
+	}
+	switch b.state {
+	case stateHalfOpen:
+		b.state = stateOpen
+		b.openedAt = b.now()
+		b.probing = false
+		b.trips++
+	case stateClosed:
+		b.consec++
+		if b.consec >= b.threshold {
+			b.state = stateOpen
+			b.openedAt = b.now()
+			b.trips++
+		}
+	}
+	b.mu.Unlock()
+}
+
+// snapshot returns the breaker's state for health reports and gauges.
+func (b *breaker) snapshot() (state breakerState, lastErr string, calls, failures, trips uint64) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state, b.lastErr, b.calls, b.failures, b.trips
+}
+
+// latencyWindow is a small ring of recent successful-call latencies, backing
+// the adaptive hedge delay ("hedge after the p95 of this shard's recent
+// latency"). Reads copy and sort 64 values — cheap next to a network call.
+type latencyWindow struct {
+	mu  sync.Mutex
+	buf [64]time.Duration
+	n   int // total observations; buf index wraps
+}
+
+func (w *latencyWindow) observe(d time.Duration) {
+	w.mu.Lock()
+	w.buf[w.n%len(w.buf)] = d
+	w.n++
+	w.mu.Unlock()
+}
+
+// quantile returns the q-quantile of the window, or false while fewer than 8
+// calls have been observed (too little signal to beat the configured floor).
+func (w *latencyWindow) quantile(q float64) (time.Duration, bool) {
+	w.mu.Lock()
+	n := w.n
+	if n > len(w.buf) {
+		n = len(w.buf)
+	}
+	if n < 8 {
+		w.mu.Unlock()
+		return 0, false
+	}
+	vals := make([]time.Duration, n)
+	copy(vals, w.buf[:n])
+	w.mu.Unlock()
+	sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+	idx := int(q * float64(n-1))
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= n {
+		idx = n - 1
+	}
+	return vals[idx], true
+}

@@ -1,0 +1,292 @@
+package shard
+
+// Chaos suite for the sharded deployment (acceptance criteria of DESIGN.md
+// §15): a coordinator over HTTP shards with one shard killed and restored
+// mid-storm. Invariants:
+//
+//  1. Shard loss is never a 5xx: every response is 200 or 429.
+//  2. Every 200 is well-formed, and is bit-identical to the unsharded
+//     greedy answer over exactly the shard subset it reports responding —
+//     partial:false means the full log, partial:true the surviving subset.
+//  3. The dead shard's circuit opens within the retry budget, and after
+//     restoration the half-open probe closes it and full (partial:false)
+//     answers resume.
+//
+// `make soak-shard` loops the storm for -soak under -race.
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"standout/internal/bitvec"
+	"standout/internal/core"
+	"standout/internal/dataset"
+	"standout/internal/gen"
+	"standout/internal/obsv"
+	"standout/internal/serve"
+)
+
+var soakFor = flag.Duration("soak", 0, "run the shard chaos storm in a loop for this long (0 = single storm)")
+
+// flakyShard wraps a shard's handler with a kill switch: while down, every
+// request is refused with 503 — the same failure shape as a crashed process
+// behind a load balancer.
+type flakyShard struct {
+	h    http.Handler
+	down atomic.Bool
+}
+
+func (f *flakyShard) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if f.down.Load() {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusServiceUnavailable)
+		_, _ = w.Write([]byte(`{"error":"shard killed by chaos"}`))
+		return
+	}
+	f.h.ServeHTTP(w, r)
+}
+
+// chaosFixture is the storm deployment: two HTTP shards (shard 1 killable)
+// under one coordinator, plus the expected greedy answer for every tuple,
+// budget, and responding-shard subset.
+type chaosFixture struct {
+	srv      *Server
+	ts       *httptest.Server
+	kill     *flakyShard
+	tuples   []bitvec.Vector
+	expected map[string]core.Solution // "subset|tuple|m" → unsharded greedy
+}
+
+func expectKey(responded []string, tuple string, m int) string {
+	r := append([]string(nil), responded...)
+	sort.Strings(r)
+	return strings.Join(r, ",") + "|" + tuple + "|" + fmt.Sprint(m)
+}
+
+func newChaosFixture(t *testing.T, seed int64) *chaosFixture {
+	t.Helper()
+	tab := gen.Cars(seed, 150)
+	log := gen.RealWorkload(tab, seed+1, 60)
+	tuples := gen.PickTuples(tab, seed+2, 6)
+
+	parts, err := Partition(context.Background(), log, 2)
+	if err != nil {
+		t.Fatalf("Partition: %v", err)
+	}
+	f := &chaosFixture{tuples: tuples, expected: map[string]core.Solution{}}
+
+	// Expected greedy answers for every responding subset the storm can see.
+	subsets := map[string]*dataset.QueryLog{
+		"s0":    parts[0],
+		"s1":    parts[1],
+		"s0,s1": log,
+	}
+	for name, sl := range subsets {
+		for _, tuple := range tuples {
+			for m := 2; m <= 3; m++ {
+				sol, err := core.ConsumeAttrCumul{}.Solve(core.Instance{Log: sl, Tuple: tuple, M: m})
+				if err != nil {
+					t.Fatalf("expected solve: %v", err)
+				}
+				f.expected[name+"|"+tuple.String()+"|"+fmt.Sprint(m)] = sol
+			}
+		}
+	}
+
+	backends := make([]Backend, 2)
+	for i, p := range parts {
+		ss, err := serve.New(serve.Config{Log: p, Registry: obsv.NewRegistry()})
+		if err != nil {
+			t.Fatalf("serve.New: %v", err)
+		}
+		var h http.Handler = ss.Handler()
+		if i == 1 {
+			f.kill = &flakyShard{h: h}
+			h = f.kill
+		}
+		sts := httptest.NewServer(h)
+		t.Cleanup(func() { sts.Close(); ss.Close() })
+		backends[i] = NewHTTP(fmt.Sprintf("s%d", i), sts.URL, sts.Client())
+	}
+
+	srv, err := NewServer(Config{
+		Backends:        backends,
+		Schema:          log.Schema,
+		Registry:        obsv.NewRegistry(),
+		ShardTimeout:    2 * time.Second,
+		Retries:         2,
+		RetryBackoff:    time.Millisecond,
+		HedgeAfter:      20 * time.Millisecond,
+		BreakerFailures: 3, // ≤ one request's attempt budget
+		BreakerCooloff:  150 * time.Millisecond,
+		MaxConcurrent:   8,
+		MaxQueue:        32,
+	})
+	if err != nil {
+		t.Fatalf("NewServer: %v", err)
+	}
+	f.srv = srv
+	f.ts = httptest.NewServer(srv.Handler())
+	t.Cleanup(func() { f.ts.Close(); srv.Close() })
+	return f
+}
+
+// stormPhase fires clients×perClient greedy solves and checks invariants 1–2
+// on every response. It returns how many responses were partial.
+func (f *chaosFixture) stormPhase(t *testing.T, seed int64, clients, perClient int) (full, partial int) {
+	t.Helper()
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	client := f.ts.Client()
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed + int64(c)))
+			for i := 0; i < perClient; i++ {
+				tuple := f.tuples[rng.Intn(len(f.tuples))]
+				m := 2 + rng.Intn(2)
+				body, _ := json.Marshal(solveRequest{Tuple: tuple.String(), M: m, Algo: "greedy", TimeoutMS: 10000})
+				resp, err := client.Post(f.ts.URL+"/solve", "application/json", strings.NewReader(string(body)))
+				if err != nil {
+					t.Errorf("POST /solve: %v", err)
+					continue
+				}
+				raw := json.NewDecoder(resp.Body)
+				switch resp.StatusCode {
+				case http.StatusOK:
+					var sr solveResponse
+					if err := raw.Decode(&sr); err != nil {
+						t.Errorf("malformed 200 body: %v", err)
+						resp.Body.Close()
+						continue
+					}
+					want, ok := f.expected[expectKey(sr.Responded, tuple.String(), m)]
+					if !ok {
+						t.Errorf("200 with unexpected responded set %v", sr.Responded)
+					} else if sr.KeptBits != want.Kept.String() || sr.Satisfied != want.Satisfied {
+						t.Errorf("responded=%v tuple=%s m=%d: got (%s, %d), want (%s, %d)",
+							sr.Responded, tuple, m, sr.KeptBits, sr.Satisfied, want.Kept, want.Satisfied)
+					}
+					mu.Lock()
+					if sr.Partial {
+						partial++
+					} else {
+						full++
+					}
+					mu.Unlock()
+				case http.StatusTooManyRequests:
+					var er errorResponse
+					if err := raw.Decode(&er); err != nil || er.Error == "" {
+						t.Errorf("malformed 429 body: %v", err)
+					}
+				default:
+					// Invariant 1: shard loss must never surface as 5xx.
+					t.Errorf("unexpected status %d during storm", resp.StatusCode)
+				}
+				resp.Body.Close()
+			}
+		}(c)
+	}
+	wg.Wait()
+	return full, partial
+}
+
+func runShardChaosStorm(t *testing.T, seed int64) {
+	f := newChaosFixture(t, seed)
+
+	// Phase 1: all shards up — every answer full and bit-identical.
+	full, partial := f.stormPhase(t, seed, 6, 8)
+	if full == 0 {
+		t.Fatal("healthy phase produced no full answers")
+	}
+	if partial != 0 {
+		t.Errorf("healthy phase produced %d partial answers", partial)
+	}
+
+	// Phase 2: kill shard 1 permanently (for this phase). Every answer must
+	// still be 200/429, partials exact over s0, and the circuit must open.
+	f.kill.down.Store(true)
+	_, partial = f.stormPhase(t, seed+100, 6, 8)
+	if partial == 0 {
+		t.Error("dead-shard phase produced no partial answers")
+	}
+	h := f.srv.co.Health()
+	if h[1].State == "closed" {
+		t.Errorf("shard s1 circuit still closed after sustained loss (health %+v)", h)
+	}
+	if h[1].Trips == 0 {
+		t.Error("shard s1 circuit never tripped")
+	}
+
+	// Phase 3: restore the shard. After the cooloff the half-open probe must
+	// close the circuit and full bit-identical answers must resume.
+	f.kill.down.Store(false)
+	deadline := time.Now().Add(5 * time.Second)
+	recovered := false
+	for time.Now().Before(deadline) {
+		time.Sleep(50 * time.Millisecond)
+		status, raw := postJSON(t, f.ts.URL+"/solve", solveRequest{
+			Tuple: f.tuples[0].String(), M: 2, Algo: "greedy", TimeoutMS: 10000})
+		if status != http.StatusOK {
+			continue
+		}
+		sr := decode[solveResponse](t, raw)
+		if !sr.Partial {
+			want := f.expected[expectKey([]string{"s0", "s1"}, f.tuples[0].String(), 2)]
+			if sr.KeptBits != want.Kept.String() || sr.Satisfied != want.Satisfied {
+				t.Fatalf("post-recovery full answer (%s, %d) != unsharded (%s, %d)",
+					sr.KeptBits, sr.Satisfied, want.Kept, want.Satisfied)
+			}
+			recovered = true
+			break
+		}
+	}
+	if !recovered {
+		t.Fatal("shard restored but full answers never resumed")
+	}
+	full, _ = f.stormPhase(t, seed+200, 4, 6)
+	if full == 0 {
+		t.Error("post-recovery phase produced no full answers")
+	}
+	if st := f.srv.co.Health()[1].State; st != "closed" {
+		t.Errorf("recovered shard circuit = %q, want closed", st)
+	}
+	t.Logf("storm: requests=%d partial=%d restarts=%d retries=%d fastfails=%d hedges=%d",
+		f.srv.co.met.requests.Value(), f.srv.co.met.partials.Value(), f.srv.co.met.restarts.Value(),
+		f.srv.co.met.retries.Value(), f.srv.co.met.fastFails.Value(), f.srv.co.met.hedges.Value())
+}
+
+// TestShardChaosStorm is the single-pass acceptance storm.
+func TestShardChaosStorm(t *testing.T) {
+	runShardChaosStorm(t, 1)
+}
+
+// TestSoakShard loops the kill/restore storm for -soak. `make soak-shard`
+// runs it for 30s under -race; with the default -soak=0 it skips.
+func TestSoakShard(t *testing.T) {
+	if *soakFor <= 0 {
+		t.Skip("soak disabled; run with -soak=30s (see `make soak-shard`)")
+	}
+	deadline := time.Now().Add(*soakFor)
+	round := int64(0)
+	for time.Now().Before(deadline) {
+		round++
+		runShardChaosStorm(t, round)
+	}
+	if round == 0 {
+		t.Fatal("soak deadline passed without a single round")
+	}
+	t.Logf("soak: %d rounds", round)
+}

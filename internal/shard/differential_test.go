@@ -1,0 +1,343 @@
+package shard
+
+// Differential proof of the scatter-gather merge (DESIGN.md §15): over
+// seeded random weighted instances, the coordinator's answer equals the
+// corresponding unsharded core solver bit for bit — same kept vector, same
+// satisfied weight, same optimality flag — at every shard count, for both
+// in-process and HTTP backends. With a shard permanently failing, every
+// answer is partial, equals the unsharded solve over the responding shards'
+// merged partitions exactly, and never exceeds the full exact optimum.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"standout/internal/bitvec"
+	"standout/internal/core"
+	"standout/internal/dataset"
+	"standout/internal/obsv"
+	"standout/internal/serve"
+)
+
+// diffCase is one seeded instance of the differential suite.
+type diffCase struct {
+	log   *dataset.QueryLog
+	tuple bitvec.Vector
+	m     int
+}
+
+// genCase builds instance i: width 5–10, 6–36 queries pooled so duplicates
+// are likely, a third of appends weighted, tuple of 2+ attributes, budget
+// 0–4 (crossing the exact-shortcut boundary on small tuples).
+func genCase(i int) diffCase {
+	r := rand.New(rand.NewSource(int64(i)*7919 + 37))
+	width := 5 + r.Intn(6)
+	log := dataset.NewQueryLog(dataset.GenericSchema(width))
+	size := 6 + r.Intn(30)
+	pool := make([]bitvec.Vector, 2+r.Intn(6))
+	for p := range pool {
+		q := bitvec.New(width)
+		k := 1 + r.Intn(4)
+		for q.Count() < k {
+			q.Set(r.Intn(width))
+		}
+		pool[p] = q
+	}
+	for j := 0; j < size; j++ {
+		w := 1
+		if j%3 == 0 {
+			w = 1 + r.Intn(5)
+		}
+		if err := log.AppendWeighted(pool[r.Intn(len(pool))], w); err != nil {
+			panic(err)
+		}
+	}
+	tuple := bitvec.New(width)
+	for tuple.Count() < 2+r.Intn(width-1) {
+		tuple.Set(r.Intn(width))
+	}
+	return diffCase{log: log, tuple: tuple, m: r.Intn(5)}
+}
+
+// diffAlgos pairs each coordinator algo with its core reference solver.
+var diffAlgos = []struct {
+	name   string
+	solver core.Solver
+}{
+	{"greedy", core.ConsumeAttrCumul{}},
+	{"consumeattrcumul", core.ConsumeAttrCumul{}},
+	{"consumeattr", core.ConsumeAttr{}},
+	{"brute", core.BruteForce{}},
+}
+
+// testConfig is the deterministic coordinator config for differential runs:
+// no hedging, no retries, no breaker interference.
+func testConfig(backends []Backend, schema *dataset.Schema) Config {
+	return Config{
+		Backends:        backends,
+		Schema:          schema,
+		Registry:        obsv.NewRegistry(),
+		DisableHedge:    true,
+		Retries:         -1,
+		ShardTimeout:    time.Minute,
+		BreakerFailures: 1 << 30,
+	}
+}
+
+// localBackends partitions log n ways into in-process shards.
+func localBackends(t *testing.T, log *dataset.QueryLog, n int) []Backend {
+	t.Helper()
+	parts, err := Partition(context.Background(), log, n)
+	if err != nil {
+		t.Fatalf("Partition(%d): %v", n, err)
+	}
+	backends := make([]Backend, n)
+	for i, p := range parts {
+		l, err := NewLocal(context.Background(), fmt.Sprintf("s%d", i), p)
+		if err != nil {
+			t.Fatalf("NewLocal: %v", err)
+		}
+		backends[i] = l
+	}
+	return backends
+}
+
+func checkIdentical(t *testing.T, label string, got Result, want core.Solution) {
+	t.Helper()
+	if !got.Solution.Kept.Equal(want.Kept) {
+		t.Errorf("%s: kept %s, unsharded %s", label, got.Solution.Kept, want.Kept)
+	}
+	if got.Solution.Satisfied != want.Satisfied {
+		t.Errorf("%s: satisfied %d, unsharded %d", label, got.Solution.Satisfied, want.Satisfied)
+	}
+	if got.Solution.Optimal != want.Optimal {
+		t.Errorf("%s: optimal %v, unsharded %v", label, got.Solution.Optimal, want.Optimal)
+	}
+	if got.Partial {
+		t.Errorf("%s: partial with every shard responding", label)
+	}
+}
+
+// TestDifferentialLocal: 1000 seeded instances (150 under -short), every
+// coordinator algorithm, shard counts 1/2/4/8 — bit-identical to unsharded.
+func TestDifferentialLocal(t *testing.T) {
+	instances := 1000
+	if testing.Short() {
+		instances = 150
+	}
+	for i := 0; i < instances; i++ {
+		c := genCase(i)
+		algo := diffAlgos[i%len(diffAlgos)]
+		want, err := algo.solver.Solve(core.Instance{Log: c.log, Tuple: c.tuple, M: c.m})
+		if err != nil {
+			t.Fatalf("case %d: unsharded %s: %v", i, algo.name, err)
+		}
+		for _, n := range []int{1, 2, 4, 8} {
+			co, err := New(testConfig(localBackends(t, c.log, n), c.log.Schema))
+			if err != nil {
+				t.Fatalf("case %d: New: %v", i, err)
+			}
+			got, err := co.Solve(context.Background(), c.tuple, c.m, algo.name)
+			if err != nil {
+				t.Fatalf("case %d n=%d %s: %v", i, n, algo.name, err)
+			}
+			checkIdentical(t, fmt.Sprintf("case %d n=%d %s", i, n, algo.name), got, want)
+		}
+	}
+}
+
+// TestDifferentialAllAlgosAllCounts runs every algo (not one per case) on a
+// smaller instance set, catching algo-specific merge bugs the rotation in
+// TestDifferentialLocal could mask.
+func TestDifferentialAllAlgosAllCounts(t *testing.T) {
+	instances := 60
+	if testing.Short() {
+		instances = 20
+	}
+	for i := 0; i < instances; i++ {
+		c := genCase(100000 + i)
+		for _, algo := range diffAlgos {
+			want, err := algo.solver.Solve(core.Instance{Log: c.log, Tuple: c.tuple, M: c.m})
+			if err != nil {
+				t.Fatalf("case %d: unsharded %s: %v", i, algo.name, err)
+			}
+			for _, n := range []int{2, 4} {
+				co, err := New(testConfig(localBackends(t, c.log, n), c.log.Schema))
+				if err != nil {
+					t.Fatalf("New: %v", err)
+				}
+				got, err := co.Solve(context.Background(), c.tuple, c.m, algo.name)
+				if err != nil {
+					t.Fatalf("case %d n=%d %s: %v", i, n, algo.name, err)
+				}
+				checkIdentical(t, fmt.Sprintf("case %d n=%d %s", i, n, algo.name), got, want)
+			}
+		}
+	}
+}
+
+// httpShards spins up real serve.Server instances (one per partition) behind
+// httptest and returns HTTP backends speaking the /score protocol to them.
+func httpShards(t *testing.T, log *dataset.QueryLog, n int) []Backend {
+	t.Helper()
+	parts, err := Partition(context.Background(), log, n)
+	if err != nil {
+		t.Fatalf("Partition: %v", err)
+	}
+	backends := make([]Backend, n)
+	for i, p := range parts {
+		srv, err := serve.New(serve.Config{Log: p, Registry: obsv.NewRegistry()})
+		if err != nil {
+			t.Fatalf("serve.New: %v", err)
+		}
+		ts := httptest.NewServer(srv.Handler())
+		t.Cleanup(func() { ts.Close(); srv.Close() })
+		backends[i] = NewHTTP(fmt.Sprintf("s%d", i), ts.URL, ts.Client())
+	}
+	return backends
+}
+
+// TestDifferentialHTTP: the same bit-identity over real HTTP shards running
+// the internal/serve /score protocol.
+func TestDifferentialHTTP(t *testing.T) {
+	instances := 30
+	if testing.Short() {
+		instances = 8
+	}
+	for i := 0; i < instances; i++ {
+		c := genCase(200000 + i)
+		algo := diffAlgos[i%len(diffAlgos)]
+		want, err := algo.solver.Solve(core.Instance{Log: c.log, Tuple: c.tuple, M: c.m})
+		if err != nil {
+			t.Fatalf("case %d: unsharded %s: %v", i, algo.name, err)
+		}
+		co, err := New(testConfig(httpShards(t, c.log, 3), c.log.Schema))
+		if err != nil {
+			t.Fatalf("New: %v", err)
+		}
+		got, err := co.Solve(context.Background(), c.tuple, c.m, algo.name)
+		if err != nil {
+			t.Fatalf("case %d %s: %v", i, algo.name, err)
+		}
+		checkIdentical(t, fmt.Sprintf("http case %d %s", i, algo.name), got, want)
+		// The HTTP schema bootstrap agrees with the source schema.
+		if i == 0 {
+			schema, err := backends0Schema(co)
+			if err != nil {
+				t.Fatalf("Schema: %v", err)
+			}
+			if schema.Width() != c.log.Schema.Width() {
+				t.Errorf("schema width %d, want %d", schema.Width(), c.log.Schema.Width())
+			}
+		}
+	}
+}
+
+func backends0Schema(co *Coordinator) (*dataset.Schema, error) {
+	h, ok := co.shards[0].be.(*HTTP)
+	if !ok {
+		return nil, errors.New("not an HTTP backend")
+	}
+	return h.Schema(context.Background())
+}
+
+// failBackend wraps a Backend and fails every call.
+type failBackend struct {
+	id string
+}
+
+func (f failBackend) ID() string { return f.id }
+func (f failBackend) Score(context.Context, Mode, []bitvec.Vector) ([]int, error) {
+	return nil, errors.New("injected: shard down")
+}
+
+// mergeParts rebuilds the unsharded log a responding shard subset holds.
+func mergeParts(t *testing.T, schema *dataset.Schema, parts []*dataset.QueryLog) *dataset.QueryLog {
+	t.Helper()
+	merged := dataset.NewQueryLog(schema)
+	for _, p := range parts {
+		for qi, q := range p.Queries {
+			if err := merged.AppendWeighted(q, p.Weight(qi)); err != nil {
+				t.Fatalf("merge: %v", err)
+			}
+		}
+	}
+	return merged
+}
+
+// TestDifferentialPartialLoss: with one of four shards permanently failing,
+// every answer is partial, bit-identical to the unsharded solve over the
+// three responding partitions, and never above the full exact optimum.
+func TestDifferentialPartialLoss(t *testing.T) {
+	instances := 120
+	if testing.Short() {
+		instances = 30
+	}
+	for i := 0; i < instances; i++ {
+		c := genCase(300000 + i)
+		algo := diffAlgos[i%len(diffAlgos)]
+		parts, err := Partition(context.Background(), c.log, 4)
+		if err != nil {
+			t.Fatalf("Partition: %v", err)
+		}
+		down := i % 4
+		backends := make([]Backend, 4)
+		var respParts []*dataset.QueryLog
+		for si, p := range parts {
+			if si == down {
+				backends[si] = failBackend{id: fmt.Sprintf("s%d", si)}
+				continue
+			}
+			l, err := NewLocal(context.Background(), fmt.Sprintf("s%d", si), p)
+			if err != nil {
+				t.Fatalf("NewLocal: %v", err)
+			}
+			backends[si] = l
+			respParts = append(respParts, p)
+		}
+		co, err := New(testConfig(backends, c.log.Schema))
+		if err != nil {
+			t.Fatalf("New: %v", err)
+		}
+		got, err := co.Solve(context.Background(), c.tuple, c.m, algo.name)
+		if err != nil {
+			t.Fatalf("case %d %s: %v", i, algo.name, err)
+		}
+		if !got.Partial {
+			t.Fatalf("case %d: shard %d down but response not partial", i, down)
+		}
+		if len(got.Missing) != 1 || got.Missing[0] != fmt.Sprintf("s%d", down) {
+			t.Errorf("case %d: missing = %v, want [s%d]", i, got.Missing, down)
+		}
+		if len(got.Responded) != 3 {
+			t.Errorf("case %d: responded = %v", i, got.Responded)
+		}
+
+		// Exact over the responding subset: identical to unsharded on the
+		// merged surviving partitions.
+		sub := mergeParts(t, c.log.Schema, respParts)
+		want, err := algo.solver.Solve(core.Instance{Log: sub, Tuple: c.tuple, M: c.m})
+		if err != nil {
+			t.Fatalf("case %d: subset solve: %v", i, err)
+		}
+		if !got.Solution.Kept.Equal(want.Kept) || got.Solution.Satisfied != want.Satisfied || got.Solution.Optimal != want.Optimal {
+			t.Errorf("case %d %s: partial (%s, %d, %v) != subset unsharded (%s, %d, %v)",
+				i, algo.name, got.Solution.Kept, got.Solution.Satisfied, got.Solution.Optimal,
+				want.Kept, want.Satisfied, want.Optimal)
+		}
+
+		// Lower bound: never above the full exact optimum.
+		full, err := core.BruteForce{}.Solve(core.Instance{Log: c.log, Tuple: c.tuple, M: c.m})
+		if err != nil {
+			t.Fatalf("case %d: full brute: %v", i, err)
+		}
+		if got.Solution.Satisfied > full.Satisfied {
+			t.Errorf("case %d: partial satisfied %d exceeds full exact %d", i, got.Solution.Satisfied, full.Satisfied)
+		}
+	}
+}

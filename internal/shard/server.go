@@ -1,0 +1,445 @@
+package shard
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime/debug"
+	"sync/atomic"
+	"time"
+
+	"standout/internal/dataset"
+	"standout/internal/fault"
+	"standout/internal/obsv"
+)
+
+// Server is the coordinator as an HTTP service: the same JSON dialect as
+// internal/serve's /solve, plus partial-result fields, over a scatter-gather
+// Coordinator. A coordinator process holds no query log — only shard
+// addresses and the schema.
+//
+// Endpoints: POST /solve, GET /healthz, GET /readyz (per-shard circuit
+// health), GET /metrics, GET /debug/requests.
+type Server struct {
+	cfg    Config
+	co     *Coordinator
+	mux    *http.ServeMux
+	flight *obsv.Flight
+	gate   *gate
+
+	baseCtx context.Context
+	stop    context.CancelFunc
+}
+
+// NewServer builds a coordinator HTTP server over cfg (see New for the
+// required fields).
+func NewServer(cfg Config) (*Server, error) {
+	co, err := New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	cfg = co.cfg // defaults resolved
+	baseCtx, stop := context.WithCancel(context.Background())
+	if cfg.Injector != nil {
+		baseCtx = fault.WithInjector(baseCtx, cfg.Injector)
+	}
+	s := &Server{
+		cfg:     cfg,
+		co:      co,
+		flight:  obsv.NewFlight(cfg.FlightSize, cfg.SlowThreshold, cfg.SampleEvery),
+		gate:    newGate(cfg.MaxConcurrent, cfg.MaxQueue),
+		baseCtx: baseCtx,
+		stop:    stop,
+	}
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("/solve", s.traced("/solve", s.recovered(s.handleSolve)))
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/readyz", s.handleReadyz)
+	s.mux.Handle("/metrics", obsv.Handler(cfg.Registry))
+	s.mux.Handle("/debug/requests", s.flight.Handler())
+	s.mux.Handle("/debug/requests/", s.flight.Handler())
+	return s, nil
+}
+
+// Handler returns the server's HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Coordinator returns the underlying coordinator, for tests and embedders.
+func (s *Server) Coordinator() *Coordinator { return s.co }
+
+// Flight returns the server's flight recorder.
+func (s *Server) Flight() *obsv.Flight { return s.flight }
+
+// Close stops background work.
+func (s *Server) Close() { s.stop() }
+
+// gate is the coordinator's bounded two-stage admission: MaxConcurrent
+// in-flight solves, MaxQueue waiters, everything beyond shed with 429
+// (mirroring internal/serve's admission, DESIGN.md §10).
+type gate struct {
+	slots    chan struct{}
+	waiting  atomic.Int64
+	maxQueue int64
+}
+
+var errShed = errors.New("shard: admission queue full, request shed")
+
+func newGate(concurrent, maxQueue int) *gate {
+	return &gate{slots: make(chan struct{}, concurrent), maxQueue: int64(maxQueue)}
+}
+
+func (g *gate) acquire(ctx context.Context) error {
+	select {
+	case g.slots <- struct{}{}:
+		return nil
+	default:
+	}
+	if n := g.waiting.Add(1); n > g.maxQueue {
+		g.waiting.Add(-1)
+		return errShed
+	}
+	defer g.waiting.Add(-1)
+	select {
+	case g.slots <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+func (g *gate) release() { <-g.slots }
+
+// Request/response bodies — the serve dialect plus the partial-result fields.
+
+type solveRequest struct {
+	Tuple     string `json:"tuple"`
+	M         int    `json:"m"`
+	Algo      string `json:"algo,omitempty"`
+	TimeoutMS int    `json:"timeout_ms,omitempty"`
+}
+
+type solveResponse struct {
+	TraceID   string   `json:"trace_id,omitempty"`
+	Kept      []string `json:"kept"`
+	KeptBits  string   `json:"kept_bits"`
+	Satisfied int      `json:"satisfied"`
+	Optimal   bool     `json:"optimal"`
+	Degraded  bool     `json:"degraded"`
+	Solver    string   `json:"solver"`
+	// Partial reports a response computed over the Responded shard subset
+	// only: Satisfied is then the exact optimum (or greedy answer) of the
+	// sub-problem those shards hold — a lower bound on the full answer.
+	Partial   bool     `json:"partial"`
+	Shards    int      `json:"shards"`
+	Responded []string `json:"responded,omitempty"`
+	Missing   []string `json:"missing,omitempty"`
+	Restarts  int      `json:"restarts,omitempty"`
+	ElapsedMS float64  `json:"elapsed_ms"`
+}
+
+type errorResponse struct {
+	TraceID      string `json:"trace_id,omitempty"`
+	Error        string `json:"error"`
+	Panic        bool   `json:"panic,omitempty"`
+	RetryAfterMS int    `json:"retry_after_ms,omitempty"`
+}
+
+// reqInfo accumulates per-request facts for the flight record.
+type reqInfo struct {
+	algo     string
+	solver   string
+	degraded bool
+	partial  bool
+	shed     bool
+	panicked bool
+	errMsg   string
+}
+
+type infoKey struct{}
+
+func noteInfo(ctx context.Context) *reqInfo {
+	if i, ok := ctx.Value(infoKey{}).(*reqInfo); ok {
+		return i
+	}
+	return &reqInfo{}
+}
+
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	return w.ResponseWriter.Write(b)
+}
+
+// traced mirrors internal/serve's tracing middleware: honor or mint a W3C
+// trace context, thread it through the coordinator (whose outbound shard
+// calls propagate it further), and leave a flight record — with the Partial
+// flag, so /debug/requests surfaces degraded fan-outs.
+func (s *Server) traced(route string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		tid, _, err := obsv.ParseTraceparent(r.Header.Get("traceparent"))
+		if err != nil {
+			tid = obsv.NewTraceID()
+		}
+		span := obsv.NewSpanID()
+
+		tr := obsv.NewTrace()
+		tr.SetTraceID(tid)
+		info := &reqInfo{}
+		ctx := obsv.WithIDs(r.Context(), tid, span)
+		ctx = obsv.WithTrace(ctx, tr)
+		ctx = context.WithValue(ctx, infoKey{}, info)
+
+		w.Header().Set("X-Request-Id", tid.String())
+		w.Header().Set("traceparent", obsv.FormatTraceparent(tid, span))
+
+		sw := &statusWriter{ResponseWriter: w}
+		start := time.Now()
+		h(sw, r.WithContext(ctx))
+		elapsed := time.Since(start)
+
+		if sw.status == 0 {
+			sw.status = http.StatusOK
+		}
+		summary := tr.Snapshot()
+		s.flight.Record(&obsv.Record{
+			TraceID:   tid.String(),
+			Route:     route,
+			Status:    sw.status,
+			Start:     start,
+			LatencyMS: float64(elapsed) / float64(time.Millisecond),
+			Algo:      info.algo,
+			Solver:    info.solver,
+			Degraded:  info.degraded,
+			Partial:   info.partial,
+			Shed:      info.shed || sw.status == http.StatusTooManyRequests,
+			Panic:     info.panicked,
+			Fault:     tr.Counter("fault.fired") > 0,
+			Slow:      s.cfg.SlowThreshold > 0 && elapsed >= s.cfg.SlowThreshold,
+			Error:     info.errMsg,
+			Trace:     &summary,
+		})
+	}
+}
+
+// recovered is the outermost panic boundary, as in internal/serve.
+func (s *Server) recovered(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			if rec := recover(); rec != nil {
+				s.co.met.failures.Add(1)
+				info := noteInfo(r.Context())
+				info.panicked = true
+				info.errMsg = fmt.Sprintf("panic: %v", rec)
+				writeJSON(r.Context(), w, http.StatusInternalServerError, errorResponse{
+					Error: fmt.Sprintf("panic: %v", rec), Panic: true,
+				})
+				_ = debug.Stack()
+			}
+		}()
+		h(w, r)
+	}
+}
+
+func writeJSON(ctx context.Context, w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(stamp(ctx, v))
+}
+
+func stamp(ctx context.Context, v any) any {
+	if t, ok := v.(errorResponse); ok {
+		if info := noteInfo(ctx); info.errMsg == "" {
+			info.errMsg = t.Error
+		}
+	}
+	id := obsv.TraceIDStringFromContext(ctx)
+	if id == "" {
+		return v
+	}
+	switch t := v.(type) {
+	case errorResponse:
+		t.TraceID = id
+		return t
+	case solveResponse:
+		t.TraceID = id
+		return t
+	}
+	return v
+}
+
+func (s *Server) timeoutFor(ms int) time.Duration {
+	d := time.Duration(ms) * time.Millisecond
+	if d <= 0 {
+		d = s.cfg.DefaultTimeout
+	}
+	if d > s.cfg.MaxTimeout {
+		d = s.cfg.MaxTimeout
+	}
+	return d
+}
+
+func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		writeJSON(r.Context(), w, http.StatusMethodNotAllowed, errorResponse{Error: "POST only"})
+		return
+	}
+	s.co.met.requests.Add(1)
+	var req solveRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20)).Decode(&req); err != nil {
+		writeJSON(r.Context(), w, http.StatusBadRequest, errorResponse{Error: "bad request body: " + err.Error()})
+		return
+	}
+	if req.Algo == "" {
+		req.Algo = "greedy"
+	}
+	if !coordinatorAlgos[req.Algo] {
+		writeJSON(r.Context(), w, http.StatusBadRequest, errorResponse{
+			Error: fmt.Sprintf("unknown algo %q (have %v)", req.Algo, AlgoNames())})
+		return
+	}
+	if req.M < 0 {
+		writeJSON(r.Context(), w, http.StatusBadRequest, errorResponse{Error: fmt.Sprintf("negative budget m=%d", req.M)})
+		return
+	}
+	tuple, err := dataset.ParseTuple(s.cfg.Schema, req.Tuple)
+	if err != nil {
+		writeJSON(r.Context(), w, http.StatusBadRequest, errorResponse{Error: "bad tuple: " + err.Error()})
+		return
+	}
+
+	ctx := r.Context()
+	if s.cfg.Injector != nil {
+		ctx = fault.WithInjector(ctx, s.cfg.Injector)
+	}
+	if err := fault.Hit(ctx, "serve.admit"); err != nil {
+		s.co.met.failures.Add(1)
+		noteInfo(ctx).errMsg = err.Error()
+		writeJSON(ctx, w, http.StatusServiceUnavailable, errorResponse{Error: err.Error()})
+		return
+	}
+	if err := s.gate.acquire(ctx); err != nil {
+		if errors.Is(err, errShed) {
+			s.co.met.shed.Add(1)
+			noteInfo(ctx).shed = true
+			w.Header().Set("Retry-After", "1")
+			writeJSON(ctx, w, http.StatusTooManyRequests, errorResponse{
+				Error: "overloaded: admission queue full", RetryAfterMS: 1000,
+			})
+		} else {
+			noteInfo(ctx).errMsg = err.Error()
+			writeJSON(ctx, w, http.StatusServiceUnavailable, errorResponse{Error: err.Error()})
+		}
+		return
+	}
+	defer s.gate.release()
+
+	ctx, cancel := context.WithTimeout(ctx, s.timeoutFor(req.TimeoutMS))
+	defer cancel()
+
+	start := time.Now()
+	res, err := s.co.Solve(ctx, tuple, req.M, req.Algo)
+	elapsed := time.Since(start)
+	s.co.met.latency.ObserveExemplar(elapsed.Seconds(), obsv.TraceIDStringFromContext(ctx))
+	info := noteInfo(ctx)
+	info.algo = req.Algo
+	if err != nil {
+		s.writeSolveError(ctx, w, err)
+		return
+	}
+	info.solver, info.degraded, info.partial = res.Solver, res.Degraded, res.Partial
+	if res.Degraded {
+		s.co.met.degraded.Add(1)
+	}
+	if res.Partial {
+		s.co.met.partials.Add(1)
+	}
+	writeJSON(r.Context(), w, http.StatusOK, solveResponse{
+		Kept:      res.Solution.AttrNames(s.cfg.Schema),
+		KeptBits:  res.Solution.Kept.String(),
+		Satisfied: res.Solution.Satisfied,
+		Optimal:   res.Solution.Optimal,
+		Degraded:  res.Degraded,
+		Solver:    res.Solver,
+		Partial:   res.Partial,
+		Shards:    len(s.co.shards),
+		Responded: res.Responded,
+		Missing:   res.Missing,
+		Restarts:  res.Restarts,
+		ElapsedMS: float64(elapsed) / float64(time.Millisecond),
+	})
+}
+
+// writeSolveError maps a coordinated-solve failure: deadline exhaustion is
+// 504, caller cancellation 503, total shard loss 503 (partial results are
+// 200s and never reach here; DESIGN.md §15), anything else 500 — always a
+// well-formed JSON body.
+func (s *Server) writeSolveError(ctx context.Context, w http.ResponseWriter, err error) {
+	info := noteInfo(ctx)
+	info.errMsg = err.Error()
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		s.co.met.timeouts.Add(1)
+		writeJSON(ctx, w, http.StatusGatewayTimeout, errorResponse{Error: "deadline exceeded before the scatter completed"})
+	case errors.Is(err, context.Canceled):
+		writeJSON(ctx, w, http.StatusServiceUnavailable, errorResponse{Error: "request canceled"})
+	case errors.Is(err, ErrNoShards):
+		s.co.met.failures.Add(1)
+		writeJSON(ctx, w, http.StatusServiceUnavailable, errorResponse{Error: err.Error()})
+	default:
+		s.co.met.failures.Add(1)
+		writeJSON(ctx, w, http.StatusInternalServerError, errorResponse{Error: err.Error()})
+	}
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(r.Context(), w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// readyzResponse is the coordinator's readiness report: per-shard circuit
+// health in backend order (satellite of DESIGN.md §15).
+type readyzResponse struct {
+	Status string        `json:"status"`
+	Shards []ShardHealth `json:"shards"`
+}
+
+// handleReadyz reports ready while at least one shard's circuit admits
+// traffic — the coordinator still serves exact partial answers then — and
+// 503 only when every shard is open (nothing could be answered).
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	if err := s.baseCtx.Err(); err != nil {
+		writeJSON(r.Context(), w, http.StatusServiceUnavailable, readyzResponse{Status: "shutting down"})
+		return
+	}
+	health := s.co.Health()
+	avail := 0
+	for _, sh := range s.co.shards {
+		if sh.br.available() {
+			avail++
+		}
+	}
+	if avail == 0 {
+		writeJSON(r.Context(), w, http.StatusServiceUnavailable, readyzResponse{Status: "no shards available", Shards: health})
+		return
+	}
+	status := "ready"
+	if avail < len(s.co.shards) {
+		status = "degraded"
+	}
+	writeJSON(r.Context(), w, http.StatusOK, readyzResponse{Status: status, Shards: health})
+}

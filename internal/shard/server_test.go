@@ -1,0 +1,359 @@
+package shard
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"standout/internal/bitvec"
+	"standout/internal/dataset"
+	"standout/internal/gen"
+	"standout/internal/obsv"
+	"standout/internal/serve"
+)
+
+// coordFixture is a full two-tier deployment under httptest: n serve.Server
+// shard processes plus a coordinator Server scattering over them via HTTP.
+type coordFixture struct {
+	srv    *Server
+	ts     *httptest.Server
+	shards []*serve.Server
+	log    *dataset.QueryLog
+	tuples []bitvec.Vector
+}
+
+func newCoordFixture(t *testing.T, n int, mut func(*Config)) *coordFixture {
+	t.Helper()
+	tab := gen.Cars(1, 120)
+	log := gen.RealWorkload(tab, 2, 40)
+	tuples := gen.PickTuples(tab, 3, 6)
+
+	parts, err := Partition(context.Background(), log, n)
+	if err != nil {
+		t.Fatalf("Partition: %v", err)
+	}
+	f := &coordFixture{log: log, tuples: tuples}
+	backends := make([]Backend, n)
+	for i, p := range parts {
+		ss, err := serve.New(serve.Config{Log: p, Registry: obsv.NewRegistry()})
+		if err != nil {
+			t.Fatalf("serve.New: %v", err)
+		}
+		sts := httptest.NewServer(ss.Handler())
+		t.Cleanup(func() { sts.Close(); ss.Close() })
+		f.shards = append(f.shards, ss)
+		backends[i] = NewHTTP(fmt.Sprintf("s%d", i), sts.URL, sts.Client())
+	}
+	cfg := Config{
+		Backends: backends,
+		Schema:   log.Schema,
+		Registry: obsv.NewRegistry(),
+	}
+	if mut != nil {
+		mut(&cfg)
+	}
+	f.srv, err = NewServer(cfg)
+	if err != nil {
+		t.Fatalf("NewServer: %v", err)
+	}
+	f.ts = httptest.NewServer(f.srv.Handler())
+	t.Cleanup(func() { f.ts.Close(); f.srv.Close() })
+	return f
+}
+
+func postJSON(t *testing.T, url string, body any) (int, []byte) {
+	t.Helper()
+	b, err := json.Marshal(body)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(b))
+	if err != nil {
+		t.Fatalf("POST %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	out, _ := io.ReadAll(resp.Body)
+	return resp.StatusCode, out
+}
+
+func decode[T any](t *testing.T, raw []byte) T {
+	t.Helper()
+	var v T
+	if err := json.Unmarshal(raw, &v); err != nil {
+		t.Fatalf("decode %q: %v", raw, err)
+	}
+	return v
+}
+
+// TestCoordinatorSolveMatchesUnsharded: the coordinator's /solve over HTTP
+// shards answers bit-identically to a single unsharded serve instance given
+// the same algorithm.
+func TestCoordinatorSolveMatchesUnsharded(t *testing.T) {
+	f := newCoordFixture(t, 3, nil)
+	un, err := serve.New(serve.Config{Log: f.log, Registry: obsv.NewRegistry()})
+	if err != nil {
+		t.Fatalf("serve.New: %v", err)
+	}
+	uts := httptest.NewServer(un.Handler())
+	t.Cleanup(func() { uts.Close(); un.Close() })
+
+	for _, algo := range []string{"greedy", "consumeattr", "brute"} {
+		for _, tuple := range f.tuples[:3] {
+			body := solveRequest{Tuple: tuple.String(), M: 4, Algo: algo, TimeoutMS: 10000}
+			status, raw := postJSON(t, f.ts.URL+"/solve", body)
+			if status != http.StatusOK {
+				t.Fatalf("%s: coordinator status %d body %s", algo, status, raw)
+			}
+			got := decode[solveResponse](t, raw)
+			ustatus, uraw := postJSON(t, uts.URL+"/solve", body)
+			if ustatus != http.StatusOK {
+				t.Fatalf("%s: unsharded status %d body %s", algo, ustatus, uraw)
+			}
+			var want struct {
+				KeptBits  string `json:"kept_bits"`
+				Satisfied int    `json:"satisfied"`
+				Optimal   bool   `json:"optimal"`
+			}
+			if err := json.Unmarshal(uraw, &want); err != nil {
+				t.Fatalf("decode unsharded: %v", err)
+			}
+			if got.KeptBits != want.KeptBits || got.Satisfied != want.Satisfied || got.Optimal != want.Optimal {
+				t.Errorf("%s %s: coordinator (%s, %d, %v) != unsharded (%s, %d, %v)",
+					algo, tuple, got.KeptBits, got.Satisfied, got.Optimal, want.KeptBits, want.Satisfied, want.Optimal)
+			}
+			if got.Partial {
+				t.Errorf("%s: partial with all shards up", algo)
+			}
+			if got.Shards != 3 || len(got.Responded) != 3 || len(got.Missing) != 0 {
+				t.Errorf("%s: shards=%d responded=%v missing=%v", algo, got.Shards, got.Responded, got.Missing)
+			}
+			if got.Solver != algo || got.Degraded {
+				t.Errorf("%s: solver=%q degraded=%v", algo, got.Solver, got.Degraded)
+			}
+		}
+	}
+}
+
+func TestCoordinatorValidation(t *testing.T) {
+	f := newCoordFixture(t, 2, nil)
+	cases := []struct {
+		name string
+		req  solveRequest
+	}{
+		{"unknown algo", solveRequest{Tuple: f.tuples[0].String(), M: 2, Algo: "quantum"}},
+		{"bad tuple", solveRequest{Tuple: "NotAnAttr,AlsoNot", M: 2}},
+		{"wrong width", solveRequest{Tuple: "101", M: 2}},
+		{"negative m", solveRequest{Tuple: f.tuples[0].String(), M: -1}},
+	}
+	for _, tc := range cases {
+		status, raw := postJSON(t, f.ts.URL+"/solve", tc.req)
+		if status != http.StatusBadRequest {
+			t.Errorf("%s: status %d body %s", tc.name, status, raw)
+		}
+		if e := decode[errorResponse](t, raw); e.Error == "" {
+			t.Errorf("%s: empty error body", tc.name)
+		}
+	}
+	resp, err := http.Get(f.ts.URL + "/solve")
+	if err != nil {
+		t.Fatalf("GET /solve: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET /solve: status %d", resp.StatusCode)
+	}
+}
+
+func TestCoordinatorReadyzReportsShardHealth(t *testing.T) {
+	f := newCoordFixture(t, 3, nil)
+	resp, err := http.Get(f.ts.URL + "/readyz")
+	if err != nil {
+		t.Fatalf("GET /readyz: %v", err)
+	}
+	raw, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("readyz status %d body %s", resp.StatusCode, raw)
+	}
+	rz := decode[readyzResponse](t, raw)
+	if rz.Status != "ready" || len(rz.Shards) != 3 {
+		t.Fatalf("readyz = %+v", rz)
+	}
+	for i, sh := range rz.Shards {
+		if sh.ID != fmt.Sprintf("s%d", i) || sh.State != "closed" {
+			t.Errorf("shard %d health = %+v", i, sh)
+		}
+	}
+
+	// Degraded: trip one shard's breaker manually.
+	for i := 0; i < f.srv.cfg.BreakerFailures; i++ {
+		f.srv.co.shards[1].br.failure(fmt.Errorf("induced %d", i))
+	}
+	resp, err = http.Get(f.ts.URL + "/readyz")
+	if err != nil {
+		t.Fatalf("GET /readyz: %v", err)
+	}
+	raw, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("degraded readyz status %d body %s", resp.StatusCode, raw)
+	}
+	rz = decode[readyzResponse](t, raw)
+	if rz.Status != "degraded" || rz.Shards[1].State != "open" || rz.Shards[1].LastError == "" {
+		t.Fatalf("degraded readyz = %+v", rz)
+	}
+
+	// Unavailable: every circuit open.
+	for _, sh := range f.srv.co.shards {
+		for i := 0; i < f.srv.cfg.BreakerFailures; i++ {
+			sh.br.failure(fmt.Errorf("induced %d", i))
+		}
+	}
+	resp, err = http.Get(f.ts.URL + "/readyz")
+	if err != nil {
+		t.Fatalf("GET /readyz: %v", err)
+	}
+	raw, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("all-open readyz status %d body %s", resp.StatusCode, raw)
+	}
+}
+
+// TestCoordinatorTracePropagation: a caller-supplied traceparent flows
+// through the coordinator into every shard's flight recorder, so one trace
+// id joins the whole fan-out.
+func TestCoordinatorTracePropagation(t *testing.T) {
+	f := newCoordFixture(t, 2, nil)
+	tid := obsv.NewTraceID()
+	parent := obsv.FormatTraceparent(tid, obsv.NewSpanID())
+
+	body, _ := json.Marshal(solveRequest{Tuple: f.tuples[0].String(), M: 3, Algo: "greedy", TimeoutMS: 10000})
+	req, err := http.NewRequest(http.MethodPost, f.ts.URL+"/solve", bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("NewRequest: %v", err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("traceparent", parent)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatalf("Do: %v", err)
+	}
+	raw, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d body %s", resp.StatusCode, raw)
+	}
+	if got := resp.Header.Get("X-Request-Id"); got != tid.String() {
+		t.Errorf("X-Request-Id = %q, want %q", got, tid)
+	}
+	sr := decode[solveResponse](t, raw)
+	if sr.TraceID != tid.String() {
+		t.Errorf("body trace_id = %q, want %q", sr.TraceID, tid)
+	}
+
+	// Coordinator flight record exists and is not partial.
+	rec, ok := f.srv.Flight().Find(tid.String())
+	if !ok {
+		t.Fatal("coordinator flight recorder has no record for the trace")
+	}
+	if rec.Partial {
+		t.Error("full response recorded partial")
+	}
+	// Every shard served at least one /score under the same trace id: the
+	// fan-out is visible end to end.
+	for i, ss := range f.shards {
+		if _, ok := ss.Flight().Find(tid.String()); !ok {
+			t.Errorf("shard %d flight recorder has no record for trace %s", i, tid)
+		}
+	}
+}
+
+// TestCoordinatorPartialFlagInFlight: a down shard yields 200 partial:true,
+// and the flight record carries Partial for /debug/requests tailing.
+func TestCoordinatorPartialFlagInFlight(t *testing.T) {
+	c := fixedCase(t)
+	backends := localBackends(t, c.log, 2)
+	cfg := testConfig([]Backend{backends[0], failBackend{id: "s1"}}, c.log.Schema)
+	cfg.Registry = obsv.NewRegistry()
+	srv, err := NewServer(cfg)
+	if err != nil {
+		t.Fatalf("NewServer: %v", err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() { ts.Close(); srv.Close() })
+
+	status, raw := postJSON(t, ts.URL+"/solve", solveRequest{Tuple: c.tuple.String(), M: c.m, Algo: "greedy", TimeoutMS: 10000})
+	if status != http.StatusOK {
+		t.Fatalf("partial solve status %d body %s", status, raw)
+	}
+	sr := decode[solveResponse](t, raw)
+	if !sr.Partial || len(sr.Missing) != 1 || sr.Missing[0] != "s1" {
+		t.Fatalf("partial=%v missing=%v", sr.Partial, sr.Missing)
+	}
+	rec, ok := srv.Flight().Find(sr.TraceID)
+	if !ok {
+		t.Fatal("no flight record for partial response")
+	}
+	if !rec.Partial {
+		t.Error("flight record of a partial response has Partial=false")
+	}
+	if srv.co.met.partials.Value() == 0 {
+		t.Error("partial counter not incremented")
+	}
+}
+
+// TestCoordinatorShedsUnderOverload: gate capacity 1+0 and a slow shard →
+// concurrent requests shed 429 with a well-formed body.
+func TestCoordinatorShedsUnderOverload(t *testing.T) {
+	c := fixedCase(t)
+	backends := localBackends(t, c.log, 1)
+	slow := &hookBackend{inner: backends[0], hook: func(ctx context.Context, _ int64) error {
+		select {
+		case <-time.After(100 * time.Millisecond):
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+		return nil
+	}}
+	cfg := testConfig([]Backend{slow}, c.log.Schema)
+	cfg.MaxConcurrent = 1
+	cfg.MaxQueue = 1
+	cfg.Registry = obsv.NewRegistry()
+	srv, err := NewServer(cfg)
+	if err != nil {
+		t.Fatalf("NewServer: %v", err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() { ts.Close(); srv.Close() })
+
+	results := make(chan int, 8)
+	for i := 0; i < 8; i++ {
+		go func() {
+			status, _ := postJSON(t, ts.URL+"/solve", solveRequest{Tuple: c.tuple.String(), M: c.m, TimeoutMS: 10000})
+			results <- status
+		}()
+	}
+	shed := 0
+	for i := 0; i < 8; i++ {
+		switch status := <-results; status {
+		case http.StatusOK:
+		case http.StatusTooManyRequests:
+			shed++
+		default:
+			t.Errorf("unexpected status %d under overload", status)
+		}
+	}
+	if shed == 0 {
+		t.Error("8 concurrent requests against capacity 2 shed nothing")
+	}
+	if srv.co.met.shed.Value() != int64(shed) {
+		t.Errorf("shed counter %d, observed %d", srv.co.met.shed.Value(), shed)
+	}
+}
