@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	socbench [flags] fig6|fig7|fig8|fig9|fig10|fig11|index|compact|bitmap|parallel|serve|shard|ablations|all
+//	socbench [flags] fig6|fig7|fig8|fig9|fig10|fig11|index|compact|bitmap|parallel|serve|shard|estimate|ablations|all
 //
 // Flags:
 //
@@ -65,7 +65,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) (err erro
 	runf.Register(fs)
 	fs.Usage = func() {
 		fmt.Fprintf(stderr,
-			"usage: socbench [flags] fig6|fig7|fig8|fig9|fig10|fig11|index|compact|bitmap|parallel|serve|shard|ablations|all\n")
+			"usage: socbench [flags] fig6|fig7|fig8|fig9|fig10|fig11|index|compact|bitmap|parallel|serve|shard|estimate|ablations|all\n")
 		fs.SetOutput(stderr)
 		fs.PrintDefaults()
 	}
@@ -113,6 +113,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) (err erro
 		"parallel":  {bench.ParallelContext},
 		"serve":     {bench.ServeLoadContext},
 		"shard":     {bench.ShardLoadContext},
+		"estimate":  {bench.EstimateSweepContext},
 		"fig6":      {bench.Fig6Context},
 		"fig7":      {bench.Fig7Context},
 		"fig8":      {bench.Fig8Context},

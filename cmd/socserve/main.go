@@ -43,6 +43,10 @@
 //	                  startup; answers are provably identical, the log smaller
 //	-max-concurrent   solve slots (default GOMAXPROCS)
 //	-max-queue        bounded wait queue; beyond it requests shed with 429
+//	-greedy-budget    deadline budget below which the ladder serves the
+//	                  certified-estimate rung instead of greedy (default 1ms)
+//	-shed-estimate    answer shed solves 200 {"estimated":true, "estimate":
+//	                  {"lo","hi"}} instead of 429 (DESIGN.md §16)
 //	-default-timeout  per-request deadline when the request names none
 //	-max-timeout      clamp on client-requested deadlines
 //	-grace            shutdown grace for in-flight requests (default 5s)
@@ -114,6 +118,8 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) (err erro
 	noHedge := fs.Bool("no-hedge", false, "coordinator: disable hedged shard requests")
 	breakerFailures := fs.Int("breaker-failures", 0, "coordinator: consecutive failures opening a shard circuit (0 = 5)")
 	breakerCooloff := fs.Duration("breaker-cooloff", 0, "coordinator: open-circuit cooloff before the half-open probe (0 = 2s)")
+	greedyBudget := fs.Duration("greedy-budget", 0, "deadline budget below which the ladder degrades to the certified estimate rung (0 = 1ms)")
+	shedEstimate := fs.Bool("shed-estimate", false, "answer admission-shed solves 200 with a certified estimate instead of 429 (DESIGN.md §16)")
 	var obs obsv.Flags
 	obs.Register(fs)
 	var runf obsv.RunFlags // -timeout bounds the whole serving run
@@ -161,7 +167,8 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) (err erro
 			shardTimeout: *shardTimeout, shardRetries: *shardRetries,
 			hedgeAfter: *hedgeAfter, noHedge: *noHedge,
 			breakerFailures: *breakerFailures, breakerCooloff: *breakerCooloff,
-			seed: *seed, injector: inj,
+			greedyBudget: *greedyBudget,
+			seed:         *seed, injector: inj,
 			flightSize: *flightSize, slow: *slow, sample: *sample,
 		}, stderr)
 	}
@@ -197,6 +204,8 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) (err erro
 		DefaultTimeout: *defaultTimeout,
 		MaxTimeout:     *maxTimeout,
 		SolverWorkers:  *workers,
+		GreedyBudget:   *greedyBudget,
+		ShedEstimate:   *shedEstimate,
 		Seed:           *seed,
 		Injector:       inj,
 		FlightSize:     *flightSize,
@@ -227,6 +236,7 @@ type coordinatorOpts struct {
 	noHedge         bool
 	breakerFailures int
 	breakerCooloff  time.Duration
+	greedyBudget    time.Duration
 	seed            int64
 	injector        *fault.Injector
 	flightSize      int
@@ -263,6 +273,7 @@ func runCoordinator(ctx context.Context, o coordinatorOpts, stderr io.Writer) er
 		DisableHedge:    o.noHedge,
 		BreakerFailures: o.breakerFailures,
 		BreakerCooloff:  o.breakerCooloff,
+		GreedyBudget:    o.greedyBudget,
 		MaxConcurrent:   o.maxConcurrent,
 		MaxQueue:        o.maxQueue,
 		DefaultTimeout:  o.defaultTimeout,

@@ -46,6 +46,7 @@ var solvers = map[string]func(workers int) core.Solver{
 	"consumeattr":      func(int) core.Solver { return core.ConsumeAttr{} },
 	"consumeattrcumul": func(int) core.Solver { return core.ConsumeAttrCumul{} },
 	"consumequeries":   func(int) core.Solver { return core.ConsumeQueries{} },
+	"estimate":         func(int) core.Solver { return core.Estimate{} },
 }
 
 func main() {
@@ -144,8 +145,12 @@ func run(ctx context.Context, args []string, out io.Writer) (err error) {
 		if sol.Optimal {
 			mark = " (optimal)"
 		}
-		fmt.Fprintf(out, "%-18s satisfied %d%s in %s\n  keep: %s\n",
-			name, sol.Satisfied, mark, elapsed.Round(time.Microsecond),
+		satisfied := fmt.Sprintf("satisfied %d%s", sol.Satisfied, mark)
+		if sol.Estimated {
+			satisfied = fmt.Sprintf("satisfied ~%d (certified %d..%d)", sol.Satisfied, sol.EstLo, sol.EstHi)
+		}
+		fmt.Fprintf(out, "%-18s %s in %s\n  keep: %s\n",
+			name, satisfied, elapsed.Round(time.Microsecond),
 			strings.Join(sol.AttrNames(log.Schema), ", "))
 	}
 	return nil

@@ -1,0 +1,259 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"time"
+
+	"standout/internal/bitvec"
+	"standout/internal/core"
+	"standout/internal/dataset"
+	"standout/internal/estimate"
+	"standout/internal/gen"
+)
+
+// estimateFamily is one generator family of the estimator sweep: a query log
+// plus the tuples whose compressions get scored against it.
+type estimateFamily struct {
+	name   string
+	log    *dataset.QueryLog
+	tuples []bitvec.Vector
+	ms     []int // budget per tuple, parallel to tuples
+}
+
+// Workload scale for the estimator sweep. The large size is where the
+// estimator's log-free scoring has to pay off: the ISSUE's acceptance bar is
+// a ≥10× speedup over the greedy baseline on these rows.
+const (
+	estimateSmallLog = 2000
+	estimateLargeLog = 200000
+)
+
+// EstimateSweep measures the itemset+LP estimator; see EstimateSweepContext.
+func EstimateSweep(cfg Config) Result { return EstimateSweepContext(context.Background(), cfg) }
+
+// EstimateSweepContext measures the estimate solver (DESIGN.md §16) against
+// the exact weighted Satisfied count across every generator family: uniform
+// and attribute-skewed synthetic logs at small and large sizes, duplicate-
+// weighted logs, the real-workload cars log, and the planted-clique
+// adversarial instance. Each row scores the estimator's own kept set, so the
+// certified interval is tested exactly where it is served: containment must
+// be 100% (the soundness invariant the differential tests pin), the error
+// quantiles report how tight the point estimate runs, and the timing columns
+// compare one model-backed Estimate call — which touches neither the log nor
+// the index — to one greedy ConsumeAttrCumul solve through the shared
+// prepared index. Model build time is paid once per log generation and
+// reported separately (BENCH_estimate.json).
+func EstimateSweepContext(ctx context.Context, cfg Config) Result {
+	cfg = cfg.withDefaults()
+	res := Result{
+		Name:    "estimate",
+		Title:   "Itemset+LP estimator vs exact Satisfied and the greedy baseline, per generator family",
+		XLabel:  "family",
+		YLabel:  "timing / certified-interval quality",
+		Columns: []string{"queries", "build_ms", "est_us", "greedy_us", "speedup", "contain_pct", "p50_err_pct", "p95_err_pct", "width_pct"},
+		Notes: []string{
+			"est_us is one Keep+Estimate call on a prebuilt model (no log, no index); greedy_us is one ConsumeAttrCumul solve through a shared prepared index",
+			"errors are |point-exact|/max(1,exact) on the estimator's own kept set; contain_pct must be 100 (certified interval soundness)",
+			"width_pct is the certified interval width relative to the log's total weight",
+		},
+	}
+
+	reps := cfg.Tuples
+	if reps > 24 {
+		reps = 24
+	}
+	large := estimateLargeLog
+	if cfg.Quick {
+		large = 20000
+		res.Notes = append(res.Notes, "quick run: large logs shrunk to 20000 queries")
+	}
+
+	for _, fam := range estimateFamilies(cfg, reps, large) {
+		if ctx.Err() != nil {
+			noteInterrupted(ctx, &res)
+			break
+		}
+		row, err := estimateCell(ctx, fam)
+		if err != nil {
+			res.Notes = append(res.Notes, fmt.Sprintf("%s: %v", fam.name, err))
+			row = Row{X: fam.name, Values: missingValues(len(res.Columns))}
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res
+}
+
+// estimateFamilies builds the sweep's workloads: every generator family the
+// repository has, at the sizes where the estimator's trade-off shows.
+func estimateFamilies(cfg Config, reps, large int) []estimateFamily {
+	tab := gen.Cars(cfg.Seed, cfg.CarsN)
+	schema := tab.Schema
+	width := schema.Width()
+
+	// Power-law attribute skew: the regime where dropped attributes overlap
+	// heavily and the LP's joint constraints earn their keep.
+	skew := make([]float64, width)
+	for i := range skew {
+		skew[i] = 1 / float64((i%width)+1)
+	}
+
+	randomTuples := func(seedOff int64) ([]bitvec.Vector, []int) {
+		tuples := make([]bitvec.Vector, 0, reps)
+		ms := make([]int, 0, reps)
+		for i := 0; len(tuples) < reps; i++ {
+			t := gen.RandomTuple(schema, cfg.Seed+seedOff+int64(i), 0.5)
+			if t.Count() < 2 {
+				continue
+			}
+			tuples = append(tuples, t)
+			ms = append(ms, 1+t.Count()/2)
+		}
+		return tuples, ms
+	}
+
+	var fams []estimateFamily
+	for _, size := range []int{estimateSmallLog, large} {
+		uni := gen.SyntheticWorkload(schema, cfg.Seed+1, size, gen.WorkloadOptions{})
+		tuples, ms := randomTuples(100)
+		fams = append(fams, estimateFamily{fmt.Sprintf("uniform-%d", size), uni, tuples, ms})
+
+		sk := gen.SyntheticWorkload(schema, cfg.Seed+2, size, gen.WorkloadOptions{AttrWeights: skew})
+		tuples, ms = randomTuples(200)
+		fams = append(fams, estimateFamily{fmt.Sprintf("skewed-%d", size), sk, tuples, ms})
+
+		// Duplicate-weighted: the same skewed queries folded with weights
+		// 1..9, the compacted-log regime the estimator must stay sound on.
+		wl := dataset.NewQueryLog(schema)
+		for i, q := range sk.Queries {
+			if err := wl.AppendWeighted(q, 1+i%9); err != nil {
+				panic(err)
+			}
+		}
+		tuples, ms = randomTuples(300)
+		fams = append(fams, estimateFamily{fmt.Sprintf("weighted-%d", size), wl, tuples, ms})
+	}
+
+	real := gen.RealWorkload(tab, cfg.Seed+3, 400)
+	carTuples := gen.PickTuples(tab, cfg.Seed+4, reps)
+	ms := make([]int, len(carTuples))
+	for i, t := range carTuples {
+		ms[i] = 1 + t.Count()/2
+	}
+	fams = append(fams, estimateFamily{"cars-real", real, carTuples, ms})
+
+	g, _ := gen.PlantedCliqueGraph(cfg.Seed+5, 48, 8, 0.25)
+	clog, ctuple := gen.CliqueInstance(g)
+	ctuples := make([]bitvec.Vector, reps)
+	cms := make([]int, reps)
+	for i := range ctuples {
+		ctuples[i] = ctuple
+		cms[i] = 1 + i%ctuple.Count()
+	}
+	fams = append(fams, estimateFamily{"clique", clog, ctuples, cms})
+	return fams
+}
+
+// estimateCell measures one family: model build once, then per-tuple paired
+// estimate/greedy timings and the estimate-vs-exact error distribution.
+func estimateCell(ctx context.Context, fam estimateFamily) (Row, error) {
+	buildStart := time.Now()
+	model, err := estimate.BuildContext(ctx, fam.log, estimate.Options{})
+	if err != nil {
+		return Row{}, fmt.Errorf("building model: %w", err)
+	}
+	buildMS := float64(time.Since(buildStart)) / float64(time.Millisecond)
+
+	prep, err := core.PrepareLogContext(ctx, fam.log)
+	if err != nil {
+		return Row{}, fmt.Errorf("preparing log: %w", err)
+	}
+	pctx := core.WithPrepared(ctx, prep)
+	greedySolver := core.ConsumeAttrCumul{}
+
+	var estNS, greedyNS, contained float64
+	var errs, widths []float64
+	total := fam.log.TotalWeight()
+	for i, tuple := range fam.tuples {
+		if ctx.Err() != nil {
+			return Row{}, ctx.Err()
+		}
+		m := fam.ms[i]
+
+		start := time.Now()
+		kept := model.Keep(tuple, m)
+		iv, err := model.Estimate(ctx, kept)
+		estNS += float64(time.Since(start))
+		if err != nil {
+			return Row{}, fmt.Errorf("estimating tuple %d: %w", i, err)
+		}
+
+		start = time.Now()
+		if _, err := greedySolver.SolveContext(pctx, core.Instance{Log: fam.log, Tuple: tuple, M: m}); err != nil {
+			return Row{}, fmt.Errorf("greedy solve %d: %w", i, err)
+		}
+		greedyNS += float64(time.Since(start))
+
+		exact := fam.log.Satisfied(kept)
+		if iv.Contains(exact) {
+			contained++
+		}
+		ref := exact
+		if ref < 1 {
+			ref = 1
+		}
+		diff := iv.Point - exact
+		if diff < 0 {
+			diff = -diff
+		}
+		errs = append(errs, 100*float64(diff)/float64(ref))
+		ref = total
+		if ref < 1 {
+			ref = 1
+		}
+		widths = append(widths, 100*float64(iv.Hi-iv.Lo)/float64(ref))
+	}
+
+	n := float64(len(fam.tuples))
+	estUS := estNS / n / float64(time.Microsecond)
+	greedyUS := greedyNS / n / float64(time.Microsecond)
+	speedup := Missing
+	if estUS > 0 {
+		speedup = greedyUS / estUS
+	}
+	return Row{X: fam.name, Values: []float64{
+		float64(fam.log.Size()), buildMS, estUS, greedyUS, speedup,
+		100 * contained / n, pctlOf(errs, 0.50), pctlOf(errs, 0.95), mean(widths),
+	}}, nil
+}
+
+// pctlOf is the nearest-rank q-quantile of v (v is not modified).
+func pctlOf(v []float64, q float64) float64 {
+	if len(v) == 0 {
+		return Missing
+	}
+	s := append([]float64(nil), v...)
+	sort.Float64s(s)
+	i := int(q * float64(len(s)-1))
+	return s[i]
+}
+
+func mean(v []float64) float64 {
+	if len(v) == 0 {
+		return Missing
+	}
+	var sum float64
+	for _, x := range v {
+		sum += x
+	}
+	return sum / float64(len(v))
+}
+
+func missingValues(n int) []float64 {
+	vals := make([]float64, n)
+	for i := range vals {
+		vals[i] = Missing
+	}
+	return vals
+}

@@ -1,0 +1,86 @@
+package core
+
+import (
+	"context"
+	"fmt"
+
+	"standout/internal/estimate"
+)
+
+// Estimate is the shed-of-last-resort solver (DESIGN.md §16): it never scans
+// the query log at solve time. Selection copies ConsumeAttr's rule — the m
+// most frequent tuple attributes, ties to the lower index — evaluated on an
+// itemset-frequency model's stored counts, and the satisfied count is a
+// certified [lo, hi] interval plus a point estimate from a small LP over the
+// same counts (package estimate). The Solution carries Estimated=true with
+// the interval in EstLo/EstHi; Satisfied is the point estimate.
+//
+// The model comes from, in order: the Model field (injected by the serving
+// layer's shed path), the context's PreparedLog when it is usable for the
+// instance log and Opts is zero (EstimatorModel, built lazily once per
+// prep), else a fresh build from the instance log — the only case that
+// touches the log, and only at preparation granularity.
+type Estimate struct {
+	// Opts tunes a freshly built model; the zero value selects the defaults
+	// (and is required for the solve to use a PreparedLog's shared model).
+	Opts estimate.Options
+	// Model, when non-nil, answers every solve without any log access; the
+	// instance log is only checked for width compatibility. Solves with an
+	// injected model are never memoized — the model's provenance is the
+	// caller's business.
+	Model *estimate.Model
+}
+
+// Name implements Solver.
+func (Estimate) Name() string { return "EstimateLP-SOC-CB-QL" }
+
+// Solve is SolveContext with a background context.
+func (s Estimate) Solve(in Instance) (Solution, error) {
+	return s.SolveContext(context.Background(), in)
+}
+
+// SolveContext implements Solver.
+func (s Estimate) SolveContext(ctx context.Context, in Instance) (Solution, error) {
+	obs := beginSolve(ctx, s.Name(), in)
+	sol, err := s.solve(ctx, in)
+	return obs.end(ctx, sol, err)
+}
+
+func (s Estimate) solve(ctx context.Context, in Instance) (Solution, error) {
+	if err := in.Validate(); err != nil {
+		return Solution{}, err
+	}
+	model := s.Model
+	if model == nil {
+		if p := preparedFromContext(ctx); p.usableFor(in.Log) && s.Opts == (estimate.Options{}) {
+			if m, err := p.EstimatorModel(ctx); err == nil {
+				model = m
+			} else if ctx.Err() != nil {
+				return Solution{}, err
+			}
+			// A non-context model failure falls through to the direct build,
+			// mirroring how WithPrepared solves never fail on accelerator loss.
+		}
+	}
+	if model == nil {
+		var err error
+		if model, err = estimate.BuildContext(ctx, in.Log, s.Opts); err != nil {
+			return Solution{}, err
+		}
+	}
+	if model.Width() != in.Tuple.Width() {
+		return Solution{}, fmt.Errorf("core: estimate model width %d, tuple width %d", model.Width(), in.Tuple.Width())
+	}
+	kept := model.Keep(in.Tuple, in.M)
+	iv, err := model.Estimate(ctx, kept)
+	if err != nil {
+		return Solution{}, err
+	}
+	return Solution{
+		Kept:      kept,
+		Satisfied: iv.Point,
+		Estimated: true,
+		EstLo:     iv.Lo,
+		EstHi:     iv.Hi,
+	}, nil
+}

@@ -1,0 +1,175 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"standout/internal/bitvec"
+	"standout/internal/dataset"
+	"standout/internal/estimate"
+	"standout/internal/gen"
+)
+
+// estimateTestLog builds a moderately structured log for the solver tests.
+func estimateTestLog(t *testing.T) *dataset.QueryLog {
+	t.Helper()
+	log := gen.SyntheticWorkload(dataset.GenericSchema(12), 11, 300, gen.WorkloadOptions{})
+	return log
+}
+
+func TestEstimateSolverDirect(t *testing.T) {
+	log := estimateTestLog(t)
+	tuple := gen.RandomTuple(log.Schema, 21, 0.5)
+	in := Instance{Log: log, Tuple: tuple, M: 3}
+
+	sol, err := Estimate{}.Solve(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sol.Estimated {
+		t.Fatal("Estimate solution not marked Estimated")
+	}
+	exact := log.Satisfied(sol.Kept)
+	if exact < sol.EstLo || exact > sol.EstHi {
+		t.Fatalf("interval [%d,%d] misses exact %d", sol.EstLo, sol.EstHi, exact)
+	}
+	if sol.Satisfied < sol.EstLo || sol.Satisfied > sol.EstHi {
+		t.Fatalf("point %d outside own interval [%d,%d]", sol.Satisfied, sol.EstLo, sol.EstHi)
+	}
+	// The selection rule is ConsumeAttr's: same kept set, no log scan needed.
+	ca, err := ConsumeAttr{}.Solve(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sol.Kept.Equal(ca.Kept) {
+		t.Fatalf("Estimate kept %s, ConsumeAttr kept %s", sol.Kept, ca.Kept)
+	}
+}
+
+func TestEstimateSolverValidatesInstance(t *testing.T) {
+	log := estimateTestLog(t)
+	if _, err := (Estimate{}).Solve(Instance{Log: log, Tuple: bitvec.New(12), M: -1}); err == nil {
+		t.Fatal("negative budget accepted")
+	}
+}
+
+// TestEstimateUsesPreparedModel pins the memoization path: with a prepared
+// log in context and default options, the solver builds the shared model
+// once and every later solve reuses it.
+func TestEstimateUsesPreparedModel(t *testing.T) {
+	log := estimateTestLog(t)
+	p, err := PrepareLog(log)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.EstimatorModelReady() != nil {
+		t.Fatal("model built before any estimate solve")
+	}
+	ctx := WithPrepared(context.Background(), p)
+	tuple := gen.RandomTuple(log.Schema, 22, 0.5)
+	if _, err := (Estimate{}).SolveContext(ctx, Instance{Log: log, Tuple: tuple, M: 4}); err != nil {
+		t.Fatal(err)
+	}
+	m1 := p.EstimatorModelReady()
+	if m1 == nil {
+		t.Fatal("solve through prep did not populate the shared model")
+	}
+	if _, err := (Estimate{}).SolveContext(ctx, Instance{Log: log, Tuple: tuple, M: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if m2 := p.EstimatorModelReady(); m2 != m1 {
+		t.Fatal("second solve rebuilt the shared model")
+	}
+}
+
+// TestEstimateCustomOptsSkipsSharedModel: non-default options must not
+// poison (or use) the prep's canonical zero-options model.
+func TestEstimateCustomOptsSkipsSharedModel(t *testing.T) {
+	log := estimateTestLog(t)
+	p, err := PrepareLog(log)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := WithPrepared(context.Background(), p)
+	tuple := gen.RandomTuple(log.Schema, 23, 0.5)
+	if _, err := (Estimate{Opts: estimate.Options{MaxAtomAttrs: 2}}).SolveContext(ctx, Instance{Log: log, Tuple: tuple, M: 3}); err != nil {
+		t.Fatal(err)
+	}
+	if p.EstimatorModelReady() != nil {
+		t.Fatal("custom-options solve populated the shared zero-options model")
+	}
+}
+
+func TestEstimateInjectedModelWidthMismatch(t *testing.T) {
+	log := estimateTestLog(t)
+	other := dataset.NewQueryLog(dataset.GenericSchema(5))
+	m, err := estimate.Build(other, estimate.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tuple := gen.RandomTuple(log.Schema, 24, 0.5)
+	if _, err := (Estimate{Model: m}).Solve(Instance{Log: log, Tuple: tuple, M: 2}); err == nil {
+		t.Fatal("width-mismatched injected model accepted")
+	}
+}
+
+// TestEstimateStalePrep: the staleness gate runs before the solver, so an
+// estimate solve through a touched prep surfaces ErrStalePrep like every
+// other solver — the serve ladder's retry path depends on it.
+func TestEstimateStalePrep(t *testing.T) {
+	log := estimateTestLog(t)
+	p, err := PrepareLog(log)
+	if err != nil {
+		t.Fatal(err)
+	}
+	log.Touch()
+	tuple := gen.RandomTuple(log.Schema, 25, 0.5)
+	if _, err := p.SolveContext(context.Background(), Estimate{}, tuple, 3); !errors.Is(err, ErrStalePrep) {
+		t.Fatalf("err = %v, want ErrStalePrep", err)
+	}
+}
+
+// TestEstimateCacheID pins the memo key: default and tuned options are
+// cacheable with distinct ids; an injected model is not cacheable (its
+// provenance is outside the prep's lifecycle).
+func TestEstimateCacheID(t *testing.T) {
+	idDefault, ok := solverCacheID(Estimate{})
+	if !ok {
+		t.Fatal("default Estimate not cacheable")
+	}
+	idTuned, ok := solverCacheID(Estimate{Opts: estimate.Options{MaxAtomAttrs: 3}})
+	if !ok {
+		t.Fatal("tuned Estimate not cacheable")
+	}
+	if idDefault == idTuned {
+		t.Fatal("distinct options share a cache id")
+	}
+	other := dataset.NewQueryLog(dataset.GenericSchema(3))
+	m, err := estimate.Build(other, estimate.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := solverCacheID(Estimate{Model: m}); ok {
+		t.Fatal("model-injected Estimate reported cacheable")
+	}
+}
+
+// TestEstimatorModelErrorSticky: a non-context build failure is recorded and
+// returned to later callers; a cancellation is retried.
+func TestEstimatorModelErrorSticky(t *testing.T) {
+	log := estimateTestLog(t)
+	p, err := PrepareLog(log)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cancelled, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := p.EstimatorModel(cancelled); err == nil {
+		t.Fatal("cancelled build succeeded")
+	}
+	// Not sticky: a live context builds fine afterwards.
+	if _, err := p.EstimatorModel(context.Background()); err != nil {
+		t.Fatalf("build after cancellation: %v", err)
+	}
+}

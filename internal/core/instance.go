@@ -67,6 +67,12 @@ type Solution struct {
 	Satisfied int
 	// Optimal records whether the producing solver guarantees optimality.
 	Optimal bool
+	// Estimated reports that Satisfied is a certified point estimate from the
+	// itemset+LP estimator (Estimate, DESIGN.md §16) rather than an exact
+	// count; EstLo and EstHi then bound the exact count: EstLo ≤ exact ≤ EstHi.
+	Estimated bool
+	// EstLo and EstHi carry the certified interval when Estimated is set.
+	EstLo, EstHi int
 	// Stats carries solver-specific diagnostics.
 	Stats Stats
 

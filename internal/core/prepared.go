@@ -4,10 +4,12 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sync"
 
 	"standout/internal/bitvec"
 	"standout/internal/cache"
 	"standout/internal/dataset"
+	"standout/internal/estimate"
 	"standout/internal/fault"
 	"standout/internal/index"
 	"standout/internal/obsv"
@@ -66,6 +68,13 @@ type PreparedLog struct {
 	delta   bool // built incrementally by PrepareLogFrom
 
 	sols *cache.LRU[solutionKey, Solution]
+
+	// Lazily built itemset-frequency model for the Estimate solver
+	// (DESIGN.md §16). Guarded by estMu; built at most once per prep
+	// generation, shared by every solve through this prep.
+	estMu  sync.Mutex
+	est    *estimate.Model
+	estErr error
 }
 
 // solutionKey identifies one memoizable solve: the log contents (by
@@ -225,6 +234,43 @@ func (p *PreparedLog) usableFor(log *dataset.QueryLog) bool {
 	return p != nil && p.log == log && !p.Stale()
 }
 
+// EstimatorModel returns the prep's shared itemset-frequency model for the
+// Estimate solver, building it on first use (single-flight under a mutex:
+// concurrent first callers fold into one build). The model summarizes the
+// exact log generation this prep indexed; staleness is the caller's business
+// — SolveContext's staleness check happens before any solver runs, so the
+// model a successful solve uses always matches the prep's snapshot. A
+// context-cancellation failure is not sticky (the next caller rebuilds); any
+// other build failure is recorded and returned to every later caller.
+func (p *PreparedLog) EstimatorModel(ctx context.Context) (*estimate.Model, error) {
+	p.estMu.Lock()
+	defer p.estMu.Unlock()
+	if p.est != nil {
+		return p.est, nil
+	}
+	if p.estErr != nil {
+		return nil, p.estErr
+	}
+	m, err := estimate.BuildContext(ctx, p.log, estimate.Options{})
+	if err != nil {
+		if ctx.Err() == nil {
+			p.estErr = err
+		}
+		return nil, err
+	}
+	p.est = m
+	return m, nil
+}
+
+// EstimatorModelReady returns the shared estimator model if one has already
+// been built for this prep, else nil — a non-building probe for ladder and
+// shed decisions that must not pay a mining pass.
+func (p *PreparedLog) EstimatorModelReady() *estimate.Model {
+	p.estMu.Lock()
+	defer p.estMu.Unlock()
+	return p.est
+}
+
 // SetSolutionCache bounds the solution memo to capacity entries; ≤ 0
 // disables memoization (the index keeps working). Resizing down evicts
 // oldest entries. Safe to call concurrently with solves.
@@ -302,6 +348,15 @@ func solverCacheID(s Solver) (string, bool) {
 		return "consume-queries", true
 	case MaxFreqItemSets:
 		return mfiCacheID(v)
+	case Estimate:
+		if v.Model != nil {
+			// An injected model's provenance is outside the (fingerprint,
+			// solver, instance) key: never memoize.
+			return "", false
+		}
+		return fmt.Sprintf("estimate;L=%d;sup=%d;k=%d;lp=%d,%g,%t",
+			v.Opts.MaxItemset, v.Opts.MinSupport, v.Opts.MaxAtomAttrs,
+			v.Opts.LP.MaxIters, v.Opts.LP.Tol, v.Opts.LP.Presolve), true
 	case PreparedSolver:
 		if v.Prep == nil {
 			return "", false

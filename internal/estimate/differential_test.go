@@ -1,0 +1,212 @@
+package estimate_test
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"standout/internal/bitvec"
+	"standout/internal/dataset"
+	"standout/internal/estimate"
+	"standout/internal/gen"
+)
+
+// diffFamily generates one family's share of the 1000 instances: a fixed
+// number of seeded logs, each scored at several kept sets — both the
+// estimator's own Keep selections and adversarial random subsets.
+type diffFamily struct {
+	name string
+	logs func() []*dataset.QueryLog
+}
+
+// diffLogs builds n logs from a per-seed constructor.
+func diffLogs(n int, build func(seed int64) *dataset.QueryLog) func() []*dataset.QueryLog {
+	return func() []*dataset.QueryLog {
+		logs := make([]*dataset.QueryLog, n)
+		for i := range logs {
+			logs[i] = build(int64(i))
+		}
+		return logs
+	}
+}
+
+// synthetic builds a width-14 log of size queries under opts.
+func synthetic(seed int64, size int, opts gen.WorkloadOptions) *dataset.QueryLog {
+	return gen.SyntheticWorkload(dataset.GenericSchema(14), seed, size, opts)
+}
+
+// TestEstimateSoundnessDifferential is the error-measurement harness the
+// ISSUE's acceptance gate names: ≥ 1000 seeded instances spanning every
+// generator family — uniform, attribute-skewed, duplicate-weighted, the real
+// cars workload, planted-clique adversarial logs, and degenerate logs (empty,
+// all-duplicate, single-query) — each scored against the exact weighted
+// Satisfied count. The certified interval must contain the exact count on
+// every single instance; the per-family point-estimate error quantiles are
+// logged so regressions in tightness are visible in the test log.
+func TestEstimateSoundnessDifferential(t *testing.T) {
+	skewW := make([]float64, 14)
+	for i := range skewW {
+		skewW[i] = 1 / float64(i+1)
+	}
+	carsTab := gen.Cars(1, 400)
+
+	families := []diffFamily{
+		{"uniform", diffLogs(10, func(seed int64) *dataset.QueryLog {
+			return synthetic(seed+10, 120+20*int(seed%5), gen.WorkloadOptions{})
+		})},
+		{"skewed", diffLogs(10, func(seed int64) *dataset.QueryLog {
+			return synthetic(seed+30, 150, gen.WorkloadOptions{AttrWeights: skewW})
+		})},
+		{"weighted", diffLogs(10, func(seed int64) *dataset.QueryLog {
+			base := synthetic(seed+50, 150, gen.WorkloadOptions{AttrWeights: skewW})
+			log := dataset.NewQueryLog(base.Schema)
+			for i, q := range base.Queries {
+				if err := log.AppendWeighted(q, 1+(i+int(seed))%9); err != nil {
+					t.Fatal(err)
+				}
+			}
+			return log
+		})},
+		{"cars-real", diffLogs(10, func(seed int64) *dataset.QueryLog {
+			return gen.RealWorkload(carsTab, seed+70, 120)
+		})},
+		{"clique", diffLogs(10, func(seed int64) *dataset.QueryLog {
+			g, _ := gen.PlantedCliqueGraph(seed+90, 20, 5, 0.3)
+			log, _ := gen.CliqueInstance(g)
+			return log
+		})},
+		{"degenerate", func() []*dataset.QueryLog {
+			empty := dataset.NewQueryLog(dataset.GenericSchema(6))
+			single := dataset.NewQueryLog(dataset.GenericSchema(6))
+			if err := single.AppendWeighted(bitvec.FromIndices(6, 1, 3), 7); err != nil {
+				t.Fatal(err)
+			}
+			dup := dataset.NewQueryLog(dataset.GenericSchema(6))
+			for i := 0; i < 40; i++ {
+				if err := dup.AppendWeighted(bitvec.FromIndices(6, 0, 2), 1+i%3); err != nil {
+					t.Fatal(err)
+				}
+			}
+			wide := dataset.NewQueryLog(dataset.GenericSchema(6))
+			for i := 0; i < 20; i++ {
+				if err := wide.Append(bitvec.FromIndices(6, 0, 1, 2, 3, 4, 5)); err != nil {
+					t.Fatal(err)
+				}
+			}
+			return []*dataset.QueryLog{empty, single, dup, wide}
+		}},
+	}
+
+	const perLog = 19 // 5 families × 10 logs × 19 + 4 degenerate logs × 19 ≥ 1000
+	totalInstances := 0
+	for _, fam := range families {
+		fam := fam
+		t.Run(fam.name, func(t *testing.T) {
+			var errsPct []float64
+			instances := 0
+			for li, log := range fam.logs() {
+				model, err := estimate.Build(log, estimate.Options{})
+				if err != nil {
+					t.Fatal(err)
+				}
+				r := rand.New(rand.NewSource(int64(1000 + li)))
+				width := log.Width()
+				for k := 0; k < perLog; k++ {
+					var kept bitvec.Vector
+					if k%2 == 0 {
+						// The serving path: the estimator's own selection.
+						tuple := randomSubset(r, width)
+						kept = model.Keep(tuple, r.Intn(width+1))
+					} else {
+						// Adversarial: arbitrary kept sets the solver never picks.
+						kept = randomSubset(r, width)
+					}
+					iv, err := model.Estimate(context.Background(), kept)
+					if err != nil {
+						t.Fatal(err)
+					}
+					exact := log.Satisfied(kept)
+					if !iv.Contains(exact) {
+						t.Fatalf("log %d kept %s: interval [%d,%d] misses exact %d (point %d)",
+							li, kept, iv.Lo, iv.Hi, exact, iv.Point)
+					}
+					if iv.Exact && iv.Point != exact {
+						t.Fatalf("log %d kept %s: Exact interval with point %d ≠ exact %d", li, kept, iv.Point, exact)
+					}
+					ref := exact
+					if ref < 1 {
+						ref = 1
+					}
+					errsPct = append(errsPct, 100*math.Abs(float64(iv.Point-exact))/float64(ref))
+					instances++
+				}
+			}
+			totalInstances += instances
+			t.Logf("%s: %d instances, point error %% p50=%.1f p90=%.1f max=%.1f",
+				fam.name, instances, quantile(errsPct, 0.50), quantile(errsPct, 0.90), quantile(errsPct, 1))
+		})
+	}
+	if totalInstances < 1000 {
+		t.Fatalf("differential harness covered %d instances, want ≥ 1000", totalInstances)
+	}
+	t.Logf("total: %d instances, zero interval violations", totalInstances)
+}
+
+// randomSubset returns a random attribute subset (possibly empty or full).
+func randomSubset(r *rand.Rand, width int) bitvec.Vector {
+	v := bitvec.New(width)
+	for j := 0; j < width; j++ {
+		if r.Intn(2) == 0 {
+			v.Set(j)
+		}
+	}
+	return v
+}
+
+// quantile is the nearest-rank q-quantile of v.
+func quantile(v []float64, q float64) float64 {
+	if len(v) == 0 {
+		return math.NaN()
+	}
+	s := append([]float64(nil), v...)
+	sort.Float64s(s)
+	i := int(q * float64(len(s)-1))
+	return s[i]
+}
+
+// TestEstimateSoundnessAcrossOptions re-runs a slice of the harness under
+// non-default options — smaller and larger atom sets, pairs-only mining, a
+// starved LP — because the soundness argument must not depend on tuning.
+func TestEstimateSoundnessAcrossOptions(t *testing.T) {
+	log := gen.SyntheticWorkload(dataset.GenericSchema(10), 7, 200, gen.WorkloadOptions{})
+	optsList := []estimate.Options{
+		{MaxAtomAttrs: 1},
+		{MaxAtomAttrs: 3},
+		{MaxAtomAttrs: 8},
+		{MaxItemset: 2},
+		{MinSupport: 1000000}, // nothing mined: arithmetic bounds only
+	}
+	r := rand.New(rand.NewSource(5))
+	for oi, opts := range optsList {
+		opts := opts
+		t.Run(fmt.Sprintf("opts%d", oi), func(t *testing.T) {
+			model, err := estimate.Build(log, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for k := 0; k < 15; k++ {
+				kept := randomSubset(r, log.Width())
+				iv, err := model.Estimate(context.Background(), kept)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if exact := log.Satisfied(kept); !iv.Contains(exact) {
+					t.Fatalf("opts %+v kept %s: [%d,%d] misses %d", opts, kept, iv.Lo, iv.Hi, exact)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,259 @@
+package estimate_test
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"standout/internal/bitvec"
+	"standout/internal/core"
+	"standout/internal/dataset"
+	"standout/internal/estimate"
+	"standout/internal/gen"
+	"standout/internal/lp"
+)
+
+// smallLog builds a deterministic 8-wide log with known structure.
+func smallLog(t *testing.T) *dataset.QueryLog {
+	t.Helper()
+	log := dataset.NewQueryLog(dataset.GenericSchema(8))
+	for _, q := range []struct {
+		attrs  []int
+		weight int
+	}{
+		{[]int{0}, 3},
+		{[]int{0, 1}, 2},
+		{[]int{1, 2}, 1},
+		{[]int{2, 3, 4}, 4},
+		{[]int{5}, 1},
+		{[]int{0, 5}, 2},
+	} {
+		if err := log.AppendWeighted(bitvec.FromIndices(8, q.attrs...), q.weight); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return log
+}
+
+func TestEstimateExactWhenNothingDropped(t *testing.T) {
+	log := smallLog(t)
+	m, err := estimate.Build(log, estimate.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Keeping every occurring attribute drops nothing: the count is exact.
+	all := bitvec.FromIndices(8, 0, 1, 2, 3, 4, 5, 6, 7)
+	iv, err := m.Estimate(context.Background(), all)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !iv.Exact || iv.Lo != log.TotalWeight() || iv.Hi != log.TotalWeight() || iv.Point != log.TotalWeight() {
+		t.Fatalf("full kept: got %+v, want exact total %d", iv, log.TotalWeight())
+	}
+	// Dropping only attributes that never occur (6, 7) is still exact.
+	most := bitvec.FromIndices(8, 0, 1, 2, 3, 4, 5)
+	iv, err = m.Estimate(context.Background(), most)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !iv.Exact || iv.Point != log.TotalWeight() {
+		t.Fatalf("dropping absent attrs: got %+v, want exact total", iv)
+	}
+}
+
+func TestEstimateEmptyLog(t *testing.T) {
+	log := dataset.NewQueryLog(dataset.GenericSchema(4))
+	m, err := estimate.Build(log, estimate.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	iv, err := m.Estimate(context.Background(), bitvec.New(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !iv.Exact || iv.Lo != 0 || iv.Hi != 0 || iv.Point != 0 {
+		t.Fatalf("empty log: got %+v, want exact 0", iv)
+	}
+}
+
+func TestEstimateWidthMismatch(t *testing.T) {
+	m, err := estimate.Build(smallLog(t), estimate.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Estimate(context.Background(), bitvec.New(5)); err == nil {
+		t.Fatal("width mismatch accepted")
+	}
+}
+
+func TestBuildValidation(t *testing.T) {
+	log := dataset.NewQueryLog(dataset.GenericSchema(4))
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := estimate.BuildContext(ctx, log, estimate.Options{}); err == nil {
+		t.Fatal("cancelled build succeeded")
+	}
+}
+
+func TestNewModelValidation(t *testing.T) {
+	pair := bitvec.FromIndices(4, 0, 1)
+	cases := []struct {
+		name  string
+		width int
+		total int
+		sing  []int
+		known []estimate.ItemsetSupport
+	}{
+		{"negative total", 4, -1, []int{0, 0, 0, 0}, nil},
+		{"sing length", 4, 10, []int{1, 2}, nil},
+		{"sing range", 4, 10, []int{1, 2, 11, 0}, nil},
+		{"itemset width", 4, 10, []int{1, 2, 3, 0}, []estimate.ItemsetSupport{{Items: bitvec.FromIndices(5, 0, 1), Support: 1}}},
+		{"itemset support range", 4, 10, []int{1, 2, 3, 0}, []estimate.ItemsetSupport{{Items: pair, Support: 11}}},
+	}
+	for _, c := range cases {
+		if _, err := estimate.NewModel(c.width, c.total, c.sing, c.known, estimate.Options{}); err == nil {
+			t.Errorf("%s: accepted", c.name)
+		}
+	}
+	// Valid inputs: singletons in known are skipped, pairs raise maxSize.
+	m, err := estimate.NewModel(4, 10, []int{4, 3, 2, 0}, []estimate.ItemsetSupport{
+		{Items: bitvec.FromIndices(4, 0), Support: 4},
+		{Items: pair, Support: 2},
+	}, estimate.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Itemsets() != 1 {
+		t.Fatalf("Itemsets = %d, want 1 (singleton skipped)", m.Itemsets())
+	}
+	if m.Singleton(0) != 4 || m.TotalWeight() != 10 || m.Width() != 4 {
+		t.Fatalf("accessors: sing0=%d total=%d width=%d", m.Singleton(0), m.TotalWeight(), m.Width())
+	}
+}
+
+// TestEstimateLPFallbackStillSound starves the simplex (MaxIters 1) so the
+// LP tightening fails: the interval must fall back to the arithmetic bounds
+// and still contain the exact count.
+func TestEstimateLPFallbackStillSound(t *testing.T) {
+	log := smallLog(t)
+	m, err := estimate.Build(log, estimate.Options{LP: lp.Options{MaxIters: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	kept := bitvec.FromIndices(8, 0, 1)
+	iv, err := m.Estimate(context.Background(), kept)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if iv.LPTight {
+		t.Fatal("LP reported tight with a 1-iteration budget")
+	}
+	if exact := log.Satisfied(kept); !iv.Contains(exact) {
+		t.Fatalf("fallback interval [%d,%d] misses exact %d", iv.Lo, iv.Hi, exact)
+	}
+}
+
+func TestEstimateCancelled(t *testing.T) {
+	m, err := estimate.Build(smallLog(t), estimate.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := m.Estimate(ctx, bitvec.FromIndices(8, 0)); err == nil {
+		t.Fatal("cancelled estimate succeeded")
+	}
+}
+
+// TestKeepMatchesConsumeAttr pins the selection-rule equivalence the serve
+// and shard layers rely on: Model.Keep evaluated on stored frequencies picks
+// bit-identical kept sets to the core.ConsumeAttr solver scanning the log.
+func TestKeepMatchesConsumeAttr(t *testing.T) {
+	tab := gen.Cars(3, 500)
+	log := gen.SyntheticWorkload(tab.Schema, 4, 800, gen.WorkloadOptions{})
+	m, err := estimate.Build(log, estimate.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for seed := int64(0); seed < 20; seed++ {
+		tuple := gen.RandomTuple(log.Schema, 50+seed, 0.5)
+		for _, budget := range []int{0, 1, 3, tuple.Count(), tuple.Count() + 5} {
+			sol, err := core.ConsumeAttr{}.Solve(core.Instance{Log: log, Tuple: tuple, M: budget})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if kept := m.Keep(tuple, budget); !kept.Equal(sol.Kept) {
+				t.Fatalf("seed %d m=%d: Keep %s, ConsumeAttr %s", seed, budget, kept, sol.Kept)
+			}
+		}
+	}
+}
+
+func TestKeepClampsBudget(t *testing.T) {
+	m, err := estimate.Build(smallLog(t), estimate.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tuple := bitvec.FromIndices(8, 0, 2)
+	if kept := m.Keep(tuple, -3); kept.Count() != 0 {
+		t.Fatalf("negative budget kept %s", kept)
+	}
+	if kept := m.Keep(tuple, 99); !kept.Equal(tuple) {
+		t.Fatalf("oversized budget kept %s, want the whole tuple", kept)
+	}
+}
+
+func TestIntervalContains(t *testing.T) {
+	iv := estimate.Interval{Lo: 2, Hi: 5}
+	for n, want := range map[int]bool{1: false, 2: true, 4: true, 5: true, 6: false} {
+		if iv.Contains(n) != want {
+			t.Errorf("Contains(%d) = %v", n, !want)
+		}
+	}
+}
+
+// TestNewModelLoosensWithoutCertificate: the same frequencies produce a
+// wider (or equal) interval through NewModel — which carries no mining-
+// completeness certificate — than through Build, and both stay sound.
+func TestNewModelLoosensWithoutCertificate(t *testing.T) {
+	log := smallLog(t)
+	built, err := estimate.Build(log, estimate.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sing := make([]int, log.Width())
+	for j := range sing {
+		sing[j] = built.Singleton(j)
+	}
+	external, err := estimate.NewModel(log.Width(), log.TotalWeight(), sing, nil, estimate.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	kept := bitvec.FromIndices(8, 0, 3)
+	exact := log.Satisfied(kept)
+	ivB, err := built.Estimate(context.Background(), kept)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ivE, err := external.Estimate(context.Background(), kept)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ivB.Contains(exact) || !ivE.Contains(exact) {
+		t.Fatalf("soundness: built [%d,%d], external [%d,%d], exact %d", ivB.Lo, ivB.Hi, ivE.Lo, ivE.Hi, exact)
+	}
+	if ivE.Hi-ivE.Lo < ivB.Hi-ivB.Lo {
+		t.Fatalf("certificate-free interval [%d,%d] tighter than mined [%d,%d]", ivE.Lo, ivE.Hi, ivB.Lo, ivB.Hi)
+	}
+}
+
+func TestBuildRejectsInvalidLog(t *testing.T) {
+	log := dataset.NewQueryLog(dataset.GenericSchema(4))
+	if err := log.AppendWeighted(bitvec.FromIndices(4, 1), 2); err != nil {
+		t.Fatal(err)
+	}
+	log.Weights[0] = -1
+	if _, err := estimate.Build(log, estimate.Options{}); err == nil || !strings.Contains(err.Error(), "weight") {
+		t.Fatalf("invalid log: err = %v", err)
+	}
+}

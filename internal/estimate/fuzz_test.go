@@ -1,0 +1,81 @@
+package estimate_test
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+
+	"standout/internal/bitvec"
+	"standout/internal/dataset"
+	"standout/internal/estimate"
+	"standout/internal/lp"
+)
+
+// FuzzEstimateSoundness fuzzes the one invariant the estimator is allowed to
+// promise: the certified interval contains the exact weighted Satisfied
+// count, for any log (including empty, all-duplicate and weighted ones), any
+// kept set, and both the default and a deliberately starved LP
+// configuration. data encodes the log as 3-byte records — two mask bytes and
+// a weight byte — so the fuzzer can drive duplicates, heavy weights and
+// degenerate shapes directly.
+func FuzzEstimateSoundness(f *testing.F) {
+	f.Add(int64(1), uint8(6), uint8(3), []byte{})                                       // empty log
+	f.Add(int64(2), uint8(8), uint8(4), []byte("\x03\x00\x01\x05\x00\x02"))             // tiny log
+	f.Add(int64(3), uint8(4), uint8(2), []byte("\x05\x00\x07\x05\x00\x07\x05\x00\x07")) // all-duplicate, weighted
+	f.Add(int64(4), uint8(12), uint8(9), []byte("\xff\x0f\x01\x01\x00\x09\xfe\x0f\x03"))
+	f.Add(int64(5), uint8(9), uint8(0), []byte("\x00\x01\x05\x21\x00\x01\x10\x01\x08"))
+	f.Fuzz(func(t *testing.T, seed int64, width, mb uint8, data []byte) {
+		w := 1 + int(width%12) // 1..12 attributes
+		log := dataset.NewQueryLog(dataset.GenericSchema(w))
+		for i := 0; i+2 < len(data); i += 3 {
+			mask := (int(data[i]) | int(data[i+1])<<8) % (1 << w)
+			if mask == 0 {
+				continue // a query must demand at least one attribute
+			}
+			q := bitvec.New(w)
+			for j := 0; j < w; j++ {
+				if mask&(1<<j) != 0 {
+					q.Set(j)
+				}
+			}
+			if err := log.AppendWeighted(q, 1+int(data[i+2]%9)); err != nil {
+				t.Fatal(err)
+			}
+		}
+
+		r := rand.New(rand.NewSource(seed))
+		tuple := bitvec.New(w)
+		for j := 0; j < w; j++ {
+			if r.Intn(2) == 0 {
+				tuple.Set(j)
+			}
+		}
+		budget := int(mb) % (w + 1)
+
+		for _, opts := range []estimate.Options{
+			{},
+			{MaxAtomAttrs: 2, MaxItemset: 2, LP: lp.Options{MaxIters: 1}},
+		} {
+			model, err := estimate.Build(log, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, kept := range []bitvec.Vector{model.Keep(tuple, budget), tuple} {
+				iv, err := model.Estimate(context.Background(), kept)
+				if err != nil {
+					t.Fatal(err)
+				}
+				exact := log.Satisfied(kept)
+				if !iv.Contains(exact) {
+					t.Fatalf("opts %+v kept %s: interval [%d,%d] misses exact %d", opts, kept, iv.Lo, iv.Hi, exact)
+				}
+				if iv.Lo < 0 || iv.Hi > log.TotalWeight() || iv.Point < iv.Lo || iv.Point > iv.Hi {
+					t.Fatalf("opts %+v kept %s: malformed interval %+v (total %d)", opts, kept, iv, log.TotalWeight())
+				}
+				if iv.Exact != (iv.Lo == iv.Hi) {
+					t.Fatalf("kept %s: Exact flag %v disagrees with [%d,%d]", kept, iv.Exact, iv.Lo, iv.Hi)
+				}
+			}
+		}
+	})
+}

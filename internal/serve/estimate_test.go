@@ -1,0 +1,427 @@
+package serve
+
+import (
+	"context"
+	"net/http"
+	"sync"
+	"testing"
+	"time"
+
+	"standout/internal/bitvec"
+	"standout/internal/core"
+	"standout/internal/dataset"
+	"standout/internal/fault"
+	"standout/internal/gen"
+)
+
+// warmEstimator deterministically does what the background goroutine does
+// after a prep build: forces the prep for the server's current log and warms
+// its estimator model, so tests can pin ladder behaviour without racing the
+// async warm.
+func warmEstimator(t *testing.T, s *Server) {
+	t.Helper()
+	p, err := s.prep.get(context.Background(), s.CurrentLog())
+	if err != nil {
+		t.Fatalf("warm prep: %v", err)
+	}
+	if _, err := p.EstimatorModel(context.Background()); err != nil {
+		t.Fatalf("warm estimator model: %v", err)
+	}
+}
+
+// keptOf parses a response's kept bit string against the log schema.
+func keptOf(t *testing.T, log *dataset.QueryLog, resp solveResponse) bitvec.Vector {
+	t.Helper()
+	kept, err := dataset.ParseTuple(log.Schema, resp.KeptBits)
+	if err != nil {
+		t.Fatalf("parse kept_bits %q: %v", resp.KeptBits, err)
+	}
+	return kept
+}
+
+// TestEstimateAlgoDirect: algo=estimate is requestable like any other solver
+// and its 200 carries estimated:true plus a certified interval containing
+// the exact weighted Satisfied count of the kept set it returned.
+func TestEstimateAlgoDirect(t *testing.T) {
+	_, ts, log, tuples := newTestServer(t, nil)
+	status, raw := postJSON(t, ts.URL+"/solve",
+		solveRequest{Tuple: tuples[0].String(), M: 4, Algo: "estimate"})
+	if status != http.StatusOK {
+		t.Fatalf("status %d, body %s", status, raw)
+	}
+	resp := decode[solveResponse](t, raw)
+	if resp.Solver != "estimate" || resp.Degraded {
+		t.Fatalf("solver %q degraded %v, want estimate/false", resp.Solver, resp.Degraded)
+	}
+	if !resp.Estimated || resp.Estimate == nil {
+		t.Fatalf("estimate solve without estimated marker or bounds: %+v", resp)
+	}
+	if resp.Satisfied < resp.Estimate.Lo || resp.Satisfied > resp.Estimate.Hi {
+		t.Fatalf("point %d outside own interval [%d,%d]", resp.Satisfied, resp.Estimate.Lo, resp.Estimate.Hi)
+	}
+	exact := log.Satisfied(keptOf(t, log, resp))
+	if exact < resp.Estimate.Lo || exact > resp.Estimate.Hi {
+		t.Fatalf("interval [%d,%d] misses exact %d", resp.Estimate.Lo, resp.Estimate.Hi, exact)
+	}
+}
+
+// TestEstimateRungFiresBelowGreedyBudget pins the ladder's new bottom: with
+// a warmed model and every floor above the request deadline — including
+// greedy's — the estimate rung answers, degraded, with a sound interval.
+func TestEstimateRungFiresBelowGreedyBudget(t *testing.T) {
+	s, ts, log, tuples := newTestServer(t, func(c *Config) {
+		c.ExactBudget = time.Hour
+		c.MFIBudget = time.Hour
+		c.GreedyBudget = time.Hour
+	})
+	warmEstimator(t, s)
+	status, raw := postJSON(t, ts.URL+"/solve",
+		solveRequest{Tuple: tuples[1].String(), M: 5, Algo: "brute", TimeoutMS: 500})
+	if status != http.StatusOK {
+		t.Fatalf("status %d, body %s", status, raw)
+	}
+	resp := decode[solveResponse](t, raw)
+	if resp.Solver != "estimate" || !resp.Degraded {
+		t.Fatalf("solver %q degraded %v, want estimate/true", resp.Solver, resp.Degraded)
+	}
+	if !resp.Estimated || resp.Estimate == nil {
+		t.Fatalf("estimate rung answer missing marker/bounds: %+v", resp)
+	}
+	exact := log.Satisfied(keptOf(t, log, resp))
+	if exact < resp.Estimate.Lo || exact > resp.Estimate.Hi {
+		t.Fatalf("interval [%d,%d] misses exact %d", resp.Estimate.Lo, resp.Estimate.Hi, exact)
+	}
+	if s.met.estimated.Value() == 0 {
+		t.Error("estimated counter not incremented")
+	}
+}
+
+// TestEstimateRungAboveGreedyBudgetStaysGreedy: with a warmed model but a
+// deadline comfortably above GreedyBudget, greedy still answers — the
+// estimate rung only fires below greedy's floor.
+func TestEstimateRungAboveGreedyBudgetStaysGreedy(t *testing.T) {
+	s, ts, log, tuples := newTestServer(t, func(c *Config) {
+		c.ExactBudget = time.Hour
+		c.MFIBudget = time.Hour
+		c.GreedyBudget = time.Millisecond
+	})
+	warmEstimator(t, s)
+	status, raw := postJSON(t, ts.URL+"/solve",
+		solveRequest{Tuple: tuples[1].String(), M: 5, Algo: "brute", TimeoutMS: 2000})
+	if status != http.StatusOK {
+		t.Fatalf("status %d, body %s", status, raw)
+	}
+	resp := decode[solveResponse](t, raw)
+	if resp.Solver != "greedy" || !resp.Degraded {
+		t.Fatalf("solver %q degraded %v, want greedy/true", resp.Solver, resp.Degraded)
+	}
+	if resp.Estimated || resp.Estimate != nil {
+		t.Fatalf("greedy answer marked estimated: %+v", resp)
+	}
+	if exact := log.Satisfied(keptOf(t, log, resp)); resp.Satisfied != exact {
+		t.Fatalf("greedy satisfied %d ≠ recount %d", resp.Satisfied, exact)
+	}
+}
+
+// TestEstimateRungRequiresWarmModel: before any prep (and hence any model)
+// exists, the ladder is exactly the pre-estimate chain — the very first
+// request under hour-high floors bottoms out at greedy, never at an
+// unwarmed estimate rung.
+func TestEstimateRungRequiresWarmModel(t *testing.T) {
+	_, ts, _, tuples := newTestServer(t, func(c *Config) {
+		c.ExactBudget = time.Hour
+		c.MFIBudget = time.Hour
+		c.GreedyBudget = time.Hour
+	})
+	status, raw := postJSON(t, ts.URL+"/solve",
+		solveRequest{Tuple: tuples[0].String(), M: 5, Algo: "brute", TimeoutMS: 500})
+	if status != http.StatusOK {
+		t.Fatalf("status %d, body %s", status, raw)
+	}
+	resp := decode[solveResponse](t, raw)
+	if resp.Solver != "greedy" || resp.Estimated {
+		t.Fatalf("first request solver %q estimated %v, want greedy/false", resp.Solver, resp.Estimated)
+	}
+}
+
+// TestExactRungsStayExactOnWeightedLog is the regression gate for the rungs
+// above estimate: on a weighted log, every non-estimated answer's Satisfied
+// must equal the exact weighted recount, carry no bounds, and sit at or
+// above the weighted greedy baseline — adding the estimate rung must not
+// leak approximation into them.
+func TestExactRungsStayExactOnWeightedLog(t *testing.T) {
+	wlog, tuples := weightedWorkload(t, 11)
+	s, ts, _, _ := newTestServer(t, func(c *Config) {
+		c.Log = wlog
+	})
+	warmEstimator(t, s)
+	for _, algo := range []string{"brute", "mfi-exact", "greedy", "consumeattrcumul"} {
+		for _, tuple := range tuples[:4] {
+			status, raw := postJSON(t, ts.URL+"/solve",
+				solveRequest{Tuple: tuple.String(), M: 5, Algo: algo, TimeoutMS: 10000})
+			if status != http.StatusOK {
+				t.Fatalf("%s: status %d, body %s", algo, status, raw)
+			}
+			resp := decode[solveResponse](t, raw)
+			if resp.Solver != algo || resp.Degraded {
+				t.Fatalf("%s: served by %q degraded %v", algo, resp.Solver, resp.Degraded)
+			}
+			if resp.Estimated || resp.Estimate != nil {
+				t.Fatalf("%s: exact rung marked estimated: %+v", algo, resp)
+			}
+			exact := wlog.Satisfied(keptOf(t, wlog, resp))
+			if resp.Satisfied != exact {
+				t.Fatalf("%s tuple %s: satisfied %d ≠ weighted recount %d", algo, tuple, resp.Satisfied, exact)
+			}
+			if base := greedyBaseline(t, wlog, tuple, 5); resp.Satisfied < base {
+				t.Fatalf("%s tuple %s: satisfied %d < weighted greedy baseline %d", algo, tuple, resp.Satisfied, base)
+			}
+		}
+	}
+}
+
+// TestShedEstimateServes200 is the shed-of-last-resort acceptance test: one
+// solve slot, one queue slot, a slow solver, ten concurrent callers, and
+// ShedEstimate on with a warmed model — every request comes back 200, the
+// shed ones estimated with sound intervals, and not a single 429 escapes.
+func TestShedEstimateServes200(t *testing.T) {
+	s, ts, log, tuples := newTestServer(t, func(c *Config) {
+		c.ShedEstimate = true
+		c.MaxConcurrent = 1
+		c.MaxQueue = 1
+		c.Injector = fault.New(7, fault.Rule{
+			Site: "serve.solve", Kind: fault.KindDelay, Delay: 100 * time.Millisecond})
+	})
+	warmEstimator(t, s)
+
+	const n = 10
+	statuses := make([]int, n)
+	bodies := make([]solveResponse, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			status, raw := postJSON(t, ts.URL+"/solve",
+				solveRequest{Tuple: tuples[i%len(tuples)].String(), M: 4, TimeoutMS: 5000})
+			statuses[i] = status
+			if status == http.StatusOK {
+				bodies[i] = decode[solveResponse](t, raw)
+			}
+		}(i)
+	}
+	wg.Wait()
+
+	estimated := 0
+	for i, status := range statuses {
+		if status != http.StatusOK {
+			t.Errorf("request %d: status %d, want 200 (shed requests must be estimated, not 429)", i, status)
+			continue
+		}
+		resp := bodies[i]
+		if !resp.Estimated {
+			continue // admitted: served exactly by the ladder
+		}
+		estimated++
+		if resp.Solver != "estimate" || resp.Estimate == nil {
+			t.Errorf("request %d: estimated response via %q bounds %v", i, resp.Solver, resp.Estimate)
+			continue
+		}
+		exact := log.Satisfied(keptOf(t, log, resp))
+		if exact < resp.Estimate.Lo || exact > resp.Estimate.Hi {
+			t.Errorf("request %d: interval [%d,%d] misses exact %d", i, resp.Estimate.Lo, resp.Estimate.Hi, exact)
+		}
+	}
+	if estimated == 0 {
+		t.Fatalf("no requests shed-estimated with 1 slot + 1 queue and %d concurrent callers", n)
+	}
+	if estimated == n {
+		t.Fatal("every request estimated; admitted requests should still solve exactly")
+	}
+	if got := s.met.shedEstimated.Value(); got != int64(estimated) {
+		t.Fatalf("shedEstimated metric %d, want %d", got, estimated)
+	}
+	if got := s.met.shed.Value(); got != 0 {
+		t.Fatalf("shed(429) metric %d, want 0: shed storm must end in estimated 200s", got)
+	}
+}
+
+// TestShedEstimateDisabledStill429s: the flag off is the pre-estimate
+// behaviour — overload sheds with 429 even when a model is warmed.
+func TestShedEstimateDisabledStill429s(t *testing.T) {
+	s, ts, _, tuples := newTestServer(t, func(c *Config) {
+		c.MaxConcurrent = 1
+		c.MaxQueue = 1
+		c.Injector = fault.New(7, fault.Rule{
+			Site: "serve.solve", Kind: fault.KindDelay, Delay: 100 * time.Millisecond})
+	})
+	warmEstimator(t, s)
+	const n = 10
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	shed := 0
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			status, _ := postJSON(t, ts.URL+"/solve",
+				solveRequest{Tuple: tuples[i%len(tuples)].String(), M: 4, TimeoutMS: 5000})
+			if status == http.StatusTooManyRequests {
+				mu.Lock()
+				shed++
+				mu.Unlock()
+			}
+		}(i)
+	}
+	wg.Wait()
+	if shed == 0 {
+		t.Fatal("no 429s with ShedEstimate off under forced overload")
+	}
+	if got := s.met.shedEstimated.Value(); got != 0 {
+		t.Fatalf("shedEstimated metric %d with the flag off", got)
+	}
+}
+
+// TestEstimateBatchCarriesBounds: estimated answers surface identically
+// through /solve/batch items.
+func TestEstimateBatchCarriesBounds(t *testing.T) {
+	_, ts, log, tuples := newTestServer(t, nil)
+	specs := []string{tuples[0].String(), tuples[1].String()}
+	status, raw := postJSON(t, ts.URL+"/solve/batch",
+		batchRequest{Tuples: specs, M: 4, Algo: "estimate", TimeoutMS: 5000})
+	if status != http.StatusOK {
+		t.Fatalf("status %d, body %s", status, raw)
+	}
+	resp := decode[batchResponse](t, raw)
+	if len(resp.Results) != len(specs) {
+		t.Fatalf("got %d results, want %d", len(resp.Results), len(specs))
+	}
+	for i, item := range resp.Results {
+		if item.Error != "" || item.Result == nil {
+			t.Fatalf("item %d: error %q", i, item.Error)
+		}
+		r := item.Result
+		if !r.Estimated || r.Estimate == nil {
+			t.Fatalf("item %d: estimated batch item missing bounds: %+v", i, r)
+		}
+		exact := log.Satisfied(keptOf(t, log, *r))
+		if exact < r.Estimate.Lo || exact > r.Estimate.Hi {
+			t.Fatalf("item %d: interval [%d,%d] misses exact %d", i, r.Estimate.Lo, r.Estimate.Hi, exact)
+		}
+	}
+}
+
+// TestEstimateRungSurvivesLogSwap: after a copy-on-write append swaps the
+// log, the old generation's model no longer matches — the ladder must not
+// serve a stale interval. A degraded request right after the swap either
+// re-bottoms at greedy (model not yet re-warmed) or serves an estimate whose
+// interval is sound against the new log.
+func TestEstimateRungSurvivesLogSwap(t *testing.T) {
+	s, ts, _, tuples := newTestServer(t, func(c *Config) {
+		c.ExactBudget = time.Hour
+		c.MFIBudget = time.Hour
+		c.GreedyBudget = time.Hour
+	})
+	warmEstimator(t, s)
+	if status, raw := postJSON(t, ts.URL+"/log", appendRequest{Append: []string{tuples[2].String()}}); status != http.StatusOK {
+		t.Fatalf("append: status %d body %s", status, raw)
+	}
+	newLog := s.CurrentLog()
+	status, raw := postJSON(t, ts.URL+"/solve",
+		solveRequest{Tuple: tuples[1].String(), M: 5, Algo: "brute", TimeoutMS: 2000})
+	if status != http.StatusOK {
+		t.Fatalf("status %d, body %s", status, raw)
+	}
+	resp := decode[solveResponse](t, raw)
+	switch {
+	case resp.Estimated:
+		exact := newLog.Satisfied(keptOf(t, newLog, resp))
+		if resp.Estimate == nil || exact < resp.Estimate.Lo || exact > resp.Estimate.Hi {
+			t.Fatalf("post-swap estimate unsound: %+v vs exact %d", resp, exact)
+		}
+	case resp.Solver == "greedy":
+		if exact := newLog.Satisfied(keptOf(t, newLog, resp)); resp.Satisfied != exact {
+			t.Fatalf("post-swap greedy satisfied %d ≠ recount %d", resp.Satisfied, exact)
+		}
+	default:
+		t.Fatalf("post-swap solver %q (degraded %v)", resp.Solver, resp.Degraded)
+	}
+}
+
+// TestEstimateKeptMatchesGreedySelection: the estimate rung answers with
+// ConsumeAttr's kept set — the interval is about the count, never about
+// which attributes survive.
+func TestEstimateKeptMatchesGreedySelection(t *testing.T) {
+	_, ts, log, tuples := newTestServer(t, nil)
+	tuple := tuples[3]
+	status, raw := postJSON(t, ts.URL+"/solve",
+		solveRequest{Tuple: tuple.String(), M: 4, Algo: "estimate"})
+	if status != http.StatusOK {
+		t.Fatalf("status %d, body %s", status, raw)
+	}
+	resp := decode[solveResponse](t, raw)
+	sol, err := core.ConsumeAttr{}.Solve(core.Instance{Log: log, Tuple: tuple, M: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kept := keptOf(t, log, resp); !kept.Equal(sol.Kept) {
+		t.Fatalf("estimate kept %s, ConsumeAttr kept %s", kept, sol.Kept)
+	}
+}
+
+// TestChaosStormShedEstimate extends the chaos acceptance storms: with
+// ShedEstimate on and a starved admission gate, a full fault storm must
+// still end shed requests in estimated 200s — the counter proves the path
+// ran under panics, forced staleness and rebuild faults, and wellFormed
+// (via storm) checks every estimated body carries a consistent interval.
+func TestChaosStormShedEstimate(t *testing.T) {
+	srv, ts, log, tuples := newTestServer(t, func(c *Config) {
+		c.Injector = chaosInjector(3)
+		c.ShedEstimate = true
+		c.MaxConcurrent = 1
+		c.MaxQueue = 2
+		c.ExactBudget = 50 * time.Millisecond
+		c.MFIBudget = 5 * time.Millisecond
+		c.GreedyReserve = 2 * time.Millisecond
+	})
+	// The storm's forced touches and rebuild faults churn the prep, and the
+	// shed path needs a warmed model for the current generation — re-warm
+	// between rounds and keep storming until the path demonstrably fires.
+	for round := 0; round < 5; round++ {
+		warmEstimator(t, srv)
+		storm(t, ts, log, tuples, 300+int64(round), 8, 25, false)
+		if srv.met.shedEstimated.Value() > 0 {
+			break
+		}
+	}
+	if srv.met.requests.Value() == 0 {
+		t.Fatal("storm sent no requests")
+	}
+	t.Logf("shed storm: requests=%d shed429=%d shedEstimated=%d estimated=%d degraded=%d",
+		srv.met.requests.Value(), srv.met.shed.Value(), srv.met.shedEstimated.Value(),
+		srv.met.estimated.Value(), srv.met.degraded.Value())
+	if srv.met.shedEstimated.Value() == 0 {
+		t.Error("chaos storm with ShedEstimate never answered a shed request with an estimate")
+	}
+}
+
+// estimateGen keeps the gen import honest in this file and pins that the
+// estimate algo also behaves on a synthetic log that is not the cars
+// workload the other tests share.
+func TestEstimateAlgoSyntheticLog(t *testing.T) {
+	slog := gen.SyntheticWorkload(dataset.GenericSchema(10), 9, 200, gen.WorkloadOptions{})
+	tuple := gen.RandomTuple(slog.Schema, 10, 0.6)
+	_, ts, _, _ := newTestServer(t, func(c *Config) { c.Log = slog })
+	status, raw := postJSON(t, ts.URL+"/solve",
+		solveRequest{Tuple: tuple.String(), M: 3, Algo: "estimate"})
+	if status != http.StatusOK {
+		t.Fatalf("status %d, body %s", status, raw)
+	}
+	resp := decode[solveResponse](t, raw)
+	if !resp.Estimated || resp.Estimate == nil {
+		t.Fatalf("missing estimate marker/bounds: %+v", resp)
+	}
+	if exact := slog.Satisfied(keptOf(t, slog, resp)); exact < resp.Estimate.Lo || exact > resp.Estimate.Hi {
+		t.Fatalf("interval [%d,%d] misses exact %d", resp.Estimate.Lo, resp.Estimate.Hi, exact)
+	}
+}

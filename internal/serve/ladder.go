@@ -28,11 +28,13 @@ var algorithms = map[string]func(workers int) core.Solver{
 	"consumeattrcumul": func(int) core.Solver { return core.ConsumeAttrCumul{} },
 	"consumequeries":   func(int) core.Solver { return core.ConsumeQueries{} },
 	"greedy":           func(int) core.Solver { return core.ConsumeAttrCumul{} },
+	"estimate":         func(int) core.Solver { return core.Estimate{} },
 }
 
 // greedyNames are the rungless algorithms: already the cheapest tier.
 var greedyNames = map[string]bool{
 	"consumeattr": true, "consumeattrcumul": true, "consumequeries": true, "greedy": true,
+	"estimate": true,
 }
 
 // AlgoNames lists the accepted algo values, sorted.
@@ -47,33 +49,70 @@ func AlgoNames() []string {
 
 // rung is one step of the degradation ladder: a solver, its response name,
 // and the minimum remaining deadline budget worth attempting it with.
+// direct rungs solve without the shared prep — the estimate rung carries its
+// own model and must not block on a prep rebuild it does not need.
 type rung struct {
 	name   string
 	solver core.Solver
 	floor  time.Duration
+	direct bool
 }
 
 // ladder builds the fallback chain for a requested algorithm:
 //
-//	exact (brute|ip|ilp)  →  mfi-exact  →  greedy
-//	mfi | mfi-exact       →  greedy
-//	greedy tier           →  (no fallback; already the floor)
+//	exact (brute|ip|ilp)  →  mfi-exact  →  greedy  [→  estimate]
+//	mfi | mfi-exact       →  greedy  [→  estimate]
+//	greedy tier           →  [estimate]
+//	estimate              →  (no fallback; nothing is cheaper)
 //
-// Every rung above greedy is exact, so any answer the ladder produces —
-// degraded or not — satisfies at least as many queries as the greedy
-// baseline on the same instance.
-func (s *Server) ladder(algo string) []rung {
-	requested := rung{algo, algorithms[algo](s.cfg.SolverWorkers), s.cfg.ExactBudget}
-	greedy := rung{"greedy", core.ConsumeAttrCumul{}, 0}
-	if greedyNames[algo] {
-		return []rung{{algo, algorithms[algo](s.cfg.SolverWorkers), 0}}
+// Every rung above greedy is exact, so any non-estimated answer the ladder
+// produces — degraded or not — satisfies at least as many queries as the
+// greedy baseline on the same instance. The estimate rung (DESIGN.md §16)
+// joins the chain only when a warmed model for the request's log generation
+// exists; greedy then gets a floor of Config.GreedyBudget and the estimator
+// — which touches neither the log nor the index — becomes the true bottom:
+// under extreme deadline pressure a 200 with a certified interval beats a
+// 504. While no model is warmed, greedy keeps floor zero and the ladder is
+// exactly the pre-estimate chain.
+func (s *Server) ladder(algo string, log *dataset.QueryLog) []rung {
+	est, warmed := s.estimateRung(log)
+	if algo == "estimate" {
+		if warmed {
+			return []rung{est}
+		}
+		// No warmed model: the solver builds one from the prep (or log) itself.
+		return []rung{{name: algo, solver: algorithms[algo](s.cfg.SolverWorkers)}}
 	}
+	greedyFloor := time.Duration(0)
+	var tail []rung
+	if warmed {
+		greedyFloor = s.cfg.GreedyBudget
+		tail = []rung{est}
+	}
+	if greedyNames[algo] {
+		return append([]rung{{name: algo, solver: algorithms[algo](s.cfg.SolverWorkers), floor: greedyFloor}}, tail...)
+	}
+	requested := rung{name: algo, solver: algorithms[algo](s.cfg.SolverWorkers), floor: s.cfg.ExactBudget}
+	greedy := rung{name: "greedy", solver: core.ConsumeAttrCumul{}, floor: greedyFloor}
 	if strings.HasPrefix(algo, "mfi") {
 		requested.floor = s.cfg.MFIBudget
-		return []rung{requested, greedy}
+		return append([]rung{requested, greedy}, tail...)
 	}
-	mfi := rung{"mfi-exact", core.MaxFreqItemSets{Backend: core.BackendExactDFS, Workers: s.cfg.SolverWorkers}, s.cfg.MFIBudget}
-	return []rung{requested, mfi, greedy}
+	mfi := rung{name: "mfi-exact", solver: core.MaxFreqItemSets{Backend: core.BackendExactDFS, Workers: s.cfg.SolverWorkers}, floor: s.cfg.MFIBudget}
+	return append([]rung{requested, mfi, greedy}, tail...)
+}
+
+// estimateRung returns the shed-of-last-resort rung when the cached prep is
+// usable for log and its estimator model has been warmed. The model is
+// injected into the solver directly: the solve then touches neither the log
+// nor the shared index, so the rung works even while the prep churns.
+func (s *Server) estimateRung(log *dataset.QueryLog) (rung, bool) {
+	if p := s.prep.snapshot(); usable(p, log) {
+		if m := p.EstimatorModelReady(); m != nil {
+			return rung{name: "estimate", solver: core.Estimate{Model: m}, direct: true}, true
+		}
+	}
+	return rung{}, false
 }
 
 // solveLadder runs one instance down the degradation ladder under the
@@ -84,7 +123,7 @@ func (s *Server) ladder(algo string) []rung {
 // It returns the solution, the name of the rung that produced it, and
 // whether that was a degradation from the requested algorithm.
 func (s *Server) solveLadder(ctx context.Context, algo string, log *dataset.QueryLog, tuple bitvec.Vector, m int) (core.Solution, string, bool, error) {
-	rungs := s.ladder(algo)
+	rungs := s.ladder(algo, log)
 	deadline, hasDeadline := ctx.Deadline()
 	var lastErr error
 	for i, r := range rungs {
@@ -104,7 +143,18 @@ func (s *Server) solveLadder(ctx context.Context, algo string, log *dataset.Quer
 			}
 			rctx, cancel = context.WithTimeout(ctx, slice)
 		}
-		sol, err := s.attempt(rctx, r.solver, log, tuple, m)
+		var sol core.Solution
+		var err error
+		if r.direct {
+			// The rung carries everything it needs (an injected estimator
+			// model): solve without touching the shared prep, so a rebuild in
+			// flight cannot stall the last rung.
+			sol, err = s.safeSolve(rctx, func(ctx context.Context) (core.Solution, error) {
+				return r.solver.SolveContext(ctx, core.Instance{Log: log, Tuple: tuple, M: m})
+			})
+		} else {
+			sol, err = s.attempt(rctx, r.solver, log, tuple, m)
+		}
 		cancel()
 		if err == nil {
 			return sol, r.name, i > 0, nil

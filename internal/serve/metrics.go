@@ -7,20 +7,22 @@ import "standout/internal/obsv"
 // logs) share one set of counters. The /metrics endpoint renders the whole
 // registry — these plus the core solver metrics recording underneath.
 type metrics struct {
-	requests     *obsv.Counter
-	shed         *obsv.Counter
-	degraded     *obsv.Counter
-	panics       *obsv.Counter
-	failures     *obsv.Counter
-	timeouts     *obsv.Counter
-	prepRebuilds *obsv.Counter
-	prepDeltas   *obsv.Counter
-	prepRetries  *obsv.Counter
-	staleRetries *obsv.Counter
-	logSwaps     *obsv.Counter
-	queueDepth   *obsv.Gauge
-	inflight     *obsv.Gauge
-	latency      *obsv.Histogram
+	requests      *obsv.Counter
+	shed          *obsv.Counter
+	shedEstimated *obsv.Counter
+	estimated     *obsv.Counter
+	degraded      *obsv.Counter
+	panics        *obsv.Counter
+	failures      *obsv.Counter
+	timeouts      *obsv.Counter
+	prepRebuilds  *obsv.Counter
+	prepDeltas    *obsv.Counter
+	prepRetries   *obsv.Counter
+	staleRetries  *obsv.Counter
+	logSwaps      *obsv.Counter
+	queueDepth    *obsv.Gauge
+	inflight      *obsv.Gauge
+	latency       *obsv.Histogram
 }
 
 func newMetrics(r *obsv.Registry) *metrics {
@@ -29,6 +31,10 @@ func newMetrics(r *obsv.Registry) *metrics {
 			"Solve and batch requests accepted for parsing (everything past routing)."),
 		shed: r.Counter("standout_serve_shed_total",
 			"Requests rejected with 429 because the admission queue was full."),
+		shedEstimated: r.Counter("standout_serve_shed_estimated_total",
+			"Admission-shed solve requests answered 200 with a certified estimate instead of a 429 (Config.ShedEstimate)."),
+		estimated: r.Counter("standout_serve_estimated_total",
+			"Responses served by the itemset+LP estimate rung: satisfied counts are certified intervals, not exact."),
 		degraded: r.Counter("standout_serve_degraded_total",
 			"Responses served by a cheaper rung of the degradation ladder than requested."),
 		panics: r.Counter("standout_serve_panics_total",

@@ -79,6 +79,13 @@ func (c *prepCache) get(ctx context.Context, log *dataset.QueryLog) (*core.Prepa
 			c.wait = nil
 			c.mu.Unlock()
 			close(ch)
+			if err == nil {
+				// Warm the estimator model in the background so the ladder's
+				// shed-of-last-resort rung (DESIGN.md §16) is armed without any
+				// request paying the mining pass. Single-flight per prep
+				// generation: EstimatorModel folds concurrent builders.
+				go func() { _, _ = p.EstimatorModel(c.buildCtx) }()
+			}
 			return p, err
 		}
 		ch := c.wait

@@ -73,6 +73,19 @@ type Config struct {
 	// GreedyReserve is the slice of budget an upper rung must leave for the
 	// rungs below it; default 5ms.
 	GreedyReserve time.Duration
+	// GreedyBudget is the minimum remaining deadline budget for which the
+	// greedy rung is attempted once a warmed estimator model exists for the
+	// request's log generation; below it the ladder serves the itemset+LP
+	// estimate rung (DESIGN.md §16) — a 200 carrying estimated:true and a
+	// certified interval instead of a timeout. While no model is warmed,
+	// greedy keeps its floor of zero. Default 1ms.
+	GreedyBudget time.Duration
+	// ShedEstimate answers admission-shed /solve requests with an estimated
+	// 200 (no solve slot consumed: the estimator never touches the log or the
+	// shared index) instead of a 429, when a warmed model for the request's
+	// log generation exists. Off by default: shedding stays a hard 429 unless
+	// opted in.
+	ShedEstimate bool
 	// RebuildRetries bounds prep rebuild attempts and stale-solve retries;
 	// default 3.
 	RebuildRetries int
@@ -132,6 +145,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.GreedyReserve <= 0 {
 		c.GreedyReserve = 5 * time.Millisecond
+	}
+	if c.GreedyBudget <= 0 {
+		c.GreedyBudget = time.Millisecond
 	}
 	if c.RebuildRetries <= 0 {
 		c.RebuildRetries = 3
@@ -314,9 +330,30 @@ type solveResponse struct {
 	Optimal   bool     `json:"optimal"`
 	// Degraded reports that the deadline ladder served a cheaper solver than
 	// requested; Solver names the rung that produced the answer.
-	Degraded  bool    `json:"degraded"`
-	Solver    string  `json:"solver"`
-	ElapsedMS float64 `json:"elapsed_ms"`
+	Degraded bool   `json:"degraded"`
+	Solver   string `json:"solver"`
+	// Estimated reports that Satisfied is a certified point estimate from the
+	// itemset+LP rung (DESIGN.md §16) rather than an exact count; Estimate
+	// then carries the interval containing the exact count.
+	Estimated bool            `json:"estimated,omitempty"`
+	Estimate  *estimateBounds `json:"estimate,omitempty"`
+	ElapsedMS float64         `json:"elapsed_ms"`
+}
+
+// estimateBounds certifies lo ≤ exact satisfied count ≤ hi for an estimated
+// response, against the log generation the estimator model summarized.
+type estimateBounds struct {
+	Lo int `json:"lo"`
+	Hi int `json:"hi"`
+}
+
+// boundsOf extracts an estimated solution's certified interval, nil for
+// exact solutions.
+func boundsOf(sol core.Solution) *estimateBounds {
+	if !sol.Estimated {
+		return nil
+	}
+	return &estimateBounds{Lo: sol.EstLo, Hi: sol.EstHi}
 }
 
 type batchRequest struct {
@@ -391,29 +428,88 @@ func (s *Server) timeoutFor(ms int) time.Duration {
 	return d
 }
 
+// admitErr runs the admission gate for one request: nil means a slot was
+// acquired (the caller must release it), errShed means the queue was full,
+// anything else is a 503-worthy failure.
+func (s *Server) admitErr(ctx context.Context) error {
+	if err := fault.Hit(ctx, "serve.admit"); err != nil {
+		return err
+	}
+	return s.adm.acquire(ctx)
+}
+
+// writeAdmitError maps an admission failure to its response: a full queue is
+// a 429 with a Retry-After hint, anything else a 503.
+func (s *Server) writeAdmitError(ctx context.Context, w http.ResponseWriter, err error) {
+	if errors.Is(err, errShed) {
+		s.met.shed.Add(1)
+		noteInfo(ctx).shed = true
+		w.Header().Set("Retry-After", "1")
+		writeJSON(ctx, w, http.StatusTooManyRequests, errorResponse{
+			Error: "overloaded: admission queue full", RetryAfterMS: 1000,
+		})
+		return
+	}
+	s.met.failures.Add(1)
+	noteInfo(ctx).errMsg = err.Error()
+	writeJSON(ctx, w, http.StatusServiceUnavailable, errorResponse{Error: err.Error()})
+}
+
 // admit runs the admission gate for one request, returning false after
 // writing the 429/503 response itself.
 func (s *Server) admit(ctx context.Context, w http.ResponseWriter) bool {
-	if err := fault.Hit(ctx, "serve.admit"); err != nil {
-		s.met.failures.Add(1)
-		noteInfo(ctx).errMsg = err.Error()
-		writeJSON(ctx, w, http.StatusServiceUnavailable, errorResponse{Error: err.Error()})
+	if err := s.admitErr(ctx); err != nil {
+		s.writeAdmitError(ctx, w, err)
 		return false
 	}
-	if err := s.adm.acquire(ctx); err != nil {
-		if errors.Is(err, errShed) {
-			s.met.shed.Add(1)
-			noteInfo(ctx).shed = true
-			w.Header().Set("Retry-After", "1")
-			writeJSON(ctx, w, http.StatusTooManyRequests, errorResponse{
-				Error: "overloaded: admission queue full", RetryAfterMS: 1000,
-			})
-		} else {
-			noteInfo(ctx).errMsg = err.Error()
-			writeJSON(ctx, w, http.StatusServiceUnavailable, errorResponse{Error: err.Error()})
-		}
+	return true
+}
+
+// shedEstimate is the shed-of-last-resort path (Config.ShedEstimate): an
+// admission-shed solve request is answered 200 with the estimator's
+// certified interval when a warmed model for the request's log generation
+// exists. No solve slot is consumed — the estimator touches neither the log
+// nor the shared index, so serving it cannot deepen the overload. Returns
+// false (leaving the 429 to the caller) when the path is disabled, no model
+// is warmed, or the estimate itself fails.
+func (s *Server) shedEstimate(ctx context.Context, w http.ResponseWriter, log *dataset.QueryLog, tuple bitvec.Vector, m int, algo string, timeoutMS int) bool {
+	if !s.cfg.ShedEstimate {
 		return false
 	}
+	r, ok := s.estimateRung(log)
+	if !ok {
+		return false
+	}
+	ctx, cancel := context.WithTimeout(ctx, s.timeoutFor(timeoutMS))
+	defer cancel()
+	start := time.Now()
+	sol, err := s.safeSolve(ctx, func(ctx context.Context) (core.Solution, error) {
+		return r.solver.SolveContext(ctx, core.Instance{Log: log, Tuple: tuple, M: m})
+	})
+	if err != nil {
+		return false
+	}
+	elapsed := time.Since(start)
+	s.met.latency.ObserveExemplar(elapsed.Seconds(), obsv.TraceIDStringFromContext(ctx))
+	s.met.shedEstimated.Add(1)
+	s.met.estimated.Add(1)
+	degraded := algo != "estimate"
+	if degraded {
+		s.met.degraded.Add(1)
+	}
+	info := noteInfo(ctx)
+	info.algo, info.solver, info.degraded = algo, "estimate", degraded
+	writeJSON(ctx, w, http.StatusOK, solveResponse{
+		Kept:      sol.AttrNames(log.Schema),
+		KeptBits:  sol.Kept.String(),
+		Satisfied: sol.Satisfied,
+		Optimal:   sol.Optimal,
+		Degraded:  degraded,
+		Solver:    "estimate",
+		Estimated: sol.Estimated,
+		Estimate:  boundsOf(sol),
+		ElapsedMS: float64(elapsed) / float64(time.Millisecond),
+	})
 	return true
 }
 
@@ -437,7 +533,11 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	}
 
 	ctx := s.reqCtx(r)
-	if !s.admit(ctx, w) {
+	if err := s.admitErr(ctx); err != nil {
+		if errors.Is(err, errShed) && s.shedEstimate(ctx, w, log, tuple, req.M, algo, req.TimeoutMS) {
+			return
+		}
+		s.writeAdmitError(ctx, w, err)
 		return
 	}
 	defer s.adm.release()
@@ -458,6 +558,9 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	if degraded {
 		s.met.degraded.Add(1)
 	}
+	if sol.Estimated {
+		s.met.estimated.Add(1)
+	}
 	writeJSON(r.Context(), w, http.StatusOK, solveResponse{
 		Kept:      sol.AttrNames(log.Schema),
 		KeptBits:  sol.Kept.String(),
@@ -465,6 +568,8 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		Optimal:   sol.Optimal,
 		Degraded:  degraded,
 		Solver:    used,
+		Estimated: sol.Estimated,
+		Estimate:  boundsOf(sol),
 		ElapsedMS: float64(elapsed) / float64(time.Millisecond),
 	})
 }
@@ -628,6 +733,8 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 				Optimal:   sols[k].Optimal,
 				Degraded:  degraded,
 				Solver:    algo,
+				Estimated: sols[k].Estimated,
+				Estimate:  boundsOf(sols[k]),
 			}}
 		default:
 			items[i] = batchItem{Error: "skipped: batch canceled before this tuple was attempted"}

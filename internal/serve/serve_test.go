@@ -487,5 +487,5 @@ func TestAlgoNamesSortedAndComplete(t *testing.T) {
 
 func ExampleAlgoNames() {
 	fmt.Println(strings.Join(AlgoNames(), " "))
-	// Output: brute consumeattr consumeattrcumul consumequeries greedy ilp ip mfi mfi-exact
+	// Output: brute consumeattr consumeattrcumul consumequeries estimate greedy ilp ip mfi mfi-exact
 }

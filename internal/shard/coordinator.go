@@ -12,6 +12,7 @@ import (
 	"standout/internal/bitvec"
 	"standout/internal/core"
 	"standout/internal/dataset"
+	"standout/internal/estimate"
 	"standout/internal/fault"
 	"standout/internal/obsv"
 )
@@ -57,6 +58,12 @@ type Config struct {
 	// ExactBudget is the minimum remaining deadline for which the brute rung
 	// is attempted; below it the request degrades to greedy. Default 250ms.
 	ExactBudget time.Duration
+	// GreedyBudget is the minimum remaining deadline for which the greedy
+	// rungs (greedy/consumeattr/consumeattrcumul, and brute already degraded
+	// to greedy) are attempted; below it the request degrades to the
+	// two-round estimate rung (DESIGN.md §16), whose response carries
+	// estimated:true with a certified interval. Default 25ms.
+	GreedyBudget time.Duration
 
 	// Seed drives backoff jitter; default 1.
 	Seed int64
@@ -108,6 +115,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.ExactBudget <= 0 {
 		c.ExactBudget = 250 * time.Millisecond
+	}
+	if c.GreedyBudget <= 0 {
+		c.GreedyBudget = 25 * time.Millisecond
 	}
 	if c.Seed == 0 {
 		c.Seed = 1
@@ -231,6 +241,7 @@ func (c *Coordinator) Health() []ShardHealth {
 // only ever answer additive counting calls.
 var coordinatorAlgos = map[string]bool{
 	"brute": true, "greedy": true, "consumeattr": true, "consumeattrcumul": true,
+	"estimate": true,
 }
 
 // AlgoNames lists the accepted algo values, sorted.
@@ -306,11 +317,17 @@ func (c *Coordinator) Solve(ctx context.Context, tuple bitvec.Vector, m int, alg
 	res := Result{}
 	for {
 		// The budget ladder re-evaluates per epoch: a restart may have eaten
-		// the budget that justified brute.
+		// the budget that justified brute. Below ExactBudget brute degrades
+		// to greedy; below GreedyBudget every rung degrades to the two-round
+		// estimate — the cheapest answer the coordinator can still certify.
 		used, degraded := algo, false
-		if algo == "brute" {
-			if dl, ok := ctx.Deadline(); ok && time.Until(dl) < c.cfg.ExactBudget {
+		if dl, ok := ctx.Deadline(); ok {
+			remaining := time.Until(dl)
+			if used == "brute" && remaining < c.cfg.ExactBudget {
 				used, degraded = "greedy", true
+			}
+			if used != "estimate" && remaining < c.cfg.GreedyBudget {
+				used, degraded = "estimate", true
 			}
 		}
 		sol, err := c.solveOnce(ctx, tuple, m, used, live)
@@ -413,6 +430,8 @@ func (c *Coordinator) solveOnce(ctx context.Context, tuple bitvec.Vector, m int,
 		return c.bruteOnce(ctx, tuple, ones, em, live)
 	case "consumeattr":
 		return c.consumeAttrOnce(ctx, width, ones, em, live)
+	case "estimate":
+		return c.estimateOnce(ctx, width, ones, em, live)
 	default: // "greedy", "consumeattrcumul"
 		return c.cumulOnce(ctx, width, ones, em, live)
 	}
@@ -495,6 +514,80 @@ func (c *Coordinator) consumeAttrOnce(ctx context.Context, width int, ones []int
 		return core.Solution{}, err
 	}
 	return core.Solution{Kept: kept, Satisfied: cnt[0]}, nil
+}
+
+// estimateOnce is the coordinator's shed-of-last-resort rung (DESIGN.md
+// §16): exactly two scatter rounds regardless of the budget m, then a local
+// LP. Round one gathers the total weight (superset count of the empty
+// vector) and every attribute's full-log frequency; selection is then the
+// ConsumeAttr rule on those additive frequencies — bit-identical to
+// core.Estimate's Keep on an unsharded model, since frequencies sum across
+// shards. Round two gathers the pairwise supports of the heaviest dropped
+// attributes, and estimate.NewModel + Estimate turn them into a certified
+// interval. The interval is generally looser than the unsharded estimator's
+// (no mining-completeness certificate, pairs only) but is sound against the
+// union of the live shards' partitions.
+func (c *Coordinator) estimateOnce(ctx context.Context, width int, ones []int, em int, live []*shardState) (core.Solution, error) {
+	cands := make([]bitvec.Vector, 0, width+1)
+	cands = append(cands, bitvec.New(width)) // ⊆ every query: total weight
+	for j := 0; j < width; j++ {
+		cands = append(cands, bitvec.FromIndices(width, j))
+	}
+	counts, err := c.scatter(ctx, live, Superset, cands)
+	if err != nil {
+		return core.Solution{}, err
+	}
+	total, sing := counts[0], counts[1:]
+
+	sorted := append([]int(nil), ones...)
+	sort.SliceStable(sorted, func(a, b int) bool { return sing[sorted[a]] > sing[sorted[b]] })
+	kept := bitvec.FromIndices(width, sorted[:em]...)
+
+	// The heaviest dropped attributes get joint treatment: their pairwise
+	// supports are one more scatter of C(k,2) superset counts.
+	var dropped []int
+	for j := 0; j < width; j++ {
+		if !kept.Get(j) && sing[j] > 0 {
+			dropped = append(dropped, j)
+		}
+	}
+	sort.SliceStable(dropped, func(a, b int) bool { return sing[dropped[a]] > sing[dropped[b]] })
+	if len(dropped) > estimate.DefaultMaxAtomAttrs {
+		dropped = dropped[:estimate.DefaultMaxAtomAttrs]
+	}
+	var pairs []bitvec.Vector
+	for i := 0; i < len(dropped); i++ {
+		for j := i + 1; j < len(dropped); j++ {
+			pairs = append(pairs, bitvec.FromIndices(width, dropped[i], dropped[j]))
+		}
+	}
+	var known []estimate.ItemsetSupport
+	if len(pairs) > 0 {
+		pcounts, err := c.scatter(ctx, live, Superset, pairs)
+		if err != nil {
+			return core.Solution{}, err
+		}
+		known = make([]estimate.ItemsetSupport, len(pairs))
+		for i, p := range pairs {
+			known[i] = estimate.ItemsetSupport{Items: p, Support: pcounts[i]}
+		}
+	}
+
+	model, err := estimate.NewModel(width, total, sing, known, estimate.Options{})
+	if err != nil {
+		return core.Solution{}, err
+	}
+	iv, err := model.Estimate(ctx, kept)
+	if err != nil {
+		return core.Solution{}, err
+	}
+	return core.Solution{
+		Kept:      kept,
+		Satisfied: iv.Point,
+		Estimated: true,
+		EstLo:     iv.Lo,
+		EstHi:     iv.Hi,
+	}, nil
 }
 
 // bruteBatch bounds candidates per scatter round — large enough to amortize

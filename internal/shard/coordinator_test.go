@@ -391,7 +391,7 @@ func TestNewValidation(t *testing.T) {
 		t.Error("duplicate shard ids accepted")
 	}
 	names := AlgoNames()
-	if len(names) != 4 {
+	if len(names) != 5 {
 		t.Errorf("AlgoNames = %v", names)
 	}
 	for i := 1; i < len(names); i++ {

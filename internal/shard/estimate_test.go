@@ -1,0 +1,178 @@
+package shard
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"testing"
+	"time"
+
+	"standout/internal/core"
+	"standout/internal/dataset"
+)
+
+// TestEstimateAlgoSoundAcrossPartitions: the coordinator's two-scatter
+// estimate rung, over every shard count, picks the same kept set as the
+// unsharded core.Estimate solver (the selection rule is shared) and returns
+// a certified interval containing the exact weighted Satisfied count of the
+// union log. Itemset supports are additive across disjoint partitions, so
+// sharding must never cost soundness — only tightness.
+func TestEstimateAlgoSoundAcrossPartitions(t *testing.T) {
+	instances := 60
+	if testing.Short() {
+		instances = 12
+	}
+	for i := 0; i < instances; i++ {
+		c := genCase(i)
+		want, err := (core.Estimate{}).Solve(core.Instance{Log: c.log, Tuple: c.tuple, M: c.m})
+		if err != nil {
+			t.Fatalf("case %d: unsharded estimate: %v", i, err)
+		}
+		exact := c.log.Satisfied(want.Kept)
+		for _, shards := range []int{1, 2, 4} {
+			co, err := New(testConfig(localBackends(t, c.log, shards), c.log.Schema))
+			if err != nil {
+				t.Fatalf("New: %v", err)
+			}
+			got, err := co.Solve(context.Background(), c.tuple, c.m, "estimate")
+			if err != nil {
+				t.Fatalf("case %d/%d shards: %v", i, shards, err)
+			}
+			if !got.Solution.Estimated {
+				// The whole tuple fit the budget: the coordinator's exact
+				// shortcut answers before any rung — it must then be exact.
+				if c.m < c.tuple.Count() || !got.Solution.Optimal {
+					t.Fatalf("case %d/%d shards: unestimated non-shortcut answer %+v", i, shards, got.Solution)
+				}
+				if want := c.log.Satisfied(got.Solution.Kept); got.Solution.Satisfied != want {
+					t.Fatalf("case %d/%d shards: shortcut satisfied %d ≠ exact %d", i, shards, got.Solution.Satisfied, want)
+				}
+				continue
+			}
+			if !got.Solution.Kept.Equal(want.Kept) {
+				t.Fatalf("case %d/%d shards: kept %s, unsharded %s", i, shards, got.Solution.Kept, want.Kept)
+			}
+			lo, hi := got.Solution.EstLo, got.Solution.EstHi
+			if exact < lo || exact > hi {
+				t.Fatalf("case %d/%d shards: interval [%d,%d] misses exact %d", i, shards, lo, hi, exact)
+			}
+			if p := got.Solution.Satisfied; p < lo || p > hi {
+				t.Fatalf("case %d/%d shards: point %d outside [%d,%d]", i, shards, p, lo, hi)
+			}
+			if lo < 0 || hi > c.log.TotalWeight() {
+				t.Fatalf("case %d/%d shards: interval [%d,%d] outside [0,%d]", i, shards, lo, hi, c.log.TotalWeight())
+			}
+		}
+	}
+}
+
+// TestEstimateBudgetLadderDegradesToEstimate: when the remaining deadline
+// sits below GreedyBudget, every requested rung — exact and greedy alike —
+// degrades to the two-scatter estimate instead of failing the request.
+func TestEstimateBudgetLadderDegradesToEstimate(t *testing.T) {
+	c := fixedCase(t)
+	cfg := testConfig(localBackends(t, c.log, 2), c.log.Schema)
+	cfg.ExactBudget = time.Hour
+	cfg.GreedyBudget = time.Hour // greedy never fits either
+	co, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	for _, algo := range []string{"brute", "greedy", "consumeattr"} {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		got, err := co.Solve(ctx, c.tuple, c.m, algo)
+		cancel()
+		if err != nil {
+			t.Fatalf("%s: %v", algo, err)
+		}
+		if !got.Degraded || got.Solver != "estimate" || !got.Solution.Estimated {
+			t.Fatalf("%s: degraded=%v solver=%q estimated=%v, want estimate rung",
+				algo, got.Degraded, got.Solver, got.Solution.Estimated)
+		}
+		if exact := c.log.Satisfied(got.Solution.Kept); exact < got.Solution.EstLo || exact > got.Solution.EstHi {
+			t.Fatalf("%s: interval [%d,%d] misses exact %d", algo, got.Solution.EstLo, got.Solution.EstHi, exact)
+		}
+	}
+	// Without a deadline nothing degrades: the requested rung runs exactly.
+	got, err := co.Solve(context.Background(), c.tuple, c.m, "greedy")
+	if err != nil || got.Degraded || got.Solution.Estimated {
+		t.Fatalf("no-deadline greedy: degraded=%v estimated=%v err=%v", got.Degraded, got.Solution.Estimated, err)
+	}
+}
+
+// TestEstimateHTTPCarriesBounds: the coordinator's /solve surfaces the
+// estimate rung's marker and interval through the HTTP tier, sound against
+// the union log.
+func TestEstimateHTTPCarriesBounds(t *testing.T) {
+	f := newCoordFixture(t, 3, nil)
+	tuple := f.tuples[0]
+	status, raw := postJSON(t, f.ts.URL+"/solve",
+		solveRequest{Tuple: tuple.String(), M: 4, Algo: "estimate", TimeoutMS: 5000})
+	if status != http.StatusOK {
+		t.Fatalf("status %d, body %s", status, raw)
+	}
+	resp := decode[solveResponse](t, raw)
+	if resp.Solver != "estimate" || !resp.Estimated {
+		t.Fatalf("solver %q estimated %v, want estimate/true", resp.Solver, resp.Estimated)
+	}
+	kept, err := dataset.ParseTuple(f.log.Schema, resp.KeptBits)
+	if err != nil {
+		t.Fatalf("parse kept_bits %q: %v", resp.KeptBits, err)
+	}
+	exact := f.log.Satisfied(kept)
+	if exact < resp.EstLo || exact > resp.EstHi {
+		t.Fatalf("interval [%d,%d] misses exact %d", resp.EstLo, resp.EstHi, exact)
+	}
+	if resp.Satisfied < resp.EstLo || resp.Satisfied > resp.EstHi {
+		t.Fatalf("point %d outside interval [%d,%d]", resp.Satisfied, resp.EstLo, resp.EstHi)
+	}
+	// Exact rungs over the same fixture stay unmarked: no estimate leakage.
+	status, raw = postJSON(t, f.ts.URL+"/solve",
+		solveRequest{Tuple: tuple.String(), M: 4, Algo: "greedy", TimeoutMS: 5000})
+	if status != http.StatusOK {
+		t.Fatalf("greedy status %d, body %s", status, raw)
+	}
+	if g := decode[solveResponse](t, raw); g.Estimated || g.EstLo != 0 || g.EstHi != 0 {
+		t.Fatalf("greedy response carries estimate fields: %+v", g)
+	}
+}
+
+// TestEstimateSurvivesShardLoss: losing a shard mid-request restarts the
+// estimate over the survivors; the interval is then certified against the
+// surviving partitions' union, exactly like exact partial results.
+func TestEstimateSurvivesShardLoss(t *testing.T) {
+	c := fixedCase(t)
+	backends := localBackends(t, c.log, 3)
+	lossy := &hookBackend{inner: backends[2], hook: func(_ context.Context, _ int64) error {
+		return errors.New("shard down") // this shard never answers
+	}}
+	cfg := testConfig([]Backend{backends[0], backends[1], lossy}, c.log.Schema)
+	co, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	got, err := co.Solve(context.Background(), c.tuple, c.m, "estimate")
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	if !got.Partial || got.Restarts == 0 {
+		t.Fatalf("partial=%v restarts=%d, want a restarted partial result", got.Partial, got.Restarts)
+	}
+	// Recount against the union of the two surviving partitions only.
+	parts, err := Partition(context.Background(), c.log, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	survivors := dataset.NewQueryLog(c.log.Schema)
+	for _, p := range parts[:2] {
+		for qi, q := range p.Queries {
+			if err := survivors.AppendWeighted(q, p.Weight(qi)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	exact := survivors.Satisfied(got.Solution.Kept)
+	if exact < got.Solution.EstLo || exact > got.Solution.EstHi {
+		t.Fatalf("survivor interval [%d,%d] misses survivor exact %d", got.Solution.EstLo, got.Solution.EstHi, exact)
+	}
+}

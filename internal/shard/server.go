@@ -126,8 +126,14 @@ type solveResponse struct {
 	KeptBits  string   `json:"kept_bits"`
 	Satisfied int      `json:"satisfied"`
 	Optimal   bool     `json:"optimal"`
-	Degraded  bool     `json:"degraded"`
-	Solver    string   `json:"solver"`
+	// Estimated marks Satisfied as the estimator rung's certified point
+	// estimate (DESIGN.md §16); EstLo ≤ exact ≤ EstHi then brackets the exact
+	// weighted count over the union of the responded shards' partitions.
+	Estimated bool   `json:"estimated,omitempty"`
+	EstLo     int    `json:"est_lo,omitempty"`
+	EstHi     int    `json:"est_hi,omitempty"`
+	Degraded  bool   `json:"degraded"`
+	Solver    string `json:"solver"`
 	// Partial reports a response computed over the Responded shard subset
 	// only: Satisfied is then the exact optimum (or greedy answer) of the
 	// sub-problem those shards hold — a lower bound on the full answer.
@@ -374,6 +380,9 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		KeptBits:  res.Solution.Kept.String(),
 		Satisfied: res.Solution.Satisfied,
 		Optimal:   res.Solution.Optimal,
+		Estimated: res.Solution.Estimated,
+		EstLo:     res.Solution.EstLo,
+		EstHi:     res.Solution.EstHi,
 		Degraded:  res.Degraded,
 		Solver:    res.Solver,
 		Partial:   res.Partial,

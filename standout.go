@@ -78,6 +78,11 @@ type (
 	ConsumeAttrCumul = core.ConsumeAttrCumul
 	// ConsumeQueries is the query-consuming greedy (§IV.D).
 	ConsumeQueries = core.ConsumeQueries
+	// Estimate scores the greedy selection without touching the log: a
+	// certified [EstLo, EstHi] interval around the exact weighted count from
+	// precomputed itemset frequencies and a small LP (DESIGN.md §16). The
+	// cheapest solver by far on large logs; the only approximate one.
+	Estimate = core.Estimate
 	// MiningBackend selects the MaxFreqItemSets mining strategy.
 	MiningBackend = core.MiningBackend
 )
